@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared setup for the reproduction benches: the reference chip
+ * configuration, a cached offline power calibration, and pipeline
+ * defaults matching the paper's experimental setup (Sect. 7.4):
+ * profile at 1000/1800 MHz (plus 1400 MHz for the 3-point fits),
+ * 5 ms frequency adjustment interval, population 200, mutation 0.15,
+ * 600 generations.
+ */
+
+#ifndef OPDVFS_BENCH_BENCH_COMMON_H
+#define OPDVFS_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+
+#include "dvfs/pipeline.h"
+#include "npu/npu_chip.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::bench {
+
+/** The simulated device under test. */
+inline npu::NpuConfig
+standardChip()
+{
+    return npu::NpuConfig{};
+}
+
+/** Offline calibration, run once per process. */
+inline const power::CalibratedConstants &
+calibratedConstants()
+{
+    static const power::CalibratedConstants constants =
+        power::calibrateOffline(standardChip());
+    return constants;
+}
+
+/** Pipeline options used by the end-to-end experiments. */
+inline dvfs::PipelineOptions
+standardPipeline(double perf_loss_target)
+{
+    dvfs::PipelineOptions options;
+    options.chip = standardChip();
+    options.perf_loss_target = perf_loss_target;
+    options.constants = calibratedConstants();
+    options.warmup_seconds = 15.0;
+    options.fit_kind = perf::FitFunction::PwlCycles;
+    options.profile_freqs_mhz = {1000.0, 1400.0, 1800.0};
+    options.preprocess.fai = 5 * kTicksPerMs; // Sect. 7.4
+    options.ga.population = 200;              // Sect. 7.4
+    options.ga.generations = 600;
+    options.ga.mutation_rate = 0.15;
+    return options;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_ref)
+{
+    std::cout << "================================================\n"
+              << experiment << "\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "================================================\n";
+}
+
+} // namespace opdvfs::bench
+
+#endif // OPDVFS_BENCH_BENCH_COMMON_H

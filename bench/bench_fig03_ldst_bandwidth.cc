@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 3 reproduction: (a) Ld/St throughput versus core frequency
+ * rises linearly until the uncore bandwidth saturates at fs (Eqs. 1-2);
+ * (b) with a fixed transfer volume, the cycle count is flat below fs
+ * and grows linearly above it, plus the T0 f overhead term (Eq. 4).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "npu/aicore_timeline.h"
+#include "npu/memory_system.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_fig03_ldst_bandwidth",
+                  "Fig. 3 (Sect. 4.1): Tp-frequency and cycle-frequency");
+
+    npu::MemorySystem memory;
+
+    // (a) Throughput vs frequency for three L2 hit rates.
+    Table tp_table("Fig. 3(a): Ld/St throughput vs core frequency");
+    tp_table.setHeader({"f (MHz)", "Tp hit=0.0 (GB/s)", "Tp hit=0.5 (GB/s)",
+                        "Tp hit=1.0 (GB/s)"});
+    for (double f = 600.0; f <= 2400.0; f += 200.0) {
+        tp_table.addRow({Table::num(f, 0),
+                         Table::num(memory.throughput(f, 0.0) / 1e9, 0),
+                         Table::num(memory.throughput(f, 0.5) / 1e9, 0),
+                         Table::num(memory.throughput(f, 1.0) / 1e9, 0)});
+    }
+    tp_table.print(std::cout);
+
+    std::cout << "\nsaturation frequencies fs (Eq. 2):\n";
+    for (double hit : {0.0, 0.15, 0.3, 0.5, 0.8, 1.0}) {
+        std::cout << "  hit=" << hit << ": fs = "
+                  << Table::num(memory.saturationMhz(hit), 0) << " MHz\n";
+    }
+
+    // (b) Cycle count of one fixed-volume transfer vs frequency.
+    npu::HwOpParams op;
+    op.scenario = npu::Scenario::PingPongIndependent;
+    op.n = 1;
+    op.core_cycles = 0.0;
+    op.ld_volume_bytes = 4.0e6;
+    op.ld_l2_hit = 0.3;
+    op.st_volume_bytes = 0.0;
+    op.t0_seconds = 5e-7;
+    npu::AicoreTimeline timeline(op, memory);
+
+    Table cycle_table(
+        "Fig. 3(b): cycles for a fixed 4 MB move-in (hit = 0.3)");
+    cycle_table.setHeader(
+        {"f (MHz)", "cycles", "time (us)", "regime"});
+    double fs = memory.saturationMhz(0.3);
+    for (double f = 600.0; f <= 2400.0; f += 150.0) {
+        cycle_table.addRow({Table::num(f, 0),
+                            Table::num(timeline.cycles(f), 0),
+                            Table::num(timeline.seconds(f) * 1e6, 1),
+                            f < fs ? "core-limited (flat cycles)"
+                                   : "uncore-saturated (cycles ~ f)"});
+    }
+    cycle_table.print(std::cout);
+    std::cout << "expected kink at fs = " << Table::num(fs, 0) << " MHz\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figs. 4-8 reproduction: the four execution-timeline scenarios of
+ * Sect. 4.2.  For one operator per scenario, prints the Cycle(f)
+ * series over the supported range, verifies convexity, and reports the
+ * symbolic piecewise-linear structure (segment count, kink positions,
+ * increasing slopes) that Sect. 4.3's model construction relies on.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "math/piecewise_linear.h"
+#include "perf/timeline_analysis.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_fig04_timeline_scenarios",
+                  "Figs. 4-8 (Sect. 4.2): per-scenario Cycle(f) curves");
+
+    npu::MemorySystem memory;
+
+    struct Case
+    {
+        const char *name;
+        npu::Scenario scenario;
+    };
+    const Case cases[] = {
+        {"PingPong-free, independent Ld/St (Eq. 5 / Fig. 5)",
+         npu::Scenario::PingPongFreeIndependent},
+        {"PingPong-free, dependent Ld/St (Eq. 6 / Fig. 6)",
+         npu::Scenario::PingPongFreeDependent},
+        {"PingPong, independent Ld/St (Eq. 7 / Fig. 7)",
+         npu::Scenario::PingPongIndependent},
+        {"PingPong, dependent Ld/St (Eq. 8 / Fig. 8)",
+         npu::Scenario::PingPongDependent},
+    };
+
+    for (const Case &c : cases) {
+        npu::HwOpParams op;
+        op.scenario = c.scenario;
+        op.n = 8;
+        op.core_cycles = 250'000.0;
+        op.ld_volume_bytes = 1.2e6;
+        op.ld_l2_hit = 0.25;
+        op.st_volume_bytes = 6.0e5;
+        op.st_l2_hit = 0.6;
+        op.t0_seconds = 4e-7;
+
+        npu::AicoreTimeline timeline(op, memory);
+        Table table(c.name);
+        table.setHeader({"f (MHz)", "cycles (k)", "time (us)"});
+        std::vector<double> fs, cycles;
+        for (double f = 1000.0; f <= 1800.0; f += 100.0) {
+            fs.push_back(f);
+            cycles.push_back(timeline.cycles(f));
+            table.addRow({Table::num(f, 0),
+                          Table::num(timeline.cycles(f) / 1e3, 1),
+                          Table::num(timeline.seconds(f) * 1e6, 1)});
+        }
+        table.print(std::cout);
+
+        bool convex = math::isConvexSamples(fs, cycles);
+        auto analysis = perf::analyzeTimeline(op, memory, 1000.0, 1800.0);
+        std::cout << "convex: " << (convex ? "yes" : "NO") << ", pwl segments in range: "
+                  << analysis.segments << ", kinks at:";
+        if (analysis.breakpoints_mhz.empty())
+            std::cout << " (none)";
+        for (double bp : analysis.breakpoints_mhz)
+            std::cout << " " << Table::num(bp, 0) << "MHz";
+        std::cout << ", slope " << analysis.low_slope << " -> "
+                  << analysis.high_slope
+                  << " cycles/Hz (non-decreasing => convex PWL)\n\n";
+    }
+    return 0;
+}

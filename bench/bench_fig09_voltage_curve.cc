@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 9 reproduction: the firmware voltage-frequency curve.  Voltage
+ * is constant below the 1300 MHz knee and increases linearly with
+ * frequency above it (Sect. 5.1).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "npu/freq_table.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_fig09_voltage_curve",
+                  "Fig. 9 (Sect. 5.1): voltage vs frequency");
+
+    npu::FreqTable table;
+    Table out("Voltage-Frequency on the simulated NPU");
+    out.setHeader({"f (MHz)", "V (mV)", "region"});
+    for (const auto &point : table.points()) {
+        out.addRow({Table::num(point.mhz, 0),
+                    Table::num(point.volts * 1000.0, 0),
+                    point.mhz <= table.config().knee_mhz
+                        ? "flat (below knee)"
+                        : "linear (above knee)"});
+    }
+    out.print(std::cout);
+
+    // Shape checks mirroring the figure.
+    double v_min = table.voltageFor(table.minMhz());
+    double v_knee = table.voltageFor(table.config().knee_mhz);
+    double v_max = table.voltageFor(table.maxMhz());
+    std::cout << "flat below knee: "
+              << (v_min == v_knee ? "yes" : "NO") << "\n"
+              << "rises above knee: " << (v_max > v_knee ? "yes" : "NO")
+              << " (" << Table::num((v_max - v_knee) * 1000.0, 0)
+              << " mV across "
+              << Table::num(table.maxMhz() - table.config().knee_mhz, 0)
+              << " MHz)\n";
+    return 0;
+}

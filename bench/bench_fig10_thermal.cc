@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 10 reproduction: AICore temperature versus SoC power is linear
+ * (Eq. 15), with every operator load falling on (nearly) the same
+ * line.  Each "line" sweeps one operator loop across frequencies to
+ * steady state and reports the fitted slope k.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/statistics.h"
+#include "common/table.h"
+#include "models/workload.h"
+#include "ops/op_factory.h"
+#include "trace/workload_runner.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_fig10_thermal",
+                  "Fig. 10 (Sect. 5.4.2): temperature vs SoC power");
+
+    npu::NpuConfig chip = bench::standardChip();
+    npu::MemorySystem memory(chip.memory);
+    trace::WorkloadRunner runner(chip);
+
+    struct Load
+    {
+        const char *name;
+        models::Workload workload;
+    };
+
+    auto loop = [&memory](const char *name, auto make, double seconds) {
+        models::Workload w;
+        w.name = name;
+        ops::OpFactory factory(memory, Rng(11));
+        double acc = 0.0;
+        while (acc < seconds) {
+            ops::Op op = make(factory);
+            npu::AicoreTimeline t(op.hw, memory);
+            acc += t.seconds(1800.0);
+            w.iteration.push_back(std::move(op));
+        }
+        return w;
+    };
+
+    std::vector<Load> loads;
+    loads.push_back({"MatMul", loop("MatMul", [](ops::OpFactory &f) {
+                         return f.matMul(4096, 4096, 4096);
+                     }, 0.5)});
+    loads.push_back({"Gelu", loop("Gelu", [](ops::OpFactory &f) {
+                         return f.gelu(24 * 1024 * 1024);
+                     }, 0.5)});
+    loads.push_back({"SoftMax", loop("SoftMax", [](ops::OpFactory &f) {
+                         return f.softmax(16384, 1024);
+                     }, 0.5)});
+    loads.push_back({"Conv2D", loop("Conv2D", [](ops::OpFactory &f) {
+                         return f.conv2d(128, 128, 128, 28, 28, 3);
+                     }, 0.5)});
+
+    Table out("Steady-state (SoC power, AICore temperature) per operator"
+              " loop, swept over frequency");
+    out.setHeader({"operator", "f (MHz)", "P_soc (W)", "T (C)"});
+
+    for (auto &load : loads) {
+        std::vector<double> powers, temps;
+        for (double f = 1000.0; f <= 1800.0; f += 200.0) {
+            trace::RunOptions options;
+            options.initial_mhz = f;
+            options.warmup_seconds = 40.0; // reach thermal equilibrium
+            options.seed = 3 + static_cast<std::uint64_t>(f);
+            trace::RunResult run = runner.run(load.workload, options);
+            powers.push_back(run.soc_avg_w);
+            temps.push_back(run.avg_temperature_c);
+            out.addRow({load.name, Table::num(f, 0),
+                        Table::num(run.soc_avg_w, 1),
+                        Table::num(run.avg_temperature_c, 1)});
+        }
+        auto fit = stats::fitLine(powers, temps);
+        std::cout << load.name << ": T = " << Table::num(fit.intercept, 1)
+                  << " + " << Table::num(fit.slope, 3)
+                  << " * P_soc  (r^2 = " << Table::num(fit.r2, 3)
+                  << ", true RC slope k = " << chip.thermal.k_per_watt
+                  << " K/W before leakage feedback)\n";
+    }
+    std::cout << "\n";
+    out.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 16 reproduction: predicted time and prediction error across
+ * frequency for five representative operators - Add, RealDiv,
+ * ReduceMean, Conv2D and BNTrainingUpdate - using the three candidate
+ * fitting functions of Sect. 4.3.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "npu/aicore_timeline.h"
+#include "ops/op_factory.h"
+#include "perf/fit_functions.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_fig16_example_ops",
+                  "Fig. 16: five example operators, predictions + errors");
+
+    npu::NpuConfig chip = bench::standardChip();
+    npu::MemorySystem memory(chip.memory);
+    ops::OpFactory factory(memory, Rng(16));
+    Rng noise(161);
+
+    // Shapes chosen to span the paper's 20 us - 300 us range.
+    std::vector<ops::Op> examples;
+    examples.push_back(factory.add(24 * 1024 * 1024));
+    examples.push_back(factory.realDiv(16 * 1024 * 1024));
+    examples.push_back(factory.reduceMean(48 * 1024 * 1024, 4096));
+    examples.push_back(factory.conv2d(64, 256, 256, 14, 14, 3));
+    examples.push_back(factory.bnTrainingUpdate(40 * 1024 * 1024));
+
+    const std::vector<perf::FitFunction> families = {
+        perf::FitFunction::QuadOverF,
+        perf::FitFunction::FullQuadOverF,
+        perf::FitFunction::ExpOverF,
+    };
+
+    for (const auto &op : examples) {
+        npu::AicoreTimeline timeline(op.hw, memory);
+
+        // "Measure" with profiler-grade noise at all 9 points.
+        std::map<double, double> measured;
+        for (double f = 1000.0; f <= 1800.0; f += 100.0)
+            measured[f] = timeline.seconds(f) * noise.noiseFactor(0.006);
+
+        // Fit on 1000/1300/1800 (Func. 2 on 1000/1800).
+        std::map<perf::FitFunction, perf::FittedCurve> curves;
+        for (auto kind : families) {
+            std::vector<double> fs =
+                kind == perf::FitFunction::QuadOverF
+                    ? std::vector<double>{1000.0, 1800.0}
+                    : std::vector<double>{1000.0, 1300.0, 1800.0};
+            std::vector<double> ts;
+            for (double f : fs)
+                ts.push_back(measured[f]);
+            curves.emplace(kind, perf::fitCurve(kind, fs, ts));
+        }
+
+        Table table(op.type + ": measured vs predicted time (us)");
+        table.setHeader({"f (MHz)", "real", "Func1 pred", "Func1 err",
+                         "Func2 pred", "Func2 err", "Func3 pred",
+                         "Func3 err"});
+        for (double f = 1000.0; f <= 1800.0; f += 100.0) {
+            std::vector<std::string> row = {Table::num(f, 0),
+                                            Table::num(measured[f] * 1e6, 1)};
+            for (auto kind :
+                 {perf::FitFunction::FullQuadOverF,
+                  perf::FitFunction::QuadOverF,
+                  perf::FitFunction::ExpOverF}) {
+                double pred = curves.at(kind).predictSeconds(f);
+                row.push_back(Table::num(pred * 1e6, 1));
+                row.push_back(Table::pct(
+                    std::abs(pred - measured[f]) / measured[f], 1));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "paper: Func. 2 tracks the measured curves with low "
+                 "error at all intermediate points\n";
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Microbenchmark (google-benchmark): per-operator fitting cost of the
+ * candidate model families (Sect. 4.3).  The paper's argument for
+ * Func. 2 is exactly this gap: a closed-form solve versus iterative
+ * curve fitting, ~24x in their measurements.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "npu/aicore_timeline.h"
+#include "npu/memory_system.h"
+#include "ops/op_factory.h"
+#include "perf/fit_functions.h"
+
+namespace {
+
+using namespace opdvfs;
+
+/** Deterministic sample set: (f, T) pairs for a batch of operators. */
+struct SampleSet
+{
+    std::vector<std::vector<double>> fs;
+    std::vector<std::vector<double>> ts;
+};
+
+const SampleSet &
+samples(int points)
+{
+    static std::map<int, SampleSet> cache;
+    auto it = cache.find(points);
+    if (it != cache.end())
+        return it->second;
+
+    SampleSet set;
+    npu::MemorySystem memory;
+    ops::OpFactory factory(memory, Rng(5));
+    Rng noise(55);
+    for (int i = 0; i < 256; ++i) {
+        ops::Op op = (i % 3 == 0)
+            ? factory.matMul(1024 + i, 1024, 1024)
+            : (i % 3 == 1 ? factory.add((1 << 20) + i * 4096)
+                          : factory.softmax(4096, 512 + i));
+        npu::AicoreTimeline timeline(op.hw, memory);
+        std::vector<double> fs, ts;
+        for (int p = 0; p < points; ++p) {
+            double f = 1000.0 + 800.0 * p / (points - 1);
+            fs.push_back(f);
+            ts.push_back(timeline.seconds(f) * noise.noiseFactor(0.006));
+        }
+        set.fs.push_back(std::move(fs));
+        set.ts.push_back(std::move(ts));
+    }
+    return cache.emplace(points, std::move(set)).first->second;
+}
+
+void
+fitFamily(benchmark::State &state, perf::FitFunction kind, int points)
+{
+    const SampleSet &set = samples(points);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto curve = perf::fitCurve(kind, set.fs[i], set.ts[i]);
+        benchmark::DoNotOptimize(curve.params.data());
+        i = (i + 1) % set.fs.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FitFunc2ClosedForm(benchmark::State &state)
+{
+    fitFamily(state, perf::FitFunction::QuadOverF, 2);
+}
+
+void
+BM_FitFunc1CurveFit(benchmark::State &state)
+{
+    fitFamily(state, perf::FitFunction::FullQuadOverF, 3);
+}
+
+void
+BM_FitFunc3CurveFit(benchmark::State &state)
+{
+    fitFamily(state, perf::FitFunction::ExpOverF, 3);
+}
+
+void
+BM_FitPwlCycles(benchmark::State &state)
+{
+    fitFamily(state, perf::FitFunction::PwlCycles, 3);
+}
+
+void
+BM_PredictFunc2(benchmark::State &state)
+{
+    const SampleSet &set = samples(2);
+    auto curve =
+        perf::fitCurve(perf::FitFunction::QuadOverF, set.fs[0], set.ts[0]);
+    double f = 1000.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(curve.predictSeconds(f));
+        f = f >= 1800.0 ? 1000.0 : f + 100.0;
+    }
+}
+
+BENCHMARK(BM_FitFunc2ClosedForm);
+BENCHMARK(BM_FitFunc1CurveFit);
+BENCHMARK(BM_FitFunc3CurveFit);
+BENCHMARK(BM_FitPwlCycles);
+BENCHMARK(BM_PredictFunc2);
+
+} // namespace
+
+BENCHMARK_MAIN();

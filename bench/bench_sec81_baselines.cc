@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sect. 8.1 + related-work baselines, on GPT-3 at the 2% target:
+ *
+ *  - model-based fine-grained search (this paper);
+ *  - whole-program uniform frequency (the granularity of the prior
+ *    GPU-DVFS work the introduction surveys);
+ *  - model-free search (Sect. 8.1): identical scoring, but each
+ *    candidate is measured by executing a full training iteration, so
+ *    a 5-minute wall budget affords only ~30 evaluations (paper's
+ *    arithmetic: 11 s per iteration).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "dvfs/baselines.h"
+#include "models/model_zoo.h"
+#include "power/online_calibration.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_sec81_baselines",
+                  "Sect. 8.1: model-based vs model-free vs uniform DVFS");
+
+    npu::NpuConfig chip = bench::standardChip();
+    npu::MemorySystem memory(chip.memory);
+    npu::FreqTable table(chip.freq);
+    models::Workload gpt3 = models::buildWorkload("GPT3", memory, 1);
+    trace::WorkloadRunner runner(chip);
+
+    // --- model-based pipeline (the paper's approach) -----------------
+    dvfs::PipelineOptions options = bench::standardPipeline(0.02);
+    options.seed = 3;
+    dvfs::EnergyPipeline pipeline(options);
+    dvfs::PipelineResult fine = pipeline.optimize(gpt3);
+
+    // --- uniform-frequency baseline on the same models ---------------
+    power::PowerModel power_model(bench::calibratedConstants(), table);
+    power::OnlinePowerCalibrator online(power_model);
+    perf::PerfModelRepository repo;
+    for (double f : options.profile_freqs_mhz) {
+        trace::RunOptions run_options;
+        run_options.initial_mhz = f;
+        run_options.warmup_seconds = 15.0;
+        run_options.sample_period = 2 * kTicksPerMs;
+        run_options.seed = 23 + static_cast<std::uint64_t>(f);
+        trace::RunResult run = runner.run(gpt3, run_options);
+        repo.addProfile(f, run.records);
+        online.addRun(run);
+    }
+    perf::PerfBuildOptions perf_options;
+    perf_options.kind = perf::FitFunction::PwlCycles;
+    repo.fitAll(perf_options);
+    auto op_power = online.perOpModels();
+    dvfs::StageEvaluator evaluator(fine.prep.stages, repo, power_model,
+                                   op_power, table);
+    dvfs::UniformFrequencyResult uniform =
+        dvfs::selectUniformFrequency(evaluator, 0.02);
+
+    // Execute the uniform choice for a measured comparison.
+    std::vector<double> uniform_mhz(fine.prep.stages.size(), uniform.mhz);
+    dvfs::ExecutionPlan uniform_plan = dvfs::planExecution(
+        fine.prep.stages, uniform_mhz, fine.baseline.records, {});
+    trace::RunOptions uniform_run_options;
+    uniform_run_options.initial_mhz = uniform_plan.initial_mhz;
+    uniform_run_options.warmup_seconds = 15.0;
+    uniform_run_options.seed = 77;
+    trace::RunResult uniform_run =
+        runner.run(gpt3, uniform_run_options, uniform_plan.triggers);
+
+    // --- model-free search under the paper's 30-evaluation budget ----
+    dvfs::ModelFreeOptions mf_options;
+    mf_options.evaluation_budget = 30;
+    mf_options.perf_loss_target = 0.02;
+    mf_options.warmup_seconds = 10.0;
+    dvfs::ModelFreeResult model_free =
+        dvfs::searchModelFree(runner, gpt3, fine.prep.stages,
+                              fine.baseline.records, table, mf_options);
+
+    auto row = [&](const std::string &name, const trace::RunResult &run,
+                   const std::string &note) {
+        return std::vector<std::string>{
+            name,
+            Table::pct(run.iteration_seconds
+                           / fine.baseline.iteration_seconds - 1.0, 2),
+            Table::pct(1.0 - run.aicore_avg_w
+                           / fine.baseline.aicore_avg_w, 2),
+            Table::pct(1.0 - run.soc_avg_w / fine.baseline.soc_avg_w, 2),
+            note};
+    };
+
+    Table out("GPT-3 @ 2% target: measured results per approach");
+    out.setHeader({"approach", "perf loss", "AICore red.", "SoC red.",
+                   "search cost"});
+    out.addRow(row("fine-grained, model-based (paper)", fine.dvfs,
+                   "120k policies scored offline in <1 s"));
+    out.addRow(row("uniform frequency ("
+                       + Table::num(uniform.mhz, 0) + " MHz)",
+                   uniform_run, "9 policies scored offline"));
+    out.addRow(row("model-free GA (30 measured evals)",
+                   model_free.best_run,
+                   Table::num(model_free.simulated_seconds, 0)
+                       + " s of device time"));
+    out.print(std::cout);
+
+    std::cout << "\npaper's argument: within 5 minutes the model-based "
+                 "search assesses 20,000 strategies, a measurement "
+                 "loop only ~30 - the models are what make the "
+                 "fine-grained space searchable.  With ~1.3k candidate "
+                 "stages, 30 measured evaluations cannot beat the "
+                 "feasible all-max individual under Eq. 17, so the "
+                 "model-free row typically shows no savings at all\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Host-bound inference scenario (paper Sect. 8.4): Llama2 decode
+ * leaves the NPU idle between kernels because the host dispatches
+ * slower than the accelerator executes.  Lowering the whole-run
+ * frequency mostly fills the idle gaps, trading a small performance
+ * loss for large power savings.  This example sweeps the fixed
+ * frequency and finds the most energy-efficient point.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "models/model_zoo.h"
+#include "npu/freq_table.h"
+#include "trace/workload_runner.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    npu::FreqTable table(chip.freq);
+    models::Workload llama =
+        models::buildWorkload("Llama2-infer", memory, 1);
+
+    double idle_fraction = llama.insensitiveSeconds();
+    std::cout << "Llama2 decode: " << llama.opCount()
+              << " operators per decode window, "
+              << Table::num(idle_fraction * 1e3, 1)
+              << " ms of host-dispatch gaps\n\n";
+
+    trace::WorkloadRunner runner(chip);
+    trace::RunOptions base_options;
+    base_options.warmup_seconds = 10.0;
+    trace::RunResult baseline = runner.run(llama, base_options);
+
+    Table out("fixed-frequency sweep (tokens/s vs energy/token)");
+    out.setHeader({"f (MHz)", "latency/token (ms)", "perf loss",
+                   "SoC (W)", "AICore (W)", "energy/token (J)",
+                   "tokens/s/W"});
+
+    const int tokens = 16; // decode tokens per iteration window
+    double best_efficiency = 0.0;
+    double best_mhz = table.maxMhz();
+    for (double f : table.frequenciesMhz()) {
+        trace::RunOptions options = base_options;
+        options.initial_mhz = f;
+        options.seed = 1 + static_cast<std::uint64_t>(f);
+        trace::RunResult run = runner.run(llama, options);
+
+        double token_latency = run.iteration_seconds / tokens;
+        double energy_per_token = run.soc_energy_j / tokens;
+        double efficiency = 1.0 / (token_latency * run.soc_avg_w);
+        if (efficiency > best_efficiency) {
+            best_efficiency = efficiency;
+            best_mhz = f;
+        }
+        out.addRow({Table::num(f, 0), Table::num(token_latency * 1e3, 2),
+                    Table::pct(run.iteration_seconds
+                                   / baseline.iteration_seconds - 1.0, 2),
+                    Table::num(run.soc_avg_w, 1),
+                    Table::num(run.aicore_avg_w, 2),
+                    Table::num(energy_per_token, 2),
+                    Table::num(efficiency, 4)});
+    }
+    out.print(std::cout);
+    std::cout << "\nmost energy-efficient fixed frequency: "
+              << Table::num(best_mhz, 0)
+              << " MHz (the paper lowers all operators to 1300 MHz for "
+                 "-2.48% perf, -11.26% SoC power, -25.06% AICore power)\n";
+    return 0;
+}

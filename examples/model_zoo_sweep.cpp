@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sweep the whole built-in model zoo through the energy-optimisation
+ * pipeline at one loss target and print a compact leaderboard:
+ * which workloads are most "DVFS-able" and why (their bottleneck
+ * time mix).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "dvfs/classification.h"
+#include "dvfs/pipeline.h"
+#include "models/model_zoo.h"
+#include "power/offline_calibration.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace opdvfs;
+
+    double target = 0.02;
+    if (argc > 1)
+        target = std::atof(argv[1]) / 100.0;
+
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+
+    std::cout << "offline power calibration...\n";
+    power::CalibratedConstants constants = power::calibrateOffline(chip);
+
+    Table table("model zoo at the " + Table::pct(target, 0)
+                + " loss target");
+    table.setHeader({"model", "ops/iter", "iter (s)", "AICore red.",
+                     "SoC red.", "perf loss", "core-bound time",
+                     "uncore-bound time", "insensitive time"});
+
+    const std::vector<std::string> zoo = {
+        "GPT3", "BERT", "ResNet50", "ResNet152", "Vit_base",
+        "Deit_small", "VGG19", "AlexNet", "ShuffleNetV2Plus"};
+
+    for (const auto &name : zoo) {
+        models::Workload workload = models::buildWorkload(name, memory, 1);
+
+        dvfs::PipelineOptions options;
+        options.chip = chip;
+        options.perf_loss_target = target;
+        options.constants = constants;
+        options.warmup_seconds = name == "GPT3" ? 15.0 : 25.0;
+        options.fit_kind = perf::FitFunction::PwlCycles;
+        options.profile_freqs_mhz = {1000.0, 1400.0, 1800.0};
+        dvfs::EnergyPipeline pipeline(options);
+        dvfs::PipelineResult result = pipeline.optimize(workload);
+
+        // Time mix by bottleneck class.
+        double core = 0.0, uncore = 0.0, insensitive = 0.0, total = 0.0;
+        for (std::size_t i = 0; i < result.baseline.records.size(); ++i) {
+            const auto &record = result.baseline.records[i];
+            double seconds = ticksToSeconds(record.end - record.start);
+            total += seconds;
+            switch (result.prep.bottlenecks[i]) {
+              case dvfs::Bottleneck::Core:
+              case dvfs::Bottleneck::Latency:
+                core += seconds;
+                break;
+              case dvfs::Bottleneck::Uncore:
+                uncore += seconds;
+                break;
+              default:
+                insensitive += seconds;
+                break;
+            }
+        }
+
+        table.addRow({name, std::to_string(workload.opCount()),
+                      Table::num(result.baseline.iteration_seconds, 3),
+                      Table::pct(result.aicoreReduction(), 2),
+                      Table::pct(result.socReduction(), 2),
+                      Table::pct(result.perfLoss(), 2),
+                      Table::pct(core / total, 0),
+                      Table::pct(uncore / total, 0),
+                      Table::pct(insensitive / total, 0)});
+    }
+    table.print(std::cout);
+    std::cout << "\nworkloads with more uncore-bound and insensitive "
+                 "time admit deeper savings at the same loss target\n";
+    return 0;
+}

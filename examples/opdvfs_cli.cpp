@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Command-line front end for the energy-optimisation pipeline.
+ *
+ *   opdvfs_cli [--model NAME] [--target PCT] [--fai MS]
+ *              [--latency MS] [--fit quad|pwl] [--seed N]
+ *              [--save-strategy FILE] [--list]
+ *
+ * Runs the full Fig. 1 pipeline on a zoo workload and prints the
+ * Table-3-style row; optionally persists the generated strategy for a
+ * separate execution pass.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "dvfs/pipeline.h"
+#include "dvfs/report.h"
+
+#include <fstream>
+#include "models/model_zoo.h"
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: opdvfs_cli [options]\n"
+        "  --model NAME        workload to optimise (default GPT3)\n"
+        "  --target PCT        performance-loss target in percent "
+        "(default 2)\n"
+        "  --fai MS            frequency adjustment interval in ms "
+        "(default 5)\n"
+        "  --latency MS        true SetFreq latency in ms (default 1)\n"
+        "  --fit quad|pwl      fitting family: the paper's Func. 2 or "
+        "piecewise-linear cycles (default pwl)\n"
+        "  --seed N            experiment seed (default 1)\n"
+        "  --save-strategy F   write the generated strategy to file F\n"
+        "  --report F          write a markdown report to file F\n"
+        "  --list              list available workloads and exit\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace opdvfs;
+
+    std::string model = "GPT3";
+    double target = 0.02;
+    double fai_ms = 5.0;
+    double latency_ms = 1.0;
+    std::string fit = "pwl";
+    std::string strategy_path;
+    std::string report_path;
+    std::uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return std::string(argv[++i]);
+        };
+        if (!std::strcmp(argv[i], "--model")) {
+            model = need_value("--model");
+        } else if (!std::strcmp(argv[i], "--target")) {
+            target = std::stod(need_value("--target")) / 100.0;
+        } else if (!std::strcmp(argv[i], "--fai")) {
+            fai_ms = std::stod(need_value("--fai"));
+        } else if (!std::strcmp(argv[i], "--latency")) {
+            latency_ms = std::stod(need_value("--latency"));
+        } else if (!std::strcmp(argv[i], "--fit")) {
+            fit = need_value("--fit");
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            seed = std::stoull(need_value("--seed"));
+        } else if (!std::strcmp(argv[i], "--save-strategy")) {
+            strategy_path = need_value("--save-strategy");
+        } else if (!std::strcmp(argv[i], "--report")) {
+            report_path = need_value("--report");
+        } else if (!std::strcmp(argv[i], "--list")) {
+            for (const auto &name : models::workloadNames())
+                std::cout << name << "\n";
+            return 0;
+        } else {
+            usage();
+            return !std::strcmp(argv[i], "--help") ? 0 : 2;
+        }
+    }
+
+    npu::NpuConfig chip;
+    chip.set_freq_latency = secondsToTicks(latency_ms * 1e-3);
+    npu::MemorySystem memory(chip.memory);
+
+    models::Workload workload;
+    try {
+        workload = models::buildWorkload(model, memory, seed);
+    } catch (const std::invalid_argument &e) {
+        std::cerr << e.what() << " (use --list)\n";
+        return 2;
+    }
+
+    dvfs::PipelineOptions options;
+    options.chip = chip;
+    options.perf_loss_target = target;
+    options.preprocess.fai = secondsToTicks(fai_ms * 1e-3);
+    options.fit_kind = fit == "quad" ? perf::FitFunction::QuadOverF
+                                     : perf::FitFunction::PwlCycles;
+    options.profile_freqs_mhz = {1000.0, 1400.0, 1800.0};
+    options.warmup_seconds = 15.0;
+    options.seed = seed;
+
+    std::cout << "optimising " << model << " (" << workload.opCount()
+              << " ops/iter) at a " << Table::pct(target, 1)
+              << " loss target, FAI " << fai_ms << " ms, SetFreq latency "
+              << latency_ms << " ms, fit=" << fit << "\n";
+
+    dvfs::EnergyPipeline pipeline(options);
+    dvfs::PipelineResult result = pipeline.optimize(workload);
+
+    Table out(model + " result");
+    out.setHeader({"metric", "baseline", "DVFS", "delta"});
+    out.addRow({"iteration (s)",
+                Table::num(result.baseline.iteration_seconds, 4),
+                Table::num(result.dvfs.iteration_seconds, 4),
+                Table::pct(result.perfLoss(), 2)});
+    out.addRow({"AICore (W)", Table::num(result.baseline.aicore_avg_w, 2),
+                Table::num(result.dvfs.aicore_avg_w, 2),
+                "-" + Table::pct(result.aicoreReduction(), 2)});
+    out.addRow({"SoC (W)", Table::num(result.baseline.soc_avg_w, 1),
+                Table::num(result.dvfs.soc_avg_w, 1),
+                "-" + Table::pct(result.socReduction(), 2)});
+    out.print(std::cout);
+    std::cout << result.prep.stages.size() << " stages, "
+              << result.dvfs.set_freq_count << " SetFreq/iter, GA best "
+                 "score reached at generation "
+              << result.ga.converged_at << "\n";
+
+    if (!strategy_path.empty()) {
+        dvfs::saveStrategyFile(result.strategy(), strategy_path);
+        std::cout << "strategy written to " << strategy_path << "\n";
+    }
+    if (!report_path.empty()) {
+        std::ofstream report(report_path);
+        dvfs::writeReport(result, workload, memory, report);
+        std::cout << "report written to " << report_path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * White-box operator analysis (paper Sect. 4): for a handful of
+ * operators, prints the exact convex piecewise-linear Cycle(f)
+ * structure (segments, kinks, slopes), the bottleneck classification
+ * its profile would produce, and the per-operator frequency
+ * sensitivity that motivates fine-grained DVFS (Sect. 6: "MatMul
+ * sacrifices 6.9% performance for a 7.9% power gain, Gelu trades 2%
+ * for 5%+").
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "dvfs/classification.h"
+#include "npu/aicore_timeline.h"
+#include "npu/power.h"
+#include "ops/op_factory.h"
+#include "perf/timeline_analysis.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    npu::FreqTable freq_table(chip.freq);
+    ops::OpFactory factory(memory, Rng(4));
+    npu::PowerCalculator power(chip.aicore_power, chip.uncore_power);
+
+    std::vector<ops::Op> ops;
+    ops.push_back(factory.matMul(4096, 12288, 4608));
+    ops.push_back(factory.gelu(32 * 1024 * 1024));
+    ops.push_back(factory.add(24 * 1024 * 1024));
+    ops.push_back(factory.softmax(32768, 2048));
+    ops.push_back(factory.conv2d(256, 256, 256, 14, 14, 3));
+    ops.push_back(factory.tinyScalarOp("Cast"));
+
+    Table table("operator frequency sensitivity (1800 -> 1600 MHz)");
+    table.setHeader({"operator", "class", "pwl segments", "kinks (MHz)",
+                     "time @1800 (us)", "perf loss @1600",
+                     "power gain @1600"});
+
+    for (const auto &op : ops) {
+        npu::AicoreTimeline timeline(op.hw, memory);
+        auto analysis =
+            perf::analyzeTimeline(op.hw, memory, 1000.0, 1800.0);
+
+        // Classify from the (noise-free) pipeline ratios.
+        trace::OpRecord record;
+        record.category = op.hw.category;
+        record.ratios = timeline.ratios(1800.0);
+        dvfs::Bottleneck bottleneck = dvfs::classify(record);
+
+        auto power_at = [&](double f) {
+            npu::PowerState state;
+            state.f_mhz = f;
+            state.volts = freq_table.voltageFor(f);
+            state.alpha_core = op.hw.alpha_core;
+            state.uncore_activity = op.hw.uncore_activity;
+            state.delta_t = 35.0;
+            return power.aicorePower(state);
+        };
+
+        double t1800 = timeline.seconds(1800.0);
+        double t1600 = timeline.seconds(1600.0);
+        std::string kinks;
+        for (double bp : analysis.breakpoints_mhz) {
+            if (!kinks.empty())
+                kinks += " ";
+            kinks += Table::num(bp, 0);
+        }
+        if (kinks.empty())
+            kinks = "-";
+
+        table.addRow(
+            {op.type, dvfs::bottleneckName(bottleneck),
+             std::to_string(analysis.segments), kinks,
+             Table::num(t1800 * 1e6, 1),
+             Table::pct(t1600 / t1800 - 1.0, 1),
+             Table::pct(1.0 - power_at(1600.0) / power_at(1800.0), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\ncompute-bound operators pay nearly the full "
+                 "frequency ratio in time; uncore-saturated operators "
+                 "trade almost nothing - the asymmetry fine-grained "
+                 "DVFS exploits (Sect. 6)\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: run the full energy-optimisation pipeline (Fig. 1 of the
+ * paper) on a small transformer training workload and print the
+ * headline numbers: power reduction vs. performance loss.
+ */
+
+#include <iostream>
+
+#include "dvfs/pipeline.h"
+#include "models/transformer.h"
+#include "npu/memory_system.h"
+
+int
+main()
+{
+    using namespace opdvfs;
+
+    // 1. Describe the device (defaults model an Ascend-class NPU).
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+
+    // 2. Build a workload: a 12-layer transformer training iteration.
+    models::TransformerConfig model;
+    model.name = "quickstart-transformer";
+    model.layers = 12;
+    model.hidden = 2048;
+    model.heads = 16;
+    model.seq = 1024;
+    model.tp_allreduce = true;
+    model.tensor_parallel = 2;
+    models::Workload workload =
+        models::buildTransformerTraining(memory, model, /*seed=*/1);
+    std::cout << "workload: " << workload.name << ", "
+              << workload.opCount() << " operators per iteration\n";
+
+    // 3. Configure and run the pipeline: profile -> model -> search ->
+    //    execute.  2% performance-loss target, 5 ms adjustment interval.
+    dvfs::PipelineOptions options;
+    options.chip = chip;
+    options.perf_loss_target = 0.02;
+    options.warmup_seconds = 10.0;
+    options.ga.generations = 200;
+    dvfs::EnergyPipeline pipeline(options);
+
+    dvfs::PipelineResult result = pipeline.optimize(workload);
+
+    // 4. Report.
+    std::cout << "baseline: " << result.baseline.iteration_seconds
+              << " s/iter, AICore " << result.baseline.aicore_avg_w
+              << " W, SoC " << result.baseline.soc_avg_w << " W\n";
+    std::cout << "DVFS:     " << result.dvfs.iteration_seconds
+              << " s/iter, AICore " << result.dvfs.aicore_avg_w
+              << " W, SoC " << result.dvfs.soc_avg_w << " W\n";
+    std::cout << "stages: " << result.prep.stages.size()
+              << " (LFC " << result.prep.lfcCount() << ", HFC "
+              << result.prep.hfcCount() << "), SetFreq per iteration: "
+              << result.dvfs.set_freq_count << "\n";
+    std::cout << "performance loss:      "
+              << result.perfLoss() * 100.0 << "%\n";
+    std::cout << "AICore power reduction: "
+              << result.aicoreReduction() * 100.0 << "%\n";
+    std::cout << "SoC power reduction:    "
+              << result.socReduction() * 100.0 << "%\n";
+    return 0;
+}

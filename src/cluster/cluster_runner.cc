@@ -1,0 +1,144 @@
+#include "cluster/cluster_runner.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+
+namespace opdvfs::cluster {
+
+double
+ClusterRunResult::aicoreAvgWatts() const
+{
+    double total = 0.0;
+    for (const auto &device : devices)
+        total += device.aicore_avg_w;
+    return devices.empty() ? 0.0 : total / static_cast<double>(devices.size());
+}
+
+double
+ClusterRunResult::socAvgWatts() const
+{
+    double total = 0.0;
+    for (const auto &device : devices)
+        total += device.soc_avg_w;
+    return devices.empty() ? 0.0 : total / static_cast<double>(devices.size());
+}
+
+namespace {
+
+/** Queue one device's iteration, routing collectives to the group. */
+void
+enqueueDeviceIteration(npu::NpuChip &chip, int rank,
+                       const models::Workload &workload,
+                       CollectiveGroup &group,
+                       const std::vector<trace::SetFreqTrigger> &triggers)
+{
+    for (std::size_t i = 0; i < workload.iteration.size(); ++i) {
+        const ops::Op &op = workload.iteration[i];
+
+        if (op.hw.category == npu::OpCategory::Communication
+            && op.hw.comm_bytes > 0.0) {
+            double bytes = op.hw.comm_bytes;
+            chip.computeStream().enqueue(
+                [&group, rank, bytes](std::function<void()> done) {
+                    group.arrive(rank, bytes, std::move(done));
+                });
+        } else {
+            chip.enqueueOp(op.hw, op.id);
+        }
+
+        for (const auto &trigger : triggers) {
+            if (trigger.after_op_index == i) {
+                auto event = std::make_shared<sim::SyncEvent>();
+                chip.computeStream().enqueueRecord(event);
+                chip.setFreqStream().enqueueWait(event);
+                chip.enqueueSetFreq(trigger.mhz);
+            }
+        }
+    }
+}
+
+} // namespace
+
+ClusterRunResult
+ClusterRunner::run(const models::Workload &workload,
+                   const std::vector<std::vector<trace::SetFreqTrigger>>
+                       &per_device_triggers,
+                   const ClusterRunOptions &options) const
+{
+    if (workload.iteration.empty())
+        throw std::invalid_argument("ClusterRunner: empty workload");
+    if (!per_device_triggers.empty()
+        && per_device_triggers.size()
+            != static_cast<std::size_t>(config_.devices)) {
+        throw std::invalid_argument(
+            "ClusterRunner: need one trigger set per device");
+    }
+
+    sim::Simulator simulator;
+    CollectiveGroup group(simulator, config_.devices,
+                          config_.link_bandwidth,
+                          config_.collective_latency_s);
+
+    std::vector<std::unique_ptr<npu::NpuChip>> chips;
+    chips.reserve(static_cast<std::size_t>(config_.devices));
+    for (int d = 0; d < config_.devices; ++d) {
+        npu::NpuConfig chip_config = config_.chip;
+        chip_config.initial_mhz = options.initial_mhz;
+        chips.push_back(
+            std::make_unique<npu::NpuChip>(simulator, chip_config));
+    }
+
+    static const std::vector<trace::SetFreqTrigger> kNoTriggers;
+    auto triggers_for = [&](int rank) -> const auto & {
+        return per_device_triggers.empty()
+            ? kNoTriggers
+            : per_device_triggers[static_cast<std::size_t>(rank)];
+    };
+
+    // Warm-up iterations (thermal + frequency steady state).
+    for (int warm = 0; warm < options.warmup_iterations; ++warm) {
+        for (int d = 0; d < config_.devices; ++d) {
+            enqueueDeviceIteration(*chips[static_cast<std::size_t>(d)], d,
+                                   workload, group, triggers_for(d));
+        }
+        simulator.run();
+    }
+
+    // Measured iteration.
+    std::vector<std::uint64_t> set_freq_before;
+    for (auto &chip : chips) {
+        chip->resetEnergy();
+        set_freq_before.push_back(chip->dvfs().setFreqCount());
+    }
+    std::uint64_t collectives_before = group.completedCollectives();
+    double wait_before = group.totalWaitSeconds();
+    Tick start = simulator.now();
+
+    for (int d = 0; d < config_.devices; ++d) {
+        enqueueDeviceIteration(*chips[static_cast<std::size_t>(d)], d,
+                               workload, group, triggers_for(d));
+    }
+    simulator.run();
+
+    ClusterRunResult result;
+    result.iteration_seconds = ticksToSeconds(simulator.now() - start);
+    result.collectives = group.completedCollectives() - collectives_before;
+    result.collective_wait_seconds =
+        group.totalWaitSeconds() - wait_before;
+    for (std::size_t d = 0; d < chips.size(); ++d) {
+        chips[d]->syncAccounting();
+        DeviceResult device;
+        device.aicore_energy_j = chips[d]->energy().aicore_joules;
+        device.soc_energy_j = chips[d]->energy().soc_joules;
+        device.aicore_avg_w = chips[d]->energy().aicoreAvgWatts();
+        device.soc_avg_w = chips[d]->energy().socAvgWatts();
+        device.set_freq_count =
+            chips[d]->dvfs().setFreqCount() - set_freq_before[d];
+        result.devices.push_back(device);
+    }
+    return result;
+}
+
+} // namespace opdvfs::cluster

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-device execution: N simulated NPUs sharing one discrete-event
+ * timeline, with Communication operators routed through a collective
+ * rendezvous (ring all-reduce) instead of the single-device fixed
+ * duration.
+ *
+ * This models the deployment the paper actually evaluates on (GPT-3
+ * with tensor parallelism across NPUs) one level deeper: because
+ * collectives synchronise the group, a DVFS strategy applied to a
+ * subset of devices turns the slowed devices into stragglers that
+ * stall every peer - savings only materialise fleet-wide.
+ */
+
+#ifndef OPDVFS_CLUSTER_CLUSTER_RUNNER_H
+#define OPDVFS_CLUSTER_CLUSTER_RUNNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/collective.h"
+#include "models/workload.h"
+#include "npu/npu_chip.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::cluster {
+
+/** Cluster-level configuration. */
+struct ClusterConfig
+{
+    /** Devices in the (tensor-parallel) group. */
+    int devices = 8;
+    /** Per-device chip configuration. */
+    npu::NpuConfig chip;
+    /** Inter-device link bandwidth, bytes/second. */
+    double link_bandwidth = 2.0e11;
+    /** Fixed latency per collective, seconds. */
+    double collective_latency_s = 30e-6;
+};
+
+/** Per-device measurements. */
+struct DeviceResult
+{
+    double aicore_avg_w = 0.0;
+    double soc_avg_w = 0.0;
+    double aicore_energy_j = 0.0;
+    double soc_energy_j = 0.0;
+    std::uint64_t set_freq_count = 0;
+};
+
+/** Cluster-level measurements for one iteration. */
+struct ClusterRunResult
+{
+    /** Wall time of the iteration (all devices + collectives drained). */
+    double iteration_seconds = 0.0;
+    std::vector<DeviceResult> devices;
+    /** Collectives completed during the measured iteration. */
+    std::uint64_t collectives = 0;
+    /** Aggregate device-seconds spent blocked at rendezvous. */
+    double collective_wait_seconds = 0.0;
+
+    /** Mean per-device AICore power. */
+    double aicoreAvgWatts() const;
+    /** Mean per-device SoC power. */
+    double socAvgWatts() const;
+};
+
+/** Options for one cluster measurement. */
+struct ClusterRunOptions
+{
+    double initial_mhz = 1800.0;
+    /** Warm-up iterations before the measured one. */
+    int warmup_iterations = 1;
+    std::uint64_t seed = 1;
+};
+
+/** Owns chips, collective group and the measurement protocol. */
+class ClusterRunner
+{
+  public:
+    explicit ClusterRunner(ClusterConfig config) : config_(config) {}
+
+    /**
+     * Run one iteration of @p workload on every device.  All devices
+     * execute the same sequence (tensor parallelism replicates the
+     * operator graph); @p per_device_triggers optionally applies a
+     * DVFS strategy to each device (empty = no DVFS anywhere; one
+     * entry per device otherwise).
+     */
+    ClusterRunResult
+    run(const models::Workload &workload,
+        const std::vector<std::vector<trace::SetFreqTrigger>>
+            &per_device_triggers = {},
+        const ClusterRunOptions &options = {}) const;
+
+    const ClusterConfig &config() const { return config_; }
+
+  private:
+    ClusterConfig config_;
+};
+
+} // namespace opdvfs::cluster
+
+#endif // OPDVFS_CLUSTER_CLUSTER_RUNNER_H

@@ -1,0 +1,81 @@
+#include "cluster/collective.h"
+
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace opdvfs::cluster {
+
+CollectiveGroup::CollectiveGroup(sim::Simulator &simulator, int devices,
+                                 double link_bandwidth,
+                                 double base_latency_s)
+    : simulator_(simulator),
+      devices_(devices),
+      link_bandwidth_(link_bandwidth),
+      base_latency_s_(base_latency_s),
+      next_collective_(static_cast<std::size_t>(devices), 0)
+{
+    if (devices < 1 || link_bandwidth <= 0.0 || base_latency_s < 0.0)
+        throw std::invalid_argument("CollectiveGroup: invalid config");
+}
+
+double
+CollectiveGroup::transferSeconds(double bytes) const
+{
+    double n = static_cast<double>(devices_);
+    double ring_factor = devices_ > 1 ? 2.0 * (n - 1.0) / n : 0.0;
+    return base_latency_s_ + ring_factor * bytes / link_bandwidth_;
+}
+
+void
+CollectiveGroup::arrive(int device_rank, double bytes,
+                        std::function<void()> done)
+{
+    if (device_rank < 0 || device_rank >= devices_)
+        throw std::invalid_argument("CollectiveGroup: bad rank");
+
+    std::uint64_t index =
+        next_collective_[static_cast<std::size_t>(device_rank)]++;
+    if (index < first_pending_)
+        throw std::logic_error("CollectiveGroup: rendezvous reused");
+
+    std::size_t slot = static_cast<std::size_t>(index - first_pending_);
+    if (slot >= pending_.size())
+        pending_.resize(slot + 1);
+
+    Pending &pending = pending_[slot];
+    if (pending.arrived > 0 && pending.bytes != bytes)
+        throw std::invalid_argument(
+            "CollectiveGroup: byte-count mismatch across ranks");
+    pending.bytes = bytes;
+    ++pending.arrived;
+    pending.waiters.push_back(std::move(done));
+    pending.arrival_ticks.push_back(simulator_.now());
+
+    if (pending.arrived < devices_)
+        return;
+
+    // Last participant arrived: account waits, run the transfer, then
+    // release everyone.
+    Tick now = simulator_.now();
+    for (Tick arrival : pending.arrival_ticks)
+        total_wait_seconds_ += ticksToSeconds(now - arrival);
+
+    Tick transfer = secondsToTicks(transferSeconds(pending.bytes));
+    auto waiters = std::move(pending.waiters);
+
+    // Retire leading completed slots so pending_ stays small.
+    pending.arrived = -1; // mark complete
+    while (!pending_.empty() && pending_.front().arrived == -1) {
+        pending_.erase(pending_.begin());
+        ++first_pending_;
+    }
+    ++completed_;
+
+    simulator_.scheduleIn(transfer, [waiters = std::move(waiters)] {
+        for (const auto &waiter : waiters)
+            waiter();
+    });
+}
+
+} // namespace opdvfs::cluster

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Collective-communication engine for multi-device simulation.
+ *
+ * The paper's GPT-3 runs tensor-parallel across NPUs; every AllReduce
+ * synchronises the group.  A CollectiveGroup models that: the i-th
+ * collective call on every device joins the same rendezvous, waits for
+ * the last participant, then all participants spend the ring-transfer
+ * time 2 (N-1)/N * bytes / link_bandwidth before proceeding.
+ *
+ * The synchronisation makes per-device DVFS strategies couple: one
+ * slow device stalls every peer at the next collective, which is why
+ * strategies must be deployed fleet-wide (see bench_cluster_straggler).
+ */
+
+#ifndef OPDVFS_CLUSTER_COLLECTIVE_H
+#define OPDVFS_CLUSTER_COLLECTIVE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace opdvfs::cluster {
+
+/** Shared rendezvous state for one device group. */
+class CollectiveGroup
+{
+  public:
+    /**
+     * @param simulator      shared simulator of all devices
+     * @param devices        group size (N)
+     * @param link_bandwidth per-link bandwidth in bytes/second
+     * @param base_latency_s fixed software/latency cost per collective
+     */
+    CollectiveGroup(sim::Simulator &simulator, int devices,
+                    double link_bandwidth, double base_latency_s = 30e-6);
+
+    /**
+     * Device @p device_rank arrives at its next collective carrying
+     * @p bytes; @p done fires when the collective completes on this
+     * device.  Every device must call arrive() the same number of
+     * times, in the same order, with the same byte counts.
+     */
+    void arrive(int device_rank, double bytes, std::function<void()> done);
+
+    /** Ring all-reduce wall time for @p bytes. */
+    double transferSeconds(double bytes) const;
+
+    /** Collectives fully completed so far. */
+    std::uint64_t completedCollectives() const { return completed_; }
+
+    /** Total time devices spent waiting at rendezvous, seconds. */
+    double totalWaitSeconds() const { return total_wait_seconds_; }
+
+    int devices() const { return devices_; }
+
+  private:
+    struct Pending
+    {
+        int arrived = 0;
+        double bytes = 0.0;
+        std::vector<std::function<void()>> waiters;
+        std::vector<Tick> arrival_ticks;
+    };
+
+    sim::Simulator &simulator_;
+    int devices_;
+    double link_bandwidth_;
+    double base_latency_s_;
+    /** Per-device index of its next collective. */
+    std::vector<std::uint64_t> next_collective_;
+    /** Rendezvous state keyed by collective index - first incomplete. */
+    std::vector<Pending> pending_;
+    std::uint64_t first_pending_ = 0;
+    std::uint64_t completed_ = 0;
+    double total_wait_seconds_ = 0.0;
+};
+
+} // namespace opdvfs::cluster
+
+#endif // OPDVFS_CLUSTER_COLLECTIVE_H

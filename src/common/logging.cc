@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace opdvfs::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::Warn};
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Debug: return "DEBUG";
+      case Level::Info:  return "INFO";
+      case Level::Warn:  return "WARN";
+      case Level::Error: return "ERROR";
+      case Level::Off:   return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLevel(Level new_level)
+{
+    g_level.store(new_level, std::memory_order_relaxed);
+}
+
+Level
+level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+write(Level message_level, const std::string &message)
+{
+    if (message_level < level())
+        return;
+    std::cerr << "[opdvfs " << levelName(message_level) << "] " << message
+              << "\n";
+}
+
+} // namespace opdvfs::log

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal leveled logging.  Benches and examples use it to narrate the
+ * end-to-end pipeline; the library itself logs sparingly.
+ */
+
+#ifndef OPDVFS_COMMON_LOGGING_H
+#define OPDVFS_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace opdvfs::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the global log threshold; messages below it are dropped. */
+void setLevel(Level level);
+
+/** Current global threshold. */
+Level level();
+
+/** Emit a message at @p level to stderr if it passes the threshold. */
+void write(Level level, const std::string &message);
+
+namespace detail {
+
+inline void
+format(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    format(os, rest...);
+}
+
+} // namespace detail
+
+/** Log with stream-style concatenation of the arguments. */
+template <typename... Args>
+void
+info(const Args &...args)
+{
+    if (level() <= Level::Info) {
+        std::ostringstream os;
+        detail::format(os, args...);
+        write(Level::Info, os.str());
+    }
+}
+
+/** @copydoc info */
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    if (level() <= Level::Debug) {
+        std::ostringstream os;
+        detail::format(os, args...);
+        write(Level::Debug, os.str());
+    }
+}
+
+/** @copydoc info */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    if (level() <= Level::Warn) {
+        std::ostringstream os;
+        detail::format(os, args...);
+        write(Level::Warn, os.str());
+    }
+}
+
+} // namespace opdvfs::log
+
+#endif // OPDVFS_COMMON_LOGGING_H

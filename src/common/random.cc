@@ -1,0 +1,24 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace opdvfs {
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0)
+        return index(weights.size());
+
+    double r = uniform(0.0, total);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace opdvfs

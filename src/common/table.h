@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aligned ASCII table and CSV output for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one paper table or figure; Table gives
+ * them a uniform, diff-friendly text rendering.
+ */
+
+#ifndef OPDVFS_COMMON_TABLE_H
+#define OPDVFS_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace opdvfs {
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a fraction as a percentage string, e.g. 0.1344 -> "13.44%". */
+    static std::string pct(double fraction, int digits = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace opdvfs
+
+#endif // OPDVFS_COMMON_TABLE_H

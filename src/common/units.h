@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Basic unit conventions used across the library.
+ *
+ * Following gem5 practice, simulated time is an integer tick count; one
+ * tick is one picosecond.  Physical quantities carried through analytic
+ * code are doubles with the unit encoded in the name (mhz, volts, watts,
+ * joules, celsius, seconds).
+ */
+
+#ifndef OPDVFS_COMMON_UNITS_H
+#define OPDVFS_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace opdvfs {
+
+/** Simulated time in picoseconds. */
+using Tick = std::int64_t;
+
+/** Ticks per second (1 tick == 1 ps). */
+constexpr Tick kTicksPerSecond = 1'000'000'000'000LL;
+
+/** Ticks per millisecond. */
+constexpr Tick kTicksPerMs = kTicksPerSecond / 1'000;
+
+/** Ticks per microsecond. */
+constexpr Tick kTicksPerUs = kTicksPerSecond / 1'000'000;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick kMaxTick = INT64_MAX;
+
+/** Convert a duration in seconds to ticks (rounded to nearest). */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(kTicksPerSecond)
+                             + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(kTicksPerSecond);
+}
+
+/** Convert a core frequency in MHz to Hz. */
+constexpr double
+mhzToHz(double mhz)
+{
+    return mhz * 1e6;
+}
+
+/**
+ * Number of core-domain cycles elapsed in @p seconds at @p mhz.
+ * Cycle counts are modelled as continuous quantities (doubles); the
+ * analytic equations in the paper treat them the same way.
+ */
+constexpr double
+secondsToCycles(double seconds, double mhz)
+{
+    return seconds * mhzToHz(mhz);
+}
+
+/** Wall time consumed by @p cycles core cycles at @p mhz. */
+constexpr double
+cyclesToSeconds(double cycles, double mhz)
+{
+    return cycles / mhzToHz(mhz);
+}
+
+} // namespace opdvfs
+
+#endif // OPDVFS_COMMON_UNITS_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Baseline DVFS strategies the paper positions itself against.
+ *
+ * 1. Whole-program uniform frequency (the granularity of prior GPU
+ *    DVFS work the introduction surveys: one operating point for the
+ *    entire application, selected for energy efficiency under a
+ *    performance bound).
+ *
+ * 2. Model-free search (Sect. 8.1): the same genetic algorithm, but
+ *    each individual is scored by actually executing the workload on
+ *    the (simulated) device instead of consulting the models.  One
+ *    evaluation costs a full training iteration, so the search is
+ *    budgeted by evaluations; the paper's argument is that within the
+ *    time the model-based search scores hundreds of thousands of
+ *    policies, a model-free loop measures only a few dozen.
+ */
+
+#ifndef OPDVFS_DVFS_BASELINES_H
+#define OPDVFS_DVFS_BASELINES_H
+
+#include <cstdint>
+
+#include "dvfs/evaluator.h"
+#include "dvfs/executor.h"
+#include "dvfs/genetic.h"
+#include "models/workload.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::dvfs {
+
+/** Outcome of the uniform-frequency baseline selection. */
+struct UniformFrequencyResult
+{
+    double mhz = 0.0;
+    StrategyEvaluation eval;
+    StrategyEvaluation baseline_eval;
+    /** Eq. 17 score of the chosen point. */
+    double score = 0.0;
+};
+
+/**
+ * Pick the single best whole-program frequency under the loss target,
+ * using the same models/scoring as the fine-grained search.
+ */
+UniformFrequencyResult
+selectUniformFrequency(const StageEvaluator &evaluator,
+                       double perf_loss_target);
+
+/** Options for the measurement-driven (model-free) search. */
+struct ModelFreeOptions
+{
+    /** Total workload executions the search may spend. */
+    int evaluation_budget = 30;
+    int population = 10;
+    double mutation_rate = 0.3;
+    double crossover_rate = 0.7;
+    double perf_loss_target = 0.02;
+    /** Warm-up before the first measured iteration, seconds. */
+    double warmup_seconds = 10.0;
+    std::uint64_t seed = 13;
+};
+
+/** Outcome of the model-free search. */
+struct ModelFreeResult
+{
+    std::vector<double> best_mhz;
+    double best_score = 0.0;
+    /** Measured behaviour of the best strategy. */
+    trace::RunResult best_run;
+    trace::RunResult baseline_run;
+    /** Workload executions actually spent. */
+    int evaluations = 0;
+    /** Total simulated seconds spent executing candidates. */
+    double simulated_seconds = 0.0;
+};
+
+/**
+ * Genetic search scored by running each candidate on the simulated
+ * device (Sect. 8.1's alternative).  Stages come from preprocessing a
+ * profiled baseline run, exactly as in the model-based flow.
+ */
+ModelFreeResult
+searchModelFree(const trace::WorkloadRunner &runner,
+                const models::Workload &workload,
+                const std::vector<Stage> &stages,
+                const std::vector<trace::OpRecord> &baseline_records,
+                const npu::FreqTable &table,
+                const ModelFreeOptions &options = {});
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_BASELINES_H

@@ -1,0 +1,64 @@
+#include "dvfs/classification.h"
+
+#include <algorithm>
+
+namespace opdvfs::dvfs {
+
+std::string
+bottleneckName(Bottleneck bottleneck)
+{
+    switch (bottleneck) {
+      case Bottleneck::NoPipeline:    return "no-pipeline";
+      case Bottleneck::Latency:       return "latency";
+      case Bottleneck::Uncore:        return "uncore";
+      case Bottleneck::Core:          return "core";
+      case Bottleneck::Aicpu:         return "aicpu";
+      case Bottleneck::Communication: return "communication";
+      case Bottleneck::Idle:          return "idle";
+    }
+    return "?";
+}
+
+Bottleneck
+classify(const trace::OpRecord &record, const ClassifyOptions &options)
+{
+    switch (record.category) {
+      case npu::OpCategory::Aicpu:
+        return Bottleneck::Aicpu;
+      case npu::OpCategory::Communication:
+        return Bottleneck::Communication;
+      case npu::OpCategory::Idle:
+        return Bottleneck::Idle;
+      case npu::OpCategory::Compute:
+        break;
+    }
+
+    const npu::PipelineRatios &r = record.ratios;
+    if (r.sum() < options.no_pipeline_sum)
+        return Bottleneck::NoPipeline;
+    if (r.maxRatio() < options.latency_max_ratio)
+        return Bottleneck::Latency;
+
+    double uncore_max = std::max(r.mte2, r.mte3);
+    double core_max = std::max({r.cube, r.vector, r.scalar, r.mte1});
+    return uncore_max >= core_max ? Bottleneck::Uncore : Bottleneck::Core;
+}
+
+bool
+isFrequencySensitive(Bottleneck bottleneck)
+{
+    switch (bottleneck) {
+      case Bottleneck::Core:
+      case Bottleneck::Latency:
+        return true;
+      case Bottleneck::NoPipeline:
+      case Bottleneck::Uncore:
+      case Bottleneck::Aicpu:
+      case Bottleneck::Communication:
+      case Bottleneck::Idle:
+        return false;
+    }
+    return true;
+}
+
+} // namespace opdvfs::dvfs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Operator bottleneck classification (paper Sect. 6.1, Fig. 12,
+ * Table 1).
+ *
+ * Pipeline-utilisation ratios from the profiler drive the decision
+ * tree: operators whose ratios sum below 1 have free execution time
+ * (no-pipeline bound); a maximum ratio under 0.8 indicates suboptimal
+ * pipeline arrangement (latency bound); otherwise the domain of the
+ * busiest pipe decides uncore (Ld/St) versus core bound.  AICPU,
+ * communication and idle operators are AICore-frequency insensitive by
+ * construction.
+ */
+
+#ifndef OPDVFS_DVFS_CLASSIFICATION_H
+#define OPDVFS_DVFS_CLASSIFICATION_H
+
+#include <string>
+
+#include "trace/profiler.h"
+
+namespace opdvfs::dvfs {
+
+/** Bottleneck classes of Fig. 12 plus the non-compute categories. */
+enum class Bottleneck
+{
+    NoPipeline,
+    Latency,
+    Uncore,
+    Core,
+    Aicpu,
+    Communication,
+    Idle,
+};
+
+/** Human-readable class name. */
+std::string bottleneckName(Bottleneck bottleneck);
+
+/** Classification thresholds. */
+struct ClassifyOptions
+{
+    /** Ratio sum below this => no-pipeline bound. */
+    double no_pipeline_sum = 1.0;
+    /** Max ratio below this => latency bound. */
+    double latency_max_ratio = 0.8;
+};
+
+/** Classify one profiled operator record. */
+Bottleneck classify(const trace::OpRecord &record,
+                    const ClassifyOptions &options = {});
+
+/**
+ * Table 1: is the class AICore-frequency sensitive?  Core-bound and
+ * latency-bound operators are; Ld/St-bound, AICPU, communication and
+ * idle are not.  No-pipeline-bound operators are treated as
+ * insensitive: their duration is dominated by fixed pre/post
+ * processing time.
+ */
+bool isFrequencySensitive(Bottleneck bottleneck);
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_CLASSIFICATION_H

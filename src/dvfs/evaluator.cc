@@ -1,0 +1,113 @@
+#include "dvfs/evaluator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace opdvfs::dvfs {
+
+StageEvaluator::StageEvaluator(
+    const std::vector<Stage> &stages, const perf::PerfModelRepository &perf,
+    const power::PowerModel &power,
+    const std::unordered_map<std::uint64_t, power::OpPowerModel> &op_power,
+    const npu::FreqTable &table)
+    : stage_count_(stages.size()),
+      freqs_mhz_(table.frequenciesMhz()),
+      gamma_aicore_(power.constants().gamma_aicore),
+      gamma_soc_(power.constants().gamma_soc),
+      k_per_watt_(power.constants().k_per_watt)
+{
+    if (stages.empty())
+        throw std::invalid_argument("StageEvaluator: no stages");
+
+    cells_.resize(stage_count_ * freqs_mhz_.size());
+    for (std::size_t s = 0; s < stage_count_; ++s) {
+        for (std::size_t fi = 0; fi < freqs_mhz_.size(); ++fi) {
+            double f = freqs_mhz_[fi];
+            double volts = table.voltageFor(f);
+            double fv2 = mhzToHz(f) * volts * volts;
+
+            Cell &c = cells_[s * freqs_mhz_.size() + fi];
+            for (std::uint64_t op_id : stages[s].op_ids) {
+                const perf::OpPerfModel *model = perf.find(op_id);
+                if (!model) {
+                    throw std::invalid_argument(
+                        "StageEvaluator: operator without perf model");
+                }
+                double t = std::max(model->predictSeconds(f), 0.0);
+                c.seconds += t;
+
+                auto pw = op_power.find(op_id);
+                double alpha_core =
+                    pw != op_power.end() ? pw->second.alpha_aicore : 0.0;
+                double alpha_soc =
+                    pw != op_power.end() ? pw->second.alpha_soc : 0.0;
+                c.aicore_joules_no_t +=
+                    (alpha_core * fv2 + power.aicoreIdle(f)) * t;
+                c.soc_joules_no_t +=
+                    (alpha_soc * fv2 + power.socIdle(f)) * t;
+            }
+            c.volt_seconds = volts * c.seconds;
+        }
+    }
+}
+
+StrategyEvaluation
+StageEvaluator::evaluate(
+    const std::vector<std::uint8_t> &freq_index_per_stage) const
+{
+    if (freq_index_per_stage.size() != stage_count_)
+        throw std::invalid_argument("evaluate: genome length mismatch");
+
+    double seconds = 0.0;
+    double aicore_no_t = 0.0;
+    double soc_no_t = 0.0;
+    double volt_seconds = 0.0;
+    for (std::size_t s = 0; s < stage_count_; ++s) {
+        const Cell &c = cell(s, freq_index_per_stage[s]);
+        seconds += c.seconds;
+        aicore_no_t += c.aicore_joules_no_t;
+        soc_no_t += c.soc_joules_no_t;
+        volt_seconds += c.volt_seconds;
+    }
+
+    StrategyEvaluation eval;
+    eval.seconds = seconds;
+    if (seconds <= 0.0)
+        return eval;
+
+    double mean_volts = volt_seconds / seconds;
+    double p_soc_no_t = soc_no_t / seconds;
+
+    // Global temperature fix point (Sect. 5.4.2): P depends on dT and
+    // dT on P; iterate from dT = 0.
+    double delta_t = 0.0;
+    for (int iter = 0; iter < 16; ++iter) {
+        double p_soc = p_soc_no_t + gamma_soc_ * delta_t * mean_volts;
+        double next = k_per_watt_ * p_soc;
+        if (std::abs(next - delta_t) < 0.01) {
+            delta_t = next;
+            break;
+        }
+        delta_t = next;
+    }
+
+    eval.delta_t = delta_t;
+    eval.soc_watts = p_soc_no_t + gamma_soc_ * delta_t * mean_volts;
+    eval.aicore_watts =
+        aicore_no_t / seconds + gamma_aicore_ * delta_t * mean_volts;
+    eval.soc_joules = eval.soc_watts * seconds;
+    eval.aicore_joules = eval.aicore_watts * seconds;
+    return eval;
+}
+
+StrategyEvaluation
+StageEvaluator::evaluateBaseline() const
+{
+    std::vector<std::uint8_t> genome(
+        stage_count_, static_cast<std::uint8_t>(freqs_mhz_.size() - 1));
+    return evaluate(genome);
+}
+
+} // namespace opdvfs::dvfs

@@ -1,0 +1,66 @@
+#include "dvfs/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opdvfs::dvfs {
+
+namespace {
+
+/**
+ * Trigger selection of Fig. 14: the last operator completing at or
+ * before @p dispatch_tick.  Falls back to the first operator when the
+ * dispatch point precedes every completion.
+ */
+std::size_t
+triggerOpFor(const std::vector<trace::OpRecord> &records, Tick dispatch_tick)
+{
+    std::size_t chosen = static_cast<std::size_t>(records.front().op_id);
+    for (const auto &record : records) {
+        if (record.end > dispatch_tick)
+            break;
+        chosen = static_cast<std::size_t>(record.op_id);
+    }
+    return chosen;
+}
+
+} // namespace
+
+ExecutionPlan
+planExecution(const std::vector<Stage> &stages,
+              const std::vector<double> &mhz_per_stage,
+              const std::vector<trace::OpRecord> &records,
+              const ExecutorOptions &options)
+{
+    if (stages.size() != mhz_per_stage.size())
+        throw std::invalid_argument("planExecution: size mismatch");
+    if (records.empty())
+        throw std::invalid_argument("planExecution: no records");
+
+    Tick iteration_end = 0;
+    for (const auto &record : records)
+        iteration_end = std::max(iteration_end, record.end);
+
+    ExecutionPlan plan;
+    plan.initial_mhz = mhz_per_stage.front();
+
+    // Changes at interior stage boundaries.
+    for (std::size_t s = 1; s < stages.size(); ++s) {
+        if (mhz_per_stage[s] == mhz_per_stage[s - 1])
+            continue;
+        Tick dispatch = stages[s].start - options.assumed_set_freq_latency;
+        plan.triggers.push_back(
+            {triggerOpFor(records, dispatch), mhz_per_stage[s]});
+    }
+
+    // Cyclic wrap: restore stage 0's frequency for the next iteration.
+    if (mhz_per_stage.front() != mhz_per_stage.back()) {
+        Tick dispatch = iteration_end - options.assumed_set_freq_latency;
+        plan.triggers.push_back(
+            {triggerOpFor(records, dispatch), mhz_per_stage.front()});
+    }
+
+    return plan;
+}
+
+} // namespace opdvfs::dvfs

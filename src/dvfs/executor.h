@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The DVFS Executor (paper Sect. 7.1, Fig. 14): turns a per-stage
+ * frequency strategy into SetFreq trigger placements.
+ *
+ * Frequency changes must land at stage boundaries.  The executor
+ * subtracts the (assumed) SetFreq latency from each adjustment time
+ * point and selects the last operator completing before the resulting
+ * time as the trigger: when that operator finishes, a SetFreq operator
+ * is dispatched on the dedicated stream, synchronised by event
+ * record/wait, and takes effect right at the boundary.  Strategies
+ * apply cyclically across iterations, so the change into stage 0 is
+ * triggered near the end of the previous iteration.
+ *
+ * The Fig. 18 V100 ablation is expressed by configuring the chip with
+ * a larger true SetFreq latency than the executor assumes.
+ */
+
+#ifndef OPDVFS_DVFS_EXECUTOR_H
+#define OPDVFS_DVFS_EXECUTOR_H
+
+#include <vector>
+
+#include "dvfs/preprocess.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::dvfs {
+
+/** Executor planning knobs. */
+struct ExecutorOptions
+{
+    /** SetFreq latency the executor compensates for (paper: 1 ms). */
+    Tick assumed_set_freq_latency = kTicksPerMs;
+};
+
+/** A planned strategy, ready for the workload runner. */
+struct ExecutionPlan
+{
+    std::vector<trace::SetFreqTrigger> triggers;
+    /** Frequency the iteration starts at (the cyclic steady state). */
+    double initial_mhz = 1800.0;
+};
+
+/**
+ * Plan SetFreq triggers for @p mhz_per_stage over the profiled
+ * baseline timeline (@p records supply per-operator timings).
+ */
+ExecutionPlan planExecution(const std::vector<Stage> &stages,
+                            const std::vector<double> &mhz_per_stage,
+                            const std::vector<trace::OpRecord> &records,
+                            const ExecutorOptions &options = {});
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_EXECUTOR_H

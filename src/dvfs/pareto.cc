@@ -1,0 +1,63 @@
+#include "dvfs/pareto.h"
+
+#include <stdexcept>
+
+namespace opdvfs::dvfs {
+
+std::vector<ParetoPoint>
+sweepParetoFrontier(const StageEvaluator &evaluator,
+                    const std::vector<Stage> &stages,
+                    const std::vector<double> &targets,
+                    const GaOptions &base_options)
+{
+    if (targets.empty())
+        throw std::invalid_argument("sweepParetoFrontier: no targets");
+
+    StrategyEvaluation baseline = evaluator.evaluateBaseline();
+    double per_baseline = 1e-6 / baseline.seconds;
+
+    std::vector<ParetoPoint> frontier;
+    std::vector<std::vector<std::uint8_t>> winners;
+
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+        GaOptions options = base_options;
+        options.perf_loss_target = targets[t];
+        options.seed = base_options.seed + t * 131;
+        GaResult result = searchStrategy(evaluator, stages, options);
+
+        double per_lb = per_baseline * (1.0 - targets[t]);
+        std::vector<std::uint8_t> best_genome = result.best_genome;
+        StrategyEvaluation best_eval = result.best_eval;
+        double best_score = strategyScore(best_eval, per_lb);
+
+        // Earlier winners stay feasible at looser targets: keep the
+        // frontier monotone by rescoring them here.
+        for (const auto &genome : winners) {
+            StrategyEvaluation eval = evaluator.evaluate(genome);
+            double score = strategyScore(eval, per_lb);
+            if (score > best_score) {
+                best_score = score;
+                best_eval = eval;
+                best_genome = genome;
+            }
+        }
+        winners.push_back(best_genome);
+
+        ParetoPoint point;
+        point.perf_loss_target = targets[t];
+        point.eval = best_eval;
+        point.predicted_loss = best_eval.seconds / baseline.seconds - 1.0;
+        point.predicted_aicore_reduction =
+            1.0 - best_eval.aicore_watts / baseline.aicore_watts;
+        point.predicted_soc_reduction =
+            1.0 - best_eval.soc_watts / baseline.soc_watts;
+        point.mhz_per_stage.reserve(best_genome.size());
+        for (std::uint8_t gene : best_genome)
+            point.mhz_per_stage.push_back(
+                evaluator.frequenciesMhz()[gene]);
+        frontier.push_back(std::move(point));
+    }
+    return frontier;
+}
+
+} // namespace opdvfs::dvfs

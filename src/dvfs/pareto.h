@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Energy/performance frontier sweep: run the strategy search across a
+ * range of performance-loss targets against one set of fitted models
+ * (profiling and model construction are shared, so the sweep costs
+ * seconds).  Generalises the Table 3 target column into a frontier a
+ * deployment can pick an operating point from.
+ */
+
+#ifndef OPDVFS_DVFS_PARETO_H
+#define OPDVFS_DVFS_PARETO_H
+
+#include <vector>
+
+#include "dvfs/evaluator.h"
+#include "dvfs/genetic.h"
+
+namespace opdvfs::dvfs {
+
+/** One frontier point. */
+struct ParetoPoint
+{
+    double perf_loss_target = 0.0;
+    /** Model-predicted behaviour of the best strategy at this target. */
+    StrategyEvaluation eval;
+    /** Predicted relative iteration-time increase. */
+    double predicted_loss = 0.0;
+    /** Predicted relative AICore power reduction. */
+    double predicted_aicore_reduction = 0.0;
+    /** Predicted relative SoC power reduction. */
+    double predicted_soc_reduction = 0.0;
+    /** The winning strategy. */
+    std::vector<double> mhz_per_stage;
+};
+
+/**
+ * Sweep the GA over @p targets (fractions, e.g. {0.02, 0.04, ...}).
+ * Points come back in the given order; by construction each looser
+ * target's predicted savings are at least as large as the previous
+ * point's (the sweep reuses earlier winners as extra priors).
+ */
+std::vector<ParetoPoint>
+sweepParetoFrontier(const StageEvaluator &evaluator,
+                    const std::vector<Stage> &stages,
+                    const std::vector<double> &targets,
+                    const GaOptions &base_options = {});
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_PARETO_H

@@ -1,0 +1,110 @@
+#include "dvfs/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "power/online_calibration.h"
+#include "power/power_model.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::dvfs {
+
+double
+PipelineResult::perfLoss() const
+{
+    return dvfs.iteration_seconds / baseline.iteration_seconds - 1.0;
+}
+
+double
+PipelineResult::aicoreReduction() const
+{
+    return 1.0 - dvfs.aicore_avg_w / baseline.aicore_avg_w;
+}
+
+double
+PipelineResult::socReduction() const
+{
+    return 1.0 - dvfs.soc_avg_w / baseline.soc_avg_w;
+}
+
+Strategy
+PipelineResult::strategy() const
+{
+    Strategy out;
+    out.stages = prep.stages;
+    out.mhz_per_stage = ga.best_mhz;
+    out.plan = plan;
+    return out;
+}
+
+PipelineResult
+EnergyPipeline::optimize(const models::Workload &workload) const
+{
+    PipelineResult result;
+    npu::FreqTable table(options_.chip.freq);
+    trace::WorkloadRunner runner(options_.chip);
+
+    // --- power-model construction: offline half (Fig. 11) ----------------
+    result.constants = options_.constants
+        ? *options_.constants
+        : power::calibrateOffline(options_.chip);
+    power::PowerModel power_model(result.constants, table);
+
+    // --- profiling runs at the model-building frequencies ----------------
+    if (options_.profile_freqs_mhz.size() < 2)
+        throw std::invalid_argument("EnergyPipeline: need >= 2 profile "
+                                    "frequencies");
+
+    perf::PerfModelRepository perf_repo;
+    power::OnlinePowerCalibrator online(power_model);
+
+    double max_profile_freq = *std::max_element(
+        options_.profile_freqs_mhz.begin(), options_.profile_freqs_mhz.end());
+
+    std::vector<trace::RunResult> profile_runs;
+    for (double f : options_.profile_freqs_mhz) {
+        trace::RunOptions run_options;
+        run_options.initial_mhz = f;
+        run_options.warmup_seconds = options_.warmup_seconds;
+        run_options.sample_period = options_.profile_sample_period;
+        run_options.seed =
+            options_.seed * 31 + static_cast<std::uint64_t>(f);
+        profile_runs.push_back(runner.run(workload, run_options));
+
+        perf_repo.addProfile(f, profile_runs.back().records);
+        online.addRun(profile_runs.back());
+        if (f == max_profile_freq)
+            result.baseline = profile_runs.back();
+    }
+
+    perf::PerfBuildOptions perf_options;
+    perf_options.kind = options_.fit_kind;
+    perf_repo.fitAll(perf_options);
+
+    auto op_power = online.perOpModels();
+
+    // --- classification + preprocessing (Sect. 6.1/6.2) -------------------
+    result.prep = preprocess(result.baseline.records, options_.preprocess);
+
+    // --- genetic strategy search (Sect. 6.3) ------------------------------
+    StageEvaluator evaluator(result.prep.stages, perf_repo, power_model,
+                             op_power, table);
+    GaOptions ga_options = options_.ga;
+    ga_options.perf_loss_target = options_.perf_loss_target;
+    ga_options.seed = options_.seed * 7 + 13;
+    result.ga = searchStrategy(evaluator, result.prep.stages, ga_options);
+
+    // --- execute the strategy (Sect. 7.1) ---------------------------------
+    result.plan = planExecution(result.prep.stages, result.ga.best_mhz,
+                                result.baseline.records, options_.executor);
+
+    trace::RunOptions dvfs_options;
+    dvfs_options.initial_mhz = result.plan.initial_mhz;
+    dvfs_options.warmup_seconds = options_.warmup_seconds;
+    dvfs_options.seed = options_.seed * 131 + 7;
+    result.dvfs = runner.run(workload, dvfs_options, result.plan.triggers);
+
+    return result;
+}
+
+} // namespace opdvfs::dvfs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The end-to-end energy-optimisation pipeline of paper Fig. 1:
+ *
+ *   profile the workload -> build performance and power models ->
+ *   classify + preprocess -> genetic strategy search -> execute the
+ *   strategy with fine-grained SetFreq -> measure.
+ *
+ * This is the library's top-level entry point; the Table 3 / Fig. 18
+ * benches and the examples all drive it.
+ */
+
+#ifndef OPDVFS_DVFS_PIPELINE_H
+#define OPDVFS_DVFS_PIPELINE_H
+
+#include <optional>
+#include <vector>
+
+#include "dvfs/executor.h"
+#include "dvfs/genetic.h"
+#include "dvfs/preprocess.h"
+#include "dvfs/strategy_io.h"
+#include "models/workload.h"
+#include "npu/npu_chip.h"
+#include "perf/perf_model.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::dvfs {
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    /** The device under optimisation. */
+    npu::NpuConfig chip;
+    /** Allowed relative performance loss. */
+    double perf_loss_target = 0.02;
+    PreprocessOptions preprocess;
+    GaOptions ga;
+    ExecutorOptions executor;
+    perf::FitFunction fit_kind = perf::FitFunction::QuadOverF;
+    /** Frequencies profiled to build the models (Sect. 7.4). */
+    std::vector<double> profile_freqs_mhz = {1000.0, 1800.0};
+    /** Warm-up before each profiled/measured iteration, seconds. */
+    double warmup_seconds = 20.0;
+    /** Fine-grained telemetry period for alpha calibration. */
+    Tick profile_sample_period = 2 * kTicksPerMs;
+    /** Reuse previously calibrated constants (skip offline pass). */
+    std::optional<power::CalibratedConstants> constants;
+    std::uint64_t seed = 1;
+};
+
+/** Everything the pipeline produced. */
+struct PipelineResult
+{
+    power::CalibratedConstants constants;
+    /** Baseline measurement at the maximum frequency. */
+    trace::RunResult baseline;
+    /** Measurement under the generated DVFS strategy. */
+    trace::RunResult dvfs;
+    PreprocessResult prep;
+    GaResult ga;
+    ExecutionPlan plan;
+
+    /** Relative iteration-time increase under DVFS. */
+    double perfLoss() const;
+    /** Relative AICore average-power reduction. */
+    double aicoreReduction() const;
+    /** Relative SoC average-power reduction. */
+    double socReduction() const;
+
+    /** The generated strategy, ready for saveStrategy()/re-execution. */
+    Strategy strategy() const;
+};
+
+/** Runs the Fig. 1 pipeline against a simulated chip. */
+class EnergyPipeline
+{
+  public:
+    explicit EnergyPipeline(PipelineOptions options)
+        : options_(std::move(options))
+    {}
+
+    /** Optimise one workload end to end. */
+    PipelineResult optimize(const models::Workload &workload) const;
+
+    const PipelineOptions &options() const { return options_; }
+
+  private:
+    PipelineOptions options_;
+};
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_PIPELINE_H

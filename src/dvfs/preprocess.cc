@@ -1,0 +1,106 @@
+#include "dvfs/preprocess.h"
+
+#include <stdexcept>
+
+namespace opdvfs::dvfs {
+
+std::size_t
+PreprocessResult::lfcCount() const
+{
+    std::size_t count = 0;
+    for (const auto &stage : stages) {
+        if (!stage.high_frequency)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+PreprocessResult::hfcCount() const
+{
+    return stages.size() - lfcCount();
+}
+
+PreprocessResult
+preprocess(const std::vector<trace::OpRecord> &records,
+           const PreprocessOptions &options)
+{
+    if (records.empty())
+        throw std::invalid_argument("preprocess: no records");
+    if (options.fai <= 0)
+        throw std::invalid_argument("preprocess: non-positive FAI");
+
+    PreprocessResult result;
+    result.bottlenecks.reserve(records.size());
+    for (const auto &record : records)
+        result.bottlenecks.push_back(classify(record, options.classify));
+
+    // Step 3: split into maximal runs of equal sensitivity.
+    std::vector<Stage> runs;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        bool sensitive = isFrequencySensitive(result.bottlenecks[i]);
+        double seconds = ticksToSeconds(records[i].end - records[i].start);
+
+        if (runs.empty() || runs.back().high_frequency != sensitive) {
+            Stage stage;
+            stage.start = records[i].start;
+            stage.high_frequency = sensitive;
+            stage.first_op = i;
+            runs.push_back(std::move(stage));
+        }
+        Stage &current = runs.back();
+        current.duration = records[i].end - current.start;
+        current.op_ids.push_back(records[i].op_id);
+        if (sensitive)
+            current.sensitive_seconds += seconds;
+        else
+            current.insensitive_seconds += seconds;
+    }
+
+    // Step 4: merge stages shorter than the FAI into their successor
+    // (or, at the tail, their predecessor); the merged stage's type is
+    // decided by whichever kind of time dominates.
+    auto mergeInto = [](Stage &dst, Stage &&src) {
+        if (src.start < dst.start) {
+            dst.start = src.start;
+            dst.first_op = src.first_op;
+            dst.op_ids.insert(dst.op_ids.begin(), src.op_ids.begin(),
+                              src.op_ids.end());
+        } else {
+            dst.op_ids.insert(dst.op_ids.end(), src.op_ids.begin(),
+                              src.op_ids.end());
+        }
+        dst.sensitive_seconds += src.sensitive_seconds;
+        dst.insensitive_seconds += src.insensitive_seconds;
+        dst.duration += src.duration;
+        dst.high_frequency = dst.sensitive_seconds >= dst.insensitive_seconds;
+    };
+
+    std::vector<Stage> merged;
+    Stage pending;
+    bool have_pending = false;
+    for (auto &run : runs) {
+        if (!have_pending) {
+            pending = std::move(run);
+            have_pending = true;
+        } else {
+            if (pending.duration >= options.fai) {
+                merged.push_back(std::move(pending));
+                pending = std::move(run);
+            } else {
+                mergeInto(pending, std::move(run));
+            }
+        }
+    }
+    if (have_pending) {
+        if (pending.duration < options.fai && !merged.empty())
+            mergeInto(merged.back(), std::move(pending));
+        else
+            merged.push_back(std::move(pending));
+    }
+
+    result.stages = std::move(merged);
+    return result;
+}
+
+} // namespace opdvfs::dvfs

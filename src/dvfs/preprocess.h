@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DVFS preprocessing (paper Sect. 6.2, Fig. 13): turns a profiled
+ * iteration into frequency-candidate stages.
+ *
+ *  1. Gather the execution sequence and profiling data (idle gaps are
+ *     explicit records).
+ *  2. Classify each operator's bottleneck (Sect. 6.1).
+ *  3. Split the timeline into Low/High Frequency Candidate stages by
+ *     frequency sensitivity; each stage start is a candidate point.
+ *  4. Merge candidates closer than the frequency adjustment interval
+ *     (FAI, e.g. 5 ms) into their neighbours.
+ */
+
+#ifndef OPDVFS_DVFS_PREPROCESS_H
+#define OPDVFS_DVFS_PREPROCESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dvfs/classification.h"
+#include "trace/profiler.h"
+
+namespace opdvfs::dvfs {
+
+/** One frequency-candidate stage [start, start + duration). */
+struct Stage
+{
+    Tick start = 0;
+    Tick duration = 0;
+    /** True for High Frequency Candidate (sensitive-dominated). */
+    bool high_frequency = true;
+    /** Index of the first operator of the stage in iteration order. */
+    std::size_t first_op = 0;
+    /** Operator ids inside the stage, iteration order. */
+    std::vector<std::uint64_t> op_ids;
+    /** Time spent in frequency-sensitive operators, seconds. */
+    double sensitive_seconds = 0.0;
+    /** Time spent in insensitive operators, seconds. */
+    double insensitive_seconds = 0.0;
+};
+
+/** Preprocessing output. */
+struct PreprocessResult
+{
+    std::vector<Stage> stages;
+    /** Per-record bottleneck classes, aligned with the input records. */
+    std::vector<Bottleneck> bottlenecks;
+
+    std::size_t lfcCount() const;
+    std::size_t hfcCount() const;
+};
+
+/** Preprocessing knobs. */
+struct PreprocessOptions
+{
+    /** Frequency adjustment interval; stages never get shorter. */
+    Tick fai = 5 * kTicksPerMs;
+    ClassifyOptions classify;
+};
+
+/**
+ * Build candidate stages from the records of one profiled iteration
+ * (must be time-ordered, which profiler output is).
+ */
+PreprocessResult preprocess(const std::vector<trace::OpRecord> &records,
+                            const PreprocessOptions &options = {});
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_PREPROCESS_H

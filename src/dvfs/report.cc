@@ -1,0 +1,111 @@
+#include "dvfs/report.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/table.h"
+#include "dvfs/classification.h"
+#include "ops/op_stats.h"
+
+namespace opdvfs::dvfs {
+
+namespace {
+
+std::string
+pct(double fraction)
+{
+    return Table::pct(fraction, 2);
+}
+
+} // namespace
+
+void
+writeReport(const PipelineResult &result, const models::Workload &workload,
+            const npu::MemorySystem &memory, std::ostream &os)
+{
+    os << "# opdvfs energy-optimisation report: " << workload.name
+       << "\n\n";
+
+    // --- headline ---------------------------------------------------------
+    os << "## Result\n\n"
+       << "| metric | baseline (max freq) | under DVFS | change |\n"
+       << "|---|---|---|---|\n"
+       << "| iteration time | "
+       << Table::num(result.baseline.iteration_seconds, 4) << " s | "
+       << Table::num(result.dvfs.iteration_seconds, 4) << " s | +"
+       << pct(result.perfLoss()) << " |\n"
+       << "| AICore power | "
+       << Table::num(result.baseline.aicore_avg_w, 2) << " W | "
+       << Table::num(result.dvfs.aicore_avg_w, 2) << " W | -"
+       << pct(result.aicoreReduction()) << " |\n"
+       << "| SoC power | " << Table::num(result.baseline.soc_avg_w, 1)
+       << " W | " << Table::num(result.dvfs.soc_avg_w, 1) << " W | -"
+       << pct(result.socReduction()) << " |\n"
+       << "| die temperature | "
+       << Table::num(result.baseline.avg_temperature_c, 1) << " C | "
+       << Table::num(result.dvfs.avg_temperature_c, 1) << " C | |\n\n";
+
+    // --- workload composition ----------------------------------------------
+    ops::WorkloadStats stats =
+        ops::summarize(workload.iteration, workload.name, memory);
+    os << "## Workload\n\n"
+       << stats.op_count << " operators per iteration; time shares: "
+       << pct(stats.compute_share) << " compute, "
+       << pct(stats.communication_share) << " communication, "
+       << pct(stats.aicpu_share) << " AICPU, " << pct(stats.idle_share)
+       << " idle.\n\n";
+    os << "| type | count | time share | mean (us) |\n|---|---|---|---|\n";
+    std::size_t rows = 0;
+    for (const auto &type : stats.types) {
+        if (++rows > 10)
+            break;
+        os << "| " << type.type << " | " << type.count << " | "
+           << pct(type.time_share) << " | "
+           << Table::num(type.mean_seconds * 1e6, 1) << " |\n";
+    }
+    os << "\n";
+
+    // --- bottleneck classification -----------------------------------------
+    std::map<Bottleneck, double> class_time;
+    double total_time = 0.0;
+    for (std::size_t i = 0; i < result.baseline.records.size(); ++i) {
+        double seconds = ticksToSeconds(result.baseline.records[i].end
+                                        - result.baseline.records[i].start);
+        class_time[result.prep.bottlenecks[i]] += seconds;
+        total_time += seconds;
+    }
+    os << "## Bottleneck classification (Sect. 6.1)\n\n"
+       << "| class | time share |\n|---|---|\n";
+    for (const auto &[bottleneck, seconds] : class_time) {
+        os << "| " << bottleneckName(bottleneck) << " | "
+           << pct(seconds / std::max(total_time, 1e-12)) << " |\n";
+    }
+    os << "\n";
+
+    // --- strategy -----------------------------------------------------------
+    os << "## Strategy\n\n"
+       << result.prep.stages.size() << " candidate stages ("
+       << result.prep.lfcCount() << " LFC / " << result.prep.hfcCount()
+       << " HFC), " << result.plan.triggers.size()
+       << " SetFreq triggers per iteration, GA best score reached at "
+          "generation "
+       << result.ga.converged_at << ".\n\n";
+
+    std::map<double, int> histogram;
+    for (double mhz : result.ga.best_mhz)
+        histogram[mhz]++;
+    os << "| frequency (MHz) | stages |\n|---|---|\n";
+    for (const auto &[mhz, count] : histogram)
+        os << "| " << Table::num(mhz, 0) << " | " << count << " |\n";
+    os << "\n";
+
+    os << "## Power model constants (calibrated)\n\n"
+       << "gamma_aicore = " << result.constants.gamma_aicore
+       << " W/(K V), gamma_soc = " << result.constants.gamma_soc
+       << " W/(K V), k = " << result.constants.k_per_watt
+       << " K/W, ambient = " << Table::num(result.constants.ambient_c, 1)
+       << " C\n";
+}
+
+} // namespace opdvfs::dvfs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Markdown report generation for a completed pipeline run: the
+ * headline numbers, the workload composition, the candidate-stage
+ * summary and the strategy's frequency histogram, in one
+ * human-reviewable document.
+ */
+
+#ifndef OPDVFS_DVFS_REPORT_H
+#define OPDVFS_DVFS_REPORT_H
+
+#include <iosfwd>
+
+#include "dvfs/pipeline.h"
+
+namespace opdvfs::dvfs {
+
+/**
+ * Write a markdown report of @p result for @p workload to @p os.
+ * @p memory must be the memory system the workload was built against
+ * (used for the analytic composition summary).
+ */
+void writeReport(const PipelineResult &result,
+                 const models::Workload &workload,
+                 const npu::MemorySystem &memory, std::ostream &os);
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_REPORT_H

@@ -1,0 +1,102 @@
+#include "dvfs/strategy_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace opdvfs::dvfs {
+
+void
+saveStrategy(const Strategy &strategy, std::ostream &os)
+{
+    if (strategy.stages.size() != strategy.mhz_per_stage.size())
+        throw std::invalid_argument("saveStrategy: stage/frequency size "
+                                    "mismatch");
+
+    os << "strategy v1\n";
+    os << "# stages: " << strategy.stages.size()
+       << ", triggers: " << strategy.plan.triggers.size() << "\n";
+    os << "initial " << strategy.plan.initial_mhz << "\n";
+    for (std::size_t s = 0; s < strategy.stages.size(); ++s) {
+        const Stage &stage = strategy.stages[s];
+        os << "stage " << stage.start << " " << stage.duration << " "
+           << strategy.mhz_per_stage[s] << " "
+           << (stage.high_frequency ? "hfc" : "lfc") << "\n";
+    }
+    for (const auto &trigger : strategy.plan.triggers) {
+        os << "trigger " << trigger.after_op_index << " " << trigger.mhz
+           << "\n";
+    }
+}
+
+Strategy
+loadStrategy(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != "strategy v1")
+        throw std::invalid_argument("loadStrategy: missing 'strategy v1' "
+                                    "header");
+
+    Strategy strategy;
+    std::size_t line_number = 1;
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        std::istringstream fields(line);
+        std::string kind;
+        fields >> kind;
+        auto fail = [&](const std::string &why) {
+            throw std::invalid_argument(
+                "loadStrategy: line " + std::to_string(line_number) + ": "
+                + why);
+        };
+
+        if (kind == "initial") {
+            if (!(fields >> strategy.plan.initial_mhz))
+                fail("bad initial frequency");
+        } else if (kind == "stage") {
+            Stage stage;
+            double mhz = 0.0;
+            std::string flavor;
+            if (!(fields >> stage.start >> stage.duration >> mhz
+                  >> flavor)) {
+                fail("bad stage record");
+            }
+            if (flavor != "hfc" && flavor != "lfc")
+                fail("stage kind must be hfc or lfc");
+            stage.high_frequency = flavor == "hfc";
+            strategy.stages.push_back(std::move(stage));
+            strategy.mhz_per_stage.push_back(mhz);
+        } else if (kind == "trigger") {
+            trace::SetFreqTrigger trigger;
+            if (!(fields >> trigger.after_op_index >> trigger.mhz))
+                fail("bad trigger record");
+            strategy.plan.triggers.push_back(trigger);
+        } else {
+            fail("unknown record kind '" + kind + "'");
+        }
+    }
+    return strategy;
+}
+
+void
+saveStrategyFile(const Strategy &strategy, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("saveStrategyFile: cannot open " + path);
+    saveStrategy(strategy, os);
+}
+
+Strategy
+loadStrategyFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("loadStrategyFile: cannot open " + path);
+    return loadStrategy(is);
+}
+
+} // namespace opdvfs::dvfs

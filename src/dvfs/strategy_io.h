@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DVFS strategy serialisation.
+ *
+ * In the paper's production flow the DVFS Executor "reads the strategy
+ * generated in the DVFS Strategy Generate phase" (Sect. 7.1): strategy
+ * generation and execution are decoupled processes.  This module
+ * persists a generated strategy - the candidate stages, the frequency
+ * per stage, and the planned SetFreq triggers - as a line-oriented
+ * text format, and loads it back for execution.
+ *
+ * Format (one record per line, '#' comments ignored):
+ *
+ *   strategy v1
+ *   stage <start_tick> <duration_tick> <mhz> <hfc|lfc>
+ *   trigger <after_op_index> <mhz>
+ *   initial <mhz>
+ */
+
+#ifndef OPDVFS_DVFS_STRATEGY_IO_H
+#define OPDVFS_DVFS_STRATEGY_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dvfs/executor.h"
+#include "dvfs/preprocess.h"
+
+namespace opdvfs::dvfs {
+
+/** A generated strategy, ready to persist or execute. */
+struct Strategy
+{
+    /** Stage boundaries (timing + kind only; op lists not persisted). */
+    std::vector<Stage> stages;
+    /** Chosen frequency per stage, MHz. */
+    std::vector<double> mhz_per_stage;
+    /** Planned SetFreq triggers (Fig. 14 placements). */
+    ExecutionPlan plan;
+
+    /** Number of distinct frequency changes per iteration. */
+    std::size_t triggerCount() const { return plan.triggers.size(); }
+};
+
+/** Serialise @p strategy to the text format. */
+void saveStrategy(const Strategy &strategy, std::ostream &os);
+
+/**
+ * Parse a strategy from the text format.
+ * @throws std::invalid_argument on malformed input (bad header,
+ *         unknown record, field count/shape errors).
+ */
+Strategy loadStrategy(std::istream &is);
+
+/** Convenience: round-trip through files. */
+void saveStrategyFile(const Strategy &strategy, const std::string &path);
+Strategy loadStrategyFile(const std::string &path);
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_STRATEGY_IO_H

@@ -1,0 +1,141 @@
+#include "math/curve_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linear_solve.h"
+
+namespace opdvfs::math {
+
+namespace {
+
+void
+clampParams(std::vector<double> &params, const CurveFitOptions &options)
+{
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i < options.lower_bounds.size())
+            params[i] = std::max(params[i], options.lower_bounds[i]);
+        if (i < options.upper_bounds.size())
+            params[i] = std::min(params[i], options.upper_bounds[i]);
+    }
+}
+
+double
+sumSquaredError(const CurveModel &model, const std::vector<double> &x,
+                const std::vector<double> &y, const std::vector<double> &params)
+{
+    double sse = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double r = y[i] - model(x[i], params);
+        if (!std::isfinite(r))
+            return std::numeric_limits<double>::infinity();
+        sse += r * r;
+    }
+    return sse;
+}
+
+} // namespace
+
+CurveFitResult
+curveFit(const CurveModel &model, const std::vector<double> &x,
+         const std::vector<double> &y, std::vector<double> initial_params,
+         const CurveFitOptions &options)
+{
+    if (x.size() != y.size())
+        throw std::invalid_argument("curveFit: x/y size mismatch");
+    if (x.size() < initial_params.size())
+        throw std::invalid_argument("curveFit: underdetermined system");
+    if (initial_params.empty())
+        throw std::invalid_argument("curveFit: no parameters");
+
+    const std::size_t n = x.size();
+    const std::size_t p = initial_params.size();
+
+    CurveFitResult result;
+    result.params = std::move(initial_params);
+    clampParams(result.params, options);
+    result.sse = sumSquaredError(model, x, y, result.params);
+
+    double lambda = options.initial_lambda;
+
+    // Scale-aware absolute floor: an SSE this small relative to the
+    // data is a perfect fit.
+    double y_scale = 0.0;
+    for (double v : y)
+        y_scale += v * v;
+    double sse_floor = options.tolerance * std::max(y_scale, 1e-300);
+
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+        if (result.sse <= sse_floor) {
+            result.converged = true;
+            break;
+        }
+
+        // Numeric Jacobian of the residuals and current residual vector.
+        Matrix jacobian(n, p);
+        std::vector<double> residuals(n);
+        for (std::size_t i = 0; i < n; ++i)
+            residuals[i] = y[i] - model(x[i], result.params);
+
+        for (std::size_t j = 0; j < p; ++j) {
+            double h = std::max(1e-7, std::abs(result.params[j]) * 1e-6);
+            std::vector<double> bumped = result.params;
+            bumped[j] += h;
+            clampParams(bumped, options);
+            double actual_h = bumped[j] - result.params[j];
+            if (actual_h == 0.0) {
+                // At an upper bound; probe downward instead.
+                bumped = result.params;
+                bumped[j] -= h;
+                clampParams(bumped, options);
+                actual_h = bumped[j] - result.params[j];
+                if (actual_h == 0.0)
+                    continue;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                double y_bumped = model(x[i], bumped);
+                double y_base = model(x[i], result.params);
+                jacobian(i, j) = (y_bumped - y_base) / actual_h;
+            }
+        }
+
+        // Solve the damped normal equations for the step.
+        std::vector<double> step;
+        try {
+            step = leastSquares(jacobian, residuals, lambda);
+        } catch (const std::runtime_error &) {
+            lambda *= 10.0;
+            if (lambda > 1e12)
+                break;
+            continue;
+        }
+
+        std::vector<double> candidate = result.params;
+        for (std::size_t j = 0; j < p; ++j)
+            candidate[j] += step[j];
+        clampParams(candidate, options);
+
+        double candidate_sse = sumSquaredError(model, x, y, candidate);
+        if (candidate_sse < result.sse) {
+            double improvement =
+                (result.sse - candidate_sse) / std::max(result.sse, 1e-300);
+            result.params = std::move(candidate);
+            result.sse = candidate_sse;
+            lambda = std::max(lambda * 0.3, 1e-12);
+            if (improvement < options.tolerance) {
+                result.converged = true;
+                break;
+            }
+        } else {
+            lambda *= 10.0;
+            if (lambda > 1e12)
+                break;
+        }
+    }
+
+    return result;
+}
+
+} // namespace opdvfs::math

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Generic nonlinear least squares (Levenberg-Marquardt) with numeric
+ * Jacobians and box constraints on parameters.
+ *
+ * This stands in for scipy.curve_fit, which the paper uses to fit its
+ * Func. 1 and Func. 3 performance models (Sect. 4.3), including the
+ * clamp of Func. 3's exponent parameter to [0, 10].
+ */
+
+#ifndef OPDVFS_MATH_CURVE_FIT_H
+#define OPDVFS_MATH_CURVE_FIT_H
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace opdvfs::math {
+
+/** A model y = model(x, params) to be fitted. */
+using CurveModel =
+    std::function<double(double x, const std::vector<double> &params)>;
+
+/** Options controlling the Levenberg-Marquardt iteration. */
+struct CurveFitOptions
+{
+    /** Maximum outer iterations. */
+    int max_iterations = 200;
+    /** Stop when the relative SSE improvement drops below this. */
+    double tolerance = 1e-12;
+    /** Initial LM damping. */
+    double initial_lambda = 1e-3;
+    /** Per-parameter lower bounds (empty = unbounded). */
+    std::vector<double> lower_bounds;
+    /** Per-parameter upper bounds (empty = unbounded). */
+    std::vector<double> upper_bounds;
+};
+
+/** Result of a fit. */
+struct CurveFitResult
+{
+    std::vector<double> params;
+    /** Final sum of squared residuals. */
+    double sse = std::numeric_limits<double>::infinity();
+    /** Iterations consumed. */
+    int iterations = 0;
+    /** True if the iteration hit the tolerance before max_iterations. */
+    bool converged = false;
+};
+
+/**
+ * Fit @p model to the samples (x[i], y[i]) starting from
+ * @p initial_params.
+ *
+ * @throws std::invalid_argument on size mismatches.
+ */
+CurveFitResult curveFit(const CurveModel &model, const std::vector<double> &x,
+                        const std::vector<double> &y,
+                        std::vector<double> initial_params,
+                        const CurveFitOptions &options = {});
+
+} // namespace opdvfs::math
+
+#endif // OPDVFS_MATH_CURVE_FIT_H

@@ -1,0 +1,101 @@
+#include "math/linear_solve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::math {
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(cols_, cols_);
+    for (std::size_t i = 0; i < cols_; ++i) {
+        for (std::size_t j = i; j < cols_; ++j) {
+            double s = 0.0;
+            for (std::size_t r = 0; r < rows_; ++r)
+                s += (*this)(r, i) * (*this)(r, j);
+            g(i, j) = s;
+            g(j, i) = s;
+        }
+    }
+    return g;
+}
+
+std::vector<double>
+Matrix::transposeTimes(const std::vector<double> &v) const
+{
+    if (v.size() != rows_)
+        throw std::invalid_argument("transposeTimes: length mismatch");
+    std::vector<double> out(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out[c] += (*this)(r, c) * v[r];
+    return out;
+}
+
+std::vector<double>
+Matrix::times(const std::vector<double> &x) const
+{
+    if (x.size() != cols_)
+        throw std::invalid_argument("times: length mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out[r] += (*this)(r, c) * x[c];
+    return out;
+}
+
+std::vector<double>
+solve(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        throw std::invalid_argument("solve: system is not square");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a(r, col)) > std::abs(a(pivot, col)))
+                pivot = r;
+        }
+        if (std::abs(a(pivot, col)) < 1e-300)
+            throw std::runtime_error("solve: singular matrix");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(col, c), a(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double factor = a(r, col) / a(col, col);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a(r, c) -= factor * a(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            s -= a(i, c) * x[c];
+        x[i] = s / a(i, i);
+    }
+    return x;
+}
+
+std::vector<double>
+leastSquares(const Matrix &a, const std::vector<double> &b, double damping)
+{
+    Matrix normal = a.gram();
+    if (damping > 0.0) {
+        for (std::size_t i = 0; i < normal.rows(); ++i)
+            normal(i, i) *= 1.0 + damping;
+    }
+    return solve(std::move(normal), a.transposeTimes(b));
+}
+
+} // namespace opdvfs::math

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small dense linear algebra: Gaussian elimination and linear least
+ * squares via normal equations.  Sized for the 2x2 / 3x3 systems the
+ * model-fitting code produces; not a general-purpose BLAS.
+ */
+
+#ifndef OPDVFS_MATH_LINEAR_SOLVE_H
+#define OPDVFS_MATH_LINEAR_SOLVE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace opdvfs::math {
+
+/** Dense row-major matrix just big enough for the fitting code. */
+class Matrix
+{
+  public:
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** A^T * A (cols x cols). */
+    Matrix gram() const;
+
+    /** A^T * v (length cols). @p v must have length rows. */
+    std::vector<double> transposeTimes(const std::vector<double> &v) const;
+
+    /** A * x (length rows). @p x must have length cols. */
+    std::vector<double> times(const std::vector<double> &x) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the square system A x = b with partial-pivot Gaussian
+ * elimination.
+ *
+ * @throws std::invalid_argument for shape mismatch.
+ * @throws std::runtime_error if the matrix is (numerically) singular.
+ */
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/**
+ * Least-squares solution of the overdetermined system A x ~= b through
+ * the normal equations (A^T A) x = A^T b, with optional Tikhonov
+ * damping on the diagonal (used by Levenberg-Marquardt).
+ */
+std::vector<double> leastSquares(const Matrix &a, const std::vector<double> &b,
+                                 double damping = 0.0);
+
+} // namespace opdvfs::math
+
+#endif // OPDVFS_MATH_LINEAR_SOLVE_H

@@ -1,0 +1,181 @@
+#include "math/piecewise_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::math {
+
+ConvexPwl::ConvexPwl(std::vector<AffinePiece> pieces)
+    : pieces_(normalise(std::move(pieces)))
+{
+}
+
+ConvexPwl
+ConvexPwl::affine(double slope, double intercept)
+{
+    return ConvexPwl({{slope, intercept}});
+}
+
+ConvexPwl
+ConvexPwl::constant(double value)
+{
+    return affine(0.0, value);
+}
+
+ConvexPwl
+ConvexPwl::max(const ConvexPwl &a, const ConvexPwl &b)
+{
+    std::vector<AffinePiece> pieces = a.pieces_;
+    pieces.insert(pieces.end(), b.pieces_.begin(), b.pieces_.end());
+    return ConvexPwl(std::move(pieces));
+}
+
+ConvexPwl
+ConvexPwl::max(const std::vector<ConvexPwl> &fs)
+{
+    if (fs.empty())
+        throw std::invalid_argument("ConvexPwl::max: empty argument list");
+    std::vector<AffinePiece> pieces;
+    for (const auto &f : fs)
+        pieces.insert(pieces.end(), f.pieces_.begin(), f.pieces_.end());
+    return ConvexPwl(std::move(pieces));
+}
+
+ConvexPwl
+ConvexPwl::sum(const ConvexPwl &a, const ConvexPwl &b)
+{
+    // max_i(p_i) + max_j(q_j) == max_{i,j}(p_i + q_j); pieces that never
+    // attain the maximum are pruned by normalise().
+    std::vector<AffinePiece> pieces;
+    pieces.reserve(a.pieces_.size() * b.pieces_.size());
+    for (const auto &p : a.pieces_) {
+        for (const auto &q : b.pieces_) {
+            pieces.push_back(
+                {p.slope + q.slope, p.intercept + q.intercept});
+        }
+    }
+    return ConvexPwl(std::move(pieces));
+}
+
+ConvexPwl
+ConvexPwl::scaled(double factor) const
+{
+    if (factor < 0.0)
+        throw std::invalid_argument(
+            "ConvexPwl::scaled: negative factors break convexity");
+    std::vector<AffinePiece> pieces = pieces_;
+    for (auto &p : pieces) {
+        p.slope *= factor;
+        p.intercept *= factor;
+    }
+    return ConvexPwl(std::move(pieces));
+}
+
+double
+ConvexPwl::eval(double x) const
+{
+    double best = pieces_.front().eval(x);
+    for (std::size_t i = 1; i < pieces_.size(); ++i)
+        best = std::max(best, pieces_[i].eval(x));
+    return best;
+}
+
+double
+ConvexPwl::slopeAt(double x) const
+{
+    double best = pieces_.front().eval(x);
+    double slope = pieces_.front().slope;
+    for (std::size_t i = 1; i < pieces_.size(); ++i) {
+        double v = pieces_[i].eval(x);
+        // Ties resolve to the smaller slope: the left derivative.
+        if (v > best + 1e-12 * std::max(1.0, std::abs(best))) {
+            best = v;
+            slope = pieces_[i].slope;
+        }
+    }
+    return slope;
+}
+
+std::vector<double>
+ConvexPwl::breakpoints(double lo, double hi) const
+{
+    std::vector<double> out;
+    // Pieces are sorted by slope and all attain the max somewhere, so
+    // consecutive pieces intersect at the kinks.
+    for (std::size_t i = 0; i + 1 < pieces_.size(); ++i) {
+        const auto &a = pieces_[i];
+        const auto &b = pieces_[i + 1];
+        double x = (a.intercept - b.intercept) / (b.slope - a.slope);
+        if (x > lo && x < hi)
+            out.push_back(x);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<AffinePiece>
+ConvexPwl::normalise(std::vector<AffinePiece> pieces)
+{
+    if (pieces.empty())
+        throw std::invalid_argument("ConvexPwl: no pieces");
+
+    std::sort(pieces.begin(), pieces.end(),
+              [](const AffinePiece &a, const AffinePiece &b) {
+                  if (a.slope != b.slope)
+                      return a.slope < b.slope;
+                  return a.intercept < b.intercept;
+              });
+
+    // Among equal slopes, only the largest intercept can attain the max.
+    std::vector<AffinePiece> dedup;
+    for (const auto &p : pieces) {
+        if (!dedup.empty() && dedup.back().slope == p.slope)
+            dedup.back() = p;
+        else
+            dedup.push_back(p);
+    }
+
+    // Upper-envelope pruning (convex hull trick).  With ascending
+    // slopes, piece b between a and c never attains the max iff b is at
+    // or below the a/c crossing.
+    auto useless = [](const AffinePiece &a, const AffinePiece &b,
+                      const AffinePiece &c) {
+        // b.eval(x_ac) <= a.eval(x_ac) rearranged to avoid division.
+        return (b.intercept - a.intercept) * (c.slope - b.slope)
+            <= (c.intercept - b.intercept) * (b.slope - a.slope);
+    };
+
+    std::vector<AffinePiece> hull;
+    for (const auto &p : dedup) {
+        while (hull.size() >= 2
+               && useless(hull[hull.size() - 2], hull.back(), p)) {
+            hull.pop_back();
+        }
+        hull.push_back(p);
+    }
+    return hull;
+}
+
+bool
+isConvexSamples(const std::vector<double> &x, const std::vector<double> &y,
+                double tol)
+{
+    if (x.size() != y.size())
+        throw std::invalid_argument("isConvexSamples: size mismatch");
+    for (std::size_t i = 1; i < x.size(); ++i) {
+        if (x[i] <= x[i - 1])
+            throw std::invalid_argument("isConvexSamples: x not ascending");
+    }
+    for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+        double span = x[i + 1] - x[i - 1];
+        double w = (x[i] - x[i - 1]) / span;
+        double chord = y[i - 1] * (1.0 - w) + y[i + 1] * w;
+        double slack = tol * std::max(1.0, std::abs(chord));
+        if (y[i] > chord + slack)
+            return false;
+    }
+    return true;
+}
+
+} // namespace opdvfs::math

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Exact algebra for convex piecewise-linear (PWL) functions.
+ *
+ * The paper's central analytic result (Sect. 4.2) is that an operator's
+ * cycle count is a convex PWL function of core frequency, built from
+ * sums and maxima of affine terms (Eqs. 5-8).  Every convex PWL
+ * function is the upper envelope of finitely many affine pieces, and
+ * that class is closed under +, max, and non-negative scaling, so we
+ * represent a function as its set of affine pieces and implement those
+ * operations exactly.  The perf module uses this to construct symbolic
+ * Cycle(f) functions, and tests use it to verify the simulator's ground
+ * truth is convex.
+ */
+
+#ifndef OPDVFS_MATH_PIECEWISE_LINEAR_H
+#define OPDVFS_MATH_PIECEWISE_LINEAR_H
+
+#include <vector>
+
+namespace opdvfs::math {
+
+/** One affine piece y = slope * x + intercept. */
+struct AffinePiece
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+
+    double eval(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * A convex piecewise-linear function represented as the upper envelope
+ * (pointwise max) of its affine pieces.  The piece list is kept
+ * normalised: sorted by slope, with dominated pieces removed over the
+ * domain of interest.
+ */
+class ConvexPwl
+{
+  public:
+    /** The zero function. */
+    ConvexPwl() : pieces_{{0.0, 0.0}} {}
+
+    /** A single affine function. */
+    static ConvexPwl affine(double slope, double intercept);
+
+    /** A constant function. */
+    static ConvexPwl constant(double value);
+
+    /** Pointwise maximum. */
+    static ConvexPwl max(const ConvexPwl &a, const ConvexPwl &b);
+
+    /** Pointwise maximum over several functions. */
+    static ConvexPwl max(const std::vector<ConvexPwl> &fs);
+
+    /** Pointwise sum. */
+    static ConvexPwl sum(const ConvexPwl &a, const ConvexPwl &b);
+
+    /** Scale by a non-negative factor (throws for negative factors). */
+    ConvexPwl scaled(double factor) const;
+
+    /** Evaluate at @p x. */
+    double eval(double x) const;
+
+    /** Left derivative at @p x (slope of the active piece). */
+    double slopeAt(double x) const;
+
+    /**
+     * Breakpoints (kinks) of the upper envelope strictly inside
+     * [lo, hi], in increasing order.
+     */
+    std::vector<double> breakpoints(double lo, double hi) const;
+
+    /** Number of affine pieces after normalisation. */
+    std::size_t pieceCount() const { return pieces_.size(); }
+
+    /** The normalised pieces, sorted by increasing slope. */
+    const std::vector<AffinePiece> &pieces() const { return pieces_; }
+
+  private:
+    explicit ConvexPwl(std::vector<AffinePiece> pieces);
+
+    /** Sort by slope and drop pieces that never attain the maximum. */
+    static std::vector<AffinePiece>
+    normalise(std::vector<AffinePiece> pieces);
+
+    std::vector<AffinePiece> pieces_;
+};
+
+/**
+ * Check that sampled data (x ascending) is consistent with a convex
+ * function up to a relative tolerance: every interior point must lie on
+ * or below the chord of its neighbours, within tol * |chord value|.
+ */
+bool isConvexSamples(const std::vector<double> &x,
+                     const std::vector<double> &y, double tol = 1e-9);
+
+} // namespace opdvfs::math
+
+#endif // OPDVFS_MATH_PIECEWISE_LINEAR_H

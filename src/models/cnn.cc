@@ -1,0 +1,291 @@
+#include "models/cnn.h"
+
+#include <vector>
+
+#include "ops/op_factory.h"
+
+namespace opdvfs::models {
+
+namespace {
+
+/** One convolution stage of a CNN. */
+struct ConvSpec
+{
+    int in_ch;
+    int out_ch;
+    int h;
+    int w;
+    int kernel;
+    /** Repeats of this spec (e.g. residual blocks per stage). */
+    int repeat = 1;
+};
+
+/** Shared CNN iteration emitter. */
+class CnnEmitter
+{
+  public:
+    CnnEmitter(const npu::MemorySystem &memory, std::string name, int batch,
+               std::uint64_t seed)
+        : name_(std::move(name)),
+          batch_(batch),
+          rng_(seed),
+          factory_(memory, Rng(seed + 0xa24baed4963ee407ULL))
+    {}
+
+    /** Conv + BN + ReLU (+ residual add for @p residual). */
+    void
+    convBnRelu(const ConvSpec &spec, bool residual)
+    {
+        std::int64_t elems = static_cast<std::int64_t>(batch_)
+            * spec.out_ch * spec.h * spec.w;
+        push(factory_.conv2d(batch_, spec.in_ch, spec.out_ch, spec.h,
+                             spec.w, spec.kernel));
+        // Production CNN kernels fuse most of the BN/ReLU traffic into
+        // the convolution epilogue; only the statistics update and a
+        // trimmed activation pass remain as standalone bandwidth ops.
+        push(factory_.bnTrainingUpdate(elems / 3));
+        push(factory_.relu(elems / 3));
+        if (residual)
+            push(factory_.add(elems));
+        if (rng_.chance(0.15))
+            push(factory_.tinyScalarOp("Shape"));
+    }
+
+    /** Forward pass over all specs, repeating stages. */
+    void
+    forward(const std::vector<ConvSpec> &specs)
+    {
+        for (const auto &spec : specs) {
+            for (int r = 0; r < spec.repeat; ++r)
+                convBnRelu(spec, spec.repeat > 1);
+        }
+    }
+
+    /**
+     * Backward pass: for each conv, a data-grad and a weight-grad
+     * convolution plus the BN/ReLU backward traffic.
+     */
+    void
+    backward(const std::vector<ConvSpec> &specs)
+    {
+        for (auto it = specs.rbegin(); it != specs.rend(); ++it) {
+            for (int r = 0; r < it->repeat; ++r) {
+                std::int64_t elems = static_cast<std::int64_t>(batch_)
+                    * it->out_ch * it->h * it->w;
+                push(factory_.relu(elems));
+                push(factory_.bnTrainingUpdate(elems));
+                push(factory_.conv2d(batch_, it->out_ch, it->in_ch, it->h,
+                                     it->w, it->kernel)); // dgrad
+                push(factory_.conv2d(batch_, it->in_ch, it->out_ch, it->h,
+                                     it->w, it->kernel)); // wgrad
+                if (rng_.chance(0.1))
+                    push(factory_.idle(rng_.uniform(10e-6, 60e-6)));
+            }
+        }
+    }
+
+    /** Classifier head: FC layers as matmuls. */
+    void
+    head(int features, int classes)
+    {
+        push(factory_.reduceMean(
+            static_cast<std::int64_t>(batch_) * features * 49, batch_));
+        push(factory_.matMul(batch_, features, classes));
+        push(factory_.softmax(batch_, classes));
+        push(factory_.aicpu("LossScale", 50e-6));
+    }
+
+    /** Fused-Adam style optimizer over @p param_count parameters. */
+    void
+    optimizer(std::int64_t param_count, int groups)
+    {
+        std::int64_t per = param_count / groups;
+        for (int g = 0; g < groups; ++g) {
+            push(factory_.realDiv(per));
+            push(factory_.add(per));
+            push(factory_.add(per));
+        }
+    }
+
+    /** Bucketed data-parallel gradient all-reduce. */
+    void
+    gradAllReduce(std::int64_t param_count)
+    {
+        double bytes = 2.0 * static_cast<double>(param_count);
+        int buckets = std::max(1, static_cast<int>(bytes / 5.0e7));
+        for (int b = 0; b < buckets; ++b)
+            push(factory_.allReduce(static_cast<std::int64_t>(5.0e7)));
+    }
+
+    void
+    dataLoading()
+    {
+        push(factory_.aicpu("GetNext", 400e-6));
+        push(factory_.idle(rng_.uniform(200e-6, 600e-6)));
+    }
+
+    void push(ops::Op op) { sequence_.push_back(std::move(op)); }
+
+    Workload
+    take()
+    {
+        Workload w;
+        w.name = name_;
+        w.iteration = std::move(sequence_);
+        return w;
+    }
+
+    ops::OpFactory &factory() { return factory_; }
+    Rng &rng() { return rng_; }
+    int batch() const { return batch_; }
+
+  private:
+    std::string name_;
+    int batch_;
+    Rng rng_;
+    ops::OpFactory factory_;
+    ops::OpSequence sequence_;
+};
+
+/** Bottleneck-stage specs for a ResNet with the given block counts. */
+std::vector<ConvSpec>
+resnetSpecs(int b1, int b2, int b3, int b4)
+{
+    std::vector<ConvSpec> specs;
+    specs.push_back({3, 64, 112, 112, 7, 1}); // stem
+    auto stage = [&specs](int in_ch, int mid, int hw, int blocks) {
+        // Each bottleneck: 1x1 reduce, 3x3, 1x1 expand.
+        specs.push_back({in_ch, mid, hw, hw, 1, blocks});
+        specs.push_back({mid, mid, hw, hw, 3, blocks});
+        specs.push_back({mid, 4 * mid, hw, hw, 1, blocks});
+    };
+    stage(256, 64, 56, b1);
+    stage(512, 128, 28, b2);
+    stage(1024, 256, 14, b3);
+    stage(2048, 512, 7, b4);
+    return specs;
+}
+
+Workload
+buildResnet(const npu::MemorySystem &memory, const std::string &name,
+            int b1, int b2, int b3, int b4, std::uint64_t seed)
+{
+    CnnEmitter emitter(memory, name, 256, seed);
+    auto specs = resnetSpecs(b1, b2, b3, b4);
+    std::int64_t params = (name == "ResNet152") ? 60'000'000 : 25'600'000;
+
+    emitter.dataLoading();
+    emitter.forward(specs);
+    emitter.head(2048, 1000);
+    emitter.backward(specs);
+    emitter.gradAllReduce(params);
+    emitter.optimizer(params, 3 * (b1 + b2 + b3 + b4) + 2);
+    return emitter.take();
+}
+
+} // namespace
+
+Workload
+buildResnet50(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    return buildResnet(memory, "ResNet50", 3, 4, 6, 3, seed);
+}
+
+Workload
+buildResnet152(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    return buildResnet(memory, "ResNet152", 3, 8, 36, 3, seed);
+}
+
+Workload
+buildVgg19(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    CnnEmitter emitter(memory, "VGG19", 128, seed);
+    std::vector<ConvSpec> specs = {
+        {3, 64, 224, 224, 3, 1},   {64, 64, 224, 224, 3, 1},
+        {64, 128, 112, 112, 3, 1}, {128, 128, 112, 112, 3, 1},
+        {128, 256, 56, 56, 3, 4},  {256, 512, 28, 28, 3, 4},
+        {512, 512, 14, 14, 3, 4},
+    };
+    emitter.dataLoading();
+    emitter.forward(specs);
+    // FC 4096 head.
+    emitter.push(emitter.factory().matMul(128, 512 * 49, 4096));
+    emitter.push(emitter.factory().matMul(128, 4096, 4096));
+    emitter.head(4096, 1000);
+    emitter.backward(specs);
+    emitter.push(emitter.factory().matMul(4096, 128, 4096));
+    emitter.push(emitter.factory().matMul(128, 4096, 512 * 49));
+    emitter.gradAllReduce(143'000'000);
+    emitter.optimizer(143'000'000, 19);
+    return emitter.take();
+}
+
+Workload
+buildAlexnet(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    CnnEmitter emitter(memory, "AlexNet", 256, seed);
+    std::vector<ConvSpec> specs = {
+        {3, 96, 55, 55, 11, 1},  {96, 256, 27, 27, 5, 1},
+        {256, 384, 13, 13, 3, 1}, {384, 384, 13, 13, 3, 1},
+        {384, 256, 13, 13, 3, 1},
+    };
+    emitter.dataLoading();
+    emitter.forward(specs);
+    emitter.push(emitter.factory().matMul(256, 256 * 36, 4096));
+    emitter.push(emitter.factory().matMul(256, 4096, 4096));
+    emitter.head(4096, 1000);
+    emitter.backward(specs);
+    emitter.gradAllReduce(61'000'000);
+    emitter.optimizer(61'000'000, 8);
+    return emitter.take();
+}
+
+Workload
+buildShufflenetV2Plus(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    CnnEmitter emitter(memory, "ShuffleNetV2Plus", 256, seed);
+    emitter.dataLoading();
+
+    // ShuffleNet blocks are a sea of small kernels: pointwise convs,
+    // depthwise convs (bandwidth-bound), channel shuffles, splits and
+    // concats.  Two passes (forward + backward at double cost) over
+    // ~70 blocks yields the ~4.3k-operator iteration the paper reports.
+    auto emitBlock = [&emitter](int ch, int hw, bool backward) {
+        auto &f = emitter.factory();
+        std::int64_t elems =
+            static_cast<std::int64_t>(emitter.batch()) * ch * hw * hw;
+        int convs = backward ? 2 : 1;
+        for (int c = 0; c < convs; ++c) {
+            emitter.push(f.conv2d(emitter.batch(), ch, ch, hw, hw, 1));
+            emitter.push(f.bnTrainingUpdate(elems));
+            emitter.push(f.relu(elems));
+            // Depthwise conv: negligible flops, pure bandwidth.
+            emitter.push(f.dropout(elems));
+            emitter.push(f.bnTrainingUpdate(elems));
+        }
+        emitter.push(f.transpose(elems)); // channel shuffle
+        emitter.push(f.tinyScalarOp("Split"));
+        emitter.push(f.tinyScalarOp("ConcatD"));
+        if (emitter.rng().chance(0.2))
+            emitter.push(f.tinyScalarOp("StridedSliceD"));
+    };
+
+    struct Stage { int ch; int hw; int blocks; };
+    const std::vector<Stage> stages = {
+        {68, 56, 12}, {168, 28, 48}, {336, 14, 104}, {672, 7, 28},
+    };
+
+    for (bool backward : {false, true}) {
+        for (const auto &stage : stages) {
+            for (int b = 0; b < stage.blocks; ++b)
+                emitBlock(stage.ch, stage.hw, backward);
+        }
+    }
+    emitter.head(1280, 1000);
+    emitter.gradAllReduce(6'500'000);
+    emitter.optimizer(6'500'000, 70);
+    return emitter.take();
+}
+
+} // namespace opdvfs::models

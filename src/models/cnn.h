@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CNN-family workload builders: ResNet-50/152, VGG-19, AlexNet, and
+ * ShuffleNetV2Plus training iterations.
+ *
+ * ResNets and VGG are cube-unit heavy (large convolutions) with
+ * interleaved batch-norm/ReLU memory traffic; ShuffleNetV2Plus is a
+ * sea of thousands of small operators, matching the operator-count and
+ * tiny-op statistics the paper reports for it (4,343 operators,
+ * Sect. 4.3 / 7.2).
+ */
+
+#ifndef OPDVFS_MODELS_CNN_H
+#define OPDVFS_MODELS_CNN_H
+
+#include <cstdint>
+
+#include "models/workload.h"
+#include "npu/memory_system.h"
+
+namespace opdvfs::models {
+
+/** ResNet-50 training iteration (batch 256). */
+Workload buildResnet50(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** ResNet-152 training iteration (batch 256). */
+Workload buildResnet152(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** VGG-19 training iteration (batch 128). */
+Workload buildVgg19(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** AlexNet training iteration (batch 256). */
+Workload buildAlexnet(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** ShuffleNetV2Plus training iteration; thousands of small ops. */
+Workload buildShufflenetV2Plus(const npu::MemorySystem &memory,
+                               std::uint64_t seed);
+
+} // namespace opdvfs::models
+
+#endif // OPDVFS_MODELS_CNN_H

@@ -1,0 +1,92 @@
+#include "models/model_zoo.h"
+
+#include <stdexcept>
+
+#include "models/cnn.h"
+#include "models/transformer.h"
+#include "ops/op_factory.h"
+
+namespace opdvfs::models {
+
+namespace {
+
+/**
+ * A micro-workload of one operator type repeated back-to-back, as used
+ * for the standalone Softmax / Tanh subjects of the power-model study.
+ */
+Workload
+buildOperatorLoop(const npu::MemorySystem &memory, const std::string &name,
+                  std::uint64_t seed)
+{
+    Workload workload;
+    workload.name = name;
+    ops::OpFactory factory(memory, Rng(seed));
+    const int repeats = 400;
+    for (int i = 0; i < repeats; ++i) {
+        if (name == "Softmax-op")
+            workload.iteration.push_back(factory.softmax(16384, 1024));
+        else if (name == "Tanh-op")
+            workload.iteration.push_back(
+                factory.gelu(16 * 1024 * 1024)); // tanh-class vector op
+        else
+            throw std::invalid_argument("unknown operator loop: " + name);
+    }
+    return workload;
+}
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"GPT3",     "BERT",      "ResNet50",        "ResNet152",
+            "Vit_base", "Deit_small", "VGG19",          "AlexNet",
+            "ShuffleNetV2Plus", "Llama2-infer", "Softmax-op", "Tanh-op"};
+}
+
+Workload
+buildWorkload(const std::string &name, const npu::MemorySystem &memory,
+              std::uint64_t seed)
+{
+    if (name == "GPT3")
+        return buildGpt3(memory, seed);
+    if (name == "BERT")
+        return buildBert(memory, seed);
+    if (name == "ResNet50")
+        return buildResnet50(memory, seed);
+    if (name == "ResNet152")
+        return buildResnet152(memory, seed);
+    if (name == "Vit_base")
+        return buildVitBase(memory, seed);
+    if (name == "Deit_small")
+        return buildDeitSmall(memory, seed);
+    if (name == "VGG19")
+        return buildVgg19(memory, seed);
+    if (name == "AlexNet")
+        return buildAlexnet(memory, seed);
+    if (name == "ShuffleNetV2Plus")
+        return buildShufflenetV2Plus(memory, seed);
+    if (name == "Llama2-infer")
+        return buildLlama2Inference(memory, seed);
+    if (name == "Softmax-op" || name == "Tanh-op")
+        return buildOperatorLoop(memory, name, seed);
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<std::string>
+perfStudyModels()
+{
+    // The seven models of Sect. 7.2.
+    return {"ResNet50", "Vit_base", "BERT",  "Deit_small",
+            "AlexNet",  "ShuffleNetV2Plus", "VGG19"};
+}
+
+std::vector<std::string>
+powerStudyModels()
+{
+    // The seven validation subjects of Sect. 7.3.
+    return {"GPT3",  "BERT",       "VGG19",   "ResNet50",
+            "Vit_base", "Softmax-op", "Tanh-op"};
+}
+
+} // namespace opdvfs::models

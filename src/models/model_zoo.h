@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Lookup of all built-in workloads by name, plus the model sets the
+ * paper's experiments use (seven models for the performance-model
+ * study, Sect. 7.2; the power-model subjects, Sect. 7.3).
+ */
+
+#ifndef OPDVFS_MODELS_MODEL_ZOO_H
+#define OPDVFS_MODELS_MODEL_ZOO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/workload.h"
+#include "npu/memory_system.h"
+
+namespace opdvfs::models {
+
+/** All built-in workload names. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Build the named workload.
+ * @throws std::invalid_argument for unknown names.
+ */
+Workload buildWorkload(const std::string &name,
+                       const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** The seven models of the performance-model study (Sect. 7.2). */
+std::vector<std::string> perfStudyModels();
+
+/** The workloads of the power-model study (Sect. 7.3). */
+std::vector<std::string> powerStudyModels();
+
+} // namespace opdvfs::models
+
+#endif // OPDVFS_MODELS_MODEL_ZOO_H

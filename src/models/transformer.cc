@@ -1,0 +1,356 @@
+#include "models/transformer.h"
+
+#include <algorithm>
+
+namespace opdvfs::models {
+
+namespace {
+
+/** Emits the per-layer operator patterns of a transformer iteration. */
+class TransformerEmitter
+{
+  public:
+    TransformerEmitter(const npu::MemorySystem &memory,
+                       const TransformerConfig &config, std::uint64_t seed)
+        : config_(config),
+          rng_(seed),
+          factory_(memory, Rng(seed + 0x9e3779b97f4a7c15ULL))
+    {}
+
+    Workload
+    build()
+    {
+        Workload workload;
+        workload.name = config_.name;
+
+        for (int mb = 0; mb < config_.micro_batches; ++mb) {
+            emitEmbedding();
+            for (int layer = 0; layer < config_.layers; ++layer)
+                emitForwardLayer();
+            emitLossHead();
+            for (int layer = 0; layer < config_.layers; ++layer)
+                emitBackwardLayer();
+            maybeIdle(100e-6, 400e-6, 0.8);
+        }
+        emitOptimizer();
+        if (config_.grad_allreduce)
+            emitGradAllReduce();
+        // Host-side book-keeping between iterations.
+        push(factory_.aicpu("GetNext", 300e-6));
+        push(factory_.idle(rng_.uniform(200e-6, 800e-6)));
+
+        workload.iteration = std::move(sequence_);
+        return workload;
+    }
+
+  private:
+    void push(ops::Op op) { sequence_.push_back(std::move(op)); }
+
+    void
+    maybeIdle(double lo, double hi, double probability)
+    {
+        if (rng_.chance(probability))
+            push(factory_.idle(rng_.uniform(lo, hi)));
+    }
+
+    std::int64_t tokens() const
+    {
+        return static_cast<std::int64_t>(config_.batch) * config_.seq;
+    }
+    std::int64_t actElems() const { return tokens() * config_.hidden; }
+    int headsPerDevice() const
+    {
+        return std::max(1, config_.heads / config_.tensor_parallel);
+    }
+    int headDim() const { return config_.hidden / config_.heads; }
+    std::int64_t attnElems() const
+    {
+        return static_cast<std::int64_t>(config_.batch) * headsPerDevice()
+            * config_.seq * config_.seq;
+    }
+    /** Bytes of one activation tensor (fp16), for TP all-reduce. */
+    std::int64_t
+    activationBytes() const
+    {
+        return 2 * actElems();
+    }
+
+    void
+    emitEmbedding()
+    {
+        // Token + position embedding gather and dropout.
+        push(factory_.transpose(actElems()));
+        push(factory_.add(actElems()));
+        push(factory_.dropout(actElems()));
+        maybeIdle(20e-6, 80e-6, 0.4);
+    }
+
+    void
+    emitForwardLayer()
+    {
+        const int t = static_cast<int>(tokens());
+        const int h = config_.hidden;
+        const int tp = config_.tensor_parallel;
+        const int ffn = h * config_.ffn_mult / tp;
+        const int qkv_out = 3 * h / tp;
+        const int bmm_batch = config_.batch * headsPerDevice();
+
+        push(factory_.layerNorm(tokens(), h));
+        push(factory_.matMul(t, h, qkv_out));
+        push(factory_.add(tokens() * qkv_out)); // bias
+        push(factory_.batchMatMul(bmm_batch, config_.seq, headDim(),
+                                  config_.seq));
+        push(factory_.softmax(
+            static_cast<std::int64_t>(bmm_batch) * config_.seq,
+            config_.seq));
+        push(factory_.dropout(attnElems()));
+        push(factory_.batchMatMul(bmm_batch, config_.seq, config_.seq,
+                                  headDim()));
+        push(factory_.matMul(t, h / tp, h)); // output projection
+        push(factory_.add(actElems()));      // bias
+        if (config_.tp_allreduce)
+            push(factory_.allReduce(activationBytes()));
+        push(factory_.add(actElems())); // residual
+        push(factory_.layerNorm(tokens(), h));
+        push(factory_.matMul(t, h, ffn));
+        push(factory_.add(tokens() * ffn)); // bias
+        push(factory_.gelu(tokens() * ffn));
+        push(factory_.matMul(t, ffn, h));
+        push(factory_.add(actElems())); // bias
+        if (config_.tp_allreduce)
+            push(factory_.allReduce(activationBytes()));
+        push(factory_.dropout(actElems()));
+        push(factory_.add(actElems())); // residual
+        if (rng_.chance(0.3))
+            push(factory_.tinyScalarOp("Shape"));
+        maybeIdle(20e-6, 100e-6, 0.3);
+    }
+
+    void
+    emitLossHead()
+    {
+        push(factory_.layerNorm(tokens(), config_.hidden));
+        push(factory_.matMul(static_cast<int>(tokens()), config_.hidden,
+                             4096 / config_.tensor_parallel));
+        push(factory_.softmax(tokens(), 4096 / config_.tensor_parallel));
+        push(factory_.reduceMean(tokens(), 1));
+        push(factory_.aicpu("LossScale", 60e-6));
+    }
+
+    void
+    emitBackwardLayer()
+    {
+        const int t = static_cast<int>(tokens());
+        const int h = config_.hidden;
+        const int tp = config_.tensor_parallel;
+        const int ffn = h * config_.ffn_mult / tp;
+        const int qkv_out = 3 * h / tp;
+        const int bmm_batch = config_.batch * headsPerDevice();
+
+        // MLP backward: dgrad + wgrad per matmul.
+        push(factory_.add(actElems())); // residual grad accumulate
+        push(factory_.matMul(t, h, ffn));             // dgrad FF2
+        push(factory_.matMul(ffn, t, h));             // wgrad FF2
+        push(factory_.gelu(tokens() * ffn));          // gelu backward
+        push(factory_.matMul(t, ffn, h));             // dgrad FF1
+        push(factory_.matMul(h, t, ffn));             // wgrad FF1
+        if (config_.tp_allreduce)
+            push(factory_.allReduce(activationBytes()));
+        push(factory_.layerNorm(tokens(), h)); // ln backward
+        push(factory_.add(actElems()));
+
+        // Attention backward.
+        push(factory_.matMul(t, h, h / tp));          // dgrad proj
+        push(factory_.matMul(h / tp, t, h));          // wgrad proj
+        push(factory_.batchMatMul(bmm_batch, config_.seq, headDim(),
+                                  config_.seq));
+        push(factory_.batchMatMul(bmm_batch, config_.seq, config_.seq,
+                                  headDim()));
+        push(factory_.dropout(attnElems()));
+        push(factory_.softmax(
+            static_cast<std::int64_t>(bmm_batch) * config_.seq,
+            config_.seq));
+        push(factory_.batchMatMul(bmm_batch, config_.seq, headDim(),
+                                  config_.seq));
+        push(factory_.matMul(t, qkv_out, h));         // dgrad QKV
+        push(factory_.matMul(h, t, qkv_out));         // wgrad QKV
+        if (config_.tp_allreduce)
+            push(factory_.allReduce(activationBytes()));
+        push(factory_.layerNorm(tokens(), h));
+        push(factory_.add(actElems()));
+        if (rng_.chance(0.3))
+            push(factory_.tinyScalarOp("ZerosLike"));
+        maybeIdle(20e-6, 100e-6, 0.3);
+        // Pipeline-parallel bubble: downstream stage not yet ready.
+        if (config_.pipeline_bubbles)
+            maybeIdle(0.8e-3, 3e-3, 0.35);
+    }
+
+    void
+    emitOptimizer()
+    {
+        // Fused Adam over each layer's parameter block.
+        const double h = config_.hidden;
+        const std::int64_t layer_params = static_cast<std::int64_t>(
+            (4.0 * h * h + 2.0 * config_.ffn_mult * h * h)
+            / config_.tensor_parallel);
+        for (int layer = 0; layer < config_.layers; ++layer) {
+            push(factory_.realDiv(layer_params)); // grad unscale
+            push(factory_.add(layer_params));     // moment update
+            push(factory_.add(layer_params));     // weight update
+            if (rng_.chance(0.2))
+                push(factory_.aicpu("AdamHost", 40e-6));
+        }
+    }
+
+    void
+    emitGradAllReduce()
+    {
+        const double h = config_.hidden;
+        double grad_bytes = 2.0
+            * (4.0 * h * h + 2.0 * config_.ffn_mult * h * h)
+            * config_.layers / config_.tensor_parallel;
+        const double bucket = 5.0e7;
+        int buckets = std::max(1, static_cast<int>(grad_bytes / bucket));
+        for (int i = 0; i < buckets; ++i)
+            push(factory_.allReduce(static_cast<std::int64_t>(bucket)));
+    }
+
+    TransformerConfig config_;
+    Rng rng_;
+    ops::OpFactory factory_;
+    ops::OpSequence sequence_;
+};
+
+} // namespace
+
+Workload
+buildTransformerTraining(const npu::MemorySystem &memory,
+                         const TransformerConfig &config, std::uint64_t seed)
+{
+    return TransformerEmitter(memory, config, seed).build();
+}
+
+Workload
+buildGpt3(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    TransformerConfig config;
+    config.name = "GPT3";
+    config.layers = 96;
+    config.hidden = 12288;
+    config.heads = 96;
+    config.seq = 2048;
+    config.batch = 2;
+    config.ffn_mult = 4;
+    config.tensor_parallel = 8;
+    config.micro_batches = 5;
+    config.pipeline_bubbles = true;
+    config.tp_allreduce = true;
+    config.grad_allreduce = false;
+    return buildTransformerTraining(memory, config, seed);
+}
+
+Workload
+buildBert(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    TransformerConfig config;
+    config.name = "BERT";
+    config.layers = 24;
+    config.hidden = 1024;
+    config.heads = 16;
+    config.seq = 512;
+    config.batch = 32;
+    config.micro_batches = 2;
+    config.tp_allreduce = false;
+    config.grad_allreduce = true;
+    return buildTransformerTraining(memory, config, seed);
+}
+
+Workload
+buildVitBase(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    TransformerConfig config;
+    config.name = "Vit_base";
+    config.layers = 12;
+    config.hidden = 768;
+    config.heads = 12;
+    config.seq = 197;
+    config.batch = 64;
+    config.micro_batches = 1;
+    config.grad_allreduce = true;
+    return buildTransformerTraining(memory, config, seed);
+}
+
+Workload
+buildDeitSmall(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    TransformerConfig config;
+    config.name = "Deit_small";
+    config.layers = 12;
+    config.hidden = 384;
+    config.heads = 6;
+    config.seq = 197;
+    config.batch = 64;
+    config.micro_batches = 1;
+    config.grad_allreduce = true;
+    return buildTransformerTraining(memory, config, seed);
+}
+
+Workload
+buildLlama2Inference(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    Workload workload;
+    workload.name = "Llama2-infer";
+    Rng rng(seed);
+    ops::OpFactory factory(memory, Rng(seed + 0x51ed270b7a04e2d7ULL));
+
+    const int layers = 32;
+    const int hidden = 4096;
+    const int batch = 8;
+    const int decode_tokens = 16;
+
+    for (int tok = 0; tok < decode_tokens; ++tok) {
+        for (int layer = 0; layer < layers; ++layer) {
+            // Decode-phase kernels are small and weight-bandwidth
+            // bound; the host dispatches slower than the NPU executes,
+            // so nearly every operator is preceded by an idle gap.
+            auto gap = [&] {
+                workload.iteration.push_back(
+                    factory.idle(rng.uniform(20e-6, 70e-6)));
+            };
+            gap();
+            workload.iteration.push_back(
+                factory.layerNorm(batch, hidden));
+            gap();
+            workload.iteration.push_back(
+                factory.matMul(batch, hidden, 3 * hidden));
+            gap();
+            workload.iteration.push_back(
+                factory.batchMatMul(batch * 32, 1, 128, 512));
+            gap();
+            workload.iteration.push_back(
+                factory.softmax(batch * 32, 512));
+            gap();
+            workload.iteration.push_back(
+                factory.matMul(batch, hidden, hidden));
+            gap();
+            workload.iteration.push_back(
+                factory.matMul(batch, hidden, 11008));
+            gap();
+            workload.iteration.push_back(
+                factory.gelu(static_cast<std::int64_t>(batch) * 11008));
+            gap();
+            workload.iteration.push_back(
+                factory.matMul(batch, 11008, hidden));
+            gap();
+            workload.iteration.push_back(
+                factory.add(static_cast<std::int64_t>(batch) * hidden));
+        }
+        workload.iteration.push_back(factory.aicpu("Sampling", 150e-6));
+        workload.iteration.push_back(
+            factory.idle(rng.uniform(100e-6, 300e-6)));
+    }
+    return workload;
+}
+
+} // namespace opdvfs::models

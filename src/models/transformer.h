@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Transformer-family workload builders: GPT-3 (tensor-parallel slice),
+ * BERT-large, ViT-base, DeiT-small training iterations, and a
+ * host-bound Llama2 decode iteration for the inference study
+ * (Sect. 8.4).
+ *
+ * Sequences are synthetic but structurally faithful: per-layer
+ * attention/MLP matmuls sized from the model dimensions, the
+ * surrounding normalisation/activation/elementwise operators,
+ * tensor/data-parallel collectives, AICPU bookkeeping operators, and
+ * scheduling gaps.
+ */
+
+#ifndef OPDVFS_MODELS_TRANSFORMER_H
+#define OPDVFS_MODELS_TRANSFORMER_H
+
+#include <cstdint>
+
+#include "models/workload.h"
+#include "npu/memory_system.h"
+#include "ops/op_factory.h"
+
+namespace opdvfs::models {
+
+/** Dimensions of one transformer training job on one device. */
+struct TransformerConfig
+{
+    std::string name = "Transformer";
+    int layers = 12;
+    int hidden = 768;
+    int heads = 12;
+    int seq = 512;
+    /** Per-device micro-batch in sequences. */
+    int batch = 1;
+    /** FFN expansion factor. */
+    int ffn_mult = 4;
+    /** Tensor-parallel group size (1 = none). */
+    int tensor_parallel = 1;
+    /** Gradient-accumulation micro-batches per iteration. */
+    int micro_batches = 1;
+    /** Emit per-layer tensor-parallel all-reduces. */
+    bool tp_allreduce = false;
+    /** Emit bucketed data-parallel gradient all-reduce at the end. */
+    bool grad_allreduce = true;
+    /** Emit pipeline-parallel bubble idles after backward layers. */
+    bool pipeline_bubbles = false;
+};
+
+/** Build one training iteration for @p config. */
+Workload buildTransformerTraining(const npu::MemorySystem &memory,
+                                  const TransformerConfig &config,
+                                  std::uint64_t seed);
+
+/** GPT-3 (175B-class) tensor-parallel slice; ~18k ops, ~11 s. */
+Workload buildGpt3(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** BERT-large pretraining iteration. */
+Workload buildBert(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** ViT-base training iteration. */
+Workload buildVitBase(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/** DeiT-small training iteration. */
+Workload buildDeitSmall(const npu::MemorySystem &memory, std::uint64_t seed);
+
+/**
+ * Llama2 decode iteration: small per-token kernels separated by
+ * host-dispatch idle gaps, reproducing the host-bound behaviour that
+ * lets Sect. 8.4 drop the whole-run frequency cheaply.
+ */
+Workload buildLlama2Inference(const npu::MemorySystem &memory,
+                              std::uint64_t seed);
+
+} // namespace opdvfs::models
+
+#endif // OPDVFS_MODELS_TRANSFORMER_H

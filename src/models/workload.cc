@@ -1,0 +1,27 @@
+#include "models/workload.h"
+
+namespace opdvfs::models {
+
+std::size_t
+Workload::countCategory(npu::OpCategory category) const
+{
+    std::size_t count = 0;
+    for (const auto &op : iteration) {
+        if (op.hw.category == category)
+            ++count;
+    }
+    return count;
+}
+
+double
+Workload::insensitiveSeconds() const
+{
+    double total = 0.0;
+    for (const auto &op : iteration) {
+        if (op.hw.category != npu::OpCategory::Compute)
+            total += op.hw.fixed_seconds;
+    }
+    return total;
+}
+
+} // namespace opdvfs::models

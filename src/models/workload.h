@@ -1,0 +1,36 @@
+/**
+ * @file
+ * A workload: one training (or inference) iteration's operator
+ * sequence.  Long-lived AI jobs repeat the same iteration, so a policy
+ * optimised on one iteration applies to all subsequent ones (Sect. 6).
+ */
+
+#ifndef OPDVFS_MODELS_WORKLOAD_H
+#define OPDVFS_MODELS_WORKLOAD_H
+
+#include <cstddef>
+#include <string>
+
+#include "ops/op.h"
+
+namespace opdvfs::models {
+
+/** A named per-iteration operator sequence. */
+struct Workload
+{
+    std::string name;
+    ops::OpSequence iteration;
+
+    /** Number of operators per iteration. */
+    std::size_t opCount() const { return iteration.size(); }
+
+    /** Count of operators in the given category. */
+    std::size_t countCategory(npu::OpCategory category) const;
+
+    /** Sum of fixed durations of non-Compute operators, seconds. */
+    double insensitiveSeconds() const;
+};
+
+} // namespace opdvfs::models
+
+#endif // OPDVFS_MODELS_WORKLOAD_H

@@ -1,0 +1,42 @@
+#include "npu/dvfs_controller.h"
+
+#include <stdexcept>
+
+namespace opdvfs::npu {
+
+DvfsController::DvfsController(sim::Simulator &simulator,
+                               const FreqTable &table, double initial_mhz)
+    : simulator_(simulator), table_(table), current_mhz_(initial_mhz)
+{
+    if (!table.supports(initial_mhz))
+        throw std::invalid_argument(
+            "DvfsController: unsupported initial frequency");
+}
+
+void
+DvfsController::apply(double mhz)
+{
+    if (!table_.supports(mhz))
+        throw std::invalid_argument("DvfsController: unsupported frequency");
+    ++set_freq_count_;
+    if (mhz == current_mhz_)
+        return;
+    double old = current_mhz_;
+    current_mhz_ = mhz;
+    for (const auto &listener : listeners_)
+        listener(old, mhz);
+}
+
+void
+DvfsController::applyAfter(Tick delay, double mhz)
+{
+    simulator_.scheduleIn(delay, [this, mhz] { apply(mhz); });
+}
+
+void
+DvfsController::onChange(Listener listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+} // namespace opdvfs::npu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Core-domain frequency controller.
+ *
+ * Tracks the AICore frequency domain's operating point, snaps requests
+ * to the supported table, applies the firmware's automatic voltage
+ * adaptation (Sect. 5.1), and notifies listeners (the execution engine
+ * re-plans in-flight operators; the energy integrator closes the
+ * current accounting segment).
+ */
+
+#ifndef OPDVFS_NPU_DVFS_CONTROLLER_H
+#define OPDVFS_NPU_DVFS_CONTROLLER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "npu/freq_table.h"
+#include "sim/simulator.h"
+
+namespace opdvfs::npu {
+
+/** Owns the core-domain operating point. */
+class DvfsController
+{
+  public:
+    /** Listener signature: (old_mhz, new_mhz). */
+    using Listener = std::function<void(double, double)>;
+
+    DvfsController(sim::Simulator &simulator, const FreqTable &table,
+                   double initial_mhz);
+
+    /** Current core frequency in MHz. */
+    double currentMhz() const { return current_mhz_; }
+
+    /** Firmware voltage for the current frequency. */
+    double currentVolts() const { return table_.voltageFor(current_mhz_); }
+
+    /**
+     * Change the frequency immediately.  Unsupported values throw.
+     * No-op changes (same frequency) still count as a SetFreq.
+     */
+    void apply(double mhz);
+
+    /** Schedule apply(@p mhz) after @p delay ticks. */
+    void applyAfter(Tick delay, double mhz);
+
+    /** Register a change listener (fires on every actual change). */
+    void onChange(Listener listener);
+
+    /** Number of apply() calls executed (SetFreq count). */
+    std::uint64_t setFreqCount() const { return set_freq_count_; }
+
+    const FreqTable &table() const { return table_; }
+
+  private:
+    sim::Simulator &simulator_;
+    const FreqTable &table_;
+    double current_mhz_;
+    std::uint64_t set_freq_count_ = 0;
+    std::vector<Listener> listeners_;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_DVFS_CONTROLLER_H

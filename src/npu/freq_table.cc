@@ -1,0 +1,64 @@
+#include "npu/freq_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::npu {
+
+FreqTable::FreqTable(const FreqTableConfig &config) : config_(config)
+{
+    if (config.min_mhz <= 0.0 || config.max_mhz < config.min_mhz
+        || config.step_mhz <= 0.0) {
+        throw std::invalid_argument("FreqTable: invalid frequency range");
+    }
+    for (double f = config.min_mhz; f <= config.max_mhz + 1e-9;
+         f += config.step_mhz) {
+        double volts = config.base_volts;
+        if (f > config.knee_mhz)
+            volts += (f - config.knee_mhz) * config.volts_per_mhz;
+        points_.push_back({f, volts});
+    }
+}
+
+std::vector<double>
+FreqTable::frequenciesMhz() const
+{
+    std::vector<double> out;
+    out.reserve(points_.size());
+    for (const auto &p : points_)
+        out.push_back(p.mhz);
+    return out;
+}
+
+bool
+FreqTable::supports(double mhz) const
+{
+    return std::any_of(points_.begin(), points_.end(),
+                       [mhz](const FreqPoint &p) {
+                           return std::abs(p.mhz - mhz) < 1e-6;
+                       });
+}
+
+double
+FreqTable::voltageFor(double mhz) const
+{
+    for (const auto &p : points_) {
+        if (std::abs(p.mhz - mhz) < 1e-6)
+            return p.volts;
+    }
+    throw std::invalid_argument("FreqTable: unsupported frequency");
+}
+
+double
+FreqTable::snap(double mhz) const
+{
+    const FreqPoint *best = &points_.front();
+    for (const auto &p : points_) {
+        if (std::abs(p.mhz - mhz) < std::abs(best->mhz - mhz))
+            best = &p;
+    }
+    return best->mhz;
+}
+
+} // namespace opdvfs::npu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The NPU's supported frequency points and the firmware
+ * voltage-frequency curve (paper Sect. 5.1, Fig. 9).
+ *
+ * The modelled device supports core frequencies from 1000 MHz to
+ * 1800 MHz in 100 MHz steps.  Below a knee frequency the firmware holds
+ * voltage constant; above it, voltage rises linearly with frequency.
+ */
+
+#ifndef OPDVFS_NPU_FREQ_TABLE_H
+#define OPDVFS_NPU_FREQ_TABLE_H
+
+#include <vector>
+
+namespace opdvfs::npu {
+
+/** One supported operating point. */
+struct FreqPoint
+{
+    double mhz = 0.0;
+    double volts = 0.0;
+};
+
+/** Parameters of the firmware V-F curve. */
+struct FreqTableConfig
+{
+    double min_mhz = 1000.0;
+    double max_mhz = 1800.0;
+    double step_mhz = 100.0;
+    /** Below this frequency, voltage is flat (Fig. 9). */
+    double knee_mhz = 1300.0;
+    /** Voltage at and below the knee. */
+    double base_volts = 0.65;
+    /** Voltage slope above the knee, in V per MHz. */
+    double volts_per_mhz = 0.4e-3;
+};
+
+/**
+ * Discrete frequency table with automatic voltage adaptation.
+ * Immutable once constructed.
+ */
+class FreqTable
+{
+  public:
+    explicit FreqTable(const FreqTableConfig &config = {});
+
+    /** All supported operating points, ascending in frequency. */
+    const std::vector<FreqPoint> &points() const { return points_; }
+
+    /** All supported frequencies in MHz, ascending. */
+    std::vector<double> frequenciesMhz() const;
+
+    /** True iff @p mhz is one of the supported points. */
+    bool supports(double mhz) const;
+
+    /**
+     * Firmware-selected voltage for a supported frequency.
+     * @throws std::invalid_argument for unsupported frequencies.
+     */
+    double voltageFor(double mhz) const;
+
+    /** Lowest supported frequency. */
+    double minMhz() const { return points_.front().mhz; }
+
+    /** Highest supported frequency. */
+    double maxMhz() const { return points_.back().mhz; }
+
+    /** Clamp and snap @p mhz to the nearest supported point. */
+    double snap(double mhz) const;
+
+    const FreqTableConfig &config() const { return config_; }
+
+  private:
+    FreqTableConfig config_;
+    std::vector<FreqPoint> points_;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_FREQ_TABLE_H

@@ -1,0 +1,60 @@
+#include "npu/memory_system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace opdvfs::npu {
+
+MemorySystem::MemorySystem(const MemorySystemConfig &config) : config_(config)
+{
+    if (config.core_num == 0 || config.bytes_per_cycle_per_core <= 0.0
+        || config.l2_bandwidth <= 0.0 || config.hbm_bandwidth <= 0.0
+        || config.bandwidth_scale <= 0.0 || config.bandwidth_scale > 1.0) {
+        throw std::invalid_argument("MemorySystem: invalid configuration");
+    }
+}
+
+double
+MemorySystem::uncoreBandwidth(double l2_hit_rate) const
+{
+    double hit = std::clamp(l2_hit_rate, 0.0, 1.0);
+    return config_.bandwidth_scale
+        * (hit * config_.l2_bandwidth
+           + (1.0 - hit) * config_.hbm_bandwidth);
+}
+
+double
+MemorySystem::throughput(double f_mhz, double l2_hit_rate) const
+{
+    double core_side = config_.bytes_per_cycle_per_core * mhzToHz(f_mhz)
+        * static_cast<double>(config_.core_num);
+    return std::min(core_side, uncoreBandwidth(l2_hit_rate));
+}
+
+double
+MemorySystem::saturationMhz(double l2_hit_rate) const
+{
+    double per_cycle = config_.bytes_per_cycle_per_core
+        * static_cast<double>(config_.core_num);
+    return uncoreBandwidth(l2_hit_rate) / per_cycle / 1e6;
+}
+
+LdStCycleCoefficients
+MemorySystem::ldStCoefficients(double volume_bytes, double l2_hit_rate) const
+{
+    if (volume_bytes < 0.0)
+        throw std::invalid_argument("MemorySystem: negative volume");
+    if (volume_bytes == 0.0)
+        return {};
+
+    LdStCycleCoefficients coeff;
+    coeff.slope_per_hz = volume_bytes / uncoreBandwidth(l2_hit_rate);
+    coeff.floor_cycles = volume_bytes
+        / (config_.bytes_per_cycle_per_core
+           * static_cast<double>(config_.core_num));
+    return coeff;
+}
+
+} // namespace opdvfs::npu

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Abstraction of the NPU memory hierarchy (paper Sect. 2.2, Fig. 2)
+ * and the Ld/St bandwidth analysis of Sect. 4.1.
+ *
+ * Load/store traffic crosses the core/uncore boundary: each AICore's L1
+ * sits in the core clock domain, while the shared L2 and HBM sit in the
+ * uncore domain.  Throughput therefore follows
+ *
+ *     Tp(f) = min(C * f * core_num, BW_uncore)            (Eq. 1)
+ *
+ * where C is a bus-width constant and BW_uncore blends L2 and HBM
+ * bandwidth by the L2 hit rate.  For a transfer of M bytes this yields
+ * the core-domain cycle count
+ *
+ *     Cycle(f) = max(M/BW_uncore * f, M/(C*core_num)) + T0 * f  (Eq. 4)
+ *
+ * i.e. an affine-plus-max convex function of f with saturation point
+ * fs = BW_uncore / (C * core_num)                          (Eq. 2).
+ */
+
+#ifndef OPDVFS_NPU_MEMORY_SYSTEM_H
+#define OPDVFS_NPU_MEMORY_SYSTEM_H
+
+#include <cstddef>
+
+namespace opdvfs::npu {
+
+/** Hardware constants of the memory hierarchy. */
+struct MemorySystemConfig
+{
+    /** Number of AICores sharing the uncore. */
+    std::size_t core_num = 32;
+    /** Bytes a core moves across the boundary per core cycle (C). */
+    double bytes_per_cycle_per_core = 32.0;
+    /**
+     * Peak shared L2 bandwidth in bytes/second.  With the default C and
+     * core count the pure-L2 saturation frequency (Eq. 2) is ~1953 MHz,
+     * just above the supported range: L2-resident traffic stays
+     * core-limited at every operating point.
+     */
+    double l2_bandwidth = 2.0e12;
+    /**
+     * Peak HBM bandwidth in bytes/second; pure-HBM saturation is
+     * ~1172 MHz, so HBM-heavy operators go uncore-bound early.
+     */
+    double hbm_bandwidth = 1.2e12;
+    /**
+     * Uncore operating-point scale in (0, 1]: both L2 and HBM
+     * bandwidth scale with the uncore clock.  1.0 is the nominal
+     * point; the Ascend NPU the paper measures cannot change it
+     * (Sect. 3), so this models the Sect. 8.2 future-work scenario of
+     * uncore DVFS becoming available.
+     */
+    double bandwidth_scale = 1.0;
+};
+
+/**
+ * The two coefficients of the convex Ld/St cycle function for one
+ * transfer: Cycle(f) = max(slope_per_hz * f_hz, floor_cycles); the
+ * caller adds the T0*f fixed-overhead term (it is an operator property,
+ * not a memory-system property).
+ */
+struct LdStCycleCoefficients
+{
+    /** a = M / BW_uncore, in seconds (multiplied by f in Hz -> cycles). */
+    double slope_per_hz = 0.0;
+    /** c = M / (C * core_num), in core cycles. */
+    double floor_cycles = 0.0;
+};
+
+/** Static model of the L1/L2/HBM hierarchy. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemorySystemConfig &config = {});
+
+    /**
+     * Effective uncore bandwidth for traffic with the given L2 hit
+     * rate: hit * BW_L2 + (1 - hit) * BW_HBM.
+     */
+    double uncoreBandwidth(double l2_hit_rate) const;
+
+    /** Eq. 1: achievable Ld/St throughput (bytes/s) at @p f_mhz. */
+    double throughput(double f_mhz, double l2_hit_rate) const;
+
+    /** Eq. 2: saturation frequency in MHz for the given hit rate. */
+    double saturationMhz(double l2_hit_rate) const;
+
+    /**
+     * Eq. 4 coefficients for moving @p volume_bytes with the given L2
+     * hit rate.  A zero volume yields zero coefficients.
+     */
+    LdStCycleCoefficients ldStCoefficients(double volume_bytes,
+                                           double l2_hit_rate) const;
+
+    const MemorySystemConfig &config() const { return config_; }
+
+  private:
+    MemorySystemConfig config_;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_MEMORY_SYSTEM_H

@@ -1,0 +1,255 @@
+#include "npu/npu_chip.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opdvfs::npu {
+
+double
+EnergyCounters::aicoreAvgWatts() const
+{
+    double s = ticksToSeconds(elapsed_ticks);
+    return s > 0.0 ? aicore_joules / s : 0.0;
+}
+
+double
+EnergyCounters::socAvgWatts() const
+{
+    double s = ticksToSeconds(elapsed_ticks);
+    return s > 0.0 ? soc_joules / s : 0.0;
+}
+
+/** Mutable execution state of one in-flight operator. */
+struct NpuChip::OpExecution
+{
+    HwOpParams params;
+    AicoreTimeline timeline;
+    std::uint64_t op_id = 0;
+    Tick start_tick = 0;
+    /** Fraction of the operator's work still outstanding, in [0, 1]. */
+    double work_remaining = 1.0;
+    Tick plan_start = 0;
+    Tick plan_duration = 0;
+    /** Bumped on re-plan; stale completion events check it. */
+    std::uint64_t epoch = 0;
+    /** Duration at the top frequency; anchors uncore-activity scaling. */
+    double reference_seconds = 0.0;
+    std::function<void()> done;
+
+    OpExecution(const HwOpParams &p, const MemorySystem &memory,
+                std::uint64_t id, double reference_mhz)
+        : params(p),
+          timeline(p, memory),
+          op_id(id),
+          reference_seconds(timeline.seconds(reference_mhz))
+    {}
+};
+
+namespace {
+
+/** Apply the chip-level uncore operating point to the memory config. */
+MemorySystemConfig
+scaledMemory(const NpuConfig &config)
+{
+    MemorySystemConfig memory = config.memory;
+    memory.bandwidth_scale *= config.uncore_scale;
+    return memory;
+}
+
+} // namespace
+
+NpuChip::NpuChip(sim::Simulator &simulator, const NpuConfig &config)
+    : simulator_(simulator),
+      config_(config),
+      freq_table_(config.freq),
+      memory_(scaledMemory(config)),
+      power_(config.aicore_power, config.uncore_power),
+      thermal_(config.thermal),
+      dvfs_(simulator, freq_table_, config.initial_mhz),
+      compute_stream_(simulator, "compute"),
+      set_freq_stream_(simulator, "setfreq")
+{
+    if (config_.max_energy_segment <= 0)
+        throw std::invalid_argument("NpuChip: invalid energy segment");
+
+    dvfs_.onChange([this](double old_mhz, double new_mhz) {
+        // Close the accounting segment at the *old* operating point,
+        // then re-time whatever is in flight.
+        accrueAtFrequency(old_mhz);
+        replanInFlight(new_mhz);
+    });
+}
+
+void
+NpuChip::enqueueOp(const HwOpParams &params, std::uint64_t op_id)
+{
+    compute_stream_.enqueue(
+        [this, params, op_id](std::function<void()> done) {
+            accrueEnergy();
+            auto exec = std::make_shared<OpExecution>(
+                params, memory_, op_id, freq_table_.maxMhz());
+            exec->start_tick = simulator_.now();
+            exec->done = std::move(done);
+            in_flight_ = exec;
+            if (observer_)
+                observer_->opStarted(op_id, exec->start_tick);
+            planInFlight();
+        });
+}
+
+void
+NpuChip::planInFlight()
+{
+    auto exec = in_flight_;
+    double seconds =
+        exec->work_remaining * exec->timeline.seconds(dvfs_.currentMhz());
+    Tick duration = secondsToTicks(std::max(seconds, 0.0));
+    exec->plan_start = simulator_.now();
+    exec->plan_duration = duration;
+    std::uint64_t epoch = exec->epoch;
+
+    simulator_.scheduleIn(duration, [this, exec, epoch] {
+        if (exec->epoch != epoch)
+            return; // Re-planned after a frequency change.
+        accrueEnergy();
+        energy_at_last_retire_ = energy_;
+        in_flight_.reset();
+        if (observer_) {
+            observer_->opFinished(exec->op_id, exec->start_tick,
+                                  simulator_.now(), dvfs_.currentMhz());
+        }
+        exec->done();
+    });
+}
+
+void
+NpuChip::replanInFlight(double /* new_mhz */)
+{
+    if (!in_flight_)
+        return;
+    auto exec = in_flight_;
+    if (exec->plan_duration > 0) {
+        double elapsed = static_cast<double>(simulator_.now()
+                                             - exec->plan_start);
+        double frac = std::clamp(
+            elapsed / static_cast<double>(exec->plan_duration), 0.0, 1.0);
+        exec->work_remaining *= 1.0 - frac;
+    }
+    ++exec->epoch;
+    planInFlight();
+}
+
+void
+NpuChip::enqueueSetFreq(double mhz)
+{
+    if (!freq_table_.supports(mhz))
+        throw std::invalid_argument("NpuChip: unsupported SetFreq target");
+    set_freq_stream_.enqueue([this, mhz](std::function<void()> done) {
+        simulator_.scheduleIn(config_.set_freq_latency,
+                              [this, mhz, done = std::move(done)] {
+                                  dvfs_.apply(mhz);
+                                  done();
+                              });
+    });
+}
+
+PowerState
+NpuChip::powerState() const
+{
+    PowerState state;
+    state.f_mhz = dvfs_.currentMhz();
+    state.volts = dvfs_.currentVolts();
+    state.uncore_scale = config_.uncore_scale;
+    state.delta_t = thermal_.deltaT();
+    if (in_flight_) {
+        state.alpha_core = in_flight_->params.alpha_core;
+        state.uncore_activity = in_flight_->params.uncore_activity;
+        // Uncore activity tracks the achieved transfer rate: when the
+        // core slows, the operator moves the same bytes over a longer
+        // window, so instantaneous uncore utilisation drops
+        // proportionally.
+        if (in_flight_->params.category == OpCategory::Compute
+            && in_flight_->reference_seconds > 0.0) {
+            double now_seconds =
+                in_flight_->timeline.seconds(state.f_mhz);
+            if (now_seconds > 0.0) {
+                state.uncore_activity *=
+                    in_flight_->reference_seconds / now_seconds;
+                state.uncore_activity =
+                    std::min(state.uncore_activity, 1.0);
+            }
+        }
+    }
+    return state;
+}
+
+double
+NpuChip::instantAicorePower() const
+{
+    return power_.aicorePower(powerState());
+}
+
+double
+NpuChip::instantSocPower() const
+{
+    return power_.socPower(powerState());
+}
+
+double
+NpuChip::temperature() const
+{
+    return thermal_.temperature();
+}
+
+void
+NpuChip::syncAccounting()
+{
+    accrueEnergy();
+}
+
+void
+NpuChip::accrueEnergy()
+{
+    accrueAtFrequency(dvfs_.currentMhz());
+}
+
+void
+NpuChip::accrueAtFrequency(double f_mhz)
+{
+    Tick now = simulator_.now();
+    while (last_accrual_ < now) {
+        Tick seg_end =
+            std::min(now, last_accrual_ + config_.max_energy_segment);
+        double dt = ticksToSeconds(seg_end - last_accrual_);
+
+        PowerState state = powerState();
+        state.f_mhz = f_mhz;
+        state.volts = freq_table_.voltageFor(f_mhz);
+        state.delta_t = thermal_.deltaT();
+
+        double p_core = power_.aicorePower(state);
+        double p_soc = power_.socPower(state);
+        energy_.aicore_joules += p_core * dt;
+        energy_.soc_joules += p_soc * dt;
+        energy_.elapsed_ticks += seg_end - last_accrual_;
+
+        thermal_.advance(dt, p_soc);
+        last_accrual_ = seg_end;
+    }
+}
+
+void
+NpuChip::resetEnergy()
+{
+    syncAccounting();
+    energy_ = EnergyCounters{};
+    energy_at_last_retire_ = EnergyCounters{};
+}
+
+bool
+NpuChip::idle() const
+{
+    return compute_stream_.idle() && set_freq_stream_.idle();
+}
+
+} // namespace opdvfs::npu

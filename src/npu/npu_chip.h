@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The assembled NPU: frequency domain, memory hierarchy, thermal and
+ * power state, DVFS controller, and the operator execution engine.
+ *
+ * Operators run back-to-back on a compute stream; a separate SetFreq
+ * stream carries frequency-adjustment operators (Sect. 7.1).  Energy is
+ * integrated exactly over piecewise-constant power segments, with long
+ * segments chunked so the RC thermal state, and hence the
+ * temperature-dependent leakage, stays current.
+ *
+ * A mid-operator frequency change re-plans the in-flight operator: the
+ * completed work fraction is preserved and the remainder re-timed at
+ * the new frequency.
+ */
+
+#ifndef OPDVFS_NPU_NPU_CHIP_H
+#define OPDVFS_NPU_NPU_CHIP_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "npu/aicore_timeline.h"
+#include "npu/dvfs_controller.h"
+#include "npu/freq_table.h"
+#include "npu/memory_system.h"
+#include "npu/op_params.h"
+#include "npu/power.h"
+#include "npu/thermal.h"
+#include "sim/simulator.h"
+#include "sim/stream.h"
+
+namespace opdvfs::npu {
+
+/** Everything needed to instantiate a chip. */
+struct NpuConfig
+{
+    FreqTableConfig freq;
+    MemorySystemConfig memory;
+    AicorePowerParams aicore_power;
+    UncorePowerParams uncore_power;
+    ThermalConfig thermal;
+    /** Execution latency of one SetFreq operator (paper: 1 ms). */
+    Tick set_freq_latency = kTicksPerMs;
+    /** Initial core frequency. */
+    double initial_mhz = 1800.0;
+    /**
+     * Uncore operating point in (0, 1]; scales L2/HBM bandwidth and
+     * uncore dynamic power (Sect. 8.2 future-work scenario; the real
+     * device is fixed at 1.0).
+     */
+    double uncore_scale = 1.0;
+    /** Max energy-integration chunk, bounding thermal staleness. */
+    Tick max_energy_segment = 2 * kTicksPerMs;
+};
+
+/** Cumulative energy counters. */
+struct EnergyCounters
+{
+    double aicore_joules = 0.0;
+    double soc_joules = 0.0;
+    /** Simulated span the counters cover. */
+    Tick elapsed_ticks = 0;
+
+    double aicoreAvgWatts() const;
+    double socAvgWatts() const;
+};
+
+/** The simulated accelerator. */
+class NpuChip
+{
+  public:
+    /** Observer for operator lifetime; used by the profiler. */
+    struct OpObserver
+    {
+        virtual ~OpObserver() = default;
+        /** Fired when an operator starts executing. */
+        virtual void opStarted(std::uint64_t op_id, Tick start) = 0;
+        /**
+         * Fired on completion.  @p f_mhz_at_end is the core frequency
+         * when the operator retired.
+         */
+        virtual void opFinished(std::uint64_t op_id, Tick start, Tick end,
+                                double f_mhz_at_end) = 0;
+    };
+
+    NpuChip(sim::Simulator &simulator, const NpuConfig &config = {});
+
+    /**
+     * Queue an operator for execution on the compute stream.
+     * @p op_id is an opaque tag handed back to the observer.
+     */
+    void enqueueOp(const HwOpParams &params, std::uint64_t op_id);
+
+    /** Install the (single) op observer; may be null. */
+    void setObserver(OpObserver *observer) { observer_ = observer; }
+
+    /**
+     * Queue a SetFreq operator on the SetFreq stream: occupies the
+     * stream for the configured latency, then switches the core
+     * frequency.  Mirrors the CANN SetFreq operator (Sect. 7.1).
+     */
+    void enqueueSetFreq(double mhz);
+
+    // --- component access -------------------------------------------------
+
+    sim::Simulator &simulator() { return simulator_; }
+    const FreqTable &freqTable() const { return freq_table_; }
+    const MemorySystem &memorySystem() const { return memory_; }
+    DvfsController &dvfs() { return dvfs_; }
+    const DvfsController &dvfs() const { return dvfs_; }
+    sim::Stream &computeStream() { return compute_stream_; }
+    sim::Stream &setFreqStream() { return set_freq_stream_; }
+    const NpuConfig &config() const { return config_; }
+
+    // --- telemetry (ground truth; samplers add noise) ---------------------
+
+    /** Instantaneous AICore power right now. */
+    double instantAicorePower() const;
+    /** Instantaneous SoC power right now. */
+    double instantSocPower() const;
+    /** Die temperature right now. */
+    double temperature() const;
+
+    /**
+     * Bring energy/thermal accounting up to the present.  Telemetry
+     * samplers call this before reading instantaneous values.
+     */
+    void syncAccounting();
+
+    /** Cumulative energy since the last reset. */
+    const EnergyCounters &energy() const { return energy_; }
+
+    /**
+     * Energy snapshot taken when the most recent operator retired.
+     * Lets measurement windows end exactly at the last operator even
+     * if telemetry events extend the simulation afterwards.
+     */
+    const EnergyCounters &energyAtLastRetire() const
+    {
+        return energy_at_last_retire_;
+    }
+
+    /** Zero the energy counters (keeps thermal state). */
+    void resetEnergy();
+
+    /** True when both streams are drained. */
+    bool idle() const;
+
+  private:
+    struct OpExecution;
+
+    /** Current power-relevant state. */
+    PowerState powerState() const;
+
+    /** Integrate energy from the last accrual point to now. */
+    void accrueEnergy();
+
+    /** Integrate up to now while pricing the segment at @p f_mhz. */
+    void accrueAtFrequency(double f_mhz);
+
+    /** (Re-)schedule completion of the in-flight operator. */
+    void planInFlight();
+
+    /** Re-plan the in-flight operator after a frequency change. */
+    void replanInFlight(double new_mhz);
+
+    sim::Simulator &simulator_;
+    NpuConfig config_;
+    FreqTable freq_table_;
+    MemorySystem memory_;
+    PowerCalculator power_;
+    ThermalModel thermal_;
+    DvfsController dvfs_;
+    sim::Stream compute_stream_;
+    sim::Stream set_freq_stream_;
+
+    OpObserver *observer_ = nullptr;
+
+    /** Execution state of the op occupying the compute stream. */
+    std::shared_ptr<OpExecution> in_flight_;
+
+    Tick last_accrual_ = 0;
+    EnergyCounters energy_;
+    EnergyCounters energy_at_last_retire_;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_NPU_CHIP_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hardware-level description of one operator execution on the NPU.
+ *
+ * These are the *ground-truth* parameters the simulator executes from.
+ * The performance/power models never see them directly; they only see
+ * noisy profiled timings and telemetry, exactly as on real hardware.
+ */
+
+#ifndef OPDVFS_NPU_OP_PARAMS_H
+#define OPDVFS_NPU_OP_PARAMS_H
+
+namespace opdvfs::npu {
+
+/**
+ * The four timeline scenarios of paper Sect. 4.2, classified by
+ * PingPong (double buffering) involvement and by whether the store of
+ * iteration i depends on the load of iteration i (serialising Ld/St).
+ */
+enum class Scenario
+{
+    /** Sect. 4.2.1 / Eq. 5: no double buffering, Ld and St overlap. */
+    PingPongFreeIndependent,
+    /** Sect. 4.2.2 / Eq. 6: no double buffering, Ld -> core -> St. */
+    PingPongFreeDependent,
+    /** Sect. 4.2.3 / Eq. 7: double buffering, Ld and St overlap. */
+    PingPongIndependent,
+    /** Sect. 4.2.4 / Eq. 8: double buffering, Ld -> core -> St. */
+    PingPongDependent,
+};
+
+/** Core-domain pipelines of the AICore (Sect. 6.1). */
+enum class CorePipe
+{
+    /** Matrix (cube) unit. */
+    Cube,
+    /** Vector unit. */
+    Vector,
+    /** Scalar unit. */
+    Scalar,
+    /** Intra-AICore memory-transfer engine. */
+    Mte1,
+};
+
+/** Coarse operator category (Table 1). */
+enum class OpCategory
+{
+    /** Runs on the AICore; sensitive to core frequency by bottleneck. */
+    Compute,
+    /** Runs on the host-side AICPU; core-frequency insensitive. */
+    Aicpu,
+    /** Collective communication; core-frequency insensitive. */
+    Communication,
+    /** Scheduling gap (no work dispatched). */
+    Idle,
+};
+
+/** Ground-truth execution parameters for one operator. */
+struct HwOpParams
+{
+    OpCategory category = OpCategory::Compute;
+    Scenario scenario = Scenario::PingPongIndependent;
+    CorePipe core_pipe = CorePipe::Vector;
+
+    /** Number of core computations, n in Eqs. 5-8 (>= 1). */
+    int n = 1;
+    /** Core cycles per computation, Cycle(core); frequency-invariant. */
+    double core_cycles = 0.0;
+
+    /** Bytes moved in per computation (one Ld). */
+    double ld_volume_bytes = 0.0;
+    /** L2 hit rate of the Ld traffic. */
+    double ld_l2_hit = 0.5;
+    /** Bytes moved out per computation (one St). */
+    double st_volume_bytes = 0.0;
+    /** L2 hit rate of the St traffic. */
+    double st_l2_hit = 0.5;
+
+    /** Fixed per-access memory overhead T0 in seconds (Eq. 3). */
+    double t0_seconds = 0.0;
+
+    /**
+     * Frequency-independent dispatch/pre/post-processing time in
+     * seconds, not attributable to any pipeline.  Dominates the tiny
+     * operators the paper classifies as no-pipeline bound (Sect. 6.1).
+     */
+    double overhead_seconds = 0.0;
+
+    /** Wall duration for non-Compute categories, in seconds. */
+    double fixed_seconds = 0.0;
+
+    /**
+     * Payload of a Communication operator in bytes.  Single-device
+     * simulation charges fixed_seconds; the cluster module instead
+     * routes the operator through a collective rendezvous sized by
+     * this payload.
+     */
+    double comm_bytes = 0.0;
+
+    /**
+     * AICore activity factor alpha (Eq. 11 load-dependent term);
+     * watts per (Hz * V^2).  Zero while the AICore is idle.
+     */
+    double alpha_core = 0.0;
+    /** Uncore activity in [0, 1], scaling uncore dynamic power. */
+    double uncore_activity = 0.0;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_OP_PARAMS_H

@@ -1,0 +1,47 @@
+#include "npu/power.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace opdvfs::npu {
+
+double
+PowerCalculator::aicoreIdlePower(double f_mhz, double volts) const
+{
+    double fv2 = mhzToHz(f_mhz) * volts * volts;
+    return aicore_.beta * fv2 + aicore_.theta * volts;
+}
+
+double
+PowerCalculator::aicorePower(const PowerState &state) const
+{
+    double fv2 = mhzToHz(state.f_mhz) * state.volts * state.volts;
+    return state.alpha_core * fv2 + aicore_.beta * fv2
+        + aicore_.gamma * state.delta_t * state.volts
+        + aicore_.theta * state.volts;
+}
+
+double
+PowerCalculator::uncorePower(const PowerState &state) const
+{
+    double activity = std::clamp(state.uncore_activity, 0.0, 1.0);
+    // Uncore DVFS (Sect. 8.2 future work): dynamic power scales with
+    // the uncore clock and its DVS voltage; static leakage does not.
+    double s = std::clamp(state.uncore_scale, 0.0, 1.0);
+    double volts_scale = 0.7 + 0.3 * s;
+    double dynamic_scale = s * volts_scale * volts_scale;
+    double idle_dynamic = uncore_.idle_watts * uncore_.dynamic_fraction;
+    double idle_static = uncore_.idle_watts - idle_dynamic;
+    return idle_static
+        + (idle_dynamic + activity * uncore_.active_watts) * dynamic_scale
+        + uncore_.gamma * state.delta_t;
+}
+
+double
+PowerCalculator::socPower(const PowerState &state) const
+{
+    return aicorePower(state) + uncorePower(state);
+}
+
+} // namespace opdvfs::npu

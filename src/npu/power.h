@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ground-truth power computation (paper Sect. 5.2, Eq. 11):
+ *
+ *     P_AICore = alpha f V^2 + beta f V^2 + gamma_core dT V + theta V
+ *     P_uncore = idle + activity * active + gamma_uncore dT
+ *     P_SoC    = P_AICore + P_uncore
+ *
+ * alpha is the per-operator activity factor (load-dependent dynamic
+ * power), beta the load-independent dynamic coefficient, theta the
+ * temperature-independent static coefficient, and the gamma terms the
+ * linear subthreshold-leakage dependence on temperature.  The uncore
+ * runs in its own fixed voltage/frequency domain (the Ascend NPU does
+ * not expose uncore DVFS, Sect. 3), so its voltage factor is absorbed
+ * into the coefficients.
+ */
+
+#ifndef OPDVFS_NPU_POWER_H
+#define OPDVFS_NPU_POWER_H
+
+namespace opdvfs::npu {
+
+/** Ground-truth AICore power coefficients. */
+struct AicorePowerParams
+{
+    /** Load-independent dynamic coefficient beta, W / (Hz V^2). */
+    double beta = 5.0e-9;
+    /** Static coefficient theta, W / V. */
+    double theta = 10.0;
+    /** Leakage temperature slope gamma, W / (K V). */
+    double gamma = 0.2;
+};
+
+/** Ground-truth uncore power coefficients (fixed clock domain). */
+struct UncorePowerParams
+{
+    /** Load-independent uncore power, W. */
+    double idle_watts = 120.0;
+    /** Additional power at uncore activity 1.0, W. */
+    double active_watts = 60.0;
+    /** Leakage temperature slope, W / K (voltage absorbed). */
+    double gamma = 1.3;
+    /**
+     * Fraction of idle_watts that is clocked (dynamic) power and hence
+     * scales with the uncore operating point; the rest is static.
+     */
+    double dynamic_fraction = 0.55;
+};
+
+/** Instantaneous operating state used for a power evaluation. */
+struct PowerState
+{
+    double f_mhz = 1800.0;
+    double volts = 0.825;
+    /** Per-operator AICore activity factor; 0 when idle. */
+    double alpha_core = 0.0;
+    /** Uncore activity in [0, 1]. */
+    double uncore_activity = 0.0;
+    /** Uncore operating-point scale in (0, 1] (Sect. 8.2 scenario). */
+    double uncore_scale = 1.0;
+    /** Die temperature rise over ambient, K. */
+    double delta_t = 0.0;
+};
+
+/** Stateless evaluator of the ground-truth power equations. */
+class PowerCalculator
+{
+  public:
+    PowerCalculator(const AicorePowerParams &aicore,
+                    const UncorePowerParams &uncore)
+        : aicore_(aicore), uncore_(uncore)
+    {}
+
+    PowerCalculator() : PowerCalculator(AicorePowerParams{},
+                                        UncorePowerParams{}) {}
+
+    /** AICore power under @p state (Eq. 11). */
+    double aicorePower(const PowerState &state) const;
+
+    /** AICore load-independent power at (f, V, dT=0) (Eq. 12). */
+    double aicoreIdlePower(double f_mhz, double volts) const;
+
+    /** Uncore power under @p state. */
+    double uncorePower(const PowerState &state) const;
+
+    /** SoC power = AICore + uncore. */
+    double socPower(const PowerState &state) const;
+
+    const AicorePowerParams &aicoreParams() const { return aicore_; }
+    const UncorePowerParams &uncoreParams() const { return uncore_; }
+
+  private:
+    AicorePowerParams aicore_;
+    UncorePowerParams uncore_;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_POWER_H

@@ -1,0 +1,42 @@
+#include "npu/thermal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::npu {
+
+ThermalModel::ThermalModel(const ThermalConfig &config)
+    : config_(config), temperature_(config.ambient_celsius)
+{
+    if (config.k_per_watt < 0.0 || config.time_constant_s <= 0.0)
+        throw std::invalid_argument("ThermalModel: invalid configuration");
+}
+
+double
+ThermalModel::equilibrium(double p_soc_watts) const
+{
+    return config_.ambient_celsius + config_.k_per_watt * p_soc_watts;
+}
+
+void
+ThermalModel::advance(double dt_s, double p_soc_watts)
+{
+    if (dt_s < 0.0)
+        throw std::invalid_argument("ThermalModel: negative time step");
+    double blend = 1.0 - std::exp(-dt_s / config_.time_constant_s);
+    temperature_ += (equilibrium(p_soc_watts) - temperature_) * blend;
+}
+
+double
+ThermalModel::deltaT() const
+{
+    return temperature_ - config_.ambient_celsius;
+}
+
+void
+ThermalModel::reset()
+{
+    temperature_ = config_.ambient_celsius;
+}
+
+} // namespace opdvfs::npu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * First-order RC thermal model of the SoC package.
+ *
+ * At equilibrium the model reproduces the linear temperature/SoC-power
+ * relation the paper measures (Fig. 10, Eq. 15): T = T0 + k * Psoc.
+ * Away from equilibrium the temperature relaxes exponentially with a
+ * package time constant, which is what makes the cool-down trace used
+ * for gamma calibration (Sect. 5.4.2) and the thermal-transient model
+ * error realistic.
+ */
+
+#ifndef OPDVFS_NPU_THERMAL_H
+#define OPDVFS_NPU_THERMAL_H
+
+namespace opdvfs::npu {
+
+/** Thermal constants of the package. */
+struct ThermalConfig
+{
+    /** Ambient temperature T0 in Celsius. */
+    double ambient_celsius = 25.0;
+    /** Equilibrium slope k in K/W (Eq. 15). */
+    double k_per_watt = 0.15;
+    /** Package RC time constant in seconds. */
+    double time_constant_s = 8.0;
+};
+
+/** Mutable thermal state advanced by the simulator. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalConfig &config = {});
+
+    /** Equilibrium temperature under constant @p p_soc_watts (Eq. 15). */
+    double equilibrium(double p_soc_watts) const;
+
+    /**
+     * Advance the state by @p dt_s seconds under constant power
+     * @p p_soc_watts, with the exact first-order update
+     * T += (Teq - T) * (1 - exp(-dt / tau)).
+     */
+    void advance(double dt_s, double p_soc_watts);
+
+    /** Current die temperature in Celsius. */
+    double temperature() const { return temperature_; }
+
+    /** Temperature rise over ambient, dT. */
+    double deltaT() const;
+
+    /** Reset to ambient. */
+    void reset();
+
+    const ThermalConfig &config() const { return config_; }
+
+  private:
+    ThermalConfig config_;
+    double temperature_;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_THERMAL_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * An operator instance as it appears in a workload's execution
+ * sequence: a type name, a unique id, and the hardware-level
+ * ground-truth parameters the simulator executes.
+ */
+
+#ifndef OPDVFS_OPS_OP_H
+#define OPDVFS_OPS_OP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "npu/op_params.h"
+
+namespace opdvfs::ops {
+
+/** One operator invocation. */
+struct Op
+{
+    /** Unique within one workload sequence. */
+    std::uint64_t id = 0;
+    /** Operator type name, e.g. "MatMul", "Gelu", "AllReduce". */
+    std::string type;
+    /** Ground-truth execution parameters. */
+    npu::HwOpParams hw;
+};
+
+/** A whole iteration's operator sequence. */
+using OpSequence = std::vector<Op>;
+
+} // namespace opdvfs::ops
+
+#endif // OPDVFS_OPS_OP_H

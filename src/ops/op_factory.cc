@@ -1,0 +1,307 @@
+#include "ops/op_factory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "npu/aicore_timeline.h"
+
+namespace opdvfs::ops {
+
+using npu::CorePipe;
+using npu::HwOpParams;
+using npu::OpCategory;
+using npu::Scenario;
+
+namespace {
+
+/** Bytes of one fp16 element. */
+constexpr double kFp16 = 2.0;
+/** Bytes of one fp32 element. */
+constexpr double kFp32 = 4.0;
+
+} // namespace
+
+OpFactory::OpFactory(const npu::MemorySystem &memory, Rng rng,
+                     const ChipThroughput &throughput)
+    : memory_(memory), rng_(rng), throughput_(throughput)
+{
+}
+
+double
+OpFactory::uncoreActivity(const HwOpParams &params) const
+{
+    if (params.category != OpCategory::Compute)
+        return params.uncore_activity;
+
+    npu::AicoreTimeline timeline(params, memory_);
+    double seconds = timeline.seconds(1800.0);
+    if (seconds <= 0.0)
+        return 0.0;
+    double bytes = static_cast<double>(params.n)
+        * (params.ld_volume_bytes + params.st_volume_bytes);
+    double hit = (params.ld_l2_hit + params.st_l2_hit) / 2.0;
+    double demand = bytes / seconds;
+    // Prefetchers, write-backs and refresh keep the uncore partially
+    // busy even under compute-bound operators: a floor plus a scaled
+    // demand ratio.
+    return std::clamp(0.12 + 1.2 * demand / memory_.uncoreBandwidth(hit),
+                      0.0, 1.0);
+}
+
+Op
+OpFactory::makeCompute(const std::string &type, CorePipe pipe,
+                       Scenario scenario, double core_cycles_total,
+                       double ld_bytes_total, double st_bytes_total,
+                       double l2_hit, double alpha_nominal)
+{
+    HwOpParams hw;
+    hw.category = OpCategory::Compute;
+    hw.scenario = scenario;
+    hw.core_pipe = pipe;
+
+    // Tile so each core computation is ~20k cycles or ~2 MB of
+    // move-in traffic, whichever yields more tiles.
+    double tiles_by_core = core_cycles_total / 20'000.0;
+    double tiles_by_mem = ld_bytes_total / 2.0e6;
+    int n = static_cast<int>(
+        std::ceil(std::max({tiles_by_core, tiles_by_mem, 1.0})));
+    hw.n = std::clamp(n, 1, 64);
+
+    double dn = static_cast<double>(hw.n);
+    hw.core_cycles = core_cycles_total / dn;
+    hw.ld_volume_bytes = ld_bytes_total / dn;
+    hw.st_volume_bytes = st_bytes_total / dn;
+    hw.ld_l2_hit = std::clamp(l2_hit + rng_.gaussian(0.0, 0.04), 0.0, 0.98);
+    hw.st_l2_hit =
+        std::clamp(l2_hit - 0.1 + rng_.gaussian(0.0, 0.04), 0.0, 0.98);
+    hw.t0_seconds = rng_.uniform(2e-7, 6e-7);
+    hw.overhead_seconds = rng_.uniform(1e-6, 4e-6);
+
+    // The activity factor scales with how busy the core pipes are:
+    // stalled (memory-bound) operators burn less dynamic power, though
+    // the MTE/cache machinery keeps a substantial floor.
+    npu::AicoreTimeline timeline(hw, memory_);
+    npu::PipelineRatios ratios = timeline.ratios(1800.0);
+    double core_busy =
+        std::max({ratios.cube, ratios.vector, ratios.scalar, ratios.mte1});
+    hw.alpha_core = alpha_nominal * (0.55 + 0.45 * core_busy)
+        * rng_.noiseFactor(0.08);
+    hw.uncore_activity = uncoreActivity(hw);
+
+    return Op{next_id_++, type, hw};
+}
+
+Op
+OpFactory::matMul(int m, int k, int n)
+{
+    if (m <= 0 || k <= 0 || n <= 0)
+        throw std::invalid_argument("matMul: non-positive dimension");
+    double flops = 2.0 * m * k * n;
+    double core_cycles = flops / throughput_.cube_flops_per_cycle;
+    // Tiling re-reads operands; ~2x captures typical reuse loss for
+    // large GEMMs streaming from HBM.
+    double reread = rng_.uniform(1.8, 2.4);
+    double ld = reread * kFp16 * (static_cast<double>(m) * k
+                                  + static_cast<double>(k) * n);
+    double st = kFp16 * static_cast<double>(m) * n;
+    Scenario scenario = rng_.chance(0.3) ? Scenario::PingPongDependent
+                                         : Scenario::PingPongIndependent;
+    return makeCompute("MatMul", CorePipe::Cube, scenario, core_cycles, ld,
+                       st, 0.4, 3.2e-8);
+}
+
+Op
+OpFactory::batchMatMul(int batch, int m, int k, int n)
+{
+    double flops = 2.0 * batch * static_cast<double>(m) * k * n;
+    double core_cycles = flops / throughput_.cube_flops_per_cycle;
+    double ld = 1.8 * kFp16 * batch
+        * (static_cast<double>(m) * k + static_cast<double>(k) * n);
+    double st = kFp16 * batch * static_cast<double>(m) * n;
+    return makeCompute("BatchMatMul", CorePipe::Cube,
+                       Scenario::PingPongIndependent, core_cycles, ld, st,
+                       0.4, 3.1e-8);
+}
+
+Op
+OpFactory::conv2d(int batch, int in_ch, int out_ch, int h, int w, int kernel)
+{
+    double pixels = static_cast<double>(batch) * h * w;
+    double flops =
+        2.0 * pixels * in_ch * out_ch * kernel * kernel;
+    double core_cycles = flops / throughput_.cube_flops_per_cycle;
+    double ld = kFp16 * (pixels * in_ch * 2.2 // im2col expansion
+                         + static_cast<double>(out_ch) * in_ch * kernel
+                             * kernel);
+    double st = kFp16 * pixels * out_ch;
+    Scenario scenario = rng_.chance(0.5) ? Scenario::PingPongDependent
+                                         : Scenario::PingPongIndependent;
+    return makeCompute("Conv2D", CorePipe::Cube, scenario, core_cycles, ld,
+                       st, 0.7, 3.3e-8);
+}
+
+Op
+OpFactory::add(std::int64_t elems)
+{
+    double e = static_cast<double>(elems);
+    double core_cycles = e / throughput_.vector_elems_per_cycle;
+    return makeCompute("Add", CorePipe::Vector,
+                       Scenario::PingPongIndependent, core_cycles,
+                       2.0 * kFp32 * e, kFp32 * e, 0.15, 2.1e-8);
+}
+
+Op
+OpFactory::relu(std::int64_t elems)
+{
+    double e = static_cast<double>(elems);
+    double core_cycles = e / throughput_.vector_elems_per_cycle;
+    return makeCompute("Relu", CorePipe::Vector,
+                       Scenario::PingPongIndependent, core_cycles,
+                       kFp32 * e, kFp32 * e, 0.2, 2.3e-8);
+}
+
+Op
+OpFactory::realDiv(std::int64_t elems)
+{
+    double e = static_cast<double>(elems);
+    double core_cycles = 2.0 * e / throughput_.vector_elems_per_cycle;
+    return makeCompute("RealDiv", CorePipe::Vector,
+                       Scenario::PingPongIndependent, core_cycles,
+                       2.0 * kFp32 * e, kFp32 * e, 0.15, 2.5e-8);
+}
+
+Op
+OpFactory::gelu(std::int64_t elems)
+{
+    double e = static_cast<double>(elems);
+    double core_cycles = 8.0 * e / throughput_.vector_elems_per_cycle;
+    return makeCompute("Gelu", CorePipe::Vector,
+                       Scenario::PingPongIndependent, core_cycles,
+                       kFp32 * e, kFp32 * e, 0.2, 2.5e-8);
+}
+
+Op
+OpFactory::layerNorm(std::int64_t rows, std::int64_t cols)
+{
+    double e = static_cast<double>(rows) * static_cast<double>(cols);
+    double core_cycles = 6.0 * e / throughput_.vector_elems_per_cycle;
+    // Two passes over the data; the second mostly hits in L2.
+    return makeCompute("LayerNorm", CorePipe::Vector,
+                       Scenario::PingPongFreeIndependent, core_cycles,
+                       2.0 * kFp32 * e, kFp32 * e, 0.5, 2.3e-8);
+}
+
+Op
+OpFactory::softmax(std::int64_t rows, std::int64_t cols)
+{
+    double e = static_cast<double>(rows) * static_cast<double>(cols);
+    double core_cycles = 10.0 * e / throughput_.vector_elems_per_cycle;
+    return makeCompute("SoftMax", CorePipe::Vector,
+                       Scenario::PingPongFreeDependent, core_cycles,
+                       2.0 * kFp32 * e, kFp32 * e, 0.6, 2.5e-8);
+}
+
+Op
+OpFactory::bnTrainingUpdate(std::int64_t elems)
+{
+    double e = static_cast<double>(elems);
+    double core_cycles = 8.0 * e / throughput_.vector_elems_per_cycle;
+    return makeCompute("BNTrainingUpdate", CorePipe::Vector,
+                       Scenario::PingPongFreeIndependent, core_cycles,
+                       2.0 * kFp32 * e, kFp32 * e, 0.4, 2.3e-8);
+}
+
+Op
+OpFactory::reduceMean(std::int64_t elems, std::int64_t outputs)
+{
+    double e = static_cast<double>(elems);
+    double core_cycles = e / throughput_.vector_elems_per_cycle;
+    return makeCompute("ReduceMean", CorePipe::Vector,
+                       Scenario::PingPongIndependent, core_cycles,
+                       kFp32 * e, kFp32 * static_cast<double>(outputs), 0.3,
+                       2.3e-8);
+}
+
+Op
+OpFactory::dropout(std::int64_t elems)
+{
+    double e = static_cast<double>(elems);
+    double core_cycles = 2.0 * e / throughput_.vector_elems_per_cycle;
+    return makeCompute("Dropout", CorePipe::Vector,
+                       Scenario::PingPongIndependent, core_cycles,
+                       kFp32 * e + e /* mask bytes */, kFp32 * e, 0.15,
+                       2.1e-8);
+}
+
+Op
+OpFactory::transpose(std::int64_t elems)
+{
+    double e = static_cast<double>(elems);
+    // Layout shuffles run on the intra-core transfer engine.
+    double core_cycles = kFp32 * e / 2048.0;
+    return makeCompute("Transpose", CorePipe::Mte1,
+                       Scenario::PingPongIndependent, core_cycles,
+                       kFp32 * e, kFp32 * e, 0.5, 1.5e-8);
+}
+
+Op
+OpFactory::tinyScalarOp(const std::string &type_name)
+{
+    HwOpParams hw;
+    hw.category = OpCategory::Compute;
+    hw.scenario = Scenario::PingPongFreeIndependent;
+    hw.core_pipe = CorePipe::Scalar;
+    hw.n = 1;
+    hw.core_cycles = rng_.uniform(2'000.0, 8'000.0);
+    hw.ld_volume_bytes = rng_.uniform(8.0e3, 64.0e3);
+    hw.st_volume_bytes = hw.ld_volume_bytes / 2.0;
+    hw.ld_l2_hit = 0.9;
+    hw.st_l2_hit = 0.9;
+    hw.t0_seconds = rng_.uniform(5e-7, 1.5e-6);
+    // Dispatch overhead dominates: no-pipeline bound.
+    hw.overhead_seconds = rng_.uniform(5e-6, 15e-6);
+    hw.alpha_core = 0.4e-8 * rng_.noiseFactor(0.1);
+    hw.uncore_activity = 0.02;
+    return Op{next_id_++, type_name, hw};
+}
+
+Op
+OpFactory::allReduce(std::int64_t bytes)
+{
+    HwOpParams hw;
+    hw.category = OpCategory::Communication;
+    hw.comm_bytes = static_cast<double>(bytes);
+    hw.fixed_seconds = 2.0 * static_cast<double>(bytes)
+            / throughput_.link_bandwidth
+        + rng_.uniform(30e-6, 80e-6);
+    hw.alpha_core = 0.0;
+    hw.uncore_activity = 0.25;
+    return Op{next_id_++, "AllReduce", hw};
+}
+
+Op
+OpFactory::aicpu(const std::string &type_name, double seconds)
+{
+    if (seconds <= 0.0)
+        throw std::invalid_argument("aicpu: non-positive duration");
+    HwOpParams hw;
+    hw.category = OpCategory::Aicpu;
+    hw.fixed_seconds = seconds * rng_.noiseFactor(0.1);
+    hw.uncore_activity = 0.05;
+    return Op{next_id_++, type_name, hw};
+}
+
+Op
+OpFactory::idle(double seconds)
+{
+    if (seconds < 0.0)
+        throw std::invalid_argument("idle: negative duration");
+    HwOpParams hw;
+    hw.category = OpCategory::Idle;
+    hw.fixed_seconds = seconds;
+    hw.uncore_activity = 0.0;
+    return Op{next_id_++, "Idle", hw};
+}
+
+} // namespace opdvfs::ops

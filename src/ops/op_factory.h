@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Factory for operator instances with realistic ground-truth hardware
+ * parameters.
+ *
+ * Shapes map to core-cycle counts and Ld/St volumes through nominal
+ * chip throughput constants (cube MACs/cycle, vector lanes/cycle); the
+ * factory adds controlled per-instance variation so that two operators
+ * of the same type but different shapes exhibit different activity
+ * factors and bottlenecks, as the paper observes (Sect. 5.4.1).
+ */
+
+#ifndef OPDVFS_OPS_OP_FACTORY_H
+#define OPDVFS_OPS_OP_FACTORY_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "npu/memory_system.h"
+#include "ops/op.h"
+
+namespace opdvfs::ops {
+
+/** Nominal chip throughput constants used to derive cycle counts. */
+struct ChipThroughput
+{
+    /** FP16 multiply-accumulate flops per cycle, whole chip (cube). */
+    double cube_flops_per_cycle = 786432.0;
+    /** FP32 element operations per cycle, whole chip (vector). */
+    double vector_elems_per_cycle = 8192.0;
+    /** Intra-node collective bandwidth (HCCS-class links), bytes/s. */
+    double link_bandwidth = 2.0e11;
+};
+
+/** Builds Op instances with ground-truth parameters. */
+class OpFactory
+{
+  public:
+    OpFactory(const npu::MemorySystem &memory, Rng rng,
+              const ChipThroughput &throughput = {});
+
+    // --- cube (matrix) operators -------------------------------------
+
+    /** Dense matrix multiply (m x k) * (k x n), fp16. */
+    Op matMul(int m, int k, int n);
+
+    /** Batched matmul, as in attention score computation. */
+    Op batchMatMul(int batch, int m, int k, int n);
+
+    /** 2-D convolution; lowered to implicit GEMM on the cube unit. */
+    Op conv2d(int batch, int in_ch, int out_ch, int h, int w, int kernel);
+
+    // --- vector / memory operators -----------------------------------
+
+    /** Elementwise add over @p elems fp32 elements (2 in, 1 out). */
+    Op add(std::int64_t elems);
+
+    /** ReLU activation (1 in, 1 out, trivial math; bandwidth bound). */
+    Op relu(std::int64_t elems);
+
+    /** Elementwise division. */
+    Op realDiv(std::int64_t elems);
+
+    /** GELU activation (heavier per-element math than add). */
+    Op gelu(std::int64_t elems);
+
+    /** LayerNorm over rows x cols. */
+    Op layerNorm(std::int64_t rows, std::int64_t cols);
+
+    /** Softmax over rows x cols. */
+    Op softmax(std::int64_t rows, std::int64_t cols);
+
+    /** Batch-norm statistics update (training). */
+    Op bnTrainingUpdate(std::int64_t elems);
+
+    /** Mean-reduction over @p elems to @p outputs values. */
+    Op reduceMean(std::int64_t elems, std::int64_t outputs);
+
+    /** Dropout mask + apply. */
+    Op dropout(std::int64_t elems);
+
+    /** Data movement / layout change (MTE1-heavy). */
+    Op transpose(std::int64_t elems);
+
+    /**
+     * A deliberately tiny operator dominated by fixed overheads;
+     * profiles as no-pipeline bound.
+     */
+    Op tinyScalarOp(const std::string &type_name);
+
+    // --- AICore-frequency-insensitive operators ------------------------
+
+    /** Ring all-reduce of @p bytes across devices. */
+    Op allReduce(std::int64_t bytes);
+
+    /** Host-side AICPU operator of roughly @p seconds. */
+    Op aicpu(const std::string &type_name, double seconds);
+
+    /** Scheduling gap of @p seconds. */
+    Op idle(double seconds);
+
+    const ChipThroughput &throughput() const { return throughput_; }
+
+  private:
+    /** Shared assembly for compute ops. */
+    Op makeCompute(const std::string &type, npu::CorePipe pipe,
+                   npu::Scenario scenario, double core_cycles_total,
+                   double ld_bytes_total, double st_bytes_total,
+                   double l2_hit, double alpha_nominal);
+
+    /** Uncore-bandwidth utilisation of the op at the max frequency. */
+    double uncoreActivity(const npu::HwOpParams &params) const;
+
+    const npu::MemorySystem &memory_;
+    Rng rng_;
+    ChipThroughput throughput_;
+    std::uint64_t next_id_ = 0;
+};
+
+} // namespace opdvfs::ops
+
+#endif // OPDVFS_OPS_OP_FACTORY_H

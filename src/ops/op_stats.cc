@@ -1,0 +1,73 @@
+#include "ops/op_stats.h"
+
+#include <algorithm>
+
+#include "npu/aicore_timeline.h"
+
+namespace opdvfs::ops {
+
+const TypeStats *
+WorkloadStats::find(const std::string &type) const
+{
+    for (const auto &row : types) {
+        if (row.type == type)
+            return &row;
+    }
+    return nullptr;
+}
+
+WorkloadStats
+summarize(const OpSequence &iteration, const std::string &workload_name,
+          const npu::MemorySystem &memory, double reference_mhz)
+{
+    WorkloadStats stats;
+    stats.workload = workload_name;
+    stats.op_count = iteration.size();
+
+    std::map<std::string, TypeStats> by_type;
+    double compute = 0.0, comm = 0.0, aicpu = 0.0, idle = 0.0;
+
+    for (const auto &op : iteration) {
+        npu::AicoreTimeline timeline(op.hw, memory);
+        double seconds = timeline.seconds(reference_mhz);
+        stats.iteration_seconds += seconds;
+
+        switch (op.hw.category) {
+          case npu::OpCategory::Compute:       compute += seconds; break;
+          case npu::OpCategory::Communication: comm += seconds; break;
+          case npu::OpCategory::Aicpu:         aicpu += seconds; break;
+          case npu::OpCategory::Idle:          idle += seconds; break;
+        }
+
+        TypeStats &row = by_type[op.type];
+        row.type = op.type;
+        ++row.count;
+        row.seconds += seconds;
+        if (seconds < 20e-6)
+            ++row.tiny_count;
+    }
+
+    if (stats.iteration_seconds > 0.0) {
+        stats.compute_share = compute / stats.iteration_seconds;
+        stats.communication_share = comm / stats.iteration_seconds;
+        stats.aicpu_share = aicpu / stats.iteration_seconds;
+        stats.idle_share = idle / stats.iteration_seconds;
+    }
+
+    for (auto &[type, row] : by_type) {
+        row.time_share = stats.iteration_seconds > 0.0
+            ? row.seconds / stats.iteration_seconds
+            : 0.0;
+        row.mean_seconds =
+            row.seconds / static_cast<double>(std::max<std::size_t>(
+                              row.count, 1));
+        stats.types.push_back(row);
+    }
+    std::sort(stats.types.begin(), stats.types.end(),
+              [](const TypeStats &a, const TypeStats &b) {
+                  return a.seconds > b.seconds;
+              });
+    return stats;
+}
+
+} // namespace opdvfs::ops

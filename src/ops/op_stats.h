@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Workload composition statistics: per-operator-type counts, time
+ * shares and bottleneck-relevant properties, computed analytically
+ * from ground truth (no simulation run needed).  Backs the
+ * workload-characterisation output of the examples and report.
+ */
+
+#ifndef OPDVFS_OPS_OP_STATS_H
+#define OPDVFS_OPS_OP_STATS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "npu/memory_system.h"
+#include "ops/op.h"
+
+namespace opdvfs::ops {
+
+/** Aggregate statistics of one operator type within a workload. */
+struct TypeStats
+{
+    std::string type;
+    std::size_t count = 0;
+    /** Total execution time at the reference frequency, seconds. */
+    double seconds = 0.0;
+    /** Share of the whole iteration's time. */
+    double time_share = 0.0;
+    /** Mean duration, seconds. */
+    double mean_seconds = 0.0;
+    /** Operators of this type under the 20 us threshold. */
+    std::size_t tiny_count = 0;
+};
+
+/** Whole-workload composition summary. */
+struct WorkloadStats
+{
+    std::string workload;
+    std::size_t op_count = 0;
+    /** Iteration time at the reference frequency, seconds. */
+    double iteration_seconds = 0.0;
+    /** Time shares by category. */
+    double compute_share = 0.0;
+    double communication_share = 0.0;
+    double aicpu_share = 0.0;
+    double idle_share = 0.0;
+    /** Per-type rows, sorted by descending time share. */
+    std::vector<TypeStats> types;
+
+    /** Row for @p type; nullptr if absent. */
+    const TypeStats *find(const std::string &type) const;
+};
+
+/**
+ * Summarise an iteration sequence at @p reference_mhz using the
+ * analytic timelines (ground truth, noise-free).
+ */
+WorkloadStats summarize(const OpSequence &iteration,
+                        const std::string &workload_name,
+                        const npu::MemorySystem &memory,
+                        double reference_mhz = 1800.0);
+
+} // namespace opdvfs::ops
+
+#endif // OPDVFS_OPS_OP_STATS_H

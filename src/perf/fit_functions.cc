@@ -1,0 +1,195 @@
+#include "perf/fit_functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/curve_fit.h"
+#include "math/linear_solve.h"
+
+namespace opdvfs::perf {
+
+namespace {
+
+double
+mhzToGhz(double mhz)
+{
+    return mhz / 1000.0;
+}
+
+/** Model evaluation over f in GHz. */
+double
+evalGhz(FitFunction kind, double f_ghz, const std::vector<double> &p)
+{
+    switch (kind) {
+      case FitFunction::FullQuadOverF:
+        return (p[0] * f_ghz * f_ghz + p[1] * f_ghz + p[2]) / f_ghz;
+      case FitFunction::QuadOverF:
+        return (p[0] * f_ghz * f_ghz + p[1]) / f_ghz;
+      case FitFunction::StallOverF:
+        return (p[0] * f_ghz + p[1]) / f_ghz;
+      case FitFunction::ExpOverF:
+        return (p[0] * std::exp(p[1] * f_ghz) + p[2]) / f_ghz;
+      case FitFunction::PwlCycles: {
+        // Params are knots (f1, y1, f2, y2, ...) of Cycle(f) = T f,
+        // sorted by f; interpolate/extrapolate linearly in cycles.
+        std::size_t knots = p.size() / 2;
+        std::size_t seg = 0;
+        while (seg + 2 < knots && f_ghz > p[2 * (seg + 1)])
+            ++seg;
+        double f0 = p[2 * seg], y0 = p[2 * seg + 1];
+        double f1 = p[2 * seg + 2], y1 = p[2 * seg + 3];
+        double slope = (y1 - y0) / (f1 - f0);
+        return (y0 + slope * (f_ghz - f0)) / f_ghz;
+      }
+    }
+    throw std::logic_error("evalGhz: unknown fit function");
+}
+
+/** Knot-interpolation "fit": store (f, T f) pairs sorted by f. */
+FittedCurve
+fitPwlCycles(const std::vector<double> &f_ghz,
+             const std::vector<double> &seconds)
+{
+    std::vector<std::size_t> order(f_ghz.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&f_ghz](std::size_t a, std::size_t b) {
+                  return f_ghz[a] < f_ghz[b];
+              });
+
+    FittedCurve curve;
+    curve.kind = FitFunction::PwlCycles;
+    for (std::size_t i : order) {
+        curve.params.push_back(f_ghz[i]);
+        curve.params.push_back(seconds[i] * f_ghz[i]);
+    }
+    return curve;
+}
+
+/**
+ * Func. 2 / stall-model solve: T f is linear in the two parameters;
+ * two points give the closed form, more give linear least squares.
+ * For QuadOverF the basis is (f^2, 1); for StallOverF it is (f, 1).
+ */
+FittedCurve
+fitLinearFamily(FitFunction kind, const std::vector<double> &f_ghz,
+                const std::vector<double> &seconds)
+{
+    FittedCurve curve;
+    curve.kind = kind;
+    auto basis = [kind](double f) {
+        return kind == FitFunction::QuadOverF ? f * f : f;
+    };
+
+    if (f_ghz.size() == 2) {
+        double f1 = f_ghz[0], f2 = f_ghz[1];
+        double y1 = seconds[0] * f1, y2 = seconds[1] * f2;
+        double denom = basis(f1) - basis(f2);
+        if (denom == 0.0)
+            throw std::invalid_argument("fitCurve: duplicate frequencies");
+        double a = (y1 - y2) / denom;
+        double c = y1 - a * basis(f1);
+        curve.params = {a, c};
+        return curve;
+    }
+
+    math::Matrix design(f_ghz.size(), 2);
+    std::vector<double> rhs(f_ghz.size());
+    for (std::size_t i = 0; i < f_ghz.size(); ++i) {
+        design(i, 0) = basis(f_ghz[i]);
+        design(i, 1) = 1.0;
+        rhs[i] = seconds[i] * f_ghz[i];
+    }
+    curve.params = math::leastSquares(design, rhs);
+    return curve;
+}
+
+/** LM fits for Func. 1 and Func. 3 (the curve_fit stand-in). */
+FittedCurve
+fitNonlinear(FitFunction kind, const std::vector<double> &f_ghz,
+             const std::vector<double> &seconds)
+{
+    FittedCurve curve;
+    curve.kind = kind;
+
+    math::CurveModel model = [kind](double f, const std::vector<double> &p) {
+        return evalGhz(kind, f, p);
+    };
+
+    math::CurveFitOptions options;
+    std::vector<double> initial;
+    if (kind == FitFunction::FullQuadOverF) {
+        // Start from the Func. 2 solution with b = 0.
+        FittedCurve seed =
+            fitLinearFamily(FitFunction::QuadOverF, f_ghz, seconds);
+        initial = {seed.params[0], 0.0, seed.params[1]};
+    } else {
+        // Func. 3: clamp b to [0, 10] as the paper does; seed with a
+        // mild exponent.
+        double t_mid = seconds[seconds.size() / 2];
+        double f_mid = f_ghz[f_ghz.size() / 2];
+        initial = {t_mid * f_mid / 2.0, 1.0, t_mid * f_mid / 2.0};
+        options.lower_bounds = {-1e12, 0.0, -1e12};
+        options.upper_bounds = {1e12, 10.0, 1e12};
+    }
+
+    auto result = math::curveFit(model, f_ghz, seconds, initial, options);
+    curve.params = result.params;
+    return curve;
+}
+
+} // namespace
+
+std::string
+fitFunctionName(FitFunction kind)
+{
+    switch (kind) {
+      case FitFunction::FullQuadOverF: return "T=(af^2+bf+c)/f";
+      case FitFunction::QuadOverF:     return "T=(af^2+c)/f";
+      case FitFunction::ExpOverF:      return "T=(ae^bf+c)/f";
+      case FitFunction::StallOverF:    return "T=b+c/f (const stall)";
+      case FitFunction::PwlCycles:     return "piecewise-linear cycles";
+    }
+    return "?";
+}
+
+int
+fitFunctionParams(FitFunction kind)
+{
+    if (kind == FitFunction::QuadOverF || kind == FitFunction::StallOverF)
+        return 2;
+    if (kind == FitFunction::PwlCycles)
+        return 2; // needs >= 2 knots
+    return 3;
+}
+
+double
+FittedCurve::predictSeconds(double f_mhz) const
+{
+    return evalGhz(kind, mhzToGhz(f_mhz), params);
+}
+
+FittedCurve
+fitCurve(FitFunction kind, const std::vector<double> &f_mhz,
+         const std::vector<double> &seconds)
+{
+    if (f_mhz.size() != seconds.size())
+        throw std::invalid_argument("fitCurve: size mismatch");
+    if (static_cast<int>(f_mhz.size()) < fitFunctionParams(kind))
+        throw std::invalid_argument("fitCurve: not enough samples");
+
+    std::vector<double> f_ghz;
+    f_ghz.reserve(f_mhz.size());
+    for (double f : f_mhz)
+        f_ghz.push_back(mhzToGhz(f));
+
+    if (kind == FitFunction::QuadOverF || kind == FitFunction::StallOverF)
+        return fitLinearFamily(kind, f_ghz, seconds);
+    if (kind == FitFunction::PwlCycles)
+        return fitPwlCycles(f_ghz, seconds);
+    return fitNonlinear(kind, f_ghz, seconds);
+}
+
+} // namespace opdvfs::perf

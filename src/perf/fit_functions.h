@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The three candidate fitting functions of paper Sect. 4.3 for the
+ * operator time-vs-frequency relation:
+ *
+ *   Func. 1:  T(f) = (a f^2 + b f + c) / f      (full quadratic)
+ *   Func. 2:  T(f) = (a f^2 + c) / f            (no linear term)
+ *   Func. 3:  T(f) = (a e^{b f} + c) / f        (exponential)
+ *
+ * All three keep T(f) = Cycle(f) / f with Cycle(f) convex, as the
+ * timeline analysis requires.  Func. 2 admits a closed-form solve from
+ * two points (and a linear least-squares solve from more), which is
+ * why the paper selects it: comparable accuracy to Func. 1 at a small
+ * fraction of the fitting cost.  Func. 1 and Func. 3 are fitted with
+ * Levenberg-Marquardt (the scipy.curve_fit stand-in); Func. 3's
+ * exponent is clamped to [0, 10] exactly as the paper does to avoid
+ * overflow.
+ */
+
+#ifndef OPDVFS_PERF_FIT_FUNCTIONS_H
+#define OPDVFS_PERF_FIT_FUNCTIONS_H
+
+#include <string>
+#include <vector>
+
+namespace opdvfs::perf {
+
+/** Candidate model families. */
+enum class FitFunction
+{
+    /** Func. 1: (a f^2 + b f + c) / f. */
+    FullQuadOverF,
+    /** Func. 2: (a f^2 + c) / f - the paper's production choice. */
+    QuadOverF,
+    /** Func. 3: (a e^{bf} + c) / f. */
+    ExpOverF,
+    /**
+     * Baseline (CRISP-like, Ref. [28] of the paper): assumes the
+     * memory-stall portion of execution time is *independent* of core
+     * frequency: T(f) = (b f + c) / f = b + c/f.  The paper's Sect. 4.1
+     * argues this misses the Ld/St frequency dependence; comparing its
+     * accuracy against Func. 1/2 quantifies that claim.
+     */
+    StallOverF,
+    /**
+     * Direct piecewise-linear interpolation of Cycle(f) = T(f) * f
+     * through the profiled points, end segments extrapolated.  The
+     * paper notes this as the alternative to fitting ("...or directly
+     * derive piecewise linear functions", Sect. 4.3); it reproduces
+     * the flat region of uncore-saturated operators exactly, which
+     * smooth fits blur around the kink.
+     */
+    PwlCycles,
+};
+
+/** Human-readable name (matches the paper's legend). */
+std::string fitFunctionName(FitFunction kind);
+
+/** Number of free parameters of the family. */
+int fitFunctionParams(FitFunction kind);
+
+/** A fitted time-vs-frequency model for one operator. */
+struct FittedCurve
+{
+    FitFunction kind = FitFunction::QuadOverF;
+    /** Parameters over f in GHz (for conditioning). */
+    std::vector<double> params;
+
+    /** Predicted execution time in seconds at @p f_mhz. */
+    double predictSeconds(double f_mhz) const;
+};
+
+/**
+ * Fit the family to (frequency, time) samples.
+ *
+ * Func. 2 uses the closed-form/linear-LS solve; the others run LM.
+ * Requires at least as many samples as parameters.
+ *
+ * @param f_mhz      sample frequencies in MHz
+ * @param seconds    measured execution times
+ */
+FittedCurve fitCurve(FitFunction kind, const std::vector<double> &f_mhz,
+                     const std::vector<double> &seconds);
+
+} // namespace opdvfs::perf
+
+#endif // OPDVFS_PERF_FIT_FUNCTIONS_H

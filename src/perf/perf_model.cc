@@ -1,0 +1,152 @@
+#include "perf/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "common/statistics.h"
+
+namespace opdvfs::perf {
+
+double
+OpPerfModel::predictSeconds(double f_mhz) const
+{
+    if (!frequency_sensitive)
+        return fixed_seconds;
+    return curve.predictSeconds(f_mhz);
+}
+
+void
+PerfModelRepository::addProfile(double f_mhz,
+                                const std::vector<trace::OpRecord> &records)
+{
+    for (const auto &record : records) {
+        ProfileData &data = profiles_[record.op_id];
+        data.type = record.type;
+        data.category = record.category;
+        data.durations[f_mhz] = record.duration_s;
+    }
+}
+
+void
+PerfModelRepository::fitAll(const PerfBuildOptions &options)
+{
+    models_.clear();
+    for (const auto &[op_id, data] : profiles_) {
+        OpPerfModel model;
+        model.op_id = op_id;
+        model.type = data.type;
+        model.category = data.category;
+
+        if (data.durations.empty())
+            continue;
+
+        if (data.category != npu::OpCategory::Compute) {
+            // Table 1: AICPU/communication/idle operators are AICore
+            // frequency insensitive.
+            model.frequency_sensitive = false;
+            std::vector<double> durations;
+            for (const auto &[f, d] : data.durations)
+                durations.push_back(d);
+            model.fixed_seconds = stats::mean(durations);
+            model.tiny = model.fixed_seconds < options.tiny_threshold_s;
+            models_.emplace(op_id, std::move(model));
+            continue;
+        }
+
+        // Select fitting points.
+        std::vector<double> fs, ts;
+        if (options.fit_frequencies_mhz.empty()) {
+            for (const auto &[f, d] : data.durations) {
+                fs.push_back(f);
+                ts.push_back(d);
+            }
+        } else {
+            for (double f : options.fit_frequencies_mhz) {
+                auto it = data.durations.find(f);
+                if (it == data.durations.end()) {
+                    throw std::invalid_argument(
+                        "fitAll: requested fit frequency was not profiled");
+                }
+                fs.push_back(f);
+                ts.push_back(it->second);
+            }
+        }
+        if (static_cast<int>(fs.size()) < fitFunctionParams(options.kind)) {
+            throw std::invalid_argument(
+                "fitAll: not enough profiled frequencies for the family");
+        }
+
+        model.curve = fitCurve(options.kind, fs, ts);
+        model.tiny =
+            data.durations.rbegin()->second < options.tiny_threshold_s;
+        models_.emplace(op_id, std::move(model));
+    }
+}
+
+const OpPerfModel *
+PerfModelRepository::find(std::uint64_t op_id) const
+{
+    auto it = models_.find(op_id);
+    return it == models_.end() ? nullptr : &it->second;
+}
+
+double
+PerfModelRepository::predictSeconds(std::uint64_t op_id, double f_mhz) const
+{
+    const OpPerfModel *model = find(op_id);
+    if (!model)
+        throw std::invalid_argument("predictSeconds: unknown operator");
+    return model->predictSeconds(f_mhz);
+}
+
+std::size_t
+PerfModelRepository::evaluableModelCount() const
+{
+    std::size_t count = 0;
+    for (const auto &[id, model] : models_) {
+        if (model.frequency_sensitive && !model.tiny)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<double>
+PerfModelRepository::profiledFrequencies() const
+{
+    std::set<double> fs;
+    for (const auto &[id, data] : profiles_) {
+        for (const auto &[f, d] : data.durations)
+            fs.insert(f);
+    }
+    return {fs.begin(), fs.end()};
+}
+
+std::vector<PerfError>
+PerfModelRepository::evaluate(
+    double f_mhz, const std::vector<trace::OpRecord> &records) const
+{
+    std::vector<PerfError> errors;
+    errors.reserve(records.size());
+    for (const auto &record : records) {
+        const OpPerfModel *model = find(record.op_id);
+        if (!model || !model->frequency_sensitive || model->tiny)
+            continue;
+        if (record.duration_s <= 0.0)
+            continue;
+
+        PerfError error;
+        error.op_id = record.op_id;
+        error.f_mhz = f_mhz;
+        error.predicted_s = model->predictSeconds(f_mhz);
+        error.measured_s = record.duration_s;
+        error.relative_error =
+            std::abs(error.predicted_s - error.measured_s)
+            / error.measured_s;
+        errors.push_back(error);
+    }
+    return errors;
+}
+
+} // namespace opdvfs::perf

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The per-operator DVFS performance model (paper Sect. 4.3, 7.2).
+ *
+ * Built purely from profiled records collected at a small number of
+ * frequency points (one workload run per frequency suffices), it
+ * predicts each operator's execution time at any supported frequency.
+ * AICore-frequency-insensitive operators (AICPU, communication, idle;
+ * Table 1) are modelled as constant-duration.
+ */
+
+#ifndef OPDVFS_PERF_PERF_MODEL_H
+#define OPDVFS_PERF_PERF_MODEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "perf/fit_functions.h"
+#include "trace/profiler.h"
+
+namespace opdvfs::perf {
+
+/** The fitted model of one operator. */
+struct OpPerfModel
+{
+    std::uint64_t op_id = 0;
+    std::string type;
+    npu::OpCategory category = npu::OpCategory::Compute;
+    /** Compute operators follow the fitted curve; others are fixed. */
+    bool frequency_sensitive = true;
+    FittedCurve curve;
+    /** Mean measured duration for insensitive operators. */
+    double fixed_seconds = 0.0;
+    /**
+     * True if the operator ran under the 20 us threshold; excluded
+     * from error statistics (Sect. 7.2) but still usable.
+     */
+    bool tiny = false;
+
+    /** Predicted duration at @p f_mhz, seconds. */
+    double predictSeconds(double f_mhz) const;
+};
+
+/** Controls model construction. */
+struct PerfBuildOptions
+{
+    FitFunction kind = FitFunction::QuadOverF;
+    /** Ops faster than this at the highest profiled frequency are
+     * flagged tiny. */
+    double tiny_threshold_s = 20e-6;
+    /**
+     * Frequencies used for fitting; empty means all profiled
+     * frequencies.  The paper fits on two to three points and
+     * validates on the rest.
+     */
+    std::vector<double> fit_frequencies_mhz;
+};
+
+/** Per-operator prediction error (for Fig. 15 / Fig. 16). */
+struct PerfError
+{
+    std::uint64_t op_id = 0;
+    double f_mhz = 0.0;
+    double predicted_s = 0.0;
+    double measured_s = 0.0;
+    /** |pred - meas| / meas. */
+    double relative_error = 0.0;
+};
+
+/** Builds and stores the per-operator models of one workload. */
+class PerfModelRepository
+{
+  public:
+    /** Ingest one profiled run at frequency @p f_mhz. */
+    void addProfile(double f_mhz, const std::vector<trace::OpRecord> &records);
+
+    /** Fit models for every profiled operator. */
+    void fitAll(const PerfBuildOptions &options = {});
+
+    /** Model for @p op_id, or nullptr if unknown. */
+    const OpPerfModel *find(std::uint64_t op_id) const;
+
+    /** Predicted duration; throws for unknown operators. */
+    double predictSeconds(std::uint64_t op_id, double f_mhz) const;
+
+    /** Number of fitted models. */
+    std::size_t modelCount() const { return models_.size(); }
+
+    /** Number of non-tiny sensitive models (the Sect. 7.2 population). */
+    std::size_t evaluableModelCount() const;
+
+    /** Profiled frequencies, ascending. */
+    std::vector<double> profiledFrequencies() const;
+
+    /**
+     * Out-of-sample validation: predict each non-tiny sensitive
+     * operator at @p f_mhz and compare with the given records.
+     */
+    std::vector<PerfError>
+    evaluate(double f_mhz, const std::vector<trace::OpRecord> &records) const;
+
+    const std::unordered_map<std::uint64_t, OpPerfModel> &models() const
+    {
+        return models_;
+    }
+
+  private:
+    struct ProfileData
+    {
+        std::string type;
+        npu::OpCategory category = npu::OpCategory::Compute;
+        /** frequency MHz -> measured duration s. */
+        std::map<double, double> durations;
+    };
+
+    std::unordered_map<std::uint64_t, ProfileData> profiles_;
+    std::unordered_map<std::uint64_t, OpPerfModel> models_;
+};
+
+} // namespace opdvfs::perf
+
+#endif // OPDVFS_PERF_PERF_MODEL_H

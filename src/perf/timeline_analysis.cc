@@ -1,0 +1,33 @@
+#include "perf/timeline_analysis.h"
+
+#include <stdexcept>
+
+#include "common/units.h"
+#include "npu/aicore_timeline.h"
+
+namespace opdvfs::perf {
+
+TimelineAnalysis
+analyzeTimeline(const npu::HwOpParams &params,
+                const npu::MemorySystem &memory, double lo_mhz,
+                double hi_mhz)
+{
+    if (lo_mhz <= 0.0 || hi_mhz <= lo_mhz)
+        throw std::invalid_argument("analyzeTimeline: bad range");
+
+    npu::AicoreTimeline timeline(params, memory);
+
+    TimelineAnalysis analysis;
+    analysis.cycle_pwl = timeline.cyclePwl();
+
+    double lo_hz = mhzToHz(lo_mhz);
+    double hi_hz = mhzToHz(hi_mhz);
+    for (double hz : analysis.cycle_pwl.breakpoints(lo_hz, hi_hz))
+        analysis.breakpoints_mhz.push_back(hz / 1e6);
+    analysis.segments = analysis.breakpoints_mhz.size() + 1;
+    analysis.low_slope = analysis.cycle_pwl.slopeAt(lo_hz);
+    analysis.high_slope = analysis.cycle_pwl.slopeAt(hi_hz);
+    return analysis;
+}
+
+} // namespace opdvfs::perf

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Symbolic analysis of an operator's Cycle(f) function: its exact
+ * convex piecewise-linear form, kinks within the supported frequency
+ * range, and the segment count that determines how many linear pieces
+ * a direct (non-fitted) performance model would need (Sect. 4.3).
+ */
+
+#ifndef OPDVFS_PERF_TIMELINE_ANALYSIS_H
+#define OPDVFS_PERF_TIMELINE_ANALYSIS_H
+
+#include <vector>
+
+#include "math/piecewise_linear.h"
+#include "npu/memory_system.h"
+#include "npu/op_params.h"
+
+namespace opdvfs::perf {
+
+/** Result of analysing one operator's cycle-frequency relation. */
+struct TimelineAnalysis
+{
+    /** Exact Cycle(f) over f in Hz. */
+    math::ConvexPwl cycle_pwl;
+    /** Kinks strictly inside the analysed range, in MHz, ascending. */
+    std::vector<double> breakpoints_mhz;
+    /** Number of linear segments over the analysed range. */
+    std::size_t segments = 1;
+    /** Slope at the low end of the range (cycles per Hz). */
+    double low_slope = 0.0;
+    /** Slope at the high end of the range (cycles per Hz). */
+    double high_slope = 0.0;
+};
+
+/**
+ * Analyse the operator over [lo_mhz, hi_mhz].  Only meaningful for
+ * Compute operators.
+ */
+TimelineAnalysis analyzeTimeline(const npu::HwOpParams &params,
+                                 const npu::MemorySystem &memory,
+                                 double lo_mhz, double hi_mhz);
+
+} // namespace opdvfs::perf
+
+#endif // OPDVFS_PERF_TIMELINE_ANALYSIS_H

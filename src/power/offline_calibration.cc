@@ -1,0 +1,182 @@
+#include "power/offline_calibration.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/units.h"
+#include "math/linear_solve.h"
+#include "ops/op_factory.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::power {
+
+namespace {
+
+/** Micro-workload: one operator repeated to fill ~@p seconds. */
+models::Workload
+operatorLoop(const npu::MemorySystem &memory, const std::string &kind,
+             double seconds, std::uint64_t seed)
+{
+    models::Workload workload;
+    workload.name = "cal-" + kind;
+    ops::OpFactory factory(memory, Rng(seed));
+
+    double accumulated = 0.0;
+    while (accumulated < seconds) {
+        ops::Op op;
+        if (kind == "idle") {
+            op = factory.idle(0.05);
+            accumulated += 0.05;
+        } else if (kind == "gelu") {
+            op = factory.gelu(24 * 1024 * 1024);
+            accumulated += 100e-6;
+        } else if (kind == "matmul") {
+            op = factory.matMul(4096, 4096, 4096);
+            accumulated += 600e-6;
+        } else if (kind == "mixed") {
+            if (workload.iteration.size() % 2 == 0)
+                op = factory.matMul(2048, 2048, 2048);
+            else
+                op = factory.add(32 * 1024 * 1024);
+            accumulated += 200e-6;
+        } else {
+            throw std::invalid_argument("operatorLoop: unknown kind");
+        }
+        workload.iteration.push_back(std::move(op));
+    }
+    return workload;
+}
+
+/** Average AICore/SoC power over a run's samples. */
+struct AvgPower
+{
+    double aicore = 0.0;
+    double soc = 0.0;
+};
+
+AvgPower
+averagePower(const trace::RunResult &run)
+{
+    std::vector<double> core, soc;
+    for (const auto &s : run.samples) {
+        core.push_back(s.aicore_watts);
+        soc.push_back(s.soc_watts);
+    }
+    return {stats::mean(core), stats::mean(soc)};
+}
+
+} // namespace
+
+CalibratedConstants
+calibrateOffline(const npu::NpuConfig &config, const OfflineOptions &options)
+{
+    CalibratedConstants constants;
+    npu::MemorySystem memory(config.memory);
+    trace::WorkloadRunner runner(config);
+    npu::FreqTable table(config.freq);
+
+    // ------------------------------------------------------------------
+    // Step 1: idle power at two frequencies -> beta, theta.
+    // Short windows from a cold die keep dT (and thus the leakage
+    // contamination of the estimate) small.
+    // ------------------------------------------------------------------
+    models::Workload idle_load = operatorLoop(
+        memory, "idle", options.idle_measure_seconds, options.seed);
+
+    std::vector<double> freqs = {options.low_mhz, options.high_mhz};
+    std::vector<AvgPower> idle_power;
+    for (double f : freqs) {
+        trace::RunOptions run_options;
+        run_options.initial_mhz = f;
+        run_options.sample_period = 25 * kTicksPerMs;
+        run_options.seed = options.seed + static_cast<std::uint64_t>(f);
+        idle_power.push_back(averagePower(runner.run(idle_load,
+                                                     run_options)));
+    }
+
+    auto solveIdle = [&](double p1, double p2) {
+        math::Matrix m(2, 2);
+        std::vector<double> rhs = {p1, p2};
+        for (int i = 0; i < 2; ++i) {
+            double volts = table.voltageFor(freqs[static_cast<size_t>(i)]);
+            m(static_cast<size_t>(i), 0) =
+                mhzToHz(freqs[static_cast<size_t>(i)]) * volts * volts;
+            m(static_cast<size_t>(i), 1) = volts;
+        }
+        return math::solve(std::move(m), std::move(rhs));
+    };
+
+    auto core_idle = solveIdle(idle_power[0].aicore, idle_power[1].aicore);
+    constants.beta_aicore = core_idle[0];
+    constants.theta_aicore = core_idle[1];
+    auto soc_idle = solveIdle(idle_power[0].soc, idle_power[1].soc);
+    constants.beta_soc = soc_idle[0];
+    constants.theta_soc = soc_idle[1];
+
+    // ------------------------------------------------------------------
+    // Step 2: test load + cool-down trace -> gamma.
+    // After the load retires, power decays with temperature at slope
+    // gamma * V (Sect. 5.4.2).
+    // ------------------------------------------------------------------
+    // A cube-heavy load maximises the temperature contrast between
+    // the loaded and idle states, giving the gamma regression a wide
+    // decay range to fit.
+    models::Workload test_load = operatorLoop(
+        memory, "matmul", options.test_load_seconds, options.seed + 17);
+    trace::RunOptions cool_options;
+    cool_options.initial_mhz = options.high_mhz;
+    cool_options.sample_period = 100 * kTicksPerMs;
+    cool_options.cooldown_seconds = options.cooldown_seconds;
+    cool_options.seed = options.seed + 29;
+    trace::RunResult cool_run = runner.run(test_load, cool_options);
+
+    Tick load_end = 0;
+    for (const auto &r : cool_run.records)
+        load_end = std::max(load_end, r.end);
+
+    std::vector<double> cool_t, cool_p_core, cool_p_soc;
+    for (const auto &s : cool_run.samples) {
+        if (s.tick <= load_end)
+            continue;
+        cool_t.push_back(s.temperature_c);
+        cool_p_core.push_back(s.aicore_watts);
+        cool_p_soc.push_back(s.soc_watts);
+    }
+    if (cool_t.size() < 8)
+        throw std::runtime_error("calibrateOffline: cool-down trace too "
+                                 "short");
+
+    double volts_high = table.voltageFor(options.high_mhz);
+    constants.gamma_aicore =
+        stats::fitLine(cool_t, cool_p_core).slope / volts_high;
+    constants.gamma_soc =
+        stats::fitLine(cool_t, cool_p_soc).slope / volts_high;
+
+    // ------------------------------------------------------------------
+    // Step 3: steady-state load sweep -> k (Fig. 10) and ambient.
+    // ------------------------------------------------------------------
+    std::vector<double> sweep_p, sweep_t;
+    int sweep_index = 0;
+    for (const std::string kind : {"idle", "gelu", "mixed", "matmul"}) {
+        models::Workload load =
+            operatorLoop(memory, kind, 1.0, options.seed + 31);
+        trace::RunOptions sweep_options;
+        sweep_options.initial_mhz = options.high_mhz;
+        sweep_options.warmup_seconds = options.sweep_warmup_seconds;
+        sweep_options.sample_period = 50 * kTicksPerMs;
+        sweep_options.seed =
+            options.seed + 37 + static_cast<std::uint64_t>(sweep_index++);
+        trace::RunResult run = runner.run(load, sweep_options);
+        AvgPower avg = averagePower(run);
+        sweep_p.push_back(avg.soc);
+        sweep_t.push_back(run.avg_temperature_c);
+    }
+    auto fit = stats::fitLine(sweep_p, sweep_t);
+    constants.k_per_watt = fit.slope;
+    constants.ambient_c = fit.intercept;
+
+    return constants;
+}
+
+} // namespace opdvfs::power

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Offline calibration (left half of Fig. 11): recovers the
+ * hardware-dependent constants of the power model from three
+ * experiment families run on the device:
+ *
+ *  1. idle power at two frequencies -> beta, theta (AICore and SoC);
+ *  2. a test load followed by a cool-down trace: power decays with
+ *     temperature at slope gamma V (Sect. 5.4.2) -> gamma;
+ *  3. a sweep of steady-state loads: AICore temperature is linear in
+ *     SoC power (Fig. 10) -> k and the ambient estimate.
+ */
+
+#ifndef OPDVFS_POWER_OFFLINE_CALIBRATION_H
+#define OPDVFS_POWER_OFFLINE_CALIBRATION_H
+
+#include <cstdint>
+
+#include "npu/npu_chip.h"
+#include "power/power_model.h"
+
+namespace opdvfs::power {
+
+/** Knobs of the offline protocol. */
+struct OfflineOptions
+{
+    double low_mhz = 1000.0;
+    double high_mhz = 1800.0;
+    /** Idle measurement window (kept short: near-ambient die). */
+    double idle_measure_seconds = 0.6;
+    /** Test-load duration before the cool-down trace. */
+    double test_load_seconds = 25.0;
+    /** Cool-down trace length. */
+    double cooldown_seconds = 30.0;
+    /** Warm-up per load-sweep point (steady state). */
+    double sweep_warmup_seconds = 30.0;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Run the offline protocol against a simulated chip described by
+ * @p config and return the recovered constants.
+ */
+CalibratedConstants calibrateOffline(const npu::NpuConfig &config,
+                                     const OfflineOptions &options = {});
+
+} // namespace opdvfs::power
+
+#endif // OPDVFS_POWER_OFFLINE_CALIBRATION_H

@@ -1,0 +1,116 @@
+#include "power/online_calibration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace opdvfs::power {
+
+OpPowerModel
+OnlinePowerCalibrator::Estimate::mean() const
+{
+    OpPowerModel model;
+    if (count > 0) {
+        model.alpha_aicore = sum_aicore / static_cast<double>(count);
+        model.alpha_soc = sum_soc / static_cast<double>(count);
+    }
+    return model;
+}
+
+void
+OnlinePowerCalibrator::addRun(const trace::RunResult &run)
+{
+    // Records are produced in completion order == start order (one
+    // compute stream), so binary search by start tick aligns samples.
+    const auto &records = run.records;
+
+    for (const auto &sample : run.samples) {
+        auto it = std::upper_bound(
+            records.begin(), records.end(), sample.tick,
+            [](Tick tick, const trace::OpRecord &r) {
+                return tick < r.start;
+            });
+        if (it == records.begin())
+            continue;
+        const trace::OpRecord &record = *std::prev(it);
+        if (sample.tick >= record.end)
+            continue; // Fell in a gap between records.
+
+        double delta_t =
+            sample.temperature_c - model_.constants().ambient_c;
+        OpPowerModel estimate = model_.calibrate(
+            sample.f_mhz, sample.aicore_watts, sample.soc_watts, delta_t);
+
+        per_op_[record.op_id].add(estimate.alpha_aicore,
+                                  estimate.alpha_soc);
+        op_types_.emplace(record.op_id, record.type);
+        per_type_[record.type].add(estimate.alpha_aicore,
+                                   estimate.alpha_soc);
+        global_.add(estimate.alpha_aicore, estimate.alpha_soc);
+    }
+
+    // Remember every operator's type so pooling can cover unsampled ops.
+    for (const auto &record : records)
+        op_types_.emplace(record.op_id, record.type);
+}
+
+std::unordered_map<std::uint64_t, OpPowerModel>
+OnlinePowerCalibrator::perOpModels() const
+{
+    std::unordered_map<std::uint64_t, OpPowerModel> models;
+    models.reserve(op_types_.size());
+    for (const auto &[op_id, type] : op_types_) {
+        auto own = per_op_.find(op_id);
+        if (own != per_op_.end() && own->second.count >= kMinOwnSamples) {
+            models[op_id] = own->second.mean();
+            continue;
+        }
+        auto pooled = per_type_.find(type);
+        if (pooled != per_type_.end() && pooled->second.count > 0) {
+            models[op_id] = pooled->second.mean();
+            continue;
+        }
+        models[op_id] = global_.mean();
+    }
+    return models;
+}
+
+OpPowerModel
+OnlinePowerCalibrator::typeModel(const std::string &type) const
+{
+    auto it = per_type_.find(type);
+    if (it == per_type_.end() || it->second.count == 0)
+        throw std::invalid_argument("typeModel: unseen type " + type);
+    return it->second.mean();
+}
+
+OpPowerModel
+OnlinePowerCalibrator::workloadModel() const
+{
+    return global_.mean();
+}
+
+OpPowerModel
+OnlinePowerCalibrator::calibrateWorkloadAggregate(
+    const PowerModel &model,
+    const std::vector<std::pair<double, const trace::RunResult *>> &runs)
+{
+    if (runs.empty())
+        throw std::invalid_argument("calibrateWorkloadAggregate: no runs");
+
+    OpPowerModel result;
+    for (const auto &[f_mhz, run] : runs) {
+        double delta_t =
+            run->avg_temperature_c - model.constants().ambient_c;
+        OpPowerModel estimate = model.calibrate(
+            f_mhz, run->aicore_avg_w, run->soc_avg_w, delta_t);
+        result.alpha_aicore += estimate.alpha_aicore;
+        result.alpha_soc += estimate.alpha_soc;
+    }
+    result.alpha_aicore /= static_cast<double>(runs.size());
+    result.alpha_soc /= static_cast<double>(runs.size());
+    return result;
+}
+
+} // namespace opdvfs::power

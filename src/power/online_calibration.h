@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Online calibration (right half of Fig. 11): recovers load-dependent
+ * activity factors (alpha) from telemetry gathered while the target
+ * workload runs.
+ *
+ * Telemetry samples are aligned to the profiled operator timeline;
+ * each aligned sample yields an instantaneous alpha estimate via
+ * Eq. 14.  Operators observed too rarely inherit their type's pooled
+ * estimate, falling back to the global estimate — the practical
+ * resolution limit of millisecond-scale power telemetry against
+ * sub-millisecond operators.
+ */
+
+#ifndef OPDVFS_POWER_ONLINE_CALIBRATION_H
+#define OPDVFS_POWER_ONLINE_CALIBRATION_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "power/power_model.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::power {
+
+/** Accumulates telemetry-aligned alpha estimates. */
+class OnlinePowerCalibrator
+{
+  public:
+    explicit OnlinePowerCalibrator(const PowerModel &model)
+        : model_(model)
+    {}
+
+    /** Ingest one profiled run (fixed or varying frequency). */
+    void addRun(const trace::RunResult &run);
+
+    /** Per-operator models with type/global pooling. */
+    std::unordered_map<std::uint64_t, OpPowerModel> perOpModels() const;
+
+    /** Pooled model for one operator type (throws if unseen). */
+    OpPowerModel typeModel(const std::string &type) const;
+
+    /** Whole-workload model from all aligned samples. */
+    OpPowerModel workloadModel() const;
+
+    /** Number of telemetry samples aligned to an operator. */
+    std::size_t alignedSampleCount() const { return global_.count; }
+
+    /**
+     * Whole-workload calibration from run-level aggregates at fixed
+     * frequencies (the Sect. 7.3 protocol: build from 1000 and
+     * 1800 MHz data).  Least squares over the given (f, run) pairs.
+     */
+    static OpPowerModel
+    calibrateWorkloadAggregate(const PowerModel &model,
+                               const std::vector<std::pair<
+                                   double, const trace::RunResult *>> &runs);
+
+  private:
+    struct Estimate
+    {
+        double sum_aicore = 0.0;
+        double sum_soc = 0.0;
+        std::size_t count = 0;
+
+        void
+        add(double a_core, double a_soc)
+        {
+            sum_aicore += a_core;
+            sum_soc += a_soc;
+            ++count;
+        }
+        OpPowerModel mean() const;
+    };
+
+    /** Minimum own samples before an operator trusts its own alpha. */
+    static constexpr std::size_t kMinOwnSamples = 3;
+
+    const PowerModel &model_;
+    std::unordered_map<std::uint64_t, Estimate> per_op_;
+    std::unordered_map<std::uint64_t, std::string> op_types_;
+    std::unordered_map<std::string, Estimate> per_type_;
+    Estimate global_;
+};
+
+} // namespace opdvfs::power
+
+#endif // OPDVFS_POWER_ONLINE_CALIBRATION_H

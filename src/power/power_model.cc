@@ -1,0 +1,82 @@
+#include "power/power_model.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace opdvfs::power {
+
+CalibratedConstants
+CalibratedConstants::withoutTemperature() const
+{
+    CalibratedConstants copy = *this;
+    copy.gamma_aicore = 0.0;
+    copy.gamma_soc = 0.0;
+    copy.k_per_watt = 0.0;
+    return copy;
+}
+
+double
+PowerModel::aicoreIdle(double f_mhz) const
+{
+    double volts = table_.voltageFor(f_mhz);
+    return constants_.beta_aicore * mhzToHz(f_mhz) * volts * volts
+        + constants_.theta_aicore * volts;
+}
+
+double
+PowerModel::socIdle(double f_mhz) const
+{
+    double volts = table_.voltageFor(f_mhz);
+    return constants_.beta_soc * mhzToHz(f_mhz) * volts * volts
+        + constants_.theta_soc * volts;
+}
+
+OpPowerModel
+PowerModel::calibrate(double f_mhz, double measured_aicore_w,
+                      double measured_soc_w, double delta_t) const
+{
+    double volts = table_.voltageFor(f_mhz);
+    double fv2 = mhzToHz(f_mhz) * volts * volts;
+
+    OpPowerModel op;
+    op.alpha_aicore = (measured_aicore_w - aicoreIdle(f_mhz)
+                       - constants_.gamma_aicore * delta_t * volts)
+        / fv2;
+    op.alpha_soc = (measured_soc_w - socIdle(f_mhz)
+                    - constants_.gamma_soc * delta_t * volts)
+        / fv2;
+    return op;
+}
+
+PowerPrediction
+PowerModel::predict(const OpPowerModel &op, double f_mhz) const
+{
+    double volts = table_.voltageFor(f_mhz);
+    double fv2 = mhzToHz(f_mhz) * volts * volts;
+
+    PowerPrediction prediction;
+    double delta_t = 0.0;
+    double p_soc = 0.0;
+    // Sect. 5.4.2: start from dT = 0 and iterate Eq. 16 <-> Eq. 15.
+    for (int iter = 1; iter <= 16; ++iter) {
+        prediction.iterations = iter;
+        p_soc = op.alpha_soc * fv2 + socIdle(f_mhz)
+            + constants_.gamma_soc * delta_t * volts;
+        double next_delta_t = constants_.k_per_watt * p_soc;
+        if (std::abs(next_delta_t - delta_t) < 0.01) {
+            delta_t = next_delta_t;
+            break;
+        }
+        delta_t = next_delta_t;
+    }
+
+    prediction.delta_t = delta_t;
+    prediction.soc_watts = op.alpha_soc * fv2 + socIdle(f_mhz)
+        + constants_.gamma_soc * delta_t * volts;
+    prediction.aicore_watts = op.alpha_aicore * fv2 + aicoreIdle(f_mhz)
+        + constants_.gamma_aicore * delta_t * volts;
+    return prediction;
+}
+
+} // namespace opdvfs::power

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The temperature-aware power model of paper Sect. 5:
+ *
+ *   P        = alpha f V^2 + beta f V^2 + gamma dT V + theta V   (Eq. 11)
+ *   P_idle   = beta f V^2 + theta V                              (Eq. 12)
+ *   alpha    = (P - P_idle - gamma dT V) / (f V^2)               (Eq. 14)
+ *   T        = T0 + k P_soc                                      (Eq. 15)
+ *
+ * Offline calibration recovers the hardware constants (beta, theta,
+ * gamma, k) from idle measurements, a cool-down trace and a load
+ * sweep; online calibration recovers the load-dependent alpha per
+ * operator (or per workload).  Prediction at a new frequency resolves
+ * the P_soc / dT interdependence with the iterative fix point of
+ * Sect. 5.4.2, which converges in a handful of iterations.
+ */
+
+#ifndef OPDVFS_POWER_POWER_MODEL_H
+#define OPDVFS_POWER_POWER_MODEL_H
+
+#include "npu/freq_table.h"
+
+namespace opdvfs::power {
+
+/** Hardware constants recovered by offline calibration (Fig. 11). */
+struct CalibratedConstants
+{
+    /** AICore idle model: beta f V^2 + theta V. */
+    double beta_aicore = 0.0;
+    double theta_aicore = 0.0;
+    /** SoC idle model (same functional form). */
+    double beta_soc = 0.0;
+    double theta_soc = 0.0;
+    /** AICore leakage temperature slope, W / (K V). */
+    double gamma_aicore = 0.0;
+    /** SoC leakage temperature slope, W / (K V). */
+    double gamma_soc = 0.0;
+    /** Equilibrium temperature slope k of Eq. 15, K / W. */
+    double k_per_watt = 0.0;
+    /** Ambient temperature estimate, Celsius. */
+    double ambient_c = 25.0;
+
+    /** Copy with the temperature terms zeroed (the Sect. 7.3 ablation). */
+    CalibratedConstants withoutTemperature() const;
+};
+
+/** Load-dependent activity factors of one operator (or workload). */
+struct OpPowerModel
+{
+    double alpha_aicore = 0.0;
+    double alpha_soc = 0.0;
+};
+
+/** Prediction output. */
+struct PowerPrediction
+{
+    double aicore_watts = 0.0;
+    double soc_watts = 0.0;
+    double delta_t = 0.0;
+    /** Fix-point iterations used. */
+    int iterations = 0;
+};
+
+/** The assembled predictive model. */
+class PowerModel
+{
+  public:
+    PowerModel(const CalibratedConstants &constants, npu::FreqTable table)
+        : constants_(constants), table_(std::move(table))
+    {}
+
+    /** Modelled AICore idle power at @p f_mhz (Eq. 12). */
+    double aicoreIdle(double f_mhz) const;
+
+    /** Modelled SoC idle power at @p f_mhz. */
+    double socIdle(double f_mhz) const;
+
+    /**
+     * Recover activity factors from one measurement (Eq. 14).
+     * @p delta_t is the measured temperature rise during collection.
+     */
+    OpPowerModel calibrate(double f_mhz, double measured_aicore_w,
+                           double measured_soc_w, double delta_t) const;
+
+    /**
+     * Predict power at @p f_mhz with the iterative dT fix point
+     * (Sect. 5.4.2).
+     */
+    PowerPrediction predict(const OpPowerModel &op, double f_mhz) const;
+
+    const CalibratedConstants &constants() const { return constants_; }
+
+    const npu::FreqTable &table() const { return table_; }
+
+  private:
+    CalibratedConstants constants_;
+    npu::FreqTable table_;
+};
+
+} // namespace opdvfs::power
+
+#endif // OPDVFS_POWER_POWER_MODEL_H

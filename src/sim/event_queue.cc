@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opdvfs::sim {
+
+bool
+EventQueue::later(const Entry &a, const Entry &b)
+{
+    if (a.when != b.when)
+        return a.when > b.when;
+    return a.seq > b.seq;
+}
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    if (when < 0)
+        throw std::invalid_argument("EventQueue: negative tick");
+    heap_.push_back({when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return heap_.empty() ? kMaxTick : heap_.front().when;
+}
+
+Tick
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        throw std::logic_error("EventQueue: runNext on empty queue");
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    entry.fn();
+    return entry.when;
+}
+
+} // namespace opdvfs::sim

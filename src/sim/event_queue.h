@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Time-ordered event queue for the discrete-event kernel.
+ *
+ * Events scheduled for the same tick execute in scheduling order, which
+ * keeps simulations deterministic.
+ */
+
+#ifndef OPDVFS_SIM_EVENT_QUEUE_H
+#define OPDVFS_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace opdvfs::sim {
+
+/** An event body. */
+using EventFn = std::function<void()>;
+
+/** Min-heap of events keyed by (tick, insertion sequence). */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn to run at absolute time @p when. */
+    void schedule(Tick when, EventFn fn);
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Tick of the earliest pending event; kMaxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Pop and run the earliest event.
+     * @return the tick it ran at.
+     * @throws std::logic_error if the queue is empty.
+     */
+    Tick runNext();
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    /** Heap ordering: earliest (tick, seq) on top of the max-heap. */
+    static bool later(const Entry &a, const Entry &b);
+
+    // Managed manually with std::push_heap/pop_heap so entries can be
+    // moved out on pop (std::priority_queue::top() is const).
+    std::vector<Entry> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace opdvfs::sim
+
+#endif // OPDVFS_SIM_EVENT_QUEUE_H

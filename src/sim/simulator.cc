@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace opdvfs::sim {
+
+void
+Simulator::scheduleIn(Tick delay, EventFn fn)
+{
+    if (delay < 0)
+        throw std::invalid_argument("Simulator: negative delay");
+    queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(Tick when, EventFn fn)
+{
+    if (when < now_)
+        throw std::invalid_argument("Simulator: scheduling in the past");
+    queue_.schedule(when, std::move(fn));
+}
+
+std::uint64_t
+Simulator::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.nextTick() <= limit) {
+        // Advance the clock before dispatching so the event body sees
+        // its own timestamp from now().
+        now_ = queue_.nextTick();
+        queue_.runNext();
+        ++executed;
+    }
+    events_executed_ += executed;
+    if (queue_.empty() && limit != kMaxTick && now_ < limit)
+        now_ = limit;
+    return executed;
+}
+
+} // namespace opdvfs::sim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The discrete-event simulator: a clock plus an event queue.
+ *
+ * Hardware components (AICore, DVFS controller, thermal model,
+ * telemetry samplers) schedule callbacks against one Simulator
+ * instance; run() drains events in time order and advances the clock.
+ */
+
+#ifndef OPDVFS_SIM_SIMULATOR_H
+#define OPDVFS_SIM_SIMULATOR_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace opdvfs::sim {
+
+/** Owns simulated time and the pending-event queue. */
+class Simulator
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay ticks from now (delay >= 0). */
+    void scheduleIn(Tick delay, EventFn fn);
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /**
+     * Run until the queue drains or @p limit is reached.  Events
+     * scheduled exactly at @p limit still run.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = kMaxTick);
+
+    /** True if no events are pending. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Total events executed over the simulator's lifetime. */
+    std::uint64_t eventsExecuted() const { return events_executed_; }
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+    std::uint64_t events_executed_ = 0;
+};
+
+} // namespace opdvfs::sim
+
+#endif // OPDVFS_SIM_SIMULATOR_H

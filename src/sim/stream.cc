@@ -1,0 +1,121 @@
+#include "sim/stream.h"
+
+#include <stdexcept>
+
+namespace opdvfs::sim {
+
+void
+SyncEvent::record(Tick now)
+{
+    if (recorded_)
+        throw std::logic_error("SyncEvent: recorded twice");
+    recorded_ = true;
+    record_tick_ = now;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto &fn : waiters)
+        fn();
+}
+
+void
+SyncEvent::onRecord(std::function<void()> fn)
+{
+    if (recorded_)
+        fn();
+    else
+        waiters_.push_back(std::move(fn));
+}
+
+Stream::Stream(Simulator &simulator, std::string name)
+    : simulator_(simulator), name_(std::move(name))
+{
+}
+
+void
+Stream::enqueue(Task task)
+{
+    queue_.push_back({Item::Kind::Task, std::move(task), nullptr});
+    pump();
+}
+
+void
+Stream::enqueueDelay(Tick duration)
+{
+    if (duration < 0)
+        throw std::invalid_argument("Stream: negative delay");
+    enqueue([this, duration](std::function<void()> done) {
+        simulator_.scheduleIn(duration, std::move(done));
+    });
+}
+
+void
+Stream::enqueueRecord(std::shared_ptr<SyncEvent> event)
+{
+    if (!event)
+        throw std::invalid_argument("Stream: null event");
+    queue_.push_back({Item::Kind::Record, nullptr, std::move(event)});
+    pump();
+}
+
+void
+Stream::enqueueWait(std::shared_ptr<SyncEvent> event)
+{
+    if (!event)
+        throw std::invalid_argument("Stream: null event");
+    queue_.push_back({Item::Kind::Wait, nullptr, std::move(event)});
+    pump();
+}
+
+void
+Stream::pump()
+{
+    if (pumping_)
+        return;
+    pumping_ = true;
+
+    while (!busy_ && !waiting_ && !queue_.empty()) {
+        Item item = std::move(queue_.front());
+        queue_.pop_front();
+
+        switch (item.kind) {
+          case Item::Kind::Record:
+            item.event->record(simulator_.now());
+            break;
+
+          case Item::Kind::Wait:
+            if (!item.event->recorded()) {
+                waiting_ = true;
+                item.event->onRecord([this] {
+                    waiting_ = false;
+                    pump();
+                });
+            }
+            break;
+
+          case Item::Kind::Task: {
+            busy_ = true;
+            auto called = std::make_shared<bool>(false);
+            auto done = [this, called] {
+                if (*called)
+                    throw std::logic_error(
+                        "Stream: task completion invoked twice");
+                *called = true;
+                busy_ = false;
+                if (queue_.empty() && !waiting_)
+                    last_idle_tick_ = simulator_.now();
+                pump();
+            };
+            item.task(std::move(done));
+            break;
+          }
+        }
+    }
+
+    pumping_ = false;
+    // A task may have completed synchronously while we held the guard;
+    // if so there may be runnable items left.
+    if (!busy_ && !waiting_ && !queue_.empty())
+        pump();
+}
+
+} // namespace opdvfs::sim

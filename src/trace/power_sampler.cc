@@ -1,0 +1,62 @@
+#include "trace/power_sampler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::trace {
+
+PowerSampler::PowerSampler(npu::NpuChip &chip, Tick period,
+                           SamplerNoise noise, std::uint64_t seed)
+    : chip_(chip), period_(period), noise_(noise), rng_(seed)
+{
+    if (period <= 0)
+        throw std::invalid_argument("PowerSampler: non-positive period");
+}
+
+void
+PowerSampler::start(bool stop_when_idle)
+{
+    stop_when_idle_ = stop_when_idle;
+    if (running_)
+        return;
+    running_ = true;
+    scheduleNext();
+}
+
+void
+PowerSampler::sampleNow()
+{
+    chip_.syncAccounting();
+
+    PowerSample sample;
+    sample.tick = chip_.simulator().now();
+    sample.soc_watts =
+        chip_.instantSocPower() * rng_.noiseFactor(noise_.power_sigma);
+    sample.aicore_watts =
+        chip_.instantAicorePower() * rng_.noiseFactor(noise_.power_sigma);
+    double t = chip_.temperature();
+    if (noise_.temperature_step > 0.0) {
+        t = std::round(t / noise_.temperature_step)
+            * noise_.temperature_step;
+    }
+    sample.temperature_c = t;
+    sample.f_mhz = chip_.dvfs().currentMhz();
+    samples_.push_back(sample);
+}
+
+void
+PowerSampler::scheduleNext()
+{
+    chip_.simulator().scheduleIn(period_, [this] {
+        if (!running_)
+            return;
+        sampleNow();
+        if (stop_when_idle_ && chip_.idle()) {
+            running_ = false;
+            return;
+        }
+        scheduleNext();
+    });
+}
+
+} // namespace opdvfs::trace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Periodic power/temperature telemetry: the stand-in for Ascend's
+ * lpmi_tool (Sect. 6, Sect. 7.3).  Samples the chip's instantaneous
+ * SoC power, AICore power and die temperature on a fixed period with
+ * measurement noise and quantisation.
+ */
+
+#ifndef OPDVFS_TRACE_POWER_SAMPLER_H
+#define OPDVFS_TRACE_POWER_SAMPLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "npu/npu_chip.h"
+
+namespace opdvfs::trace {
+
+/** One telemetry sample. */
+struct PowerSample
+{
+    Tick tick = 0;
+    double soc_watts = 0.0;
+    double aicore_watts = 0.0;
+    double temperature_c = 0.0;
+    /** Core frequency at sampling time. */
+    double f_mhz = 0.0;
+};
+
+/** Sampler noise/quantisation configuration. */
+struct SamplerNoise
+{
+    /** Relative sigma of power readings. */
+    double power_sigma = 0.015;
+    /** Temperature readings quantise to this step (degC). */
+    double temperature_step = 0.5;
+};
+
+/** Periodic telemetry sampler driven by the simulator. */
+class PowerSampler
+{
+  public:
+    PowerSampler(npu::NpuChip &chip, Tick period, SamplerNoise noise,
+                 std::uint64_t seed);
+
+    /**
+     * Begin sampling.  The sampler re-arms itself after each sample
+     * until stop() is called or, with @p stop_when_idle, until the
+     * chip's streams drain.
+     */
+    void start(bool stop_when_idle = true);
+
+    /** Stop after the next pending sample. */
+    void stop() { running_ = false; }
+
+    /** Take one sample immediately. */
+    void sampleNow();
+
+    const std::vector<PowerSample> &samples() const { return samples_; }
+
+    void clear() { samples_.clear(); }
+
+  private:
+    void scheduleNext();
+
+    npu::NpuChip &chip_;
+    Tick period_;
+    SamplerNoise noise_;
+    Rng rng_;
+    bool running_ = false;
+    bool stop_when_idle_ = true;
+    std::vector<PowerSample> samples_;
+};
+
+} // namespace opdvfs::trace
+
+#endif // OPDVFS_TRACE_POWER_SAMPLER_H

@@ -1,0 +1,123 @@
+#include "trace/trace_export.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace opdvfs::trace {
+
+namespace {
+
+const char *
+categoryName(npu::OpCategory category)
+{
+    switch (category) {
+      case npu::OpCategory::Compute:       return "Compute";
+      case npu::OpCategory::Aicpu:         return "AICPU";
+      case npu::OpCategory::Communication: return "Communication";
+      case npu::OpCategory::Idle:          return "Idle";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+exportOpRecordsCsv(const std::vector<OpRecord> &records, std::ostream &os)
+{
+    // Enough digits that import round-trips tick-accurately.
+    os << std::setprecision(15);
+    os << "op_id,type,category,start_us,end_us,duration_us,f_mhz,"
+          "cube,vector,scalar,mte1,mte2,mte3\n";
+    for (const auto &r : records) {
+        os << r.op_id << "," << r.type << "," << categoryName(r.category)
+           << "," << ticksToSeconds(r.start) * 1e6 << ","
+           << ticksToSeconds(r.end) * 1e6 << "," << r.duration_s * 1e6
+           << "," << r.f_mhz << "," << r.ratios.cube << ","
+           << r.ratios.vector << "," << r.ratios.scalar << ","
+           << r.ratios.mte1 << "," << r.ratios.mte2 << ","
+           << r.ratios.mte3 << "\n";
+    }
+}
+
+std::vector<OpRecord>
+importOpRecordsCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line)
+        || line.rfind("op_id,type,category", 0) != 0) {
+        throw std::invalid_argument(
+            "importOpRecordsCsv: missing or unknown header");
+    }
+
+    auto parseCategory = [](const std::string &name) {
+        if (name == "Compute")
+            return npu::OpCategory::Compute;
+        if (name == "AICPU")
+            return npu::OpCategory::Aicpu;
+        if (name == "Communication")
+            return npu::OpCategory::Communication;
+        if (name == "Idle")
+            return npu::OpCategory::Idle;
+        throw std::invalid_argument(
+            "importOpRecordsCsv: unknown category '" + name + "'");
+    };
+
+    std::vector<OpRecord> records;
+    std::size_t line_number = 1;
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (line.empty())
+            continue;
+
+        std::vector<std::string> fields;
+        std::string field;
+        std::istringstream row(line);
+        while (std::getline(row, field, ','))
+            fields.push_back(field);
+        if (fields.size() != 13) {
+            throw std::invalid_argument(
+                "importOpRecordsCsv: line "
+                + std::to_string(line_number) + ": expected 13 fields, got "
+                + std::to_string(fields.size()));
+        }
+
+        try {
+            OpRecord record;
+            record.op_id = std::stoull(fields[0]);
+            record.type = fields[1];
+            record.category = parseCategory(fields[2]);
+            record.start = secondsToTicks(std::stod(fields[3]) * 1e-6);
+            record.end = secondsToTicks(std::stod(fields[4]) * 1e-6);
+            record.duration_s = std::stod(fields[5]) * 1e-6;
+            record.f_mhz = std::stod(fields[6]);
+            record.ratios.cube = std::stod(fields[7]);
+            record.ratios.vector = std::stod(fields[8]);
+            record.ratios.scalar = std::stod(fields[9]);
+            record.ratios.mte1 = std::stod(fields[10]);
+            record.ratios.mte2 = std::stod(fields[11]);
+            record.ratios.mte3 = std::stod(fields[12]);
+            records.push_back(std::move(record));
+        } catch (const std::invalid_argument &) {
+            throw std::invalid_argument("importOpRecordsCsv: line "
+                                        + std::to_string(line_number)
+                                        + ": bad numeric field");
+        }
+    }
+    return records;
+}
+
+void
+exportPowerSamplesCsv(const std::vector<PowerSample> &samples,
+                      std::ostream &os)
+{
+    os << "time_s,soc_watts,aicore_watts,temperature_c,f_mhz\n";
+    for (const auto &s : samples) {
+        os << ticksToSeconds(s.tick) << "," << s.soc_watts << ","
+           << s.aicore_watts << "," << s.temperature_c << "," << s.f_mhz
+           << "\n";
+    }
+}
+
+} // namespace opdvfs::trace

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CSV export of profiler records and telemetry samples, for offline
+ * inspection of simulated timelines (the stand-in for the CANN
+ * profiler's visualised trace, Sect. 7.4).
+ */
+
+#ifndef OPDVFS_TRACE_TRACE_EXPORT_H
+#define OPDVFS_TRACE_TRACE_EXPORT_H
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "trace/power_sampler.h"
+#include "trace/profiler.h"
+
+namespace opdvfs::trace {
+
+/** Write operator records as CSV (header + one row per op). */
+void exportOpRecordsCsv(const std::vector<OpRecord> &records,
+                        std::ostream &os);
+
+/** Write telemetry samples as CSV. */
+void exportPowerSamplesCsv(const std::vector<PowerSample> &samples,
+                           std::ostream &os);
+
+/**
+ * Parse operator records from the CSV produced by
+ * exportOpRecordsCsv().  This is the bring-your-own-trace entry point:
+ * converted traces from a real profiler can be fed straight into
+ * classification, preprocessing and strategy search.
+ *
+ * @throws std::invalid_argument on malformed input.
+ */
+std::vector<OpRecord> importOpRecordsCsv(std::istream &is);
+
+} // namespace opdvfs::trace
+
+#endif // OPDVFS_TRACE_TRACE_EXPORT_H

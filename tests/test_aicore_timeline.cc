@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "math/piecewise_linear.h"
+#include "npu/aicore_timeline.h"
+
+namespace opdvfs::npu {
+namespace {
+
+HwOpParams
+baseParams(Scenario scenario)
+{
+    HwOpParams params;
+    params.category = OpCategory::Compute;
+    params.scenario = scenario;
+    params.n = 8;
+    params.core_cycles = 30'000.0;
+    params.ld_volume_bytes = 2.0e6;
+    params.ld_l2_hit = 0.3;
+    params.st_volume_bytes = 1.0e6;
+    params.st_l2_hit = 0.3;
+    params.t0_seconds = 4e-7;
+    params.overhead_seconds = 2e-6;
+    return params;
+}
+
+const Scenario kAllScenarios[] = {
+    Scenario::PingPongFreeIndependent,
+    Scenario::PingPongFreeDependent,
+    Scenario::PingPongIndependent,
+    Scenario::PingPongDependent,
+};
+
+/**
+ * The paper's central claim (Sect. 4.2.5): Cycle(f) is a convex
+ * piecewise-linear function of frequency for every scenario.
+ * Parameterised over scenario x randomized operator shape.
+ */
+class TimelineConvexity
+    : public ::testing::TestWithParam<std::tuple<Scenario, int>>
+{
+};
+
+TEST_P(TimelineConvexity, CycleCountIsConvexInFrequency)
+{
+    auto [scenario, seed] = GetParam();
+    opdvfs::Rng rng(static_cast<std::uint64_t>(seed) * 977 + 3);
+
+    HwOpParams params = baseParams(scenario);
+    params.n = static_cast<int>(rng.uniformInt(1, 64));
+    params.core_cycles = rng.uniform(0.0, 100'000.0);
+    params.ld_volume_bytes = rng.uniform(0.0, 8.0e6);
+    params.st_volume_bytes = rng.uniform(0.0, 8.0e6);
+    params.ld_l2_hit = rng.uniform(0.0, 0.95);
+    params.st_l2_hit = rng.uniform(0.0, 0.95);
+    params.t0_seconds = rng.uniform(0.0, 2e-6);
+    params.overhead_seconds = rng.uniform(0.0, 1e-5);
+
+    MemorySystem memory;
+    AicoreTimeline timeline(params, memory);
+
+    std::vector<double> f, cycles;
+    for (double mhz = 600.0; mhz <= 2400.0; mhz += 25.0) {
+        f.push_back(mhz);
+        cycles.push_back(timeline.cycles(mhz));
+    }
+    EXPECT_TRUE(math::isConvexSamples(f, cycles, 1e-9));
+}
+
+TEST_P(TimelineConvexity, ExecutionTimeNonIncreasingInFrequency)
+{
+    auto [scenario, seed] = GetParam();
+    opdvfs::Rng rng(static_cast<std::uint64_t>(seed) * 1091 + 7);
+
+    HwOpParams params = baseParams(scenario);
+    params.core_cycles = rng.uniform(1'000.0, 80'000.0);
+    params.ld_volume_bytes = rng.uniform(1e5, 6e6);
+
+    MemorySystem memory;
+    AicoreTimeline timeline(params, memory);
+    double previous = timeline.seconds(600.0);
+    for (double mhz = 650.0; mhz <= 2400.0; mhz += 50.0) {
+        double t = timeline.seconds(mhz);
+        EXPECT_LE(t, previous * (1.0 + 1e-12)) << "at " << mhz;
+        previous = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, TimelineConvexity,
+    ::testing::Combine(::testing::ValuesIn(kAllScenarios),
+                       ::testing::Range(0, 8)));
+
+/** The symbolic PWL form must agree exactly with the numeric path. */
+class PwlAgreement
+    : public ::testing::TestWithParam<std::tuple<Scenario, int>>
+{
+};
+
+TEST_P(PwlAgreement, SymbolicMatchesNumeric)
+{
+    auto [scenario, seed] = GetParam();
+    opdvfs::Rng rng(static_cast<std::uint64_t>(seed) * 499 + 1);
+
+    HwOpParams params = baseParams(scenario);
+    params.n = static_cast<int>(rng.uniformInt(1, 32));
+    params.core_cycles = rng.uniform(0.0, 60'000.0);
+    params.ld_volume_bytes = rng.chance(0.85) ? rng.uniform(1e4, 4e6) : 0.0;
+    params.st_volume_bytes = rng.chance(0.85) ? rng.uniform(1e4, 4e6) : 0.0;
+
+    MemorySystem memory;
+    AicoreTimeline timeline(params, memory);
+    math::ConvexPwl pwl = timeline.cyclePwl();
+
+    for (double mhz = 800.0; mhz <= 2000.0; mhz += 37.0) {
+        double numeric = timeline.cycles(mhz);
+        double symbolic = pwl.eval(mhzToHz(mhz));
+        EXPECT_NEAR(symbolic, numeric, 1e-6 * std::max(1.0, numeric))
+            << "at " << mhz << " MHz";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, PwlAgreement,
+    ::testing::Combine(::testing::ValuesIn(kAllScenarios),
+                       ::testing::Range(0, 6)));
+
+TEST(AicoreTimeline, DependentSlowerThanIndependent)
+{
+    // Serialising Ld -> core -> St can only add cycles.
+    MemorySystem memory;
+    HwOpParams indep = baseParams(Scenario::PingPongFreeIndependent);
+    HwOpParams dep = baseParams(Scenario::PingPongFreeDependent);
+    AicoreTimeline t_indep(indep, memory);
+    AicoreTimeline t_dep(dep, memory);
+    for (double mhz : {1000.0, 1400.0, 1800.0})
+        EXPECT_GE(t_dep.cycles(mhz), t_indep.cycles(mhz));
+}
+
+TEST(AicoreTimeline, PingPongFasterThanPingPongFree)
+{
+    // Double buffering overlaps transfers with compute.
+    MemorySystem memory;
+    HwOpParams no_pp = baseParams(Scenario::PingPongFreeDependent);
+    HwOpParams pp = baseParams(Scenario::PingPongDependent);
+    AicoreTimeline t_no(no_pp, memory);
+    AicoreTimeline t_pp(pp, memory);
+    for (double mhz : {1000.0, 1400.0, 1800.0})
+        EXPECT_LT(t_pp.cycles(mhz), t_no.cycles(mhz));
+}
+
+TEST(AicoreTimeline, NonComputeUsesFixedDuration)
+{
+    MemorySystem memory;
+    HwOpParams params;
+    params.category = OpCategory::Communication;
+    params.fixed_seconds = 2.5e-3;
+    AicoreTimeline timeline(params, memory);
+    EXPECT_DOUBLE_EQ(timeline.seconds(1000.0), 2.5e-3);
+    EXPECT_DOUBLE_EQ(timeline.seconds(1800.0), 2.5e-3);
+    EXPECT_DOUBLE_EQ(timeline.cycles(1800.0), 0.0);
+}
+
+TEST(AicoreTimeline, RatiosSumBelowOneForOverheadDominatedOp)
+{
+    // No-pipeline-bound operators (Sect. 6.1): dispatch overhead
+    // dominates, so accounted pipeline activity is under 100%.
+    MemorySystem memory;
+    HwOpParams params = baseParams(Scenario::PingPongFreeIndependent);
+    params.n = 1;
+    params.core_cycles = 3'000.0;
+    params.ld_volume_bytes = 2e4;
+    params.st_volume_bytes = 1e4;
+    params.overhead_seconds = 10e-6;
+    AicoreTimeline timeline(params, memory);
+    EXPECT_LT(timeline.ratios(1800.0).sum(), 1.0);
+}
+
+TEST(AicoreTimeline, RatiosInUnitRangeAndAssignedToConfiguredPipe)
+{
+    MemorySystem memory;
+    HwOpParams params = baseParams(Scenario::PingPongIndependent);
+    params.core_pipe = CorePipe::Cube;
+    params.core_cycles = 60'000.0;
+    AicoreTimeline timeline(params, memory);
+    PipelineRatios r = timeline.ratios(1800.0);
+    for (double ratio : {r.cube, r.vector, r.scalar, r.mte1, r.mte2, r.mte3}) {
+        EXPECT_GE(ratio, 0.0);
+        EXPECT_LE(ratio, 1.0);
+    }
+    EXPECT_GT(r.cube, 0.0);
+    EXPECT_DOUBLE_EQ(r.vector, 0.0);
+    EXPECT_DOUBLE_EQ(r.scalar, 0.0);
+}
+
+TEST(AicoreTimeline, UncoreSaturatedOpTimeFlatAboveSaturation)
+{
+    // A pure-transfer op above fs: time becomes frequency-independent
+    // (up to the T0 f and overhead terms).
+    MemorySystem memory;
+    HwOpParams params = baseParams(Scenario::PingPongIndependent);
+    params.core_cycles = 10.0; // negligible compute
+    params.ld_volume_bytes = 4e6;
+    params.ld_l2_hit = 0.0;
+    params.st_volume_bytes = 0.0;
+    params.t0_seconds = 0.0;
+    params.overhead_seconds = 0.0;
+
+    AicoreTimeline timeline(params, memory);
+    double fs = memory.saturationMhz(params.ld_l2_hit);
+    double just_above = timeline.seconds(fs * 1.05);
+    double far_above = timeline.seconds(fs * 1.5);
+    EXPECT_NEAR(just_above, far_above, just_above * 0.01);
+    // And well below fs, time scales like 1/f.
+    double t_low = timeline.seconds(fs * 0.5);
+    EXPECT_NEAR(t_low / just_above, 2.0 * 1.05, 0.15);
+}
+
+TEST(AicoreTimeline, InvalidParamsThrow)
+{
+    MemorySystem memory;
+    HwOpParams params = baseParams(Scenario::PingPongIndependent);
+    params.n = 0;
+    EXPECT_THROW(AicoreTimeline(params, memory), std::invalid_argument);
+    params = baseParams(Scenario::PingPongIndependent);
+    params.core_cycles = -1.0;
+    EXPECT_THROW(AicoreTimeline(params, memory), std::invalid_argument);
+}
+
+} // namespace
+} // namespace opdvfs::npu

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "dvfs/baselines.h"
+#include "dvfs/preprocess.h"
+#include "models/transformer.h"
+#include "power/offline_calibration.h"
+#include "power/online_calibration.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::dvfs {
+namespace {
+
+/** Small shared setup mirroring the integration harness. */
+struct BaselineHarness
+{
+    npu::NpuConfig config;
+    npu::FreqTable table{npu::FreqTableConfig{}};
+    models::Workload workload;
+    trace::RunResult baseline;
+    PreprocessResult prep;
+    std::unique_ptr<StageEvaluator> evaluator;
+    power::CalibratedConstants constants;
+
+    BaselineHarness() : constants(power::calibrateOffline(config))
+    {
+        npu::MemorySystem memory(config.memory);
+        models::TransformerConfig model;
+        model.layers = 3;
+        model.hidden = 2048;
+        model.heads = 16;
+        model.seq = 1024;
+        model.batch = 2;
+        model.tp_allreduce = true;
+        model.tensor_parallel = 2;
+        workload = models::buildTransformerTraining(memory, model, 55);
+
+        trace::WorkloadRunner runner(config);
+        power::PowerModel power_model(constants, table);
+        power::OnlinePowerCalibrator online(power_model);
+        perf::PerfModelRepository repo;
+        for (double f : {1000.0, 1400.0, 1800.0}) {
+            trace::RunOptions options;
+            options.initial_mhz = f;
+            options.warmup_seconds = 5.0;
+            options.sample_period = kTicksPerMs;
+            options.seed = 300 + static_cast<std::uint64_t>(f);
+            trace::RunResult run = runner.run(workload, options);
+            repo.addProfile(f, run.records);
+            online.addRun(run);
+            if (f == 1800.0)
+                baseline = run;
+        }
+        perf::PerfBuildOptions perf_options;
+        perf_options.kind = perf::FitFunction::PwlCycles;
+        repo.fitAll(perf_options);
+        prep = preprocess(baseline.records, {});
+        evaluator = std::make_unique<StageEvaluator>(
+            prep.stages, repo, power_model, online.perOpModels(), table);
+    }
+};
+
+BaselineHarness &
+harness()
+{
+    static BaselineHarness instance;
+    return instance;
+}
+
+TEST(UniformFrequency, SelectsAValidSupportedPoint)
+{
+    BaselineHarness &h = harness();
+    UniformFrequencyResult result =
+        selectUniformFrequency(*h.evaluator, 0.02);
+    EXPECT_TRUE(h.table.supports(result.mhz));
+    EXPECT_GT(result.score, 0.0);
+    // A uniform drop can never beat staying within the bound while
+    // saving power relative to all-max.
+    EXPECT_LE(result.eval.aicore_watts,
+              result.baseline_eval.aicore_watts + 1e-9);
+}
+
+TEST(UniformFrequency, LooserTargetPermitsLowerFrequency)
+{
+    BaselineHarness &h = harness();
+    UniformFrequencyResult tight =
+        selectUniformFrequency(*h.evaluator, 0.01);
+    UniformFrequencyResult loose =
+        selectUniformFrequency(*h.evaluator, 0.20);
+    EXPECT_LE(loose.mhz, tight.mhz);
+}
+
+TEST(ModelFree, RespectsEvaluationBudget)
+{
+    BaselineHarness &h = harness();
+    trace::WorkloadRunner runner(h.config);
+    ModelFreeOptions options;
+    options.evaluation_budget = 8;
+    options.population = 4;
+    options.warmup_seconds = 1.0;
+    ModelFreeResult result =
+        searchModelFree(runner, h.workload, h.prep.stages,
+                        h.baseline.records, h.table, options);
+    EXPECT_EQ(result.evaluations, 8);
+    EXPECT_GT(result.simulated_seconds, 0.0);
+    EXPECT_EQ(result.best_mhz.size(), h.prep.stages.size());
+    EXPECT_GT(result.best_score, 0.0);
+}
+
+TEST(ModelFree, NeverWorseThanItsOwnBaseline)
+{
+    BaselineHarness &h = harness();
+    trace::WorkloadRunner runner(h.config);
+    ModelFreeOptions options;
+    options.evaluation_budget = 12;
+    options.population = 5;
+    options.warmup_seconds = 1.0;
+    options.perf_loss_target = 0.05;
+    ModelFreeResult result =
+        searchModelFree(runner, h.workload, h.prep.stages,
+                        h.baseline.records, h.table, options);
+    StrategyEvaluation base;
+    base.seconds = result.baseline_run.iteration_seconds;
+    base.soc_watts = result.baseline_run.soc_avg_w;
+    double per_lb = 1e-6 / result.baseline_run.iteration_seconds * 0.95;
+    EXPECT_GE(result.best_score, strategyScore(base, per_lb));
+}
+
+TEST(ModelFree, Validation)
+{
+    BaselineHarness &h = harness();
+    trace::WorkloadRunner runner(h.config);
+    ModelFreeOptions bad;
+    bad.evaluation_budget = 1;
+    EXPECT_THROW(searchModelFree(runner, h.workload, h.prep.stages,
+                                 h.baseline.records, h.table, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(searchModelFree(runner, h.workload, {},
+                                 h.baseline.records, h.table, {}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace opdvfs::dvfs

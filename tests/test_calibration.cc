@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "models/transformer.h"
+#include "power/offline_calibration.h"
+#include "power/online_calibration.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::power {
+namespace {
+
+/** Offline calibration is slow-ish; run it once for the suite. */
+class CalibrationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        config_ = new npu::NpuConfig();
+        constants_ = new CalibratedConstants(calibrateOffline(*config_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete constants_;
+        delete config_;
+    }
+
+    static npu::NpuConfig *config_;
+    static CalibratedConstants *constants_;
+};
+
+npu::NpuConfig *CalibrationTest::config_ = nullptr;
+CalibratedConstants *CalibrationTest::constants_ = nullptr;
+
+TEST_F(CalibrationTest, RecoversGammaAicore)
+{
+    // Ground truth gamma_aicore is 0.2 W/(K V).
+    EXPECT_NEAR(constants_->gamma_aicore,
+                config_->aicore_power.gamma, 0.35 * config_->aicore_power.gamma);
+}
+
+TEST_F(CalibrationTest, RecoversGammaSoc)
+{
+    // SoC slope combines core and uncore leakage:
+    // gamma_core + gamma_uncore / V at the calibration voltage.
+    double volts = npu::FreqTable(config_->freq).voltageFor(1800.0);
+    double truth =
+        config_->aicore_power.gamma + config_->uncore_power.gamma / volts;
+    EXPECT_NEAR(constants_->gamma_soc, truth, 0.25 * truth);
+}
+
+TEST_F(CalibrationTest, RecoversThermalSlopeAndAmbient)
+{
+    // k is measured through the leakage feedback loop, so the apparent
+    // slope is slightly above the raw RC constant.
+    EXPECT_GT(constants_->k_per_watt, 0.8 * config_->thermal.k_per_watt);
+    EXPECT_LT(constants_->k_per_watt, 1.6 * config_->thermal.k_per_watt);
+    EXPECT_NEAR(constants_->ambient_c, config_->thermal.ambient_celsius,
+                6.0);
+}
+
+TEST_F(CalibrationTest, IdleModelInterpolatesSanely)
+{
+    npu::FreqTable table(config_->freq);
+    PowerModel model(*constants_, table);
+    double previous_core = 0.0;
+    for (double f : table.frequenciesMhz()) {
+        double core = model.aicoreIdle(f);
+        EXPECT_GT(core, 0.0);
+        EXPECT_GT(core, previous_core);
+        previous_core = core;
+        EXPECT_GT(model.socIdle(f), core);
+        EXPECT_LT(model.socIdle(f), 250.0);
+    }
+}
+
+TEST_F(CalibrationTest, OnlineCalibratorAlignsSamples)
+{
+    npu::MemorySystem memory(config_->memory);
+    models::TransformerConfig model;
+    model.layers = 2;
+    model.hidden = 1536;
+    model.heads = 12;
+    model.seq = 512;
+    model.batch = 4;
+    models::Workload workload =
+        models::buildTransformerTraining(memory, model, 3);
+
+    trace::WorkloadRunner runner(*config_);
+    trace::RunOptions options;
+    options.sample_period = kTicksPerMs / 5;
+    options.warmup_seconds = 5.0;
+    trace::RunResult run = runner.run(workload, options);
+
+    npu::FreqTable table(config_->freq);
+    PowerModel power_model(*constants_, table);
+    OnlinePowerCalibrator online(power_model);
+    online.addRun(run);
+    EXPECT_GT(online.alignedSampleCount(), 10u);
+
+    auto models = online.perOpModels();
+    EXPECT_EQ(models.size(), workload.opCount());
+
+    // The pooled MatMul alpha must exceed the pooled Idle-ish alpha.
+    OpPowerModel matmul = online.typeModel("MatMul");
+    OpPowerModel workload_level = online.workloadModel();
+    EXPECT_GT(matmul.alpha_aicore, 0.0);
+    EXPECT_GT(workload_level.alpha_soc, 0.0);
+    EXPECT_THROW(online.typeModel("NoSuchType"), std::invalid_argument);
+}
+
+TEST_F(CalibrationTest, WorkloadAggregateCalibrationPredictsMidFrequency)
+{
+    npu::MemorySystem memory(config_->memory);
+    models::TransformerConfig model;
+    model.layers = 2;
+    model.hidden = 1536;
+    model.heads = 12;
+    model.seq = 512;
+    model.batch = 4;
+    models::Workload workload =
+        models::buildTransformerTraining(memory, model, 3);
+
+    trace::WorkloadRunner runner(*config_);
+    std::map<double, trace::RunResult> runs;
+    for (double f : {1000.0, 1400.0, 1800.0}) {
+        trace::RunOptions options;
+        options.initial_mhz = f;
+        options.warmup_seconds = 25.0;
+        options.seed = 5 + static_cast<std::uint64_t>(f);
+        runs[f] = runner.run(workload, options);
+    }
+
+    npu::FreqTable table(config_->freq);
+    PowerModel power_model(*constants_, table);
+    OpPowerModel op = OnlinePowerCalibrator::calibrateWorkloadAggregate(
+        power_model, {{1000.0, &runs[1000.0]}, {1800.0, &runs[1800.0]}});
+
+    // Predict the held-out middle frequency (the Table 2 protocol).
+    PowerPrediction prediction = power_model.predict(op, 1400.0);
+    double measured = runs[1400.0].soc_avg_w;
+    EXPECT_NEAR(prediction.soc_watts, measured, 0.15 * measured);
+}
+
+} // namespace
+} // namespace opdvfs::power

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "dvfs/classification.h"
+
+namespace opdvfs::dvfs {
+namespace {
+
+trace::OpRecord
+record(npu::OpCategory category)
+{
+    trace::OpRecord r;
+    r.category = category;
+    return r;
+}
+
+TEST(Classification, NonComputeCategories)
+{
+    EXPECT_EQ(classify(record(npu::OpCategory::Aicpu)), Bottleneck::Aicpu);
+    EXPECT_EQ(classify(record(npu::OpCategory::Communication)),
+              Bottleneck::Communication);
+    EXPECT_EQ(classify(record(npu::OpCategory::Idle)), Bottleneck::Idle);
+}
+
+TEST(Classification, NoPipelineWhenRatiosSumBelowOne)
+{
+    trace::OpRecord r = record(npu::OpCategory::Compute);
+    r.ratios.vector = 0.3;
+    r.ratios.mte2 = 0.4;
+    EXPECT_EQ(classify(r), Bottleneck::NoPipeline);
+}
+
+TEST(Classification, LatencyBoundWhenMaxBelowThreshold)
+{
+    trace::OpRecord r = record(npu::OpCategory::Compute);
+    r.ratios.vector = 0.6;
+    r.ratios.mte2 = 0.5;
+    r.ratios.mte3 = 0.5;
+    EXPECT_EQ(classify(r), Bottleneck::Latency);
+}
+
+TEST(Classification, UncoreBoundWhenLdStPipeDominates)
+{
+    trace::OpRecord r = record(npu::OpCategory::Compute);
+    r.ratios.mte2 = 0.95;
+    r.ratios.vector = 0.4;
+    EXPECT_EQ(classify(r), Bottleneck::Uncore);
+
+    trace::OpRecord st = record(npu::OpCategory::Compute);
+    st.ratios.mte3 = 0.9;
+    st.ratios.cube = 0.5;
+    EXPECT_EQ(classify(st), Bottleneck::Uncore);
+}
+
+TEST(Classification, CoreBoundWhenCorePipeDominates)
+{
+    for (auto setter :
+         {+[](npu::PipelineRatios &r) { r.cube = 0.95; },
+          +[](npu::PipelineRatios &r) { r.vector = 0.95; },
+          +[](npu::PipelineRatios &r) { r.scalar = 0.95; },
+          +[](npu::PipelineRatios &r) { r.mte1 = 0.95; }}) {
+        trace::OpRecord r = record(npu::OpCategory::Compute);
+        setter(r.ratios);
+        r.ratios.mte2 = 0.3;
+        EXPECT_EQ(classify(r), Bottleneck::Core);
+    }
+}
+
+TEST(Classification, ThresholdsConfigurable)
+{
+    trace::OpRecord r = record(npu::OpCategory::Compute);
+    r.ratios.cube = 0.85;
+    r.ratios.mte2 = 0.4;
+    ClassifyOptions strict;
+    strict.latency_max_ratio = 0.9;
+    EXPECT_EQ(classify(r, strict), Bottleneck::Latency);
+    EXPECT_EQ(classify(r), Bottleneck::Core);
+}
+
+// Table 1: the frequency-sensitivity partition.
+TEST(Classification, SensitivityTable)
+{
+    EXPECT_TRUE(isFrequencySensitive(Bottleneck::Core));
+    EXPECT_TRUE(isFrequencySensitive(Bottleneck::Latency));
+    EXPECT_FALSE(isFrequencySensitive(Bottleneck::Uncore));
+    EXPECT_FALSE(isFrequencySensitive(Bottleneck::Aicpu));
+    EXPECT_FALSE(isFrequencySensitive(Bottleneck::Communication));
+    EXPECT_FALSE(isFrequencySensitive(Bottleneck::Idle));
+    EXPECT_FALSE(isFrequencySensitive(Bottleneck::NoPipeline));
+}
+
+TEST(Classification, NamesAreDistinct)
+{
+    EXPECT_NE(bottleneckName(Bottleneck::Core),
+              bottleneckName(Bottleneck::Uncore));
+    EXPECT_FALSE(bottleneckName(Bottleneck::NoPipeline).empty());
+}
+
+} // namespace
+} // namespace opdvfs::dvfs

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_runner.h"
+#include "models/transformer.h"
+#include "ops/op_factory.h"
+
+namespace opdvfs::cluster {
+namespace {
+
+models::Workload
+tinyWorkload(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    models::TransformerConfig model;
+    model.name = "cluster-tiny";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = 512;
+    model.batch = 2;
+    model.tensor_parallel = 4;
+    model.tp_allreduce = true;
+    model.grad_allreduce = false;
+    return models::buildTransformerTraining(memory, model, seed);
+}
+
+TEST(CollectiveGroup, SingleDeviceCompletesImmediately)
+{
+    sim::Simulator simulator;
+    CollectiveGroup group(simulator, 1, 1e11, 0.0);
+    bool fired = false;
+    group.arrive(0, 1e6, [&] { fired = true; });
+    simulator.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(group.completedCollectives(), 1u);
+    EXPECT_DOUBLE_EQ(group.totalWaitSeconds(), 0.0);
+}
+
+TEST(CollectiveGroup, WaitsForLastParticipant)
+{
+    sim::Simulator simulator;
+    CollectiveGroup group(simulator, 2, 1e12, 0.0);
+
+    std::vector<Tick> completion(2, -1);
+    group.arrive(0, 1e6, [&] { completion[0] = simulator.now(); });
+    // Rank 1 arrives 5 ms later.
+    simulator.scheduleIn(5 * kTicksPerMs, [&] {
+        group.arrive(1, 1e6, [&] { completion[1] = simulator.now(); });
+    });
+    simulator.run();
+
+    Tick transfer = secondsToTicks(group.transferSeconds(1e6));
+    EXPECT_EQ(completion[0], 5 * kTicksPerMs + transfer);
+    EXPECT_EQ(completion[1], completion[0]);
+    // Rank 0 waited the full 5 ms.
+    EXPECT_NEAR(group.totalWaitSeconds(), 5e-3, 1e-9);
+}
+
+TEST(CollectiveGroup, RingTransferTimeFormula)
+{
+    sim::Simulator simulator;
+    CollectiveGroup group(simulator, 8, 2.0e11, 30e-6);
+    double bytes = 1e8;
+    double expected = 30e-6 + 2.0 * 7.0 / 8.0 * bytes / 2.0e11;
+    EXPECT_NEAR(group.transferSeconds(bytes), expected, 1e-12);
+}
+
+TEST(CollectiveGroup, PipelinedCollectivesKeepOrder)
+{
+    // Device 0 posts two collectives back to back; device 1 joins
+    // later: both must complete in order.
+    sim::Simulator simulator;
+    CollectiveGroup group(simulator, 2, 1e12, 0.0);
+    std::vector<int> order;
+    group.arrive(0, 1e6, [&] { order.push_back(10); });
+    group.arrive(0, 2e6, [&] { order.push_back(20); });
+    simulator.scheduleIn(kTicksPerMs, [&] {
+        group.arrive(1, 1e6, [&] { order.push_back(11); });
+        group.arrive(1, 2e6, [&] { order.push_back(21); });
+    });
+    simulator.run();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_TRUE((order[0] == 10 && order[1] == 11)
+                || (order[0] == 11 && order[1] == 10));
+    EXPECT_TRUE(order[2] == 20 || order[2] == 21);
+}
+
+TEST(CollectiveGroup, MismatchedBytesThrow)
+{
+    sim::Simulator simulator;
+    CollectiveGroup group(simulator, 2, 1e12);
+    group.arrive(0, 1e6, [] {});
+    EXPECT_THROW(group.arrive(1, 2e6, [] {}), std::invalid_argument);
+    EXPECT_THROW(group.arrive(5, 1e6, [] {}), std::invalid_argument);
+}
+
+TEST(ClusterRunner, RunsIterationAcrossDevices)
+{
+    ClusterConfig config;
+    config.devices = 4;
+    npu::MemorySystem memory(config.chip.memory);
+    models::Workload workload = tinyWorkload(memory, 3);
+
+    ClusterRunner runner(config);
+    ClusterRunResult result = runner.run(workload);
+    ASSERT_EQ(result.devices.size(), 4u);
+    EXPECT_GT(result.iteration_seconds, 0.0);
+    EXPECT_GT(result.collectives, 0u);
+    for (const auto &device : result.devices) {
+        EXPECT_GT(device.aicore_avg_w, 5.0);
+        EXPECT_GT(device.soc_avg_w, device.aicore_avg_w);
+    }
+    // Identical devices running identical sequences barely wait.
+    EXPECT_LT(result.collective_wait_seconds,
+              0.02 * result.iteration_seconds
+                  * static_cast<double>(config.devices));
+}
+
+TEST(ClusterRunner, StragglerStallsTheWholeGroup)
+{
+    ClusterConfig config;
+    config.devices = 4;
+    npu::MemorySystem memory(config.chip.memory);
+    models::Workload workload = tinyWorkload(memory, 3);
+    ClusterRunner runner(config);
+
+    ClusterRunResult uniform = runner.run(workload);
+
+    // Slow only device 0 to the minimum frequency.
+    std::vector<std::vector<trace::SetFreqTrigger>> triggers(4);
+    triggers[0].push_back({0, 1000.0});
+    ClusterRunResult straggler = runner.run(workload, triggers);
+
+    // The whole group slows down despite 3 of 4 devices being fast...
+    EXPECT_GT(straggler.iteration_seconds,
+              uniform.iteration_seconds * 1.02);
+    // ...and the fast devices burn their time waiting at collectives.
+    EXPECT_GT(straggler.collective_wait_seconds,
+              uniform.collective_wait_seconds * 3.0);
+}
+
+TEST(ClusterRunner, FleetWideSlowdownBeatsStraggler)
+{
+    ClusterConfig config;
+    config.devices = 4;
+    npu::MemorySystem memory(config.chip.memory);
+    models::Workload workload = tinyWorkload(memory, 3);
+    ClusterRunner runner(config);
+
+    std::vector<std::vector<trace::SetFreqTrigger>> one(4), all(4);
+    one[0].push_back({0, 1300.0});
+    for (auto &t : all)
+        t.push_back({0, 1300.0});
+
+    ClusterRunResult straggler = runner.run(workload, one);
+    ClusterRunResult fleet = runner.run(workload, all);
+
+    // Same iteration time (the straggler sets the pace either way)...
+    EXPECT_NEAR(fleet.iteration_seconds, straggler.iteration_seconds,
+                0.02 * straggler.iteration_seconds);
+    // ...but fleet-wide application saves power on every device.
+    EXPECT_LT(fleet.aicoreAvgWatts(), straggler.aicoreAvgWatts() * 0.98);
+}
+
+TEST(ClusterRunner, Validation)
+{
+    ClusterConfig config;
+    config.devices = 2;
+    ClusterRunner runner(config);
+    models::Workload empty;
+    EXPECT_THROW(runner.run(empty), std::invalid_argument);
+
+    npu::MemorySystem memory(config.chip.memory);
+    models::Workload workload = tinyWorkload(memory, 1);
+    std::vector<std::vector<trace::SetFreqTrigger>> wrong(3);
+    EXPECT_THROW(runner.run(workload, wrong), std::invalid_argument);
+}
+
+} // namespace
+} // namespace opdvfs::cluster

@@ -1,0 +1,104 @@
+/**
+ * Cross-module consistency: the discrete-event execution, the analytic
+ * summary, the profiler and the fitted models must all agree about the
+ * same workload, within measurement noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "models/model_zoo.h"
+#include "ops/op_stats.h"
+#include "perf/perf_model.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs {
+namespace {
+
+class CrossValidation : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CrossValidation, SimulatedIterationMatchesAnalyticSummary)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::Workload workload =
+        models::buildWorkload(GetParam(), memory, 11);
+
+    // Analytic: sum of per-op timeline durations at 1800 MHz.
+    ops::WorkloadStats stats =
+        ops::summarize(workload.iteration, workload.name, memory);
+
+    // Simulated: run it end to end.
+    trace::WorkloadRunner runner(chip);
+    trace::RunOptions options;
+    trace::RunResult run = runner.run(workload, options);
+
+    // Back-to-back execution on one stream: wall time == sum of
+    // durations, up to tick rounding.
+    EXPECT_NEAR(run.iteration_seconds, stats.iteration_seconds,
+                stats.iteration_seconds * 1e-5);
+}
+
+TEST_P(CrossValidation, ProfiledDurationsMatchAnalyticPerOp)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::Workload workload =
+        models::buildWorkload(GetParam(), memory, 11);
+
+    trace::WorkloadRunner runner(chip);
+    trace::RunOptions options;
+    options.profiler_noise.duration_sigma = 0.0; // noise off
+    trace::RunResult run = runner.run(workload, options);
+
+    for (const auto &record : run.records) {
+        const ops::Op &op = workload.iteration[record.op_id];
+        npu::AicoreTimeline timeline(op.hw, memory);
+        double expected = timeline.seconds(1800.0);
+        if (expected < 1e-6)
+            continue;
+        EXPECT_NEAR(record.duration_s, expected, expected * 1e-6)
+            << op.type;
+    }
+}
+
+TEST_P(CrossValidation, FittedModelsPredictTheSimulator)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::Workload workload =
+        models::buildWorkload(GetParam(), memory, 11);
+
+    trace::WorkloadRunner runner(chip);
+    perf::PerfModelRepository repo;
+    std::vector<trace::OpRecord> held_out;
+    for (double f : {1000.0, 1400.0, 1600.0, 1800.0}) {
+        trace::RunOptions options;
+        options.initial_mhz = f;
+        options.seed = 40 + static_cast<std::uint64_t>(f);
+        trace::RunResult run = runner.run(workload, options);
+        if (f == 1600.0) {
+            held_out = run.records;
+            continue; // validation only
+        }
+        repo.addProfile(f, run.records);
+    }
+    perf::PerfBuildOptions build;
+    build.kind = perf::FitFunction::PwlCycles;
+    repo.fitAll(build);
+
+    std::vector<double> errors;
+    for (const auto &e : repo.evaluate(1600.0, held_out))
+        errors.push_back(e.relative_error);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_LT(stats::mean(errors), 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CrossValidation,
+                         ::testing::Values("ResNet50", "Deit_small",
+                                           "AlexNet"));
+
+} // namespace
+} // namespace opdvfs

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.h"
+#include "math/curve_fit.h"
+
+namespace opdvfs::math {
+namespace {
+
+std::vector<double>
+linspace(double lo, double hi, int n)
+{
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(lo + (hi - lo) * i / (n - 1));
+    return out;
+}
+
+TEST(CurveFit, RecoversQuadratic)
+{
+    CurveModel model = [](double x, const std::vector<double> &p) {
+        return p[0] * x * x + p[1] * x + p[2];
+    };
+    auto xs = linspace(-2.0, 2.0, 9);
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * x * x - 1.5 * x + 0.25);
+
+    auto result = curveFit(model, xs, ys, {1.0, 1.0, 1.0});
+    EXPECT_NEAR(result.params[0], 3.0, 1e-5);
+    EXPECT_NEAR(result.params[1], -1.5, 1e-5);
+    EXPECT_NEAR(result.params[2], 0.25, 1e-5);
+    EXPECT_LT(result.sse, 1e-10);
+}
+
+TEST(CurveFit, RecoversExponential)
+{
+    CurveModel model = [](double x, const std::vector<double> &p) {
+        return p[0] * std::exp(p[1] * x) + p[2];
+    };
+    auto xs = linspace(0.0, 2.0, 11);
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2.0 * std::exp(0.8 * x) + 0.5);
+
+    auto result = curveFit(model, xs, ys, {1.0, 0.5, 0.0});
+    EXPECT_NEAR(result.params[0], 2.0, 1e-3);
+    EXPECT_NEAR(result.params[1], 0.8, 1e-3);
+    EXPECT_NEAR(result.params[2], 0.5, 1e-2);
+}
+
+TEST(CurveFit, RespectsBounds)
+{
+    CurveModel model = [](double x, const std::vector<double> &p) {
+        return p[0] * std::exp(p[1] * x);
+    };
+    auto xs = linspace(0.0, 1.0, 8);
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(std::exp(20.0 * x)); // would need b = 20
+
+    CurveFitOptions options;
+    options.lower_bounds = {-1e9, 0.0};
+    options.upper_bounds = {1e9, 10.0};
+    auto result = curveFit(model, xs, ys, {1.0, 5.0}, options);
+    EXPECT_LE(result.params[1], 10.0 + 1e-12);
+}
+
+TEST(CurveFit, NoisyDataStillClose)
+{
+    CurveModel model = [](double x, const std::vector<double> &p) {
+        return p[0] * x + p[1];
+    };
+    opdvfs::Rng rng(99);
+    auto xs = linspace(0.0, 10.0, 50);
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(4.0 * x + 2.0 + rng.gaussian(0.0, 0.05));
+    auto result = curveFit(model, xs, ys, {0.0, 0.0});
+    EXPECT_NEAR(result.params[0], 4.0, 0.05);
+    EXPECT_NEAR(result.params[1], 2.0, 0.2);
+}
+
+TEST(CurveFit, InputValidation)
+{
+    CurveModel model = [](double, const std::vector<double> &p) {
+        return p[0];
+    };
+    EXPECT_THROW(curveFit(model, {1.0}, {1.0, 2.0}, {0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(curveFit(model, {}, {}, {}), std::invalid_argument);
+    // Underdetermined: 1 sample, 2 params.
+    CurveModel model2 = [](double x, const std::vector<double> &p) {
+        return p[0] * x + p[1];
+    };
+    EXPECT_THROW(curveFit(model2, {1.0}, {1.0}, {0.0, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(CurveFit, ReportsConvergence)
+{
+    CurveModel model = [](double x, const std::vector<double> &p) {
+        return p[0] * x;
+    };
+    auto result = curveFit(model, {1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}, {1.9});
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.iterations, 0);
+}
+
+} // namespace
+} // namespace opdvfs::math

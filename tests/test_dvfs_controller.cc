@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "npu/dvfs_controller.h"
+
+namespace opdvfs::npu {
+namespace {
+
+class DvfsControllerTest : public ::testing::Test
+{
+  protected:
+    sim::Simulator sim_;
+    FreqTable table_;
+};
+
+TEST_F(DvfsControllerTest, InitialState)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1800.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentVolts(), table_.voltageFor(1800.0));
+    EXPECT_EQ(dvfs.setFreqCount(), 0u);
+}
+
+TEST_F(DvfsControllerTest, UnsupportedInitialThrows)
+{
+    EXPECT_THROW(DvfsController(sim_, table_, 1750.0),
+                 std::invalid_argument);
+}
+
+TEST_F(DvfsControllerTest, ApplyChangesFrequencyAndVoltage)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    dvfs.apply(1200.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1200.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentVolts(), table_.voltageFor(1200.0));
+    EXPECT_EQ(dvfs.setFreqCount(), 1u);
+}
+
+TEST_F(DvfsControllerTest, ApplyUnsupportedThrows)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    EXPECT_THROW(dvfs.apply(1234.0), std::invalid_argument);
+}
+
+TEST_F(DvfsControllerTest, ListenersSeeOldAndNew)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    std::vector<std::pair<double, double>> changes;
+    dvfs.onChange([&](double old_mhz, double new_mhz) {
+        changes.emplace_back(old_mhz, new_mhz);
+    });
+    dvfs.apply(1500.0);
+    dvfs.apply(1000.0);
+    ASSERT_EQ(changes.size(), 2u);
+    EXPECT_DOUBLE_EQ(changes[0].first, 1800.0);
+    EXPECT_DOUBLE_EQ(changes[0].second, 1500.0);
+    EXPECT_DOUBLE_EQ(changes[1].first, 1500.0);
+    EXPECT_DOUBLE_EQ(changes[1].second, 1000.0);
+}
+
+TEST_F(DvfsControllerTest, NoOpChangeCountsButDoesNotNotify)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    int notified = 0;
+    dvfs.onChange([&](double, double) { ++notified; });
+    dvfs.apply(1800.0);
+    EXPECT_EQ(dvfs.setFreqCount(), 1u);
+    EXPECT_EQ(notified, 0);
+}
+
+TEST_F(DvfsControllerTest, ApplyAfterDelaysTheChange)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    dvfs.applyAfter(kTicksPerMs, 1100.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1800.0);
+    sim_.run();
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1100.0);
+    EXPECT_EQ(sim_.now(), kTicksPerMs);
+}
+
+} // namespace
+} // namespace opdvfs::npu

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace opdvfs::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runNext();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTick)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTick(), kMaxTick);
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextTick(), 42);
+}
+
+TEST(EventQueue, RunNextReturnsTick)
+{
+    EventQueue q;
+    q.schedule(7, [] {});
+    EXPECT_EQ(q.runNext(), 7);
+}
+
+TEST(EventQueue, RunNextOnEmptyThrows)
+{
+    EventQueue q;
+    EXPECT_THROW(q.runNext(), std::logic_error);
+}
+
+TEST(EventQueue, NegativeTickThrows)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<Tick> ran;
+    q.schedule(1, [&] {
+        ran.push_back(1);
+        q.schedule(2, [&] { ran.push_back(2); });
+    });
+    while (!q.empty())
+        ran.push_back(q.runNext() * 100);
+    // runNext executes the event then returns its tick.
+    EXPECT_EQ(ran, (std::vector<Tick>{1, 100, 2, 200}));
+}
+
+TEST(EventQueue, SizeTracksPending)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.runNext();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+} // namespace
+} // namespace opdvfs::sim

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "perf/fit_functions.h"
+
+namespace opdvfs::perf {
+namespace {
+
+TEST(FitFunctions, NamesAndParamCounts)
+{
+    EXPECT_EQ(fitFunctionParams(FitFunction::QuadOverF), 2);
+    EXPECT_EQ(fitFunctionParams(FitFunction::FullQuadOverF), 3);
+    EXPECT_EQ(fitFunctionParams(FitFunction::ExpOverF), 3);
+    EXPECT_FALSE(fitFunctionName(FitFunction::QuadOverF).empty());
+    EXPECT_NE(fitFunctionName(FitFunction::QuadOverF),
+              fitFunctionName(FitFunction::ExpOverF));
+}
+
+TEST(FitFunctions, QuadOverFClosedFormTwoPoints)
+{
+    // Generate from T(f) = (a f^2 + c)/f with a=2, c=3 (f in GHz).
+    auto truth = [](double f) { return (2.0 * f * f + 3.0) / f; };
+    FittedCurve curve = fitCurve(FitFunction::QuadOverF, {1000.0, 1800.0},
+                                 {truth(1.0), truth(1.8)});
+    EXPECT_NEAR(curve.params[0], 2.0, 1e-9);
+    EXPECT_NEAR(curve.params[1], 3.0, 1e-9);
+    for (double f : {1100.0, 1400.0, 1700.0})
+        EXPECT_NEAR(curve.predictSeconds(f), truth(f / 1000.0), 1e-9);
+}
+
+TEST(FitFunctions, QuadOverFLeastSquaresManyPoints)
+{
+    auto truth = [](double f) { return (1.5 * f * f + 0.8) / f; };
+    std::vector<double> fs, ts;
+    for (double f = 1000.0; f <= 1800.0; f += 100.0) {
+        fs.push_back(f);
+        ts.push_back(truth(f / 1000.0));
+    }
+    FittedCurve curve = fitCurve(FitFunction::QuadOverF, fs, ts);
+    EXPECT_NEAR(curve.params[0], 1.5, 1e-9);
+    EXPECT_NEAR(curve.params[1], 0.8, 1e-9);
+}
+
+TEST(FitFunctions, FullQuadRecoversLinearTerm)
+{
+    auto truth = [](double f) {
+        return (1.0 * f * f + 0.5 * f + 2.0) / f;
+    };
+    std::vector<double> fs, ts;
+    for (double f = 1000.0; f <= 1800.0; f += 200.0) {
+        fs.push_back(f);
+        ts.push_back(truth(f / 1000.0));
+    }
+    FittedCurve curve = fitCurve(FitFunction::FullQuadOverF, fs, ts);
+    for (double f : {1100.0, 1500.0, 1700.0})
+        EXPECT_NEAR(curve.predictSeconds(f), truth(f / 1000.0),
+                    truth(f / 1000.0) * 1e-4);
+}
+
+TEST(FitFunctions, ExpOverFFitsAndClampsExponent)
+{
+    auto truth = [](double f) {
+        return (0.7 * std::exp(1.2 * f) + 0.4) / f;
+    };
+    std::vector<double> fs, ts;
+    for (double f = 1000.0; f <= 1800.0; f += 100.0) {
+        fs.push_back(f);
+        ts.push_back(truth(f / 1000.0));
+    }
+    FittedCurve curve = fitCurve(FitFunction::ExpOverF, fs, ts);
+    // The paper clamps b to [0, 10].
+    EXPECT_GE(curve.params[1], 0.0);
+    EXPECT_LE(curve.params[1], 10.0);
+    for (double f : {1200.0, 1600.0})
+        EXPECT_NEAR(curve.predictSeconds(f), truth(f / 1000.0),
+                    truth(f / 1000.0) * 0.02);
+}
+
+TEST(FitFunctions, PwlCyclesInterpolatesExactly)
+{
+    // Cycle(f) flat above a kink at 1400 MHz: T = c/f above, rising
+    // below.  Knot interpolation reproduces the flat region exactly.
+    auto cycles = [](double f_ghz) { return std::max(1.4, f_ghz) * 2.0; };
+    std::vector<double> fs = {1000.0, 1400.0, 1800.0};
+    std::vector<double> ts;
+    for (double f : fs)
+        ts.push_back(cycles(f / 1000.0) / (f / 1000.0));
+
+    FittedCurve curve = fitCurve(FitFunction::PwlCycles, fs, ts);
+    for (double f : {1100.0, 1300.0, 1500.0, 1600.0, 1700.0}) {
+        double f_ghz = f / 1000.0;
+        EXPECT_NEAR(curve.predictSeconds(f), cycles(f_ghz) / f_ghz, 1e-9)
+            << f;
+    }
+}
+
+TEST(FitFunctions, PwlCyclesExtrapolatesEndSegments)
+{
+    // Linear cycles: extrapolation is exact.
+    std::vector<double> fs = {1200.0, 1500.0};
+    std::vector<double> ts;
+    for (double f : fs) {
+        double f_ghz = f / 1000.0;
+        ts.push_back((3.0 * f_ghz + 1.0) / f_ghz);
+    }
+    FittedCurve curve = fitCurve(FitFunction::PwlCycles, fs, ts);
+    for (double f : {1000.0, 1800.0}) {
+        double f_ghz = f / 1000.0;
+        EXPECT_NEAR(curve.predictSeconds(f), (3.0 * f_ghz + 1.0) / f_ghz,
+                    1e-9);
+    }
+}
+
+TEST(FitFunctions, PwlCyclesHandlesUnsortedInput)
+{
+    std::vector<double> fs = {1800.0, 1000.0, 1400.0};
+    std::vector<double> ts = {1.0, 2.0, 1.3};
+    FittedCurve curve = fitCurve(FitFunction::PwlCycles, fs, ts);
+    EXPECT_NEAR(curve.predictSeconds(1000.0), 2.0, 1e-9);
+    EXPECT_NEAR(curve.predictSeconds(1800.0), 1.0, 1e-9);
+}
+
+TEST(FitFunctions, StallModelClosedForm)
+{
+    // T(f) = b + c/f exactly: the CRISP-like model recovers it.
+    auto truth = [](double f_ghz) { return 1.2 + 0.9 / f_ghz; };
+    FittedCurve curve = fitCurve(FitFunction::StallOverF, {1000.0, 1800.0},
+                                 {truth(1.0), truth(1.8)});
+    EXPECT_NEAR(curve.params[0], 1.2, 1e-9);
+    EXPECT_NEAR(curve.params[1], 0.9, 1e-9);
+    EXPECT_NEAR(curve.predictSeconds(1400.0), truth(1.4), 1e-9);
+}
+
+TEST(FitFunctions, StallModelUnderestimatesSaturatedOps)
+{
+    // On an uncore-saturated operator (cycles grow with f), the
+    // constant-stall assumption underestimates high-frequency time:
+    // the paper's Sect. 4.1 critique of Ref. [28].
+    auto cycles = [](double f_ghz) { return std::max(1.2, f_ghz) * 2.0; };
+    std::vector<double> fs = {1000.0, 1300.0, 1800.0};
+    std::vector<double> ts;
+    for (double f : fs)
+        ts.push_back(cycles(f / 1000.0) / (f / 1000.0));
+    FittedCurve stall = fitCurve(FitFunction::StallOverF, fs, ts);
+    FittedCurve quad = fitCurve(FitFunction::QuadOverF, fs, ts);
+    double truth_1600 = cycles(1.6) / 1.6;
+    double stall_err = std::abs(stall.predictSeconds(1600.0) - truth_1600);
+    double quad_err = std::abs(quad.predictSeconds(1600.0) - truth_1600);
+    EXPECT_GT(stall_err, quad_err);
+}
+
+TEST(FitFunctions, Validation)
+{
+    EXPECT_THROW(fitCurve(FitFunction::QuadOverF, {1000.0}, {1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        fitCurve(FitFunction::FullQuadOverF, {1000.0, 1800.0}, {1.0, 2.0}),
+        std::invalid_argument);
+    EXPECT_THROW(fitCurve(FitFunction::QuadOverF, {1.0, 2.0}, {1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        fitCurve(FitFunction::QuadOverF, {1000.0, 1000.0}, {1.0, 1.0}),
+        std::invalid_argument);
+}
+
+} // namespace
+} // namespace opdvfs::perf

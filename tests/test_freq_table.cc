@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "npu/freq_table.h"
+
+namespace opdvfs::npu {
+namespace {
+
+TEST(FreqTable, DefaultRangeMatchesPaper)
+{
+    FreqTable table;
+    // 1000..1800 MHz in 100 MHz steps (Sect. 5.1).
+    EXPECT_EQ(table.points().size(), 9u);
+    EXPECT_DOUBLE_EQ(table.minMhz(), 1000.0);
+    EXPECT_DOUBLE_EQ(table.maxMhz(), 1800.0);
+}
+
+TEST(FreqTable, VoltageFlatBelowKnee)
+{
+    FreqTable table;
+    double v1000 = table.voltageFor(1000.0);
+    double v1200 = table.voltageFor(1200.0);
+    double v1300 = table.voltageFor(1300.0);
+    EXPECT_DOUBLE_EQ(v1000, v1200);
+    EXPECT_DOUBLE_EQ(v1000, v1300);
+}
+
+TEST(FreqTable, VoltageLinearAboveKnee)
+{
+    FreqTable table;
+    const auto &config = table.config();
+    double v1400 = table.voltageFor(1400.0);
+    double v1500 = table.voltageFor(1500.0);
+    double v1800 = table.voltageFor(1800.0);
+    double step = config.step_mhz * config.volts_per_mhz;
+    EXPECT_NEAR(v1500 - v1400, step, 1e-12);
+    EXPECT_NEAR(v1800, config.base_volts
+                + (1800.0 - config.knee_mhz) * config.volts_per_mhz, 1e-12);
+    // Strictly increasing above the knee.
+    EXPECT_GT(v1400, table.voltageFor(1300.0));
+}
+
+TEST(FreqTable, SupportsExactPointsOnly)
+{
+    FreqTable table;
+    EXPECT_TRUE(table.supports(1500.0));
+    EXPECT_FALSE(table.supports(1550.0));
+    EXPECT_FALSE(table.supports(900.0));
+}
+
+TEST(FreqTable, VoltageForUnsupportedThrows)
+{
+    FreqTable table;
+    EXPECT_THROW(table.voltageFor(1234.0), std::invalid_argument);
+}
+
+TEST(FreqTable, SnapClampsAndRounds)
+{
+    FreqTable table;
+    EXPECT_DOUBLE_EQ(table.snap(1540.0), 1500.0);
+    EXPECT_DOUBLE_EQ(table.snap(1560.0), 1600.0);
+    EXPECT_DOUBLE_EQ(table.snap(500.0), 1000.0);
+    EXPECT_DOUBLE_EQ(table.snap(5000.0), 1800.0);
+}
+
+TEST(FreqTable, FrequenciesAscending)
+{
+    FreqTable table;
+    auto fs = table.frequenciesMhz();
+    for (std::size_t i = 1; i < fs.size(); ++i)
+        EXPECT_LT(fs[i - 1], fs[i]);
+}
+
+TEST(FreqTable, InvalidConfigThrows)
+{
+    FreqTableConfig bad;
+    bad.min_mhz = 0.0;
+    EXPECT_THROW(FreqTable{bad}, std::invalid_argument);
+    bad = FreqTableConfig{};
+    bad.max_mhz = 500.0;
+    EXPECT_THROW(FreqTable{bad}, std::invalid_argument);
+    bad = FreqTableConfig{};
+    bad.step_mhz = -100.0;
+    EXPECT_THROW(FreqTable{bad}, std::invalid_argument);
+}
+
+TEST(FreqTable, CustomCurve)
+{
+    FreqTableConfig config;
+    config.min_mhz = 500.0;
+    config.max_mhz = 1000.0;
+    config.step_mhz = 250.0;
+    config.knee_mhz = 750.0;
+    config.base_volts = 0.7;
+    config.volts_per_mhz = 1e-3;
+    FreqTable table(config);
+    EXPECT_EQ(table.points().size(), 3u);
+    EXPECT_DOUBLE_EQ(table.voltageFor(500.0), 0.7);
+    EXPECT_DOUBLE_EQ(table.voltageFor(750.0), 0.7);
+    EXPECT_NEAR(table.voltageFor(1000.0), 0.95, 1e-12);
+}
+
+} // namespace
+} // namespace opdvfs::npu

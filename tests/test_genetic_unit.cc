@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "dvfs/genetic.h"
+
+namespace opdvfs::dvfs {
+namespace {
+
+StrategyEvaluation
+eval(double seconds, double soc_watts)
+{
+    StrategyEvaluation e;
+    e.seconds = seconds;
+    e.soc_watts = soc_watts;
+    e.soc_joules = seconds * soc_watts;
+    return e;
+}
+
+TEST(StrategyScore, MeetingTheBoundDoublesTheScore)
+{
+    // Eq. 17: Score = 2 Per^2 / Power above the bound, Per^2 / Power
+    // below it.
+    double per = 1e-6 / 10.0; // 10 s iteration
+    double bound_below = per * 0.9;
+    double bound_above = per * 1.1;
+    double meets = strategyScore(eval(10.0, 250.0), bound_below);
+    double misses = strategyScore(eval(10.0, 250.0), bound_above);
+    EXPECT_NEAR(meets / misses, 2.0, 1e-9);
+    EXPECT_NEAR(meets, 2.0 * per * per / 250.0, 1e-20);
+}
+
+TEST(StrategyScore, LowerPowerScoresHigherAtEqualPerformance)
+{
+    double bound = 0.0;
+    EXPECT_GT(strategyScore(eval(10.0, 200.0), bound),
+              strategyScore(eval(10.0, 260.0), bound));
+}
+
+TEST(StrategyScore, FasterScoresHigherAtEqualPower)
+{
+    double bound = 0.0;
+    EXPECT_GT(strategyScore(eval(9.0, 250.0), bound),
+              strategyScore(eval(10.0, 250.0), bound));
+}
+
+TEST(StrategyScore, DegenerateEvaluationsScoreZero)
+{
+    EXPECT_DOUBLE_EQ(strategyScore(eval(0.0, 250.0), 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(strategyScore(eval(10.0, 0.0), 0.0), 0.0);
+}
+
+TEST(StrategyScore, PenaltyStillPrefersLessPowerAmongInfeasible)
+{
+    double bound = 1.0; // nothing meets it
+    EXPECT_GT(strategyScore(eval(10.0, 200.0), bound),
+              strategyScore(eval(10.0, 260.0), bound));
+}
+
+} // namespace
+} // namespace opdvfs::dvfs

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "math/linear_solve.h"
+
+namespace opdvfs::math {
+namespace {
+
+TEST(LinearSolve, Solves2x2)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 2.0; a(0, 1) = 1.0;
+    a(1, 0) = 1.0; a(1, 1) = 3.0;
+    auto x = solve(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, Solves3x3WithPivoting)
+{
+    // First pivot is zero; requires row exchange.
+    Matrix a(3, 3);
+    a(0, 0) = 0.0; a(0, 1) = 2.0; a(0, 2) = 1.0;
+    a(1, 0) = 1.0; a(1, 1) = 1.0; a(1, 2) = 1.0;
+    a(2, 0) = 2.0; a(2, 1) = 0.0; a(2, 2) = 3.0;
+    // Solution (1, 2, 3).
+    auto x = solve(a, {7.0, 6.0, 11.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, SingularThrows)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0; a(0, 1) = 2.0;
+    a(1, 0) = 2.0; a(1, 1) = 4.0;
+    EXPECT_THROW(solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(LinearSolve, ShapeMismatchThrows)
+{
+    Matrix a(2, 3);
+    EXPECT_THROW(solve(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LinearSolve, LeastSquaresOverdetermined)
+{
+    // Fit y = 2x + 1 through 4 exact points.
+    Matrix a(4, 2);
+    std::vector<double> b(4);
+    for (int i = 0; i < 4; ++i) {
+        double x = i + 1.0;
+        a(static_cast<std::size_t>(i), 0) = x;
+        a(static_cast<std::size_t>(i), 1) = 1.0;
+        b[static_cast<std::size_t>(i)] = 2.0 * x + 1.0;
+    }
+    auto sol = leastSquares(a, b);
+    EXPECT_NEAR(sol[0], 2.0, 1e-10);
+    EXPECT_NEAR(sol[1], 1.0, 1e-10);
+}
+
+TEST(LinearSolve, LeastSquaresMinimisesResidual)
+{
+    // Inconsistent system: best fit of y = c through {1, 3} is c = 2.
+    Matrix a(2, 1);
+    a(0, 0) = 1.0;
+    a(1, 0) = 1.0;
+    auto sol = leastSquares(a, {1.0, 3.0});
+    EXPECT_NEAR(sol[0], 2.0, 1e-12);
+}
+
+TEST(LinearSolve, DampingShrinksStep)
+{
+    Matrix a(2, 1);
+    a(0, 0) = 1.0;
+    a(1, 0) = 1.0;
+    auto undamped = leastSquares(a, {2.0, 2.0}, 0.0);
+    auto damped = leastSquares(a, {2.0, 2.0}, 1.0);
+    EXPECT_NEAR(undamped[0], 2.0, 1e-12);
+    EXPECT_NEAR(damped[0], 1.0, 1e-12); // (A^T A (1 + 1)) x = A^T b
+}
+
+TEST(LinearSolve, MatrixProducts)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0; a(0, 1) = 2.0;
+    a(1, 0) = 3.0; a(1, 1) = 4.0;
+    auto ax = a.times({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(ax[0], 3.0);
+    EXPECT_DOUBLE_EQ(ax[1], 7.0);
+    auto atv = a.transposeTimes({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(atv[0], 4.0);
+    EXPECT_DOUBLE_EQ(atv[1], 6.0);
+
+    Matrix g = a.gram();
+    EXPECT_DOUBLE_EQ(g(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(g(0, 1), 14.0);
+    EXPECT_DOUBLE_EQ(g(1, 0), 14.0);
+    EXPECT_DOUBLE_EQ(g(1, 1), 20.0);
+}
+
+} // namespace
+} // namespace opdvfs::math

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/units.h"
+#include "npu/memory_system.h"
+
+namespace opdvfs::npu {
+namespace {
+
+TEST(MemorySystem, UncoreBandwidthBlendsByHitRate)
+{
+    MemorySystem mem;
+    const auto &config = mem.config();
+    EXPECT_DOUBLE_EQ(mem.uncoreBandwidth(1.0), config.l2_bandwidth);
+    EXPECT_DOUBLE_EQ(mem.uncoreBandwidth(0.0), config.hbm_bandwidth);
+    EXPECT_DOUBLE_EQ(mem.uncoreBandwidth(0.5),
+                     (config.l2_bandwidth + config.hbm_bandwidth) / 2.0);
+    // Out-of-range hit rates clamp.
+    EXPECT_DOUBLE_EQ(mem.uncoreBandwidth(2.0), config.l2_bandwidth);
+    EXPECT_DOUBLE_EQ(mem.uncoreBandwidth(-1.0), config.hbm_bandwidth);
+}
+
+// Eq. 1: Tp(f) = min(C f core_num, BW_uncore).
+TEST(MemorySystem, ThroughputRisesThenSaturates)
+{
+    MemorySystem mem;
+    double hit = 0.3;
+    double fs = mem.saturationMhz(hit);
+    ASSERT_GT(fs, 1000.0);
+    ASSERT_LT(fs, 1800.0);
+
+    double below = mem.throughput(fs * 0.5, hit);
+    double at = mem.throughput(fs, hit);
+    double above = mem.throughput(fs * 1.5, hit);
+    EXPECT_LT(below, at);
+    EXPECT_NEAR(at, mem.uncoreBandwidth(hit), 1.0);
+    EXPECT_DOUBLE_EQ(above, mem.uncoreBandwidth(hit));
+}
+
+// Eq. 2: fs = BW_uncore / (C * core_num).
+TEST(MemorySystem, SaturationFrequencyFormula)
+{
+    MemorySystem mem;
+    const auto &config = mem.config();
+    double hit = 0.5;
+    double expected = mem.uncoreBandwidth(hit)
+        / (config.bytes_per_cycle_per_core
+           * static_cast<double>(config.core_num))
+        / 1e6;
+    EXPECT_NEAR(mem.saturationMhz(hit), expected, 1e-9);
+}
+
+TEST(MemorySystem, SaturationIncreasesWithHitRate)
+{
+    MemorySystem mem;
+    EXPECT_LT(mem.saturationMhz(0.0), mem.saturationMhz(0.5));
+    EXPECT_LT(mem.saturationMhz(0.5), mem.saturationMhz(1.0));
+}
+
+// Eq. 4 coefficients: slope = M / BW, floor = M / (C core_num).
+TEST(MemorySystem, LdStCoefficients)
+{
+    MemorySystem mem;
+    const auto &config = mem.config();
+    double volume = 1e6;
+    double hit = 0.4;
+    auto coeff = mem.ldStCoefficients(volume, hit);
+    EXPECT_NEAR(coeff.slope_per_hz, volume / mem.uncoreBandwidth(hit),
+                1e-18);
+    EXPECT_NEAR(coeff.floor_cycles,
+                volume / (config.bytes_per_cycle_per_core
+                          * static_cast<double>(config.core_num)),
+                1e-9);
+    // The two expressions cross exactly at the saturation frequency.
+    double fs_hz = mhzToHz(mem.saturationMhz(hit));
+    EXPECT_NEAR(coeff.slope_per_hz * fs_hz, coeff.floor_cycles, 1e-6);
+}
+
+TEST(MemorySystem, ZeroVolumeYieldsZeroCoefficients)
+{
+    MemorySystem mem;
+    auto coeff = mem.ldStCoefficients(0.0, 0.5);
+    EXPECT_DOUBLE_EQ(coeff.slope_per_hz, 0.0);
+    EXPECT_DOUBLE_EQ(coeff.floor_cycles, 0.0);
+}
+
+TEST(MemorySystem, NegativeVolumeThrows)
+{
+    MemorySystem mem;
+    EXPECT_THROW(mem.ldStCoefficients(-1.0, 0.5), std::invalid_argument);
+}
+
+TEST(MemorySystem, InvalidConfigThrows)
+{
+    MemorySystemConfig bad;
+    bad.core_num = 0;
+    EXPECT_THROW(MemorySystem{bad}, std::invalid_argument);
+    bad = MemorySystemConfig{};
+    bad.l2_bandwidth = -1.0;
+    EXPECT_THROW(MemorySystem{bad}, std::invalid_argument);
+}
+
+/** Property sweep: throughput is non-decreasing in frequency. */
+class ThroughputMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThroughputMonotone, NonDecreasingInFrequency)
+{
+    MemorySystem mem;
+    double hit = GetParam();
+    double previous = 0.0;
+    for (double f = 200.0; f <= 2400.0; f += 100.0) {
+        double tp = mem.throughput(f, hit);
+        EXPECT_GE(tp, previous);
+        previous = tp;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(HitRates, ThroughputMonotone,
+                         ::testing::Values(0.0, 0.15, 0.3, 0.5, 0.8, 1.0));
+
+} // namespace
+} // namespace opdvfs::npu

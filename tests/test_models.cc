@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "models/cnn.h"
+#include "npu/aicore_timeline.h"
+#include "models/model_zoo.h"
+#include "models/transformer.h"
+
+namespace opdvfs::models {
+namespace {
+
+class ModelsTest : public ::testing::Test
+{
+  protected:
+    npu::MemorySystem memory_;
+};
+
+TEST_F(ModelsTest, AllZooWorkloadsBuild)
+{
+    for (const auto &name : workloadNames()) {
+        SCOPED_TRACE(name);
+        Workload w = buildWorkload(name, memory_, 1);
+        EXPECT_EQ(w.name, name);
+        EXPECT_GT(w.opCount(), 10u);
+    }
+}
+
+TEST_F(ModelsTest, UnknownWorkloadThrows)
+{
+    EXPECT_THROW(buildWorkload("NoSuchModel", memory_, 1),
+                 std::invalid_argument);
+}
+
+TEST_F(ModelsTest, StudyListsAreValidZooEntries)
+{
+    std::set<std::string> names;
+    for (const auto &n : workloadNames())
+        names.insert(n);
+    for (const auto &n : perfStudyModels())
+        EXPECT_TRUE(names.count(n)) << n;
+    for (const auto &n : powerStudyModels())
+        EXPECT_TRUE(names.count(n)) << n;
+    EXPECT_EQ(perfStudyModels().size(), 7u);  // Sect. 7.2
+    EXPECT_EQ(powerStudyModels().size(), 7u); // Sect. 7.3
+}
+
+TEST_F(ModelsTest, Gpt3MatchesPaperScale)
+{
+    Workload gpt3 = buildGpt3(memory_, 1);
+    // "around 18,000 operators per iteration" (Sect. 7.4).
+    EXPECT_GT(gpt3.opCount(), 15'000u);
+    EXPECT_LT(gpt3.opCount(), 25'000u);
+    // Tensor parallelism means per-layer collectives.
+    EXPECT_GT(gpt3.countCategory(npu::OpCategory::Communication), 500u);
+    EXPECT_GT(gpt3.countCategory(npu::OpCategory::Idle), 50u);
+}
+
+TEST_F(ModelsTest, ShuffleNetHasPaperOpCount)
+{
+    // 4,343 operators (Sect. 4.3); allow a ~15% band.
+    Workload shuffle = buildShufflenetV2Plus(memory_, 1);
+    EXPECT_GT(shuffle.opCount(), 3'700u);
+    EXPECT_LT(shuffle.opCount(), 5'000u);
+}
+
+TEST_F(ModelsTest, WorkloadsAreDeterministicBySeed)
+{
+    Workload a = buildBert(memory_, 9);
+    Workload b = buildBert(memory_, 9);
+    ASSERT_EQ(a.opCount(), b.opCount());
+    for (std::size_t i = 0; i < a.opCount(); ++i) {
+        EXPECT_EQ(a.iteration[i].type, b.iteration[i].type);
+        EXPECT_DOUBLE_EQ(a.iteration[i].hw.core_cycles,
+                         b.iteration[i].hw.core_cycles);
+    }
+    Workload c = buildBert(memory_, 10);
+    bool any_different = a.opCount() != c.opCount();
+    for (std::size_t i = 0; !any_different && i < a.opCount(); ++i) {
+        any_different =
+            a.iteration[i].hw.core_cycles != c.iteration[i].hw.core_cycles;
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST_F(ModelsTest, OpIdsMatchSequencePositions)
+{
+    Workload w = buildResnet50(memory_, 3);
+    for (std::size_t i = 0; i < w.opCount(); ++i)
+        EXPECT_EQ(w.iteration[i].id, i);
+}
+
+TEST_F(ModelsTest, TransformersContainExpectedOpTypes)
+{
+    Workload w = buildBert(memory_, 1);
+    std::set<std::string> types;
+    for (const auto &op : w.iteration)
+        types.insert(op.type);
+    for (const char *expected :
+         {"MatMul", "BatchMatMul", "SoftMax", "LayerNorm", "Gelu", "Add",
+          "Dropout", "AllReduce"}) {
+        EXPECT_TRUE(types.count(expected)) << expected;
+    }
+}
+
+TEST_F(ModelsTest, CnnsContainExpectedOpTypes)
+{
+    Workload w = buildResnet152(memory_, 1);
+    std::set<std::string> types;
+    for (const auto &op : w.iteration)
+        types.insert(op.type);
+    for (const char *expected :
+         {"Conv2D", "BNTrainingUpdate", "Relu", "AllReduce"}) {
+        EXPECT_TRUE(types.count(expected)) << expected;
+    }
+    // ResNet-152 has ~3x the blocks of ResNet-50.
+    Workload r50 = buildResnet50(memory_, 1);
+    EXPECT_GT(w.opCount(), 2 * r50.opCount());
+}
+
+TEST_F(ModelsTest, Llama2InferenceIsHostBound)
+{
+    // Sect. 8.4: the host dispatches slower than the NPU executes, so
+    // idle gaps dominate the decode timeline.
+    Workload w = buildLlama2Inference(memory_, 1);
+    double idle = 0.0, total = 0.0;
+    npu::MemorySystem memory;
+    for (const auto &op : w.iteration) {
+        if (op.hw.category != npu::OpCategory::Compute) {
+            idle += op.hw.fixed_seconds;
+            total += op.hw.fixed_seconds;
+        } else {
+            npu::AicoreTimeline t(op.hw, memory);
+            total += t.seconds(1800.0);
+        }
+    }
+    EXPECT_GT(idle / total, 0.35);
+}
+
+TEST_F(ModelsTest, InsensitiveSecondsHelper)
+{
+    Workload w;
+    w.name = "t";
+    ops::OpFactory factory(memory_, Rng(1));
+    w.iteration.push_back(factory.idle(1.0));
+    w.iteration.push_back(factory.matMul(512, 512, 512));
+    EXPECT_NEAR(w.insensitiveSeconds(), 1.0, 1e-12);
+    EXPECT_EQ(w.countCategory(npu::OpCategory::Idle), 1u);
+    EXPECT_EQ(w.countCategory(npu::OpCategory::Compute), 1u);
+}
+
+} // namespace
+} // namespace opdvfs::models

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "npu/aicore_timeline.h"
+#include "ops/op_factory.h"
+
+namespace opdvfs::ops {
+namespace {
+
+class OpFactoryTest : public ::testing::Test
+{
+  protected:
+    OpFactoryTest() : memory_(), factory_(memory_, Rng(42)) {}
+
+    npu::MemorySystem memory_;
+    OpFactory factory_;
+};
+
+TEST_F(OpFactoryTest, IdsAreSequentialAndUnique)
+{
+    Op a = factory_.add(1 << 20);
+    Op b = factory_.gelu(1 << 20);
+    Op c = factory_.matMul(512, 512, 512);
+    EXPECT_EQ(a.id, 0u);
+    EXPECT_EQ(b.id, 1u);
+    EXPECT_EQ(c.id, 2u);
+}
+
+TEST_F(OpFactoryTest, DeterministicBySeed)
+{
+    OpFactory f1(memory_, Rng(7));
+    OpFactory f2(memory_, Rng(7));
+    Op a = f1.matMul(1024, 1024, 1024);
+    Op b = f2.matMul(1024, 1024, 1024);
+    EXPECT_DOUBLE_EQ(a.hw.core_cycles, b.hw.core_cycles);
+    EXPECT_DOUBLE_EQ(a.hw.alpha_core, b.hw.alpha_core);
+    EXPECT_DOUBLE_EQ(a.hw.ld_l2_hit, b.hw.ld_l2_hit);
+}
+
+TEST_F(OpFactoryTest, MatMulScalesWithShape)
+{
+    Op small = factory_.matMul(512, 512, 512);
+    Op big = factory_.matMul(4096, 4096, 4096);
+    npu::AicoreTimeline t_small(small.hw, memory_);
+    npu::AicoreTimeline t_big(big.hw, memory_);
+    EXPECT_GT(t_big.seconds(1800.0), 16.0 * t_small.seconds(1800.0));
+}
+
+TEST_F(OpFactoryTest, ComputeOpsHavePositiveParameters)
+{
+    for (const Op &op :
+         {factory_.matMul(1024, 1024, 1024), factory_.add(1 << 22),
+          factory_.gelu(1 << 22), factory_.layerNorm(1024, 1024),
+          factory_.softmax(1024, 1024), factory_.conv2d(64, 64, 64, 28, 28, 3),
+          factory_.bnTrainingUpdate(1 << 22), factory_.realDiv(1 << 22),
+          factory_.reduceMean(1 << 22, 16), factory_.dropout(1 << 22),
+          factory_.transpose(1 << 22), factory_.relu(1 << 22)}) {
+        SCOPED_TRACE(op.type);
+        EXPECT_EQ(op.hw.category, npu::OpCategory::Compute);
+        EXPECT_GE(op.hw.n, 1);
+        EXPECT_GT(op.hw.core_cycles, 0.0);
+        EXPECT_GT(op.hw.alpha_core, 0.0);
+        EXPECT_GE(op.hw.uncore_activity, 0.0);
+        EXPECT_LE(op.hw.uncore_activity, 1.0);
+        EXPECT_GE(op.hw.ld_l2_hit, 0.0);
+        EXPECT_LE(op.hw.ld_l2_hit, 1.0);
+    }
+}
+
+TEST_F(OpFactoryTest, ElementwiseOpsAreMemoryBound)
+{
+    // Big elementwise ops: the Ld pipe dominates at max frequency.
+    Op op = factory_.add(32 * 1024 * 1024);
+    npu::AicoreTimeline timeline(op.hw, memory_);
+    npu::PipelineRatios ratios = timeline.ratios(1800.0);
+    EXPECT_GT(ratios.mte2, ratios.vector);
+    EXPECT_GT(ratios.mte2, 0.5);
+}
+
+TEST_F(OpFactoryTest, TinyOpIsOverheadDominated)
+{
+    Op op = factory_.tinyScalarOp("Cast");
+    npu::AicoreTimeline timeline(op.hw, memory_);
+    EXPECT_LT(timeline.ratios(1800.0).sum(), 1.0);
+    EXPECT_LT(timeline.seconds(1800.0), 30e-6);
+}
+
+TEST_F(OpFactoryTest, MatMulBurnsMorePowerThanElementwise)
+{
+    Op mm = factory_.matMul(4096, 4096, 4096);
+    Op add = factory_.add(32 * 1024 * 1024);
+    EXPECT_GT(mm.hw.alpha_core, add.hw.alpha_core);
+}
+
+TEST_F(OpFactoryTest, AllReduceIsCommunication)
+{
+    Op op = factory_.allReduce(50'000'000);
+    EXPECT_EQ(op.hw.category, npu::OpCategory::Communication);
+    EXPECT_GT(op.hw.fixed_seconds,
+              2.0 * 50e6 / factory_.throughput().link_bandwidth * 0.9);
+    EXPECT_DOUBLE_EQ(op.hw.alpha_core, 0.0);
+}
+
+TEST_F(OpFactoryTest, AllReduceScalesWithBytes)
+{
+    Op small = factory_.allReduce(1'000'000);
+    Op big = factory_.allReduce(100'000'000);
+    EXPECT_GT(big.hw.fixed_seconds, small.hw.fixed_seconds);
+}
+
+TEST_F(OpFactoryTest, AicpuAndIdle)
+{
+    Op aicpu = factory_.aicpu("GetNext", 1e-4);
+    EXPECT_EQ(aicpu.hw.category, npu::OpCategory::Aicpu);
+    EXPECT_NEAR(aicpu.hw.fixed_seconds, 1e-4, 5e-5);
+
+    Op idle = factory_.idle(2e-3);
+    EXPECT_EQ(idle.hw.category, npu::OpCategory::Idle);
+    EXPECT_DOUBLE_EQ(idle.hw.fixed_seconds, 2e-3);
+    EXPECT_DOUBLE_EQ(idle.hw.uncore_activity, 0.0);
+}
+
+TEST_F(OpFactoryTest, InvalidArgumentsThrow)
+{
+    EXPECT_THROW(factory_.matMul(0, 10, 10), std::invalid_argument);
+    EXPECT_THROW(factory_.aicpu("X", 0.0), std::invalid_argument);
+    EXPECT_THROW(factory_.idle(-1.0), std::invalid_argument);
+}
+
+TEST_F(OpFactoryTest, SameTypeDifferentShapesDifferentAlpha)
+{
+    // Sect. 5.4.1: differing input shapes yield different activity
+    // factors even for the same operator type.
+    Op a = factory_.matMul(512, 512, 512);
+    Op b = factory_.matMul(8192, 8192, 8192);
+    EXPECT_NE(a.hw.alpha_core, b.hw.alpha_core);
+}
+
+} // namespace
+} // namespace opdvfs::ops

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "models/transformer.h"
+#include "ops/op_stats.h"
+
+namespace opdvfs::ops {
+namespace {
+
+class OpStatsTest : public ::testing::Test
+{
+  protected:
+    OpStatsTest()
+    {
+        models::TransformerConfig model;
+        model.name = "stats-test";
+        model.layers = 2;
+        model.hidden = 1024;
+        model.heads = 8;
+        model.seq = 256;
+        model.batch = 4;
+        workload_ = models::buildTransformerTraining(memory_, model, 2);
+    }
+
+    npu::MemorySystem memory_;
+    models::Workload workload_;
+};
+
+TEST_F(OpStatsTest, CountsAndSharesAreConsistent)
+{
+    WorkloadStats stats =
+        summarize(workload_.iteration, workload_.name, memory_);
+    EXPECT_EQ(stats.workload, "stats-test");
+    EXPECT_EQ(stats.op_count, workload_.opCount());
+    EXPECT_GT(stats.iteration_seconds, 0.0);
+
+    std::size_t total_count = 0;
+    double total_share = 0.0;
+    for (const auto &type : stats.types) {
+        total_count += type.count;
+        total_share += type.time_share;
+        EXPECT_GT(type.mean_seconds, 0.0);
+        EXPECT_LE(type.tiny_count, type.count);
+    }
+    EXPECT_EQ(total_count, stats.op_count);
+    EXPECT_NEAR(total_share, 1.0, 1e-9);
+
+    double category_share = stats.compute_share
+        + stats.communication_share + stats.aicpu_share + stats.idle_share;
+    EXPECT_NEAR(category_share, 1.0, 1e-9);
+}
+
+TEST_F(OpStatsTest, TypesSortedByTimeShare)
+{
+    WorkloadStats stats =
+        summarize(workload_.iteration, workload_.name, memory_);
+    for (std::size_t i = 1; i < stats.types.size(); ++i)
+        EXPECT_GE(stats.types[i - 1].seconds, stats.types[i].seconds);
+}
+
+TEST_F(OpStatsTest, FindLocatesTypes)
+{
+    WorkloadStats stats =
+        summarize(workload_.iteration, workload_.name, memory_);
+    const TypeStats *matmul = stats.find("MatMul");
+    ASSERT_NE(matmul, nullptr);
+    EXPECT_GT(matmul->count, 0u);
+    EXPECT_EQ(stats.find("NoSuchOp"), nullptr);
+}
+
+TEST_F(OpStatsTest, LowerReferenceFrequencyLengthensIteration)
+{
+    WorkloadStats fast =
+        summarize(workload_.iteration, workload_.name, memory_, 1800.0);
+    WorkloadStats slow =
+        summarize(workload_.iteration, workload_.name, memory_, 1000.0);
+    EXPECT_GT(slow.iteration_seconds, fast.iteration_seconds);
+    // Insensitive categories keep their absolute time, so their share
+    // shrinks at low frequency... communication time is fixed:
+    double fast_comm =
+        fast.communication_share * fast.iteration_seconds;
+    double slow_comm =
+        slow.communication_share * slow.iteration_seconds;
+    EXPECT_NEAR(fast_comm, slow_comm, 1e-9);
+}
+
+TEST_F(OpStatsTest, EmptySequence)
+{
+    WorkloadStats stats = summarize({}, "empty", memory_);
+    EXPECT_EQ(stats.op_count, 0u);
+    EXPECT_DOUBLE_EQ(stats.iteration_seconds, 0.0);
+    EXPECT_TRUE(stats.types.empty());
+}
+
+} // namespace
+} // namespace opdvfs::ops

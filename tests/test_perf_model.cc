@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "models/transformer.h"
+#include "perf/perf_model.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::perf {
+namespace {
+
+/** Shared fixture: profile a small transformer at several points. */
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        npu::NpuConfig config;
+        npu::MemorySystem memory(config.memory);
+        models::TransformerConfig model;
+        model.name = "tiny";
+        model.layers = 3;
+        model.hidden = 1536;
+        model.heads = 12;
+        model.seq = 512;
+        model.batch = 4;
+        workload_ = new models::Workload(
+            models::buildTransformerTraining(memory, model, 21));
+
+        trace::WorkloadRunner runner(config);
+        runs_ = new std::map<double, trace::RunResult>();
+        for (double f : {1000.0, 1200.0, 1400.0, 1600.0, 1800.0}) {
+            trace::RunOptions options;
+            options.initial_mhz = f;
+            options.seed = 100 + static_cast<std::uint64_t>(f);
+            (*runs_)[f] = runner.run(*workload_, options);
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete workload_;
+        delete runs_;
+    }
+
+    static PerfModelRepository
+    buildRepo(const PerfBuildOptions &options)
+    {
+        PerfModelRepository repo;
+        for (const auto &[f, run] : *runs_)
+            repo.addProfile(f, run.records);
+        repo.fitAll(options);
+        return repo;
+    }
+
+    static models::Workload *workload_;
+    static std::map<double, trace::RunResult> *runs_;
+};
+
+models::Workload *PerfModelTest::workload_ = nullptr;
+std::map<double, trace::RunResult> *PerfModelTest::runs_ = nullptr;
+
+TEST_F(PerfModelTest, BuildsModelForEveryOperator)
+{
+    PerfBuildOptions options;
+    options.fit_frequencies_mhz = {1000.0, 1800.0};
+    auto repo = buildRepo(options);
+    EXPECT_EQ(repo.modelCount(), workload_->opCount());
+    for (const auto &op : workload_->iteration)
+        EXPECT_NE(repo.find(op.id), nullptr);
+}
+
+TEST_F(PerfModelTest, InsensitiveOperatorsPredictConstantDuration)
+{
+    PerfBuildOptions options;
+    options.fit_frequencies_mhz = {1000.0, 1800.0};
+    auto repo = buildRepo(options);
+    for (const auto &op : workload_->iteration) {
+        if (op.hw.category == npu::OpCategory::Compute)
+            continue;
+        const OpPerfModel *model = repo.find(op.id);
+        ASSERT_NE(model, nullptr);
+        EXPECT_FALSE(model->frequency_sensitive);
+        EXPECT_DOUBLE_EQ(model->predictSeconds(1000.0),
+                         model->predictSeconds(1800.0));
+    }
+}
+
+// Sect. 7.2: out-of-sample prediction accuracy, all three families.
+TEST_F(PerfModelTest, OutOfSampleErrorSmall)
+{
+    for (FitFunction kind :
+         {FitFunction::QuadOverF, FitFunction::FullQuadOverF,
+          FitFunction::PwlCycles}) {
+        SCOPED_TRACE(fitFunctionName(kind));
+        PerfBuildOptions options;
+        options.kind = kind;
+        options.fit_frequencies_mhz = kind == FitFunction::QuadOverF
+            ? std::vector<double>{1000.0, 1800.0}
+            : std::vector<double>{1000.0, 1400.0, 1800.0};
+        auto repo = buildRepo(options);
+
+        std::vector<double> errors;
+        for (double f : {1200.0, 1600.0}) {
+            for (const auto &e : repo.evaluate(f, (*runs_)[f].records))
+                errors.push_back(e.relative_error);
+        }
+        ASSERT_FALSE(errors.empty());
+        // The paper reports ~2% average error for Func. 2.
+        EXPECT_LT(stats::mean(errors), 0.05);
+    }
+}
+
+TEST_F(PerfModelTest, TinyOperatorsExcludedFromEvaluation)
+{
+    PerfBuildOptions options;
+    options.fit_frequencies_mhz = {1000.0, 1800.0};
+    options.tiny_threshold_s = 20e-6;
+    auto repo = buildRepo(options);
+    EXPECT_LT(repo.evaluableModelCount(), repo.modelCount());
+    auto errors = repo.evaluate(1400.0, (*runs_)[1400.0].records);
+    for (const auto &e : errors) {
+        const OpPerfModel *model = repo.find(e.op_id);
+        EXPECT_FALSE(model->tiny);
+    }
+}
+
+TEST_F(PerfModelTest, ProfiledFrequenciesListed)
+{
+    PerfModelRepository repo;
+    for (const auto &[f, run] : *runs_)
+        repo.addProfile(f, run.records);
+    auto fs = repo.profiledFrequencies();
+    ASSERT_EQ(fs.size(), 5u);
+    EXPECT_DOUBLE_EQ(fs.front(), 1000.0);
+    EXPECT_DOUBLE_EQ(fs.back(), 1800.0);
+}
+
+TEST_F(PerfModelTest, MissingFitFrequencyThrows)
+{
+    PerfModelRepository repo;
+    repo.addProfile(1000.0, (*runs_)[1000.0].records);
+    PerfBuildOptions options;
+    options.fit_frequencies_mhz = {1000.0, 1700.0};
+    EXPECT_THROW(repo.fitAll(options), std::invalid_argument);
+}
+
+TEST_F(PerfModelTest, UnknownOperatorThrows)
+{
+    auto repo = buildRepo({});
+    EXPECT_THROW(repo.predictSeconds(999'999'999, 1500.0),
+                 std::invalid_argument);
+    EXPECT_EQ(repo.find(999'999'999), nullptr);
+}
+
+TEST_F(PerfModelTest, PredictionsDecreaseWithFrequency)
+{
+    PerfBuildOptions options;
+    options.fit_frequencies_mhz = {1000.0, 1800.0};
+    auto repo = buildRepo(options);
+    for (const auto &op : workload_->iteration) {
+        const OpPerfModel *model = repo.find(op.id);
+        if (!model->frequency_sensitive)
+            continue;
+        EXPECT_GE(model->predictSeconds(1000.0),
+                  model->predictSeconds(1800.0) * 0.98)
+            << op.type;
+    }
+}
+
+} // namespace
+} // namespace opdvfs::perf

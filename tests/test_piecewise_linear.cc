@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.h"
+#include "math/piecewise_linear.h"
+
+namespace opdvfs::math {
+namespace {
+
+TEST(ConvexPwl, AffineEvaluates)
+{
+    auto f = ConvexPwl::affine(2.0, 1.0);
+    EXPECT_DOUBLE_EQ(f.eval(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(f.eval(3.0), 7.0);
+    EXPECT_EQ(f.pieceCount(), 1u);
+}
+
+TEST(ConvexPwl, MaxOfTwoLines)
+{
+    // max(x, 2 - x): kink at x = 1.
+    auto f = ConvexPwl::max(ConvexPwl::affine(1.0, 0.0),
+                            ConvexPwl::affine(-1.0, 2.0));
+    EXPECT_DOUBLE_EQ(f.eval(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(f.eval(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(f.eval(3.0), 3.0);
+    auto kinks = f.breakpoints(-10.0, 10.0);
+    ASSERT_EQ(kinks.size(), 1u);
+    EXPECT_DOUBLE_EQ(kinks[0], 1.0);
+}
+
+TEST(ConvexPwl, DominatedPiecePruned)
+{
+    // The middle line never attains the maximum.
+    auto f = ConvexPwl::max({ConvexPwl::affine(0.0, 0.0),
+                             ConvexPwl::affine(1.0, -10.0),
+                             ConvexPwl::affine(2.0, -12.0)});
+    // Between x=0 (flat wins) and large x (slope-2 wins), slope-1 line
+    // is always below: at the flat/steep crossing x=6, line 1 gives -4.
+    EXPECT_EQ(f.pieceCount(), 2u);
+}
+
+TEST(ConvexPwl, EqualSlopesKeepHighestIntercept)
+{
+    auto f = ConvexPwl::max(ConvexPwl::affine(1.0, 0.0),
+                            ConvexPwl::affine(1.0, 5.0));
+    EXPECT_EQ(f.pieceCount(), 1u);
+    EXPECT_DOUBLE_EQ(f.eval(0.0), 5.0);
+}
+
+TEST(ConvexPwl, SumOfMaxes)
+{
+    // (max(x, 1)) + (max(2x, 3)) evaluated at a few points.
+    auto a = ConvexPwl::max(ConvexPwl::affine(1.0, 0.0),
+                            ConvexPwl::constant(1.0));
+    auto b = ConvexPwl::max(ConvexPwl::affine(2.0, 0.0),
+                            ConvexPwl::constant(3.0));
+    auto s = ConvexPwl::sum(a, b);
+    for (double x : {0.0, 0.5, 1.0, 1.4, 1.5, 2.0, 5.0}) {
+        double expected =
+            std::max(x, 1.0) + std::max(2.0 * x, 3.0);
+        EXPECT_NEAR(s.eval(x), expected, 1e-12) << "x=" << x;
+    }
+}
+
+TEST(ConvexPwl, ScaledByZeroIsZeroFunction)
+{
+    auto f = ConvexPwl::max(ConvexPwl::affine(1.0, 0.0),
+                            ConvexPwl::constant(1.0));
+    auto z = f.scaled(0.0);
+    EXPECT_DOUBLE_EQ(z.eval(-5.0), 0.0);
+    EXPECT_DOUBLE_EQ(z.eval(5.0), 0.0);
+}
+
+TEST(ConvexPwl, NegativeScaleThrows)
+{
+    EXPECT_THROW(ConvexPwl::affine(1.0, 0.0).scaled(-1.0),
+                 std::invalid_argument);
+}
+
+TEST(ConvexPwl, SlopeAtReportsActivePieceSlope)
+{
+    auto f = ConvexPwl::max(ConvexPwl::affine(1.0, 0.0),
+                            ConvexPwl::affine(-1.0, 2.0));
+    EXPECT_DOUBLE_EQ(f.slopeAt(0.0), -1.0);
+    EXPECT_DOUBLE_EQ(f.slopeAt(2.0), 1.0);
+}
+
+TEST(ConvexPwl, EmptyMaxThrows)
+{
+    EXPECT_THROW(ConvexPwl::max(std::vector<ConvexPwl>{}),
+                 std::invalid_argument);
+}
+
+TEST(IsConvexSamples, AcceptsConvexRejectsConcave)
+{
+    std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+    EXPECT_TRUE(isConvexSamples(x, {0.0, 1.0, 4.0, 9.0}));  // x^2
+    EXPECT_FALSE(isConvexSamples(x, {0.0, 5.0, 6.0, 6.5})); // concave
+    EXPECT_TRUE(isConvexSamples(x, {3.0, 2.0, 1.0, 0.0}));  // linear
+}
+
+TEST(IsConvexSamples, Validation)
+{
+    EXPECT_THROW(isConvexSamples({1.0, 1.0, 2.0}, {0.0, 0.0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(isConvexSamples({1.0, 2.0}, {0.0}),
+                 std::invalid_argument);
+}
+
+/** Property: random +/max compositions of affine pieces stay convex. */
+class ConvexClosure : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConvexClosure, RandomCompositionIsConvex)
+{
+    opdvfs::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    ConvexPwl f = ConvexPwl::affine(rng.uniform(-2, 2), rng.uniform(-2, 2));
+    for (int step = 0; step < 12; ++step) {
+        ConvexPwl g =
+            ConvexPwl::affine(rng.uniform(-2, 2), rng.uniform(-2, 2));
+        switch (rng.index(3)) {
+          case 0: f = ConvexPwl::max(f, g); break;
+          case 1: f = ConvexPwl::sum(f, g); break;
+          default: f = f.scaled(rng.uniform(0.0, 2.0)); break;
+        }
+    }
+
+    std::vector<double> xs, ys;
+    for (int i = 0; i <= 200; ++i) {
+        double x = -10.0 + 0.1 * i;
+        xs.push_back(x);
+        ys.push_back(f.eval(x));
+    }
+    EXPECT_TRUE(isConvexSamples(xs, ys, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvexClosure, ::testing::Range(0, 20));
+
+} // namespace
+} // namespace opdvfs::math

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "npu/power.h"
+
+namespace opdvfs::npu {
+namespace {
+
+TEST(PowerCalculator, AicoreIdleMatchesEq12)
+{
+    AicorePowerParams params;
+    PowerCalculator calc(params, UncorePowerParams{});
+    double f = 1500.0, v = 0.78;
+    double expected =
+        params.beta * mhzToHz(f) * v * v + params.theta * v;
+    EXPECT_NEAR(calc.aicoreIdlePower(f, v), expected, 1e-12);
+}
+
+TEST(PowerCalculator, AicorePowerMatchesEq11)
+{
+    AicorePowerParams params;
+    PowerCalculator calc(params, UncorePowerParams{});
+    PowerState state;
+    state.f_mhz = 1800.0;
+    state.volts = 0.85;
+    state.alpha_core = 2e-8;
+    state.delta_t = 30.0;
+    double fv2 = mhzToHz(state.f_mhz) * state.volts * state.volts;
+    double expected = state.alpha_core * fv2 + params.beta * fv2
+        + params.gamma * state.delta_t * state.volts
+        + params.theta * state.volts;
+    EXPECT_NEAR(calc.aicorePower(state), expected, 1e-9);
+}
+
+TEST(PowerCalculator, IdleEqualsZeroAlphaZeroDeltaT)
+{
+    PowerCalculator calc;
+    PowerState state;
+    state.f_mhz = 1400.0;
+    state.volts = 0.69;
+    state.alpha_core = 0.0;
+    state.delta_t = 0.0;
+    EXPECT_NEAR(calc.aicorePower(state),
+                calc.aicoreIdlePower(state.f_mhz, state.volts), 1e-12);
+}
+
+TEST(PowerCalculator, UncorePower)
+{
+    UncorePowerParams uncore;
+    PowerCalculator calc(AicorePowerParams{}, uncore);
+    PowerState state;
+    state.uncore_activity = 0.5;
+    state.delta_t = 20.0;
+    double expected = uncore.idle_watts + 0.5 * uncore.active_watts
+        + uncore.gamma * 20.0;
+    EXPECT_NEAR(calc.uncorePower(state), expected, 1e-12);
+}
+
+TEST(PowerCalculator, UncoreActivityClamped)
+{
+    PowerCalculator calc;
+    PowerState low, high;
+    low.uncore_activity = -0.5;
+    high.uncore_activity = 2.0;
+    PowerState zero, one;
+    zero.uncore_activity = 0.0;
+    one.uncore_activity = 1.0;
+    EXPECT_DOUBLE_EQ(calc.uncorePower(low), calc.uncorePower(zero));
+    EXPECT_DOUBLE_EQ(calc.uncorePower(high), calc.uncorePower(one));
+}
+
+TEST(PowerCalculator, SocIsSumOfParts)
+{
+    PowerCalculator calc;
+    PowerState state;
+    state.alpha_core = 1.5e-8;
+    state.uncore_activity = 0.4;
+    state.delta_t = 25.0;
+    EXPECT_NEAR(calc.socPower(state),
+                calc.aicorePower(state) + calc.uncorePower(state), 1e-12);
+}
+
+TEST(PowerCalculator, HigherFrequencyMorePower)
+{
+    PowerCalculator calc;
+    PowerState low, high;
+    low.f_mhz = 1000.0;
+    low.volts = 0.65;
+    low.alpha_core = 2e-8;
+    high = low;
+    high.f_mhz = 1800.0;
+    high.volts = 0.85;
+    EXPECT_LT(calc.aicorePower(low), calc.aicorePower(high));
+}
+
+TEST(PowerCalculator, TemperatureRaisesStaticPower)
+{
+    PowerCalculator calc;
+    PowerState cold, hot;
+    hot.delta_t = 40.0;
+    EXPECT_LT(calc.aicorePower(cold), calc.aicorePower(hot));
+    EXPECT_LT(calc.uncorePower(cold), calc.uncorePower(hot));
+}
+
+} // namespace
+} // namespace opdvfs::npu

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "power/power_model.h"
+
+namespace opdvfs::power {
+namespace {
+
+CalibratedConstants
+referenceConstants()
+{
+    CalibratedConstants constants;
+    constants.beta_aicore = 5.0e-9;
+    constants.theta_aicore = 10.0;
+    constants.beta_soc = 1.0e-8;
+    constants.theta_soc = 180.0;
+    constants.gamma_aicore = 0.2;
+    constants.gamma_soc = 1.6;
+    constants.k_per_watt = 0.15;
+    constants.ambient_c = 25.0;
+    return constants;
+}
+
+TEST(PowerModel, IdleFollowsEq12)
+{
+    npu::FreqTable table;
+    CalibratedConstants constants = referenceConstants();
+    PowerModel model(constants, table);
+    double f = 1500.0;
+    double v = table.voltageFor(f);
+    EXPECT_NEAR(model.aicoreIdle(f),
+                constants.beta_aicore * mhzToHz(f) * v * v
+                    + constants.theta_aicore * v,
+                1e-9);
+    EXPECT_GT(model.aicoreIdle(1800.0), model.aicoreIdle(1000.0));
+    EXPECT_GT(model.socIdle(1500.0), model.aicoreIdle(1500.0));
+}
+
+TEST(PowerModel, CalibrateThenPredictRoundTripsAtSameFrequency)
+{
+    npu::FreqTable table;
+    PowerModel model(referenceConstants(), table);
+
+    // Synthesise a measurement consistent with the model at f=1800.
+    double f = 1800.0;
+    OpPowerModel truth{2.0e-8, 7.0e-8};
+    PowerPrediction generated = model.predict(truth, f);
+    OpPowerModel recovered = model.calibrate(
+        f, generated.aicore_watts, generated.soc_watts, generated.delta_t);
+    EXPECT_NEAR(recovered.alpha_aicore, truth.alpha_aicore,
+                truth.alpha_aicore * 1e-6);
+    EXPECT_NEAR(recovered.alpha_soc, truth.alpha_soc,
+                truth.alpha_soc * 1e-6);
+
+    PowerPrediction again = model.predict(recovered, f);
+    EXPECT_NEAR(again.soc_watts, generated.soc_watts, 1e-6);
+    EXPECT_NEAR(again.aicore_watts, generated.aicore_watts, 1e-6);
+}
+
+// Sect. 5.4.2: the dT/P fix point converges in a handful of rounds.
+TEST(PowerModel, FixPointConvergesQuickly)
+{
+    npu::FreqTable table;
+    PowerModel model(referenceConstants(), table);
+    OpPowerModel op{2.0e-8, 8.0e-8};
+    PowerPrediction prediction = model.predict(op, 1800.0);
+    EXPECT_LE(prediction.iterations, 8);
+    // Self-consistency: dT == k * P_soc at the fix point.
+    EXPECT_NEAR(prediction.delta_t,
+                model.constants().k_per_watt * prediction.soc_watts, 0.05);
+}
+
+TEST(PowerModel, HigherFrequencyPredictsMorePower)
+{
+    npu::FreqTable table;
+    PowerModel model(referenceConstants(), table);
+    OpPowerModel op{2.0e-8, 8.0e-8};
+    double previous = 0.0;
+    for (double f : table.frequenciesMhz()) {
+        PowerPrediction prediction = model.predict(op, f);
+        EXPECT_GT(prediction.soc_watts, previous);
+        previous = prediction.soc_watts;
+    }
+}
+
+TEST(PowerModel, WithoutTemperatureDropsGammaTerms)
+{
+    CalibratedConstants constants = referenceConstants();
+    CalibratedConstants stripped = constants.withoutTemperature();
+    EXPECT_DOUBLE_EQ(stripped.gamma_aicore, 0.0);
+    EXPECT_DOUBLE_EQ(stripped.gamma_soc, 0.0);
+    EXPECT_DOUBLE_EQ(stripped.k_per_watt, 0.0);
+    EXPECT_DOUBLE_EQ(stripped.beta_aicore, constants.beta_aicore);
+
+    npu::FreqTable table;
+    PowerModel with(constants, table), without(stripped, table);
+    OpPowerModel op{2.0e-8, 8.0e-8};
+    PowerPrediction p_with = with.predict(op, 1800.0);
+    PowerPrediction p_without = without.predict(op, 1800.0);
+    EXPECT_GT(p_with.soc_watts, p_without.soc_watts);
+    EXPECT_DOUBLE_EQ(p_without.delta_t, 0.0);
+}
+
+TEST(PowerModel, TemperatureTermMattersAcrossFrequencies)
+{
+    // Calibrating without the temperature term folds dT power into
+    // alpha (~f V^2), inflating the frequency dependence (Sect. 7.3).
+    npu::FreqTable table;
+    PowerModel truth_model(referenceConstants(), table);
+    OpPowerModel truth{2.0e-8, 8.0e-8};
+
+    PowerPrediction at1000 = truth_model.predict(truth, 1000.0);
+    PowerPrediction at1800 = truth_model.predict(truth, 1800.0);
+
+    PowerModel blind(referenceConstants().withoutTemperature(), table);
+    OpPowerModel blind_op =
+        blind.calibrate(1000.0, at1000.aicore_watts, at1000.soc_watts, 0.0);
+    double blind_pred = blind.predict(blind_op, 1800.0).soc_watts;
+    double aware_pred = truth_model
+                            .predict(truth_model.calibrate(
+                                         1000.0, at1000.aicore_watts,
+                                         at1000.soc_watts, at1000.delta_t),
+                                     1800.0)
+                            .soc_watts;
+    double blind_err = std::abs(blind_pred - at1800.soc_watts);
+    double aware_err = std::abs(aware_pred - at1800.soc_watts);
+    EXPECT_LT(aware_err, blind_err);
+}
+
+} // namespace
+} // namespace opdvfs::power

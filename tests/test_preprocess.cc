@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dvfs/preprocess.h"
+
+namespace opdvfs::dvfs {
+namespace {
+
+/** Build a synthetic record with a given class-determining shape. */
+trace::OpRecord
+makeRecord(std::uint64_t id, Tick start, Tick duration, bool sensitive)
+{
+    trace::OpRecord r;
+    r.op_id = id;
+    r.start = start;
+    r.end = start + duration;
+    r.duration_s = ticksToSeconds(duration);
+    r.category = npu::OpCategory::Compute;
+    // Keep ratio sums above 1 so the class is decided by the dominant
+    // pipe, not the no-pipeline rule.
+    if (sensitive) {
+        r.ratios.cube = 0.95; // core bound
+        r.ratios.mte2 = 0.30;
+    } else {
+        r.ratios.mte2 = 0.95; // uncore bound
+        r.ratios.vector = 0.30;
+    }
+    return r;
+}
+
+/** Alternating run pattern: k sensitive then k insensitive ops. */
+std::vector<trace::OpRecord>
+alternating(int groups, int per_group, Tick op_duration)
+{
+    std::vector<trace::OpRecord> records;
+    Tick t = 0;
+    std::uint64_t id = 0;
+    for (int g = 0; g < groups; ++g) {
+        bool sensitive = g % 2 == 0;
+        for (int i = 0; i < per_group; ++i) {
+            records.push_back(makeRecord(id++, t, op_duration, sensitive));
+            t += op_duration;
+        }
+    }
+    return records;
+}
+
+TEST(Preprocess, SplitsBySensitivity)
+{
+    // Each group is 10 x 1 ms = 10 ms >> FAI: no merging.
+    auto records = alternating(6, 10, kTicksPerMs);
+    PreprocessResult result = preprocess(records, {});
+    ASSERT_EQ(result.stages.size(), 6u);
+    for (std::size_t i = 0; i < result.stages.size(); ++i) {
+        EXPECT_EQ(result.stages[i].high_frequency, i % 2 == 0);
+        EXPECT_EQ(result.stages[i].op_ids.size(), 10u);
+    }
+    EXPECT_EQ(result.lfcCount(), 3u);
+    EXPECT_EQ(result.hfcCount(), 3u);
+}
+
+TEST(Preprocess, EveryOpAssignedExactlyOnceInOrder)
+{
+    auto records = alternating(9, 7, kTicksPerMs / 2);
+    PreprocessResult result = preprocess(records, {});
+    std::vector<std::uint64_t> seen;
+    for (const auto &stage : result.stages)
+        seen.insert(seen.end(), stage.op_ids.begin(), stage.op_ids.end());
+    ASSERT_EQ(seen.size(), records.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i);
+}
+
+TEST(Preprocess, ShortStagesMergedUpToFai)
+{
+    // Groups of 1 ms alternate; with FAI 5 ms they must merge.
+    auto records = alternating(20, 1, kTicksPerMs);
+    PreprocessOptions options;
+    options.fai = 5 * kTicksPerMs;
+    PreprocessResult result = preprocess(records, options);
+    ASSERT_LT(result.stages.size(), 20u / 4);
+    // All but possibly the last stage meet the FAI.
+    for (std::size_t i = 0; i + 1 < result.stages.size(); ++i)
+        EXPECT_GE(result.stages[i].duration, options.fai);
+}
+
+TEST(Preprocess, MergedStageTypeFollowsDominantTime)
+{
+    // 1 ms sensitive + 3 ms insensitive merged: stage is LFC.
+    std::vector<trace::OpRecord> records;
+    records.push_back(makeRecord(0, 0, kTicksPerMs, true));
+    records.push_back(
+        makeRecord(1, kTicksPerMs, 3 * kTicksPerMs, false));
+    PreprocessOptions options;
+    options.fai = 10 * kTicksPerMs;
+    PreprocessResult result = preprocess(records, options);
+    ASSERT_EQ(result.stages.size(), 1u);
+    EXPECT_FALSE(result.stages[0].high_frequency);
+    EXPECT_NEAR(result.stages[0].sensitive_seconds, 1e-3, 1e-9);
+    EXPECT_NEAR(result.stages[0].insensitive_seconds, 3e-3, 1e-9);
+}
+
+TEST(Preprocess, StageTimingCoversTimeline)
+{
+    auto records = alternating(8, 5, kTicksPerMs);
+    PreprocessResult result = preprocess(records, {});
+    EXPECT_EQ(result.stages.front().start, records.front().start);
+    Tick covered = 0;
+    for (const auto &stage : result.stages)
+        covered += stage.duration;
+    EXPECT_EQ(covered, records.back().end - records.front().start);
+}
+
+TEST(Preprocess, BottlenecksAlignedWithRecords)
+{
+    auto records = alternating(4, 3, kTicksPerMs);
+    PreprocessResult result = preprocess(records, {});
+    ASSERT_EQ(result.bottlenecks.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        bool sensitive = isFrequencySensitive(result.bottlenecks[i]);
+        EXPECT_EQ(sensitive, records[i].ratios.cube > 0.5);
+    }
+}
+
+TEST(Preprocess, SingleRunYieldsSingleStage)
+{
+    auto records = alternating(1, 20, kTicksPerMs);
+    PreprocessResult result = preprocess(records, {});
+    ASSERT_EQ(result.stages.size(), 1u);
+    EXPECT_TRUE(result.stages[0].high_frequency);
+    EXPECT_EQ(result.stages[0].first_op, 0u);
+}
+
+TEST(Preprocess, Validation)
+{
+    EXPECT_THROW(preprocess({}, {}), std::invalid_argument);
+    auto records = alternating(2, 2, kTicksPerMs);
+    PreprocessOptions bad;
+    bad.fai = 0;
+    EXPECT_THROW(preprocess(records, bad), std::invalid_argument);
+}
+
+/** Property: merging never drops or reorders ops, for many FAIs. */
+class PreprocessFaiSweep : public ::testing::TestWithParam<Tick>
+{
+};
+
+TEST_P(PreprocessFaiSweep, OpConservation)
+{
+    auto records = alternating(15, 4, 700 * kTicksPerUs);
+    PreprocessOptions options;
+    options.fai = GetParam();
+    PreprocessResult result = preprocess(records, options);
+    std::size_t total = 0;
+    std::uint64_t expected = 0;
+    for (const auto &stage : result.stages) {
+        for (std::uint64_t id : stage.op_ids)
+            EXPECT_EQ(id, expected++);
+        total += stage.op_ids.size();
+    }
+    EXPECT_EQ(total, records.size());
+    // Fewer (or equal) stages with a larger FAI.
+}
+
+INSTANTIATE_TEST_SUITE_P(Fais, PreprocessFaiSweep,
+                         ::testing::Values(kTicksPerMs, 5 * kTicksPerMs,
+                                           20 * kTicksPerMs,
+                                           100 * kTicksPerMs,
+                                           kTicksPerSecond));
+
+TEST(Preprocess, LargerFaiNeverMoreStages)
+{
+    auto records = alternating(30, 3, 900 * kTicksPerUs);
+    std::size_t previous = SIZE_MAX;
+    for (Tick fai : {kTicksPerMs, 5 * kTicksPerMs, 50 * kTicksPerMs,
+                     500 * kTicksPerMs}) {
+        PreprocessOptions options;
+        options.fai = fai;
+        std::size_t count = preprocess(records, options).stages.size();
+        EXPECT_LE(count, previous);
+        previous = count;
+    }
+}
+
+} // namespace
+} // namespace opdvfs::dvfs

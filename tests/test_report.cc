@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dvfs/report.h"
+#include "models/transformer.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::dvfs {
+namespace {
+
+TEST(Report, ContainsAllSections)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "report-test";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = 512;
+    model.batch = 2;
+    models::Workload workload =
+        models::buildTransformerTraining(memory, model, 9);
+
+    PipelineOptions options;
+    options.chip = chip;
+    options.constants = power::calibrateOffline(chip);
+    options.warmup_seconds = 2.0;
+    options.ga.population = 30;
+    options.ga.generations = 30;
+    EnergyPipeline pipeline(options);
+    PipelineResult result = pipeline.optimize(workload);
+
+    std::ostringstream os;
+    writeReport(result, workload, memory, os);
+    std::string text = os.str();
+
+    for (const char *expected :
+         {"# opdvfs energy-optimisation report: report-test",
+          "## Result", "## Workload", "## Bottleneck classification",
+          "## Strategy", "## Power model constants", "iteration time",
+          "AICore power", "SoC power", "MatMul", "LFC", "HFC",
+          "gamma_aicore"}) {
+        EXPECT_NE(text.find(expected), std::string::npos) << expected;
+    }
+
+    // The frequency histogram covers every stage exactly once.
+    std::size_t stage_total = 0;
+    std::istringstream lines(text);
+    std::string line;
+    bool in_histogram = false;
+    while (std::getline(lines, line)) {
+        if (line.rfind("| frequency (MHz)", 0) == 0) {
+            in_histogram = true;
+            std::getline(lines, line); // separator
+            continue;
+        }
+        if (in_histogram) {
+            if (line.empty() || line[0] != '|')
+                break;
+            auto last_bar = line.rfind('|');
+            auto second_last = line.rfind('|', last_bar - 1);
+            stage_total += std::stoul(
+                line.substr(second_last + 1, last_bar - second_last - 1));
+        }
+    }
+    EXPECT_EQ(stage_total, result.prep.stages.size());
+}
+
+} // namespace
+} // namespace opdvfs::dvfs

@@ -1,0 +1,111 @@
+/**
+ * Parameterized frequency sweep across the whole supported range:
+ * fundamental monotonicity invariants of the simulated device, checked
+ * through the public measurement path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "models/transformer.h"
+#include "npu/freq_table.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::trace {
+namespace {
+
+class FrequencySweep : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        npu::NpuConfig config;
+        npu::MemorySystem memory(config.memory);
+        models::TransformerConfig model;
+        model.name = "sweep";
+        model.layers = 2;
+        model.hidden = 1536;
+        model.heads = 12;
+        model.seq = 512;
+        model.batch = 4;
+        models::Workload workload =
+            models::buildTransformerTraining(memory, model, 33);
+
+        runs_ = new std::map<double, RunResult>();
+        WorkloadRunner runner(config);
+        for (double f : npu::FreqTable(config.freq).frequenciesMhz()) {
+            RunOptions options;
+            options.initial_mhz = f;
+            options.warmup_seconds = 8.0;
+            options.seed = 500 + static_cast<std::uint64_t>(f);
+            (*runs_)[f] = runner.run(workload, options);
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete runs_;
+    }
+
+    static std::map<double, RunResult> *runs_;
+};
+
+std::map<double, RunResult> *FrequencySweep::runs_ = nullptr;
+
+TEST_F(FrequencySweep, IterationTimeNonIncreasingInFrequency)
+{
+    double previous = 1e18;
+    for (const auto &[f, run] : *runs_) {
+        EXPECT_LE(run.iteration_seconds, previous * (1.0 + 1e-9))
+            << "at " << f;
+        previous = run.iteration_seconds;
+    }
+}
+
+TEST_F(FrequencySweep, AicorePowerStrictlyIncreasingInFrequency)
+{
+    double previous = 0.0;
+    for (const auto &[f, run] : *runs_) {
+        EXPECT_GT(run.aicore_avg_w, previous) << "at " << f;
+        previous = run.aicore_avg_w;
+    }
+}
+
+TEST_F(FrequencySweep, AicoreEnergyPerIterationHasRealTradeSpace)
+{
+    // Energy = power x time: low frequency must save AICore energy on
+    // this memory-heavy workload (otherwise DVFS would be pointless).
+    double e_low = (*runs_)[1200.0].aicore_energy_j;
+    double e_high = (*runs_)[1800.0].aicore_energy_j;
+    EXPECT_LT(e_low, e_high);
+}
+
+TEST_F(FrequencySweep, TemperatureTracksPower)
+{
+    EXPECT_GT((*runs_)[1800.0].avg_temperature_c,
+              (*runs_)[1000.0].avg_temperature_c);
+}
+
+TEST_F(FrequencySweep, SocPowerIncreasesInFrequency)
+{
+    EXPECT_GT((*runs_)[1800.0].soc_avg_w, (*runs_)[1300.0].soc_avg_w);
+    EXPECT_GT((*runs_)[1300.0].soc_avg_w, (*runs_)[1000.0].soc_avg_w);
+}
+
+TEST_F(FrequencySweep, SlowdownBoundedByFrequencyRatio)
+{
+    // Nothing can slow down more than the pure frequency ratio, and a
+    // real workload (with insensitive time) slows down strictly less.
+    double t_low = (*runs_)[1000.0].iteration_seconds;
+    double t_high = (*runs_)[1800.0].iteration_seconds;
+    double ratio = t_low / t_high;
+    EXPECT_LE(ratio, 1.8 + 1e-6);
+    EXPECT_LT(ratio, 1.75); // insensitive fraction exists
+    EXPECT_GT(ratio, 1.05); // sensitive fraction exists
+}
+
+} // namespace
+} // namespace opdvfs::trace

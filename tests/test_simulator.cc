@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace opdvfs::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    sim.scheduleIn(100, [] {});
+    sim.run();
+    EXPECT_EQ(sim.now(), 100);
+}
+
+// Regression: the clock must be advanced *before* an event body runs,
+// so now() inside the event equals the event's own timestamp.
+TEST(Simulator, NowIsEventTimestampInsideEvent)
+{
+    Simulator sim;
+    std::vector<Tick> observed;
+    sim.scheduleIn(10, [&] { observed.push_back(sim.now()); });
+    sim.scheduleIn(25, [&] { observed.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(observed, (std::vector<Tick>{10, 25}));
+}
+
+TEST(Simulator, NestedSchedulingSeesConsistentTime)
+{
+    Simulator sim;
+    std::vector<Tick> observed;
+    sim.scheduleIn(5, [&] {
+        sim.scheduleIn(7, [&] { observed.push_back(sim.now()); });
+    });
+    sim.run();
+    EXPECT_EQ(observed, (std::vector<Tick>{12}));
+}
+
+TEST(Simulator, RunLimitStopsAndAdvancesClock)
+{
+    Simulator sim;
+    int ran = 0;
+    sim.scheduleIn(10, [&] { ++ran; });
+    sim.scheduleIn(100, [&] { ++ran; });
+    auto executed = sim.run(50);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, EventExactlyAtLimitRuns)
+{
+    Simulator sim;
+    bool ran = false;
+    sim.scheduleIn(50, [&] { ran = true; });
+    sim.run(50);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunToLimitWithEmptyQueueAdvancesClock)
+{
+    Simulator sim;
+    sim.run(1000);
+    EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, NegativeDelayThrows)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.scheduleIn(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, SchedulingInThePastThrows)
+{
+    Simulator sim;
+    sim.scheduleIn(100, [] {});
+    sim.run();
+    EXPECT_THROW(sim.scheduleAt(50, [] {}), std::invalid_argument);
+    EXPECT_NO_THROW(sim.scheduleAt(100, [] {}));
+}
+
+TEST(Simulator, CountsExecutedEvents)
+{
+    Simulator sim;
+    for (int i = 0; i < 5; ++i)
+        sim.scheduleIn(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 5u);
+}
+
+} // namespace
+} // namespace opdvfs::sim

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dvfs/pipeline.h"
+#include "dvfs/strategy_io.h"
+#include "models/transformer.h"
+#include "power/offline_calibration.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::dvfs {
+namespace {
+
+Strategy
+sampleStrategy()
+{
+    Strategy strategy;
+    for (int s = 0; s < 4; ++s) {
+        Stage stage;
+        stage.start = s * 10 * kTicksPerMs;
+        stage.duration = 10 * kTicksPerMs;
+        stage.high_frequency = s % 2 == 0;
+        strategy.stages.push_back(stage);
+        strategy.mhz_per_stage.push_back(s % 2 == 0 ? 1800.0 : 1300.0);
+    }
+    strategy.plan.initial_mhz = 1800.0;
+    strategy.plan.triggers.push_back({8, 1300.0});
+    strategy.plan.triggers.push_back({18, 1800.0});
+    strategy.plan.triggers.push_back({28, 1300.0});
+    return strategy;
+}
+
+TEST(StrategyIo, RoundTripPreservesEverything)
+{
+    Strategy original = sampleStrategy();
+    std::stringstream buffer;
+    saveStrategy(original, buffer);
+    Strategy loaded = loadStrategy(buffer);
+
+    ASSERT_EQ(loaded.stages.size(), original.stages.size());
+    ASSERT_EQ(loaded.mhz_per_stage.size(), original.mhz_per_stage.size());
+    ASSERT_EQ(loaded.plan.triggers.size(), original.plan.triggers.size());
+    EXPECT_DOUBLE_EQ(loaded.plan.initial_mhz, original.plan.initial_mhz);
+    for (std::size_t s = 0; s < original.stages.size(); ++s) {
+        EXPECT_EQ(loaded.stages[s].start, original.stages[s].start);
+        EXPECT_EQ(loaded.stages[s].duration, original.stages[s].duration);
+        EXPECT_EQ(loaded.stages[s].high_frequency,
+                  original.stages[s].high_frequency);
+        EXPECT_DOUBLE_EQ(loaded.mhz_per_stage[s],
+                         original.mhz_per_stage[s]);
+    }
+    for (std::size_t t = 0; t < original.plan.triggers.size(); ++t) {
+        EXPECT_EQ(loaded.plan.triggers[t].after_op_index,
+                  original.plan.triggers[t].after_op_index);
+        EXPECT_DOUBLE_EQ(loaded.plan.triggers[t].mhz,
+                         original.plan.triggers[t].mhz);
+    }
+    EXPECT_EQ(loaded.triggerCount(), 3u);
+}
+
+TEST(StrategyIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream buffer;
+    buffer << "strategy v1\n\n# a comment\ninitial 1500\n"
+           << "stage 0 1000000 1500 lfc\n";
+    Strategy loaded = loadStrategy(buffer);
+    EXPECT_DOUBLE_EQ(loaded.plan.initial_mhz, 1500.0);
+    ASSERT_EQ(loaded.stages.size(), 1u);
+    EXPECT_FALSE(loaded.stages[0].high_frequency);
+}
+
+TEST(StrategyIo, MissingHeaderThrows)
+{
+    std::stringstream buffer;
+    buffer << "stage 0 1 1800 hfc\n";
+    EXPECT_THROW(loadStrategy(buffer), std::invalid_argument);
+}
+
+TEST(StrategyIo, MalformedRecordsThrow)
+{
+    for (const char *bad :
+         {"strategy v1\nstage 0 1 1800 weird\n",
+          "strategy v1\nstage 0 1\n", "strategy v1\nbogus 1 2 3\n",
+          "strategy v1\ntrigger nope 1800\n",
+          "strategy v1\ninitial\n"}) {
+        std::stringstream buffer(bad);
+        EXPECT_THROW(loadStrategy(buffer), std::invalid_argument) << bad;
+    }
+}
+
+TEST(StrategyIo, SaveValidatesShape)
+{
+    Strategy broken = sampleStrategy();
+    broken.mhz_per_stage.pop_back();
+    std::stringstream buffer;
+    EXPECT_THROW(saveStrategy(broken, buffer), std::invalid_argument);
+}
+
+TEST(StrategyIo, FileRoundTrip)
+{
+    Strategy original = sampleStrategy();
+    std::string path = ::testing::TempDir() + "/opdvfs_strategy.txt";
+    saveStrategyFile(original, path);
+    Strategy loaded = loadStrategyFile(path);
+    EXPECT_EQ(loaded.stages.size(), original.stages.size());
+    EXPECT_EQ(loaded.plan.triggers.size(), original.plan.triggers.size());
+}
+
+TEST(StrategyIo, MissingFileThrows)
+{
+    EXPECT_THROW(loadStrategyFile("/nonexistent/path/strategy.txt"),
+                 std::runtime_error);
+}
+
+TEST(StrategyIo, SavedStrategyReExecutesEquivalently)
+{
+    // The production decoupling: generate + save in one process,
+    // load + execute in another.  The re-executed strategy must
+    // reproduce the original measured behaviour.
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "io-e2e";
+    model.layers = 2;
+    model.hidden = 2048;
+    model.heads = 16;
+    model.seq = 1024;
+    model.batch = 2;
+    model.tp_allreduce = true;
+    model.tensor_parallel = 2;
+    models::Workload workload =
+        models::buildTransformerTraining(memory, model, 44);
+
+    PipelineOptions options;
+    options.chip = chip;
+    options.constants = power::calibrateOffline(chip);
+    options.warmup_seconds = 4.0;
+    options.ga.population = 40;
+    options.ga.generations = 60;
+    EnergyPipeline pipeline(options);
+    PipelineResult result = pipeline.optimize(workload);
+
+    std::string path = ::testing::TempDir() + "/opdvfs_e2e_strategy.txt";
+    saveStrategyFile(result.strategy(), path);
+    Strategy loaded = loadStrategyFile(path);
+
+    trace::WorkloadRunner runner(chip);
+    trace::RunOptions run_options;
+    run_options.initial_mhz = loaded.plan.initial_mhz;
+    run_options.warmup_seconds = 4.0;
+    run_options.seed = options.seed * 131 + 7; // the pipeline's seed
+    trace::RunResult replay =
+        runner.run(workload, run_options, loaded.plan.triggers);
+
+    EXPECT_NEAR(replay.iteration_seconds, result.dvfs.iteration_seconds,
+                result.dvfs.iteration_seconds * 1e-6);
+    EXPECT_NEAR(replay.aicore_avg_w, result.dvfs.aicore_avg_w,
+                result.dvfs.aicore_avg_w * 1e-6);
+    EXPECT_EQ(replay.set_freq_count, result.dvfs.set_freq_count);
+}
+
+} // namespace
+} // namespace opdvfs::dvfs

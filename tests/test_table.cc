@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace opdvfs {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table table("demo");
+    table.setHeader({"a", "long-header", "c"});
+    table.addRow({"1", "2", "3"});
+    table.addRow({"wide-cell", "x", "y"});
+    std::ostringstream os;
+    table.print(os);
+    std::string text = os.str();
+
+    EXPECT_NE(text.find("== demo =="), std::string::npos);
+    EXPECT_NE(text.find("long-header"), std::string::npos);
+    // Every line after the separator starts a row; the header line and
+    // first row line align on column starts.
+    std::istringstream lines(text);
+    std::string title, header, sep, row1;
+    std::getline(lines, title);
+    std::getline(lines, header);
+    std::getline(lines, sep);
+    std::getline(lines, row1);
+    EXPECT_EQ(header.find("long-header"), row1.find("2"));
+    EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    Table table;
+    table.setHeader({"a", "b"});
+    table.addRow({"only-one"});
+    table.addRow({"1", "2", "extra"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(table.print(os));
+    EXPECT_NE(os.str().find("extra"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table table("unused-title");
+    table.setHeader({"x", "y"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+    EXPECT_EQ(Table::pct(0.1344), "13.44%");
+    EXPECT_EQ(Table::pct(0.5, 0), "50%");
+}
+
+TEST(Table, RowCount)
+{
+    Table table;
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"x"});
+    EXPECT_EQ(table.rowCount(), 1u);
+}
+
+TEST(Logging, ThresholdFilters)
+{
+    log::Level previous = log::level();
+    log::setLevel(log::Level::Error);
+    EXPECT_EQ(log::level(), log::Level::Error);
+    // These must not crash and must be suppressed below the threshold.
+    log::debug("dropped ", 1);
+    log::info("dropped ", 2.5);
+    log::warn("dropped ", "three");
+    log::setLevel(previous);
+}
+
+} // namespace
+} // namespace opdvfs

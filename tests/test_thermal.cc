@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "npu/thermal.h"
+
+namespace opdvfs::npu {
+namespace {
+
+TEST(Thermal, StartsAtAmbient)
+{
+    ThermalModel thermal;
+    EXPECT_DOUBLE_EQ(thermal.temperature(),
+                     thermal.config().ambient_celsius);
+    EXPECT_DOUBLE_EQ(thermal.deltaT(), 0.0);
+}
+
+// Eq. 15: equilibrium temperature is linear in SoC power.
+TEST(Thermal, EquilibriumLinearInPower)
+{
+    ThermalModel thermal;
+    const auto &config = thermal.config();
+    EXPECT_DOUBLE_EQ(thermal.equilibrium(0.0), config.ambient_celsius);
+    double t200 = thermal.equilibrium(200.0);
+    double t300 = thermal.equilibrium(300.0);
+    double t400 = thermal.equilibrium(400.0);
+    EXPECT_NEAR(t300 - t200, t400 - t300, 1e-12);
+    EXPECT_NEAR(t300 - t200, 100.0 * config.k_per_watt, 1e-12);
+}
+
+TEST(Thermal, ApproachesEquilibriumExponentially)
+{
+    ThermalModel thermal;
+    const auto &config = thermal.config();
+    double power = 250.0;
+    // After exactly one time constant, 1 - 1/e of the gap is closed.
+    thermal.advance(config.time_constant_s, power);
+    double target = thermal.equilibrium(power);
+    double expected = config.ambient_celsius
+        + (target - config.ambient_celsius) * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(thermal.temperature(), expected, 1e-9);
+}
+
+TEST(Thermal, ManySmallStepsEqualOneBigStep)
+{
+    ThermalModel a, b;
+    double power = 300.0;
+    a.advance(10.0, power);
+    for (int i = 0; i < 1000; ++i)
+        b.advance(0.01, power);
+    EXPECT_NEAR(a.temperature(), b.temperature(), 1e-9);
+}
+
+TEST(Thermal, ConvergesToEquilibrium)
+{
+    ThermalModel thermal;
+    double power = 280.0;
+    for (int i = 0; i < 100; ++i)
+        thermal.advance(1.0, power);
+    EXPECT_NEAR(thermal.temperature(), thermal.equilibrium(power), 1e-3);
+}
+
+TEST(Thermal, CoolsBackDown)
+{
+    ThermalModel thermal;
+    for (int i = 0; i < 100; ++i)
+        thermal.advance(1.0, 300.0);
+    double hot = thermal.temperature();
+    thermal.advance(5.0, 0.0);
+    EXPECT_LT(thermal.temperature(), hot);
+    for (int i = 0; i < 100; ++i)
+        thermal.advance(1.0, 0.0);
+    EXPECT_NEAR(thermal.temperature(), thermal.config().ambient_celsius,
+                1e-3);
+}
+
+TEST(Thermal, ZeroStepIsNoOp)
+{
+    ThermalModel thermal;
+    thermal.advance(0.0, 500.0);
+    EXPECT_DOUBLE_EQ(thermal.temperature(),
+                     thermal.config().ambient_celsius);
+}
+
+TEST(Thermal, ResetReturnsToAmbient)
+{
+    ThermalModel thermal;
+    thermal.advance(100.0, 300.0);
+    thermal.reset();
+    EXPECT_DOUBLE_EQ(thermal.deltaT(), 0.0);
+}
+
+TEST(Thermal, Validation)
+{
+    ThermalModel thermal;
+    EXPECT_THROW(thermal.advance(-1.0, 100.0), std::invalid_argument);
+    ThermalConfig bad;
+    bad.time_constant_s = 0.0;
+    EXPECT_THROW(ThermalModel{bad}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace opdvfs::npu

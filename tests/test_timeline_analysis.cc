@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "npu/memory_system.h"
+#include "perf/timeline_analysis.h"
+
+namespace opdvfs::perf {
+namespace {
+
+TEST(TimelineAnalysis, PureComputeOpHasOneSegment)
+{
+    npu::MemorySystem memory;
+    npu::HwOpParams params;
+    params.scenario = npu::Scenario::PingPongIndependent;
+    params.n = 4;
+    params.core_cycles = 50'000.0;
+    params.ld_volume_bytes = 0.0;
+    params.st_volume_bytes = 0.0;
+    params.t0_seconds = 0.0;
+
+    auto analysis = analyzeTimeline(params, memory, 1000.0, 1800.0);
+    EXPECT_EQ(analysis.segments, 1u);
+    EXPECT_TRUE(analysis.breakpoints_mhz.empty());
+    // Pure compute: cycle count is constant, slope zero.
+    EXPECT_NEAR(analysis.low_slope, 0.0, 1e-12);
+}
+
+TEST(TimelineAnalysis, MemoryOpHasBreakpointAtSaturation)
+{
+    npu::MemorySystem memory;
+    npu::HwOpParams params;
+    params.scenario = npu::Scenario::PingPongIndependent;
+    params.n = 4;
+    params.core_cycles = 10.0;
+    params.ld_volume_bytes = 2e6;
+    params.ld_l2_hit = 0.3;
+    params.st_volume_bytes = 0.0;
+    params.t0_seconds = 0.0;
+    params.overhead_seconds = 0.0;
+
+    double fs = memory.saturationMhz(0.3);
+    ASSERT_GT(fs, 1000.0);
+    ASSERT_LT(fs, 1800.0);
+
+    auto analysis = analyzeTimeline(params, memory, 1000.0, 1800.0);
+    ASSERT_GE(analysis.segments, 2u);
+    bool found = false;
+    for (double bp : analysis.breakpoints_mhz)
+        found |= std::abs(bp - fs) < 1.0;
+    EXPECT_TRUE(found);
+}
+
+TEST(TimelineAnalysis, SlopesNondecreasing)
+{
+    // Convexity: the derivative can only grow with frequency.
+    npu::MemorySystem memory;
+    npu::HwOpParams params;
+    params.scenario = npu::Scenario::PingPongFreeIndependent;
+    params.n = 8;
+    params.core_cycles = 20'000.0;
+    params.ld_volume_bytes = 1.5e6;
+    params.ld_l2_hit = 0.2;
+    params.st_volume_bytes = 8e5;
+    params.st_l2_hit = 0.6;
+    params.t0_seconds = 4e-7;
+
+    auto analysis = analyzeTimeline(params, memory, 1000.0, 1800.0);
+    EXPECT_GE(analysis.high_slope, analysis.low_slope);
+}
+
+TEST(TimelineAnalysis, BreakpointsWithinRangeAndSorted)
+{
+    npu::MemorySystem memory;
+    npu::HwOpParams params;
+    params.scenario = npu::Scenario::PingPongIndependent;
+    params.n = 16;
+    params.core_cycles = 1'500.0;
+    params.ld_volume_bytes = 2e6;
+    params.ld_l2_hit = 0.1;
+    params.st_volume_bytes = 1e6;
+    params.st_l2_hit = 0.7;
+    params.t0_seconds = 3e-7;
+
+    auto analysis = analyzeTimeline(params, memory, 800.0, 2200.0);
+    for (std::size_t i = 0; i < analysis.breakpoints_mhz.size(); ++i) {
+        EXPECT_GT(analysis.breakpoints_mhz[i], 800.0);
+        EXPECT_LT(analysis.breakpoints_mhz[i], 2200.0);
+        if (i > 0) {
+            EXPECT_GE(analysis.breakpoints_mhz[i],
+                      analysis.breakpoints_mhz[i - 1]);
+        }
+    }
+    EXPECT_EQ(analysis.segments, analysis.breakpoints_mhz.size() + 1);
+}
+
+TEST(TimelineAnalysis, BadRangeThrows)
+{
+    npu::MemorySystem memory;
+    npu::HwOpParams params;
+    EXPECT_THROW(analyzeTimeline(params, memory, 1800.0, 1000.0),
+                 std::invalid_argument);
+    EXPECT_THROW(analyzeTimeline(params, memory, 0.0, 1000.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace opdvfs::perf

@@ -1,0 +1,105 @@
+/**
+ * Tests for the Sect. 8.2 future-work extension: the uncore operating
+ * point that scales L2/HBM bandwidth and uncore dynamic power.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/transformer.h"
+#include "npu/memory_system.h"
+#include "npu/npu_chip.h"
+#include "npu/power.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::npu {
+namespace {
+
+TEST(UncoreScale, BandwidthScalesLinearly)
+{
+    MemorySystemConfig config;
+    MemorySystem nominal(config);
+    config.bandwidth_scale = 0.8;
+    MemorySystem scaled(config);
+    for (double hit : {0.0, 0.5, 1.0}) {
+        EXPECT_NEAR(scaled.uncoreBandwidth(hit),
+                    0.8 * nominal.uncoreBandwidth(hit), 1e-3);
+        EXPECT_NEAR(scaled.saturationMhz(hit),
+                    0.8 * nominal.saturationMhz(hit), 1e-6);
+    }
+}
+
+TEST(UncoreScale, InvalidScaleThrows)
+{
+    MemorySystemConfig config;
+    config.bandwidth_scale = 0.0;
+    EXPECT_THROW(MemorySystem{config}, std::invalid_argument);
+    config.bandwidth_scale = 1.5;
+    EXPECT_THROW(MemorySystem{config}, std::invalid_argument);
+}
+
+TEST(UncoreScale, UncorePowerDynamicPartScales)
+{
+    UncorePowerParams params;
+    PowerCalculator calc(AicorePowerParams{}, params);
+    PowerState nominal, scaled;
+    nominal.uncore_activity = scaled.uncore_activity = 0.5;
+    scaled.uncore_scale = 0.7;
+    double p_nominal = calc.uncorePower(nominal);
+    double p_scaled = calc.uncorePower(scaled);
+    EXPECT_LT(p_scaled, p_nominal);
+    // The static part never scales away: power stays above it.
+    double idle_static = params.idle_watts * (1.0 - params.dynamic_fraction);
+    EXPECT_GT(p_scaled, idle_static);
+}
+
+TEST(UncoreScale, NominalScaleIsIdentity)
+{
+    UncorePowerParams params;
+    PowerCalculator calc(AicorePowerParams{}, params);
+    PowerState state;
+    state.uncore_activity = 0.4;
+    state.uncore_scale = 1.0;
+    double expected = params.idle_watts + 0.4 * params.active_watts;
+    EXPECT_NEAR(calc.uncorePower(state), expected, 1e-9);
+}
+
+TEST(UncoreScale, SlowUncoreSlowsMemoryBoundWorkload)
+{
+    models::TransformerConfig model;
+    model.layers = 2;
+    model.hidden = 2048;
+    model.heads = 16;
+    model.seq = 512;
+    model.batch = 4;
+
+    auto run_at = [&model](double scale) {
+        npu::NpuConfig chip;
+        chip.uncore_scale = scale;
+        npu::MemorySystem nominal_memory(npu::MemorySystemConfig{});
+        models::Workload workload =
+            models::buildTransformerTraining(nominal_memory, model, 5);
+        trace::WorkloadRunner runner(chip);
+        trace::RunOptions options;
+        return runner.run(workload, options);
+    };
+
+    trace::RunResult nominal = run_at(1.0);
+    trace::RunResult slowed = run_at(0.7);
+    // Less bandwidth: slower iteration, lower SoC power.
+    EXPECT_GT(slowed.iteration_seconds, nominal.iteration_seconds * 1.05);
+    EXPECT_LT(slowed.soc_avg_w, nominal.soc_avg_w);
+}
+
+TEST(UncoreScale, ChipAppliesScaleToItsMemorySystem)
+{
+    sim::Simulator simulator;
+    NpuConfig config;
+    config.uncore_scale = 0.5;
+    NpuChip chip(simulator, config);
+    MemorySystem nominal(config.memory);
+    EXPECT_NEAR(chip.memorySystem().uncoreBandwidth(0.5),
+                0.5 * nominal.uncoreBandwidth(0.5), 1e-3);
+}
+
+} // namespace
+} // namespace opdvfs::npu

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace opdvfs {
+namespace {
+
+TEST(Units, SecondsToTicksRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), kTicksPerSecond);
+    EXPECT_EQ(secondsToTicks(0.001), kTicksPerMs);
+    EXPECT_EQ(secondsToTicks(1e-6), kTicksPerUs);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerSecond), 1.0);
+}
+
+TEST(Units, SecondsToTicksRounds)
+{
+    // 1.6 ps rounds to 2 ticks, 1.4 ps to 1 tick.
+    EXPECT_EQ(secondsToTicks(1.6e-12), 2);
+    EXPECT_EQ(secondsToTicks(1.4e-12), 1);
+    EXPECT_EQ(secondsToTicks(0.0), 0);
+}
+
+TEST(Units, TickConstantsConsistent)
+{
+    EXPECT_EQ(kTicksPerMs * 1000, kTicksPerSecond);
+    EXPECT_EQ(kTicksPerUs * 1000, kTicksPerMs);
+}
+
+TEST(Units, MhzToHz)
+{
+    EXPECT_DOUBLE_EQ(mhzToHz(1800.0), 1.8e9);
+    EXPECT_DOUBLE_EQ(mhzToHz(0.0), 0.0);
+}
+
+TEST(Units, CyclesSecondsRoundTrip)
+{
+    double cycles = secondsToCycles(1e-3, 1500.0);
+    EXPECT_DOUBLE_EQ(cycles, 1.5e6);
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(cycles, 1500.0), 1e-3);
+}
+
+TEST(Units, SubTickDurationsDoNotVanishWhenAccumulated)
+{
+    // 1000 x 1 us == 1 ms exactly in tick arithmetic.
+    Tick total = 0;
+    for (int i = 0; i < 1000; ++i)
+        total += secondsToTicks(1e-6);
+    EXPECT_EQ(total, kTicksPerMs);
+}
+
+} // namespace
+} // namespace opdvfs
