@@ -1,5 +1,6 @@
 #include "cluster/cluster_runner.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -27,12 +28,18 @@ ClusterRunResult::socAvgWatts() const
 
 namespace {
 
-/** Queue one device's iteration, routing collectives to the group. */
+/**
+ * Queue one device's iteration, routing collectives to the group.
+ * With @p guard_stats set, SetFreqs go through the guarded
+ * verify-and-retry path.
+ */
 void
 enqueueDeviceIteration(npu::NpuChip &chip, int rank,
                        const models::Workload &workload,
                        CollectiveGroup &group,
-                       const std::vector<trace::SetFreqTrigger> &triggers)
+                       const std::vector<trace::SetFreqTrigger> &triggers,
+                       const dvfs::GuardOptions *guard = nullptr,
+                       dvfs::GuardStats *guard_stats = nullptr)
 {
     for (std::size_t i = 0; i < workload.iteration.size(); ++i) {
         const ops::Op &op = workload.iteration[i];
@@ -53,10 +60,31 @@ enqueueDeviceIteration(npu::NpuChip &chip, int rank,
                 auto event = std::make_shared<sim::SyncEvent>();
                 chip.computeStream().enqueueRecord(event);
                 chip.setFreqStream().enqueueWait(event);
-                chip.enqueueSetFreq(trigger.mhz);
+                if (guard_stats) {
+                    dvfs::enqueueGuardedSetFreq(chip, trigger.mhz,
+                                                guard->set_freq_retries,
+                                                guard->retry_backoff,
+                                                *guard_stats);
+                } else {
+                    chip.enqueueSetFreq(trigger.mhz);
+                }
             }
         }
     }
+}
+
+/** Frequency a rank should end the iteration at, given its triggers. */
+double
+expectedFinalMhz(const npu::NpuChip &chip,
+                 const std::vector<trace::SetFreqTrigger> &triggers,
+                 double initial_mhz)
+{
+    const trace::SetFreqTrigger *last = nullptr;
+    for (const auto &trigger : triggers) {
+        if (!last || trigger.after_op_index >= last->after_op_index)
+            last = &trigger;
+    }
+    return chip.freqTable().snap(last ? last->mhz : initial_mhz);
 }
 
 } // namespace
@@ -75,6 +103,12 @@ ClusterRunner::run(const models::Workload &workload,
         throw std::invalid_argument(
             "ClusterRunner: need one trigger set per device");
     }
+    if (!options.device_faults.empty()
+        && options.device_faults.size()
+            != static_cast<std::size_t>(config_.devices)) {
+        throw std::invalid_argument(
+            "ClusterRunner: need one fault plan per device");
+    }
 
     sim::Simulator simulator;
     CollectiveGroup group(simulator, config_.devices,
@@ -86,6 +120,9 @@ ClusterRunner::run(const models::Workload &workload,
     for (int d = 0; d < config_.devices; ++d) {
         npu::NpuConfig chip_config = config_.chip;
         chip_config.initial_mhz = options.initial_mhz;
+        if (!options.device_faults.empty())
+            chip_config.faults =
+                options.device_faults[static_cast<std::size_t>(d)];
         chips.push_back(
             std::make_unique<npu::NpuChip>(simulator, chip_config));
     }
@@ -137,6 +174,162 @@ ClusterRunner::run(const models::Workload &workload,
         device.set_freq_count =
             chips[d]->dvfs().setFreqCount() - set_freq_before[d];
         result.devices.push_back(device);
+    }
+    return result;
+}
+
+double
+GuardedClusterResult::meanLoss() const
+{
+    if (iterations.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &it : iterations)
+        sum += it.loss;
+    return sum / static_cast<double>(iterations.size());
+}
+
+double
+GuardedClusterResult::worstLoss() const
+{
+    double worst = 0.0;
+    for (const auto &it : iterations)
+        worst = std::max(worst, it.loss);
+    return worst;
+}
+
+GuardedClusterResult
+ClusterRunner::runGuarded(const models::Workload &workload,
+                          const std::vector<
+                              std::vector<trace::SetFreqTrigger>>
+                              &per_device_triggers,
+                          double baseline_seconds,
+                          const GuardedClusterOptions &options) const
+{
+    if (workload.iteration.empty())
+        throw std::invalid_argument("ClusterRunner: empty workload");
+    if (options.iterations <= 0)
+        throw std::invalid_argument("ClusterRunner: no iterations");
+    if (!per_device_triggers.empty()
+        && per_device_triggers.size()
+            != static_cast<std::size_t>(config_.devices)) {
+        throw std::invalid_argument(
+            "ClusterRunner: need one trigger set per device");
+    }
+    if (!options.run.device_faults.empty()
+        && options.run.device_faults.size()
+            != static_cast<std::size_t>(config_.devices)) {
+        throw std::invalid_argument(
+            "ClusterRunner: need one fault plan per device");
+    }
+
+    sim::Simulator simulator;
+    CollectiveGroup group(simulator, config_.devices,
+                          config_.link_bandwidth,
+                          config_.collective_latency_s);
+
+    std::vector<std::unique_ptr<npu::NpuChip>> chips;
+    chips.reserve(static_cast<std::size_t>(config_.devices));
+    for (int d = 0; d < config_.devices; ++d) {
+        npu::NpuConfig chip_config = config_.chip;
+        chip_config.initial_mhz = options.run.initial_mhz;
+        if (!options.run.device_faults.empty())
+            chip_config.faults =
+                options.run.device_faults[static_cast<std::size_t>(d)];
+        chips.push_back(
+            std::make_unique<npu::NpuChip>(simulator, chip_config));
+    }
+
+    static const std::vector<trace::SetFreqTrigger> kNoTriggers;
+    auto triggers_for = [&](int rank) -> const auto & {
+        return per_device_triggers.empty()
+            ? kNoTriggers
+            : per_device_triggers[static_cast<std::size_t>(rank)];
+    };
+
+    dvfs::DvfsGuard guard(options.guard, baseline_seconds);
+    dvfs::GuardStats &stats = guard.mutableStats();
+
+    // Warm-up (unguarded, unmeasured).
+    for (int warm = 0; warm < options.run.warmup_iterations; ++warm) {
+        for (int d = 0; d < config_.devices; ++d) {
+            enqueueDeviceIteration(*chips[static_cast<std::size_t>(d)], d,
+                                   workload, group, triggers_for(d));
+        }
+        simulator.run();
+    }
+
+    GuardedClusterResult result;
+    result.baseline_seconds = baseline_seconds;
+    double max_mhz = npu::FreqTable(config_.chip.freq).maxMhz();
+
+    for (int iter = 0; iter < options.iterations; ++iter) {
+        bool strategy_active = guard.strategyEnabled();
+        if (guard.wantsThrottleReset()) {
+            // Fleet-wide repair: reset every throttled rank's governor.
+            for (auto &chip : chips) {
+                if (chip->dvfs().throttled()) {
+                    chip->resetThrottleGovernor();
+                    ++stats.throttle_resets;
+                }
+            }
+        }
+
+        Tick start = simulator.now();
+        for (int d = 0; d < config_.devices; ++d) {
+            npu::NpuChip &chip = *chips[static_cast<std::size_t>(d)];
+            if (strategy_active) {
+                enqueueDeviceIteration(
+                    chip, d, workload, group, triggers_for(d),
+                    &options.guard,
+                    options.guard.enabled ? &stats : nullptr);
+            } else {
+                dvfs::enqueueGuardedSetFreq(chip, max_mhz,
+                                            options.guard.set_freq_retries,
+                                            options.guard.retry_backoff,
+                                            stats);
+                enqueueDeviceIteration(chip, d, workload, group,
+                                       kNoTriggers);
+            }
+        }
+        simulator.run();
+
+        GuardedClusterIteration record;
+        record.strategy_active = strategy_active;
+        record.seconds = ticksToSeconds(simulator.now() - start);
+
+        bool any_throttled = false;
+        double peak_temperature = 0.0;
+        for (int d = 0; d < config_.devices; ++d) {
+            npu::NpuChip &chip = *chips[static_cast<std::size_t>(d)];
+            chip.syncAccounting();
+            peak_temperature =
+                std::max(peak_temperature, chip.temperature());
+            double expected = strategy_active
+                ? expectedFinalMhz(chip, triggers_for(d),
+                                   options.run.initial_mhz)
+                : max_mhz;
+            bool throttled = chip.dvfs().throttled();
+            any_throttled = any_throttled || throttled;
+            if (throttled || chip.dvfs().currentMhz() != expected)
+                record.straggler_ranks.push_back(d);
+        }
+
+        dvfs::GuardObservation observation;
+        observation.iteration_seconds = record.seconds;
+        observation.temperature_c = peak_temperature;
+        observation.telemetry_ok = true;
+        observation.throttled = any_throttled;
+        record.state_after = guard.observe(observation);
+        record.loss = guard.lastLoss();
+        result.iterations.push_back(record);
+    }
+
+    result.guard = guard.stats();
+    for (const auto &chip : chips) {
+        result.device_faults.push_back(
+            chip->faultInjector() ? chip->faultInjector()->counters()
+                                  : npu::FaultCounters{});
     }
     return result;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/collective.h"
+#include "dvfs/guard.h"
 #include "models/workload.h"
 #include "npu/npu_chip.h"
 #include "trace/workload_runner.h"
@@ -71,7 +72,51 @@ struct ClusterRunOptions
     double initial_mhz = 1800.0;
     /** Warm-up iterations before the measured one. */
     int warmup_iterations = 1;
+    /**
+     * Per-device fault plans (empty = no faults anywhere; one entry
+     * per device otherwise).  Lets a single misbehaving rank be
+     * modelled inside an otherwise healthy group.
+     */
+    std::vector<npu::FaultPlan> device_faults;
     std::uint64_t seed = 1;
+};
+
+/** Options for a guarded multi-iteration fleet run. */
+struct GuardedClusterOptions
+{
+    dvfs::GuardOptions guard;
+    /** Measured iterations. */
+    int iterations = 8;
+    ClusterRunOptions run;
+};
+
+/** One fleet iteration under the guard. */
+struct GuardedClusterIteration
+{
+    double seconds = 0.0;
+    /** Relative loss vs the fault-free baseline iteration time. */
+    double loss = 0.0;
+    bool strategy_active = true;
+    dvfs::GuardState state_after = dvfs::GuardState::Monitoring;
+    /**
+     * Ranks whose device ended the iteration away from its commanded
+     * frequency (throttled, or a SetFreq that never landed): the
+     * devices stalling the collective group.
+     */
+    std::vector<int> straggler_ranks;
+};
+
+/** Everything a guarded fleet run measured. */
+struct GuardedClusterResult
+{
+    std::vector<GuardedClusterIteration> iterations;
+    double baseline_seconds = 0.0;
+    dvfs::GuardStats guard;
+    /** Per-rank injection bookkeeping (zeros for healthy ranks). */
+    std::vector<npu::FaultCounters> device_faults;
+
+    double meanLoss() const;
+    double worstLoss() const;
 };
 
 /** Owns chips, collective group and the measurement protocol. */
@@ -92,6 +137,25 @@ class ClusterRunner
         const std::vector<std::vector<trace::SetFreqTrigger>>
             &per_device_triggers = {},
         const ClusterRunOptions &options = {}) const;
+
+    /**
+     * Run `options.iterations` measured fleet iterations under the
+     * runtime guard: planned SetFreqs are verified and retried on
+     * every device, throttled ranks violating the envelope get a
+     * governor reset, and on sustained violation of the cluster
+     * iteration time the whole fleet falls back to the maximum
+     * frequency (with hysteresis re-enable).  Because collectives
+     * synchronise the group, one faulted rank inflates the cluster
+     * iteration time for everyone — the guard observes fleet time and
+     * repairs the straggler, which is reported per iteration.
+     * @p baseline_seconds is the fault-free fleet iteration time.
+     */
+    GuardedClusterResult
+    runGuarded(const models::Workload &workload,
+               const std::vector<std::vector<trace::SetFreqTrigger>>
+                   &per_device_triggers,
+               double baseline_seconds,
+               const GuardedClusterOptions &options = {}) const;
 
     const ClusterConfig &config() const { return config_; }
 

@@ -9,17 +9,26 @@ namespace {
 
 /**
  * Trigger selection of Fig. 14: the last operator completing at or
- * before @p dispatch_tick.  Falls back to the first operator when the
- * dispatch point precedes every completion.
+ * before @p dispatch_tick, never earlier than @p min_pos.
+ *
+ * A dispatch point can precede every completion when the assumed
+ * SetFreq latency exceeds the time before the boundary (e.g. a 14 ms
+ * V100-style latency against a stage starting at 5 ms, or a whole
+ * iteration shorter than the latency).  The tick arithmetic then
+ * underflows past the iteration start; such points snap to the
+ * earliest valid trigger — the first operator completion at or after
+ * @p min_pos — instead of producing an unplannable placement.  The
+ * @p min_pos floor also keeps consecutive triggers in dispatch order.
  */
 std::size_t
-triggerOpFor(const std::vector<trace::OpRecord> &records, Tick dispatch_tick)
+triggerPosFor(const std::vector<trace::OpRecord> &records,
+              Tick dispatch_tick, std::size_t min_pos)
 {
-    std::size_t chosen = static_cast<std::size_t>(records.front().op_id);
-    for (const auto &record : records) {
-        if (record.end > dispatch_tick)
+    std::size_t chosen = min_pos;
+    for (std::size_t i = min_pos; i < records.size(); ++i) {
+        if (records[i].end > dispatch_tick)
             break;
-        chosen = static_cast<std::size_t>(record.op_id);
+        chosen = i;
     }
     return chosen;
 }
@@ -43,21 +52,26 @@ planExecution(const std::vector<Stage> &stages,
 
     ExecutionPlan plan;
     plan.initial_mhz = mhz_per_stage.front();
+    std::size_t last_pos = 0;
 
     // Changes at interior stage boundaries.
     for (std::size_t s = 1; s < stages.size(); ++s) {
         if (mhz_per_stage[s] == mhz_per_stage[s - 1])
             continue;
         Tick dispatch = stages[s].start - options.assumed_set_freq_latency;
+        last_pos = triggerPosFor(records, dispatch, last_pos);
         plan.triggers.push_back(
-            {triggerOpFor(records, dispatch), mhz_per_stage[s]});
+            {static_cast<std::size_t>(records[last_pos].op_id),
+             mhz_per_stage[s]});
     }
 
     // Cyclic wrap: restore stage 0's frequency for the next iteration.
     if (mhz_per_stage.front() != mhz_per_stage.back()) {
         Tick dispatch = iteration_end - options.assumed_set_freq_latency;
+        std::size_t pos = triggerPosFor(records, dispatch, last_pos);
         plan.triggers.push_back(
-            {triggerOpFor(records, dispatch), mhz_per_stage.front()});
+            {static_cast<std::size_t>(records[pos].op_id),
+             mhz_per_stage.front()});
     }
 
     return plan;

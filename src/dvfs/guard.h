@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Runtime DVFS guard: the safety net between a generated strategy and
+ * a misbehaving device.
+ *
+ * The strategy generator proves (on its models) that the strategy
+ * stays within `perf_loss_target`; the guard enforces it at runtime.
+ * It watches each iteration's measured wall time and die temperature
+ * against the profiled baseline:
+ *
+ *  - every planned SetFreq is verified after its apply latency and
+ *    re-issued with bounded exponential backoff when the firmware
+ *    dropped it;
+ *  - a throttled device that violates its envelope gets a DVFS
+ *    governor reset (clears latched/spurious firmware clamps);
+ *  - after `violation_limit` consecutive violating iterations the
+ *    guard falls back to the maximum frequency with the strategy
+ *    disabled, and re-enables it only after `reenable_after` clean
+ *    iterations (hysteresis, so a persistent fault cannot make the
+ *    system flap).
+ *
+ * Temperature observations come from the (faultable) telemetry
+ * channel; the guard median-filters them per iteration so a spiked
+ * sample cannot trigger a false fallback, and holds the last good
+ * reading through blackouts.
+ */
+
+#ifndef OPDVFS_DVFS_GUARD_H
+#define OPDVFS_DVFS_GUARD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "models/workload.h"
+#include "npu/npu_chip.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::dvfs {
+
+/** Guard tuning knobs. */
+struct GuardOptions
+{
+    /** Master switch; disabled = observe-only (no repair actions). */
+    bool enabled = true;
+    /** Allowed relative performance loss (mirrors the pipeline's). */
+    double perf_loss_target = 0.02;
+    /** An iteration violates when loss > violation_factor * target. */
+    double violation_factor = 2.0;
+    /** Consecutive violating iterations before strategy fallback. */
+    int violation_limit = 1;
+    /** Clean fallback iterations before the strategy is re-enabled. */
+    int reenable_after = 4;
+    /** Die-temperature envelope; readings above it are violations. */
+    double max_temperature_c = 100.0;
+    /** Verification retries per planned SetFreq. */
+    int set_freq_retries = 3;
+    /** Initial retry backoff; doubles on every attempt. */
+    Tick retry_backoff = kTicksPerMs / 2;
+};
+
+/** Guard control state. */
+enum class GuardState
+{
+    /** Strategy active, watchdog armed. */
+    Monitoring,
+    /** Strategy disabled, device held at maximum frequency. */
+    Fallback,
+};
+
+/** One iteration's measurements, as the guard sees them. */
+struct GuardObservation
+{
+    double iteration_seconds = 0.0;
+    /** Median filtered telemetry temperature (spike-robust). */
+    double temperature_c = 0.0;
+    /** False when telemetry blacked out for the whole iteration. */
+    bool telemetry_ok = true;
+    /** Firmware throttle engaged at any point of the iteration. */
+    bool throttled = false;
+};
+
+/** Guard action/event counters. */
+struct GuardStats
+{
+    std::uint64_t perf_violations = 0;
+    std::uint64_t thermal_violations = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t reenables = 0;
+    std::uint64_t throttle_resets = 0;
+    std::uint64_t set_freq_retries = 0;
+    /** SetFreqs still wrong after the retry budget. */
+    std::uint64_t set_freq_abandoned = 0;
+    std::uint64_t telemetry_gaps = 0;
+};
+
+/**
+ * The iteration-level watchdog state machine.  Pure logic: callers
+ * feed observations and act on the returned state; all device
+ * interaction (retry wiring, governor resets) lives in runGuarded()
+ * and the cluster runner.
+ */
+class DvfsGuard
+{
+  public:
+    DvfsGuard(const GuardOptions &options,
+              double baseline_iteration_seconds);
+
+    /**
+     * Feed one iteration's measurements; returns the state the NEXT
+     * iteration must run under.  With the guard disabled this only
+     * records statistics and never leaves Monitoring.
+     */
+    GuardState observe(const GuardObservation &observation);
+
+    GuardState state() const { return state_; }
+
+    /** True when the next iteration should apply the strategy. */
+    bool strategyEnabled() const
+    {
+        return state_ == GuardState::Monitoring;
+    }
+
+    /**
+     * True when the last observation warrants a DVFS governor reset
+     * (device throttled while violating its envelope).
+     */
+    bool wantsThrottleReset() const { return wants_throttle_reset_; }
+
+    /** Relative loss of the last observed iteration. */
+    double lastLoss() const { return last_loss_; }
+
+    double baselineSeconds() const { return baseline_seconds_; }
+    const GuardOptions &options() const { return options_; }
+    const GuardStats &stats() const { return stats_; }
+    /** Mutable: the SetFreq retry wiring records its counters here. */
+    GuardStats &mutableStats() { return stats_; }
+
+  private:
+    GuardOptions options_;
+    double baseline_seconds_;
+    GuardState state_ = GuardState::Monitoring;
+    int consecutive_violations_ = 0;
+    int clean_in_fallback_ = 0;
+    bool wants_throttle_reset_ = false;
+    double last_loss_ = 0.0;
+    /** Last trusted temperature, held through telemetry blackouts. */
+    double last_temperature_c_ = 0.0;
+    bool have_temperature_ = false;
+    GuardStats stats_;
+};
+
+/**
+ * Issue a SetFreq on @p chip and verify it landed: once the SetFreq
+ * stream executes the command, the granted frequency must equal the
+ * snapped target (or the device must be firmware-throttled, which a
+ * retry cannot fix).  On mismatch the command is re-issued after an
+ * exponentially growing backoff, at most @p retries times; retries
+ * and abandonments are recorded in @p stats.
+ */
+void enqueueGuardedSetFreq(npu::NpuChip &chip, double mhz, int retries,
+                           Tick backoff, GuardStats &stats);
+
+/** Options for a guarded multi-iteration measurement. */
+struct GuardedRunOptions
+{
+    GuardOptions guard;
+    /** Measured iterations (after warm-up). */
+    int iterations = 16;
+    /** Chip-construction / noise / seed options for the run. */
+    trace::RunOptions run;
+};
+
+/** One measured iteration under the guard. */
+struct GuardedIteration
+{
+    double seconds = 0.0;
+    /** Relative loss vs the profiled baseline. */
+    double loss = 0.0;
+    double temperature_c = 0.0;
+    bool telemetry_ok = true;
+    bool throttled = false;
+    /** Whether the strategy's triggers were applied this iteration. */
+    bool strategy_active = true;
+    GuardState state_after = GuardState::Monitoring;
+    std::uint64_t set_freq_count = 0;
+};
+
+/** Everything a guarded run measured. */
+struct GuardedRunResult
+{
+    std::vector<GuardedIteration> iterations;
+    double baseline_seconds = 0.0;
+    GuardStats guard;
+    /** Injection bookkeeping (zeros when no fault was configured). */
+    npu::FaultCounters faults;
+
+    /** Mean relative loss across the measured iterations. */
+    double meanLoss() const;
+    /** Worst single-iteration loss. */
+    double worstLoss() const;
+};
+
+/**
+ * Run @p workload for `options.iterations` measured iterations on one
+ * chip built from @p chip_config (faults included), applying
+ * @p triggers each iteration while the guard allows and falling back
+ * to the maximum frequency when it does not.  @p baseline_seconds is
+ * the fault-free baseline iteration time the watchdog compares
+ * against.
+ */
+GuardedRunResult runGuarded(const npu::NpuConfig &chip_config,
+                            const models::Workload &workload,
+                            const std::vector<trace::SetFreqTrigger>
+                                &triggers,
+                            double baseline_seconds,
+                            const GuardedRunOptions &options);
+
+} // namespace opdvfs::dvfs
+
+#endif // OPDVFS_DVFS_GUARD_H

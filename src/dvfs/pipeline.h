@@ -18,6 +18,7 @@
 
 #include "dvfs/executor.h"
 #include "dvfs/genetic.h"
+#include "dvfs/guard.h"
 #include "dvfs/preprocess.h"
 #include "dvfs/strategy_io.h"
 #include "models/workload.h"
@@ -46,6 +47,16 @@ struct PipelineOptions
     Tick profile_sample_period = 2 * kTicksPerMs;
     /** Reuse previously calibrated constants (skip offline pass). */
     std::optional<power::CalibratedConstants> constants;
+    /**
+     * Also assess the generated strategy under the runtime guard
+     * (multi-iteration run honouring `chip.faults`).  Off by default:
+     * the classic pipeline path stays bit-for-bit unchanged.
+     */
+    bool assess_guarded = false;
+    /** Guard tuning for the assessment run. */
+    GuardOptions guard;
+    /** Measured iterations of the guarded assessment. */
+    int guarded_iterations = 12;
     std::uint64_t seed = 1;
 };
 
@@ -60,6 +71,8 @@ struct PipelineResult
     PreprocessResult prep;
     GaResult ga;
     ExecutionPlan plan;
+    /** Guarded multi-iteration assessment (when `assess_guarded`). */
+    std::optional<GuardedRunResult> guarded;
 
     /** Relative iteration-time increase under DVFS. */
     double perfLoss() const;

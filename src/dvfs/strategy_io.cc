@@ -1,5 +1,6 @@
 #include "dvfs/strategy_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -14,8 +15,8 @@ saveStrategy(const Strategy &strategy, std::ostream &os)
                                     "mismatch");
 
     os << "strategy v1\n";
-    os << "# stages: " << strategy.stages.size()
-       << ", triggers: " << strategy.plan.triggers.size() << "\n";
+    os << "counts " << strategy.stages.size() << " "
+       << strategy.plan.triggers.size() << "\n";
     os << "initial " << strategy.plan.initial_mhz << "\n";
     for (std::size_t s = 0; s < strategy.stages.size(); ++s) {
         const Stage &stage = strategy.stages[s];
@@ -30,7 +31,7 @@ saveStrategy(const Strategy &strategy, std::ostream &os)
 }
 
 Strategy
-loadStrategy(std::istream &is)
+loadStrategy(std::istream &is, const npu::FreqTable *table)
 {
     std::string line;
     if (!std::getline(is, line) || line != "strategy v1")
@@ -38,6 +39,9 @@ loadStrategy(std::istream &is)
                                     "header");
 
     Strategy strategy;
+    bool have_counts = false;
+    std::size_t declared_stages = 0;
+    std::size_t declared_triggers = 0;
     std::size_t line_number = 1;
     while (std::getline(is, line)) {
         ++line_number;
@@ -52,10 +56,23 @@ loadStrategy(std::istream &is)
                 "loadStrategy: line " + std::to_string(line_number) + ": "
                 + why);
         };
+        auto check_mhz = [&](double mhz, const char *what) {
+            if (!std::isfinite(mhz))
+                fail(std::string(what) + " frequency is not finite");
+            if (mhz <= 0.0)
+                fail(std::string(what)
+                     + " frequency must be positive, got "
+                     + std::to_string(mhz));
+        };
 
         if (kind == "initial") {
             if (!(fields >> strategy.plan.initial_mhz))
                 fail("bad initial frequency");
+            check_mhz(strategy.plan.initial_mhz, "initial");
+        } else if (kind == "counts") {
+            if (!(fields >> declared_stages >> declared_triggers))
+                fail("bad counts record");
+            have_counts = true;
         } else if (kind == "stage") {
             Stage stage;
             double mhz = 0.0;
@@ -66,6 +83,11 @@ loadStrategy(std::istream &is)
             }
             if (flavor != "hfc" && flavor != "lfc")
                 fail("stage kind must be hfc or lfc");
+            if (stage.start < 0)
+                fail("negative stage start");
+            if (stage.duration <= 0)
+                fail("non-positive stage duration");
+            check_mhz(mhz, "stage");
             stage.high_frequency = flavor == "hfc";
             strategy.stages.push_back(std::move(stage));
             strategy.mhz_per_stage.push_back(mhz);
@@ -73,12 +95,49 @@ loadStrategy(std::istream &is)
             trace::SetFreqTrigger trigger;
             if (!(fields >> trigger.after_op_index >> trigger.mhz))
                 fail("bad trigger record");
+            check_mhz(trigger.mhz, "trigger");
             strategy.plan.triggers.push_back(trigger);
         } else {
             fail("unknown record kind '" + kind + "'");
         }
     }
+
+    if (have_counts
+        && (strategy.stages.size() != declared_stages
+            || strategy.plan.triggers.size() != declared_triggers)) {
+        throw std::invalid_argument(
+            "loadStrategy: counts declare " + std::to_string(declared_stages)
+            + " stages / " + std::to_string(declared_triggers)
+            + " triggers but found " + std::to_string(strategy.stages.size())
+            + " / " + std::to_string(strategy.plan.triggers.size())
+            + " (truncated or corrupted file?)");
+    }
+    if (table)
+        validateStrategy(strategy, *table);
     return strategy;
+}
+
+void
+validateStrategy(const Strategy &strategy, const npu::FreqTable &table)
+{
+    auto check = [&](double mhz, const std::string &where) {
+        if (!table.supports(mhz)) {
+            throw std::invalid_argument(
+                "validateStrategy: " + where + " frequency "
+                + std::to_string(mhz) + " MHz is not in the device table ["
+                + std::to_string(table.minMhz()) + ", "
+                + std::to_string(table.maxMhz()) + "]");
+        }
+    };
+    if (strategy.stages.size() != strategy.mhz_per_stage.size())
+        throw std::invalid_argument(
+            "validateStrategy: stage/frequency size mismatch");
+    check(strategy.plan.initial_mhz, "initial");
+    for (std::size_t s = 0; s < strategy.mhz_per_stage.size(); ++s)
+        check(strategy.mhz_per_stage[s], "stage " + std::to_string(s));
+    for (std::size_t t = 0; t < strategy.plan.triggers.size(); ++t)
+        check(strategy.plan.triggers[t].mhz,
+              "trigger " + std::to_string(t));
 }
 
 void
@@ -91,12 +150,12 @@ saveStrategyFile(const Strategy &strategy, const std::string &path)
 }
 
 Strategy
-loadStrategyFile(const std::string &path)
+loadStrategyFile(const std::string &path, const npu::FreqTable *table)
 {
     std::ifstream is(path);
     if (!is)
         throw std::runtime_error("loadStrategyFile: cannot open " + path);
-    return loadStrategy(is);
+    return loadStrategy(is, table);
 }
 
 } // namespace opdvfs::dvfs

@@ -12,9 +12,18 @@
  * Format (one record per line, '#' comments ignored):
  *
  *   strategy v1
+ *   counts <stages> <triggers>
  *   stage <start_tick> <duration_tick> <mhz> <hfc|lfc>
  *   trigger <after_op_index> <mhz>
  *   initial <mhz>
+ *
+ * The optional `counts` record (always emitted by saveStrategy)
+ * declares the expected record shape; a mismatch at load time means a
+ * truncated or corrupted file.  Loading rejects non-finite, negative
+ * and non-positive frequencies, negative stage timings and malformed
+ * counts with descriptive errors instead of handing garbage to the
+ * executor; validateStrategy() additionally pins every frequency to a
+ * device table.
  */
 
 #ifndef OPDVFS_DVFS_STRATEGY_IO_H
@@ -26,6 +35,7 @@
 
 #include "dvfs/executor.h"
 #include "dvfs/preprocess.h"
+#include "npu/freq_table.h"
 
 namespace opdvfs::dvfs {
 
@@ -48,14 +58,30 @@ void saveStrategy(const Strategy &strategy, std::ostream &os);
 
 /**
  * Parse a strategy from the text format.
- * @throws std::invalid_argument on malformed input (bad header,
- *         unknown record, field count/shape errors).
+ * @throws std::invalid_argument on malformed input: bad header,
+ *         unknown record, field count/shape errors, non-finite or
+ *         non-positive frequencies, negative stage timings, or a
+ *         `counts` declaration that does not match the records.
+ *
+ * When @p table is non-null the loaded strategy is additionally
+ * checked against the device (validateStrategy).
  */
-Strategy loadStrategy(std::istream &is);
+Strategy loadStrategy(std::istream &is,
+                      const npu::FreqTable *table = nullptr);
+
+/**
+ * Check @p strategy against a device frequency table: every stage,
+ * trigger and initial frequency must be a supported operating point,
+ * and stage/frequency vectors must have matching shapes.
+ * @throws std::invalid_argument with a descriptive message otherwise.
+ */
+void validateStrategy(const Strategy &strategy,
+                      const npu::FreqTable &table);
 
 /** Convenience: round-trip through files. */
 void saveStrategyFile(const Strategy &strategy, const std::string &path);
-Strategy loadStrategyFile(const std::string &path);
+Strategy loadStrategyFile(const std::string &path,
+                          const npu::FreqTable *table = nullptr);
 
 } // namespace opdvfs::dvfs
 

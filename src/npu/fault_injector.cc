@@ -1,0 +1,140 @@
+#include "npu/fault_injector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::npu {
+
+bool
+FaultPlan::anyEnabled() const
+{
+    return set_freq_drop_rate > 0.0 || set_freq_jitter_max > 0
+        || thermal_throttle || spurious_trip_rate_hz > 0.0
+        || blackout_rate_hz > 0.0 || spike_rate > 0.0;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan),
+      set_freq_rng_(plan.seed * 2654435761ULL + 11),
+      thermal_rng_(plan.seed * 2654435761ULL + 29),
+      telemetry_rng_(plan.seed * 2654435761ULL + 47)
+{
+    if (plan.set_freq_drop_rate < 0.0 || plan.set_freq_drop_rate > 1.0
+        || plan.spike_rate < 0.0 || plan.spike_rate > 1.0) {
+        throw std::invalid_argument(
+            "FaultInjector: probabilities must be in [0, 1]");
+    }
+    if (plan.set_freq_jitter_max < 0 || plan.blackout_duration < 0
+        || plan.spurious_trip_rate_hz < 0.0 || plan.blackout_rate_hz < 0.0) {
+        throw std::invalid_argument(
+            "FaultInjector: negative rate or duration");
+    }
+    if (plan.thermal_throttle
+        && plan.throttle_release_celsius > plan.throttle_trip_celsius) {
+        throw std::invalid_argument(
+            "FaultInjector: release point above trip point");
+    }
+    if (plan.spurious_trip_rate_hz > 0.0)
+        next_spurious_trip_ = drawGap(plan.spurious_trip_rate_hz,
+                                      thermal_rng_);
+    if (plan.blackout_rate_hz > 0.0)
+        next_blackout_ = drawGap(plan.blackout_rate_hz, telemetry_rng_);
+}
+
+Tick
+FaultInjector::drawGap(double rate_hz, Rng &rng)
+{
+    // Exponential inter-arrival; u in [0, 1) keeps the log finite.
+    double u = rng.uniform(0.0, 1.0);
+    double seconds = -std::log(1.0 - u) / rate_hz;
+    return secondsToTicks(seconds);
+}
+
+bool
+FaultInjector::dropSetFreq()
+{
+    ++counters_.set_freqs_seen;
+    if (plan_.set_freq_drop_rate <= 0.0)
+        return false;
+    bool dropped = set_freq_rng_.chance(plan_.set_freq_drop_rate);
+    if (dropped)
+        ++counters_.set_freqs_dropped;
+    return dropped;
+}
+
+Tick
+FaultInjector::setFreqExtraLatency()
+{
+    if (plan_.set_freq_jitter_max <= 0)
+        return 0;
+    Tick extra = static_cast<Tick>(set_freq_rng_.uniformInt(
+        0, plan_.set_freq_jitter_max));
+    counters_.jitter_injected += extra;
+    return extra;
+}
+
+ThrottleAction
+FaultInjector::updateThrottle(Tick now, double temperature_c)
+{
+    if (!plan_.thermal_throttle && plan_.spurious_trip_rate_hz <= 0.0)
+        return ThrottleAction::None;
+
+    bool glitch = false;
+    while (now >= next_spurious_trip_) {
+        glitch = true;
+        ++counters_.spurious_trips;
+        next_spurious_trip_ += drawGap(plan_.spurious_trip_rate_hz,
+                                       thermal_rng_);
+    }
+    bool hot = plan_.thermal_throttle
+        && temperature_c >= plan_.throttle_trip_celsius;
+
+    if (!throttle_active_ && (hot || glitch)) {
+        throttle_active_ = true;
+        ++counters_.throttle_trips;
+        return ThrottleAction::Trip;
+    }
+    if (throttle_active_ && plan_.throttle_auto_release && !hot && !glitch
+        && temperature_c <= plan_.throttle_release_celsius) {
+        throttle_active_ = false;
+        ++counters_.throttle_releases;
+        return ThrottleAction::Release;
+    }
+    return ThrottleAction::None;
+}
+
+void
+FaultInjector::forceRelease()
+{
+    if (!throttle_active_)
+        return;
+    throttle_active_ = false;
+    ++counters_.forced_releases;
+}
+
+TelemetryFault
+FaultInjector::telemetrySample(Tick now)
+{
+    ++counters_.samples_seen;
+    if (now < blackout_until_) {
+        ++counters_.samples_blacked_out;
+        return TelemetryFault::Blackout;
+    }
+    if (now >= next_blackout_) {
+        blackout_until_ = now + plan_.blackout_duration;
+        do {
+            next_blackout_ += drawGap(plan_.blackout_rate_hz,
+                                      telemetry_rng_);
+        } while (next_blackout_ < blackout_until_);
+        ++counters_.samples_blacked_out;
+        return TelemetryFault::Blackout;
+    }
+    if (plan_.spike_rate > 0.0
+        && telemetry_rng_.chance(plan_.spike_rate)) {
+        ++counters_.samples_spiked;
+        return TelemetryFault::Spike;
+    }
+    return TelemetryFault::None;
+}
+
+} // namespace opdvfs::npu

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the simulated NPU.
+ *
+ * Real Ascend deployments misbehave in ways the clean simulator never
+ * shows: the firmware silently drops SetFreq commands, the apply
+ * latency jitters past the executor's compensated 1 ms, thermal
+ * protection clamps the core clock when the die crosses a trip point
+ * (sometimes spuriously, on a glitched sensor reading), and the lpmi
+ * telemetry channel blacks out or returns corrupted spikes.  The
+ * FaultInjector reproduces each of those fault classes from an
+ * explicit seed so every faulted run is bit-for-bit repeatable.
+ *
+ * Every fault class draws from its own forked RNG stream, so enabling
+ * one class never perturbs the event sequence of another.  Rate-based
+ * faults (spurious throttle trips, telemetry blackouts) are realised
+ * as pre-drawn Poisson arrival schedules, which makes them independent
+ * of how often the hosting component polls the injector.
+ */
+
+#ifndef OPDVFS_NPU_FAULT_INJECTOR_H
+#define OPDVFS_NPU_FAULT_INJECTOR_H
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace opdvfs::npu {
+
+/** Configuration of every injectable fault class (all off by default). */
+struct FaultPlan
+{
+    /** Seed for all fault draws; forked per fault class. */
+    std::uint64_t seed = 1;
+
+    // --- SetFreq command faults ------------------------------------------
+    /** Probability a SetFreq command is silently dropped by firmware. */
+    double set_freq_drop_rate = 0.0;
+    /** Max extra apply latency, uniform in [0, max] per SetFreq. */
+    Tick set_freq_jitter_max = 0;
+
+    // --- firmware thermal throttle ---------------------------------------
+    /** Clamp the core clock when die temperature crosses the trip point. */
+    bool thermal_throttle = false;
+    double throttle_trip_celsius = 85.0;
+    /** Auto-release threshold (only honoured with throttle_auto_release). */
+    double throttle_release_celsius = 80.0;
+    /** Frequency the firmware clamps to while throttled. */
+    double throttle_mhz = 1000.0;
+    /** Mean rate (events/s) of spurious sensor-glitch trips. */
+    double spurious_trip_rate_hz = 0.0;
+    /**
+     * When false, the firmware's auto-release is broken (a latched
+     * clamp): only an explicit governor reset clears the throttle.
+     */
+    bool throttle_auto_release = true;
+
+    // --- telemetry faults --------------------------------------------------
+    /** Mean rate (events/s) at which blackout windows begin. */
+    double blackout_rate_hz = 0.0;
+    /** Duration of each blackout window (samples inside are lost). */
+    Tick blackout_duration = 50 * kTicksPerMs;
+    /** Probability a surviving sample is a corrupted spike. */
+    double spike_rate = 0.0;
+    /** Power multiplier applied to spiked samples. */
+    double spike_factor = 4.0;
+    /** Additive temperature error on spiked samples, degC. */
+    double spike_temperature_delta = 30.0;
+
+    /** True when any fault class is configured. */
+    bool anyEnabled() const;
+};
+
+/** What the firmware throttle state machine wants done right now. */
+enum class ThrottleAction { None, Trip, Release };
+
+/** Per-sample telemetry verdict. */
+enum class TelemetryFault { None, Blackout, Spike };
+
+/** Injection bookkeeping, for tests and benches. */
+struct FaultCounters
+{
+    std::uint64_t set_freqs_seen = 0;
+    std::uint64_t set_freqs_dropped = 0;
+    /** Total extra SetFreq latency injected. */
+    Tick jitter_injected = 0;
+    std::uint64_t throttle_trips = 0;
+    std::uint64_t spurious_trips = 0;
+    std::uint64_t throttle_releases = 0;
+    /** Releases forced by a governor reset (the guard's repair). */
+    std::uint64_t forced_releases = 0;
+    std::uint64_t samples_seen = 0;
+    std::uint64_t samples_blacked_out = 0;
+    std::uint64_t samples_spiked = 0;
+};
+
+/** Seeded realisation of one chip's FaultPlan. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    // --- SetFreq path (NpuChip::enqueueSetFreq) ---------------------------
+
+    /** Draw: true when this SetFreq command is silently lost. */
+    bool dropSetFreq();
+
+    /** Draw: extra apply latency for this SetFreq. */
+    Tick setFreqExtraLatency();
+
+    // --- thermal throttle (NpuChip accrual loop) --------------------------
+
+    /**
+     * Advance the firmware throttle state machine to @p now at die
+     * temperature @p temperature_c.  Returns the transition the caller
+     * must apply to the DvfsController, if any.
+     */
+    ThrottleAction updateThrottle(Tick now, double temperature_c);
+
+    /** Governor reset: clears a (possibly latched) throttle. */
+    void forceRelease();
+
+    bool throttleActive() const { return throttle_active_; }
+
+    // --- telemetry path (PowerSampler) ------------------------------------
+
+    /** Classify the sample being taken at @p now. */
+    TelemetryFault telemetrySample(Tick now);
+
+    const FaultPlan &plan() const { return plan_; }
+    const FaultCounters &counters() const { return counters_; }
+
+  private:
+    /** Draw the next Poisson inter-arrival gap for @p rate_hz. */
+    Tick drawGap(double rate_hz, Rng &rng);
+
+    FaultPlan plan_;
+    Rng set_freq_rng_;
+    Rng thermal_rng_;
+    Rng telemetry_rng_;
+    bool throttle_active_ = false;
+    Tick next_spurious_trip_ = kMaxTick;
+    Tick next_blackout_ = kMaxTick;
+    Tick blackout_until_ = -1;
+    FaultCounters counters_;
+};
+
+} // namespace opdvfs::npu
+
+#endif // OPDVFS_NPU_FAULT_INJECTOR_H

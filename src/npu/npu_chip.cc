@@ -1,6 +1,7 @@
 #include "npu/npu_chip.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace opdvfs::npu {
@@ -72,6 +73,9 @@ NpuChip::NpuChip(sim::Simulator &simulator, const NpuConfig &config)
     if (config_.max_energy_segment <= 0)
         throw std::invalid_argument("NpuChip: invalid energy segment");
 
+    if (config_.faults.anyEnabled())
+        fault_injector_ = std::make_unique<FaultInjector>(config_.faults);
+
     dvfs_.onChange([this](double old_mhz, double new_mhz) {
         // Close the accounting segment at the *old* operating point,
         // then re-time whatever is in flight.
@@ -112,6 +116,12 @@ NpuChip::planInFlight()
         if (exec->epoch != epoch)
             return; // Re-planned after a frequency change.
         accrueEnergy();
+        if (exec->epoch != epoch) {
+            // The accrual tripped (or released) the firmware throttle,
+            // and the resulting frequency change re-planned this very
+            // operator; the re-planned completion event owns it now.
+            return;
+        }
         energy_at_last_retire_ = energy_;
         in_flight_.reset();
         if (observer_) {
@@ -142,15 +152,49 @@ NpuChip::replanInFlight(double /* new_mhz */)
 void
 NpuChip::enqueueSetFreq(double mhz)
 {
-    if (!freq_table_.supports(mhz))
-        throw std::invalid_argument("NpuChip: unsupported SetFreq target");
+    if (!std::isfinite(mhz))
+        throw std::invalid_argument("NpuChip: non-finite SetFreq target");
+    mhz = freq_table_.snap(mhz);
     set_freq_stream_.enqueue([this, mhz](std::function<void()> done) {
-        simulator_.scheduleIn(config_.set_freq_latency,
-                              [this, mhz, done = std::move(done)] {
-                                  dvfs_.apply(mhz);
+        Tick latency = config_.set_freq_latency;
+        bool dropped = false;
+        if (fault_injector_) {
+            latency += fault_injector_->setFreqExtraLatency();
+            dropped = fault_injector_->dropSetFreq();
+        }
+        simulator_.scheduleIn(latency,
+                              [this, mhz, dropped, done = std::move(done)] {
+                                  // A dropped command consumed the
+                                  // stream time but never reached the
+                                  // frequency domain.
+                                  if (!dropped)
+                                      dvfs_.apply(mhz);
                                   done();
                               });
     });
+}
+
+void
+NpuChip::resetThrottleGovernor()
+{
+    if (fault_injector_)
+        fault_injector_->forceRelease();
+    dvfs_.clearThrottleCeiling();
+}
+
+void
+NpuChip::maybeUpdateThrottle()
+{
+    if (!fault_injector_ || throttle_updating_)
+        return;
+    throttle_updating_ = true;
+    ThrottleAction action = fault_injector_->updateThrottle(
+        simulator_.now(), thermal_.temperature());
+    if (action == ThrottleAction::Trip)
+        dvfs_.setThrottleCeiling(config_.faults.throttle_mhz);
+    else if (action == ThrottleAction::Release)
+        dvfs_.clearThrottleCeiling();
+    throttle_updating_ = false;
 }
 
 PowerState
@@ -236,6 +280,7 @@ NpuChip::accrueAtFrequency(double f_mhz)
         thermal_.advance(dt, p_soc);
         last_accrual_ = seg_end;
     }
+    maybeUpdateThrottle();
 }
 
 void

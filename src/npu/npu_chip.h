@@ -23,6 +23,7 @@
 
 #include "npu/aicore_timeline.h"
 #include "npu/dvfs_controller.h"
+#include "npu/fault_injector.h"
 #include "npu/freq_table.h"
 #include "npu/memory_system.h"
 #include "npu/op_params.h"
@@ -53,6 +54,12 @@ struct NpuConfig
     double uncore_scale = 1.0;
     /** Max energy-integration chunk, bounding thermal staleness. */
     Tick max_energy_segment = 2 * kTicksPerMs;
+    /**
+     * Platform misbehaviour to inject (all classes off by default, in
+     * which case no injector is instantiated and execution is
+     * bit-for-bit identical to a chip without this field).
+     */
+    FaultPlan faults;
 };
 
 /** Cumulative energy counters. */
@@ -98,8 +105,12 @@ class NpuChip
 
     /**
      * Queue a SetFreq operator on the SetFreq stream: occupies the
-     * stream for the configured latency, then switches the core
-     * frequency.  Mirrors the CANN SetFreq operator (Sect. 7.1).
+     * stream for the configured latency (plus any injected jitter),
+     * then switches the core frequency — unless the fault injector
+     * drops the command, in which case the stream time is consumed but
+     * the frequency is left unchanged.  Mirrors the CANN SetFreq
+     * operator (Sect. 7.1).  Finite out-of-table targets snap to the
+     * nearest supported point; non-finite targets throw.
      */
     void enqueueSetFreq(double mhz);
 
@@ -113,6 +124,23 @@ class NpuChip
     sim::Stream &computeStream() { return compute_stream_; }
     sim::Stream &setFreqStream() { return set_freq_stream_; }
     const NpuConfig &config() const { return config_; }
+
+    /** Active fault injector, or nullptr when no fault is configured. */
+    FaultInjector *faultInjector() { return fault_injector_.get(); }
+    const FaultInjector *faultInjector() const
+    {
+        return fault_injector_.get();
+    }
+
+    /**
+     * Reset the DVFS governor: clears a (possibly latched) firmware
+     * throttle and restores the last requested frequency.  A genuinely
+     * hot die re-trips on the next accounting step; a spurious or
+     * latched clamp stays cleared.  This is the repair lever the
+     * runtime guard pulls when a throttled device violates its
+     * performance envelope.
+     */
+    void resetThrottleGovernor();
 
     // --- telemetry (ground truth; samplers add noise) ---------------------
 
@@ -166,6 +194,9 @@ class NpuChip
     /** Re-plan the in-flight operator after a frequency change. */
     void replanInFlight(double new_mhz);
 
+    /** Let the firmware throttle react to the current die temperature. */
+    void maybeUpdateThrottle();
+
     sim::Simulator &simulator_;
     NpuConfig config_;
     FreqTable freq_table_;
@@ -177,6 +208,11 @@ class NpuChip
     sim::Stream set_freq_stream_;
 
     OpObserver *observer_ = nullptr;
+
+    /** Present only when the config enables at least one fault class. */
+    std::unique_ptr<FaultInjector> fault_injector_;
+    /** Re-entrancy guard for throttle-induced frequency changes. */
+    bool throttle_updating_ = false;
 
     /** Execution state of the op occupying the compute stream. */
     std::shared_ptr<OpExecution> in_flight_;

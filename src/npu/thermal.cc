@@ -6,7 +6,8 @@
 namespace opdvfs::npu {
 
 ThermalModel::ThermalModel(const ThermalConfig &config)
-    : config_(config), temperature_(config.ambient_celsius)
+    : config_(config), temperature_(config.ambient_celsius),
+      peak_celsius_(config.ambient_celsius)
 {
     if (config.k_per_watt < 0.0 || config.time_constant_s <= 0.0)
         throw std::invalid_argument("ThermalModel: invalid configuration");
@@ -25,6 +26,8 @@ ThermalModel::advance(double dt_s, double p_soc_watts)
         throw std::invalid_argument("ThermalModel: negative time step");
     double blend = 1.0 - std::exp(-dt_s / config_.time_constant_s);
     temperature_ += (equilibrium(p_soc_watts) - temperature_) * blend;
+    if (temperature_ > peak_celsius_)
+        peak_celsius_ = temperature_;
 }
 
 double
@@ -37,6 +40,7 @@ void
 ThermalModel::reset()
 {
     temperature_ = config_.ambient_celsius;
+    peak_celsius_ = config_.ambient_celsius;
 }
 
 } // namespace opdvfs::npu

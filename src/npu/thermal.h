@@ -48,6 +48,12 @@ class ThermalModel
     /** Temperature rise over ambient, dT. */
     double deltaT() const;
 
+    /** Highest temperature reached since construction/resetPeak(). */
+    double peakCelsius() const { return peak_celsius_; }
+
+    /** Restart peak tracking from the current temperature. */
+    void resetPeak() { peak_celsius_ = temperature_; }
+
     /** Reset to ambient. */
     void reset();
 
@@ -56,6 +62,7 @@ class ThermalModel
   private:
     ThermalConfig config_;
     double temperature_;
+    double peak_celsius_;
 };
 
 } // namespace opdvfs::npu

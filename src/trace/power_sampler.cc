@@ -28,6 +28,15 @@ PowerSampler::sampleNow()
 {
     chip_.syncAccounting();
 
+    // Telemetry-channel faults: a blackout loses the sample entirely;
+    // a spike corrupts the readings that do come through.
+    npu::TelemetryFault fault = npu::TelemetryFault::None;
+    if (npu::FaultInjector *injector = chip_.faultInjector()) {
+        fault = injector->telemetrySample(chip_.simulator().now());
+        if (fault == npu::TelemetryFault::Blackout)
+            return;
+    }
+
     PowerSample sample;
     sample.tick = chip_.simulator().now();
     sample.soc_watts =
@@ -35,6 +44,12 @@ PowerSampler::sampleNow()
     sample.aicore_watts =
         chip_.instantAicorePower() * rng_.noiseFactor(noise_.power_sigma);
     double t = chip_.temperature();
+    if (fault == npu::TelemetryFault::Spike) {
+        const npu::FaultPlan &plan = chip_.faultInjector()->plan();
+        sample.soc_watts *= plan.spike_factor;
+        sample.aicore_watts *= plan.spike_factor;
+        t += plan.spike_temperature_delta;
+    }
     if (noise_.temperature_step > 0.0) {
         t = std::round(t / noise_.temperature_step)
             * noise_.temperature_step;

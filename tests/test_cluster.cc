@@ -23,6 +23,28 @@ tinyWorkload(const npu::MemorySystem &memory, std::uint64_t seed)
     return models::buildTransformerTraining(memory, model, seed);
 }
 
+/**
+ * Compute-bound configuration: enough matmul work per operator that
+ * the fleet iteration time visibly tracks the core frequency (the
+ * tiny workload above is dominated by fixed-duration transfers and
+ * barely reacts to DVFS, which would mask fault-induced stragglers).
+ */
+models::Workload
+computeBoundWorkload(const npu::MemorySystem &memory, std::uint64_t seed)
+{
+    models::TransformerConfig model;
+    model.name = "cluster-compute";
+    model.layers = 2;
+    model.hidden = 4096;
+    model.heads = 32;
+    model.seq = 512;
+    model.batch = 4;
+    model.tensor_parallel = 4;
+    model.tp_allreduce = true;
+    model.grad_allreduce = false;
+    return models::buildTransformerTraining(memory, model, seed);
+}
+
 TEST(CollectiveGroup, SingleDeviceCompletesImmediately)
 {
     sim::Simulator simulator;
@@ -173,6 +195,145 @@ TEST(ClusterRunner, Validation)
     models::Workload workload = tinyWorkload(memory, 1);
     std::vector<std::vector<trace::SetFreqTrigger>> wrong(3);
     EXPECT_THROW(runner.run(workload, wrong), std::invalid_argument);
+
+    // Fault plans must be per-device too.
+    ClusterRunOptions bad_faults;
+    bad_faults.device_faults.resize(1);
+    EXPECT_THROW(runner.run(workload, {}, bad_faults),
+                 std::invalid_argument);
+    EXPECT_THROW(runner.runGuarded(workload, {}, 1.0,
+                                   {{}, 4, bad_faults}),
+                 std::invalid_argument);
+}
+
+/** Cyclic per-device strategy: ceiling after op 0, floor at the wrap. */
+std::vector<std::vector<trace::SetFreqTrigger>>
+cyclicStrategy(int devices, const models::Workload &workload)
+{
+    std::vector<std::vector<trace::SetFreqTrigger>> triggers(
+        static_cast<std::size_t>(devices));
+    for (auto &t : triggers) {
+        t.push_back({0, 1800.0});
+        t.push_back({workload.iteration.size() - 1, 1000.0});
+    }
+    return triggers;
+}
+
+TEST(ClusterRunner, GuardRepairsLatchedThrottleFleetWide)
+{
+    ClusterConfig config;
+    config.devices = 4;
+    npu::MemorySystem memory(config.chip.memory);
+    models::Workload workload = computeBoundWorkload(memory, 3);
+    ClusterRunner runner(config);
+    auto triggers = cyclicStrategy(config.devices, workload);
+
+    ClusterRunOptions clean_run;
+    clean_run.initial_mhz = 1000.0;
+
+    // Fault-free steady-state fleet iteration time.
+    GuardedClusterOptions probe;
+    probe.guard.enabled = false;
+    probe.iterations = 3;
+    probe.run = clean_run;
+    GuardedClusterResult clean =
+        runner.runGuarded(workload, triggers, 1.0, probe);
+    double baseline = 0.0;
+    for (const auto &it : clean.iterations)
+        baseline += it.seconds;
+    baseline /= static_cast<double>(clean.iterations.size());
+
+    // Rank 1's firmware latches a spurious 1000 MHz clamp.
+    ClusterRunOptions faulted_run = clean_run;
+    faulted_run.device_faults.resize(4);
+    faulted_run.device_faults[1].spurious_trip_rate_hz = 300.0;
+    faulted_run.device_faults[1].throttle_auto_release = false;
+    faulted_run.device_faults[1].throttle_mhz = 1000.0;
+    faulted_run.device_faults[1].seed = 13;
+
+    GuardedClusterOptions unguarded;
+    unguarded.guard.enabled = false;
+    unguarded.guard.violation_limit = 1;
+    unguarded.iterations = 8;
+    unguarded.run = faulted_run;
+    GuardedClusterResult before =
+        runner.runGuarded(workload, triggers, baseline, unguarded);
+
+    GuardedClusterOptions guarded = unguarded;
+    guarded.guard.enabled = true;
+    GuardedClusterResult after =
+        runner.runGuarded(workload, triggers, baseline, guarded);
+
+    // The clamp hit rank 1 and only rank 1...
+    EXPECT_GT(before.device_faults[1].spurious_trips, 0u);
+    EXPECT_EQ(before.device_faults[0].spurious_trips, 0u);
+
+    // ...which the per-iteration diagnostics single out as the
+    // straggler stalling the whole group.
+    bool rank1_flagged = false;
+    for (const auto &it : before.iterations) {
+        for (int rank : it.straggler_ranks)
+            rank1_flagged = rank1_flagged || rank == 1;
+    }
+    EXPECT_TRUE(rank1_flagged);
+
+    // One clamped rank slows every device past the violation line.
+    EXPECT_GT(before.meanLoss(), unguarded.guard.violation_factor
+                                     * unguarded.guard.perf_loss_target);
+
+    // The guard resets the latched governor and contains the damage
+    // fleet-wide.
+    EXPECT_GT(after.guard.throttle_resets, 0u);
+    EXPECT_LT(after.meanLoss(), before.meanLoss() / 2.0);
+}
+
+TEST(ClusterRunner, GuardRetriesDroppedSetFreqsOnFaultedRank)
+{
+    ClusterConfig config;
+    config.devices = 4;
+    npu::MemorySystem memory(config.chip.memory);
+    models::Workload workload = computeBoundWorkload(memory, 3);
+    ClusterRunner runner(config);
+    auto triggers = cyclicStrategy(config.devices, workload);
+
+    ClusterRunOptions faulted_run;
+    faulted_run.initial_mhz = 1000.0;
+    faulted_run.device_faults.resize(4);
+    faulted_run.device_faults[2].set_freq_drop_rate = 0.7;
+    faulted_run.device_faults[2].seed = 17;
+
+    GuardedClusterOptions probe;
+    probe.guard.enabled = false;
+    probe.iterations = 3;
+    probe.run.initial_mhz = 1000.0;
+    GuardedClusterResult clean =
+        runner.runGuarded(workload, triggers, 1.0, probe);
+    double baseline = 0.0;
+    for (const auto &it : clean.iterations)
+        baseline += it.seconds;
+    baseline /= static_cast<double>(clean.iterations.size());
+
+    GuardedClusterOptions unguarded;
+    unguarded.guard.enabled = false;
+    // Keep the retry backoff tail (which drains after the compute
+    // streams finish) small relative to the iteration time.
+    unguarded.guard.retry_backoff = kTicksPerMs / 20;
+    unguarded.iterations = 10;
+    unguarded.run = faulted_run;
+    GuardedClusterResult before =
+        runner.runGuarded(workload, triggers, baseline, unguarded);
+
+    GuardedClusterOptions guarded = unguarded;
+    guarded.guard.enabled = true;
+    GuardedClusterResult after =
+        runner.runGuarded(workload, triggers, baseline, guarded);
+
+    // Only the faulted rank saw drops; the guard's retries repaired
+    // them within the iteration.
+    EXPECT_GT(after.device_faults[2].set_freqs_dropped, 0u);
+    EXPECT_EQ(after.device_faults[0].set_freqs_dropped, 0u);
+    EXPECT_GT(after.guard.set_freq_retries, 0u);
+    EXPECT_LT(after.meanLoss(), before.meanLoss() / 2.0);
 }
 
 } // namespace

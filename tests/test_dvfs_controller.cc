@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "npu/dvfs_controller.h"
@@ -38,10 +40,79 @@ TEST_F(DvfsControllerTest, ApplyChangesFrequencyAndVoltage)
     EXPECT_EQ(dvfs.setFreqCount(), 1u);
 }
 
-TEST_F(DvfsControllerTest, ApplyUnsupportedThrows)
+TEST_F(DvfsControllerTest, ApplySnapsOutOfTableToNearestSupported)
 {
     DvfsController dvfs(sim_, table_, 1800.0);
-    EXPECT_THROW(dvfs.apply(1234.0), std::invalid_argument);
+    dvfs.apply(1234.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1200.0);
+    EXPECT_EQ(dvfs.setFreqCount(), 1u);
+    dvfs.apply(2500.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1800.0);
+    dvfs.apply(100.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1000.0);
+    EXPECT_EQ(dvfs.setFreqCount(), 3u);
+}
+
+TEST_F(DvfsControllerTest, ApplyNonFiniteThrows)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    EXPECT_THROW(dvfs.apply(std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+    EXPECT_THROW(dvfs.apply(std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
+    EXPECT_EQ(dvfs.setFreqCount(), 0u);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1800.0);
+}
+
+TEST_F(DvfsControllerTest, ThrottleCeilingClampsAndRestores)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    dvfs.setThrottleCeiling(1000.0);
+    EXPECT_TRUE(dvfs.throttled());
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1000.0);
+    // The firmware clamp is not a SetFreq command.
+    EXPECT_EQ(dvfs.setFreqCount(), 0u);
+    EXPECT_DOUBLE_EQ(dvfs.requestedMhz(), 1800.0);
+
+    // Requests while throttled are remembered but capped.
+    dvfs.apply(1500.0);
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1000.0);
+    EXPECT_DOUBLE_EQ(dvfs.requestedMhz(), 1500.0);
+    EXPECT_EQ(dvfs.setFreqCount(), 1u);
+
+    // Release restores the pending request.
+    dvfs.clearThrottleCeiling();
+    EXPECT_FALSE(dvfs.throttled());
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1500.0);
+    EXPECT_EQ(dvfs.throttleEvents(), 1u);
+}
+
+TEST_F(DvfsControllerTest, ThrottleListenersNotified)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    std::vector<std::pair<bool, double>> events;
+    dvfs.onThrottle([&](bool active, double ceiling_mhz) {
+        events.emplace_back(active, ceiling_mhz);
+    });
+    dvfs.setThrottleCeiling(1100.0);
+    dvfs.setThrottleCeiling(1100.0); // no-op, no duplicate event
+    dvfs.clearThrottleCeiling();
+    dvfs.clearThrottleCeiling(); // no-op
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_TRUE(events[0].first);
+    EXPECT_DOUBLE_EQ(events[0].second, 1100.0);
+    EXPECT_FALSE(events[1].first);
+}
+
+TEST_F(DvfsControllerTest, RequestBelowCeilingPassesThrough)
+{
+    DvfsController dvfs(sim_, table_, 1800.0);
+    dvfs.setThrottleCeiling(1400.0);
+    dvfs.apply(1200.0);
+    // Below the ceiling: the request is granted unmodified.
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1200.0);
+    dvfs.clearThrottleCeiling();
+    EXPECT_DOUBLE_EQ(dvfs.currentMhz(), 1200.0);
 }
 
 TEST_F(DvfsControllerTest, ListenersSeeOldAndNew)

@@ -288,6 +288,72 @@ TEST(Executor, CyclicWrapTriggerRestoresStageZeroFrequency)
     EXPECT_DOUBLE_EQ(plan.initial_mhz, 1300.0);
 }
 
+TEST(Executor, OversizedLatencySnapsToEarliestValidTrigger)
+{
+    // Same synthetic timeline as above, but the assumed SetFreq
+    // latency (14 ms, V100-class) exceeds the time before the first
+    // boundary: the dispatch tick underflows past the iteration start.
+    std::vector<trace::OpRecord> records;
+    for (std::uint64_t i = 0; i < 30; ++i) {
+        trace::OpRecord r;
+        r.op_id = i;
+        r.start = static_cast<Tick>(i) * kTicksPerMs;
+        r.end = r.start + kTicksPerMs;
+        records.push_back(r);
+    }
+    std::vector<Stage> stages(3);
+    for (int s = 0; s < 3; ++s) {
+        stages[static_cast<std::size_t>(s)].start = s * 10 * kTicksPerMs;
+        stages[static_cast<std::size_t>(s)].duration = 10 * kTicksPerMs;
+    }
+    std::vector<double> mhz = {1800.0, 1200.0, 1800.0};
+
+    ExecutorOptions slow;
+    slow.assumed_set_freq_latency = 14 * kTicksPerMs;
+    ExecutionPlan plan = planExecution(stages, mhz, records, slow);
+
+    // Stage 1's dispatch point (10 ms - 14 ms) precedes every
+    // completion: snap to the earliest valid trigger, op 0.
+    ASSERT_EQ(plan.triggers.size(), 2u);
+    EXPECT_EQ(plan.triggers[0].after_op_index, 0u);
+    // Stage 2's (20 ms - 14 ms = 6 ms) resolves normally to op 5.
+    EXPECT_EQ(plan.triggers[1].after_op_index, 5u);
+}
+
+TEST(Executor, TriggersStayInDispatchOrderWhenLatencyCompresses)
+{
+    // A latency longer than any stage pushes every dispatch point to
+    // the front; the min_pos floor must keep the trigger sequence
+    // monotone (including the cyclic wrap) instead of reordering
+    // SetFreqs.
+    std::vector<trace::OpRecord> records;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        trace::OpRecord r;
+        r.op_id = i;
+        r.start = static_cast<Tick>(i) * kTicksPerMs;
+        r.end = r.start + kTicksPerMs;
+        records.push_back(r);
+    }
+    std::vector<Stage> stages(3);
+    for (int s = 0; s < 3; ++s) {
+        stages[static_cast<std::size_t>(s)].start = s * 2 * kTicksPerMs;
+        stages[static_cast<std::size_t>(s)].duration = 2 * kTicksPerMs;
+    }
+    std::vector<double> mhz = {1800.0, 1200.0, 1500.0};
+
+    ExecutorOptions slow;
+    slow.assumed_set_freq_latency = 20 * kTicksPerMs;
+    ExecutionPlan plan = planExecution(stages, mhz, records, slow);
+
+    // Two interior changes plus the cyclic wrap back to 1800.
+    ASSERT_EQ(plan.triggers.size(), 3u);
+    EXPECT_DOUBLE_EQ(plan.triggers.back().mhz, 1800.0);
+    for (std::size_t t = 1; t < plan.triggers.size(); ++t) {
+        EXPECT_GE(plan.triggers[t].after_op_index,
+                  plan.triggers[t - 1].after_op_index);
+    }
+}
+
 TEST(Executor, Validation)
 {
     Harness &h = harness();

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "npu/fault_injector.h"
+#include "npu/npu_chip.h"
+#include "sim/simulator.h"
+#include "trace/power_sampler.h"
+
+namespace opdvfs::npu {
+namespace {
+
+HwOpParams
+computeOp(double core_cycles)
+{
+    HwOpParams params;
+    params.category = OpCategory::Compute;
+    params.scenario = Scenario::PingPongIndependent;
+    params.n = 4;
+    params.core_cycles = core_cycles / 4.0;
+    params.ld_volume_bytes = 1e5;
+    params.st_volume_bytes = 1e5;
+    return params;
+}
+
+TEST(FaultPlan, AnyEnabledReflectsEveryClass)
+{
+    EXPECT_FALSE(FaultPlan{}.anyEnabled());
+
+    FaultPlan drop;
+    drop.set_freq_drop_rate = 0.1;
+    EXPECT_TRUE(drop.anyEnabled());
+
+    FaultPlan jitter;
+    jitter.set_freq_jitter_max = kTicksPerMs;
+    EXPECT_TRUE(jitter.anyEnabled());
+
+    FaultPlan throttle;
+    throttle.thermal_throttle = true;
+    EXPECT_TRUE(throttle.anyEnabled());
+
+    FaultPlan spurious;
+    spurious.spurious_trip_rate_hz = 0.5;
+    EXPECT_TRUE(spurious.anyEnabled());
+
+    FaultPlan blackout;
+    blackout.blackout_rate_hz = 0.5;
+    EXPECT_TRUE(blackout.anyEnabled());
+
+    FaultPlan spike;
+    spike.spike_rate = 0.5;
+    EXPECT_TRUE(spike.anyEnabled());
+}
+
+TEST(FaultInjector, RejectsMalformedPlans)
+{
+    FaultPlan bad_prob;
+    bad_prob.set_freq_drop_rate = 1.5;
+    EXPECT_THROW(FaultInjector{bad_prob}, std::invalid_argument);
+
+    FaultPlan bad_spike;
+    bad_spike.spike_rate = -0.1;
+    EXPECT_THROW(FaultInjector{bad_spike}, std::invalid_argument);
+
+    FaultPlan bad_jitter;
+    bad_jitter.set_freq_jitter_max = -1;
+    EXPECT_THROW(FaultInjector{bad_jitter}, std::invalid_argument);
+
+    FaultPlan bad_release;
+    bad_release.thermal_throttle = true;
+    bad_release.throttle_trip_celsius = 80.0;
+    bad_release.throttle_release_celsius = 90.0;
+    EXPECT_THROW(FaultInjector{bad_release}, std::invalid_argument);
+}
+
+TEST(FaultInjector, DropsAreSeedDeterministic)
+{
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.set_freq_drop_rate = 0.3;
+    FaultInjector a(plan), b(plan);
+
+    std::vector<bool> draws_a, draws_b;
+    for (int i = 0; i < 200; ++i) {
+        draws_a.push_back(a.dropSetFreq());
+        draws_b.push_back(b.dropSetFreq());
+    }
+    EXPECT_EQ(draws_a, draws_b);
+    EXPECT_EQ(a.counters().set_freqs_seen, 200u);
+    EXPECT_GT(a.counters().set_freqs_dropped, 0u);
+    EXPECT_LT(a.counters().set_freqs_dropped, 200u);
+}
+
+TEST(FaultInjector, DropRateEndpoints)
+{
+    FaultPlan never;
+    never.set_freq_drop_rate = 0.0;
+    never.set_freq_jitter_max = 1; // enable the injector
+    FaultInjector n(never);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(n.dropSetFreq());
+
+    FaultPlan always;
+    always.set_freq_drop_rate = 1.0;
+    FaultInjector a(always);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(a.dropSetFreq());
+    EXPECT_EQ(a.counters().set_freqs_dropped, 50u);
+}
+
+TEST(FaultInjector, JitterBoundedAndCounted)
+{
+    FaultPlan plan;
+    plan.set_freq_jitter_max = 3 * kTicksPerMs;
+    FaultInjector injector(plan);
+    Tick total = 0;
+    for (int i = 0; i < 100; ++i) {
+        Tick extra = injector.setFreqExtraLatency();
+        EXPECT_GE(extra, 0);
+        EXPECT_LE(extra, 3 * kTicksPerMs);
+        total += extra;
+    }
+    EXPECT_EQ(injector.counters().jitter_injected, total);
+    EXPECT_GT(total, 0);
+}
+
+TEST(FaultInjector, ThermalThrottleTripAndAutoRelease)
+{
+    FaultPlan plan;
+    plan.thermal_throttle = true;
+    plan.throttle_trip_celsius = 85.0;
+    plan.throttle_release_celsius = 80.0;
+    FaultInjector injector(plan);
+
+    EXPECT_EQ(injector.updateThrottle(0, 70.0), ThrottleAction::None);
+    EXPECT_FALSE(injector.throttleActive());
+
+    EXPECT_EQ(injector.updateThrottle(1, 86.0), ThrottleAction::Trip);
+    EXPECT_TRUE(injector.throttleActive());
+    // Still hot: no repeated trip.
+    EXPECT_EQ(injector.updateThrottle(2, 90.0), ThrottleAction::None);
+    // Cooled below the trip point but above release: hysteresis holds.
+    EXPECT_EQ(injector.updateThrottle(3, 82.0), ThrottleAction::None);
+    EXPECT_EQ(injector.updateThrottle(4, 79.0), ThrottleAction::Release);
+    EXPECT_FALSE(injector.throttleActive());
+    EXPECT_EQ(injector.counters().throttle_trips, 1u);
+    EXPECT_EQ(injector.counters().throttle_releases, 1u);
+}
+
+TEST(FaultInjector, LatchedThrottleOnlyClearsOnForcedRelease)
+{
+    FaultPlan plan;
+    plan.thermal_throttle = true;
+    plan.throttle_auto_release = false;
+    FaultInjector injector(plan);
+
+    EXPECT_EQ(injector.updateThrottle(0, 90.0), ThrottleAction::Trip);
+    // Stone cold, but the broken firmware never releases.
+    EXPECT_EQ(injector.updateThrottle(1, 25.0), ThrottleAction::None);
+    EXPECT_TRUE(injector.throttleActive());
+
+    injector.forceRelease();
+    EXPECT_FALSE(injector.throttleActive());
+    EXPECT_EQ(injector.counters().forced_releases, 1u);
+}
+
+TEST(FaultInjector, SpuriousTripsFollowTheirSchedule)
+{
+    FaultPlan plan;
+    plan.spurious_trip_rate_hz = 100.0;
+    FaultInjector injector(plan);
+
+    // A cool die still trips once the scheduled glitch time passes.
+    ThrottleAction action =
+        injector.updateThrottle(secondsToTicks(1.0), 25.0);
+    EXPECT_EQ(action, ThrottleAction::Trip);
+    EXPECT_GE(injector.counters().spurious_trips, 1u);
+}
+
+TEST(FaultInjector, BlackoutWindowsSwallowSamples)
+{
+    FaultPlan plan;
+    plan.blackout_rate_hz = 20.0;
+    plan.blackout_duration = 100 * kTicksPerMs;
+    FaultInjector injector(plan);
+
+    int blacked = 0, clean = 0;
+    for (int i = 0; i < 200; ++i) {
+        TelemetryFault fault =
+            injector.telemetrySample(i * 10 * kTicksPerMs);
+        if (fault == TelemetryFault::Blackout)
+            ++blacked;
+        else
+            ++clean;
+    }
+    EXPECT_GT(blacked, 0);
+    EXPECT_GT(clean, 0);
+    EXPECT_EQ(injector.counters().samples_blacked_out,
+              static_cast<std::uint64_t>(blacked));
+    EXPECT_EQ(injector.counters().samples_seen, 200u);
+}
+
+TEST(FaultInjector, SpikesAtRateOneHitEverySurvivingSample)
+{
+    FaultPlan plan;
+    plan.spike_rate = 1.0;
+    FaultInjector injector(plan);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(injector.telemetrySample(i * kTicksPerMs),
+                  TelemetryFault::Spike);
+    }
+    EXPECT_EQ(injector.counters().samples_spiked, 20u);
+}
+
+// --- chip-level integration -------------------------------------------------
+
+TEST(FaultInjectorChip, NoFaultsMeansNoInjector)
+{
+    sim::Simulator sim;
+    NpuChip chip(sim);
+    EXPECT_EQ(chip.faultInjector(), nullptr);
+}
+
+TEST(FaultInjectorChip, DroppedSetFreqLeavesFrequencyUnchanged)
+{
+    sim::Simulator sim;
+    NpuConfig config;
+    config.faults.set_freq_drop_rate = 1.0;
+    NpuChip chip(sim, config);
+
+    chip.enqueueSetFreq(1000.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1800.0);
+    // The command consumed stream time but never reached the governor.
+    EXPECT_EQ(chip.dvfs().setFreqCount(), 0u);
+    EXPECT_EQ(chip.faultInjector()->counters().set_freqs_dropped, 1u);
+    EXPECT_EQ(sim.now(), config.set_freq_latency);
+}
+
+TEST(FaultInjectorChip, JitterDelaysTheApply)
+{
+    sim::Simulator sim;
+    NpuConfig config;
+    config.faults.set_freq_jitter_max = 5 * kTicksPerMs;
+    NpuChip chip(sim, config);
+
+    chip.enqueueSetFreq(1200.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1200.0);
+    EXPECT_GE(sim.now(), config.set_freq_latency);
+    EXPECT_LE(sim.now(), config.set_freq_latency + 5 * kTicksPerMs);
+    EXPECT_EQ(sim.now(), config.set_freq_latency
+                  + chip.faultInjector()->counters().jitter_injected);
+}
+
+TEST(FaultInjectorChip, HotDieTripsFirmwareThrottle)
+{
+    sim::Simulator clean_sim;
+    NpuChip clean(clean_sim);
+    double ambient = clean.temperature();
+
+    sim::Simulator sim;
+    NpuConfig config;
+    config.faults.thermal_throttle = true;
+    config.faults.throttle_trip_celsius = ambient + 5.0;
+    config.faults.throttle_release_celsius = ambient + 2.0;
+    config.faults.throttle_mhz = 1000.0;
+    NpuChip chip(sim, config);
+
+    chip.enqueueOp(computeOp(1.8e9 * 20), 0); // ~20 s of load
+    sim.run();
+    chip.syncAccounting();
+
+    EXPECT_GT(chip.temperature(), config.faults.throttle_trip_celsius);
+    EXPECT_TRUE(chip.dvfs().throttled());
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1000.0);
+    // The firmware clamp is not a SetFreq command.
+    EXPECT_EQ(chip.dvfs().setFreqCount(), 0u);
+    EXPECT_GE(chip.faultInjector()->counters().throttle_trips, 1u);
+}
+
+TEST(FaultInjectorChip, GovernorResetClearsLatchedSpuriousClamp)
+{
+    sim::Simulator sim;
+    NpuConfig config;
+    config.faults.spurious_trip_rate_hz = 50.0;
+    config.faults.throttle_auto_release = false;
+    config.faults.throttle_mhz = 1100.0;
+    NpuChip chip(sim, config);
+
+    chip.enqueueOp(computeOp(1.8e9), 0); // ~1 s, plenty for a glitch
+    sim.run();
+    chip.syncAccounting();
+    ASSERT_TRUE(chip.dvfs().throttled());
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1100.0);
+
+    chip.resetThrottleGovernor();
+    EXPECT_FALSE(chip.dvfs().throttled());
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1800.0);
+    EXPECT_EQ(chip.faultInjector()->counters().forced_releases, 1u);
+}
+
+TEST(FaultInjectorChip, TelemetryBlackoutLosesSamplesSpikesCorruptThem)
+{
+    // Clean reference run.
+    sim::Simulator clean_sim;
+    NpuChip clean_chip(clean_sim);
+    trace::PowerSampler clean(clean_chip, 10 * kTicksPerMs, {}, 1);
+    clean_chip.enqueueOp(computeOp(1.8e9), 0);
+    clean.start(/*stop_when_idle=*/true);
+    clean_sim.run();
+
+    // Spiked run: every sample corrupted by the configured factor.
+    sim::Simulator spike_sim;
+    NpuConfig spike_config;
+    spike_config.faults.spike_rate = 1.0;
+    NpuChip spike_chip(spike_sim, spike_config);
+    trace::PowerSampler spiked(spike_chip, 10 * kTicksPerMs, {}, 1);
+    spike_chip.enqueueOp(computeOp(1.8e9), 0);
+    spiked.start(/*stop_when_idle=*/true);
+    spike_sim.run();
+
+    ASSERT_EQ(clean.samples().size(), spiked.samples().size());
+    ASSERT_FALSE(clean.samples().empty());
+    for (std::size_t i = 0; i < clean.samples().size(); ++i) {
+        EXPECT_NEAR(spiked.samples()[i].soc_watts,
+                    clean.samples()[i].soc_watts
+                        * spike_config.faults.spike_factor,
+                    1e-9);
+        EXPECT_NEAR(spiked.samples()[i].temperature_c,
+                    clean.samples()[i].temperature_c
+                        + spike_config.faults.spike_temperature_delta,
+                    1e-9);
+    }
+
+    // Blackout run: strictly fewer samples than the clean run.
+    sim::Simulator dark_sim;
+    NpuConfig dark_config;
+    dark_config.faults.blackout_rate_hz = 5.0;
+    dark_config.faults.blackout_duration = 100 * kTicksPerMs;
+    NpuChip dark_chip(dark_sim, dark_config);
+    trace::PowerSampler dark(dark_chip, 10 * kTicksPerMs, {}, 1);
+    dark_chip.enqueueOp(computeOp(1.8e9), 0);
+    dark.start(/*stop_when_idle=*/true);
+    dark_sim.run();
+
+    EXPECT_LT(dark.samples().size(), clean.samples().size());
+    EXPECT_GT(
+        dark_chip.faultInjector()->counters().samples_blacked_out, 0u);
+}
+
+} // namespace
+} // namespace opdvfs::npu

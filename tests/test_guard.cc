@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dvfs/guard.h"
+#include "models/transformer.h"
+#include "npu/memory_system.h"
+#include "sim/simulator.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::dvfs {
+namespace {
+
+GuardOptions
+tightGuard()
+{
+    GuardOptions options;
+    options.perf_loss_target = 0.02;
+    options.violation_factor = 2.0;
+    options.violation_limit = 2;
+    options.reenable_after = 3;
+    return options;
+}
+
+TEST(DvfsGuard, RejectsMalformedOptions)
+{
+    EXPECT_THROW(DvfsGuard(GuardOptions{}, 0.0), std::invalid_argument);
+    EXPECT_THROW(DvfsGuard(GuardOptions{}, -1.0), std::invalid_argument);
+
+    GuardOptions bad_limit = tightGuard();
+    bad_limit.violation_limit = 0;
+    EXPECT_THROW(DvfsGuard(bad_limit, 1.0), std::invalid_argument);
+
+    GuardOptions bad_factor = tightGuard();
+    bad_factor.violation_factor = 0.5;
+    EXPECT_THROW(DvfsGuard(bad_factor, 1.0), std::invalid_argument);
+
+    GuardOptions bad_backoff = tightGuard();
+    bad_backoff.retry_backoff = 0;
+    EXPECT_THROW(DvfsGuard(bad_backoff, 1.0), std::invalid_argument);
+}
+
+GuardObservation
+obs(double seconds, double temperature = 50.0)
+{
+    GuardObservation o;
+    o.iteration_seconds = seconds;
+    o.temperature_c = temperature;
+    return o;
+}
+
+TEST(DvfsGuard, FallsBackAfterConsecutiveViolations)
+{
+    DvfsGuard guard(tightGuard(), 1.0);
+
+    // Threshold is violation_factor * target = 4% over baseline.
+    EXPECT_EQ(guard.observe(obs(1.03)), GuardState::Monitoring);
+    EXPECT_EQ(guard.observe(obs(1.05)), GuardState::Monitoring);
+    // A clean iteration resets the consecutive count.
+    EXPECT_EQ(guard.observe(obs(1.01)), GuardState::Monitoring);
+    EXPECT_EQ(guard.observe(obs(1.05)), GuardState::Monitoring);
+    EXPECT_EQ(guard.observe(obs(1.06)), GuardState::Fallback);
+    EXPECT_FALSE(guard.strategyEnabled());
+    EXPECT_EQ(guard.stats().fallbacks, 1u);
+    EXPECT_EQ(guard.stats().perf_violations, 3u);
+    EXPECT_NEAR(guard.lastLoss(), 0.06, 1e-12);
+}
+
+TEST(DvfsGuard, HysteresisReenableNeedsConsecutiveCleanIterations)
+{
+    GuardOptions options = tightGuard();
+    options.violation_limit = 1;
+    DvfsGuard guard(options, 1.0);
+
+    EXPECT_EQ(guard.observe(obs(1.10)), GuardState::Fallback);
+    EXPECT_EQ(guard.observe(obs(1.00)), GuardState::Fallback);
+    EXPECT_EQ(guard.observe(obs(1.00)), GuardState::Fallback);
+    // A violation inside fallback restarts the clean streak.
+    EXPECT_EQ(guard.observe(obs(1.10)), GuardState::Fallback);
+    EXPECT_EQ(guard.observe(obs(1.00)), GuardState::Fallback);
+    EXPECT_EQ(guard.observe(obs(1.00)), GuardState::Fallback);
+    EXPECT_EQ(guard.observe(obs(1.00)), GuardState::Monitoring);
+    EXPECT_TRUE(guard.strategyEnabled());
+    EXPECT_EQ(guard.stats().reenables, 1u);
+}
+
+TEST(DvfsGuard, ThermalEnvelopeViolationsCount)
+{
+    GuardOptions options = tightGuard();
+    options.violation_limit = 1;
+    options.max_temperature_c = 95.0;
+    DvfsGuard guard(options, 1.0);
+
+    // Performance fine, die too hot.
+    EXPECT_EQ(guard.observe(obs(1.00, 96.0)), GuardState::Fallback);
+    EXPECT_EQ(guard.stats().thermal_violations, 1u);
+    EXPECT_EQ(guard.stats().perf_violations, 0u);
+}
+
+TEST(DvfsGuard, BlackoutHoldsLastTrustedTemperature)
+{
+    GuardOptions options = tightGuard();
+    options.violation_limit = 1;
+    options.max_temperature_c = 95.0;
+    DvfsGuard guard(options, 1.0);
+
+    EXPECT_EQ(guard.observe(obs(1.00, 90.0)), GuardState::Monitoring);
+
+    // Telemetry lost: the garbage reading must not be trusted, the
+    // last good one (90, inside the envelope) holds.
+    GuardObservation dark = obs(1.00, 500.0);
+    dark.telemetry_ok = false;
+    EXPECT_EQ(guard.observe(dark), GuardState::Monitoring);
+    EXPECT_EQ(guard.stats().telemetry_gaps, 1u);
+    EXPECT_EQ(guard.stats().thermal_violations, 0u);
+}
+
+TEST(DvfsGuard, DisabledGuardOnlyObserves)
+{
+    GuardOptions options = tightGuard();
+    options.enabled = false;
+    options.violation_limit = 1;
+    DvfsGuard guard(options, 1.0);
+
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(guard.observe(obs(2.0)), GuardState::Monitoring);
+    EXPECT_EQ(guard.stats().perf_violations, 5u);
+    EXPECT_EQ(guard.stats().fallbacks, 0u);
+    EXPECT_FALSE(guard.wantsThrottleReset());
+}
+
+TEST(DvfsGuard, ThrottleResetWantedOnlyWhenThrottledAndViolating)
+{
+    GuardOptions options = tightGuard();
+    DvfsGuard guard(options, 1.0);
+
+    GuardObservation throttled_ok = obs(1.00);
+    throttled_ok.throttled = true;
+    guard.observe(throttled_ok);
+    EXPECT_FALSE(guard.wantsThrottleReset());
+
+    GuardObservation throttled_slow = obs(1.20);
+    throttled_slow.throttled = true;
+    guard.observe(throttled_slow);
+    EXPECT_TRUE(guard.wantsThrottleReset());
+
+    guard.observe(obs(1.20));
+    EXPECT_FALSE(guard.wantsThrottleReset());
+}
+
+// --- guarded SetFreq wiring -------------------------------------------------
+
+TEST(GuardedSetFreq, AppliesCleanlyWithoutFaults)
+{
+    sim::Simulator sim;
+    npu::NpuChip chip(sim);
+    GuardStats stats;
+    enqueueGuardedSetFreq(chip, 1200.0, 3, kTicksPerMs / 2, stats);
+    sim.run();
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1200.0);
+    EXPECT_EQ(stats.set_freq_retries, 0u);
+    EXPECT_EQ(stats.set_freq_abandoned, 0u);
+}
+
+TEST(GuardedSetFreq, ExhaustsRetriesAgainstAlwaysDroppingFirmware)
+{
+    sim::Simulator sim;
+    npu::NpuConfig config;
+    config.faults.set_freq_drop_rate = 1.0;
+    npu::NpuChip chip(sim, config);
+
+    GuardStats stats;
+    enqueueGuardedSetFreq(chip, 1000.0, 2, kTicksPerMs / 2, stats);
+    sim.run();
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1800.0);
+    EXPECT_EQ(stats.set_freq_retries, 2u);
+    EXPECT_EQ(stats.set_freq_abandoned, 1u);
+    // Initial attempt + both retries reached the firmware.
+    EXPECT_EQ(chip.faultInjector()->counters().set_freqs_dropped, 3u);
+}
+
+TEST(GuardedSetFreq, RetriesUntilACommandLands)
+{
+    sim::Simulator sim;
+    npu::NpuConfig config;
+    config.faults.set_freq_drop_rate = 0.5;
+    config.faults.seed = 7;
+    npu::NpuChip chip(sim, config);
+
+    GuardStats stats;
+    enqueueGuardedSetFreq(chip, 1000.0, 8, kTicksPerMs / 2, stats);
+    sim.run();
+    // Either a retry landed the command, or (if every seeded draw
+    // dropped, which the counters would show) it was abandoned.
+    if (stats.set_freq_abandoned == 0) {
+        EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1000.0);
+    }
+    EXPECT_GT(chip.faultInjector()->counters().set_freqs_seen, 0u);
+}
+
+// --- end-to-end guarded runs ------------------------------------------------
+
+struct GuardHarness
+{
+    npu::NpuConfig clean_config;
+    models::Workload workload;
+    std::vector<trace::SetFreqTrigger> upshift;
+    double baseline_seconds = 0.0;
+    trace::RunOptions run_options;
+
+    GuardHarness()
+    {
+        npu::MemorySystem memory(clean_config.memory);
+        // Compute-dominated so the floor-vs-ceiling gap is large
+        // (~24% slower at 1000 MHz): a stuck downshift is clearly
+        // visible in the iteration time.
+        models::TransformerConfig model;
+        model.name = "guard";
+        model.layers = 2;
+        model.hidden = 4096;
+        model.heads = 32;
+        model.seq = 512;
+        model.batch = 4;
+        workload = models::buildTransformerTraining(memory, model, 5);
+
+        // Cyclic strategy under test: upshift to the ceiling right
+        // after op 0, drop back to the floor after the last op (the
+        // wrap trigger), so every iteration starts slow and speeds
+        // up.  A dropped upshift leaves the whole iteration at
+        // 1000 MHz - a gross, easily measurable straggler.
+        upshift.push_back({0, 1800.0});
+        upshift.push_back({workload.iteration.size() - 1, 1000.0});
+        run_options.initial_mhz = 1000.0;
+        run_options.warmup_seconds = 0.0;
+        run_options.seed = 33;
+
+        // Fault-free steady-state iteration time on a persistent chip.
+        GuardedRunOptions probe;
+        probe.guard.enabled = false;
+        probe.iterations = 4;
+        probe.run = run_options;
+        GuardedRunResult clean = runGuarded(clean_config, workload,
+                                            upshift, 1.0, probe);
+        double total = 0.0;
+        for (const auto &it : clean.iterations)
+            total += it.seconds;
+        baseline_seconds =
+            total / static_cast<double>(clean.iterations.size());
+    }
+};
+
+GuardHarness &
+guardHarness()
+{
+    static GuardHarness h;
+    return h;
+}
+
+TEST(GuardedRun, NoFaultsStaysInMonitoring)
+{
+    GuardHarness &h = guardHarness();
+    GuardedRunOptions options;
+    options.guard = tightGuard();
+    options.iterations = 4;
+    options.run = h.run_options;
+
+    GuardedRunResult result = runGuarded(
+        h.clean_config, h.workload, h.upshift, h.baseline_seconds, options);
+    ASSERT_EQ(result.iterations.size(), 4u);
+    for (const auto &it : result.iterations) {
+        EXPECT_TRUE(it.strategy_active);
+        EXPECT_EQ(it.state_after, GuardState::Monitoring);
+    }
+    EXPECT_EQ(result.guard.fallbacks, 0u);
+    EXPECT_LT(result.worstLoss(),
+              options.guard.violation_factor
+                  * options.guard.perf_loss_target);
+}
+
+TEST(GuardedRun, RepairsDroppedUpshifts)
+{
+    GuardHarness &h = guardHarness();
+
+    npu::NpuConfig faulted = h.clean_config;
+    faulted.faults.set_freq_drop_rate = 0.5;
+    faulted.faults.seed = 11;
+
+    GuardedRunOptions unguarded;
+    unguarded.guard = tightGuard();
+    unguarded.guard.enabled = false;
+    unguarded.iterations = 8;
+    unguarded.run = h.run_options;
+    GuardedRunResult before = runGuarded(
+        faulted, h.workload, h.upshift, h.baseline_seconds, unguarded);
+
+    GuardedRunOptions guarded = unguarded;
+    guarded.guard.enabled = true;
+    GuardedRunResult after = runGuarded(
+        faulted, h.workload, h.upshift, h.baseline_seconds, guarded);
+
+    // Unguarded: dropped upshifts leave whole iterations at the floor.
+    EXPECT_GT(before.meanLoss(), unguarded.guard.violation_factor
+                                     * unguarded.guard.perf_loss_target);
+    EXPECT_GT(before.faults.set_freqs_dropped, 0u);
+
+    // Guarded: retries land the upshift within milliseconds.
+    EXPECT_GT(after.guard.set_freq_retries, 0u);
+    EXPECT_LT(after.meanLoss(), before.meanLoss() / 2.0);
+}
+
+TEST(GuardedRun, ResetsLatchedSpuriousThrottle)
+{
+    GuardHarness &h = guardHarness();
+
+    npu::NpuConfig faulted = h.clean_config;
+    faulted.faults.spurious_trip_rate_hz = 10.0;
+    faulted.faults.throttle_auto_release = false;
+    faulted.faults.throttle_mhz = 1000.0;
+    faulted.faults.seed = 19;
+
+    GuardedRunOptions unguarded;
+    unguarded.guard = tightGuard();
+    unguarded.guard.enabled = false;
+    unguarded.guard.violation_limit = 1;
+    unguarded.iterations = 10;
+    unguarded.run = h.run_options;
+    GuardedRunResult before = runGuarded(
+        faulted, h.workload, h.upshift, h.baseline_seconds, unguarded);
+
+    GuardedRunOptions guarded = unguarded;
+    guarded.guard.enabled = true;
+    GuardedRunResult after = runGuarded(
+        faulted, h.workload, h.upshift, h.baseline_seconds, guarded);
+
+    // The latched clamp makes every unguarded iteration after the
+    // first trip a straggler.
+    EXPECT_GT(before.faults.spurious_trips, 0u);
+    EXPECT_GT(before.meanLoss(), unguarded.guard.violation_factor
+                                     * unguarded.guard.perf_loss_target);
+
+    // The guard resets the governor and contains the damage.
+    EXPECT_GT(after.guard.throttle_resets, 0u);
+    EXPECT_LT(after.meanLoss(), before.meanLoss() / 2.0);
+}
+
+TEST(GuardedRun, SurvivesTelemetrySpikesWithoutFalseFallback)
+{
+    GuardHarness &h = guardHarness();
+
+    npu::NpuConfig faulted = h.clean_config;
+    faulted.faults.spike_rate = 0.3;
+    faulted.faults.spike_temperature_delta = 60.0;
+    faulted.faults.seed = 23;
+
+    GuardedRunOptions options;
+    options.guard = tightGuard();
+    options.guard.violation_limit = 1;
+    options.iterations = 6;
+    options.run = h.run_options;
+
+    GuardedRunResult result = runGuarded(
+        faulted, h.workload, h.upshift, h.baseline_seconds, options);
+    EXPECT_GT(result.faults.samples_spiked, 0u);
+    // Median filtering keeps corrupted readings from tripping the
+    // thermal envelope.
+    EXPECT_EQ(result.guard.thermal_violations, 0u);
+    EXPECT_EQ(result.guard.fallbacks, 0u);
+}
+
+} // namespace
+} // namespace opdvfs::dvfs

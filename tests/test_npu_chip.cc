@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "npu/aicore_timeline.h"
@@ -249,11 +251,26 @@ TEST(NpuChip, IdleStateReported)
     EXPECT_TRUE(chip.idle());
 }
 
-TEST(NpuChip, UnsupportedSetFreqThrows)
+TEST(NpuChip, OutOfTableSetFreqSnapsToNearest)
 {
     sim::Simulator sim;
     NpuChip chip(sim);
-    EXPECT_THROW(chip.enqueueSetFreq(1750.0), std::invalid_argument);
+    chip.enqueueSetFreq(1760.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(chip.dvfs().currentMhz(), 1800.0);
+    EXPECT_EQ(chip.dvfs().setFreqCount(), 1u);
+}
+
+TEST(NpuChip, NonFiniteSetFreqThrows)
+{
+    sim::Simulator sim;
+    NpuChip chip(sim);
+    EXPECT_THROW(
+        chip.enqueueSetFreq(std::numeric_limits<double>::quiet_NaN()),
+        std::invalid_argument);
+    EXPECT_THROW(
+        chip.enqueueSetFreq(-std::numeric_limits<double>::infinity()),
+        std::invalid_argument);
 }
 
 } // namespace

@@ -88,6 +88,72 @@ TEST(StrategyIo, MalformedRecordsThrow)
     }
 }
 
+TEST(StrategyIo, RejectsGarbageFrequenciesAndTimings)
+{
+    for (const char *bad :
+         {"strategy v1\ninitial nan\n", "strategy v1\ninitial -1500\n",
+          "strategy v1\ninitial 0\n", "strategy v1\ninitial inf\n",
+          "strategy v1\nstage 0 1000 -1300 hfc\n",
+          "strategy v1\nstage 0 1000 nan lfc\n",
+          "strategy v1\nstage -5 1000 1300 lfc\n",
+          "strategy v1\nstage 0 0 1300 lfc\n",
+          "strategy v1\nstage 0 -1000 1300 lfc\n",
+          "strategy v1\ntrigger 4 nan\n",
+          "strategy v1\ntrigger 4 -1800\n"}) {
+        std::stringstream buffer(bad);
+        EXPECT_THROW(loadStrategy(buffer), std::invalid_argument) << bad;
+    }
+}
+
+TEST(StrategyIo, CountsMismatchMeansTruncatedFile)
+{
+    // A counts record declaring more stages/triggers than the file
+    // holds is the signature of a truncated download.
+    std::stringstream truncated;
+    truncated << "strategy v1\ncounts 2 1\ninitial 1800\n"
+              << "stage 0 1000000 1800 hfc\n";
+    EXPECT_THROW(loadStrategy(truncated), std::invalid_argument);
+
+    std::stringstream extra;
+    extra << "strategy v1\ncounts 0 0\ninitial 1800\n"
+          << "trigger 3 1300\n";
+    EXPECT_THROW(loadStrategy(extra), std::invalid_argument);
+
+    // saveStrategy always emits the counts record, so a clean
+    // round-trip self-checks.
+    Strategy original = sampleStrategy();
+    std::stringstream buffer;
+    saveStrategy(original, buffer);
+    EXPECT_NE(buffer.str().find("counts 4 3"), std::string::npos);
+    EXPECT_NO_THROW(loadStrategy(buffer));
+}
+
+TEST(StrategyIo, DeviceTablePinsFrequencies)
+{
+    npu::FreqTable table(npu::FreqTableConfig{});
+
+    // Positive, finite, but not an operating point of this device.
+    std::stringstream off_table;
+    off_table << "strategy v1\ninitial 1800\ntrigger 2 1750\n";
+    EXPECT_THROW(loadStrategy(off_table, &table), std::invalid_argument);
+
+    // The same stream parses fine without a device to check against.
+    off_table.clear();
+    off_table.seekg(0);
+    EXPECT_NO_THROW(loadStrategy(off_table));
+
+    Strategy strategy = sampleStrategy();
+    EXPECT_NO_THROW(validateStrategy(strategy, table));
+    strategy.mhz_per_stage[1] = 1337.0;
+    EXPECT_THROW(validateStrategy(strategy, table), std::invalid_argument);
+    strategy.mhz_per_stage[1] = 1300.0;
+    strategy.plan.initial_mhz = 2500.0;
+    EXPECT_THROW(validateStrategy(strategy, table), std::invalid_argument);
+    strategy.plan.initial_mhz = 1800.0;
+    strategy.mhz_per_stage.pop_back();
+    EXPECT_THROW(validateStrategy(strategy, table), std::invalid_argument);
+}
+
 TEST(StrategyIo, SaveValidatesShape)
 {
     Strategy broken = sampleStrategy();
