@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Strategy-service benchmark: the serving-layer economics on top of
+ * the paper's per-workload pipeline.
+ *
+ *   1. cold request latency (full profile -> models -> GA run)
+ *   2. exact cache hit latency (same fingerprint; target <1% of cold)
+ *   3. warm-started GA on a similar workload at a third of the
+ *      generation budget, scored against a full-budget cold run
+ *   4. batch throughput of distinct requests, 1 vs 4 workers
+ *
+ * Worker scaling is hardware-bound: the search is CPU-bound, so the
+ * 4-worker speedup approaches 4x only with >= 4 free cores (the
+ * banner prints hardware_concurrency for reading the numbers in
+ * context).
+ */
+
+#include <chrono>
+#include <sstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "models/transformer.h"
+#include "serve/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string
+sci(double value, int digits)
+{
+    std::ostringstream out;
+    out.precision(digits);
+    out << std::scientific << value;
+    return out.str();
+}
+
+opdvfs::models::Workload
+transformerVariant(const opdvfs::npu::MemorySystem &memory, int seq)
+{
+    opdvfs::models::TransformerConfig model;
+    model.name = "serve-bench";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = seq;
+    return opdvfs::models::buildTransformerTraining(memory, model, 5);
+}
+
+opdvfs::serve::ServiceOptions
+serviceOptions(std::size_t workers)
+{
+    opdvfs::serve::ServiceOptions options;
+    options.pipeline = opdvfs::bench::standardPipeline(0.02);
+    options.pipeline.warmup_seconds = 4.0;
+    options.pipeline.profile_freqs_mhz = {1000.0, 1800.0};
+    options.pipeline.ga.population = 60;
+    options.pipeline.ga.generations = 60;
+    options.workers = workers;
+    return options;
+}
+
+/** Time a batch of distinct workloads through one service. */
+double
+batchSeconds(std::size_t workers,
+             const std::vector<opdvfs::models::Workload> &workloads)
+{
+    opdvfs::serve::StrategyService service(serviceOptions(workers));
+    auto start = Clock::now();
+    std::vector<std::future<opdvfs::serve::StrategyResponse>> pending;
+    pending.reserve(workloads.size());
+    for (const auto &workload : workloads) {
+        opdvfs::serve::StrategyRequest request;
+        request.workload = workload;
+        request.use_cache = false; // every request pays a full search
+        pending.push_back(service.submit(request));
+    }
+    for (auto &future : pending)
+        future.get();
+    return secondsSince(start);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_serve_throughput",
+                  "strategy service: cache, warm start, worker scaling");
+    std::cout << "hardware_concurrency: "
+              << std::thread::hardware_concurrency() << "\n\n";
+
+    npu::NpuConfig chip = bench::standardChip();
+    npu::MemorySystem memory(chip.memory);
+
+    // --- 1+2: cold latency vs exact-hit latency -------------------------
+    serve::StrategyService service(serviceOptions(4));
+    serve::StrategyRequest request;
+    request.workload = transformerVariant(memory, 256);
+
+    serve::StrategyResponse cold = service.submit(request).get();
+    serve::StrategyResponse hit = service.submit(request).get();
+
+    Table latency("Request latency: cold search vs exact cache hit");
+    latency.setHeader({"Path", "Latency (s)", "Generations run",
+                       "Of cold latency"});
+    latency.addRow({"cold", Table::num(cold.service_seconds, 3),
+                    std::to_string(cold.generations_run), "100%"});
+    latency.addRow(
+        {"exact-hit", Table::num(hit.service_seconds, 6),
+         std::to_string(hit.generations_run),
+         Table::pct(hit.service_seconds / cold.service_seconds, 3)});
+    latency.print(std::cout);
+    std::cout << "\n";
+
+    // --- 3: warm start quality at a third of the budget -----------------
+    serve::StrategyRequest similar;
+    similar.workload = transformerVariant(memory, 288);
+    serve::StrategyResponse warm = service.submit(similar).get();
+
+    serve::StrategyRequest cold_similar = similar;
+    cold_similar.use_cache = false;
+    serve::StrategyResponse full = service.submit(cold_similar).get();
+
+    Table warm_table("Warm-started GA vs full-budget cold search "
+                     "(similar workload)");
+    warm_table.setHeader({"Path", "Generations", "Score",
+                          "Of cold score", "Donor similarity"});
+    warm_table.addRow({"cold", std::to_string(full.generations_run),
+                       sci(full.ga.best_score, 3), "100%", "-"});
+    warm_table.addRow({"warm-start",
+                       std::to_string(warm.generations_run),
+                       sci(warm.ga.best_score, 3),
+                       Table::pct(warm.ga.best_score / full.ga.best_score,
+                                  2),
+                       Table::num(warm.similarity, 3)});
+    warm_table.print(std::cout);
+    std::cout << "\n";
+
+    // --- 4: distinct-request throughput, 1 vs 4 workers -----------------
+    std::vector<models::Workload> batch;
+    for (int seq : {192, 224, 256, 288, 320, 352, 384, 416})
+        batch.push_back(transformerVariant(memory, seq));
+
+    double one_worker = batchSeconds(1, batch);
+    double four_workers = batchSeconds(4, batch);
+
+    Table throughput("Batch of 8 distinct cold requests");
+    throughput.setHeader(
+        {"Workers", "Batch (s)", "Req/s", "Speedup vs 1 worker"});
+    throughput.addRow({"1", Table::num(one_worker, 2),
+                       Table::num(8.0 / one_worker, 2), "1.00x"});
+    throughput.addRow({"4", Table::num(four_workers, 2),
+                       Table::num(8.0 / four_workers, 2),
+                       Table::num(one_worker / four_workers, 2) + "x"});
+    throughput.print(std::cout);
+
+    serve::ServiceStats stats = service.stats();
+    std::cout << "\nfirst-service stats: requests=" << stats.requests
+              << " exact_hits=" << stats.exact_hits
+              << " warm_hits=" << stats.warm_hits
+              << " cold_misses=" << stats.cold_misses
+              << " generations_saved=" << stats.generations_saved
+              << " p50=" << stats.p50_service_seconds << "s"
+              << " p95=" << stats.p95_service_seconds << "s\n";
+    return 0;
+}

@@ -20,6 +20,28 @@ closestIndex(const std::vector<double> &freqs, double mhz)
     return static_cast<std::uint8_t>(best);
 }
 
+/**
+ * Convert a prior strategy (MHz per stage, possibly for a different
+ * stage count) to a genome of length @p n: nearest-position resampling
+ * over stage index, then snap each frequency to the table.
+ */
+std::vector<std::uint8_t>
+genomeFromPrior(const std::vector<double> &prior_mhz, std::size_t n,
+                const std::vector<double> &freqs)
+{
+    if (prior_mhz.empty())
+        throw std::invalid_argument("searchStrategy: empty prior "
+                                    "individual");
+    std::vector<std::uint8_t> genome(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        std::size_t src = n == 1 ? 0 : s * prior_mhz.size() / n;
+        if (src >= prior_mhz.size())
+            src = prior_mhz.size() - 1;
+        genome[s] = closestIndex(freqs, prior_mhz[src]);
+    }
+    return genome;
+}
+
 } // namespace
 
 double
@@ -79,6 +101,14 @@ searchStrategy(const StageEvaluator &evaluator,
             }
         }
     }
+    // Warm-start priors (e.g. cached strategies of similar workloads)
+    // join generation 0 like any other individual; a bad prior simply
+    // dies off, a good one pulls convergence forward.
+    for (const auto &prior_mhz : options.prior_individuals) {
+        if (population.size() >= static_cast<std::size_t>(options.population))
+            break;
+        population.push_back(genomeFromPrior(prior_mhz, n, freqs));
+    }
 
     while (population.size() < static_cast<std::size_t>(options.population)) {
         Genome g(n);
@@ -89,16 +119,33 @@ searchStrategy(const StageEvaluator &evaluator,
 
     // --- evolution ---------------------------------------------------------
     std::vector<double> scores(population.size());
+    std::vector<StrategyEvaluation> evals(population.size());
     result.best_score = -1.0;
 
+    // Score every individual, in parallel when a loop is injected.
+    // Each index writes only its own slot; the best-individual
+    // reduction below runs serially in ascending index order, so
+    // selection is independent of evaluation order and thread count.
+    auto scoreAll = [&](const std::vector<Genome> &individuals) {
+        auto scoreOne = [&](std::size_t i) {
+            evals[i] = evaluator.evaluate(individuals[i]);
+            scores[i] = strategyScore(evals[i], per_lb);
+        };
+        if (options.parallel_for) {
+            options.parallel_for(individuals.size(), scoreOne);
+        } else {
+            for (std::size_t i = 0; i < individuals.size(); ++i)
+                scoreOne(i);
+        }
+    };
+
     for (int gen = 0; gen < options.generations; ++gen) {
+        scoreAll(population);
         for (std::size_t i = 0; i < population.size(); ++i) {
-            StrategyEvaluation eval = evaluator.evaluate(population[i]);
-            scores[i] = strategyScore(eval, per_lb);
             if (scores[i] > result.best_score) {
                 result.best_score = scores[i];
                 result.best_genome = population[i];
-                result.best_eval = eval;
+                result.best_eval = evals[i];
                 result.converged_at = gen;
             }
         }

@@ -16,12 +16,23 @@
 #define OPDVFS_DVFS_GENETIC_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/random.h"
 #include "dvfs/evaluator.h"
 
 namespace opdvfs::dvfs {
+
+/**
+ * Data-parallel index loop: run fn(0) .. fn(count - 1), each exactly
+ * once, in any order, returning when all completed.  The strategy
+ * service injects a thread-pool-backed implementation to score GA
+ * populations concurrently.
+ */
+using ParallelFor =
+    std::function<void(std::size_t count,
+                       const std::function<void(std::size_t)> &fn)>;
 
 /** GA hyper-parameters (paper defaults from Sect. 7.4). */
 struct GaOptions
@@ -53,6 +64,21 @@ struct GaOptions
      */
     int refine_sweeps = 12;
     std::uint64_t seed = 7;
+    /**
+     * Extra prior individuals seeded into generation 0, as MHz per
+     * stage — e.g. cached strategies of similar workloads (warm
+     * start).  Frequencies snap to the nearest supported point; a
+     * prior whose length differs from the stage count is adapted by
+     * nearest-position resampling.  Empty priors are rejected.
+     */
+    std::vector<std::vector<double>> prior_individuals;
+    /**
+     * When set, population fitness is scored through this loop (one
+     * index per individual).  Scoring is written by index and reduced
+     * serially afterwards, so the result is bit-identical to the
+     * serial path regardless of evaluation order or thread count.
+     */
+    ParallelFor parallel_for;
 };
 
 /** Search output. */

@@ -91,7 +91,8 @@ EnergyPipeline::optimize(const models::Workload &workload) const
                              op_power, table);
     GaOptions ga_options = options_.ga;
     ga_options.perf_loss_target = options_.perf_loss_target;
-    ga_options.seed = options_.seed * 7 + 13;
+    ga_options.seed =
+        options_.ga_seed ? *options_.ga_seed : options_.seed * 7 + 13;
     result.ga = searchStrategy(evaluator, result.prep.stages, ga_options);
 
     // --- execute the strategy (Sect. 7.1) ---------------------------------

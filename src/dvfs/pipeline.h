@@ -36,7 +36,16 @@ struct PipelineOptions
     /** Allowed relative performance loss. */
     double perf_loss_target = 0.02;
     PreprocessOptions preprocess;
+    /**
+     * GA hyper-parameters.  `ga.seed` is *not* used by the pipeline:
+     * the search seed is derived from `seed` below unless `ga_seed`
+     * pins it explicitly (seed-forwarding audit: a request-supplied
+     * seed reproduces the same GaResult through every path).
+     */
     GaOptions ga;
+    /** When set, the GA uses exactly this seed instead of the
+     *  `seed`-derived one. */
+    std::optional<std::uint64_t> ga_seed;
     ExecutorOptions executor;
     perf::FitFunction fit_kind = perf::FitFunction::QuadOverF;
     /** Frequencies profiled to build the models (Sect. 7.4). */

@@ -17,6 +17,24 @@ saveStrategy(const Strategy &strategy, std::ostream &os)
     os << "strategy v1\n";
     os << "counts " << strategy.stages.size() << " "
        << strategy.plan.triggers.size() << "\n";
+    if (strategy.meta) {
+        const StrategyMeta &meta = *strategy.meta;
+        if (meta.provenance.empty()
+            || meta.provenance.find_first_of(" \t\n") != std::string::npos) {
+            throw std::invalid_argument("saveStrategy: provenance must be "
+                                        "one whitespace-free token");
+        }
+        // Full precision so scores round-trip bit-exactly.
+        std::ostringstream scores;
+        scores.precision(17);
+        scores << meta.score << " " << meta.pre_refine_score;
+        os << "meta score " << scores.str() << " " << meta.converged_at
+           << " " << meta.generations << "\n";
+        std::ostringstream hex;
+        hex << std::hex << meta.fingerprint;
+        os << "meta provenance " << meta.provenance << " " << hex.str()
+           << "\n";
+    }
     os << "initial " << strategy.plan.initial_mhz << "\n";
     for (std::size_t s = 0; s < strategy.stages.size(); ++s) {
         const Stage &stage = strategy.stages[s];
@@ -69,6 +87,31 @@ loadStrategy(std::istream &is, const npu::FreqTable *table)
             if (!(fields >> strategy.plan.initial_mhz))
                 fail("bad initial frequency");
             check_mhz(strategy.plan.initial_mhz, "initial");
+        } else if (kind == "meta") {
+            std::string which;
+            fields >> which;
+            StrategyMeta meta =
+                strategy.meta ? *strategy.meta : StrategyMeta{};
+            if (which == "score") {
+                if (!(fields >> meta.score >> meta.pre_refine_score
+                      >> meta.converged_at >> meta.generations))
+                    fail("bad meta score record");
+                if (!std::isfinite(meta.score)
+                    || !std::isfinite(meta.pre_refine_score))
+                    fail("meta score is not finite");
+                if (meta.converged_at < 0 || meta.generations < 0)
+                    fail("negative meta generation counters");
+            } else if (which == "provenance") {
+                std::string hex;
+                if (!(fields >> meta.provenance >> hex))
+                    fail("bad meta provenance record");
+                std::istringstream hex_fields(hex);
+                if (!(hex_fields >> std::hex >> meta.fingerprint))
+                    fail("bad meta fingerprint digest");
+            } else {
+                fail("unknown meta record '" + which + "'");
+            }
+            strategy.meta = std::move(meta);
         } else if (kind == "counts") {
             if (!(fields >> declared_stages >> declared_triggers))
                 fail("bad counts record");

@@ -13,9 +13,16 @@
  *
  *   strategy v1
  *   counts <stages> <triggers>
+ *   meta score <best> <pre_refine> <converged_at> <generations>
+ *   meta provenance <token> <fingerprint-hex>
  *   stage <start_tick> <duration_tick> <mhz> <hfc|lfc>
  *   trigger <after_op_index> <mhz>
  *   initial <mhz>
+ *
+ * The optional `meta` records carry the search provenance alongside
+ * the strategy (Eq. 17 score, generation budget, how the strategy
+ * service produced it and for which workload fingerprint), so cached
+ * service entries survive persistence and reload with their scores.
  *
  * The optional `counts` record (always emitted by saveStrategy)
  * declares the expected record shape; a mismatch at load time means a
@@ -29,7 +36,9 @@
 #ifndef OPDVFS_DVFS_STRATEGY_IO_H
 #define OPDVFS_DVFS_STRATEGY_IO_H
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +47,28 @@
 #include "npu/freq_table.h"
 
 namespace opdvfs::dvfs {
+
+/**
+ * Search provenance persisted alongside a strategy: what the GA
+ * scored it at and where it came from.  `provenance` is a single
+ * whitespace-free token, by convention one of "cold", "warm-start",
+ * "exact-hit" (strategy-service paths) or "unknown".
+ */
+struct StrategyMeta
+{
+    /** Eq. 17 score of the persisted strategy. */
+    double score = 0.0;
+    /** Score before the memetic refinement pass. */
+    double pre_refine_score = 0.0;
+    /** Generation at which the best score was first reached. */
+    int converged_at = 0;
+    /** Generation budget the search ran with. */
+    int generations = 0;
+    /** How the strategy was produced (single token, no whitespace). */
+    std::string provenance = "unknown";
+    /** Workload fingerprint digest the strategy was generated for. */
+    std::uint64_t fingerprint = 0;
+};
 
 /** A generated strategy, ready to persist or execute. */
 struct Strategy
@@ -48,6 +79,8 @@ struct Strategy
     std::vector<double> mhz_per_stage;
     /** Planned SetFreq triggers (Fig. 14 placements). */
     ExecutionPlan plan;
+    /** Optional search provenance (persisted when present). */
+    std::optional<StrategyMeta> meta;
 
     /** Number of distinct frequency changes per iteration. */
     std::size_t triggerCount() const { return plan.triggers.size(); }

@@ -1,5 +1,7 @@
 #include "models/workload.h"
 
+#include <stdexcept>
+
 namespace opdvfs::models {
 
 std::size_t
@@ -22,6 +24,34 @@ Workload::insensitiveSeconds() const
             total += op.hw.fixed_seconds;
     }
     return total;
+}
+
+void
+visitWorkloadFields(const Workload &workload,
+                    const WorkloadFieldVisitor &visitor)
+{
+    if (!visitor.string_field || !visitor.number_field)
+        throw std::invalid_argument("visitWorkloadFields: visitor callbacks "
+                                    "must both be set");
+    for (const auto &op : workload.iteration) {
+        visitor.string_field(op.type);
+        const npu::HwOpParams &hw = op.hw;
+        visitor.number_field(static_cast<double>(hw.category));
+        visitor.number_field(static_cast<double>(hw.scenario));
+        visitor.number_field(static_cast<double>(hw.core_pipe));
+        visitor.number_field(static_cast<double>(hw.n));
+        visitor.number_field(hw.core_cycles);
+        visitor.number_field(hw.ld_volume_bytes);
+        visitor.number_field(hw.ld_l2_hit);
+        visitor.number_field(hw.st_volume_bytes);
+        visitor.number_field(hw.st_l2_hit);
+        visitor.number_field(hw.t0_seconds);
+        visitor.number_field(hw.overhead_seconds);
+        visitor.number_field(hw.fixed_seconds);
+        visitor.number_field(hw.comm_bytes);
+        visitor.number_field(hw.alpha_core);
+        visitor.number_field(hw.uncore_activity);
+    }
 }
 
 } // namespace opdvfs::models

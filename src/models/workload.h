@@ -9,7 +9,9 @@
 #define OPDVFS_MODELS_WORKLOAD_H
 
 #include <cstddef>
+#include <functional>
 #include <string>
+#include <string_view>
 
 #include "ops/op.h"
 
@@ -30,6 +32,29 @@ struct Workload
     /** Sum of fixed durations of non-Compute operators, seconds. */
     double insensitiveSeconds() const;
 };
+
+/**
+ * Receiver for the canonical field stream of a workload.  Fields are
+ * visited in a fixed, documented order so two equal workloads always
+ * produce the same stream (the strategy-service fingerprint hashes
+ * it).  Both callbacks must be set.
+ */
+struct WorkloadFieldVisitor
+{
+    std::function<void(std::string_view)> string_field;
+    std::function<void(double)> number_field;
+};
+
+/**
+ * Visit every strategy-relevant field of @p workload in iteration
+ * order: per op the type name, then category/scenario/pipe (as their
+ * numeric codes) and all HwOpParams scalars.  The workload *name* and
+ * the (positional) op ids are deliberately excluded: two workloads
+ * with identical operator content are the same optimisation problem
+ * regardless of how they are labelled.
+ */
+void visitWorkloadFields(const Workload &workload,
+                         const WorkloadFieldVisitor &visitor);
 
 } // namespace opdvfs::models
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Canonical workload fingerprints for the strategy service.
+ *
+ * A fingerprint identifies one optimisation problem: the operator
+ * sequence (types, shapes, per-op parameters), the chip configuration
+ * (frequency table, memory system, power/thermal parameters), and the
+ * request's performance-loss target and seed.  Two parts:
+ *
+ *  - `digest`: a 64-bit FNV-1a hash over the canonical field stream —
+ *    the exact-match cache key.  Only field *values* are hashed (never
+ *    addresses or iteration order of unordered containers), so the
+ *    digest is stable across processes and runs.
+ *  - `features`: a small normalised feature vector (op-count scale,
+ *    category mix, bottleneck-relevant volume totals, loss target)
+ *    used to find *similar* cached problems whose strategies can
+ *    warm-start the genetic search.
+ */
+
+#ifndef OPDVFS_SERVE_FINGERPRINT_H
+#define OPDVFS_SERVE_FINGERPRINT_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "models/workload.h"
+#include "npu/npu_chip.h"
+
+namespace opdvfs::serve {
+
+/** Identity + similarity coordinates of one strategy request. */
+struct Fingerprint
+{
+    /** Exact-match key (stable FNV-1a over the canonical stream). */
+    std::uint64_t digest = 0;
+    /** Normalised similarity features; same length for every request. */
+    std::vector<double> features;
+};
+
+/** Streaming FNV-1a hasher over canonicalised values. */
+class FingerprintHasher
+{
+  public:
+    /** Mix a raw 64-bit word. */
+    void mix(std::uint64_t word);
+    /** Mix a double by bit pattern; -0.0 and all NaNs canonicalised. */
+    void mixNumber(double value);
+    /** Mix a string: length then bytes. */
+    void mixString(std::string_view text);
+
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    /** FNV-1a 64-bit offset basis. */
+    std::uint64_t state_ = 1469598103934665603ULL;
+};
+
+/**
+ * Fingerprint one strategy request: workload content, chip
+ * configuration (frequency table, memory, power, thermal, latencies),
+ * and the performance-loss target.  The GA seed is mixed into the
+ * digest (a different seed is a different request, keeping the service
+ * path bit-reproducible) but not into the features (the same workload
+ * under a different seed is still a perfect warm-start donor).
+ */
+Fingerprint fingerprintRequest(const models::Workload &workload,
+                               const npu::NpuConfig &chip,
+                               double perf_loss_target,
+                               std::uint64_t seed);
+
+/**
+ * Similarity in [0, 1]: 1 for identical feature vectors, falling off
+ * with their weighted Euclidean distance.  Vectors of different
+ * lengths (different library versions) compare as 0.
+ */
+double fingerprintSimilarity(const Fingerprint &a, const Fingerprint &b);
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_FINGERPRINT_H

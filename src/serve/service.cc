@@ -1,0 +1,331 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::serve {
+
+namespace {
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - since)
+        .count();
+}
+
+} // namespace
+
+const char *
+provenanceToken(Provenance provenance)
+{
+    switch (provenance) {
+    case Provenance::Cold: return "cold";
+    case Provenance::ExactHit: return "exact-hit";
+    case Provenance::Coalesced: return "coalesced";
+    case Provenance::WarmStart: return "warm-start";
+    }
+    return "unknown";
+}
+
+StrategyService::StrategyService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      pool_(options_.workers == 0 ? 1 : options_.workers)
+{
+    if (options_.admission_capacity == 0)
+        throw std::invalid_argument("StrategyService: zero admission "
+                                    "capacity");
+    if (options_.warm_generation_fraction <= 0.0
+        || options_.warm_generation_fraction > 1.0) {
+        throw std::invalid_argument("StrategyService: warm generation "
+                                    "fraction must be in (0, 1]");
+    }
+    // One offline calibration for every request (the paper's offline
+    // half of Fig. 11 depends only on the chip).
+    if (!options_.pipeline.constants) {
+        options_.pipeline.constants =
+            power::calibrateOffline(options_.pipeline.chip);
+    }
+}
+
+StrategyService::~StrategyService()
+{
+    // The pool destructor (pool_ is the last member) drains pending
+    // request tasks before joining, so every admitted future is
+    // fulfilled; remaining members must outlive it, which member
+    // declaration order guarantees.
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    admission_open_.wait(lock, [this] { return admitted_ == 0; });
+}
+
+std::future<StrategyResponse>
+StrategyService::submit(StrategyRequest request)
+{
+    {
+        std::unique_lock<std::mutex> lock(admission_mutex_);
+        admission_open_.wait(lock, [this] {
+            return admitted_ < options_.admission_capacity;
+        });
+        ++admitted_;
+    }
+    return dispatch(std::move(request));
+}
+
+std::optional<std::future<StrategyResponse>>
+StrategyService::trySubmit(StrategyRequest request)
+{
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        if (admitted_ >= options_.admission_capacity) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        ++admitted_;
+    }
+    return dispatch(std::move(request));
+}
+
+std::future<StrategyResponse>
+StrategyService::dispatch(StrategyRequest request)
+{
+    auto promise = std::make_shared<std::promise<StrategyResponse>>();
+    std::future<StrategyResponse> future = promise->get_future();
+    auto shared_request =
+        std::make_shared<StrategyRequest>(std::move(request));
+    pool_.submit([this, promise, shared_request] {
+        StrategyResponse response;
+        std::exception_ptr error;
+        try {
+            response = process(*shared_request);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        // Release the admission slot before publishing: a ready
+        // future always implies capacity for the next submit.
+        {
+            std::lock_guard<std::mutex> lock(admission_mutex_);
+            --admitted_;
+        }
+        admission_open_.notify_all();
+        if (error)
+            promise->set_exception(error);
+        else
+            promise->set_value(std::move(response));
+    });
+    return future;
+}
+
+StrategyResponse
+StrategyService::process(const StrategyRequest &request)
+{
+    auto started = std::chrono::steady_clock::now();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    Fingerprint fingerprint =
+        fingerprintRequest(request.workload, options_.pipeline.chip,
+                           request.perf_loss_target, request.seed);
+    int full_generations = options_.pipeline.ga.generations;
+
+    if (request.use_cache) {
+        // --- exact hit -----------------------------------------------------
+        if (auto hit = cache_.findExact(fingerprint.digest)) {
+            StrategyResponse response;
+            response.strategy = hit->strategy;
+            response.ga = hit->ga;
+            response.fingerprint = hit->fingerprint;
+            response.provenance = Provenance::ExactHit;
+            response.generations_saved = full_generations;
+            if (response.strategy.meta) {
+                response.strategy.meta->provenance =
+                    provenanceToken(response.provenance);
+            }
+            exact_hits_.fetch_add(1, std::memory_order_relaxed);
+            generations_saved_.fetch_add(
+                static_cast<std::uint64_t>(full_generations),
+                std::memory_order_relaxed);
+            response.service_seconds = elapsedSeconds(started);
+            recordLatency(response.service_seconds);
+            return response;
+        }
+
+        // --- coalesce onto an identical in-flight computation --------------
+        std::shared_future<StrategyResponse> leader;
+        bool is_leader = false;
+        std::promise<StrategyResponse> own_promise;
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            auto found = inflight_.find(fingerprint.digest);
+            if (found != inflight_.end()) {
+                leader = found->second;
+            } else {
+                is_leader = true;
+                leader = own_promise.get_future().share();
+                inflight_.emplace(fingerprint.digest, leader);
+            }
+        }
+        if (!is_leader) {
+            // Waiting occupies this worker, never the leader's: the
+            // leader always progresses on its own thread, so the wait
+            // terminates.
+            StrategyResponse response = leader.get();
+            response.provenance = Provenance::Coalesced;
+            if (response.strategy.meta) {
+                response.strategy.meta->provenance =
+                    provenanceToken(response.provenance);
+            }
+            response.generations_saved = response.generations_run;
+            response.generations_run = 0;
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            generations_saved_.fetch_add(
+                static_cast<std::uint64_t>(response.generations_saved),
+                std::memory_order_relaxed);
+            response.service_seconds = elapsedSeconds(started);
+            recordLatency(response.service_seconds);
+            return response;
+        }
+
+        // --- leader: compute, publish, then cache --------------------------
+        StrategyResponse response;
+        try {
+            response = computeFresh(request, fingerprint);
+        } catch (...) {
+            own_promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            inflight_.erase(fingerprint.digest);
+            throw;
+        }
+        own_promise.set_value(response);
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            inflight_.erase(fingerprint.digest);
+        }
+        CacheEntry entry;
+        entry.fingerprint = fingerprint;
+        entry.strategy = response.strategy;
+        entry.ga = response.ga;
+        entry.perf_loss_target = request.perf_loss_target;
+        cache_.insert(std::move(entry));
+        response.service_seconds = elapsedSeconds(started);
+        recordLatency(response.service_seconds);
+        return response;
+    }
+
+    StrategyResponse response = computeFresh(request, fingerprint);
+    response.service_seconds = elapsedSeconds(started);
+    recordLatency(response.service_seconds);
+    return response;
+}
+
+StrategyResponse
+StrategyService::computeFresh(const StrategyRequest &request,
+                              const Fingerprint &fingerprint)
+{
+    StrategyResponse response;
+    response.fingerprint = fingerprint;
+    response.provenance = Provenance::Cold;
+
+    dvfs::PipelineOptions pipeline_options = options_.pipeline;
+    pipeline_options.seed = request.seed;
+    pipeline_options.perf_loss_target = request.perf_loss_target;
+    if (options_.parallel_fitness) {
+        pipeline_options.ga.parallel_for =
+            [this](std::size_t count,
+                   const std::function<void(std::size_t)> &fn) {
+                pool_.parallelFor(count, fn);
+            };
+    }
+
+    int full_generations = pipeline_options.ga.generations;
+    if (request.use_cache && request.allow_warm_start) {
+        if (auto donor =
+                cache_.findSimilar(fingerprint, options_.warm_similarity)) {
+            response.provenance = Provenance::WarmStart;
+            response.similarity = donor->similarity;
+            pipeline_options.ga.prior_individuals.push_back(
+                donor->entry.ga.best_mhz);
+            pipeline_options.ga.generations = std::max(
+                1, static_cast<int>(std::lround(
+                       full_generations
+                       * options_.warm_generation_fraction)));
+        }
+    }
+
+    dvfs::EnergyPipeline pipeline(pipeline_options);
+    dvfs::PipelineResult result = pipeline.optimize(request.workload);
+
+    response.strategy = result.strategy();
+    response.ga = std::move(result.ga);
+    response.generations_run = pipeline_options.ga.generations;
+    response.generations_saved =
+        full_generations - pipeline_options.ga.generations;
+
+    dvfs::StrategyMeta meta;
+    meta.score = response.ga.best_score;
+    meta.pre_refine_score = response.ga.pre_refine_score;
+    meta.converged_at = response.ga.converged_at;
+    meta.generations = response.generations_run;
+    meta.provenance = provenanceToken(response.provenance);
+    meta.fingerprint = fingerprint.digest;
+    response.strategy.meta = meta;
+
+    if (response.provenance == Provenance::WarmStart) {
+        warm_hits_.fetch_add(1, std::memory_order_relaxed);
+        generations_saved_.fetch_add(
+            static_cast<std::uint64_t>(response.generations_saved),
+            std::memory_order_relaxed);
+    } else {
+        cold_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return response;
+}
+
+void
+StrategyService::recordLatency(double seconds)
+{
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    // Keep a bounded window: halve once past 8k samples so a
+    // long-lived service reports recent percentiles at O(1) memory.
+    if (latencies_.size() >= 8192)
+        latencies_.erase(latencies_.begin(),
+                         latencies_.begin()
+                             + static_cast<std::ptrdiff_t>(
+                                 latencies_.size() / 2));
+    latencies_.push_back(seconds);
+}
+
+ServiceStats
+StrategyService::stats() const
+{
+    ServiceStats out;
+    out.requests = requests_.load(std::memory_order_relaxed);
+    out.exact_hits = exact_hits_.load(std::memory_order_relaxed);
+    out.coalesced = coalesced_.load(std::memory_order_relaxed);
+    out.warm_hits = warm_hits_.load(std::memory_order_relaxed);
+    out.cold_misses = cold_misses_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.generations_saved =
+        generations_saved_.load(std::memory_order_relaxed);
+    out.queue_depth = pool_.queueDepth();
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        out.in_flight = admitted_;
+    }
+    out.cache_size = cache_.size();
+    {
+        std::lock_guard<std::mutex> lock(latency_mutex_);
+        if (!latencies_.empty()) {
+            out.p50_service_seconds = stats::quantile(latencies_, 0.50);
+            out.p95_service_seconds = stats::quantile(latencies_, 0.95);
+        }
+    }
+    return out;
+}
+
+} // namespace opdvfs::serve

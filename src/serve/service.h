@@ -1,0 +1,201 @@
+/**
+ * @file
+ * StrategyService: concurrent, fingerprint-cached DVFS strategy
+ * generation.
+ *
+ * The paper's strategy generator runs once per workload, offline; a
+ * production fleet instead sees a stream of optimisation requests,
+ * most of them for workloads it has already solved (long-lived
+ * training jobs resubmit, tenants run the same model zoo).  The
+ * service amortises the search:
+ *
+ *   request -> bounded admission -> worker pool -> fingerprint
+ *     -> exact cache hit?   return the cached plan (microseconds)
+ *     -> identical request already in flight?  coalesce onto it
+ *     -> similar cached problem?  warm-start the GA from its strategy
+ *        (prior individual + reduced generation budget)
+ *     -> otherwise run the full pipeline cold
+ *
+ * GA fitness evaluation runs data-parallel on the same pool; scoring
+ * is reduced serially by index, so every path is bit-deterministic:
+ * the same request + seed yields the same GaResult regardless of
+ * worker count (cold and exact/coalesced paths; a warm-started result
+ * additionally depends on which donor the cache held, which the
+ * response records via provenance + similarity).
+ */
+
+#ifndef OPDVFS_SERVE_SERVICE_H
+#define OPDVFS_SERVE_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/pipeline.h"
+#include "serve/fingerprint.h"
+#include "serve/strategy_cache.h"
+#include "serve/thread_pool.h"
+
+namespace opdvfs::serve {
+
+/** How a response was produced. */
+enum class Provenance
+{
+    /** Full pipeline run, no cache involvement. */
+    Cold,
+    /** Answered from the cache without any computation. */
+    ExactHit,
+    /** Attached to an identical request already in flight. */
+    Coalesced,
+    /** GA warm-started from a similar cached strategy. */
+    WarmStart,
+};
+
+/** Whitespace-free token for persistence ("cold", "exact-hit", ...). */
+const char *provenanceToken(Provenance provenance);
+
+/** Service configuration. */
+struct ServiceOptions
+{
+    /**
+     * Base pipeline configuration (chip, profile frequencies, GA
+     * budget...).  Per-request fields (seed, loss target) are
+     * overridden from each request.  When `pipeline.constants` is
+     * unset the offline calibration runs once at service start.
+     */
+    dvfs::PipelineOptions pipeline;
+    /** Worker threads serving requests (>= 1). */
+    std::size_t workers = 4;
+    /** Max requests admitted (queued + executing) before rejecting. */
+    std::size_t admission_capacity = 64;
+    StrategyCache::Options cache;
+    /** Min fingerprint similarity for a warm-start donor. */
+    double warm_similarity = 0.90;
+    /** Fraction of the full generation budget a warm-started GA runs. */
+    double warm_generation_fraction = 1.0 / 3.0;
+    /** Score GA populations on the pool (off: serial fitness). */
+    bool parallel_fitness = true;
+};
+
+/** One optimisation request. */
+struct StrategyRequest
+{
+    models::Workload workload;
+    /** Allowed relative performance loss. */
+    double perf_loss_target = 0.02;
+    /** Reproducibility seed; part of the request identity. */
+    std::uint64_t seed = 1;
+    /** Exact-hit lookup, coalescing and insertion. */
+    bool use_cache = true;
+    /** Permit warm-starting from similar cached strategies. */
+    bool allow_warm_start = true;
+};
+
+/** One optimisation response. */
+struct StrategyResponse
+{
+    /** The strategy, with meta (score/provenance/fingerprint) set. */
+    dvfs::Strategy strategy;
+    /** Search output (cached or fresh). */
+    dvfs::GaResult ga;
+    Fingerprint fingerprint;
+    Provenance provenance = Provenance::Cold;
+    /** Donor similarity for warm starts; 0 otherwise. */
+    double similarity = 0.0;
+    /** GA generations actually run for this response. */
+    int generations_run = 0;
+    /** Generations the cache/warm start avoided vs. a cold search. */
+    int generations_saved = 0;
+    /** Wall time inside the service for this request. */
+    double service_seconds = 0.0;
+};
+
+/** Monotonic counters + latency snapshot. */
+struct ServiceStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t exact_hits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t cold_misses = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t generations_saved = 0;
+    /** Tasks admitted but not yet started. */
+    std::size_t queue_depth = 0;
+    /** Requests admitted and not yet answered. */
+    std::size_t in_flight = 0;
+    std::size_t cache_size = 0;
+    double p50_service_seconds = 0.0;
+    double p95_service_seconds = 0.0;
+};
+
+/** In-process strategy-generation service. */
+class StrategyService
+{
+  public:
+    explicit StrategyService(ServiceOptions options);
+    /** Completes all admitted requests, then joins the workers. */
+    ~StrategyService();
+
+    StrategyService(const StrategyService &) = delete;
+    StrategyService &operator=(const StrategyService &) = delete;
+
+    /**
+     * Admit a request, blocking while the service is at admission
+     * capacity.  The future carries the response or the pipeline's
+     * exception.
+     */
+    std::future<StrategyResponse> submit(StrategyRequest request);
+
+    /** Non-blocking admission; nullopt (and `rejected`++) when full. */
+    std::optional<std::future<StrategyResponse>>
+    trySubmit(StrategyRequest request);
+
+    ServiceStats stats() const;
+
+    const ServiceOptions &options() const { return options_; }
+
+  private:
+    std::future<StrategyResponse> dispatch(StrategyRequest request);
+    StrategyResponse process(const StrategyRequest &request);
+    StrategyResponse computeFresh(const StrategyRequest &request,
+                                  const Fingerprint &fingerprint);
+    void recordLatency(double seconds);
+
+    ServiceOptions options_;
+    StrategyCache cache_;
+
+    // Admission accounting.
+    mutable std::mutex admission_mutex_;
+    std::condition_variable admission_open_;
+    std::size_t admitted_ = 0;
+
+    // Identical in-flight requests coalesce onto one computation.
+    std::mutex inflight_mutex_;
+    std::unordered_map<std::uint64_t, std::shared_future<StrategyResponse>>
+        inflight_;
+
+    // Metrics.
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> exact_hits_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> warm_hits_{0};
+    std::atomic<std::uint64_t> cold_misses_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> generations_saved_{0};
+    mutable std::mutex latency_mutex_;
+    std::vector<double> latencies_;
+
+    /** Last member: destroyed (joined) first, while the rest live. */
+    ThreadPool pool_;
+};
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_SERVICE_H

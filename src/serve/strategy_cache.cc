@@ -1,0 +1,84 @@
+#include "serve/strategy_cache.h"
+
+#include <stdexcept>
+
+namespace opdvfs::serve {
+
+StrategyCache::StrategyCache(const Options &options)
+    : shards_(options.shards == 0 ? 1 : options.shards)
+{
+    if (options.capacity == 0)
+        throw std::invalid_argument("StrategyCache: zero capacity");
+    per_shard_capacity_ =
+        (options.capacity + shards_.size() - 1) / shards_.size();
+}
+
+StrategyCache::Shard &
+StrategyCache::shardFor(std::uint64_t digest)
+{
+    // The digest is FNV-mixed already; its low bits partition well.
+    return shards_[digest % shards_.size()];
+}
+
+std::optional<CacheEntry>
+StrategyCache::findExact(std::uint64_t digest)
+{
+    Shard &shard = shardFor(digest);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto found = shard.by_digest.find(digest);
+    if (found == shard.by_digest.end())
+        return std::nullopt;
+    shard.entries.splice(shard.entries.begin(), shard.entries,
+                         found->second);
+    return *found->second;
+}
+
+std::optional<SimilarHit>
+StrategyCache::findSimilar(const Fingerprint &probe, double min_similarity)
+{
+    std::optional<SimilarHit> best;
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const CacheEntry &entry : shard.entries) {
+            double similarity =
+                fingerprintSimilarity(probe, entry.fingerprint);
+            if (similarity < min_similarity)
+                continue;
+            if (!best || similarity > best->similarity)
+                best = SimilarHit{entry, similarity};
+        }
+    }
+    return best;
+}
+
+void
+StrategyCache::insert(CacheEntry entry)
+{
+    Shard &shard = shardFor(entry.fingerprint.digest);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto found = shard.by_digest.find(entry.fingerprint.digest);
+    if (found != shard.by_digest.end()) {
+        shard.entries.erase(found->second);
+        shard.by_digest.erase(found);
+    }
+    shard.entries.push_front(std::move(entry));
+    shard.by_digest[shard.entries.front().fingerprint.digest] =
+        shard.entries.begin();
+    while (shard.entries.size() > per_shard_capacity_) {
+        shard.by_digest.erase(shard.entries.back().fingerprint.digest);
+        shard.entries.pop_back();
+    }
+}
+
+std::size_t
+StrategyCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+} // namespace opdvfs::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Sharded LRU cache of generated DVFS strategies.
+ *
+ * Exact lookups key on the fingerprint digest and touch only one
+ * shard (digest-partitioned, one mutex per shard, so concurrent
+ * workers rarely contend).  Similarity lookups scan all shards for the
+ * entry whose feature vector is closest to the probe — the warm-start
+ * donor search; with production-scale capacities (hundreds of
+ * entries) the scan is a few microseconds, far below one GA
+ * generation.
+ */
+
+#ifndef OPDVFS_SERVE_STRATEGY_CACHE_H
+#define OPDVFS_SERVE_STRATEGY_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/genetic.h"
+#include "dvfs/strategy_io.h"
+#include "serve/fingerprint.h"
+
+namespace opdvfs::serve {
+
+/** One cached optimisation result. */
+struct CacheEntry
+{
+    Fingerprint fingerprint;
+    /** The generated strategy (stages, per-stage MHz, SetFreq plan). */
+    dvfs::Strategy strategy;
+    /** Full search output; `best_mhz` seeds warm starts. */
+    dvfs::GaResult ga;
+    /** The loss target the strategy was generated for. */
+    double perf_loss_target = 0.0;
+};
+
+/** A similarity lookup hit. */
+struct SimilarHit
+{
+    CacheEntry entry;
+    double similarity = 0.0;
+};
+
+/** Thread-safe sharded LRU over fingerprint digests. */
+class StrategyCache
+{
+  public:
+    struct Options
+    {
+        /** Total entries across all shards. */
+        std::size_t capacity = 256;
+        /** Digest-partitioned shards (>= 1; each holds cap/shards). */
+        std::size_t shards = 8;
+    };
+
+    explicit StrategyCache(const Options &options);
+
+    /** Exact hit by digest; refreshes LRU recency. */
+    std::optional<CacheEntry> findExact(std::uint64_t digest);
+
+    /**
+     * Best entry by feature similarity to @p probe, if any reaches
+     * @p min_similarity.  Does not refresh recency (a donor is not a
+     * use of the entry's own workload).
+     */
+    std::optional<SimilarHit> findSimilar(const Fingerprint &probe,
+                                          double min_similarity);
+
+    /** Insert or overwrite; evicts the shard's LRU entry when full. */
+    void insert(CacheEntry entry);
+
+    /** Current entry count across shards. */
+    std::size_t size() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Most-recently-used first. */
+        std::list<CacheEntry> entries;
+        std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator>
+            by_digest;
+    };
+
+    Shard &shardFor(std::uint64_t digest);
+
+    std::size_t per_shard_capacity_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_STRATEGY_CACHE_H

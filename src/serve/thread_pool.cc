@@ -1,0 +1,135 @@
+#include "serve/thread_pool.h"
+
+#include <atomic>
+
+namespace opdvfs::serve {
+
+/**
+ * Shared state of one parallelFor call.  Participants claim indices
+ * from `next` until exhausted; `done` counts completed indices so the
+ * caller can wait for stragglers claimed by pool workers.
+ */
+struct ThreadPool::ForLoop
+{
+    const std::function<void(std::size_t)> &fn;
+    std::size_t count;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr error;
+
+    explicit ForLoop(const std::function<void(std::size_t)> &f,
+                     std::size_t n)
+        : fn(f), count(n)
+    {}
+
+    /** Claim and run indices until none remain. */
+    void
+    drain()
+    {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                if (!failed.load(std::memory_order_acquire))
+                    fn(i); // best-effort skip after a failure
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!failed.exchange(true, std::memory_order_acq_rel))
+                    error = std::current_exception();
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+                std::lock_guard<std::mutex> lock(mutex);
+                finished.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    workers_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    auto loop = std::make_shared<ForLoop>(fn, count);
+
+    // Helpers are pure accelerators: each drains whatever indices are
+    // left when it gets scheduled and returns immediately otherwise,
+    // so completion never depends on a pool thread being free.
+    std::size_t helpers = std::min(workers_.size(), count - 1);
+    for (std::size_t h = 0; h < helpers; ++h)
+        submit([loop] { loop->drain(); });
+
+    loop->drain();
+
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->finished.wait(lock, [&loop] {
+        return loop->done.load(std::memory_order_acquire) >= loop->count;
+    });
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+void
+ThreadPool::workerMain()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace opdvfs::serve

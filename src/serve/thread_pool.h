@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A fixed-size worker pool for the strategy service.
+ *
+ * Two entry points:
+ *
+ *  - submit(): enqueue an independent task (one strategy request).
+ *  - parallelFor(): data-parallel index loop.  The *calling* thread
+ *    participates and the loop completes even if every pool thread is
+ *    busy — pool workers only accelerate it.  That property lets GA
+ *    fitness evaluation run on the same pool that runs the requests
+ *    without any risk of starvation deadlock (a request executing on
+ *    the pool can safely issue nested parallelFor calls).
+ *
+ * Determinism: parallelFor assigns work by index into caller-owned
+ * storage; it guarantees every index runs exactly once but not in any
+ * particular order or thread, so callers must keep per-index work
+ * independent (the GA scores into a vector by index and reduces
+ * serially afterwards).
+ */
+
+#ifndef OPDVFS_SERVE_THREAD_POOL_H
+#define OPDVFS_SERVE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opdvfs::serve {
+
+/** Fixed-size task pool; joins on destruction. */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (0 is allowed: everything runs inline
+     *  in the calling thread). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains nothing: pending tasks still run, then workers join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue one task.  With zero workers the task runs inline
+     * before submit returns.
+     */
+    void submit(std::function<void()> task);
+
+    /** Tasks enqueued but not yet started. */
+    std::size_t queueDepth() const;
+
+    /**
+     * Run fn(0) .. fn(count - 1), each exactly once, distributing
+     * indices over the pool *and* the calling thread; returns when all
+     * have completed.  The first exception thrown by any index is
+     * rethrown in the caller (remaining indices are still claimed and
+     * skipped).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct ForLoop;
+
+    void workerMain();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> tasks_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_THREAD_POOL_H

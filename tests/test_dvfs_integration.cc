@@ -192,6 +192,81 @@ TEST(GeneticSearch, DeterministicBySeed)
     EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
 }
 
+TEST(GeneticSearch, ParallelFitnessMatchesSerialBitExactly)
+{
+    // The determinism contract behind service-side parallel scoring:
+    // evaluation order must not affect selection, so any parallel_for
+    // (even a reversed one) reproduces the serial search exactly.
+    Harness &h = harness();
+    power::PowerModel pm = h.powerModel();
+    StageEvaluator evaluator(h.prep.stages, h.perf_repo, pm, h.op_power,
+                             h.table);
+    GaOptions options;
+    options.population = 30;
+    options.generations = 20;
+    options.seed = 5;
+    GaResult serial = searchStrategy(evaluator, h.prep.stages, options);
+
+    GaOptions reversed = options;
+    reversed.parallel_for = [](std::size_t count,
+                               const std::function<void(std::size_t)> &fn) {
+        for (std::size_t i = count; i-- > 0;)
+            fn(i);
+    };
+    GaResult backwards = searchStrategy(evaluator, h.prep.stages, reversed);
+    EXPECT_EQ(backwards.best_genome, serial.best_genome);
+    EXPECT_DOUBLE_EQ(backwards.best_score, serial.best_score);
+    EXPECT_EQ(backwards.score_history, serial.score_history);
+    EXPECT_EQ(backwards.converged_at, serial.converged_at);
+}
+
+TEST(GeneticSearch, PriorIndividualSeedsThePopulation)
+{
+    // A warm-start prior at least as good as the cold search's answer
+    // must never be lost: elitism keeps it, so the warm result scores
+    // no worse from generation zero.
+    Harness &h = harness();
+    power::PowerModel pm = h.powerModel();
+    StageEvaluator evaluator(h.prep.stages, h.perf_repo, pm, h.op_power,
+                             h.table);
+    GaOptions cold;
+    cold.population = 30;
+    cold.generations = 20;
+    cold.seed = 5;
+    GaResult donor = searchStrategy(evaluator, h.prep.stages, cold);
+
+    GaOptions warm = cold;
+    warm.generations = 4;
+    warm.prior_individuals.push_back(donor.best_mhz);
+    GaResult warmed = searchStrategy(evaluator, h.prep.stages, warm);
+    EXPECT_GE(warmed.best_score, donor.pre_refine_score * (1.0 - 1e-12));
+    // ...and at a fraction of the cold budget.
+    ASSERT_EQ(warmed.score_history.size(), 4u);
+    EXPECT_GE(warmed.score_history.front(),
+              donor.pre_refine_score * (1.0 - 1e-12));
+}
+
+TEST(GeneticSearch, PriorWithDifferentStageCountIsResampled)
+{
+    Harness &h = harness();
+    power::PowerModel pm = h.powerModel();
+    StageEvaluator evaluator(h.prep.stages, h.perf_repo, pm, h.op_power,
+                             h.table);
+    GaOptions options;
+    options.population = 20;
+    options.generations = 4;
+    // A short prior (e.g. from a donor workload with fewer stages)
+    // stretches across the genome instead of being rejected.
+    options.prior_individuals.push_back({1000.0, 1800.0});
+    GaResult result = searchStrategy(evaluator, h.prep.stages, options);
+    EXPECT_FALSE(result.best_mhz.empty());
+
+    GaOptions empty_prior = options;
+    empty_prior.prior_individuals = {{}};
+    EXPECT_THROW(searchStrategy(evaluator, h.prep.stages, empty_prior),
+                 std::invalid_argument);
+}
+
 TEST(GeneticSearch, TighterTargetAllowsLessSlowdown)
 {
     Harness &h = harness();

@@ -58,6 +58,64 @@ TEST(StrategyIo, RoundTripPreservesEverything)
     EXPECT_EQ(loaded.triggerCount(), 3u);
 }
 
+TEST(StrategyIo, MetaRoundTripPreservesScoreAndProvenance)
+{
+    Strategy original = sampleStrategy();
+    StrategyMeta meta;
+    meta.score = 3.25e-16;
+    meta.pre_refine_score = 3.1e-16;
+    meta.converged_at = 37;
+    meta.generations = 60;
+    meta.provenance = "warm-start";
+    meta.fingerprint = 0xdeadbeefcafe1234ULL;
+    original.meta = meta;
+
+    std::stringstream buffer;
+    saveStrategy(original, buffer);
+    Strategy loaded = loadStrategy(buffer);
+
+    ASSERT_TRUE(loaded.meta.has_value());
+    EXPECT_DOUBLE_EQ(loaded.meta->score, meta.score);
+    EXPECT_DOUBLE_EQ(loaded.meta->pre_refine_score,
+                     meta.pre_refine_score);
+    EXPECT_EQ(loaded.meta->converged_at, meta.converged_at);
+    EXPECT_EQ(loaded.meta->generations, meta.generations);
+    EXPECT_EQ(loaded.meta->provenance, meta.provenance);
+    EXPECT_EQ(loaded.meta->fingerprint, meta.fingerprint);
+}
+
+TEST(StrategyIo, MetaIsOptionalAndAbsentStaysAbsent)
+{
+    Strategy original = sampleStrategy();
+    ASSERT_FALSE(original.meta.has_value());
+    std::stringstream buffer;
+    saveStrategy(original, buffer);
+    EXPECT_EQ(buffer.str().find("meta"), std::string::npos);
+    Strategy loaded = loadStrategy(buffer);
+    EXPECT_FALSE(loaded.meta.has_value());
+}
+
+TEST(StrategyIo, MalformedMetaRecordsThrow)
+{
+    for (const char *bad :
+         {"strategy v1\nmeta score nan 1 2 3\n",
+          "strategy v1\nmeta score 1e-16 1e-16 -2 60\n",
+          "strategy v1\nmeta score 1e-16\n",
+          "strategy v1\nmeta provenance\n",
+          "strategy v1\nmeta provenance cold zz-not-hex\n",
+          "strategy v1\nmeta bogus 1\n"}) {
+        std::stringstream buffer(bad);
+        EXPECT_THROW(loadStrategy(buffer), std::invalid_argument) << bad;
+    }
+    // Provenance tokens with whitespace can't survive the line format.
+    Strategy strategy = sampleStrategy();
+    StrategyMeta meta;
+    meta.provenance = "two words";
+    strategy.meta = meta;
+    std::stringstream buffer;
+    EXPECT_THROW(saveStrategy(strategy, buffer), std::invalid_argument);
+}
+
 TEST(StrategyIo, CommentsAndBlankLinesIgnored)
 {
     std::stringstream buffer;

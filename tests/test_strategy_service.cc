@@ -1,0 +1,256 @@
+/**
+ * StrategyService integration tests: cold path, exact cache hits,
+ * coalescing of identical racing requests, warm starts from similar
+ * cached strategies, per-request determinism across worker counts
+ * (seed-forwarding audit), bounded admission, and stats accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "dvfs/strategy_io.h"
+#include "models/transformer.h"
+#include "power/offline_calibration.h"
+#include "serve/service.h"
+
+namespace opdvfs::serve {
+namespace {
+
+models::Workload
+testWorkload(int seq)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "serve-test";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = seq;
+    return models::buildTransformerTraining(memory, model, 5);
+}
+
+/** Small but real pipeline configuration shared by every test. */
+ServiceOptions
+baseOptions(std::size_t workers)
+{
+    ServiceOptions options;
+    options.pipeline.warmup_seconds = 2.0;
+    options.pipeline.profile_freqs_mhz = {1000.0, 1800.0};
+    options.pipeline.ga.population = 30;
+    options.pipeline.ga.generations = 24;
+    options.pipeline.ga.refine_sweeps = 2;
+    options.workers = workers;
+    options.cache.capacity = 32;
+    options.cache.shards = 4;
+    return options;
+}
+
+/** The offline calibration, shared so each service start is cheap. */
+const power::CalibratedConstants &
+constants()
+{
+    static const power::CalibratedConstants value =
+        power::calibrateOffline(npu::NpuConfig{});
+    return value;
+}
+
+ServiceOptions
+fastOptions(std::size_t workers)
+{
+    ServiceOptions options = baseOptions(workers);
+    options.pipeline.constants = constants();
+    return options;
+}
+
+TEST(StrategyService, ColdThenExactHit)
+{
+    StrategyService service(fastOptions(2));
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.seed = 3;
+
+    StrategyResponse cold = service.submit(request).get();
+    EXPECT_EQ(cold.provenance, Provenance::Cold);
+    EXPECT_FALSE(cold.strategy.mhz_per_stage.empty());
+    ASSERT_TRUE(cold.strategy.meta.has_value());
+    EXPECT_EQ(cold.strategy.meta->provenance, "cold");
+    EXPECT_EQ(cold.strategy.meta->fingerprint, cold.fingerprint.digest);
+    EXPECT_GT(cold.strategy.meta->score, 0.0);
+    EXPECT_EQ(cold.generations_run, 24);
+    EXPECT_EQ(cold.generations_saved, 0);
+
+    StrategyResponse hit = service.submit(request).get();
+    EXPECT_EQ(hit.provenance, Provenance::ExactHit);
+    EXPECT_EQ(hit.strategy.mhz_per_stage, cold.strategy.mhz_per_stage);
+    EXPECT_EQ(hit.ga.best_genome, cold.ga.best_genome);
+    EXPECT_DOUBLE_EQ(hit.ga.best_score, cold.ga.best_score);
+    EXPECT_EQ(hit.generations_saved, 24);
+    ASSERT_TRUE(hit.strategy.meta.has_value());
+    EXPECT_EQ(hit.strategy.meta->provenance, "exact-hit");
+    // The hit skips profiling and search entirely.
+    EXPECT_LT(hit.service_seconds, cold.service_seconds);
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.exact_hits, 1u);
+    EXPECT_EQ(stats.cold_misses, 1u);
+    EXPECT_EQ(stats.cache_size, 1u);
+    EXPECT_EQ(stats.generations_saved, 24u);
+    EXPECT_GT(stats.p95_service_seconds, 0.0);
+}
+
+TEST(StrategyService, IdenticalRacingRequestsYieldIdenticalStrategies)
+{
+    // The seed-forwarding audit: the same request + seed must come
+    // back bit-identical no matter which worker runs it or how the
+    // two requests interleave (here: coalesced, cache-answered, or
+    // independently recomputed are all acceptable mechanisms).
+    StrategyService service(fastOptions(4));
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.seed = 11;
+
+    auto first = service.submit(request);
+    auto second = service.submit(request);
+    StrategyResponse a = first.get();
+    StrategyResponse b = second.get();
+
+    EXPECT_EQ(a.ga.best_genome, b.ga.best_genome);
+    EXPECT_DOUBLE_EQ(a.ga.best_score, b.ga.best_score);
+    EXPECT_EQ(a.strategy.mhz_per_stage, b.strategy.mhz_per_stage);
+    ASSERT_EQ(a.strategy.plan.triggers.size(),
+              b.strategy.plan.triggers.size());
+    for (std::size_t t = 0; t < a.strategy.plan.triggers.size(); ++t) {
+        EXPECT_EQ(a.strategy.plan.triggers[t].after_op_index,
+                  b.strategy.plan.triggers[t].after_op_index);
+        EXPECT_DOUBLE_EQ(a.strategy.plan.triggers[t].mhz,
+                         b.strategy.plan.triggers[t].mhz);
+    }
+    // Exactly one computed cold; the other came from coalescing or
+    // the cache.
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cold_misses, 1u);
+    EXPECT_EQ(stats.exact_hits + stats.coalesced, 1u);
+}
+
+TEST(StrategyService, DeterministicAcrossWorkerCountsAndCachePolicies)
+{
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.seed = 7;
+    request.use_cache = false; // force a full cold search every time
+
+    ServiceOptions serial = fastOptions(1);
+    serial.parallel_fitness = false;
+    StrategyResponse reference =
+        StrategyService(serial).submit(request).get();
+
+    StrategyResponse parallel =
+        StrategyService(fastOptions(4)).submit(request).get();
+
+    EXPECT_EQ(parallel.ga.best_genome, reference.ga.best_genome);
+    EXPECT_DOUBLE_EQ(parallel.ga.best_score, reference.ga.best_score);
+    EXPECT_EQ(parallel.strategy.mhz_per_stage,
+              reference.strategy.mhz_per_stage);
+    EXPECT_EQ(parallel.provenance, Provenance::Cold);
+}
+
+TEST(StrategyService, WarmStartFromSimilarWorkload)
+{
+    ServiceOptions options = fastOptions(2);
+    options.warm_generation_fraction = 1.0 / 3.0;
+    StrategyService service(options);
+
+    StrategyRequest donor;
+    donor.workload = testWorkload(256);
+    donor.seed = 3;
+    StrategyResponse cold = service.submit(donor).get();
+    ASSERT_EQ(cold.provenance, Provenance::Cold);
+
+    // Same model family, slightly longer sequence: near-identical
+    // features, different digest.
+    StrategyRequest similar;
+    similar.workload = testWorkload(288);
+    similar.seed = 3;
+    StrategyResponse warm = service.submit(similar).get();
+    EXPECT_EQ(warm.provenance, Provenance::WarmStart);
+    EXPECT_GT(warm.similarity, 0.85);
+    EXPECT_EQ(warm.generations_run, 8); // 24 / 3
+    EXPECT_EQ(warm.generations_saved, 16);
+    ASSERT_TRUE(warm.strategy.meta.has_value());
+    EXPECT_EQ(warm.strategy.meta->provenance, "warm-start");
+
+    // The warm-started search must still produce a winning strategy
+    // for *its* workload: compare against a full-budget cold run.
+    StrategyRequest cold_similar = similar;
+    cold_similar.use_cache = false;
+    StrategyResponse full = service.submit(cold_similar).get();
+    ASSERT_EQ(full.provenance, Provenance::Cold);
+    EXPECT_GT(warm.ga.best_score, 0.95 * full.ga.best_score);
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.warm_hits, 1u);
+    EXPECT_EQ(stats.generations_saved, 16u);
+}
+
+TEST(StrategyService, WarmStartCanBeDisabledPerRequest)
+{
+    StrategyService service(fastOptions(2));
+    StrategyRequest donor;
+    donor.workload = testWorkload(256);
+    service.submit(donor).get();
+
+    StrategyRequest similar;
+    similar.workload = testWorkload(288);
+    similar.allow_warm_start = false;
+    StrategyResponse response = service.submit(similar).get();
+    EXPECT_EQ(response.provenance, Provenance::Cold);
+    EXPECT_EQ(response.generations_run, 24);
+}
+
+TEST(StrategyService, TrySubmitRejectsAtAdmissionCapacity)
+{
+    ServiceOptions options = fastOptions(1);
+    options.admission_capacity = 1;
+    StrategyService service(options);
+
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.use_cache = false;
+
+    auto admitted = service.trySubmit(request);
+    ASSERT_TRUE(admitted.has_value());
+    // The single slot is taken until the pipeline finishes (hundreds
+    // of milliseconds); an immediate second try must bounce.
+    auto bounced = service.trySubmit(request);
+    EXPECT_FALSE(bounced.has_value());
+    EXPECT_EQ(service.stats().rejected, 1u);
+    admitted->get();
+    // Capacity freed: the next try is admitted again.
+    auto retried = service.trySubmit(request);
+    ASSERT_TRUE(retried.has_value());
+    retried->get();
+}
+
+TEST(StrategyService, ResponseStrategyRoundTripsWithMeta)
+{
+    StrategyService service(fastOptions(2));
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    StrategyResponse response = service.submit(request).get();
+
+    std::stringstream buffer;
+    dvfs::saveStrategy(response.strategy, buffer);
+    dvfs::Strategy loaded = dvfs::loadStrategy(buffer);
+    ASSERT_TRUE(loaded.meta.has_value());
+    EXPECT_DOUBLE_EQ(loaded.meta->score, response.strategy.meta->score);
+    EXPECT_EQ(loaded.meta->provenance, "cold");
+    EXPECT_EQ(loaded.meta->fingerprint, response.fingerprint.digest);
+    EXPECT_EQ(loaded.mhz_per_stage, response.strategy.mhz_per_stage);
+}
+
+} // namespace
+} // namespace opdvfs::serve
