@@ -11,7 +11,11 @@
 #ifndef OPDVFS_BENCH_BENCH_COMMON_H
 #define OPDVFS_BENCH_BENCH_COMMON_H
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "dvfs/pipeline.h"
 #include "npu/npu_chip.h"
@@ -62,6 +66,63 @@ banner(const char *experiment, const char *paper_ref)
               << "reproduces: " << paper_ref << "\n"
               << "================================================\n";
 }
+
+/**
+ * Machine-readable bench output: collects (metric, value, unit)
+ * triples and writes `BENCH_<name>.json` next to the binary, so CI
+ * can upload the numbers as an artifact and trend them across runs
+ * without scraping the human-readable tables.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+    void add(const std::string &metric, double value,
+             const std::string &unit)
+    {
+        metrics_.push_back({metric, value, unit});
+    }
+
+    /** Serialise to `BENCH_<name>.json`; prints the path on success. */
+    void write() const
+    {
+        std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "BenchJson: cannot write " << path << "\n";
+            return;
+        }
+        os << toString();
+        std::cout << "\nwrote " << path << "\n";
+    }
+
+    std::string toString() const
+    {
+        std::ostringstream os;
+        os.precision(12);
+        os << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": [\n";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            const Metric &m = metrics_[i];
+            os << "    {\"metric\": \"" << m.name << "\", \"value\": "
+               << m.value << ", \"unit\": \"" << m.unit << "\"}"
+               << (i + 1 < metrics_.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        return os.str();
+    }
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        double value = 0.0;
+        std::string unit;
+    };
+
+    std::string name_;
+    std::vector<Metric> metrics_;
+};
 
 } // namespace opdvfs::bench
 

@@ -174,5 +174,19 @@ main()
               << " generations_saved=" << stats.generations_saved
               << " p50=" << stats.p50_service_seconds << "s"
               << " p95=" << stats.p95_service_seconds << "s\n";
+
+    bench::BenchJson json("serve");
+    json.add("cold_latency", cold.service_seconds, "s");
+    json.add("exact_hit_latency", hit.service_seconds, "s");
+    json.add("exact_hit_fraction_of_cold",
+             hit.service_seconds / cold.service_seconds, "fraction");
+    json.add("warm_score_ratio", warm.ga.best_score / full.ga.best_score,
+             "fraction");
+    json.add("warm_generations",
+             static_cast<double>(warm.generations_run), "count");
+    json.add("batch8_1worker", one_worker, "s");
+    json.add("batch8_4workers", four_workers, "s");
+    json.add("worker_speedup", one_worker / four_workers, "x");
+    json.write();
     return 0;
 }

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The closed drift-recovery loop: run a DVFS strategy iteration after
+ * iteration on one (possibly aging) chip, score every iteration's
+ * residuals against the models that produced the strategy, and when
+ * the watchdog confirms a drift:
+ *
+ *   1. hold the chip at the safe maximum frequency (DvfsGuard),
+ *   2. refit the implicated coefficients (Recalibrator),
+ *   3. apply the patch to the perf models and rebase the guard's
+ *      baseline,
+ *   4. optionally regenerate the strategy on the patched models
+ *      (caller-supplied callback — typically a GA re-search),
+ *   5. advance the model epoch and resume monitoring.
+ *
+ * Without the watchdog this degrades to the PR-1 behaviour: the guard
+ * sees a stale baseline, falls back to the maximum frequency and the
+ * strategy's energy savings are forfeited for as long as the drift
+ * persists — which is exactly what bench_drift_recovery measures.
+ */
+
+#ifndef OPDVFS_CALIB_DRIFT_LOOP_H
+#define OPDVFS_CALIB_DRIFT_LOOP_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "calib/recalibrator.h"
+#include "calib/residual_tracker.h"
+#include "calib/watchdog.h"
+#include "dvfs/guard.h"
+#include "models/workload.h"
+#include "npu/npu_chip.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+#include "trace/workload_runner.h"
+
+namespace opdvfs::calib {
+
+/** What a strategy-regeneration callback hands back. */
+struct RegeneratedStrategy
+{
+    std::vector<trace::SetFreqTrigger> triggers;
+    /**
+     * Expected iteration time of the regenerated strategy; when unset
+     * the guard rebases onto the patched prediction of the old
+     * baseline (initial baseline x global duration scale).
+     */
+    std::optional<double> baseline_seconds;
+    /**
+     * Frequency the regenerated strategy starts its cycle at; when
+     * unset the previous strategy frequency is kept.  Re-asserted
+     * whenever the strategy resumes after a fallback or safe hold, so
+     * trigger-less (constant-pin) strategies survive a guard trip.
+     */
+    std::optional<double> initial_mhz;
+};
+
+/** Drift-loop tuning. */
+struct DriftLoopOptions
+{
+    dvfs::GuardOptions guard;
+    trace::RunOptions run;
+    /** Measured iterations (after warm-up). */
+    int iterations = 24;
+    TrackerOptions tracker;
+    RecalibratorOptions recalibrator;
+    WatchdogOptions watchdog;
+    /** Master switch; off = PR-1 guard-only behaviour. */
+    bool watchdog_enabled = true;
+    /** Safe-frequency hold length while models are swapped. */
+    int hold_iterations = 1;
+    /** Called after every applied recalibration (epoch advance). */
+    std::function<void(const ModelPatch &)> on_recalibrated;
+    /** Re-search the strategy on the patched models. */
+    std::function<RegeneratedStrategy(const ModelPatch &)> regenerate;
+};
+
+/** One measured iteration of the drift loop. */
+struct DriftIteration
+{
+    double seconds = 0.0;
+    /** Relative loss vs the guard's (possibly rebased) baseline. */
+    double loss = 0.0;
+    double aicore_joules = 0.0;
+    double soc_joules = 0.0;
+    bool strategy_active = true;
+    dvfs::GuardState guard_state = dvfs::GuardState::Monitoring;
+    WatchdogState watchdog_state = WatchdogState::Steady;
+    DriftVerdict verdict;
+    /** A recalibration was applied at the end of this iteration. */
+    bool recalibrated = false;
+    /** Mean |relative| duration residual across scored operators. */
+    double mean_abs_time_residual = 0.0;
+    /** Mean |relative| AICore power residual across aligned samples. */
+    double mean_abs_power_residual = 0.0;
+    /**
+     * Signed residual means — the systematic model bias.  These are
+     * what drift moves and recalibration must pull back; the absolute
+     * means above additionally carry irreducible per-sample scatter
+     * (op misattribution at sampling boundaries, noise).
+     */
+    double mean_time_residual = 0.0;
+    double mean_power_residual = 0.0;
+    /** Temperature bias vs the (patched) Eq. 15 equilibrium, Celsius. */
+    double mean_thermal_residual = 0.0;
+};
+
+/** Everything the drift loop measured. */
+struct DriftLoopResult
+{
+    std::vector<DriftIteration> iterations;
+    dvfs::GuardStats guard;
+    WatchdogStats watchdog;
+    npu::FaultCounters faults;
+    /** Cumulative patch at loop exit. */
+    ModelPatch patch;
+    /** Guard baseline at loop exit (rebased by recalibrations). */
+    double final_baseline_seconds = 0.0;
+
+    std::uint64_t recalibrations() const
+    {
+        return watchdog.recalibrations;
+    }
+};
+
+/**
+ * Run @p workload for `options.iterations` measured iterations on one
+ * persistent chip built from @p chip_config (faults and drift
+ * included), applying @p triggers while the guard allows, and running
+ * the watchdog/recalibration machinery on the supplied models.
+ * @p perf_models is taken by value: recalibrations mutate the copy.
+ * @p baseline_seconds is the model-predicted iteration time the guard
+ * starts from.
+ */
+DriftLoopResult
+runDriftLoop(const npu::NpuConfig &chip_config,
+             const models::Workload &workload,
+             perf::PerfModelRepository perf_models,
+             const power::PowerModel &power_model,
+             const std::unordered_map<std::uint64_t, power::OpPowerModel>
+                 &op_power,
+             std::vector<trace::SetFreqTrigger> triggers,
+             double baseline_seconds, const DriftLoopOptions &options);
+
+} // namespace opdvfs::calib
+
+#endif // OPDVFS_CALIB_DRIFT_LOOP_H

@@ -1,0 +1,299 @@
+#include "calib/recalibrator.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.h"
+#include "math/curve_fit.h"
+#include "math/linear_solve.h"
+
+namespace opdvfs::calib {
+
+namespace {
+
+/**
+ * Fit the one-parameter model y = m * x with math::curveFit, bounded
+ * away from zero so a degenerate window cannot produce a negative or
+ * vanishing duration scale.
+ */
+double
+fitScale(const std::vector<double> &x, const std::vector<double> &y)
+{
+    math::CurveFitOptions options;
+    options.lower_bounds = {0.05};
+    options.upper_bounds = {20.0};
+    math::CurveFitResult result = math::curveFit(
+        [](double xi, const std::vector<double> &params) {
+            return params[0] * xi;
+        },
+        x, y, {1.0}, options);
+    return result.params[0];
+}
+
+bool
+usableScale(double scale)
+{
+    return std::isfinite(scale) && scale > 0.0;
+}
+
+template <typename T>
+void
+pushBounded(std::deque<T> &window, const T &observation,
+            std::size_t capacity)
+{
+    window.push_back(observation);
+    while (window.size() > capacity)
+        window.pop_front();
+}
+
+} // namespace
+
+Recalibrator::Recalibrator(const RecalibratorOptions &options)
+    : options_(options)
+{
+    if (options_.window < 2)
+        throw std::invalid_argument("Recalibrator: window must be >= 2");
+}
+
+void
+Recalibrator::addTime(const TimeObservation &observation)
+{
+    if (!std::isfinite(observation.predicted_s)
+        || !std::isfinite(observation.measured_s)
+        || observation.predicted_s <= 0.0
+        || observation.measured_s <= 0.0)
+        return;
+    pushBounded(time_, observation, options_.window);
+}
+
+void
+Recalibrator::addPower(const PowerObservation &observation)
+{
+    if (!std::isfinite(observation.predicted_dynamic_w)
+        || !std::isfinite(observation.predicted_rest_w)
+        || !std::isfinite(observation.measured_w)
+        || observation.predicted_dynamic_w <= 0.0)
+        return;
+    pushBounded(power_, observation, options_.window);
+}
+
+void
+Recalibrator::addThermal(const ThermalObservation &observation)
+{
+    if (!std::isfinite(observation.soc_watts)
+        || !std::isfinite(observation.temperature_c))
+        return;
+    pushBounded(thermal_, observation, options_.window);
+}
+
+bool
+Recalibrator::refitTime()
+{
+    if (time_.size() < options_.min_time_samples)
+        return false;
+
+    // Group the window by op type; types with enough of their own
+    // samples get an individual scale, the rest share the global one.
+    std::unordered_map<std::string,
+                       std::pair<std::vector<double>, std::vector<double>>>
+        by_type;
+    std::vector<double> all_x, all_y;
+    all_x.reserve(time_.size());
+    all_y.reserve(time_.size());
+    for (const auto &obs : time_) {
+        auto &[xs, ys] = by_type[obs.type];
+        xs.push_back(obs.predicted_s);
+        ys.push_back(obs.measured_s);
+        all_x.push_back(obs.predicted_s);
+        all_y.push_back(obs.measured_s);
+    }
+
+    double global_increment = fitScale(all_x, all_y);
+    if (!usableScale(global_increment))
+        return false;
+
+    // Per-type absolute scales compose the increment onto whatever
+    // scale produced the (patched) predictions in the window.
+    for (const auto &[type, samples] : by_type) {
+        const auto &[xs, ys] = samples;
+        if (xs.size() < options_.min_time_samples_per_type)
+            continue;
+        double increment = fitScale(xs, ys);
+        if (!usableScale(increment))
+            continue;
+        patch_.time_scale_by_type[type] =
+            patch_.timeScaleFor(type) * increment;
+    }
+    patch_.time_scale_global *= global_increment;
+    return true;
+}
+
+bool
+Recalibrator::refitPower()
+{
+    if (power_.size() < options_.min_power_samples)
+        return false;
+
+    // measured - rest ~= m * dynamic + b  ->  scale increment m,
+    // static-bias increment b.
+    math::Matrix a(power_.size(), 2);
+    std::vector<double> b(power_.size());
+    for (std::size_t i = 0; i < power_.size(); ++i) {
+        a(i, 0) = power_[i].predicted_dynamic_w;
+        a(i, 1) = 1.0;
+        b[i] = power_[i].measured_w - power_[i].predicted_rest_w;
+    }
+
+    double scale_increment = 1.0;
+    double bias_increment = 0.0;
+    try {
+        std::vector<double> fit = math::leastSquares(a, b);
+        scale_increment = fit[0];
+        bias_increment = fit[1];
+    } catch (const std::runtime_error &) {
+        // Degenerate window (e.g. one frequency point only): fall
+        // back to a pure scale, which is always well conditioned.
+        double num = 0.0, den = 0.0;
+        for (std::size_t i = 0; i < power_.size(); ++i) {
+            num += a(i, 0) * b[i];
+            den += a(i, 0) * a(i, 0);
+        }
+        if (den <= 0.0)
+            return false;
+        scale_increment = num / den;
+    }
+    if (!usableScale(scale_increment) || !std::isfinite(bias_increment))
+        return false;
+
+    patch_.power_dynamic_scale *= scale_increment;
+    patch_.power_static_bias_w += bias_increment;
+    return true;
+}
+
+bool
+Recalibrator::refitThermal()
+{
+    if (thermal_.size() < options_.min_thermal_samples)
+        return false;
+
+    // T ~= ambient + k * P_soc (Eq. 15), absolute refit: the window
+    // stores raw measurements, not residuals.
+    math::Matrix a(thermal_.size(), 2);
+    std::vector<double> b(thermal_.size());
+    for (std::size_t i = 0; i < thermal_.size(); ++i) {
+        a(i, 0) = thermal_[i].soc_watts;
+        a(i, 1) = 1.0;
+        b[i] = thermal_[i].temperature_c;
+    }
+    std::vector<double> fit;
+    try {
+        fit = math::leastSquares(a, b);
+    } catch (const std::runtime_error &) {
+        return false;
+    }
+    if (!std::isfinite(fit[0]) || !std::isfinite(fit[1]) || fit[0] < 0.0)
+        return false;
+
+    patch_.k_per_watt = fit[0];
+    patch_.ambient_c = fit[1];
+    patch_.thermal_updated = true;
+    return true;
+}
+
+bool
+Recalibrator::recalibrate(const DriftVerdict &verdict)
+{
+    bool changed = false;
+    if (verdict.perf)
+        changed = refitTime() || changed;
+    if (verdict.power)
+        changed = refitPower() || changed;
+    if (verdict.thermal)
+        changed = refitThermal() || changed;
+
+    if (!changed)
+        return false;
+
+    ++patch_.epoch;
+    // The windows were collected against the PREVIOUS patch; after a
+    // refit their predictions are stale, so they must not feed the
+    // next increment.
+    time_.clear();
+    power_.clear();
+    thermal_.clear();
+    return true;
+}
+
+void
+Recalibrator::clearWindows()
+{
+    time_.clear();
+    power_.clear();
+    thermal_.clear();
+}
+
+PatchedPowerPrediction
+predictPatchedAt(const power::PowerModel &model,
+                 const power::OpPowerModel &op, double f_mhz,
+                 const ModelPatch &patch, double delta_t)
+{
+    const power::CalibratedConstants &c = model.constants();
+    double volts = model.table().voltageFor(f_mhz);
+    double fv2 = mhzToHz(f_mhz) * volts * volts;
+
+    double ambient = patch.thermal_updated ? patch.ambient_c : c.ambient_c;
+    double s = patch.power_dynamic_scale;
+    double bias = patch.power_static_bias_w;
+
+    // Aging scales the activity-dependent AND clock-tree dynamic
+    // terms (alpha + beta) f V^2, exactly as the injected capacitance
+    // drift does on the simulated die.
+    PatchedPowerPrediction prediction;
+    prediction.delta_t = delta_t;
+    prediction.temperature_c = ambient + delta_t;
+    prediction.soc_watts = s * (op.alpha_soc + c.beta_soc) * fv2
+        + c.theta_soc * volts + c.gamma_soc * delta_t * volts + bias;
+    prediction.aicore_dynamic_w =
+        s * (op.alpha_aicore + c.beta_aicore) * fv2;
+    prediction.aicore_rest_w = c.theta_aicore * volts
+        + c.gamma_aicore * delta_t * volts + bias;
+    prediction.aicore_watts =
+        prediction.aicore_dynamic_w + prediction.aicore_rest_w;
+    return prediction;
+}
+
+PatchedPowerPrediction
+predictPatched(const power::PowerModel &model,
+               const power::OpPowerModel &op, double f_mhz,
+               const ModelPatch &patch)
+{
+    const power::CalibratedConstants &c = model.constants();
+    double volts = model.table().voltageFor(f_mhz);
+    double fv2 = mhzToHz(f_mhz) * volts * volts;
+
+    double k = patch.thermal_updated ? patch.k_per_watt : c.k_per_watt;
+    double s = patch.power_dynamic_scale;
+    double bias = patch.power_static_bias_w;
+
+    double dyn_soc = (op.alpha_soc + c.beta_soc) * fv2;
+    double static_soc = c.theta_soc * volts;
+
+    double delta_t = 0.0;
+    // Sect. 5.4.2 fix point, same iteration budget and tolerance as
+    // the unpatched PowerModel::predict().
+    for (int iter = 1; iter <= 16; ++iter) {
+        double p_soc = s * dyn_soc + static_soc
+            + c.gamma_soc * delta_t * volts + bias;
+        double next_delta_t = k * p_soc;
+        if (std::abs(next_delta_t - delta_t) < 0.01) {
+            delta_t = next_delta_t;
+            break;
+        }
+        delta_t = next_delta_t;
+    }
+
+    return predictPatchedAt(model, op, f_mhz, patch, delta_t);
+}
+
+} // namespace opdvfs::calib

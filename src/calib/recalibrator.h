@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Online model recalibration driven by the drift watchdog.
+ *
+ * When the residual tracker confirms a drift, the recalibrator refits
+ * ONLY the implicated coefficients from a sliding window of runtime
+ * observations — the full offline/online calibration pass (Fig. 11)
+ * and the profiling sweep stay untouched:
+ *
+ *  - perf drift    -> one multiplicative duration scale per op type
+ *                     (global fallback), reusing math::curveFit;
+ *  - power drift   -> a dynamic-power scale (capacitance aging on the
+ *                     alpha/beta f V^2 terms of Eq. 11) plus a static
+ *                     bias (sensor offset), via math::leastSquares;
+ *  - thermal drift -> the Eq. 15 (k, ambient) pair refit from
+ *                     (P_soc, T) pairs.
+ *
+ * All corrections accumulate in a `ModelPatch`.  Observation windows
+ * store PATCHED predictions, so each refit yields an increment that
+ * composes onto the existing patch — repeated recalibrations converge
+ * instead of re-deriving the same correction from stale residuals.
+ */
+
+#ifndef OPDVFS_CALIB_RECALIBRATOR_H
+#define OPDVFS_CALIB_RECALIBRATOR_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "calib/residual_tracker.h"
+#include "power/power_model.h"
+
+namespace opdvfs::calib {
+
+/** Cumulative model corrections; epoch 0 with no entries = pristine. */
+struct ModelPatch
+{
+    /** Absolute duration scales for op types refit individually. */
+    std::unordered_map<std::string, double> time_scale_by_type;
+    /** Absolute duration scale for every other op type. */
+    double time_scale_global = 1.0;
+    /** Scale on the dynamic (f V^2) power terms of Eq. 11. */
+    double power_dynamic_scale = 1.0;
+    /** Additive power offset (absorbs sensor bias), watts. */
+    double power_static_bias_w = 0.0;
+    /** Refit Eq. 15 constants; meaningful when `thermal_updated`. */
+    double k_per_watt = 0.0;
+    double ambient_c = 0.0;
+    bool thermal_updated = false;
+    /** Bumped on every applied recalibration. */
+    std::uint64_t epoch = 0;
+
+    /** Effective duration scale for @p type. */
+    double timeScaleFor(const std::string &type) const
+    {
+        auto it = time_scale_by_type.find(type);
+        return it == time_scale_by_type.end() ? time_scale_global
+                                              : it->second;
+    }
+};
+
+/** One runtime duration measurement vs the (patched) perf model. */
+struct TimeObservation
+{
+    std::string type;
+    double predicted_s = 0.0;
+    double measured_s = 0.0;
+};
+
+/** One telemetry sample decomposed against the (patched) Eq. 11. */
+struct PowerObservation
+{
+    /** Patched dynamic (f V^2) part of the prediction, watts. */
+    double predicted_dynamic_w = 0.0;
+    /** Remaining predicted terms (static, leakage, bias), watts. */
+    double predicted_rest_w = 0.0;
+    double measured_w = 0.0;
+};
+
+/** One (SoC power, die temperature) equilibrium pair for Eq. 15. */
+struct ThermalObservation
+{
+    double soc_watts = 0.0;
+    double temperature_c = 0.0;
+};
+
+/** Recalibration tuning. */
+struct RecalibratorOptions
+{
+    /** Sliding-window capacity per observation kind. */
+    std::size_t window = 4096;
+    /** Own samples before an op type gets its own duration scale. */
+    std::size_t min_time_samples_per_type = 8;
+    /** Total samples before any refit of that family is attempted. */
+    std::size_t min_time_samples = 8;
+    std::size_t min_power_samples = 8;
+    std::size_t min_thermal_samples = 8;
+};
+
+/** Sliding-window coefficient refitter. */
+class Recalibrator
+{
+  public:
+    explicit Recalibrator(const RecalibratorOptions &options = {});
+
+    void addTime(const TimeObservation &observation);
+    void addPower(const PowerObservation &observation);
+    void addThermal(const ThermalObservation &observation);
+
+    /**
+     * Refit the families implicated by @p verdict from the current
+     * windows.  Returns true when the patch changed (epoch bumped and
+     * windows cleared); false when no family had enough data, in
+     * which case the windows are kept so the next attempt sees more.
+     */
+    bool recalibrate(const DriftVerdict &verdict);
+
+    /**
+     * Drop every buffered observation.  Called when a drift is
+     * CONFIRMED: the window so far mixes clean-epoch and drifting
+     * samples, and a refit over that mixture under-corrects.  Clearing
+     * here means the refit waits (parked at the safe frequency) for
+     * fresh post-confirmation observations and fits the drifted
+     * behaviour in one accurate shot.
+     */
+    void clearWindows();
+
+    const ModelPatch &patch() const { return patch_; }
+
+    std::size_t timeWindowSize() const { return time_.size(); }
+    std::size_t powerWindowSize() const { return power_.size(); }
+    std::size_t thermalWindowSize() const { return thermal_.size(); }
+
+    const RecalibratorOptions &options() const { return options_; }
+
+  private:
+    bool refitTime();
+    bool refitPower();
+    bool refitThermal();
+
+    RecalibratorOptions options_;
+    ModelPatch patch_;
+    std::deque<TimeObservation> time_;
+    std::deque<PowerObservation> power_;
+    std::deque<ThermalObservation> thermal_;
+};
+
+/** Power/temperature prediction under a patch. */
+struct PatchedPowerPrediction
+{
+    double aicore_watts = 0.0;
+    double soc_watts = 0.0;
+    /** Temperature rise over ambient, Celsius. */
+    double delta_t = 0.0;
+    /** Absolute die temperature, Celsius. */
+    double temperature_c = 0.0;
+    /** Patched dynamic (f V^2) part of the AICore prediction. */
+    double aicore_dynamic_w = 0.0;
+    /** aicore_watts - aicore_dynamic_w (static, leakage, bias). */
+    double aicore_rest_w = 0.0;
+};
+
+/**
+ * Re-run the Sect. 5.4.2 dT fix point (Eq. 15 <-> Eq. 16) with the
+ * patch applied: dynamic terms scaled, static bias added, thermal
+ * constants replaced.  With a pristine patch this reproduces
+ * PowerModel::predict() exactly.
+ */
+PatchedPowerPrediction predictPatched(const power::PowerModel &model,
+                                      const power::OpPowerModel &op,
+                                      double f_mhz,
+                                      const ModelPatch &patch);
+
+/**
+ * Patched prediction evaluated at a FIXED temperature rise @p delta_t
+ * instead of the fix point.  Used with the measured die temperature so
+ * a power-model residual is not polluted by thermal-model error —
+ * that separation is what lets the verdict distinguish the two.
+ */
+PatchedPowerPrediction predictPatchedAt(const power::PowerModel &model,
+                                        const power::OpPowerModel &op,
+                                        double f_mhz,
+                                        const ModelPatch &patch,
+                                        double delta_t);
+
+} // namespace opdvfs::calib
+
+#endif // OPDVFS_CALIB_RECALIBRATOR_H

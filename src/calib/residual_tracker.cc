@@ -1,0 +1,129 @@
+#include "calib/residual_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::calib {
+
+ResidualTracker::ResidualTracker(const TrackerOptions &options)
+    : options_(options)
+{
+    auto check = [](const CusumOptions &cusum, const char *name) {
+        if (!std::isfinite(cusum.slack) || cusum.slack < 0.0)
+            throw std::invalid_argument(
+                std::string("ResidualTracker: negative ") + name
+                + " slack");
+        if (!std::isfinite(cusum.threshold) || cusum.threshold <= 0.0)
+            throw std::invalid_argument(
+                std::string("ResidualTracker: non-positive ") + name
+                + " threshold");
+    };
+    check(options_.time, "time");
+    check(options_.power, "power");
+    check(options_.thermal, "thermal");
+    if (options_.anchor_samples < 1)
+        throw std::invalid_argument(
+            "ResidualTracker: anchor_samples must be >= 1");
+    if (options_.ewma_alpha <= 0.0 || options_.ewma_alpha > 1.0)
+        throw std::invalid_argument(
+            "ResidualTracker: ewma_alpha must be in (0, 1]");
+}
+
+void
+ResidualTracker::observe(Channel &channel, const CusumOptions &cusum,
+                         double residual)
+{
+    if (!std::isfinite(residual))
+        return; // A corrupted measurement must not poison the sums.
+
+    if (!channel.anchored) {
+        // The first observations define "normal": with a repeating op
+        // sequence the systematic part of the fit error repeats every
+        // iteration, so anchoring on it leaves only genuine drift.
+        channel.anchor_sum += residual;
+        if (++channel.anchor_count >= options_.anchor_samples) {
+            channel.anchor = channel.anchor_sum
+                / static_cast<double>(channel.anchor_count);
+            channel.ewma = channel.anchor;
+            channel.anchored = true;
+        }
+        return;
+    }
+
+    channel.ewma = options_.ewma_alpha * residual
+        + (1.0 - options_.ewma_alpha) * channel.ewma;
+
+    double centered = residual - channel.anchor;
+    channel.cusum_up =
+        std::max(0.0, channel.cusum_up + centered - cusum.slack);
+    channel.cusum_down =
+        std::max(0.0, channel.cusum_down - centered - cusum.slack);
+    channel.alarmed = channel.cusum_up > cusum.threshold
+        || channel.cusum_down > cusum.threshold;
+}
+
+void
+ResidualTracker::addTimeResidual(const std::string &type, double residual)
+{
+    observe(time_channels_[type], options_.time, residual);
+}
+
+void
+ResidualTracker::addPowerResidual(double residual)
+{
+    observe(power_channel_, options_.power, residual);
+}
+
+void
+ResidualTracker::addThermalResidual(double residual)
+{
+    observe(thermal_channel_, options_.thermal, residual);
+}
+
+DriftVerdict
+ResidualTracker::verdict() const
+{
+    DriftVerdict verdict;
+    for (const auto &[type, channel] : time_channels_)
+        verdict.perf = verdict.perf || channel.alarmed;
+    verdict.power = power_channel_.alarmed;
+    verdict.thermal = thermal_channel_.alarmed;
+    return verdict;
+}
+
+void
+ResidualTracker::reset()
+{
+    time_channels_.clear();
+    power_channel_ = Channel{};
+    thermal_channel_ = Channel{};
+}
+
+void
+ResidualTracker::reset(const DriftVerdict &families)
+{
+    if (families.perf)
+        time_channels_.clear();
+    if (families.power)
+        power_channel_ = Channel{};
+    if (families.thermal)
+        thermal_channel_ = Channel{};
+}
+
+double
+ResidualTracker::powerEwma() const
+{
+    return power_channel_.anchored ? power_channel_.ewma : 0.0;
+}
+
+double
+ResidualTracker::timeEwma(const std::string &type) const
+{
+    auto it = time_channels_.find(type);
+    if (it == time_channels_.end() || !it->second.anchored)
+        return 0.0;
+    return it->second.ewma;
+}
+
+} // namespace opdvfs::calib

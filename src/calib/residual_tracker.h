@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Model-drift detection from runtime residuals.
+ *
+ * The DVFS strategy is only as good as the models it was searched on;
+ * silicon aging, sensor drift and cooling changes all push reality
+ * away from the fit.  The tracker ingests one aggregated residual per
+ * model channel per iteration:
+ *
+ *  - `time`    — per-op-type relative duration residuals against the
+ *                performance model (Sect. 4.3 fits);
+ *  - `power`   — relative power residuals against the Eq. 11 model;
+ *  - `thermal` — absolute temperature residuals against the Eq. 15
+ *                equilibrium model.
+ *
+ * Each channel anchors on the mean of its first few observations
+ * (cancelling the systematic fit bias of a repeating op sequence),
+ * smooths with an EWMA, and runs a two-sided CUSUM on the anchored
+ * residual.  A channel alarms when either cumulative sum exceeds its
+ * threshold; the verdict classifies the drift so the recalibrator can
+ * refit only the affected coefficients.
+ */
+
+#ifndef OPDVFS_CALIB_RESIDUAL_TRACKER_H
+#define OPDVFS_CALIB_RESIDUAL_TRACKER_H
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace opdvfs::calib {
+
+/** Which model family a detected drift implicates. */
+enum class DriftKind
+{
+    None,
+    PerfModel,
+    PowerModel,
+    Thermal,
+};
+
+/** Per-channel classification of an active drift. */
+struct DriftVerdict
+{
+    bool perf = false;
+    bool power = false;
+    bool thermal = false;
+
+    bool any() const { return perf || power || thermal; }
+
+    /** The dominant family (perf > power > thermal when several). */
+    DriftKind primary() const
+    {
+        if (perf)
+            return DriftKind::PerfModel;
+        if (power)
+            return DriftKind::PowerModel;
+        if (thermal)
+            return DriftKind::Thermal;
+        return DriftKind::None;
+    }
+};
+
+/** One channel's CUSUM tuning. */
+struct CusumOptions
+{
+    /** Dead zone around the anchor; drifts below it never accumulate. */
+    double slack = 0.01;
+    /** Cumulative-sum level that raises the alarm. */
+    double threshold = 0.08;
+};
+
+/** Tracker tuning. */
+struct TrackerOptions
+{
+    /** Relative duration residuals (dimensionless). */
+    CusumOptions time{0.01, 0.06};
+    /** Relative power residuals (dimensionless). */
+    CusumOptions power{0.015, 0.08};
+    /**
+     * Absolute temperature residuals, Celsius.  The slack absorbs the
+     * k * sensor-bias coupling a power-sensor drift induces on the
+     * temperature channel, so a power drift is not misclassified as
+     * thermal.
+     */
+    CusumOptions thermal{2.0, 8.0};
+    /** Observations averaged into each channel's anchor. */
+    int anchor_samples = 3;
+    /** EWMA smoothing factor for the reported residual level. */
+    double ewma_alpha = 0.2;
+};
+
+/**
+ * Anchored EWMA + two-sided CUSUM change-point detector over the
+ * per-iteration model residuals.
+ */
+class ResidualTracker
+{
+  public:
+    explicit ResidualTracker(const TrackerOptions &options = {});
+
+    /**
+     * One iteration's mean relative duration residual for op type
+     * @p type ((measured - predicted) / predicted).
+     */
+    void addTimeResidual(const std::string &type, double residual);
+
+    /** One iteration's mean relative power residual. */
+    void addPowerResidual(double residual);
+
+    /** One iteration's mean temperature residual, Celsius. */
+    void addThermalResidual(double residual);
+
+    /** Channels currently alarming, classified by model family. */
+    DriftVerdict verdict() const;
+
+    /**
+     * Forget all anchors and cumulative sums; call after a
+     * recalibration so the detector re-anchors on the new models.
+     */
+    void reset();
+
+    /**
+     * Reset only the channels of the families in @p families — the
+     * ones a recalibration just refit — so they re-anchor on the new
+     * models.  Channels whose family was NOT refit are untouched:
+     * their accumulated drift evidence is still valid, and
+     * re-anchoring them mid-drift would swallow the drift into the
+     * new anchor.
+     */
+    void reset(const DriftVerdict &families);
+
+    /** Smoothed residual of the power channel (0 before anchoring). */
+    double powerEwma() const;
+
+    /** Smoothed residual of a time channel (0 if unseen). */
+    double timeEwma(const std::string &type) const;
+
+    const TrackerOptions &options() const { return options_; }
+
+  private:
+    struct Channel
+    {
+        double anchor_sum = 0.0;
+        int anchor_count = 0;
+        double anchor = 0.0;
+        bool anchored = false;
+        double ewma = 0.0;
+        double cusum_up = 0.0;
+        double cusum_down = 0.0;
+        bool alarmed = false;
+    };
+
+    void observe(Channel &channel, const CusumOptions &cusum,
+                 double residual);
+
+    TrackerOptions options_;
+    std::unordered_map<std::string, Channel> time_channels_;
+    Channel power_channel_;
+    Channel thermal_channel_;
+};
+
+} // namespace opdvfs::calib
+
+#endif // OPDVFS_CALIB_RESIDUAL_TRACKER_H

@@ -1,0 +1,57 @@
+#include "calib/watchdog.h"
+
+#include <stdexcept>
+
+namespace opdvfs::calib {
+
+DriftWatchdog::DriftWatchdog(const WatchdogOptions &options)
+    : options_(options)
+{
+    if (options_.confirm_iterations < 1)
+        throw std::invalid_argument(
+            "DriftWatchdog: confirm_iterations must be >= 1");
+}
+
+WatchdogState
+DriftWatchdog::observe(const DriftVerdict &verdict)
+{
+    if (state_ == WatchdogState::Recalibrating)
+        return state_; // Owed recalibration not performed yet.
+
+    if (!verdict.any()) {
+        if (state_ == WatchdogState::Suspect)
+            ++stats_.dismissals;
+        state_ = WatchdogState::Steady;
+        consecutive_alarms_ = 0;
+        return state_;
+    }
+
+    if (state_ == WatchdogState::Steady) {
+        state_ = WatchdogState::Suspect;
+        ++stats_.suspects;
+        consecutive_alarms_ = 1;
+    } else {
+        ++consecutive_alarms_;
+    }
+
+    if (consecutive_alarms_ >= options_.confirm_iterations) {
+        state_ = WatchdogState::Recalibrating;
+        confirmed_verdict_ = verdict;
+        ++stats_.confirmations;
+        consecutive_alarms_ = 0;
+    }
+    return state_;
+}
+
+void
+DriftWatchdog::recalibrated()
+{
+    if (state_ != WatchdogState::Recalibrating)
+        throw std::logic_error(
+            "DriftWatchdog: recalibrated() outside Recalibrating");
+    state_ = WatchdogState::Steady;
+    ++epoch_;
+    ++stats_.recalibrations;
+}
+
+} // namespace opdvfs::calib

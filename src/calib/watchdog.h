@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The drift watchdog state machine:
+ *
+ *   Steady --(alarm)--> Suspect --(confirmed)--> Recalibrating
+ *     ^                    |                          |
+ *     +---(alarm clears)---+                          |
+ *     +-------------(recalibrated())------------------+
+ *
+ * A single alarming iteration only raises suspicion; the alarm must
+ * persist for `confirm_iterations` consecutive iterations before the
+ * (expensive, strategy-invalidating) recalibration is triggered.  The
+ * caller performs the actual recalibration while the machine sits in
+ * Recalibrating, then reports completion — which bumps the model
+ * epoch that invalidates cached strategies downstream.
+ */
+
+#ifndef OPDVFS_CALIB_WATCHDOG_H
+#define OPDVFS_CALIB_WATCHDOG_H
+
+#include <cstdint>
+
+#include "calib/residual_tracker.h"
+
+namespace opdvfs::calib {
+
+/** Watchdog control state. */
+enum class WatchdogState
+{
+    /** Models trusted; residuals within their CUSUM envelopes. */
+    Steady,
+    /** An alarm fired; awaiting confirmation. */
+    Suspect,
+    /** Drift confirmed; a recalibration is owed. */
+    Recalibrating,
+};
+
+/** Watchdog tuning. */
+struct WatchdogOptions
+{
+    /** Consecutive alarming iterations required to confirm a drift. */
+    int confirm_iterations = 2;
+};
+
+/** Watchdog event counters. */
+struct WatchdogStats
+{
+    std::uint64_t suspects = 0;
+    std::uint64_t confirmations = 0;
+    std::uint64_t recalibrations = 0;
+    /** Suspicions that cleared without confirming (transients). */
+    std::uint64_t dismissals = 0;
+};
+
+/** Debounces drift verdicts into recalibration decisions. */
+class DriftWatchdog
+{
+  public:
+    explicit DriftWatchdog(const WatchdogOptions &options = {});
+
+    /**
+     * Feed one iteration's verdict; returns the state the caller must
+     * act on (Recalibrating = perform a recalibration now).
+     */
+    WatchdogState observe(const DriftVerdict &verdict);
+
+    /**
+     * Report that the owed recalibration was applied; returns to
+     * Steady and advances the model epoch.
+     */
+    void recalibrated();
+
+    WatchdogState state() const { return state_; }
+
+    /** Last verdict that drove a transition into Recalibrating. */
+    const DriftVerdict &confirmedVerdict() const
+    {
+        return confirmed_verdict_;
+    }
+
+    /** Model epoch: number of completed recalibrations. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    const WatchdogStats &stats() const { return stats_; }
+    const WatchdogOptions &options() const { return options_; }
+
+  private:
+    WatchdogOptions options_;
+    WatchdogState state_ = WatchdogState::Steady;
+    int consecutive_alarms_ = 0;
+    DriftVerdict confirmed_verdict_;
+    std::uint64_t epoch_ = 0;
+    WatchdogStats stats_;
+};
+
+} // namespace opdvfs::calib
+
+#endif // OPDVFS_CALIB_WATCHDOG_H

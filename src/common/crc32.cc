@@ -1,0 +1,47 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace opdvfs {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const std::array<std::uint32_t, 256> value = buildTable();
+    return value;
+}
+
+} // namespace
+
+void
+Crc32::update(std::string_view bytes)
+{
+    const auto &t = table();
+    for (unsigned char byte : bytes)
+        state_ = t[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+}
+
+std::uint32_t
+crc32(std::string_view bytes)
+{
+    Crc32 crc;
+    crc.update(bytes);
+    return crc.value();
+}
+
+} // namespace opdvfs

@@ -70,6 +70,18 @@ DvfsGuard::observe(const GuardObservation &observation)
     if (!options_.enabled)
         return state_;
 
+    if (safe_hold_remaining_ > 0) {
+        // A recalibration hold pins Fallback for a fixed number of
+        // iterations; measurements taken against the stale baseline
+        // during the swap are recorded but never drive transitions.
+        if (--safe_hold_remaining_ == 0) {
+            state_ = GuardState::Monitoring;
+            consecutive_violations_ = 0;
+            clean_in_fallback_ = 0;
+        }
+        return state_;
+    }
+
     if (state_ == GuardState::Monitoring) {
         if (violating) {
             if (++consecutive_violations_ >= options_.violation_limit) {
@@ -91,6 +103,33 @@ DvfsGuard::observe(const GuardObservation &observation)
         }
     }
     return state_;
+}
+
+void
+DvfsGuard::holdSafe(int iterations)
+{
+    if (iterations < 1)
+        throw std::invalid_argument("DvfsGuard: holdSafe needs >= 1 "
+                                    "iteration");
+    state_ = GuardState::Fallback;
+    safe_hold_remaining_ = iterations;
+    consecutive_violations_ = 0;
+    clean_in_fallback_ = 0;
+    ++stats_.safe_holds;
+}
+
+void
+DvfsGuard::rebase(double baseline_iteration_seconds)
+{
+    if (!std::isfinite(baseline_iteration_seconds)
+        || baseline_iteration_seconds <= 0.0) {
+        throw std::invalid_argument(
+            "DvfsGuard: rebase baseline must be positive");
+    }
+    baseline_seconds_ = baseline_iteration_seconds;
+    consecutive_violations_ = 0;
+    clean_in_fallback_ = 0;
+    ++stats_.rebases;
 }
 
 namespace {

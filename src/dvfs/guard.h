@@ -91,6 +91,10 @@ struct GuardStats
     /** SetFreqs still wrong after the retry budget. */
     std::uint64_t set_freq_abandoned = 0;
     std::uint64_t telemetry_gaps = 0;
+    /** Forced safe-frequency holds (model recalibration swaps). */
+    std::uint64_t safe_holds = 0;
+    /** Baseline replacements after a model recalibration. */
+    std::uint64_t rebases = 0;
 };
 
 /**
@@ -126,6 +130,26 @@ class DvfsGuard
      */
     bool wantsThrottleReset() const { return wants_throttle_reset_; }
 
+    /**
+     * Force Fallback (device at maximum frequency, strategy disabled)
+     * for the next @p iterations observations regardless of what they
+     * measure.  Used while the calibration layer swaps model
+     * coefficients: the chip must sit at a safe operating point until
+     * a strategy consistent with the new models is in place.
+     */
+    void holdSafe(int iterations);
+
+    /** True while a holdSafe() window is still running down. */
+    bool safeHoldActive() const { return safe_hold_remaining_ > 0; }
+
+    /**
+     * Replace the baseline iteration time the loss is measured
+     * against (the recalibrated perf model's prediction).  Clears the
+     * violation/hysteresis counters so stale history cannot trip the
+     * fresh baseline.
+     */
+    void rebase(double baseline_iteration_seconds);
+
     /** Relative loss of the last observed iteration. */
     double lastLoss() const { return last_loss_; }
 
@@ -141,6 +165,8 @@ class DvfsGuard
     GuardState state_ = GuardState::Monitoring;
     int consecutive_violations_ = 0;
     int clean_in_fallback_ = 0;
+    /** Remaining forced-Fallback observations from holdSafe(). */
+    int safe_hold_remaining_ = 0;
     bool wants_throttle_reset_ = false;
     double last_loss_ = 0.0;
     /** Last trusted temperature, held through telemetry blackouts. */

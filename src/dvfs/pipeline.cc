@@ -80,8 +80,10 @@ EnergyPipeline::optimize(const models::Workload &workload) const
     perf::PerfBuildOptions perf_options;
     perf_options.kind = options_.fit_kind;
     perf_repo.fitAll(perf_options);
+    result.perf_models = perf_repo;
 
     auto op_power = online.perOpModels();
+    result.op_power = op_power;
 
     // --- classification + preprocessing (Sect. 6.1/6.2) -------------------
     result.prep = preprocess(result.baseline.records, options_.preprocess);

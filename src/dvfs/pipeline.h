@@ -13,7 +13,9 @@
 #ifndef OPDVFS_DVFS_PIPELINE_H
 #define OPDVFS_DVFS_PIPELINE_H
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dvfs/executor.h"
@@ -25,6 +27,7 @@
 #include "npu/npu_chip.h"
 #include "perf/perf_model.h"
 #include "power/offline_calibration.h"
+#include "power/online_calibration.h"
 
 namespace opdvfs::dvfs {
 
@@ -82,6 +85,15 @@ struct PipelineResult
     ExecutionPlan plan;
     /** Guarded multi-iteration assessment (when `assess_guarded`). */
     std::optional<GuardedRunResult> guarded;
+    /**
+     * The fitted per-operator performance models and per-operator
+     * power corrections the search ran on.  Exposed so downstream
+     * consumers (the drift watchdog, strategy regeneration) can score
+     * residuals against — and recalibrate — exactly the models that
+     * produced the strategy.
+     */
+    perf::PerfModelRepository perf_models;
+    std::unordered_map<std::uint64_t, power::OpPowerModel> op_power;
 
     /** Relative iteration-time increase under DVFS. */
     double perfLoss() const;

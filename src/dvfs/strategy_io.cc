@@ -1,9 +1,12 @@
 #include "dvfs/strategy_io.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/crc32.h"
 
 namespace opdvfs::dvfs {
 
@@ -14,9 +17,12 @@ saveStrategy(const Strategy &strategy, std::ostream &os)
         throw std::invalid_argument("saveStrategy: stage/frequency size "
                                     "mismatch");
 
-    os << "strategy v1\n";
-    os << "counts " << strategy.stages.size() << " "
-       << strategy.plan.triggers.size() << "\n";
+    // Build the payload in memory first so the CRC-32 footer can cover
+    // every preceding byte.
+    std::ostringstream payload;
+    payload << "strategy v1\n";
+    payload << "counts " << strategy.stages.size() << " "
+            << strategy.plan.triggers.size() << "\n";
     if (strategy.meta) {
         const StrategyMeta &meta = *strategy.meta;
         if (meta.provenance.empty()
@@ -28,24 +34,29 @@ saveStrategy(const Strategy &strategy, std::ostream &os)
         std::ostringstream scores;
         scores.precision(17);
         scores << meta.score << " " << meta.pre_refine_score;
-        os << "meta score " << scores.str() << " " << meta.converged_at
-           << " " << meta.generations << "\n";
+        payload << "meta score " << scores.str() << " " << meta.converged_at
+                << " " << meta.generations << "\n";
         std::ostringstream hex;
         hex << std::hex << meta.fingerprint;
-        os << "meta provenance " << meta.provenance << " " << hex.str()
-           << "\n";
+        payload << "meta provenance " << meta.provenance << " " << hex.str()
+                << "\n";
     }
-    os << "initial " << strategy.plan.initial_mhz << "\n";
+    payload << "initial " << strategy.plan.initial_mhz << "\n";
     for (std::size_t s = 0; s < strategy.stages.size(); ++s) {
         const Stage &stage = strategy.stages[s];
-        os << "stage " << stage.start << " " << stage.duration << " "
-           << strategy.mhz_per_stage[s] << " "
-           << (stage.high_frequency ? "hfc" : "lfc") << "\n";
+        payload << "stage " << stage.start << " " << stage.duration << " "
+                << strategy.mhz_per_stage[s] << " "
+                << (stage.high_frequency ? "hfc" : "lfc") << "\n";
     }
     for (const auto &trigger : strategy.plan.triggers) {
-        os << "trigger " << trigger.after_op_index << " " << trigger.mhz
-           << "\n";
+        payload << "trigger " << trigger.after_op_index << " "
+                << trigger.mhz << "\n";
     }
+
+    std::string text = payload.str();
+    std::ostringstream footer;
+    footer << std::hex << crc32(text);
+    os << text << "crc32 " << footer.str() << "\n";
 }
 
 Strategy
@@ -57,14 +68,18 @@ loadStrategy(std::istream &is, const npu::FreqTable *table)
                                     "header");
 
     Strategy strategy;
+    // The optional `crc32` footer covers every byte before it; the
+    // running checksum is advanced line by line as the file is read.
+    Crc32 running;
+    running.update(line);
+    running.update("\n");
+    bool have_crc = false;
     bool have_counts = false;
     std::size_t declared_stages = 0;
     std::size_t declared_triggers = 0;
     std::size_t line_number = 1;
     while (std::getline(is, line)) {
         ++line_number;
-        if (line.empty() || line[0] == '#')
-            continue;
 
         std::istringstream fields(line);
         std::string kind;
@@ -74,6 +89,29 @@ loadStrategy(std::istream &is, const npu::FreqTable *table)
                 "loadStrategy: line " + std::to_string(line_number) + ": "
                 + why);
         };
+
+        if (kind == "crc32") {
+            std::string hex;
+            if (!(fields >> hex))
+                fail("bad crc32 record");
+            std::uint32_t expected = 0;
+            std::istringstream hex_fields(hex);
+            if (!(hex_fields >> std::hex >> expected))
+                fail("bad crc32 value");
+            if (expected != running.value()) {
+                fail("checksum mismatch (corrupted or truncated file): "
+                     "stored "
+                     + hex);
+            }
+            have_crc = true;
+            continue;
+        }
+        if (have_crc && !line.empty() && line[0] != '#')
+            fail("record after the crc32 footer");
+        running.update(line);
+        running.update("\n");
+        if (line.empty() || line[0] == '#')
+            continue;
         auto check_mhz = [&](double mhz, const char *what) {
             if (!std::isfinite(mhz))
                 fail(std::string(what) + " frequency is not finite");
@@ -186,10 +224,36 @@ validateStrategy(const Strategy &strategy, const npu::FreqTable &table)
 void
 saveStrategyFile(const Strategy &strategy, const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os)
-        throw std::runtime_error("saveStrategyFile: cannot open " + path);
-    saveStrategy(strategy, os);
+    // Crash-safe: write a sibling temp file, flush it, then atomically
+    // rename over the destination, so a reader never observes a
+    // partially written strategy and a crash leaves the previous file
+    // intact.
+    std::string temp = path + ".tmp";
+    {
+        std::ofstream os(temp, std::ios::trunc);
+        if (!os) {
+            throw std::runtime_error("saveStrategyFile: cannot open "
+                                     + temp);
+        }
+        try {
+            saveStrategy(strategy, os);
+        } catch (...) {
+            os.close();
+            std::remove(temp.c_str());
+            throw;
+        }
+        os.flush();
+        if (!os) {
+            std::remove(temp.c_str());
+            throw std::runtime_error("saveStrategyFile: write failed for "
+                                     + temp);
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        throw std::runtime_error("saveStrategyFile: cannot rename " + temp
+                                 + " to " + path);
+    }
 }
 
 Strategy

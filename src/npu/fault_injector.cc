@@ -1,16 +1,24 @@
 #include "npu/fault_injector.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace opdvfs::npu {
 
 bool
+FaultPlan::driftEnabled() const
+{
+    return aging_dynamic_drift != 0.0 || sensor_bias_watts != 0.0
+        || latency_drift != 0.0 || ambient_drift_celsius != 0.0;
+}
+
+bool
 FaultPlan::anyEnabled() const
 {
     return set_freq_drop_rate > 0.0 || set_freq_jitter_max > 0
         || thermal_throttle || spurious_trip_rate_hz > 0.0
-        || blackout_rate_hz > 0.0 || spike_rate > 0.0;
+        || blackout_rate_hz > 0.0 || spike_rate > 0.0 || driftEnabled();
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan)
@@ -33,6 +41,22 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
         && plan.throttle_release_celsius > plan.throttle_trip_celsius) {
         throw std::invalid_argument(
             "FaultInjector: release point above trip point");
+    }
+    if (!std::isfinite(plan.aging_dynamic_drift)
+        || !std::isfinite(plan.sensor_bias_watts)
+        || !std::isfinite(plan.latency_drift)
+        || !std::isfinite(plan.ambient_drift_celsius)) {
+        throw std::invalid_argument(
+            "FaultInjector: non-finite drift magnitude");
+    }
+    if (plan.aging_dynamic_drift <= -1.0 || plan.latency_drift <= -1.0) {
+        throw std::invalid_argument(
+            "FaultInjector: drift would make power or latency "
+            "non-positive");
+    }
+    if (plan.drift_start < 0 || plan.drift_ramp < 0) {
+        throw std::invalid_argument(
+            "FaultInjector: negative drift start or ramp");
     }
     if (plan.spurious_trip_rate_hz > 0.0)
         next_spurious_trip_ = drawGap(plan.spurious_trip_rate_hz,
@@ -110,6 +134,42 @@ FaultInjector::forceRelease()
         return;
     throttle_active_ = false;
     ++counters_.forced_releases;
+}
+
+double
+FaultInjector::driftLevel(Tick now) const
+{
+    if (!plan_.driftEnabled() || now < plan_.drift_start)
+        return 0.0;
+    if (plan_.drift_ramp <= 0)
+        return 1.0;
+    double level = static_cast<double>(now - plan_.drift_start)
+        / static_cast<double>(plan_.drift_ramp);
+    return std::min(level, 1.0);
+}
+
+double
+FaultInjector::agingDynamicScale(Tick now) const
+{
+    return 1.0 + plan_.aging_dynamic_drift * driftLevel(now);
+}
+
+double
+FaultInjector::sensorBiasWatts(Tick now) const
+{
+    return plan_.sensor_bias_watts * driftLevel(now);
+}
+
+double
+FaultInjector::latencyScale(Tick now) const
+{
+    return 1.0 + plan_.latency_drift * driftLevel(now);
+}
+
+double
+FaultInjector::ambientOffsetCelsius(Tick now) const
+{
+    return plan_.ambient_drift_celsius * driftLevel(now);
 }
 
 TelemetryFault

@@ -68,6 +68,30 @@ struct FaultPlan
     /** Additive temperature error on spiked samples, degC. */
     double spike_temperature_delta = 30.0;
 
+    // --- slow model drift --------------------------------------------------
+    // Each magnitude is the value reached at full ramp: zero before
+    // `drift_start`, a linear ramp over `drift_ramp`, then held.  The
+    // ramp is deterministic (no RNG), so drifted runs replay
+    // bit-for-bit and the drift level at any tick is a pure function
+    // of the plan.
+
+    /** Fractional dynamic-power increase (capacitance aging scales the
+     *  alpha/beta f V^2 terms). */
+    double aging_dynamic_drift = 0.0;
+    /** Additive power-telemetry bias at full ramp, W (sensor aging). */
+    double sensor_bias_watts = 0.0;
+    /** Fractional per-operator latency increase at full ramp. */
+    double latency_drift = 0.0;
+    /** Ambient-temperature change at full ramp, degC. */
+    double ambient_drift_celsius = 0.0;
+    /** Tick at which the drift ramp begins. */
+    Tick drift_start = 0;
+    /** Ramp duration; 0 means a step to full drift at drift_start. */
+    Tick drift_ramp = 0;
+
+    /** True when any slow-drift magnitude is configured. */
+    bool driftEnabled() const;
+
     /** True when any fault class is configured. */
     bool anyEnabled() const;
 };
@@ -127,6 +151,23 @@ class FaultInjector
 
     /** Classify the sample being taken at @p now. */
     TelemetryFault telemetrySample(Tick now);
+
+    // --- slow model drift (deterministic, no RNG) --------------------------
+
+    /** Ramp position in [0, 1] at @p now. */
+    double driftLevel(Tick now) const;
+
+    /** Multiplier on the dynamic (alpha/beta) power terms, >= 0. */
+    double agingDynamicScale(Tick now) const;
+
+    /** Additive bias on power-telemetry readings at @p now, W. */
+    double sensorBiasWatts(Tick now) const;
+
+    /** Multiplier on every operator's execution time, > 0. */
+    double latencyScale(Tick now) const;
+
+    /** Ambient-temperature offset at @p now, degC. */
+    double ambientOffsetCelsius(Tick now) const;
 
     const FaultPlan &plan() const { return plan_; }
     const FaultCounters &counters() const { return counters_; }

@@ -107,6 +107,11 @@ NpuChip::planInFlight()
     auto exec = in_flight_;
     double seconds =
         exec->work_remaining * exec->timeline.seconds(dvfs_.currentMhz());
+    // Silicon aging slows every operator by the same factor; the level
+    // at plan time is a good approximation because the drift ramp is
+    // orders of magnitude slower than one operator.
+    if (fault_injector_)
+        seconds *= fault_injector_->latencyScale(simulator_.now());
     Tick duration = secondsToTicks(std::max(seconds, 0.0));
     exec->plan_start = simulator_.now();
     exec->plan_duration = duration;
@@ -205,6 +210,10 @@ NpuChip::powerState() const
     state.volts = dvfs_.currentVolts();
     state.uncore_scale = config_.uncore_scale;
     state.delta_t = thermal_.deltaT();
+    if (fault_injector_) {
+        state.aging_scale =
+            fault_injector_->agingDynamicScale(simulator_.now());
+    }
     if (in_flight_) {
         state.alpha_core = in_flight_->params.alpha_core;
         state.uncore_activity = in_flight_->params.uncore_activity;
@@ -261,6 +270,10 @@ void
 NpuChip::accrueAtFrequency(double f_mhz)
 {
     Tick now = simulator_.now();
+    if (fault_injector_) {
+        thermal_.setAmbientOffset(
+            fault_injector_->ambientOffsetCelsius(now));
+    }
     while (last_accrual_ < now) {
         Tick seg_end =
             std::min(now, last_accrual_ + config_.max_energy_segment);

@@ -17,7 +17,9 @@ double
 PowerCalculator::aicorePower(const PowerState &state) const
 {
     double fv2 = mhzToHz(state.f_mhz) * state.volts * state.volts;
-    return state.alpha_core * fv2 + aicore_.beta * fv2
+    // Aging scales the switched-capacitance (dynamic) terms only; the
+    // static/leakage terms are unaffected.
+    return state.aging_scale * (state.alpha_core * fv2 + aicore_.beta * fv2)
         + aicore_.gamma * state.delta_t * state.volts
         + aicore_.theta * state.volts;
 }

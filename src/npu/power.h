@@ -60,6 +60,11 @@ struct PowerState
     double uncore_scale = 1.0;
     /** Die temperature rise over ambient, K. */
     double delta_t = 0.0;
+    /**
+     * Multiplier on the AICore dynamic (alpha/beta) terms; 1.0 for a
+     * healthy die, driven above 1.0 by capacitance-aging drift.
+     */
+    double aging_scale = 1.0;
 };
 
 /** Stateless evaluator of the ground-truth power equations. */

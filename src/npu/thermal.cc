@@ -16,7 +16,8 @@ ThermalModel::ThermalModel(const ThermalConfig &config)
 double
 ThermalModel::equilibrium(double p_soc_watts) const
 {
-    return config_.ambient_celsius + config_.k_per_watt * p_soc_watts;
+    return config_.ambient_celsius + ambient_offset_
+        + config_.k_per_watt * p_soc_watts;
 }
 
 void

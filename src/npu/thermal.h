@@ -57,12 +57,26 @@ class ThermalModel
     /** Reset to ambient. */
     void reset();
 
+    /**
+     * Offset the effective ambient temperature (thermal-environment
+     * drift): equilibria shift by the offset while deltaT() stays
+     * relative to the *nominal* ambient, which is what the leakage
+     * term and the fitted Eq. 15 intercept reference.
+     */
+    void setAmbientOffset(double offset_celsius)
+    {
+        ambient_offset_ = offset_celsius;
+    }
+
+    double ambientOffset() const { return ambient_offset_; }
+
     const ThermalConfig &config() const { return config_; }
 
   private:
     ThermalConfig config_;
     double temperature_;
     double peak_celsius_;
+    double ambient_offset_ = 0.0;
 };
 
 } // namespace opdvfs::npu

@@ -13,8 +13,8 @@ double
 OpPerfModel::predictSeconds(double f_mhz) const
 {
     if (!frequency_sensitive)
-        return fixed_seconds;
-    return curve.predictSeconds(f_mhz);
+        return scale * fixed_seconds;
+    return scale * curve.predictSeconds(f_mhz);
 }
 
 void
@@ -99,6 +99,26 @@ PerfModelRepository::predictSeconds(std::uint64_t op_id, double f_mhz) const
     if (!model)
         throw std::invalid_argument("predictSeconds: unknown operator");
     return model->predictSeconds(f_mhz);
+}
+
+void
+PerfModelRepository::scaleDurations(
+    const std::unordered_map<std::string, double> &scale_by_type,
+    double fallback_scale)
+{
+    auto check = [](double scale) {
+        if (!std::isfinite(scale) || scale <= 0.0)
+            throw std::invalid_argument(
+                "scaleDurations: scales must be positive");
+    };
+    check(fallback_scale);
+    for (const auto &[type, scale] : scale_by_type)
+        check(scale);
+    for (auto &[id, model] : models_) {
+        auto it = scale_by_type.find(model.type);
+        model.scale =
+            it == scale_by_type.end() ? fallback_scale : it->second;
+    }
 }
 
 std::size_t

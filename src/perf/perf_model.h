@@ -39,6 +39,12 @@ struct OpPerfModel
      * from error statistics (Sect. 7.2) but still usable.
      */
     bool tiny = false;
+    /**
+     * Multiplicative recalibration factor on the predicted duration.
+     * 1.0 for a freshly fitted model; the drift recalibrator moves it
+     * when the silicon slows down relative to the original fit.
+     */
+    double scale = 1.0;
 
     /** Predicted duration at @p f_mhz, seconds. */
     double predictSeconds(double f_mhz) const;
@@ -85,6 +91,17 @@ class PerfModelRepository
 
     /** Predicted duration; throws for unknown operators. */
     double predictSeconds(std::uint64_t op_id, double f_mhz) const;
+
+    /**
+     * Set every model's duration scale (absolute, not cumulative):
+     * ops whose type appears in @p scale_by_type get that factor, the
+     * rest get @p fallback_scale.  Used by the drift recalibrator to
+     * apply aging corrections without refitting the curves.
+     */
+    void
+    scaleDurations(const std::unordered_map<std::string, double>
+                       &scale_by_type,
+                   double fallback_scale);
 
     /** Number of fitted models. */
     std::size_t modelCount() const { return models_.size(); }

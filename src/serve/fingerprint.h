@@ -36,6 +36,14 @@ struct Fingerprint
     std::uint64_t digest = 0;
     /** Normalised similarity features; same length for every request. */
     std::vector<double> features;
+    /**
+     * Model epoch the strategy was generated under (the service
+     * stamps it).  Deliberately NOT part of the digest: a request is
+     * the same problem across epochs, but a cached answer from an
+     * older epoch is stale — still a warm-start donor, never an exact
+     * hit.
+     */
+    std::uint64_t model_epoch = 0;
 };
 
 /** Streaming FNV-1a hasher over canonicalised values. */

@@ -131,28 +131,39 @@ StrategyService::process(const StrategyRequest &request)
     Fingerprint fingerprint =
         fingerprintRequest(request.workload, options_.pipeline.chip,
                            request.perf_loss_target, request.seed);
+    fingerprint.model_epoch = model_epoch_.load(std::memory_order_acquire);
     int full_generations = options_.pipeline.ga.generations;
 
     if (request.use_cache) {
+        // A same-digest entry from an earlier model epoch: its
+        // strategy was searched on superseded models, so it must not
+        // be served — but it is still the perfect warm-start donor
+        // for the recomputation.
+        std::optional<CacheEntry> stale_donor;
+
         // --- exact hit -----------------------------------------------------
         if (auto hit = cache_.findExact(fingerprint.digest)) {
-            StrategyResponse response;
-            response.strategy = hit->strategy;
-            response.ga = hit->ga;
-            response.fingerprint = hit->fingerprint;
-            response.provenance = Provenance::ExactHit;
-            response.generations_saved = full_generations;
-            if (response.strategy.meta) {
-                response.strategy.meta->provenance =
-                    provenanceToken(response.provenance);
+            if (hit->fingerprint.model_epoch == fingerprint.model_epoch) {
+                StrategyResponse response;
+                response.strategy = hit->strategy;
+                response.ga = hit->ga;
+                response.fingerprint = hit->fingerprint;
+                response.provenance = Provenance::ExactHit;
+                response.generations_saved = full_generations;
+                if (response.strategy.meta) {
+                    response.strategy.meta->provenance =
+                        provenanceToken(response.provenance);
+                }
+                exact_hits_.fetch_add(1, std::memory_order_relaxed);
+                generations_saved_.fetch_add(
+                    static_cast<std::uint64_t>(full_generations),
+                    std::memory_order_relaxed);
+                response.service_seconds = elapsedSeconds(started);
+                recordLatency(response.service_seconds);
+                return response;
             }
-            exact_hits_.fetch_add(1, std::memory_order_relaxed);
-            generations_saved_.fetch_add(
-                static_cast<std::uint64_t>(full_generations),
-                std::memory_order_relaxed);
-            response.service_seconds = elapsedSeconds(started);
-            recordLatency(response.service_seconds);
-            return response;
+            stale_demotions_.fetch_add(1, std::memory_order_relaxed);
+            stale_donor = std::move(*hit);
         }
 
         // --- coalesce onto an identical in-flight computation --------------
@@ -194,7 +205,8 @@ StrategyService::process(const StrategyRequest &request)
         // --- leader: compute, publish, then cache --------------------------
         StrategyResponse response;
         try {
-            response = computeFresh(request, fingerprint);
+            response = computeFresh(request, fingerprint,
+                                    stale_donor ? &*stale_donor : nullptr);
         } catch (...) {
             own_promise.set_exception(std::current_exception());
             std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -225,7 +237,8 @@ StrategyService::process(const StrategyRequest &request)
 
 StrategyResponse
 StrategyService::computeFresh(const StrategyRequest &request,
-                              const Fingerprint &fingerprint)
+                              const Fingerprint &fingerprint,
+                              const CacheEntry *stale_donor)
 {
     StrategyResponse response;
     response.fingerprint = fingerprint;
@@ -244,8 +257,21 @@ StrategyService::computeFresh(const StrategyRequest &request,
 
     int full_generations = pipeline_options.ga.generations;
     if (request.use_cache && request.allow_warm_start) {
-        if (auto donor =
-                cache_.findSimilar(fingerprint, options_.warm_similarity)) {
+        if (stale_donor) {
+            // Same problem, previous model epoch: identical features,
+            // so the donor similarity is 1.0 by construction.
+            response.provenance = Provenance::WarmStart;
+            response.similarity = 1.0;
+            pipeline_options.ga.prior_individuals.push_back(
+                stale_donor->ga.best_mhz);
+            pipeline_options.ga.generations = std::max(
+                1, static_cast<int>(std::lround(
+                       full_generations
+                       * options_.warm_generation_fraction)));
+        } else if (auto donor =
+                       cache_.findSimilar(fingerprint,
+                                          options_.warm_similarity,
+                                          request.perf_loss_target)) {
             response.provenance = Provenance::WarmStart;
             response.similarity = donor->similarity;
             pipeline_options.ga.prior_individuals.push_back(
@@ -286,6 +312,18 @@ StrategyService::computeFresh(const StrategyRequest &request,
     return response;
 }
 
+std::uint64_t
+StrategyService::advanceModelEpoch()
+{
+    return model_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+std::uint64_t
+StrategyService::modelEpoch() const
+{
+    return model_epoch_.load(std::memory_order_acquire);
+}
+
 void
 StrategyService::recordLatency(double seconds)
 {
@@ -312,6 +350,9 @@ StrategyService::stats() const
     out.rejected = rejected_.load(std::memory_order_relaxed);
     out.generations_saved =
         generations_saved_.load(std::memory_order_relaxed);
+    out.stale_demotions =
+        stale_demotions_.load(std::memory_order_relaxed);
+    out.model_epoch = model_epoch_.load(std::memory_order_relaxed);
     out.queue_depth = pool_.queueDepth();
     {
         std::lock_guard<std::mutex> lock(admission_mutex_);

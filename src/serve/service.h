@@ -126,6 +126,10 @@ struct ServiceStats
     std::uint64_t cold_misses = 0;
     std::uint64_t rejected = 0;
     std::uint64_t generations_saved = 0;
+    /** Exact hits demoted to warm-start donors by an epoch advance. */
+    std::uint64_t stale_demotions = 0;
+    /** Current model epoch (recalibrations seen by the service). */
+    std::uint64_t model_epoch = 0;
     /** Tasks admitted but not yet started. */
     std::size_t queue_depth = 0;
     /** Requests admitted and not yet answered. */
@@ -159,13 +163,32 @@ class StrategyService
 
     ServiceStats stats() const;
 
+    /**
+     * Advance the model epoch (a drift recalibration changed the
+     * models every cached strategy was searched on).  Cached entries
+     * from earlier epochs stop being served as exact hits: the next
+     * identical request recomputes on the new models, using the stale
+     * strategy only to warm-start the search.  Entries are demoted
+     * lazily — no cache sweep, no lock across shards.
+     */
+    std::uint64_t advanceModelEpoch();
+
+    /** Current model epoch (starts at 0). */
+    std::uint64_t modelEpoch() const;
+
     const ServiceOptions &options() const { return options_; }
 
   private:
     std::future<StrategyResponse> dispatch(StrategyRequest request);
     StrategyResponse process(const StrategyRequest &request);
+    /**
+     * Full pipeline run; @p stale_donor, when set, is a demoted
+     * same-digest entry from an earlier model epoch used as a forced
+     * warm-start donor (similarity 1.0 by construction).
+     */
     StrategyResponse computeFresh(const StrategyRequest &request,
-                                  const Fingerprint &fingerprint);
+                                  const Fingerprint &fingerprint,
+                                  const CacheEntry *stale_donor = nullptr);
     void recordLatency(double seconds);
 
     ServiceOptions options_;
@@ -189,6 +212,8 @@ class StrategyService
     std::atomic<std::uint64_t> cold_misses_{0};
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> generations_saved_{0};
+    std::atomic<std::uint64_t> stale_demotions_{0};
+    std::atomic<std::uint64_t> model_epoch_{0};
     mutable std::mutex latency_mutex_;
     std::vector<double> latencies_;
 

@@ -1,14 +1,20 @@
 #include "serve/strategy_cache.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace opdvfs::serve {
 
 StrategyCache::StrategyCache(const Options &options)
-    : shards_(options.shards == 0 ? 1 : options.shards)
+    : loss_target_tolerance_(options.loss_target_tolerance),
+      shards_(options.shards == 0 ? 1 : options.shards)
 {
     if (options.capacity == 0)
         throw std::invalid_argument("StrategyCache: zero capacity");
+    if (!std::isfinite(options.loss_target_tolerance)
+        || options.loss_target_tolerance < 0.0)
+        throw std::invalid_argument(
+            "StrategyCache: negative loss_target_tolerance");
     per_shard_capacity_ =
         (options.capacity + shards_.size() - 1) / shards_.size();
 }
@@ -34,12 +40,17 @@ StrategyCache::findExact(std::uint64_t digest)
 }
 
 std::optional<SimilarHit>
-StrategyCache::findSimilar(const Fingerprint &probe, double min_similarity)
+StrategyCache::findSimilar(const Fingerprint &probe, double min_similarity,
+                           std::optional<double> loss_target)
 {
     std::optional<SimilarHit> best;
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         for (const CacheEntry &entry : shard.entries) {
+            if (loss_target
+                && std::abs(entry.perf_loss_target - *loss_target)
+                    > loss_target_tolerance_)
+                continue;
             double similarity =
                 fingerprintSimilarity(probe, entry.fingerprint);
             if (similarity < min_similarity)

@@ -57,6 +57,13 @@ class StrategyCache
         std::size_t capacity = 256;
         /** Digest-partitioned shards (>= 1; each holds cap/shards). */
         std::size_t shards = 8;
+        /**
+         * Max |donor loss target - probe loss target| a similarity
+         * lookup tolerates.  A strategy tuned for a different
+         * performance envelope optimises the wrong trade-off; seeding
+         * the GA with it drags the search toward that envelope.
+         */
+        double loss_target_tolerance = 0.005;
     };
 
     explicit StrategyCache(const Options &options);
@@ -67,10 +74,13 @@ class StrategyCache
     /**
      * Best entry by feature similarity to @p probe, if any reaches
      * @p min_similarity.  Does not refresh recency (a donor is not a
-     * use of the entry's own workload).
+     * use of the entry's own workload).  When @p loss_target is set,
+     * entries generated for a loss target differing by more than
+     * `Options::loss_target_tolerance` are skipped.
      */
-    std::optional<SimilarHit> findSimilar(const Fingerprint &probe,
-                                          double min_similarity);
+    std::optional<SimilarHit>
+    findSimilar(const Fingerprint &probe, double min_similarity,
+                std::optional<double> loss_target = std::nullopt);
 
     /** Insert or overwrite; evicts the shard's LRU entry when full. */
     void insert(CacheEntry entry);
@@ -90,6 +100,7 @@ class StrategyCache
 
     Shard &shardFor(std::uint64_t digest);
 
+    double loss_target_tolerance_;
     std::size_t per_shard_capacity_;
     std::vector<Shard> shards_;
 };

@@ -44,6 +44,13 @@ PowerSampler::sampleNow()
     sample.aicore_watts =
         chip_.instantAicorePower() * rng_.noiseFactor(noise_.power_sigma);
     double t = chip_.temperature();
+    if (const npu::FaultInjector *injector = chip_.faultInjector()) {
+        // Sensor-aging drift: a slow additive bias on the power
+        // readings (the die's true power is unchanged).
+        double bias = injector->sensorBiasWatts(sample.tick);
+        sample.soc_watts += bias;
+        sample.aicore_watts += bias;
+    }
     if (fault == npu::TelemetryFault::Spike) {
         const npu::FaultPlan &plan = chip_.faultInjector()->plan();
         sample.soc_watts *= plan.spike_factor;

@@ -1,0 +1,302 @@
+/**
+ * Closed-loop drift-recovery tests (the ISSUE's acceptance bands):
+ * a drift-free run never recalibrates; each injected slow-drift mode
+ * (latency ramp, capacitance aging, sensor bias, ambient shift) is
+ * detected and recalibrated within a bounded number of iterations; and
+ * the post-recalibration residuals return inside the paper's model
+ * error bands (4.62% power, 1.96% perf).
+ *
+ * Every scenario injects a STEP drift (drift_ramp = 0) so the
+ * post-confirmation observation window is stationary and the one-shot
+ * refit has a well-defined truth to recover.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "calib/drift_loop.h"
+#include "dvfs/pipeline.h"
+#include "models/transformer.h"
+#include "npu/freq_table.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::calib {
+namespace {
+
+// Paper model-error bands the recalibrated loop must return inside.
+constexpr double kPowerBand = 0.0462;
+constexpr double kPerfBand = 0.0196;
+
+/** Measured iteration the step drift begins at (after anchoring). */
+constexpr int kDriftIter = 5;
+constexpr int kIterations = 16;
+/** Iterations scored for the recovered-residual bands. */
+constexpr int kTailIterations = 4;
+
+struct Generated
+{
+    npu::NpuConfig chip;
+    models::Workload workload;
+    dvfs::PipelineResult result;
+    double baseline = 0.0;
+};
+
+/** One pipeline run shared by every scenario (models + baseline). */
+const Generated &
+generated()
+{
+    static const Generated value = [] {
+        Generated g;
+        npu::MemorySystem memory(g.chip.memory);
+        models::TransformerConfig model;
+        model.name = "drift-test";
+        model.layers = 2;
+        model.hidden = 2048;
+        model.heads = 16;
+        model.seq = 512;
+        model.batch = 2;
+        g.workload = models::buildTransformerTraining(memory, model, 5);
+
+        dvfs::PipelineOptions options;
+        options.chip = g.chip;
+        options.constants = power::calibrateOffline(g.chip);
+        options.warmup_seconds = 2.0;
+        options.profile_freqs_mhz = {1000.0, 1800.0};
+        // The default 2 ms telemetry period is sized for full-scale
+        // workloads; this test iteration is only ~8.5 ms, which would
+        // leave nearly every operator below the calibrator's
+        // own-sample floor and on coarse pooled alphas.  20 us keeps
+        // the per-op power fits sharp so the drift bands measure the
+        // drift machinery, not profiling undersampling.
+        options.profile_sample_period = kTicksPerMs / 50;
+        options.ga.population = 30;
+        options.ga.generations = 24;
+        g.result = dvfs::EnergyPipeline(options).optimize(g.workload);
+        g.baseline = g.result.baseline.iteration_seconds;
+        return g;
+    }();
+    return value;
+}
+
+/**
+ * Drift loop at the constant maximum frequency (no triggers), guard
+ * off so detection and refit accuracy are observable undisturbed by
+ * fallback policy — the guard interplay is bench_drift_recovery's and
+ * test_guard's territory.  @p thermal_tau_s overrides the package time
+ * constant (the ambient scenario needs the die to track its new
+ * environment within the short simulated run).
+ */
+DriftLoopResult
+runLoop(const npu::FaultPlan &faults, double thermal_tau_s = 0.0)
+{
+    const Generated &g = generated();
+    npu::NpuConfig chip = g.chip;
+    chip.faults = faults;
+    if (thermal_tau_s > 0.0)
+        chip.thermal.time_constant_s = thermal_tau_s;
+
+    DriftLoopOptions options;
+    options.iterations = kIterations;
+    options.guard.enabled = false;
+    options.run.initial_mhz = npu::FreqTable(g.chip.freq).maxMhz();
+    options.run.warmup_seconds = 3.0 * g.baseline;
+    // Dense telemetry (~256 samples per iteration): sparse sampling
+    // aliases onto the same phase of the same operators every
+    // iteration, and an operator's instantaneous power at one phase
+    // can sit tens of percent from the op-average its alpha models.
+    // Dense sampling makes each iteration's residual mean converge to
+    // the model-level bias the bands are about.
+    options.run.sample_period =
+        std::max<Tick>(1, secondsToTicks(g.baseline / 256.0));
+    options.run.seed = 17;
+    // Same dead zones as the recovery bench: wide enough to ignore
+    // post-refit systematic bias, far under the injected 8-12% steps.
+    options.tracker.time.slack = 0.02;
+    options.tracker.power.slack = 0.03;
+    // Thermal observations arrive once per iteration; a 16-iteration
+    // run cannot wait for the default 8 before refitting.
+    options.recalibrator.min_thermal_samples = 4;
+
+    power::PowerModel power_model(g.result.constants,
+                                  npu::FreqTable(g.chip.freq));
+    return runDriftLoop(chip, g.workload, g.result.perf_models,
+                        power_model, g.result.op_power, {}, g.baseline,
+                        options);
+}
+
+/** FaultPlan stepping to full drift at measured iteration kDriftIter. */
+npu::FaultPlan
+stepPlanAt(double warmup_seconds)
+{
+    npu::FaultPlan plan;
+    plan.drift_start = secondsToTicks(
+        warmup_seconds + kDriftIter * generated().baseline);
+    plan.drift_ramp = 0; // step
+    return plan;
+}
+
+npu::FaultPlan
+stepPlan()
+{
+    return stepPlanAt(3.0 * generated().baseline);
+}
+
+int
+firstRecalibratedIteration(const DriftLoopResult &result)
+{
+    for (std::size_t i = 0; i < result.iterations.size(); ++i)
+        if (result.iterations[i].recalibrated)
+            return static_cast<int>(i);
+    return -1;
+}
+
+// The bands score the signed residual means (systematic model bias):
+// that is what drift moves and recalibration must pull back.
+
+double
+tailMeanTimeResidual(const DriftLoopResult &result)
+{
+    double sum = 0.0;
+    for (int i = kIterations - kTailIterations; i < kIterations; ++i)
+        sum += std::abs(result.iterations[i].mean_time_residual);
+    return sum / kTailIterations;
+}
+
+double
+tailMeanPowerResidual(const DriftLoopResult &result)
+{
+    double sum = 0.0;
+    for (int i = kIterations - kTailIterations; i < kIterations; ++i)
+        sum += std::abs(result.iterations[i].mean_power_residual);
+    return sum / kTailIterations;
+}
+
+double
+tailMeanThermalResidual(const DriftLoopResult &result)
+{
+    double sum = 0.0;
+    for (int i = kIterations - kTailIterations; i < kIterations; ++i)
+        sum += std::abs(result.iterations[i].mean_thermal_residual);
+    return sum / kTailIterations;
+}
+
+TEST(DriftLoop, GoldenPathNeverRecalibrates)
+{
+    DriftLoopResult result = runLoop({});
+    EXPECT_EQ(result.recalibrations(), 0u);
+    EXPECT_EQ(result.watchdog.confirmations, 0u);
+    EXPECT_DOUBLE_EQ(result.patch.time_scale_global, 1.0);
+    EXPECT_DOUBLE_EQ(result.patch.power_dynamic_scale, 1.0);
+    EXPECT_FALSE(result.patch.thermal_updated);
+    // The drift-free loop already sits inside both error bands.
+    EXPECT_LT(tailMeanTimeResidual(result), kPerfBand);
+    EXPECT_LT(tailMeanPowerResidual(result), kPowerBand);
+}
+
+TEST(DriftLoop, LatencyDriftDetectedAndRefitIntoPerfBand)
+{
+    npu::FaultPlan plan = stepPlan();
+    plan.latency_drift = 0.08;
+    DriftLoopResult result = runLoop(plan);
+
+    ASSERT_GE(result.recalibrations(), 1u);
+    int recal = firstRecalibratedIteration(result);
+    ASSERT_GE(recal, kDriftIter);
+    // Detection + confirmation + a fresh window, all within budget.
+    EXPECT_LE(recal, kDriftIter + 7);
+
+    // The refit recovered the injected 8% duration scale.
+    EXPECT_NEAR(result.patch.time_scale_global, 1.08, 0.02);
+    EXPECT_NEAR(result.final_baseline_seconds,
+                generated().baseline * result.patch.time_scale_global,
+                1e-12);
+    EXPECT_LT(tailMeanTimeResidual(result), kPerfBand);
+}
+
+TEST(DriftLoop, AgingDriftDetectedAndRefitIntoPowerBand)
+{
+    npu::FaultPlan plan = stepPlan();
+    plan.aging_dynamic_drift = 0.12;
+    DriftLoopResult result = runLoop(plan);
+
+    ASSERT_GE(result.recalibrations(), 1u);
+    int recal = firstRecalibratedIteration(result);
+    ASSERT_GE(recal, kDriftIter);
+    EXPECT_LE(recal, kDriftIter + 7);
+
+    // Capacitance aging lands on the dynamic-power scale, not on the
+    // perf model.
+    EXPECT_GT(result.patch.power_dynamic_scale, 1.04);
+    EXPECT_LT(result.patch.power_dynamic_scale, 1.20);
+    EXPECT_DOUBLE_EQ(result.patch.time_scale_global, 1.0);
+    EXPECT_LT(tailMeanPowerResidual(result), kPowerBand);
+}
+
+TEST(DriftLoop, SensorBiasDetectedAndAbsorbed)
+{
+    npu::FaultPlan plan = stepPlan();
+    plan.sensor_bias_watts = 4.0;
+    DriftLoopResult result = runLoop(plan);
+
+    ASSERT_GE(result.recalibrations(), 1u);
+    int recal = firstRecalibratedIteration(result);
+    ASSERT_GE(recal, kDriftIter);
+    EXPECT_LE(recal, kDriftIter + 7);
+
+    // A constant telemetry offset belongs in the static-bias term (the
+    // scale may soak up a little of it at a single frequency point).
+    EXPECT_GT(result.patch.power_static_bias_w
+                  + 40.0 * (result.patch.power_dynamic_scale - 1.0),
+              1.0);
+    EXPECT_LT(tailMeanPowerResidual(result), kPowerBand);
+}
+
+TEST(DriftLoop, AmbientDriftRefitsTheThermalModel)
+{
+    npu::FaultPlan plan = stepPlan();
+    plan.ambient_drift_celsius = 8.0;
+    // Short package time constant: the die reaches its new equilibrium
+    // within an iteration, so the 16-iteration run sees the full step.
+    DriftLoopResult result = runLoop(plan, /*thermal_tau_s=*/1e-4);
+
+    ASSERT_GE(result.recalibrations(), 1u);
+    ASSERT_TRUE(result.patch.thermal_updated);
+    // The refit line must pass through the new operating point: the
+    // tail temperature bias returns inside the tracker's dead zone.
+    // (k and ambient individually are weakly identified from a
+    // near-constant-power window; their combination is what matters.)
+    EXPECT_LT(tailMeanThermalResidual(result), 2.0);
+}
+
+TEST(DriftLoop, RejectsMalformedOptions)
+{
+    const Generated &g = generated();
+    power::PowerModel power_model(g.result.constants,
+                                  npu::FreqTable(g.chip.freq));
+    DriftLoopOptions zero_iters;
+    zero_iters.iterations = 0;
+    EXPECT_THROW(runDriftLoop(g.chip, g.workload, g.result.perf_models,
+                              power_model, g.result.op_power, {},
+                              g.baseline, zero_iters),
+                 std::invalid_argument);
+
+    DriftLoopOptions bad_hold;
+    bad_hold.hold_iterations = 0;
+    EXPECT_THROW(runDriftLoop(g.chip, g.workload, g.result.perf_models,
+                              power_model, g.result.op_power, {},
+                              g.baseline, bad_hold),
+                 std::invalid_argument);
+
+    DriftLoopOptions ok;
+    std::vector<trace::SetFreqTrigger> out_of_range{
+        {g.workload.iteration.size(), 1000.0}};
+    EXPECT_THROW(runDriftLoop(g.chip, g.workload, g.result.perf_models,
+                              power_model, g.result.op_power,
+                              out_of_range, g.baseline, ok),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace opdvfs::calib

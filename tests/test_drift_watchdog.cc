@@ -1,0 +1,127 @@
+/**
+ * DriftWatchdog state-machine tests: confirmation debounce, transient
+ * dismissal, sticky Recalibrating, epoch advancement, and misuse
+ * detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "calib/watchdog.h"
+
+namespace opdvfs::calib {
+namespace {
+
+DriftVerdict
+alarming()
+{
+    DriftVerdict verdict;
+    verdict.perf = true;
+    return verdict;
+}
+
+TEST(DriftWatchdog, RejectsMalformedOptions)
+{
+    WatchdogOptions bad;
+    bad.confirm_iterations = 0;
+    EXPECT_THROW(DriftWatchdog{bad}, std::invalid_argument);
+}
+
+TEST(DriftWatchdog, StartsSteadyWithEpochZero)
+{
+    DriftWatchdog watchdog;
+    EXPECT_EQ(watchdog.state(), WatchdogState::Steady);
+    EXPECT_EQ(watchdog.epoch(), 0u);
+    EXPECT_EQ(watchdog.observe({}), WatchdogState::Steady);
+}
+
+TEST(DriftWatchdog, SingleAlarmOnlyRaisesSuspicion)
+{
+    WatchdogOptions options;
+    options.confirm_iterations = 2;
+    DriftWatchdog watchdog(options);
+
+    EXPECT_EQ(watchdog.observe(alarming()), WatchdogState::Suspect);
+    EXPECT_EQ(watchdog.stats().suspects, 1u);
+    EXPECT_EQ(watchdog.stats().confirmations, 0u);
+}
+
+TEST(DriftWatchdog, TransientAlarmIsDismissed)
+{
+    WatchdogOptions options;
+    options.confirm_iterations = 2;
+    DriftWatchdog watchdog(options);
+
+    watchdog.observe(alarming());
+    EXPECT_EQ(watchdog.observe({}), WatchdogState::Steady);
+    EXPECT_EQ(watchdog.stats().dismissals, 1u);
+
+    // The debounce counter restarts: another single alarm is again
+    // only a suspicion.
+    EXPECT_EQ(watchdog.observe(alarming()), WatchdogState::Suspect);
+    EXPECT_EQ(watchdog.stats().confirmations, 0u);
+}
+
+TEST(DriftWatchdog, ConsecutiveAlarmsConfirm)
+{
+    WatchdogOptions options;
+    options.confirm_iterations = 3;
+    DriftWatchdog watchdog(options);
+
+    DriftVerdict verdict;
+    verdict.power = true;
+    verdict.thermal = true;
+    EXPECT_EQ(watchdog.observe(verdict), WatchdogState::Suspect);
+    EXPECT_EQ(watchdog.observe(verdict), WatchdogState::Suspect);
+    EXPECT_EQ(watchdog.observe(verdict), WatchdogState::Recalibrating);
+    EXPECT_EQ(watchdog.stats().confirmations, 1u);
+    EXPECT_TRUE(watchdog.confirmedVerdict().power);
+    EXPECT_TRUE(watchdog.confirmedVerdict().thermal);
+    EXPECT_FALSE(watchdog.confirmedVerdict().perf);
+}
+
+TEST(DriftWatchdog, RecalibratingIsStickyUntilServiced)
+{
+    WatchdogOptions options;
+    options.confirm_iterations = 1;
+    DriftWatchdog watchdog(options);
+    ASSERT_EQ(watchdog.observe(alarming()), WatchdogState::Recalibrating);
+
+    // Even an all-clear verdict cannot cancel an owed recalibration:
+    // the residuals only look clean because nothing was refit yet.
+    EXPECT_EQ(watchdog.observe({}), WatchdogState::Recalibrating);
+    EXPECT_EQ(watchdog.observe(alarming()), WatchdogState::Recalibrating);
+    EXPECT_EQ(watchdog.stats().confirmations, 1u);
+}
+
+TEST(DriftWatchdog, RecalibratedReturnsToSteadyAndAdvancesEpoch)
+{
+    WatchdogOptions options;
+    options.confirm_iterations = 1;
+    DriftWatchdog watchdog(options);
+    watchdog.observe(alarming());
+    ASSERT_EQ(watchdog.state(), WatchdogState::Recalibrating);
+
+    watchdog.recalibrated();
+    EXPECT_EQ(watchdog.state(), WatchdogState::Steady);
+    EXPECT_EQ(watchdog.epoch(), 1u);
+    EXPECT_EQ(watchdog.stats().recalibrations, 1u);
+
+    // The machine re-arms for the next drift.
+    watchdog.observe(alarming());
+    watchdog.recalibrated();
+    EXPECT_EQ(watchdog.epoch(), 2u);
+}
+
+TEST(DriftWatchdog, RecalibratedOutsideRecalibratingThrows)
+{
+    DriftWatchdog watchdog;
+    EXPECT_THROW(watchdog.recalibrated(), std::logic_error);
+    watchdog.observe(alarming()); // Suspect, not yet confirmed
+    EXPECT_THROW(watchdog.recalibrated(), std::logic_error);
+    EXPECT_EQ(watchdog.epoch(), 0u);
+}
+
+} // namespace
+} // namespace opdvfs::calib

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "npu/fault_injector.h"
@@ -51,6 +53,103 @@ TEST(FaultPlan, AnyEnabledReflectsEveryClass)
     FaultPlan spike;
     spike.spike_rate = 0.5;
     EXPECT_TRUE(spike.anyEnabled());
+}
+
+TEST(FaultPlan, DriftMagnitudesCountTowardAnyEnabled)
+{
+    EXPECT_FALSE(FaultPlan{}.driftEnabled());
+
+    FaultPlan aging;
+    aging.aging_dynamic_drift = 0.1;
+    EXPECT_TRUE(aging.driftEnabled());
+    EXPECT_TRUE(aging.anyEnabled());
+
+    FaultPlan bias;
+    bias.sensor_bias_watts = 2.0;
+    EXPECT_TRUE(bias.driftEnabled());
+    EXPECT_TRUE(bias.anyEnabled());
+
+    FaultPlan latency;
+    latency.latency_drift = 0.05;
+    EXPECT_TRUE(latency.driftEnabled());
+    EXPECT_TRUE(latency.anyEnabled());
+
+    FaultPlan ambient;
+    ambient.ambient_drift_celsius = 5.0;
+    EXPECT_TRUE(ambient.driftEnabled());
+    EXPECT_TRUE(ambient.anyEnabled());
+}
+
+TEST(FaultInjector, RejectsMalformedDriftPlans)
+{
+    FaultPlan nan_magnitude;
+    nan_magnitude.sensor_bias_watts =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(FaultInjector{nan_magnitude}, std::invalid_argument);
+
+    FaultPlan dead_power;
+    dead_power.aging_dynamic_drift = -1.0;
+    EXPECT_THROW(FaultInjector{dead_power}, std::invalid_argument);
+
+    FaultPlan dead_latency;
+    dead_latency.latency_drift = -1.0;
+    EXPECT_THROW(FaultInjector{dead_latency}, std::invalid_argument);
+
+    FaultPlan bad_start;
+    bad_start.latency_drift = 0.1;
+    bad_start.drift_start = -1;
+    EXPECT_THROW(FaultInjector{bad_start}, std::invalid_argument);
+
+    FaultPlan bad_ramp;
+    bad_ramp.latency_drift = 0.1;
+    bad_ramp.drift_ramp = -1;
+    EXPECT_THROW(FaultInjector{bad_ramp}, std::invalid_argument);
+}
+
+TEST(FaultInjector, DriftLevelIsPiecewiseLinear)
+{
+    FaultPlan plan;
+    plan.latency_drift = 0.5;
+    plan.drift_start = 100 * kTicksPerMs;
+    plan.drift_ramp = 200 * kTicksPerMs;
+    FaultInjector injector(plan);
+
+    EXPECT_DOUBLE_EQ(injector.driftLevel(0), 0.0);
+    EXPECT_DOUBLE_EQ(injector.driftLevel(100 * kTicksPerMs - 1), 0.0);
+    EXPECT_DOUBLE_EQ(injector.driftLevel(100 * kTicksPerMs), 0.0);
+    EXPECT_DOUBLE_EQ(injector.driftLevel(200 * kTicksPerMs), 0.5);
+    EXPECT_DOUBLE_EQ(injector.driftLevel(300 * kTicksPerMs), 1.0);
+    // Held at full drift forever after.
+    EXPECT_DOUBLE_EQ(injector.driftLevel(900 * kTicksPerMs), 1.0);
+    EXPECT_DOUBLE_EQ(injector.latencyScale(200 * kTicksPerMs), 1.25);
+
+    // A zero ramp is a step to full drift at drift_start.
+    plan.drift_ramp = 0;
+    FaultInjector step(plan);
+    EXPECT_DOUBLE_EQ(step.driftLevel(100 * kTicksPerMs - 1), 0.0);
+    EXPECT_DOUBLE_EQ(step.driftLevel(100 * kTicksPerMs), 1.0);
+
+    // A drift-free plan never reports a level.
+    FaultPlan clean;
+    clean.spike_rate = 0.5;
+    EXPECT_DOUBLE_EQ(FaultInjector(clean).driftLevel(kMaxTick - 1), 0.0);
+}
+
+TEST(FaultInjector, DriftAccessorsScaleWithTheLevel)
+{
+    FaultPlan plan;
+    plan.aging_dynamic_drift = 0.12;
+    plan.sensor_bias_watts = 4.0;
+    plan.latency_drift = 0.08;
+    plan.ambient_drift_celsius = 8.0;
+    plan.drift_start = 0;
+    plan.drift_ramp = 0;
+    FaultInjector injector(plan);
+
+    EXPECT_DOUBLE_EQ(injector.agingDynamicScale(kTicksPerMs), 1.12);
+    EXPECT_DOUBLE_EQ(injector.sensorBiasWatts(kTicksPerMs), 4.0);
+    EXPECT_DOUBLE_EQ(injector.latencyScale(kTicksPerMs), 1.08);
+    EXPECT_DOUBLE_EQ(injector.ambientOffsetCelsius(kTicksPerMs), 8.0);
 }
 
 TEST(FaultInjector, RejectsMalformedPlans)
@@ -348,6 +447,81 @@ TEST(FaultInjectorChip, TelemetryBlackoutLosesSamplesSpikesCorruptThem)
     EXPECT_LT(dark.samples().size(), clean.samples().size());
     EXPECT_GT(
         dark_chip.faultInjector()->counters().samples_blacked_out, 0u);
+}
+
+TEST(FaultInjectorChip, LatencyDriftStretchesOperatorDurations)
+{
+    sim::Simulator clean_sim;
+    NpuChip clean(clean_sim);
+    clean.enqueueOp(computeOp(1.8e9), 0); // ~1 s at 1800 MHz
+    clean_sim.run();
+    Tick clean_span = clean_sim.now();
+
+    sim::Simulator sim;
+    NpuConfig config;
+    config.faults.latency_drift = 0.10;
+    config.faults.drift_start = 0;
+    NpuChip chip(sim, config);
+    chip.enqueueOp(computeOp(1.8e9), 0);
+    sim.run();
+
+    EXPECT_NEAR(ticksToSeconds(sim.now()),
+                1.10 * ticksToSeconds(clean_span),
+                1e-6 * ticksToSeconds(clean_span));
+}
+
+TEST(FaultInjectorChip, AgingDriftRaisesMeasuredDynamicPower)
+{
+    auto joules = [](double aging_drift) {
+        sim::Simulator sim;
+        NpuConfig config;
+        config.faults.aging_dynamic_drift = aging_drift;
+        // Keep at least one class on so the injector exists for both.
+        config.faults.set_freq_jitter_max = 1;
+        NpuChip chip(sim, config);
+        chip.enqueueOp(computeOp(1.8e9), 0);
+        sim.run();
+        chip.syncAccounting();
+        return chip.energy().aicore_joules;
+    };
+
+    double clean = joules(0.0);
+    double aged = joules(0.12);
+    // Dynamic power scales by 1.12 but static/leakage terms do not:
+    // the energy ratio lands strictly between 1 and 1.12.
+    EXPECT_GT(aged, clean * 1.01);
+    EXPECT_LT(aged, clean * 1.12);
+}
+
+TEST(FaultInjectorChip, SensorBiasCorruptsTelemetryNotTheChip)
+{
+    auto run = [](double bias_watts) {
+        sim::Simulator sim;
+        NpuConfig config;
+        config.faults.sensor_bias_watts = bias_watts;
+        config.faults.set_freq_jitter_max = 1;
+        NpuChip chip(sim, config);
+        trace::PowerSampler sampler(chip, 10 * kTicksPerMs, {}, 1);
+        chip.enqueueOp(computeOp(1.8e9), 0);
+        sampler.start(/*stop_when_idle=*/true);
+        sim.run();
+        chip.syncAccounting();
+        return std::pair(chip.energy().soc_joules, sampler.samples());
+    };
+
+    auto [clean_joules, clean_samples] = run(0.0);
+    auto [biased_joules, biased_samples] = run(4.0);
+
+    // The chip's true energy is untouched: only the telemetry lies.
+    EXPECT_NEAR(biased_joules, clean_joules, 1e-9);
+    ASSERT_EQ(clean_samples.size(), biased_samples.size());
+    ASSERT_FALSE(clean_samples.empty());
+    for (std::size_t i = 0; i < clean_samples.size(); ++i) {
+        EXPECT_NEAR(biased_samples[i].soc_watts,
+                    clean_samples[i].soc_watts + 4.0, 1e-9);
+        EXPECT_NEAR(biased_samples[i].aicore_watts,
+                    clean_samples[i].aicore_watts + 4.0, 1e-9);
+    }
 }
 
 } // namespace

@@ -148,6 +148,60 @@ TEST(DvfsGuard, ThrottleResetWantedOnlyWhenThrottledAndViolating)
     EXPECT_FALSE(guard.wantsThrottleReset());
 }
 
+// --- recalibration hooks (safe hold + rebase) -------------------------------
+
+TEST(DvfsGuard, SafeHoldForcesFallbackThenAutoResumes)
+{
+    DvfsGuard guard(tightGuard(), 1.0);
+    EXPECT_THROW(guard.holdSafe(0), std::invalid_argument);
+
+    guard.holdSafe(2);
+    EXPECT_TRUE(guard.safeHoldActive());
+    EXPECT_FALSE(guard.strategyEnabled());
+    EXPECT_EQ(guard.stats().safe_holds, 1u);
+
+    // Gross violations during the hold are recorded but never drive
+    // transitions: the measurements were taken against a baseline the
+    // recalibration is about to replace.
+    EXPECT_EQ(guard.observe(obs(1.50)), GuardState::Fallback);
+    EXPECT_TRUE(guard.safeHoldActive());
+    EXPECT_EQ(guard.observe(obs(1.50)), GuardState::Monitoring);
+    EXPECT_FALSE(guard.safeHoldActive());
+    EXPECT_TRUE(guard.strategyEnabled());
+    EXPECT_EQ(guard.stats().fallbacks, 0u);
+
+    // The hold wiped the violation streak: the next violating
+    // iteration starts counting from zero again.
+    EXPECT_EQ(guard.observe(obs(1.10)), GuardState::Monitoring);
+}
+
+TEST(DvfsGuard, RebaseMovesTheLossReferenceAndClearsHistory)
+{
+    GuardOptions options = tightGuard();
+    DvfsGuard guard(options, 1.0);
+
+    EXPECT_THROW(guard.rebase(0.0), std::invalid_argument);
+    EXPECT_THROW(guard.rebase(-2.0), std::invalid_argument);
+
+    // One violation accrued against the old baseline...
+    EXPECT_EQ(guard.observe(obs(1.10)), GuardState::Monitoring);
+
+    // ...then the recalibrated model says iterations are 10% longer
+    // now.  The same measurement is clean under the new baseline, and
+    // the stale violation streak must not count toward fallback.
+    guard.rebase(1.10);
+    EXPECT_DOUBLE_EQ(guard.baselineSeconds(), 1.10);
+    EXPECT_EQ(guard.stats().rebases, 1u);
+
+    // Still violating under the new baseline - but only as streak #1:
+    // had the rebase kept the stale count, this would already fall
+    // back (violation_limit = 2).
+    EXPECT_EQ(guard.observe(obs(1.20)), GuardState::Monitoring);
+    EXPECT_NEAR(guard.lastLoss(), 0.10 / 1.10, 1e-12);
+    EXPECT_EQ(guard.observe(obs(1.20)), GuardState::Fallback);
+    EXPECT_EQ(guard.stats().fallbacks, 1u);
+}
+
 // --- guarded SetFreq wiring -------------------------------------------------
 
 TEST(GuardedSetFreq, AppliesCleanlyWithoutFaults)

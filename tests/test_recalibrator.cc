@@ -1,0 +1,228 @@
+/**
+ * Recalibrator unit tests: per-family refits recover injected scales
+ * and biases, increments compose across repeated recalibrations,
+ * windows are bounded and droppable, and the patched power prediction
+ * degenerates to the unpatched model under a pristine patch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "calib/recalibrator.h"
+#include "npu/freq_table.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::calib {
+namespace {
+
+DriftVerdict
+perfOnly()
+{
+    DriftVerdict verdict;
+    verdict.perf = true;
+    return verdict;
+}
+
+DriftVerdict
+powerOnly()
+{
+    DriftVerdict verdict;
+    verdict.power = true;
+    return verdict;
+}
+
+DriftVerdict
+thermalOnly()
+{
+    DriftVerdict verdict;
+    verdict.thermal = true;
+    return verdict;
+}
+
+/** Feed @p n (predicted, scale * predicted) pairs for one op type. */
+void
+feedTime(Recalibrator &recal, const std::string &type, double scale, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        double predicted = 1e-3 * (1.0 + 0.1 * i);
+        recal.addTime({type, predicted, scale * predicted});
+    }
+}
+
+TEST(Recalibrator, RejectsDegenerateWindow)
+{
+    RecalibratorOptions options;
+    options.window = 1;
+    EXPECT_THROW(Recalibrator{options}, std::invalid_argument);
+}
+
+TEST(Recalibrator, TimeRefitRecoversInjectedScale)
+{
+    Recalibrator recal;
+    feedTime(recal, "matmul", 1.08, 16);
+
+    ASSERT_TRUE(recal.recalibrate(perfOnly()));
+    const ModelPatch &patch = recal.patch();
+    EXPECT_NEAR(patch.time_scale_global, 1.08, 1e-6);
+    EXPECT_NEAR(patch.timeScaleFor("matmul"), 1.08, 1e-6);
+    EXPECT_EQ(patch.epoch, 1u);
+    // A successful refit invalidates the window (stale predictions).
+    EXPECT_EQ(recal.timeWindowSize(), 0u);
+}
+
+TEST(Recalibrator, PerTypeScalesNeedTheirOwnSamples)
+{
+    RecalibratorOptions options;
+    options.min_time_samples = 8;
+    options.min_time_samples_per_type = 8;
+    Recalibrator recal(options);
+    feedTime(recal, "matmul", 1.10, 12);
+    feedTime(recal, "vector", 1.10, 3); // below the per-type floor
+
+    ASSERT_TRUE(recal.recalibrate(perfOnly()));
+    const ModelPatch &patch = recal.patch();
+    EXPECT_TRUE(patch.time_scale_by_type.count("matmul"));
+    EXPECT_FALSE(patch.time_scale_by_type.count("vector"));
+    // The starved type falls back to the global scale.
+    EXPECT_NEAR(patch.timeScaleFor("vector"), patch.time_scale_global,
+                1e-12);
+}
+
+TEST(Recalibrator, TooFewSamplesKeepsWindowAndPatch)
+{
+    Recalibrator recal;
+    feedTime(recal, "matmul", 1.5, 3); // below min_time_samples = 8
+    EXPECT_FALSE(recal.recalibrate(perfOnly()));
+    EXPECT_EQ(recal.timeWindowSize(), 3u);
+    EXPECT_DOUBLE_EQ(recal.patch().time_scale_global, 1.0);
+    EXPECT_EQ(recal.patch().epoch, 0u);
+}
+
+TEST(Recalibrator, PowerRefitSeparatesScaleFromBias)
+{
+    Recalibrator recal;
+    // measured = 1.12 * dynamic + rest + 0.8 W, with the dynamic part
+    // varied (different frequencies) so the system is well conditioned.
+    for (int i = 0; i < 16; ++i) {
+        double dynamic = 20.0 + 2.0 * i;
+        double rest = 5.0 + 0.1 * i;
+        recal.addPower({dynamic, rest, 1.12 * dynamic + rest + 0.8});
+    }
+    ASSERT_TRUE(recal.recalibrate(powerOnly()));
+    EXPECT_NEAR(recal.patch().power_dynamic_scale, 1.12, 1e-9);
+    EXPECT_NEAR(recal.patch().power_static_bias_w, 0.8, 1e-9);
+    EXPECT_EQ(recal.powerWindowSize(), 0u);
+}
+
+TEST(Recalibrator, ThermalRefitRecoversSlopeAndAmbient)
+{
+    Recalibrator recal;
+    const double k = 0.11, ambient = 31.0;
+    for (int i = 0; i < 16; ++i) {
+        double watts = 30.0 + 3.0 * i;
+        recal.addThermal({watts, ambient + k * watts});
+    }
+    ASSERT_TRUE(recal.recalibrate(thermalOnly()));
+    const ModelPatch &patch = recal.patch();
+    ASSERT_TRUE(patch.thermal_updated);
+    EXPECT_NEAR(patch.k_per_watt, k, 1e-9);
+    EXPECT_NEAR(patch.ambient_c, ambient, 1e-6);
+}
+
+TEST(Recalibrator, IncrementsComposeAcrossRecalibrations)
+{
+    Recalibrator recal;
+    feedTime(recal, "matmul", 1.08, 16);
+    ASSERT_TRUE(recal.recalibrate(perfOnly()));
+
+    // The second window holds residuals against the PATCHED model:
+    // predictions already carry the 1.08, reality drifted another 5%.
+    feedTime(recal, "matmul", 1.05, 16);
+    ASSERT_TRUE(recal.recalibrate(perfOnly()));
+    EXPECT_NEAR(recal.patch().time_scale_global, 1.08 * 1.05, 1e-6);
+    EXPECT_EQ(recal.patch().epoch, 2u);
+}
+
+TEST(Recalibrator, VerdictGatesWhichFamiliesRefit)
+{
+    Recalibrator recal;
+    feedTime(recal, "matmul", 1.3, 16);
+    for (int i = 0; i < 16; ++i) {
+        double dynamic = 20.0 + 2.0 * i;
+        recal.addPower({dynamic, 5.0, 1.3 * dynamic + 5.0});
+    }
+    // Only the power family is implicated: the (drifted) time window
+    // must not leak into the patch.
+    ASSERT_TRUE(recal.recalibrate(powerOnly()));
+    EXPECT_NEAR(recal.patch().power_dynamic_scale, 1.3, 1e-9);
+    EXPECT_DOUBLE_EQ(recal.patch().time_scale_global, 1.0);
+    // An applied refit conservatively invalidates every window (the
+    // epoch the observations were scored under is gone).
+    EXPECT_EQ(recal.timeWindowSize(), 0u);
+}
+
+TEST(Recalibrator, WindowsAreBounded)
+{
+    RecalibratorOptions options;
+    options.window = 10;
+    Recalibrator recal(options);
+    feedTime(recal, "matmul", 1.0, 50);
+    EXPECT_EQ(recal.timeWindowSize(), 10u);
+}
+
+TEST(Recalibrator, ClearWindowsDropsBufferedObservations)
+{
+    Recalibrator recal;
+    feedTime(recal, "matmul", 1.2, 16);
+    recal.clearWindows();
+    EXPECT_EQ(recal.timeWindowSize(), 0u);
+    EXPECT_FALSE(recal.recalibrate(perfOnly()));
+    EXPECT_DOUBLE_EQ(recal.patch().time_scale_global, 1.0);
+}
+
+TEST(Recalibrator, InvalidObservationsAreDropped)
+{
+    Recalibrator recal;
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    recal.addTime({"matmul", nan, 1.0});
+    recal.addTime({"matmul", 1.0, -1.0});
+    recal.addTime({"matmul", 0.0, 1.0});
+    recal.addPower({0.0, 1.0, 1.0}); // non-positive dynamic part
+    recal.addPower({nan, 1.0, 1.0});
+    recal.addThermal({nan, 40.0});
+    EXPECT_EQ(recal.timeWindowSize(), 0u);
+    EXPECT_EQ(recal.powerWindowSize(), 0u);
+    EXPECT_EQ(recal.thermalWindowSize(), 0u);
+}
+
+TEST(Recalibrator, PristinePatchReproducesThePowerModel)
+{
+    npu::NpuConfig chip;
+    npu::FreqTable table(chip.freq);
+    power::CalibratedConstants constants = power::calibrateOffline(chip);
+    power::PowerModel model(constants, table);
+    power::OpPowerModel op;
+    op.alpha_aicore = 2.0e-10;
+    op.alpha_soc = 3.0e-10;
+
+    ModelPatch pristine;
+    for (double mhz : {1000.0, 1400.0, 1800.0}) {
+        power::PowerPrediction expected = model.predict(op, mhz);
+        PatchedPowerPrediction patched =
+            predictPatched(model, op, mhz, pristine);
+        EXPECT_NEAR(patched.aicore_watts, expected.aicore_watts,
+                    1e-6 * expected.aicore_watts);
+        EXPECT_NEAR(patched.soc_watts, expected.soc_watts,
+                    1e-6 * expected.soc_watts);
+        EXPECT_NEAR(patched.delta_t, expected.delta_t, 0.05);
+        // The dynamic/rest split must re-assemble to the total.
+        EXPECT_NEAR(patched.aicore_dynamic_w + patched.aicore_rest_w,
+                    patched.aicore_watts, 1e-12);
+    }
+}
+
+} // namespace
+} // namespace opdvfs::calib

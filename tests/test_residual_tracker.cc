@@ -1,0 +1,197 @@
+/**
+ * ResidualTracker unit tests: anchoring on systematic fit bias, noise
+ * immunity inside the CUSUM dead zone, bounded detection of upward and
+ * downward drifts, per-family classification, and the two reset
+ * flavours (full vs refit-families-only).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "calib/residual_tracker.h"
+
+namespace opdvfs::calib {
+namespace {
+
+TrackerOptions
+tightOptions()
+{
+    TrackerOptions options;
+    options.time = {0.01, 0.06};
+    options.power = {0.015, 0.08};
+    options.thermal = {2.0, 8.0};
+    options.anchor_samples = 3;
+    return options;
+}
+
+/** Feed @p n identical residuals into one channel. */
+void
+feedTime(ResidualTracker &tracker, const std::string &type, double value,
+         int n)
+{
+    for (int i = 0; i < n; ++i)
+        tracker.addTimeResidual(type, value);
+}
+
+TEST(ResidualTracker, RejectsMalformedOptions)
+{
+    TrackerOptions negative_slack = tightOptions();
+    negative_slack.time.slack = -0.01;
+    EXPECT_THROW(ResidualTracker{negative_slack}, std::invalid_argument);
+
+    TrackerOptions zero_threshold = tightOptions();
+    zero_threshold.power.threshold = 0.0;
+    EXPECT_THROW(ResidualTracker{zero_threshold}, std::invalid_argument);
+
+    TrackerOptions no_anchor = tightOptions();
+    no_anchor.anchor_samples = 0;
+    EXPECT_THROW(ResidualTracker{no_anchor}, std::invalid_argument);
+
+    TrackerOptions bad_alpha = tightOptions();
+    bad_alpha.ewma_alpha = 0.0;
+    EXPECT_THROW(ResidualTracker{bad_alpha}, std::invalid_argument);
+    bad_alpha.ewma_alpha = 1.5;
+    EXPECT_THROW(ResidualTracker{bad_alpha}, std::invalid_argument);
+}
+
+TEST(ResidualTracker, AnchorCancelsSystematicFitBias)
+{
+    // A repeating op sequence makes the fit error repeat too: a large
+    // but CONSTANT residual is "normal", not drift.
+    ResidualTracker tracker(tightOptions());
+    feedTime(tracker, "matmul", 0.05, 50);
+    EXPECT_FALSE(tracker.verdict().any());
+    EXPECT_NEAR(tracker.timeEwma("matmul"), 0.05, 1e-12);
+}
+
+TEST(ResidualTracker, NoiseInsideTheSlackNeverAlarms)
+{
+    ResidualTracker tracker(tightOptions());
+    for (int i = 0; i < 200; ++i) {
+        // Alternating +-0.8% around the anchor, under the 1% slack.
+        tracker.addTimeResidual("conv", (i % 2 == 0) ? 0.008 : -0.008);
+        tracker.addPowerResidual((i % 2 == 0) ? 0.012 : -0.012);
+        tracker.addThermalResidual((i % 2 == 0) ? 1.5 : -1.5);
+    }
+    EXPECT_FALSE(tracker.verdict().any());
+}
+
+TEST(ResidualTracker, DetectsUpwardStepWithinBoundedObservations)
+{
+    ResidualTracker tracker(tightOptions());
+    feedTime(tracker, "matmul", 0.0, 10);
+    ASSERT_FALSE(tracker.verdict().perf);
+
+    // An 8% latency step accumulates 0.07 per observation against the
+    // 0.06 threshold: the alarm must fire within two observations.
+    int detected_after = -1;
+    for (int i = 1; i <= 5; ++i) {
+        tracker.addTimeResidual("matmul", 0.08);
+        if (tracker.verdict().perf) {
+            detected_after = i;
+            break;
+        }
+    }
+    ASSERT_GT(detected_after, 0) << "step never detected";
+    EXPECT_LE(detected_after, 2);
+    EXPECT_EQ(tracker.verdict().primary(), DriftKind::PerfModel);
+}
+
+TEST(ResidualTracker, DetectsDownwardDriftToo)
+{
+    ResidualTracker tracker(tightOptions());
+    for (int i = 0; i < 10; ++i)
+        tracker.addPowerResidual(0.0);
+    for (int i = 0; i < 4; ++i)
+        tracker.addPowerResidual(-0.10);
+    EXPECT_TRUE(tracker.verdict().power);
+}
+
+TEST(ResidualTracker, ChannelsClassifyIndependently)
+{
+    ResidualTracker tracker(tightOptions());
+    for (int i = 0; i < 10; ++i) {
+        tracker.addTimeResidual("matmul", 0.0);
+        tracker.addPowerResidual(0.0);
+        tracker.addThermalResidual(0.0);
+    }
+    // Only the thermal channel drifts.
+    for (int i = 0; i < 5; ++i)
+        tracker.addThermalResidual(6.0);
+
+    DriftVerdict verdict = tracker.verdict();
+    EXPECT_FALSE(verdict.perf);
+    EXPECT_FALSE(verdict.power);
+    EXPECT_TRUE(verdict.thermal);
+    EXPECT_EQ(verdict.primary(), DriftKind::Thermal);
+}
+
+TEST(ResidualTracker, NonFiniteResidualsAreIgnored)
+{
+    ResidualTracker tracker(tightOptions());
+    for (int i = 0; i < 10; ++i)
+        tracker.addPowerResidual(0.0);
+    tracker.addPowerResidual(std::numeric_limits<double>::quiet_NaN());
+    tracker.addPowerResidual(std::numeric_limits<double>::infinity());
+    EXPECT_FALSE(tracker.verdict().power);
+    EXPECT_NEAR(tracker.powerEwma(), 0.0, 1e-12);
+}
+
+TEST(ResidualTracker, EwmaReportsZeroBeforeAnchoring)
+{
+    ResidualTracker tracker(tightOptions());
+    EXPECT_DOUBLE_EQ(tracker.powerEwma(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.timeEwma("unseen"), 0.0);
+    tracker.addPowerResidual(0.5); // 1 of 3 anchor samples
+    EXPECT_DOUBLE_EQ(tracker.powerEwma(), 0.0);
+}
+
+TEST(ResidualTracker, FullResetForgetsEverything)
+{
+    ResidualTracker tracker(tightOptions());
+    feedTime(tracker, "matmul", 0.0, 10);
+    feedTime(tracker, "matmul", 0.10, 4);
+    ASSERT_TRUE(tracker.verdict().perf);
+
+    tracker.reset();
+    EXPECT_FALSE(tracker.verdict().any());
+    // Re-anchors on the post-reset level: the old 10% step is the new
+    // normal and must not re-alarm.
+    feedTime(tracker, "matmul", 0.10, 20);
+    EXPECT_FALSE(tracker.verdict().perf);
+}
+
+TEST(ResidualTracker, PerFamilyResetKeepsUnrefitEvidence)
+{
+    ResidualTracker tracker(tightOptions());
+    for (int i = 0; i < 10; ++i) {
+        tracker.addTimeResidual("matmul", 0.0);
+        tracker.addPowerResidual(0.0);
+    }
+    // Both families drift; only the perf family gets refit.
+    for (int i = 0; i < 4; ++i) {
+        tracker.addTimeResidual("matmul", 0.10);
+        tracker.addPowerResidual(0.06);
+    }
+    ASSERT_TRUE(tracker.verdict().perf);
+
+    DriftVerdict refit;
+    refit.perf = true;
+    tracker.reset(refit);
+
+    DriftVerdict after = tracker.verdict();
+    EXPECT_FALSE(after.perf); // cleared, must re-anchor
+    // The power channel kept its cumulative sums: the still-active 6%
+    // power drift crosses its threshold without starting over.
+    for (int i = 0; i < 2 && !after.power; ++i) {
+        tracker.addPowerResidual(0.06);
+        after = tracker.verdict();
+    }
+    EXPECT_TRUE(after.power);
+}
+
+} // namespace
+} // namespace opdvfs::calib

@@ -88,6 +88,42 @@ TEST(StrategyCache, FindSimilarPicksTheClosestAboveThreshold)
     EXPECT_FALSE(cache.findSimilar(far_probe, 0.9).has_value());
 }
 
+TEST(StrategyCache, FindSimilarGatesOnTheLossTarget)
+{
+    StrategyCache cache({.capacity = 16, .shards = 2});
+    CacheEntry tight = entryWith(1, 0.10);
+    tight.perf_loss_target = 0.02;
+    CacheEntry loose = entryWith(2, 0.10);
+    loose.perf_loss_target = 0.05;
+    cache.insert(tight);
+    cache.insert(loose);
+
+    Fingerprint probe;
+    probe.features = {0.10, 0.5};
+
+    // A 2% probe must never seed from the 5% donor: identical
+    // features, but the strategy optimises a different trade-off.
+    auto hit = cache.findSimilar(probe, 0.5, 0.02);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->entry.fingerprint.digest, 1u);
+
+    auto loose_hit = cache.findSimilar(probe, 0.5, 0.05);
+    ASSERT_TRUE(loose_hit.has_value());
+    EXPECT_EQ(loose_hit->entry.fingerprint.digest, 2u);
+
+    // Within the tolerance (default 0.005) still matches.
+    auto near_hit = cache.findSimilar(probe, 0.5, 0.024);
+    ASSERT_TRUE(near_hit.has_value());
+    EXPECT_EQ(near_hit->entry.fingerprint.digest, 1u);
+
+    // A target between both envelopes but outside tolerance of either
+    // finds nothing, however similar the features.
+    EXPECT_FALSE(cache.findSimilar(probe, 0.5, 0.035).has_value());
+
+    // No loss target = legacy behaviour: the gate is bypassed.
+    EXPECT_TRUE(cache.findSimilar(probe, 0.5).has_value());
+}
+
 TEST(StrategyCache, ZeroCapacityRejected)
 {
     EXPECT_THROW(StrategyCache({.capacity = 0, .shards = 2}),

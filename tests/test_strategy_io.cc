@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "dvfs/pipeline.h"
@@ -234,6 +237,83 @@ TEST(StrategyIo, MissingFileThrows)
 {
     EXPECT_THROW(loadStrategyFile("/nonexistent/path/strategy.txt"),
                  std::runtime_error);
+}
+
+// --- crash-safe persistence (CRC-32 footer + atomic replace) ----------------
+
+TEST(StrategyIo, ChecksumFooterDetectsCorruption)
+{
+    std::stringstream buffer;
+    saveStrategy(sampleStrategy(), buffer);
+    std::string text = buffer.str();
+    ASSERT_NE(text.find("crc32 "), std::string::npos);
+
+    // Flip one payload byte (a frequency digit): the footer no longer
+    // matches and the loader must refuse the whole file.
+    std::size_t pos = text.find("1800");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos] = '9';
+    std::stringstream corrupted(text);
+    EXPECT_THROW(loadStrategy(corrupted), std::invalid_argument);
+}
+
+TEST(StrategyIo, TamperedOrMalformedFooterThrows)
+{
+    for (const char *bad :
+         {"strategy v1\ninitial 1800\ncrc32 0\n", // wrong checksum
+          "strategy v1\ninitial 1800\ncrc32\n",   // value missing
+          "strategy v1\ninitial 1800\ncrc32 zzzz\n", // not hex
+          // Records after the footer mean the file was appended to
+          // (or two writes interleaved): never trust it.
+          "strategy v1\ncrc32 0\ninitial 1800\n"}) {
+        std::stringstream buffer(bad);
+        EXPECT_THROW(loadStrategy(buffer), std::invalid_argument) << bad;
+    }
+}
+
+TEST(StrategyIo, FooterlessStreamStillLoads)
+{
+    // Files written before the checksum existed keep loading.
+    std::stringstream buffer;
+    saveStrategy(sampleStrategy(), buffer);
+    std::string text = buffer.str();
+    std::size_t footer = text.find("crc32 ");
+    ASSERT_NE(footer, std::string::npos);
+    std::stringstream legacy(text.substr(0, footer));
+    Strategy loaded = loadStrategy(legacy);
+    EXPECT_EQ(loaded.stages.size(), 4u);
+}
+
+TEST(StrategyIo, FileRoundTripIsChecksummedAndLeavesNoTempFile)
+{
+    Strategy original = sampleStrategy();
+    std::string path = ::testing::TempDir() + "/opdvfs_crc_strategy.txt";
+    saveStrategyFile(original, path);
+
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("crc32 "), std::string::npos);
+    EXPECT_NO_THROW(loadStrategyFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(StrategyIo, FailedSavePreservesThePreviousFile)
+{
+    Strategy original = sampleStrategy();
+    std::string path = ::testing::TempDir() + "/opdvfs_keep_strategy.txt";
+    saveStrategyFile(original, path);
+
+    // A malformed strategy must not clobber the good file on disk.
+    Strategy broken = sampleStrategy();
+    broken.mhz_per_stage.pop_back();
+    EXPECT_THROW(saveStrategyFile(broken, path), std::invalid_argument);
+
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    Strategy survivor = loadStrategyFile(path);
+    EXPECT_EQ(survivor.stages.size(), original.stages.size());
+    std::remove(path.c_str());
 }
 
 TEST(StrategyIo, SavedStrategyReExecutesEquivalently)

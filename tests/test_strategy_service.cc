@@ -235,6 +235,46 @@ TEST(StrategyService, TrySubmitRejectsAtAdmissionCapacity)
     retried->get();
 }
 
+TEST(StrategyService, EpochAdvanceDemotesExactHitsToWarmStarts)
+{
+    ServiceOptions options = fastOptions(2);
+    options.warm_generation_fraction = 1.0 / 3.0;
+    StrategyService service(options);
+    EXPECT_EQ(service.modelEpoch(), 0u);
+
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.seed = 3;
+
+    StrategyResponse cold = service.submit(request).get();
+    ASSERT_EQ(cold.provenance, Provenance::Cold);
+    ASSERT_EQ(service.submit(request).get().provenance,
+              Provenance::ExactHit);
+
+    // A recalibration invalidates every strategy searched on the old
+    // models.  The identical request must NEVER be served the stale
+    // plan as-is again - it recomputes, warm-started from the stale
+    // strategy (same digest, so the donor is a perfect feature match).
+    EXPECT_EQ(service.advanceModelEpoch(), 1u);
+    StrategyResponse demoted = service.submit(request).get();
+    EXPECT_EQ(demoted.provenance, Provenance::WarmStart);
+    EXPECT_DOUBLE_EQ(demoted.similarity, 1.0);
+    EXPECT_EQ(demoted.generations_run, 8); // 24 / 3
+    EXPECT_EQ(demoted.fingerprint.model_epoch, 1u);
+
+    // The recomputed strategy was re-cached at the current epoch: the
+    // next identical request is an exact hit again.
+    StrategyResponse rehit = service.submit(request).get();
+    EXPECT_EQ(rehit.provenance, Provenance::ExactHit);
+    EXPECT_EQ(rehit.strategy.mhz_per_stage,
+              demoted.strategy.mhz_per_stage);
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.stale_demotions, 1u);
+    EXPECT_EQ(stats.model_epoch, 1u);
+    EXPECT_EQ(stats.exact_hits, 2u);
+}
+
 TEST(StrategyService, ResponseStrategyRoundTripsWithMeta)
 {
     StrategyService service(fastOptions(2));
