@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Microbenchmark (google-benchmark): per-case cost of the property
+ * tier's generators and oracles (src/check).  These figures size the
+ * OPDVFS_PROP_CASES budget — the ctest default of 1,000 cases per
+ * property and the CI depth of 10,000 both have to fit the prop job's
+ * wall-clock envelope, and this is where to look when a new oracle
+ * threatens it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "check/prop.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+void
+FitRecoveryCase(benchmark::State &state)
+{
+    std::uint64_t index = 0;
+    for (auto _ : state) {
+        Rng rng(caseSeed(1, index++));
+        SyntheticWorkload workload = genSyntheticWorkload(rng, 1, 24);
+        npu::FreqTableConfig freq = genFreqTableConfig(rng);
+        auto failure = checkFitRecovery(workload, freq);
+        if (failure.has_value())
+            state.SkipWithError(failure->c_str());
+        benchmark::DoNotOptimize(failure);
+    }
+}
+BENCHMARK(FitRecoveryCase);
+
+void
+PreprocessInvariantsCase(benchmark::State &state)
+{
+    std::uint64_t index = 0;
+    for (auto _ : state) {
+        Rng rng(caseSeed(2, index++));
+        std::vector<trace::OpRecord> records = genRecordStream(rng, 1, 64);
+        dvfs::PreprocessOptions options;
+        options.fai = static_cast<Tick>(rng.uniformInt(1, 20))
+            * kTicksPerMs / 2;
+        auto failure = checkPreprocessInvariants(records, options);
+        if (failure.has_value())
+            state.SkipWithError(failure->c_str());
+        benchmark::DoNotOptimize(failure);
+    }
+}
+BENCHMARK(PreprocessInvariantsCase);
+
+void
+StrategyRoundTripCase(benchmark::State &state)
+{
+    std::uint64_t index = 0;
+    for (auto _ : state) {
+        Rng rng(caseSeed(3, index++));
+        npu::FreqTableConfig freq = genFreqTableConfig(rng);
+        npu::FreqTable table(freq);
+        dvfs::Strategy strategy = genStrategy(rng, table);
+        auto failure = checkStrategyRoundTrip(strategy, &table);
+        if (failure.has_value())
+            state.SkipWithError(failure->c_str());
+        benchmark::DoNotOptimize(failure);
+    }
+}
+BENCHMARK(StrategyRoundTripCase);
+
+void
+GaVsExhaustiveCase(benchmark::State &state)
+{
+    std::uint64_t index = 0;
+    for (auto _ : state) {
+        Rng rng(caseSeed(4, index++));
+        TinyProblem problem = genTinyProblem(rng, 4, 3);
+        auto failure = checkGaOptimality(problem);
+        if (failure.has_value())
+            state.SkipWithError(failure->c_str());
+        benchmark::DoNotOptimize(failure);
+    }
+}
+BENCHMARK(GaVsExhaustiveCase);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * libFuzzer entry point over workload fingerprinting: determinism,
+ * exact self-similarity, finite features, and name-blindness of the
+ * digest.  Shares its oracle with the seeded ctest driver
+ * (tests/prop_fuzz.cc) via src/check/fuzz.cc.
+ *
+ * Build: cmake -B build-fuzz -DOPDVFS_BUILD_FUZZERS=ON \
+ *              -DCMAKE_CXX_COMPILER=clang++
+ * Run:   build-fuzz/fuzz/fuzz_fingerprint -max_total_time=60
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/fuzz.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (auto failure = opdvfs::check::fuzzFingerprintOne(data, size)) {
+        std::fprintf(stderr, "fuzz_fingerprint: %s\n", failure->c_str());
+        std::abort();
+    }
+    return 0;
+}

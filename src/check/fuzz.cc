@@ -1,0 +1,288 @@
+#include "check/fuzz.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "check/generators.h"
+#include "dvfs/strategy_io.h"
+#include "npu/memory_system.h"
+#include "npu/npu_chip.h"
+#include "serve/fingerprint.h"
+
+namespace opdvfs::check {
+
+namespace {
+
+/** Printable dump of a fuzz buffer (non-ASCII bytes escaped). */
+std::string
+escapeBuffer(const std::uint8_t *data, std::size_t size)
+{
+    std::ostringstream os;
+    std::size_t limit = std::min<std::size_t>(size, 2048);
+    for (std::size_t i = 0; i < limit; ++i) {
+        std::uint8_t byte = data[i];
+        if (byte == '\n' || byte == '\t'
+            || (byte >= 0x20 && byte < 0x7f)) {
+            os << static_cast<char>(byte);
+        } else {
+            static const char hex[] = "0123456789abcdef";
+            os << "\\x" << hex[byte >> 4] << hex[byte & 0xf];
+        }
+    }
+    if (limit < size)
+        os << "... (" << size - limit << " more bytes)";
+    return os.str();
+}
+
+std::uint64_t
+bufferSeed(const std::uint8_t *data, std::size_t size)
+{
+    // FNV-1a over the buffer: a deterministic seed for derived inputs.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::optional<std::string>
+fuzzStrategyIoOne(const std::uint8_t *data, std::size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+
+    dvfs::Strategy loaded;
+    try {
+        std::istringstream is(text);
+        loaded = dvfs::loadStrategy(is);
+    } catch (const std::invalid_argument &) {
+        return std::nullopt; // clean rejection is the expected path
+    } catch (const std::exception &error) {
+        return "loadStrategy threw a non-invalid_argument exception: "
+            + std::string(error.what());
+    } catch (...) {
+        return std::string("loadStrategy threw a non-standard exception");
+    }
+
+    // The loader accepted the bytes: the parsed strategy must be
+    // internally consistent and survive save -> load -> save.
+    if (loaded.stages.size() != loaded.mhz_per_stage.size())
+        return std::string("accepted strategy has mismatched stage and "
+                           "frequency vectors");
+    std::string first;
+    try {
+        std::ostringstream os;
+        dvfs::saveStrategy(loaded, os);
+        first = os.str();
+    } catch (const std::exception &error) {
+        return "accepted strategy fails to save: "
+            + std::string(error.what());
+    }
+    dvfs::Strategy reloaded;
+    try {
+        std::istringstream is(first);
+        reloaded = dvfs::loadStrategy(is);
+    } catch (const std::exception &error) {
+        return "re-saved strategy fails to load: "
+            + std::string(error.what());
+    }
+    std::ostringstream second;
+    dvfs::saveStrategy(reloaded, second);
+    if (first != second.str())
+        return std::string("save -> load -> save is not byte-stable");
+
+    // Determinism: parsing the same bytes twice gives the same text.
+    std::istringstream again_is(text);
+    dvfs::Strategy again = dvfs::loadStrategy(again_is);
+    std::ostringstream again_os;
+    dvfs::saveStrategy(again, again_os);
+    if (again_os.str() != first)
+        return std::string("loadStrategy is not deterministic");
+    return std::nullopt;
+}
+
+std::optional<std::string>
+fuzzFingerprintOne(const std::uint8_t *data, std::size_t size)
+{
+    // The buffer drives a deterministic request: same bytes, same
+    // workload, same parameters.
+    std::uint64_t seed = bufferSeed(data, size);
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    Rng rng(seed);
+    models::Workload workload = genWorkload(rng, memory, 1, 12);
+    double loss_target = 0.005 + 0.095 * (seed % 1000) / 1000.0;
+    std::uint64_t ga_seed = seed ^ 0x5bd1e995;
+
+    serve::Fingerprint fp = serve::fingerprintRequest(workload, chip,
+                                                      loss_target, ga_seed);
+    for (double feature : fp.features) {
+        if (!std::isfinite(feature))
+            return std::string("non-finite fingerprint feature");
+    }
+    if (serve::fingerprintSimilarity(fp, fp) != 1.0)
+        return std::string("self-similarity is not exactly 1.0");
+
+    serve::Fingerprint fp2 = serve::fingerprintRequest(workload, chip,
+                                                       loss_target, ga_seed);
+    if (fp2.digest != fp.digest || fp2.features != fp.features)
+        return std::string("fingerprint is not deterministic");
+
+    // The workload *name* is presentation, not identity.
+    models::Workload renamed = workload;
+    renamed.name = workload.name + "-renamed";
+    serve::Fingerprint fp3 = serve::fingerprintRequest(renamed, chip,
+                                                       loss_target, ga_seed);
+    if (fp3.digest != fp.digest)
+        return std::string("workload name leaks into the digest");
+
+    // The GA seed is identity (bit-reproducible service) but must not
+    // move the similarity features (warm-start donors ignore it).
+    serve::Fingerprint fp4 = serve::fingerprintRequest(
+        workload, chip, loss_target, ga_seed + 1);
+    if (fp4.digest == fp.digest)
+        return std::string("GA seed does not enter the digest");
+    if (fp4.features != fp.features)
+        return std::string("GA seed moved the similarity features");
+    return std::nullopt;
+}
+
+namespace {
+
+/** Mutate a valid strategy file into a near-valid buffer. */
+std::vector<std::uint8_t>
+mutatedStrategyBuffer(Rng &rng)
+{
+    npu::FreqTable table(genFreqTableConfig(rng));
+    dvfs::Strategy strategy = genStrategy(rng, table);
+    std::ostringstream os;
+    dvfs::saveStrategy(strategy, os);
+    std::string text = os.str();
+
+    int mutations = static_cast<int>(rng.uniformInt(0, 8));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+        switch (rng.uniformInt(0, 4)) {
+        case 0: // flip one byte
+            text[rng.index(text.size())] =
+                static_cast<char>(rng.uniformInt(0, 255));
+            break;
+        case 1: // truncate
+            text.resize(rng.index(text.size() + 1));
+            break;
+        case 2: { // duplicate a line
+            std::size_t from = rng.index(text.size());
+            std::size_t line_start = text.rfind('\n', from);
+            line_start = line_start == std::string::npos ? 0 : line_start + 1;
+            std::size_t line_end = text.find('\n', from);
+            line_end = line_end == std::string::npos ? text.size()
+                                                     : line_end + 1;
+            text.insert(line_start,
+                        text.substr(line_start, line_end - line_start));
+            break;
+        }
+        case 3: // insert a random byte
+            text.insert(text.begin()
+                            + static_cast<std::ptrdiff_t>(
+                                rng.index(text.size() + 1)),
+                        static_cast<char>(rng.uniformInt(0, 255)));
+            break;
+        default: { // delete a short span
+            std::size_t at = rng.index(text.size());
+            std::size_t len = std::min<std::size_t>(
+                static_cast<std::size_t>(rng.uniformInt(1, 12)),
+                text.size() - at);
+            text.erase(at, len);
+            break;
+        }
+        }
+    }
+    return {text.begin(), text.end()};
+}
+
+/** Lines assembled from the format's own vocabulary. */
+std::vector<std::uint8_t>
+tokenSoupBuffer(Rng &rng)
+{
+    static const char *tokens[] = {
+        "strategy", "v1",      "counts",  "meta",    "score",
+        "provenance", "stage", "trigger", "initial", "crc32",
+        "hfc",      "lfc",     "cold",    "0",       "1",
+        "-1",       "1800",    "1e308",   "nan",     "inf",
+        "999999999999999999999999", "#",  "deadbeef",
+    };
+    std::ostringstream os;
+    if (rng.chance(0.7))
+        os << "strategy v1\n";
+    int lines = static_cast<int>(rng.uniformInt(0, 12));
+    for (int l = 0; l < lines; ++l) {
+        int words = static_cast<int>(rng.uniformInt(1, 6));
+        for (int w = 0; w < words; ++w) {
+            if (w)
+                os << ' ';
+            os << tokens[rng.index(sizeof(tokens) / sizeof(tokens[0]))];
+        }
+        os << '\n';
+    }
+    std::string text = os.str();
+    return {text.begin(), text.end()};
+}
+
+std::vector<std::uint8_t>
+randomBuffer(Rng &rng)
+{
+    std::vector<std::uint8_t> buffer(
+        static_cast<std::size_t>(rng.uniformInt(0, 400)));
+    for (std::uint8_t &byte : buffer)
+        byte = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    return buffer;
+}
+
+} // namespace
+
+std::optional<std::string>
+runSeededFuzz(FuzzTarget target, std::uint64_t seed, int iterations,
+              FuzzStats *stats)
+{
+    for (int i = 0; i < iterations; ++i) {
+        Rng rng(seed + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+        std::vector<std::uint8_t> buffer;
+        double kind = rng.uniform(0.0, 1.0);
+        if (kind < 0.5)
+            buffer = mutatedStrategyBuffer(rng);
+        else if (kind < 0.8)
+            buffer = tokenSoupBuffer(rng);
+        else
+            buffer = randomBuffer(rng);
+
+        if (stats)
+            ++stats->executed;
+        std::optional<std::string> failure =
+            target(buffer.data(), buffer.size());
+        if (failure) {
+            std::ostringstream os;
+            os << "fuzz iteration " << i << " (seed " << seed
+               << ") failed: " << *failure << "\nbuffer ("
+               << buffer.size() << " bytes):\n"
+               << escapeBuffer(buffer.data(), buffer.size());
+            return os.str();
+        }
+        if (stats) {
+            // Re-run cheaply to classify accept/reject for the stats.
+            std::string text(buffer.begin(), buffer.end());
+            std::istringstream is(text);
+            try {
+                dvfs::loadStrategy(is);
+                ++stats->accepted;
+            } catch (...) {
+                ++stats->rejected;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace opdvfs::check

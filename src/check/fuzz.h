@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fuzz targets over the library's byte-level entry points, plus a
+ * seeded fallback driver that runs them under plain ctest.
+ *
+ * Each target takes an arbitrary byte buffer and returns std::nullopt
+ * when the library behaved acceptably (parsed cleanly, or rejected the
+ * input with std::invalid_argument), and a failure message for every
+ * crash-class misbehaviour: a foreign exception type, an accepted
+ * input that does not survive a save/load round trip, or a
+ * non-deterministic result.
+ *
+ * The same functions back the libFuzzer entry points in fuzz/ (built
+ * with -DOPDVFS_BUILD_FUZZERS=ON under clang) and the seeded-random
+ * driver below, so every finding reproduces in both harnesses.
+ */
+
+#ifndef OPDVFS_CHECK_FUZZ_H
+#define OPDVFS_CHECK_FUZZ_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace opdvfs::check {
+
+/**
+ * Feed @p data to dvfs::loadStrategy.  Accepted inputs must round-trip
+ * byte-stably and reload deterministically; rejected inputs must throw
+ * std::invalid_argument and nothing else.
+ */
+std::optional<std::string> fuzzStrategyIoOne(const std::uint8_t *data,
+                                             std::size_t size);
+
+/**
+ * Derive a workload/request from @p data and fingerprint it: the
+ * digest must be deterministic, self-similarity exactly 1.0, features
+ * finite, and the workload *name* must not enter the digest.
+ */
+std::optional<std::string> fuzzFingerprintOne(const std::uint8_t *data,
+                                              std::size_t size);
+
+/** Tallies from one seeded fuzz run. */
+struct FuzzStats
+{
+    int executed = 0;
+    /** Inputs the target parsed/processed successfully. */
+    int accepted = 0;
+    /** Inputs rejected with std::invalid_argument (strategy target). */
+    int rejected = 0;
+};
+
+/** A fuzz target: bytes in, failure message out. */
+using FuzzTarget = std::optional<std::string> (*)(const std::uint8_t *,
+                                                  std::size_t);
+
+/**
+ * Seeded fallback driver: @p iterations buffers — mutated valid
+ * strategy files, structured token soup and raw random bytes — fed to
+ * @p target.  Returns the first failure, annotated with the iteration
+ * and an escaped dump of the offending buffer.
+ */
+std::optional<std::string> runSeededFuzz(FuzzTarget target,
+                                         std::uint64_t seed,
+                                         int iterations,
+                                         FuzzStats *stats = nullptr);
+
+} // namespace opdvfs::check
+
+#endif // OPDVFS_CHECK_FUZZ_H

@@ -1,0 +1,106 @@
+#include "check/prop.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace opdvfs::check {
+
+namespace {
+
+/** Parse a non-negative integer env var; @p fallback when unset/bad. */
+long long
+envLong(const char *name, long long fallback)
+{
+    const char *text = std::getenv(name);
+    if (!text || !*text)
+        return fallback;
+    char *end = nullptr;
+    long long value = std::strtoll(text, &end, 0);
+    if (end == text || *end != '\0' || value < 0)
+        return fallback;
+    return value;
+}
+
+} // namespace
+
+PropConfig
+PropConfig::fromEnv()
+{
+    PropConfig config;
+    config.cases = static_cast<int>(
+        envLong("OPDVFS_PROP_CASES", config.cases));
+    config.seed = static_cast<std::uint64_t>(
+        envLong("OPDVFS_PROP_SEED", static_cast<long long>(config.seed)));
+    config.only_case =
+        static_cast<int>(envLong("OPDVFS_PROP_CASE", -1));
+    if (const char *dir = std::getenv("OPDVFS_PROP_ARTIFACT_DIR"))
+        config.artifact_dir = dir;
+    return config;
+}
+
+std::uint64_t
+caseSeed(std::uint64_t base_seed, int case_index)
+{
+    // splitmix64: a distinct, well-mixed stream per (base, index) so
+    // neighbouring cases share no generator state.
+    std::uint64_t z = base_seed
+        + 0x9e3779b97f4a7c15ULL
+            * (static_cast<std::uint64_t>(case_index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::string
+PropResult::report() const
+{
+    return detail::formatReport(*this);
+}
+
+namespace detail {
+
+std::string
+formatReport(const PropResult &result)
+{
+    std::ostringstream os;
+    if (result.passed) {
+        os << "property '" << result.property << "' passed "
+           << result.cases_run << " cases (seed " << result.base_seed
+           << ")";
+        return os.str();
+    }
+    os << "property '" << result.property << "' FAILED at case "
+       << result.failing_case << " (case seed " << result.failing_seed
+       << ")\n"
+       << "replay: OPDVFS_PROP_SEED=" << result.base_seed
+       << " OPDVFS_PROP_CASE=" << result.failing_case
+       << " <this test binary>\n"
+       << "shrunk counterexample (" << result.shrink_steps
+       << " shrink steps):\n"
+       << result.counterexample << "\n"
+       << "oracle: " << result.failure;
+    return os.str();
+}
+
+void
+writeArtifact(const PropConfig &config, const PropResult &result)
+{
+    if (config.artifact_dir.empty())
+        return;
+    // Property names are short identifiers; sanitise to be safe.
+    std::string name = result.property;
+    for (char &c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c == '-' || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    std::ofstream os(config.artifact_dir + "/" + name + ".counterexample");
+    if (!os)
+        return;
+    os << formatReport(result) << "\n";
+}
+
+} // namespace detail
+
+} // namespace opdvfs::check

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A small deterministic property-based testing engine.
+ *
+ * A property is (generator, oracle): the generator builds a random
+ * input from a seeded Rng, the oracle returns std::nullopt when the
+ * invariant holds and a failure message when it does not.  The engine
+ * runs a configurable number of cases, each under a seed derived
+ * deterministically from a base seed and the case index, so every
+ * failure is replayable from two integers.  On failure it greedily
+ * shrinks the input through a caller-supplied shrinker to a minimal
+ * counterexample and prints both the replay command and the literal.
+ *
+ * Environment knobs (read by PropConfig::fromEnv):
+ *
+ *   OPDVFS_PROP_CASES         cases per property (default 1000)
+ *   OPDVFS_PROP_SEED          base seed (default 20250807)
+ *   OPDVFS_PROP_CASE          run exactly this one case (replay)
+ *   OPDVFS_PROP_ARTIFACT_DIR  write shrunk counterexamples here
+ */
+
+#ifndef OPDVFS_CHECK_PROP_H
+#define OPDVFS_CHECK_PROP_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace opdvfs::check {
+
+/** Engine configuration; fromEnv() is the normal entry point. */
+struct PropConfig
+{
+    /** Randomized cases per property. */
+    int cases = 1000;
+    /** Base seed; case i runs under caseSeed(seed, i). */
+    std::uint64_t seed = 20250807;
+    /** Replay exactly this case index when >= 0. */
+    int only_case = -1;
+    /** Upper bound on accepted shrink steps. */
+    int max_shrink_steps = 10000;
+    /** When non-empty, failing properties dump artifacts here. */
+    std::string artifact_dir;
+
+    /** Defaults overridden by the OPDVFS_PROP_* environment. */
+    static PropConfig fromEnv();
+};
+
+/** Deterministic per-case seed (splitmix64 over base ^ index). */
+std::uint64_t caseSeed(std::uint64_t base_seed, int case_index);
+
+/** Outcome of one property run. */
+struct PropResult
+{
+    bool passed = true;
+    std::string property;
+    int cases_run = 0;
+    std::uint64_t base_seed = 0;
+    /** Failing case index; -1 when passed. */
+    int failing_case = -1;
+    /** Seed the failing case ran under. */
+    std::uint64_t failing_seed = 0;
+    /** Oracle message for the shrunk counterexample. */
+    std::string failure;
+    /** Printed literal of the shrunk counterexample. */
+    std::string counterexample;
+    /** Shrink steps accepted while minimising. */
+    int shrink_steps = 0;
+
+    /** Human-readable failure report with the replay recipe. */
+    std::string report() const;
+};
+
+/** Implementation helpers shared by all Property<T> instantiations. */
+namespace detail {
+/** Assemble the failure report text. */
+std::string formatReport(const PropResult &result);
+/** Best-effort artifact dump (ignored when dir is empty/unwritable). */
+void writeArtifact(const PropConfig &config, const PropResult &result);
+} // namespace detail
+
+/**
+ * One property: generator + oracle, with optional shrinker and
+ * printer.  All callbacks must be deterministic functions of their
+ * inputs; the engine provides the only randomness via the Rng.
+ */
+template <typename T>
+class Property
+{
+  public:
+    using Gen = std::function<T(Rng &)>;
+    /** nullopt = invariant holds; string = failure message. */
+    using Oracle = std::function<std::optional<std::string>(const T &)>;
+    /** Strictly-smaller candidate inputs to try during shrinking. */
+    using Shrink = std::function<std::vector<T>(const T &)>;
+    using Print = std::function<std::string(const T &)>;
+
+    Property(std::string name, Gen gen, Oracle oracle)
+        : name_(std::move(name)), gen_(std::move(gen)),
+          oracle_(std::move(oracle))
+    {}
+
+    Property &withShrinker(Shrink shrink)
+    {
+        shrink_ = std::move(shrink);
+        return *this;
+    }
+
+    Property &withPrinter(Print print)
+    {
+        print_ = std::move(print);
+        return *this;
+    }
+
+    /** Run under @p config (default: environment-derived). */
+    PropResult check(const PropConfig &config = PropConfig::fromEnv()) const
+    {
+        PropResult result;
+        result.property = name_;
+        result.base_seed = config.seed;
+
+        int first = config.only_case >= 0 ? config.only_case : 0;
+        int last = config.only_case >= 0 ? config.only_case + 1
+                                         : config.cases;
+        for (int i = first; i < last; ++i) {
+            std::uint64_t seed = caseSeed(config.seed, i);
+            Rng rng(seed);
+            T input = gen_(rng);
+            ++result.cases_run;
+            std::optional<std::string> failure = oracle_(input);
+            if (!failure)
+                continue;
+
+            result.passed = false;
+            result.failing_case = i;
+            result.failing_seed = seed;
+            shrinkToMinimal(config, input, *failure, result);
+            result.counterexample = print_ ? print_(input) : "<no printer>";
+            detail::writeArtifact(config, result);
+            return result;
+        }
+        return result;
+    }
+
+  private:
+    /** Greedy shrink: repeatedly take the first still-failing candidate. */
+    void shrinkToMinimal(const PropConfig &config, T &input,
+                         std::string &failure, PropResult &result) const
+    {
+        if (!shrink_)
+            { result.failure = failure; return; }
+        bool progressed = true;
+        while (progressed && result.shrink_steps < config.max_shrink_steps) {
+            progressed = false;
+            for (T &candidate : shrink_(input)) {
+                std::optional<std::string> f = oracle_(candidate);
+                if (f) {
+                    input = std::move(candidate);
+                    failure = std::move(*f);
+                    ++result.shrink_steps;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        result.failure = failure;
+    }
+
+    std::string name_;
+    Gen gen_;
+    Oracle oracle_;
+    Shrink shrink_;
+    Print print_;
+};
+
+/**
+ * gtest glue: assert that a property holds, printing the replay
+ * recipe and the shrunk counterexample on failure.
+ */
+#define OPDVFS_CHECK_PROP(property_expr)                                    \
+    do {                                                                    \
+        const auto opdvfs_prop_result = (property_expr).check();            \
+        EXPECT_TRUE(opdvfs_prop_result.passed)                              \
+            << opdvfs_prop_result.report();                                 \
+    } while (0)
+
+} // namespace opdvfs::check
+
+#endif // OPDVFS_CHECK_PROP_H

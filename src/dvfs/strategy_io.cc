@@ -183,6 +183,38 @@ loadStrategy(std::istream &is, const npu::FreqTable *table)
         }
     }
 
+    // Stages describe disjoint timeline intervals; a file with
+    // duplicate or overlapping stages would make the executor's
+    // per-stage frequency assignment ambiguous, so reject it here
+    // rather than hand it downstream.
+    for (std::size_t s = 1; s < strategy.stages.size(); ++s) {
+        const Stage &prev = strategy.stages[s - 1];
+        const Stage &cur = strategy.stages[s];
+        if (cur.start == prev.start) {
+            throw std::invalid_argument(
+                "loadStrategy: duplicate stage start at tick "
+                + std::to_string(cur.start) + " (stages "
+                + std::to_string(s - 1) + " and " + std::to_string(s)
+                + ")");
+        }
+        if (cur.start < prev.start) {
+            throw std::invalid_argument(
+                "loadStrategy: stage " + std::to_string(s)
+                + " starts at tick " + std::to_string(cur.start)
+                + ", before stage " + std::to_string(s - 1) + " at tick "
+                + std::to_string(prev.start)
+                + " (stages must be time-ordered)");
+        }
+        if (cur.start < prev.start + prev.duration) {
+            throw std::invalid_argument(
+                "loadStrategy: stage " + std::to_string(s)
+                + " starting at tick " + std::to_string(cur.start)
+                + " overlaps stage " + std::to_string(s - 1) + " ["
+                + std::to_string(prev.start) + ", "
+                + std::to_string(prev.start + prev.duration) + ")");
+        }
+    }
+
     if (have_counts
         && (strategy.stages.size() != declared_stages
             || strategy.plan.triggers.size() != declared_triggers)) {

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared case type for the differential property suites
+ * (prop_differential.cc, prop_service.cc): a real workload generated
+ * against the differential chip's memory system plus a request seed,
+ * with a printer and a shrinker that drops operators.
+ */
+
+#pragma once
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "npu/memory_system.h"
+
+namespace opdvfs::check {
+
+/** One differential case: a real workload and a request seed. */
+struct DiffCase
+{
+    models::Workload workload;
+    std::uint64_t seed = 1;
+};
+
+inline DiffCase
+genDiffCase(Rng &rng, int min_ops, int max_ops)
+{
+    static const npu::MemorySystem memory(differentialChip().memory);
+    DiffCase diff_case;
+    diff_case.workload = genWorkload(rng, memory, min_ops, max_ops);
+    diff_case.seed = static_cast<std::uint64_t>(
+        rng.uniformInt(1, std::numeric_limits<std::int64_t>::max()));
+    return diff_case;
+}
+
+inline std::string
+showDiffCase(const DiffCase &diff_case)
+{
+    std::ostringstream os;
+    os << "seed=" << diff_case.seed << "\n" << show(diff_case.workload);
+    return os.str();
+}
+
+inline std::vector<DiffCase>
+shrinkDiffCase(const DiffCase &diff_case)
+{
+    std::vector<DiffCase> out;
+    for (auto &ops : shrinkVector(diff_case.workload.iteration)) {
+        DiffCase smaller;
+        smaller.workload.name = diff_case.workload.name;
+        smaller.workload.iteration = std::move(ops);
+        smaller.seed = diff_case.seed;
+        out.push_back(std::move(smaller));
+    }
+    return out;
+}
+
+} // namespace opdvfs::check

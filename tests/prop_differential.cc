@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Differential property suite: the analytical models against the
+ * cycle simulator.  Noise-free profiles at the table bottom / middle
+ * / top fit the models, which must then predict a held-out frequency
+ * within the paper's accuracy bands (1.96% mean per-op time, 4.62%
+ * SoC power, Sect. 7.2/7.3).
+ *
+ * These cases drive the full simulator, so they are among the most
+ * expensive properties in the suite; the workloads stay small, and
+ * the service-side differential lives in its own binary
+ * (prop_service.cc) so ctest can run the two in parallel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/prop.h"
+#include "diff_case.h"
+#include "ops/op_factory.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+/**
+ * Shrunk counterexample (seed 20250807): a single memory-bound Add —
+ * uncore-saturated, with the max(core, memory) kink inside the
+ * frequency range.  A two-point endpoint fit undershoots its constant
+ * time by ~4.7% mid-table, which is why the differential oracle fits
+ * three points and validates held-out; this pin keeps the production
+ * protocol honest on the worst single-op shape the generator found.
+ */
+TEST(PropDifferential, RegressionMemoryBoundAddStaysInBand)
+{
+    npu::MemorySystem memory(differentialChip().memory);
+    ops::OpFactory factory(memory, Rng(2));
+    models::Workload workload;
+    workload.name = "shrunk-add";
+    workload.iteration.push_back(factory.add(28 * (1 << 18)));
+    std::optional<std::string> failure =
+        checkModelVsSimulator(workload, 42);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(PropDifferential, ModelsTrackSimulatorWithinPaperBands)
+{
+    Property<DiffCase> prop(
+        "model-vs-simulator",
+        [](Rng &rng) { return genDiffCase(rng, 2, 8); },
+        [](const DiffCase &diff_case) {
+            return checkModelVsSimulator(diff_case.workload,
+                                         diff_case.seed);
+        });
+    prop.withShrinker(shrinkDiffCase).withPrinter(showDiffCase);
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

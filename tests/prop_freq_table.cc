@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Property suite over the frequency table and the core-domain DVFS
+ * controller — the layer every planned strategy passes through.
+ *
+ *  - freq-table-snap: snap() returns a supported point, is the
+ *    nearest one (ties to the lower point), is idempotent, monotone,
+ *    and the identity on supported frequencies.
+ *  - dvfs-controller-state: under a random command stream of apply /
+ *    throttle / release, the granted frequency always equals the
+ *    reference model min(requested, ceiling) and stays on the table,
+ *    and every apply counts exactly one SetFreq.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "check/generators.h"
+#include "check/prop.h"
+#include "npu/dvfs_controller.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+/** A snap case: a table and an arbitrary finite request. */
+struct SnapCase
+{
+    npu::FreqTableConfig freq;
+    double request_a = 0.0;
+    double request_b = 0.0;
+};
+
+TEST(PropFreqTable, SnapIsNearestSupportedAndMonotone)
+{
+    Property<SnapCase> prop(
+        "freq-table-snap",
+        [](Rng &rng) {
+            SnapCase snap_case;
+            snap_case.freq = genFreqTableConfig(rng);
+            // Cover in-range, below-min, and above-max requests.
+            double lo = snap_case.freq.min_mhz - 500.0;
+            double hi = snap_case.freq.max_mhz + 500.0;
+            snap_case.request_a = rng.uniform(lo, hi);
+            snap_case.request_b = rng.uniform(lo, hi);
+            return snap_case;
+        },
+        [](const SnapCase &snap_case) -> std::optional<std::string> {
+            npu::FreqTable table(snap_case.freq);
+            std::vector<double> freqs = table.frequenciesMhz();
+            double a = snap_case.request_a;
+            double snapped = table.snap(a);
+            if (!table.supports(snapped))
+                return "snap returned an unsupported frequency";
+            if (table.snap(snapped) != snapped)
+                return "snap is not idempotent";
+            for (double f : freqs) {
+                if (table.supports(f) && table.snap(f) != f)
+                    return "snap moved a supported frequency";
+                if (std::abs(f - a) < std::abs(snapped - a))
+                    return "snap skipped a strictly closer point";
+                if (std::abs(f - a) == std::abs(snapped - a)
+                    && f < snapped) {
+                    return "snap broke a tie upward";
+                }
+            }
+            double b = snap_case.request_b;
+            if (a <= b && table.snap(a) > table.snap(b))
+                return "snap is not monotone";
+            return std::nullopt;
+        });
+    prop.withPrinter([](const SnapCase &snap_case) {
+        std::ostringstream os;
+        os << show(snap_case.freq) << "\nrequest_a=" << snap_case.request_a
+           << " request_b=" << snap_case.request_b;
+        return os.str();
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+/** One controller command. */
+struct Command
+{
+    enum Kind { Apply, Throttle, Release } kind = Apply;
+    double mhz = 0.0;
+};
+
+struct ControllerCase
+{
+    npu::FreqTableConfig freq;
+    double initial_mhz = 0.0;
+    std::vector<Command> commands;
+};
+
+ControllerCase
+genControllerCase(Rng &rng)
+{
+    ControllerCase ctl_case;
+    ctl_case.freq = genFreqTableConfig(rng);
+    npu::FreqTable table(ctl_case.freq);
+    ctl_case.initial_mhz = table.snap(
+        rng.uniform(ctl_case.freq.min_mhz, ctl_case.freq.max_mhz));
+    int n = rng.uniformInt(1, 24);
+    for (int i = 0; i < n; ++i) {
+        Command command;
+        double lo = ctl_case.freq.min_mhz - 300.0;
+        double hi = ctl_case.freq.max_mhz + 300.0;
+        switch (rng.uniformInt(0, 3)) {
+        case 0:
+        case 1:
+            command.kind = Command::Apply;
+            command.mhz = rng.uniform(lo, hi);
+            break;
+        case 2:
+            command.kind = Command::Throttle;
+            command.mhz = rng.uniform(lo, hi);
+            break;
+        default:
+            command.kind = Command::Release;
+            break;
+        }
+        ctl_case.commands.push_back(command);
+    }
+    return ctl_case;
+}
+
+std::optional<std::string>
+checkControllerCase(const ControllerCase &ctl_case)
+{
+    npu::FreqTable table(ctl_case.freq);
+    sim::Simulator sim;
+    npu::DvfsController dvfs(sim, table, ctl_case.initial_mhz);
+
+    // Reference model of the firmware contract.
+    double requested = ctl_case.initial_mhz;
+    double ceiling = 0.0;
+    bool throttled = false;
+    std::uint64_t applies = 0;
+
+    for (std::size_t i = 0; i < ctl_case.commands.size(); ++i) {
+        const Command &command = ctl_case.commands[i];
+        switch (command.kind) {
+        case Command::Apply:
+            dvfs.apply(command.mhz);
+            requested = table.snap(command.mhz);
+            ++applies;
+            break;
+        case Command::Throttle:
+            dvfs.setThrottleCeiling(command.mhz);
+            ceiling = table.snap(command.mhz);
+            throttled = true;
+            break;
+        case Command::Release:
+            dvfs.clearThrottleCeiling();
+            throttled = false;
+            break;
+        }
+        double granted = throttled ? std::min(requested, ceiling)
+                                   : requested;
+        if (dvfs.currentMhz() != granted) {
+            std::ostringstream os;
+            os << "after command " << i << ": current "
+               << dvfs.currentMhz() << " MHz, reference model says "
+               << granted << " MHz";
+            return os.str();
+        }
+        if (!table.supports(dvfs.currentMhz()))
+            return "controller granted an unsupported frequency";
+        if (dvfs.requestedMhz() != requested)
+            return "remembered request diverged from the reference";
+        if (dvfs.setFreqCount() != applies)
+            return "setFreqCount diverged from the number of applies";
+        (void)dvfs.currentVolts(); // must not throw on a granted point
+    }
+    return std::nullopt;
+}
+
+TEST(PropFreqTable, ControllerMatchesReferenceUnderCommandStream)
+{
+    Property<ControllerCase> prop("dvfs-controller-state",
+                                  genControllerCase, checkControllerCase);
+    prop.withShrinker([](const ControllerCase &ctl_case) {
+            std::vector<ControllerCase> out;
+            for (auto &commands : shrinkVector(ctl_case.commands)) {
+                ControllerCase smaller = ctl_case;
+                smaller.commands = std::move(commands);
+                out.push_back(std::move(smaller));
+            }
+            return out;
+        })
+        .withPrinter([](const ControllerCase &ctl_case) {
+            std::ostringstream os;
+            os << show(ctl_case.freq)
+               << "\ninitial=" << ctl_case.initial_mhz << "\n";
+            for (const Command &command : ctl_case.commands) {
+                switch (command.kind) {
+                case Command::Apply:
+                    os << "apply(" << command.mhz << ")\n";
+                    break;
+                case Command::Throttle:
+                    os << "throttle(" << command.mhz << ")\n";
+                    break;
+                case Command::Release:
+                    os << "release()\n";
+                    break;
+                }
+            }
+            return os.str();
+        });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

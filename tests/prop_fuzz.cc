@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Seeded-random fuzz fallback: runs the fuzz targets of src/check
+ * under plain ctest, no libFuzzer required.  The corpus mixes mutated
+ * valid strategy files, token soup assembled from the format's own
+ * vocabulary, and raw random bytes; every finding reproduces in the
+ * libFuzzer harness (fuzz/) from the same bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.h"
+#include "check/prop.h"
+
+namespace {
+
+using namespace opdvfs::check;
+
+TEST(PropFuzz, StrategyLoaderSurvivesMutatedAndRandomInput)
+{
+    PropConfig config = PropConfig::fromEnv();
+    FuzzStats stats;
+    std::optional<std::string> failure = runSeededFuzz(
+        fuzzStrategyIoOne, config.seed, config.cases, &stats);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+    // The corpus must exercise both sides of the parser: files that
+    // load and files that are rejected.
+    EXPECT_GT(stats.accepted, 0) << "corpus never produced a valid file";
+    EXPECT_GT(stats.rejected, 0) << "corpus never produced a broken file";
+    RecordProperty("fuzz_executed", stats.executed);
+    RecordProperty("fuzz_accepted", stats.accepted);
+    RecordProperty("fuzz_rejected", stats.rejected);
+}
+
+TEST(PropFuzz, FingerprintIsDeterministicAndNameBlind)
+{
+    PropConfig config = PropConfig::fromEnv();
+    std::optional<std::string> failure = runSeededFuzz(
+        fuzzFingerprintOne, config.seed ^ 0xf1f2f3f4ULL, config.cases,
+        nullptr);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+} // namespace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Property suite over the genetic strategy search (paper Sect. 6.3,
+ * Eq. 17): on tiny instances — at most 4 stages x 3 supported
+ * frequencies — the GA never scores above the exhaustive optimum
+ * (soundness), always reaches it (the search budget covers the genome
+ * space many times over), and its reported artefacts are consistent
+ * (best genome rescores to the reported score, the score history
+ * never regresses, refinement never hurts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "check/prop.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+TEST(PropGa, MatchesExhaustiveOptimumOnTinyInstances)
+{
+    Property<TinyProblem> prop(
+        "ga-vs-exhaustive",
+        [](Rng &rng) { return genTinyProblem(rng, 4, 3); },
+        checkGaOptimality);
+    prop.withPrinter([](const TinyProblem &problem) {
+        return show(problem);
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Property suite over the per-operator performance model (paper
+ * Sect. 4.3): two-point noise-free fits recover the synthetic ground
+ * truth exactly, and every fitted curve keeps the Eqs. 1-8 shape
+ * invariants (positive finite T, cycles non-decreasing and convex, no
+ * operating point slower than f_min).
+ *
+ * Replay a failure with the printed OPDVFS_PROP_SEED / OPDVFS_PROP_CASE
+ * environment (see docs/TESTING.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "check/prop.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+/** One fit-recovery case: a table and a synthetic operator stream. */
+struct FitCase
+{
+    npu::FreqTableConfig freq;
+    SyntheticWorkload workload;
+};
+
+TEST(PropPerfModel, TwoPointFitRecoversGroundTruthAndCurveShape)
+{
+    Property<FitCase> prop(
+        "perf-fit-recovery",
+        [](Rng &rng) {
+            FitCase fit_case;
+            fit_case.freq = genFreqTableConfig(rng);
+            fit_case.workload = genSyntheticWorkload(rng, 1, 24);
+            return fit_case;
+        },
+        [](const FitCase &fit_case) {
+            return checkFitRecovery(fit_case.workload, fit_case.freq);
+        });
+    prop.withShrinker([](const FitCase &fit_case) {
+            std::vector<FitCase> out;
+            for (SyntheticWorkload &w : shrinkWorkload(fit_case.workload))
+                out.push_back({fit_case.freq, std::move(w)});
+            return out;
+        })
+        .withPrinter([](const FitCase &fit_case) {
+            return show(fit_case.freq) + "\n" + show(fit_case.workload);
+        });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+/** Curve-shape invariants for every fit family on noise-free data. */
+TEST(PropPerfModel, EveryFitFamilyKeepsCurveShapeOnCleanData)
+{
+    Property<FitCase> prop(
+        "perf-curve-shape-all-families",
+        [](Rng &rng) {
+            FitCase fit_case;
+            fit_case.freq = genFreqTableConfig(rng);
+            fit_case.workload = genSyntheticWorkload(rng, 1, 12);
+            return fit_case;
+        },
+        [](const FitCase &fit_case) -> std::optional<std::string> {
+            npu::FreqTable table(fit_case.freq);
+            for (perf::FitFunction kind :
+                 {perf::FitFunction::QuadOverF,
+                  perf::FitFunction::StallOverF,
+                  perf::FitFunction::PwlCycles}) {
+                perf::PerfModelRepository repo;
+                repo.addProfile(table.minMhz(),
+                                fit_case.workload.recordsAt(table.minMhz()));
+                repo.addProfile(table.maxMhz(),
+                                fit_case.workload.recordsAt(table.maxMhz()));
+                perf::PerfBuildOptions options;
+                options.kind = kind;
+                repo.fitAll(options);
+                for (const auto &[op_id, model] : repo.models()) {
+                    if (auto failure = checkPerfCurveShape(model, table)) {
+                        return perf::fitFunctionName(kind) + ": "
+                            + *failure;
+                    }
+                }
+            }
+            return std::nullopt;
+        });
+    prop.withShrinker([](const FitCase &fit_case) {
+            std::vector<FitCase> out;
+            for (SyntheticWorkload &w : shrinkWorkload(fit_case.workload))
+                out.push_back({fit_case.freq, std::move(w)});
+            return out;
+        })
+        .withPrinter([](const FitCase &fit_case) {
+            return show(fit_case.freq) + "\n" + show(fit_case.workload);
+        });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

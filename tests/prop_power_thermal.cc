@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property suite over the power model (Eqs. 11-15) and the thermal
+ * machinery: positivity, SoC dominance and V-F monotonicity of the
+ * predictions; convergence, consistency and determinism of the
+ * Sect. 5.4.2 dT fix point; and the first-order RC relaxation
+ * (monotone approach, exact step composition, idempotence at the
+ * equilibrium fix point).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "check/prop.h"
+#include "npu/thermal.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+/** One power-model case: table, constants and activity factors. */
+struct PowerCase
+{
+    npu::FreqTableConfig freq;
+    power::CalibratedConstants constants;
+    power::OpPowerModel op;
+};
+
+PowerCase
+genPowerCase(Rng &rng)
+{
+    PowerCase power_case;
+    power_case.freq = genFreqTableConfig(rng);
+    power_case.constants = genConstants(rng);
+    power_case.op = genOpPower(rng);
+    return power_case;
+}
+
+std::string
+showPowerCase(const PowerCase &power_case)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << show(power_case.freq) << "\n" << show(power_case.constants)
+       << "\nOpPowerModel{alpha_aicore=" << power_case.op.alpha_aicore
+       << ", alpha_soc=" << power_case.op.alpha_soc << "}";
+    return os.str();
+}
+
+TEST(PropPowerThermal, PredictionsPositiveDominantAndMonotone)
+{
+    Property<PowerCase> prop(
+        "power-invariants",
+        genPowerCase,
+        [](const PowerCase &power_case) {
+            power::PowerModel model(power_case.constants,
+                                    npu::FreqTable(power_case.freq));
+            return checkPowerInvariants(model, power_case.op);
+        });
+    prop.withPrinter(showPowerCase);
+    OPDVFS_CHECK_PROP(prop);
+}
+
+TEST(PropPowerThermal, TemperatureFixPointConvergesAndIsConsistent)
+{
+    Property<PowerCase> prop(
+        "thermal-fix-point",
+        genPowerCase,
+        [](const PowerCase &power_case) {
+            power::PowerModel model(power_case.constants,
+                                    npu::FreqTable(power_case.freq));
+            return checkThermalFixPoint(model, power_case.op);
+        });
+    prop.withPrinter(showPowerCase);
+    OPDVFS_CHECK_PROP(prop);
+}
+
+/** One RC-relaxation case: thermal constants and a constant power. */
+struct ThermalCase
+{
+    npu::ThermalConfig config;
+    double p_soc_watts = 0.0;
+};
+
+TEST(PropPowerThermal, RcRelaxationMonotoneComposableIdempotent)
+{
+    Property<ThermalCase> prop(
+        "thermal-relaxation",
+        [](Rng &rng) {
+            ThermalCase thermal_case;
+            thermal_case.config = genChipConfig(rng).thermal;
+            thermal_case.p_soc_watts = rng.uniform(0.0, 600.0);
+            return thermal_case;
+        },
+        [](const ThermalCase &thermal_case) {
+            return checkThermalRelaxation(thermal_case.config,
+                                          thermal_case.p_soc_watts);
+        });
+    prop.withPrinter([](const ThermalCase &thermal_case) {
+        std::ostringstream os;
+        os.precision(17);
+        os << "ThermalConfig{ambient=" << thermal_case.config.ambient_celsius
+           << ", k=" << thermal_case.config.k_per_watt
+           << ", tau=" << thermal_case.config.time_constant_s
+           << "} p_soc=" << thermal_case.p_soc_watts << " W";
+        return os.str();
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

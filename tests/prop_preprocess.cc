@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Property suite over preprocessing (paper Sect. 6.2, Fig. 13):
+ * stages partition the profiled timeline and the operator stream,
+ * merging leaves no stage under the FAI (single-stage output
+ * excepted), the merged stage kind follows the dominant time, and the
+ * whole pass is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "check/prop.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+/** One preprocessing case: a contiguous record stream and an FAI. */
+struct PrepCase
+{
+    std::vector<trace::OpRecord> records;
+    dvfs::PreprocessOptions options;
+};
+
+/** Re-pack a record subsequence into a contiguous timeline. */
+std::vector<trace::OpRecord>
+retime(std::vector<trace::OpRecord> records)
+{
+    Tick t = 0;
+    for (trace::OpRecord &record : records) {
+        Tick duration = record.end - record.start;
+        record.start = t;
+        record.end = t + duration;
+        t = record.end;
+    }
+    return records;
+}
+
+TEST(PropPreprocess, StagesPartitionTimelineAndStream)
+{
+    Property<PrepCase> prop(
+        "preprocess-invariants",
+        [](Rng &rng) {
+            PrepCase prep_case;
+            prep_case.records = genRecordStream(rng, 1, 64);
+            prep_case.options.fai =
+                static_cast<Tick>(rng.uniformInt(1, 20)) * kTicksPerMs / 2;
+            return prep_case;
+        },
+        [](const PrepCase &prep_case) {
+            return checkPreprocessInvariants(prep_case.records,
+                                             prep_case.options);
+        });
+    prop.withShrinker([](const PrepCase &prep_case) {
+            // Shrink candidates are re-timed to stay contiguous, so
+            // every candidate is still a valid profiled stream.
+            std::vector<PrepCase> out;
+            for (auto &records : shrinkVector(prep_case.records)) {
+                PrepCase smaller;
+                smaller.records = retime(std::move(records));
+                smaller.options = prep_case.options;
+                out.push_back(std::move(smaller));
+            }
+            return out;
+        })
+        .withPrinter([](const PrepCase &prep_case) {
+            std::ostringstream os;
+            os << "fai=" << prep_case.options.fai << "\n"
+               << show(prep_case.records);
+            return os.str();
+        });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+/** The FAI floor holds for degenerate single-op streams too. */
+TEST(PropPreprocess, SingleOpStreamYieldsOneStage)
+{
+    Property<PrepCase> prop(
+        "preprocess-single-op",
+        [](Rng &rng) {
+            PrepCase prep_case;
+            prep_case.records = genRecordStream(rng, 1, 1);
+            prep_case.options.fai =
+                static_cast<Tick>(rng.uniformInt(1, 40)) * kTicksPerMs;
+            return prep_case;
+        },
+        [](const PrepCase &prep_case) -> std::optional<std::string> {
+            if (auto failure = checkPreprocessInvariants(prep_case.records,
+                                                         prep_case.options))
+                return failure;
+            auto result =
+                dvfs::preprocess(prep_case.records, prep_case.options);
+            if (result.stages.size() != 1) {
+                return "single record produced "
+                    + std::to_string(result.stages.size()) + " stages";
+            }
+            return std::nullopt;
+        });
+    prop.withPrinter([](const PrepCase &prep_case) {
+        std::ostringstream os;
+        os << "fai=" << prep_case.options.fai << "\n"
+           << show(prep_case.records);
+        return os.str();
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

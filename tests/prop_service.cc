@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Service differential property suite: the strategy service against
+ * its own cache.  A repeated request is an exact hit byte-identical
+ * to the cold answer; after a model-epoch advance the same request is
+ * recomputed as a warm start that never scores below its donor.
+ *
+ * Each case runs the full pipeline (simulator profile + GA search),
+ * so this is the heaviest suite; it lives in its own binary so ctest
+ * can schedule it alongside prop_differential.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/prop.h"
+#include "diff_case.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+TEST(PropService, ServiceCacheIsEquivalentToRecomputation)
+{
+    Property<DiffCase> prop(
+        "service-cache-equivalence",
+        [](Rng &rng) { return genDiffCase(rng, 2, 5); },
+        [](const DiffCase &diff_case) {
+            return checkServiceCacheEquivalence(diff_case.workload,
+                                                diff_case.seed);
+        });
+    prop.withShrinker(shrinkDiffCase).withPrinter(showDiffCase);
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Property suite over strategy serialisation: save -> load -> save is
+ * byte-stable for every valid strategy, and structurally broken
+ * files — duplicate stage starts, out-of-order stages, overlapping
+ * stage intervals — are rejected with std::invalid_argument instead
+ * of being handed to the executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "check/prop.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+/** One round-trip case: a table and a valid strategy against it. */
+struct IoCase
+{
+    npu::FreqTableConfig freq;
+    dvfs::Strategy strategy;
+};
+
+TEST(PropStrategyIo, SaveLoadSaveIsByteStable)
+{
+    Property<IoCase> prop(
+        "strategy-round-trip",
+        [](Rng &rng) {
+            IoCase io_case;
+            io_case.freq = genFreqTableConfig(rng);
+            io_case.strategy =
+                genStrategy(rng, npu::FreqTable(io_case.freq));
+            return io_case;
+        },
+        [](const IoCase &io_case) {
+            npu::FreqTable table(io_case.freq);
+            return checkStrategyRoundTrip(io_case.strategy, &table);
+        });
+    prop.withShrinker([](const IoCase &io_case) {
+            std::vector<IoCase> out;
+            for (dvfs::Strategy &s : shrinkStrategy(io_case.strategy))
+                out.push_back({io_case.freq, std::move(s)});
+            return out;
+        })
+        .withPrinter([](const IoCase &io_case) {
+            return show(io_case.freq) + "\n" + show(io_case.strategy);
+        });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+/** How to structurally break the stage list of a valid strategy. */
+enum class Corruption
+{
+    DuplicateStage,
+    OverlapStage,
+    ReorderStages,
+};
+
+struct CorruptCase
+{
+    npu::FreqTableConfig freq;
+    dvfs::Strategy strategy;
+    Corruption corruption = Corruption::DuplicateStage;
+};
+
+TEST(PropStrategyIo, BrokenStageListsAreRejectedOnLoad)
+{
+    Property<CorruptCase> prop(
+        "strategy-broken-stages-rejected",
+        [](Rng &rng) {
+            CorruptCase corrupt_case;
+            corrupt_case.freq = genFreqTableConfig(rng);
+            npu::FreqTable table(corrupt_case.freq);
+            dvfs::Strategy strategy = genStrategy(rng, table);
+            std::size_t at = rng.index(strategy.stages.size());
+            switch (rng.uniformInt(0, 2)) {
+            case 0: {
+                // Duplicate one stage in place: same start twice.
+                corrupt_case.corruption = Corruption::DuplicateStage;
+                strategy.stages.insert(
+                    strategy.stages.begin()
+                        + static_cast<std::ptrdiff_t>(at),
+                    strategy.stages[at]);
+                strategy.mhz_per_stage.insert(
+                    strategy.mhz_per_stage.begin()
+                        + static_cast<std::ptrdiff_t>(at),
+                    strategy.mhz_per_stage[at]);
+                break;
+            }
+            case 1: {
+                // Stretch a stage into its successor (append one when
+                // the strategy has a single stage).
+                corrupt_case.corruption = Corruption::OverlapStage;
+                if (strategy.stages.size() == 1) {
+                    dvfs::Stage extra = strategy.stages.back();
+                    extra.start += extra.duration / 2 + 1;
+                    strategy.stages.push_back(extra);
+                    strategy.mhz_per_stage.push_back(
+                        strategy.mhz_per_stage.back());
+                } else {
+                    std::size_t first =
+                        std::min(at, strategy.stages.size() - 2);
+                    strategy.stages[first].duration =
+                        strategy.stages[first + 1].start
+                        - strategy.stages[first].start
+                        + static_cast<Tick>(rng.uniformInt(1, kTicksPerMs));
+                }
+                break;
+            }
+            default: {
+                // Swap two stages out of time order.
+                corrupt_case.corruption = Corruption::ReorderStages;
+                if (strategy.stages.size() == 1) {
+                    // Append a stage that starts before the first.
+                    dvfs::Stage earlier = strategy.stages.front();
+                    earlier.start = strategy.stages.front().start / 2;
+                    if (earlier.start >= strategy.stages.front().start) {
+                        strategy.stages.front().start =
+                            earlier.start + earlier.duration + 1;
+                    }
+                    strategy.stages.push_back(earlier);
+                    strategy.mhz_per_stage.push_back(
+                        strategy.mhz_per_stage.back());
+                } else {
+                    std::size_t first =
+                        std::min(at, strategy.stages.size() - 2);
+                    std::swap(strategy.stages[first],
+                              strategy.stages[first + 1]);
+                    std::swap(strategy.mhz_per_stage[first],
+                              strategy.mhz_per_stage[first + 1]);
+                }
+                break;
+            }
+            }
+            corrupt_case.strategy = std::move(strategy);
+            return corrupt_case;
+        },
+        [](const CorruptCase &corrupt_case) -> std::optional<std::string> {
+            std::ostringstream os;
+            dvfs::saveStrategy(corrupt_case.strategy, os);
+            try {
+                std::istringstream is(os.str());
+                dvfs::loadStrategy(is);
+            } catch (const std::invalid_argument &) {
+                return std::nullopt; // rejected, as required
+            }
+            return "corrupted stage list was accepted on load";
+        });
+    prop.withPrinter([](const CorruptCase &corrupt_case) {
+        return show(corrupt_case.freq) + "\n" + show(corrupt_case.strategy);
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

@@ -198,6 +198,70 @@ TEST(Recalibrator, InvalidObservationsAreDropped)
     EXPECT_EQ(recal.thermalWindowSize(), 0u);
 }
 
+TEST(Recalibrator, EmptyWindowsNeverRefit)
+{
+    Recalibrator recal;
+    DriftVerdict all;
+    all.perf = all.power = all.thermal = true;
+    EXPECT_FALSE(recal.recalibrate(all));
+    EXPECT_FALSE(recal.recalibrate(DriftVerdict{})); // no family at all
+    EXPECT_EQ(recal.patch().epoch, 0u);
+    EXPECT_DOUBLE_EQ(recal.patch().time_scale_global, 1.0);
+    EXPECT_DOUBLE_EQ(recal.patch().power_dynamic_scale, 1.0);
+    EXPECT_FALSE(recal.patch().thermal_updated);
+}
+
+TEST(Recalibrator, SingleTimeSampleRefitsWhenFloorAllowsIt)
+{
+    RecalibratorOptions options;
+    options.min_time_samples = 1;
+    options.min_time_samples_per_type = 1;
+    Recalibrator recal(options);
+    recal.addTime({"matmul", 1e-3, 1.25e-3});
+    ASSERT_TRUE(recal.recalibrate(perfOnly()));
+    EXPECT_NEAR(recal.patch().time_scale_global, 1.25, 1e-6);
+    EXPECT_NEAR(recal.patch().timeScaleFor("matmul"), 1.25, 1e-6);
+    EXPECT_EQ(recal.patch().epoch, 1u);
+    EXPECT_EQ(recal.timeWindowSize(), 0u);
+}
+
+TEST(Recalibrator, SinglePowerSampleFallsBackToPureScale)
+{
+    // One sample cannot separate a dynamic scale from a static bias
+    // (the 2x2 normal system is singular); the refit must fall back
+    // to the always-conditioned pure scale and leave the bias alone.
+    RecalibratorOptions options;
+    options.min_power_samples = 1;
+    Recalibrator recal(options);
+    recal.addPower({40.0, 10.0, 10.0 + 40.0 * 1.15});
+    ASSERT_TRUE(recal.recalibrate(powerOnly()));
+    EXPECT_NEAR(recal.patch().power_dynamic_scale, 1.15, 1e-9);
+    EXPECT_DOUBLE_EQ(recal.patch().power_static_bias_w, 0.0);
+    EXPECT_EQ(recal.patch().epoch, 1u);
+}
+
+TEST(Recalibrator, SingleThermalSampleCannotFitSlopeAndAmbient)
+{
+    // (k, ambient) needs two distinct power points; with one the
+    // least-squares system is singular and the refit must decline —
+    // keeping the window so the next attempt sees more data — rather
+    // than fabricate constants.
+    RecalibratorOptions options;
+    options.min_thermal_samples = 1;
+    Recalibrator recal(options);
+    recal.addThermal({250.0, 62.0});
+    EXPECT_FALSE(recal.recalibrate(thermalOnly()));
+    EXPECT_FALSE(recal.patch().thermal_updated);
+    EXPECT_EQ(recal.patch().epoch, 0u);
+    EXPECT_EQ(recal.thermalWindowSize(), 1u);
+
+    // A second, distinct sample makes the same window fit.
+    recal.addThermal({450.0, 84.0});
+    ASSERT_TRUE(recal.recalibrate(thermalOnly()));
+    EXPECT_NEAR(recal.patch().k_per_watt, 0.11, 1e-9);
+    EXPECT_NEAR(recal.patch().ambient_c, 34.5, 1e-9);
+}
+
 TEST(Recalibrator, PristinePatchReproducesThePowerModel)
 {
     npu::NpuConfig chip;

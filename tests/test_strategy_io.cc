@@ -189,6 +189,46 @@ TEST(StrategyIo, CountsMismatchMeansTruncatedFile)
     EXPECT_NO_THROW(loadStrategy(buffer));
 }
 
+TEST(StrategyIo, RejectsDuplicateOverlappingAndUnorderedStages)
+{
+    // Shrunk counterexample from the strategy-broken-stages-rejected
+    // property: the loader used to hand stage lists with duplicate
+    // starts, overlapping intervals, or reversed time order straight
+    // to the executor.  Each minimal file below must be refused.
+
+    // Two stages with the same start tick.
+    std::stringstream duplicate;
+    duplicate << "strategy v1\ninitial 1800\n"
+              << "stage 0 1000000 1800 hfc\n"
+              << "stage 0 1000000 1300 lfc\n";
+    EXPECT_THROW(loadStrategy(duplicate), std::invalid_argument);
+
+    // First stage's interval [0, 2000000) overruns the second's start.
+    std::stringstream overlap;
+    overlap << "strategy v1\ninitial 1800\n"
+            << "stage 0 2000000 1800 hfc\n"
+            << "stage 1000000 1000000 1300 lfc\n";
+    EXPECT_THROW(loadStrategy(overlap), std::invalid_argument);
+
+    // Stages out of time order.
+    std::stringstream unordered;
+    unordered << "strategy v1\ninitial 1800\n"
+              << "stage 1000000 1000000 1300 lfc\n"
+              << "stage 0 1000000 1800 hfc\n";
+    EXPECT_THROW(loadStrategy(unordered), std::invalid_argument);
+
+    // Back-to-back stages (each starting exactly where the previous
+    // ends) are the shape the preprocessor emits and must keep
+    // loading; so must a gap between stages.
+    std::stringstream contiguous;
+    contiguous << "strategy v1\ninitial 1800\n"
+               << "stage 0 1000000 1800 hfc\n"
+               << "stage 1000000 1000000 1300 lfc\n"
+               << "stage 3000000 1000000 1800 hfc\n";
+    Strategy loaded = loadStrategy(contiguous);
+    EXPECT_EQ(loaded.stages.size(), 3u);
+}
+
 TEST(StrategyIo, DeviceTablePinsFrequencies)
 {
     npu::FreqTable table(npu::FreqTableConfig{});

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "dvfs/strategy_io.h"
@@ -273,6 +276,59 @@ TEST(StrategyService, EpochAdvanceDemotesExactHitsToWarmStarts)
     EXPECT_EQ(stats.stale_demotions, 1u);
     EXPECT_EQ(stats.model_epoch, 1u);
     EXPECT_EQ(stats.exact_hits, 2u);
+}
+
+TEST(StrategyService, EvictionRacingEpochAdvanceStaysCoherent)
+{
+    // Run under the tsan preset (this binary matches its test regex):
+    // a capacity-2 single-shard cache forces an eviction on nearly
+    // every insert while another thread hammers advanceModelEpoch, so
+    // the shard mutex, the epoch counter, and the stats counters are
+    // all contended at once.  The assertions only pin logical
+    // coherence; the sanitizer pins the memory ordering.
+    ServiceOptions options = fastOptions(4);
+    options.cache.capacity = 2;
+    options.cache.shards = 1;
+    StrategyService service(options);
+
+    const std::vector<int> seqs = {128, 160, 192, 224, 256, 288};
+    std::atomic<bool> done{false};
+    std::thread epoch_thread([&] {
+        while (!done.load()) {
+            service.advanceModelEpoch();
+            std::this_thread::yield();
+        }
+    });
+
+    std::size_t submitted = 0;
+    for (int round = 0; round < 2; ++round) {
+        std::vector<std::future<StrategyResponse>> futures;
+        for (int seq : seqs) {
+            StrategyRequest request;
+            request.workload = testWorkload(seq);
+            request.seed = 7;
+            futures.push_back(service.submit(request));
+            ++submitted;
+        }
+        for (auto &future : futures) {
+            StrategyResponse response = future.get();
+            // Whatever provenance the interleaving produced, the
+            // strategy itself must be complete and well-formed.
+            EXPECT_FALSE(response.strategy.mhz_per_stage.empty());
+            EXPECT_EQ(response.strategy.stages.size(),
+                      response.strategy.mhz_per_stage.size());
+            ASSERT_TRUE(response.strategy.meta.has_value());
+            EXPECT_GT(response.strategy.meta->score, 0.0);
+        }
+    }
+    done.store(true);
+    epoch_thread.join();
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, submitted);
+    // Evictions bound the cache, they never corrupt its bookkeeping.
+    EXPECT_LE(stats.cache_size, 2u);
+    EXPECT_EQ(stats.model_epoch, service.modelEpoch());
 }
 
 TEST(StrategyService, ResponseStrategyRoundTripsWithMeta)
