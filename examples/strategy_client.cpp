@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Strategy client: request a DVFS strategy from a running
+ * `strategy_server --listen <port>` over the src/net wire protocol.
+ *
+ * Sends the same request twice — the first answer is computed cold
+ * (or warm-started), the second must come back as an exact cache hit
+ * with the identical strategy — then queries the plaintext admin
+ * endpoint.  Exits non-zero when any of that does not hold, so the CI
+ * smoke job can assert the wire path end to end:
+ *
+ *   ./strategy_server --listen 38471 &
+ *   ./strategy_client 127.0.0.1 38471
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "models/transformer.h"
+#include "net/client.h"
+
+namespace {
+
+/** Strategy text with the provenance token pinned: cold and exact-hit
+ *  answers differ only in that token. */
+std::string
+normalisedStrategyText(opdvfs::dvfs::Strategy strategy)
+{
+    if (strategy.meta)
+        strategy.meta->provenance = "normalised";
+    std::ostringstream os;
+    opdvfs::dvfs::saveStrategy(strategy, os);
+    return os.str();
+}
+
+void
+report(const char *label, const opdvfs::net::WireResponse &response)
+{
+    std::cout << label << ": provenance "
+              << opdvfs::serve::provenanceToken(response.provenance)
+              << ", score " << response.best_score << ", "
+              << response.strategy.mhz_per_stage.size() << " stages, "
+              << response.strategy.triggerCount() << " triggers, "
+              << response.generations_run << " generations run, "
+              << response.service_seconds << " s served, fingerprint "
+              << std::hex << response.fingerprint_digest << std::dec
+              << ", model epoch " << response.model_epoch << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace opdvfs;
+
+    std::string host = argc >= 2 ? argv[1] : "127.0.0.1";
+    int port = argc >= 3 ? std::atoi(argv[2]) : 38471;
+    int seq = argc >= 4 ? std::atoi(argv[3]) : 256;
+    if (port <= 0 || port > 65535 || seq <= 0) {
+        std::cerr << "usage: strategy_client [host] [port] [seq]\n";
+        return 2;
+    }
+
+    // The request: a small transformer iteration against the default
+    // chip (which must equal the serving chip, or the server answers
+    // ChipMismatch).
+    net::WireRequest request;
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "client-transformer";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = seq;
+    request.workload = models::buildTransformerTraining(memory, model, 5);
+    request.chip = chip;
+    request.seed = 7;
+
+    net::ClientOptions options;
+    options.request_timeout_seconds = 120.0;
+    net::StrategyClient client(host, static_cast<std::uint16_t>(port),
+                               options);
+
+    try {
+        net::WireResponse first = client.call(request);
+        report("first call ", first);
+
+        net::WireResponse second = client.call(request);
+        report("second call", second);
+
+        if (second.provenance != serve::Provenance::ExactHit) {
+            std::cerr << "FAIL: second identical request was not an "
+                         "exact cache hit\n";
+            return 1;
+        }
+        if (normalisedStrategyText(second.strategy)
+                != normalisedStrategyText(first.strategy)
+            || second.best_score != first.best_score
+            || second.fingerprint_digest != first.fingerprint_digest) {
+            std::cerr << "FAIL: exact hit differs from the first "
+                         "answer\n";
+            return 1;
+        }
+        std::cout << "exact hit matches the first answer byte for "
+                     "byte (retries: "
+                  << client.retries() << ")\n";
+
+        std::cout << "\nHEALTH: "
+                  << net::adminQuery(host,
+                                     static_cast<std::uint16_t>(port),
+                                     "HEALTH");
+        std::cout << "STATS:\n"
+                  << net::adminQuery(host,
+                                     static_cast<std::uint16_t>(port),
+                                     "STATS");
+    } catch (const net::BusyError &busy) {
+        std::cerr << "FAIL: server stayed busy: " << busy.what() << "\n";
+        return 1;
+    } catch (const std::exception &error) {
+        std::cerr << "FAIL: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

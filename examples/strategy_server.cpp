@@ -6,19 +6,86 @@
  * known model family (warm starts), and genuinely new models (cold
  * searches) — then print the per-request provenance and the service
  * counters.
+ *
+ * With `--listen <port>` it instead serves the StrategyService over
+ * TCP (the src/net wire protocol) until SIGINT/SIGTERM, for
+ * examples/strategy_client.cpp and the CI network smoke job:
+ *
+ *   ./strategy_server --listen 38471 &
+ *   ./strategy_client 127.0.0.1 38471
  */
 
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "models/model_zoo.h"
 #include "models/transformer.h"
+#include "net/server.h"
 #include "serve/service.h"
 
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void
+requestStop(int)
+{
+    g_stop_requested = 1;
+}
+
+/** Serve over TCP until a termination signal arrives. */
 int
-main()
+listenMode(std::uint16_t port)
 {
     using namespace opdvfs;
+
+    // A deliberately small GA budget: the smoke flow exercises the
+    // serving path (cold vs exact hit over the wire), not search
+    // quality.
+    serve::ServiceOptions options;
+    options.pipeline.warmup_seconds = 2.0;
+    options.pipeline.profile_freqs_mhz = {1000.0, 1800.0};
+    options.pipeline.ga.population = 30;
+    options.pipeline.ga.generations = 24;
+    options.workers = 2;
+    serve::StrategyService service(options);
+
+    net::ServerOptions server_options;
+    server_options.port = port;
+    net::StrategyServer server(service, server_options);
+    server.start();
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+    std::signal(SIGINT, requestStop);
+    std::signal(SIGTERM, requestStop);
+    while (!g_stop_requested)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::cout << "draining..." << std::endl;
+    server.stop();
+    std::cout << server.statsText();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace opdvfs;
+
+    if (argc >= 2 && std::string(argv[1]) == "--listen") {
+        int port = argc >= 3 ? std::atoi(argv[2]) : 0;
+        if (port < 0 || port > 65535) {
+            std::cerr << "usage: strategy_server [--listen <port>]\n";
+            return 2;
+        }
+        return listenMode(static_cast<std::uint16_t>(port));
+    }
 
     npu::NpuConfig chip;
     npu::MemorySystem memory(chip.memory);

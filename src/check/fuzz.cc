@@ -7,6 +7,7 @@
 
 #include "check/generators.h"
 #include "dvfs/strategy_io.h"
+#include "net/wire.h"
 #include "npu/memory_system.h"
 #include "npu/npu_chip.h"
 #include "serve/fingerprint.h"
@@ -153,6 +154,131 @@ fuzzFingerprintOne(const std::uint8_t *data, std::size_t size)
 
 namespace {
 
+/** Tight caps: the fuzzer exercises validation, not allocation. */
+net::WireLimits
+wireFuzzLimits()
+{
+    net::WireLimits limits;
+    limits.max_frame_bytes = 64u << 10;
+    limits.max_ops = 512;
+    limits.max_strategy_bytes = 32u << 10;
+    return limits;
+}
+
+std::optional<std::string>
+checkRequestPayload(std::string_view payload,
+                    const net::WireLimits &limits)
+{
+    net::WireRequest decoded;
+    try {
+        decoded = net::decodeRequest(payload, limits);
+    } catch (const std::invalid_argument &) {
+        return std::nullopt; // clean rejection is the expected path
+    } catch (const std::exception &error) {
+        return "decodeRequest threw a non-invalid_argument exception: "
+            + std::string(error.what());
+    } catch (...) {
+        return std::string(
+            "decodeRequest threw a non-standard exception");
+    }
+
+    // Accepted requests re-encode byte-identically: the codec
+    // transmits exactly the canonical field stream, nothing else.
+    std::string encoded;
+    try {
+        encoded = net::encodeRequest(decoded, limits);
+    } catch (const std::exception &error) {
+        return "accepted request fails to re-encode: "
+            + std::string(error.what());
+    }
+    if (encoded != payload)
+        return std::string(
+            "request decode -> encode is not byte-identical");
+    net::WireRequest again = net::decodeRequest(payload, limits);
+    if (net::encodeRequest(again, limits) != encoded)
+        return std::string("decodeRequest is not deterministic");
+    return std::nullopt;
+}
+
+std::optional<std::string>
+checkResponsePayload(std::string_view payload,
+                     const net::WireLimits &limits)
+{
+    net::WireResponse decoded;
+    try {
+        decoded = net::decodeResponse(payload, limits);
+    } catch (const std::invalid_argument &) {
+        return std::nullopt;
+    } catch (const std::exception &error) {
+        return "decodeResponse threw a non-invalid_argument exception: "
+            + std::string(error.what());
+    } catch (...) {
+        return std::string(
+            "decodeResponse threw a non-standard exception");
+    }
+
+    // The embedded strategy text is normalised by its load -> save
+    // round trip, so responses promise encode -> decode -> encode
+    // stability rather than strict byte identity.
+    std::string first;
+    try {
+        first = net::encodeResponse(decoded, limits);
+    } catch (const std::exception &error) {
+        return "accepted response fails to re-encode: "
+            + std::string(error.what());
+    }
+    net::WireResponse reloaded;
+    try {
+        reloaded = net::decodeResponse(first, limits);
+    } catch (const std::exception &error) {
+        return "re-encoded response fails to decode: "
+            + std::string(error.what());
+    }
+    if (net::encodeResponse(reloaded, limits) != first)
+        return std::string(
+            "response encode -> decode -> encode is not byte-stable");
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string>
+fuzzWireOne(const std::uint8_t *data, std::size_t size)
+{
+    const net::WireLimits limits = wireFuzzLimits();
+    std::string_view stream(reinterpret_cast<const char *>(data), size);
+
+    // Walk the stream frame by frame, exactly as the server's read
+    // loop does; a peeled frame always consumes at least its header,
+    // so the walk terminates.
+    while (!stream.empty()) {
+        std::size_t consumed = 0;
+        std::optional<net::FrameView> frame;
+        try {
+            frame = net::peelFrame(stream, &consumed, limits);
+        } catch (const std::invalid_argument &) {
+            return std::nullopt; // clean rejection
+        } catch (const std::exception &error) {
+            return "peelFrame threw a non-invalid_argument exception: "
+                + std::string(error.what());
+        } catch (...) {
+            return std::string("peelFrame threw a non-standard exception");
+        }
+        if (!frame)
+            return std::nullopt; // incomplete tail: wait for more bytes
+        std::optional<std::string> failure =
+            frame->type == net::MsgType::Request
+                ? checkRequestPayload(frame->payload, limits)
+                : checkResponsePayload(frame->payload, limits);
+        if (failure)
+            return failure;
+        stream.remove_prefix(consumed);
+    }
+    return std::nullopt;
+}
+
+namespace {
+
 /** Mutate a valid strategy file into a near-valid buffer. */
 std::vector<std::uint8_t>
 mutatedStrategyBuffer(Rng &rng)
@@ -241,6 +367,101 @@ randomBuffer(Rng &rng)
     return buffer;
 }
 
+/** One valid wire frame: a generated request or response. */
+std::string
+validWireFrame(Rng &rng, const net::WireLimits &limits)
+{
+    if (rng.chance(0.5)) {
+        net::WireRequest request;
+        npu::NpuConfig chip;
+        npu::MemorySystem memory(chip.memory);
+        request.chip = chip;
+        request.workload = genWorkload(rng, memory, 1, 8);
+        request.perf_loss_target = rng.uniform(0.005, 0.5);
+        request.seed = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 1LL << 40));
+        request.use_cache = rng.chance(0.5);
+        request.allow_warm_start = rng.chance(0.5);
+        return net::frameRequest(request, limits);
+    }
+    net::WireResponse response;
+    switch (rng.uniformInt(0, 3)) {
+    case 0: {
+        response.status = net::Status::Ok;
+        npu::FreqTable table(genFreqTableConfig(rng));
+        response.strategy = genStrategy(rng, table);
+        response.best_score = rng.uniform(0.0, 1.0);
+        response.provenance =
+            static_cast<serve::Provenance>(rng.uniformInt(0, 3));
+        response.similarity = rng.uniform(0.0, 1.0);
+        response.generations_run =
+            static_cast<std::uint32_t>(rng.uniformInt(0, 200));
+        response.generations_saved =
+            static_cast<std::uint32_t>(rng.uniformInt(0, 200));
+        response.service_seconds = rng.uniform(0.0, 10.0);
+        response.fingerprint_digest = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 1LL << 50));
+        response.model_epoch =
+            static_cast<std::uint64_t>(rng.uniformInt(0, 40));
+        break;
+    }
+    case 1:
+        response.status = net::Status::Busy;
+        response.reject = rng.chance(0.5)
+                              ? serve::RejectReason::QueueFull
+                              : serve::RejectReason::ShuttingDown;
+        response.message = "net: admission rejected";
+        break;
+    case 2:
+        response.status = net::Status::Malformed;
+        response.message = "wire: truncated u64";
+        break;
+    default:
+        response.status = rng.chance(0.5) ? net::Status::ChipMismatch
+                                          : net::Status::Internal;
+        response.message = "net: request failed";
+        break;
+    }
+    return net::frameResponse(response, limits);
+}
+
+/** Valid frame(s), then byte-level mutations. */
+std::vector<std::uint8_t>
+mutatedWireBuffer(Rng &rng, const net::WireLimits &limits)
+{
+    std::string bytes = validWireFrame(rng, limits);
+    if (rng.chance(0.2))
+        bytes += validWireFrame(rng, limits);
+
+    int mutations = static_cast<int>(rng.uniformInt(0, 6));
+    for (int m = 0; m < mutations && !bytes.empty(); ++m) {
+        switch (rng.uniformInt(0, 3)) {
+        case 0: // flip one byte (header, CRC or payload alike)
+            bytes[rng.index(bytes.size())] =
+                static_cast<char>(rng.uniformInt(0, 255));
+            break;
+        case 1: // truncate
+            bytes.resize(rng.index(bytes.size() + 1));
+            break;
+        case 2: // insert a random byte
+            bytes.insert(bytes.begin()
+                             + static_cast<std::ptrdiff_t>(
+                                 rng.index(bytes.size() + 1)),
+                         static_cast<char>(rng.uniformInt(0, 255)));
+            break;
+        default: { // delete a short span
+            std::size_t at = rng.index(bytes.size());
+            std::size_t len = std::min<std::size_t>(
+                static_cast<std::size_t>(rng.uniformInt(1, 12)),
+                bytes.size() - at);
+            bytes.erase(at, len);
+            break;
+        }
+        }
+    }
+    return {bytes.begin(), bytes.end()};
+}
+
 } // namespace
 
 std::optional<std::string>
@@ -277,6 +498,61 @@ runSeededFuzz(FuzzTarget target, std::uint64_t seed, int iterations,
             try {
                 dvfs::loadStrategy(is);
                 ++stats->accepted;
+            } catch (...) {
+                ++stats->rejected;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runSeededWireFuzz(std::uint64_t seed, int iterations, FuzzStats *stats)
+{
+    const net::WireLimits limits = wireFuzzLimits();
+    for (int i = 0; i < iterations; ++i) {
+        Rng rng(seed
+                + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+        std::vector<std::uint8_t> buffer;
+        double kind = rng.uniform(0.0, 1.0);
+        if (kind < 0.35) { // pristine frames must always be accepted
+            std::string bytes = validWireFrame(rng, limits);
+            buffer.assign(bytes.begin(), bytes.end());
+        } else if (kind < 0.8) {
+            buffer = mutatedWireBuffer(rng, limits);
+        } else {
+            buffer = randomBuffer(rng);
+        }
+
+        if (stats)
+            ++stats->executed;
+        std::optional<std::string> failure =
+            fuzzWireOne(buffer.data(), buffer.size());
+        if (failure) {
+            std::ostringstream os;
+            os << "wire fuzz iteration " << i << " (seed " << seed
+               << ") failed: " << *failure << "\nbuffer ("
+               << buffer.size() << " bytes):\n"
+               << escapeBuffer(buffer.data(), buffer.size());
+            return os.str();
+        }
+        if (stats) {
+            // Classify the leading frame for the corpus-balance stats.
+            std::string_view view(
+                reinterpret_cast<const char *>(buffer.data()),
+                buffer.size());
+            try {
+                std::size_t consumed = 0;
+                auto frame = net::peelFrame(view, &consumed, limits);
+                if (frame) {
+                    if (frame->type == net::MsgType::Request)
+                        net::decodeRequest(frame->payload, limits);
+                    else
+                        net::decodeResponse(frame->payload, limits);
+                    ++stats->accepted;
+                } else {
+                    ++stats->rejected; // incomplete: not servable
+                }
             } catch (...) {
                 ++stats->rejected;
             }

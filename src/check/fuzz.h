@@ -41,6 +41,17 @@ std::optional<std::string> fuzzStrategyIoOne(const std::uint8_t *data,
 std::optional<std::string> fuzzFingerprintOne(const std::uint8_t *data,
                                               std::size_t size);
 
+/**
+ * Feed @p data to the wire-protocol decoder (net::peelFrame +
+ * payload codecs) as one byte stream.  Malformed bytes must be
+ * rejected with WireError (an std::invalid_argument) and nothing
+ * else — never a crash, hang or over-allocation; accepted request
+ * payloads must re-encode byte-identically and accepted response
+ * payloads must be encode -> decode -> encode stable.
+ */
+std::optional<std::string> fuzzWireOne(const std::uint8_t *data,
+                                       std::size_t size);
+
 /** Tallies from one seeded fuzz run. */
 struct FuzzStats
 {
@@ -65,6 +76,17 @@ std::optional<std::string> runSeededFuzz(FuzzTarget target,
                                          std::uint64_t seed,
                                          int iterations,
                                          FuzzStats *stats = nullptr);
+
+/**
+ * Seeded driver for the wire target: valid request/response frames
+ * (sometimes several concatenated), mutated frames (bit flips,
+ * truncations, header splices) and raw random bytes.  `accepted`
+ * counts buffers whose leading frame peeled and decoded; `rejected`
+ * counts everything the decoder refused.
+ */
+std::optional<std::string> runSeededWireFuzz(std::uint64_t seed,
+                                             int iterations,
+                                             FuzzStats *stats = nullptr);
 
 } // namespace opdvfs::check
 

@@ -1,0 +1,315 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace opdvfs::net {
+
+namespace {
+
+double
+steadyNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw NetError("net: fcntl(O_NONBLOCK) failed");
+}
+
+/** Poll one fd for @p events until @p deadline (steady seconds). */
+void
+pollUntil(int fd, short events, double deadline, const char *what)
+{
+    while (true) {
+        double remaining = deadline - steadyNow();
+        if (remaining <= 0.0)
+            throw DeadlineError(std::string("net: deadline expired ")
+                                + what);
+        pollfd pfd{fd, events, 0};
+        int timeout_ms = static_cast<int>(remaining * 1000.0) + 1;
+        int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready > 0)
+            return;
+        if (ready < 0 && errno != EINTR)
+            throw NetError("net: poll() failed");
+    }
+}
+
+int
+connectSocket(const std::string &host, std::uint16_t port,
+              double timeout_seconds)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw NetError("net: bad host address " + host);
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw NetError("net: socket() failed");
+    try {
+        setNonBlocking(fd);
+        int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr));
+        if (rc < 0 && errno != EINPROGRESS)
+            throw NetError("net: connect() to " + host + " failed");
+        if (rc < 0) {
+            pollUntil(fd, POLLOUT, steadyNow() + timeout_seconds,
+                      "connecting");
+            int error = 0;
+            socklen_t length = sizeof(error);
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &length)
+                    < 0
+                || error != 0)
+                throw NetError("net: connect() to " + host
+                               + " failed: "
+                               + std::strerror(error ? error : errno));
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    return fd;
+}
+
+} // namespace
+
+StrategyClient::StrategyClient(std::string host, std::uint16_t port,
+                               ClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options),
+      jitter_state_(options.jitter_seed ? options.jitter_seed
+                                        : 0x9E3779B97F4A7C15ull)
+{}
+
+StrategyClient::~StrategyClient()
+{
+    disconnect();
+}
+
+void
+StrategyClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+double
+StrategyClient::now() const
+{
+    return steadyNow();
+}
+
+void
+StrategyClient::connectWithDeadline()
+{
+    fd_ = connectSocket(host_, port_, options_.connect_timeout_seconds);
+}
+
+void
+StrategyClient::sendAll(const std::string &bytes, double deadline)
+{
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+        ssize_t sent = ::send(fd_, bytes.data() + offset,
+                              bytes.size() - offset, MSG_NOSIGNAL);
+        if (sent > 0) {
+            offset += static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0
+            && (errno == EAGAIN || errno == EWOULDBLOCK
+                || errno == EINTR)) {
+            pollUntil(fd_, POLLOUT, deadline, "sending the request");
+            continue;
+        }
+        throw NetError("net: send() failed: "
+                       + std::string(std::strerror(errno)));
+    }
+}
+
+WireResponse
+StrategyClient::receiveResponse(double deadline)
+{
+    std::string buffer;
+    char chunk[16384];
+    while (true) {
+        std::size_t consumed = 0;
+        // A WireError here (bad magic/CRC/version) propagates: the
+        // stream is broken and a retry cannot fix the bytes.
+        std::optional<FrameView> frame =
+            peelFrame(buffer, &consumed, options_.limits);
+        if (frame) {
+            if (frame->type != MsgType::Response)
+                throw WireError("net: server sent a non-response frame");
+            WireResponse response =
+                decodeResponse(frame->payload, options_.limits);
+            switch (response.status) {
+            case Status::Ok:
+                return response;
+            case Status::Busy:
+                throw BusyError("net: server busy ("
+                                    + std::string(serve::rejectReasonToken(
+                                        response.reject))
+                                    + "): " + response.message,
+                                response.reject);
+            default:
+                throw RemoteError("net: server answered "
+                                      + std::string(statusToken(
+                                          response.status))
+                                      + ": " + response.message,
+                                  response.status);
+            }
+        }
+        pollUntil(fd_, POLLIN, deadline, "awaiting the response");
+        ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+            buffer.append(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            throw NetError("net: server closed the connection");
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+            continue;
+        throw NetError("net: recv() failed: "
+                       + std::string(std::strerror(errno)));
+    }
+}
+
+WireResponse
+StrategyClient::attemptOnce(const std::string &frame)
+{
+    if (!connected())
+        connectWithDeadline();
+    double deadline = now() + options_.request_timeout_seconds;
+    sendAll(frame, deadline);
+    return receiveResponse(deadline);
+}
+
+WireResponse
+StrategyClient::call(const WireRequest &request)
+{
+    // Encoding failures are the caller's bug; no network was involved.
+    std::string frame = frameRequest(request, options_.limits);
+
+    int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+    for (int attempt = 1;; ++attempt) {
+        bool drop_connection = false;
+        try {
+            return attemptOnce(frame);
+        } catch (const DeadlineError &) {
+            // The caller's time budget is spent; a retry would spend
+            // it again.  Tear down so a later call starts clean.
+            disconnect();
+            throw;
+        } catch (const BusyError &) {
+            // Retryable; the connection itself is healthy.
+            if (attempt >= attempts)
+                throw;
+        } catch (const WireError &) {
+            disconnect();
+            throw; // malformed bytes: never retry
+        } catch (const RemoteError &) {
+            throw; // structured non-retryable failure
+        } catch (const NetError &) {
+            drop_connection = true;
+            if (attempt >= attempts) {
+                disconnect();
+                throw;
+            }
+        }
+        if (drop_connection)
+            disconnect();
+
+        // Bounded exponential backoff with deterministic jitter in
+        // [0.5, 1.0] x the nominal delay (decorrelates synchronised
+        // retry storms while staying reproducible under a seed).
+        double nominal = options_.backoff_initial_seconds;
+        for (int doubling = 1; doubling < attempt; ++doubling)
+            nominal *= 2.0;
+        if (nominal > options_.backoff_max_seconds)
+            nominal = options_.backoff_max_seconds;
+        jitter_state_ ^= jitter_state_ << 13;
+        jitter_state_ ^= jitter_state_ >> 7;
+        jitter_state_ ^= jitter_state_ << 17;
+        double fraction =
+            static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;
+        double delay = nominal * (0.5 + 0.5 * fraction);
+        ++retries_;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay));
+    }
+}
+
+std::string
+adminQuery(const std::string &host, std::uint16_t port,
+           const std::string &command, double timeout_seconds)
+{
+    double deadline = steadyNow() + timeout_seconds;
+    int fd = connectSocket(host, port, timeout_seconds);
+    std::string text;
+    try {
+        std::string line = command + "\n";
+        std::size_t offset = 0;
+        while (offset < line.size()) {
+            ssize_t sent = ::send(fd, line.data() + offset,
+                                  line.size() - offset, MSG_NOSIGNAL);
+            if (sent > 0) {
+                offset += static_cast<std::size_t>(sent);
+                continue;
+            }
+            if (sent < 0
+                && (errno == EAGAIN || errno == EWOULDBLOCK
+                    || errno == EINTR)) {
+                pollUntil(fd, POLLOUT, deadline, "sending the command");
+                continue;
+            }
+            throw NetError("net: send() failed");
+        }
+        while (true) {
+            char chunk[4096];
+            ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (got > 0) {
+                text.append(chunk, static_cast<std::size_t>(got));
+                continue;
+            }
+            if (got == 0)
+                break; // server closes after one command
+            if (errno == EAGAIN || errno == EWOULDBLOCK
+                || errno == EINTR) {
+                pollUntil(fd, POLLIN, deadline, "awaiting the reply");
+                continue;
+            }
+            throw NetError("net: recv() failed");
+        }
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+    return text;
+}
+
+} // namespace opdvfs::net

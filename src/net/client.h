@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Blocking RPC client for the strategy server, resilient by policy:
+ *
+ *  - connect and whole-request deadlines (a stalled server cannot
+ *    hang the caller);
+ *  - bounded exponential backoff with deterministic jitter between
+ *    retries;
+ *  - retries only where they are sound: `Busy` responses and
+ *    transport failures (refused / reset / torn connection) are
+ *    retryable because requests are idempotent by fingerprint —
+ *    re-sending the same request can at worst re-answer from the
+ *    cache.  Malformed-frame errors and version mismatches are never
+ *    retried (the bytes will not get better), and a deadline expiry
+ *    fails the call immediately (retrying would double the wait the
+ *    caller already refused to pay).
+ *
+ * One client drives one connection, lazily (re-)established; it is
+ * not thread-safe — use one client per thread (the bench does).
+ */
+
+#ifndef OPDVFS_NET_CLIENT_H
+#define OPDVFS_NET_CLIENT_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/wire.h"
+
+namespace opdvfs::net {
+
+/** Transport-level failure (connect/send/recv); retryable. */
+class NetError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The server rejected admission (Status::Busy); retryable. */
+class BusyError : public NetError
+{
+  public:
+    BusyError(const std::string &what, serve::RejectReason reason)
+        : NetError(what), reason_(reason)
+    {}
+
+    /** Structured cause from the wire (queue-full / shutting-down). */
+    serve::RejectReason reason() const { return reason_; }
+
+  private:
+    serve::RejectReason reason_;
+};
+
+/** The configured deadline expired; never retried internally. */
+class DeadlineError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The server answered with a non-retryable failure status. */
+class RemoteError : public std::runtime_error
+{
+  public:
+    RemoteError(const std::string &what, Status status)
+        : std::runtime_error(what), status_(status)
+    {}
+
+    Status status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+/** Client configuration. */
+struct ClientOptions
+{
+    /** Deadline for establishing a connection, seconds. */
+    double connect_timeout_seconds = 2.0;
+    /** Whole-call deadline per attempt (send + server + recv). */
+    double request_timeout_seconds = 30.0;
+    /** Total tries per call() (1 = no retries). */
+    int max_attempts = 4;
+    /** First backoff delay; doubles per retry. */
+    double backoff_initial_seconds = 0.05;
+    /** Backoff ceiling. */
+    double backoff_max_seconds = 1.0;
+    /** Seed for the deterministic backoff jitter. */
+    std::uint64_t jitter_seed = 1;
+    /** Decoder caps applied to inbound response frames. */
+    WireLimits limits;
+};
+
+/** Blocking strategy-server client.  Not thread-safe. */
+class StrategyClient
+{
+  public:
+    StrategyClient(std::string host, std::uint16_t port,
+                   ClientOptions options = {});
+    ~StrategyClient();
+
+    StrategyClient(const StrategyClient &) = delete;
+    StrategyClient &operator=(const StrategyClient &) = delete;
+
+    /**
+     * Send @p request and block for the response, retrying per the
+     * options.  Returns only Status::Ok responses.
+     * @throws BusyError      every attempt was rejected (last cause)
+     * @throws NetError       every attempt failed in transport
+     * @throws DeadlineError  a deadline expired
+     * @throws RemoteError    the server answered Malformed /
+     *                        ChipMismatch / Internal (no retry)
+     * @throws WireError      the server's bytes failed to decode
+     *                        (no retry)
+     */
+    WireResponse call(const WireRequest &request);
+
+    /** True while a connection is established. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** Drop the connection (the next call reconnects). */
+    void disconnect();
+
+    /** Retries performed across all call()s (observability). */
+    std::uint64_t retries() const { return retries_; }
+
+  private:
+    WireResponse attemptOnce(const std::string &frame);
+    void connectWithDeadline();
+    void sendAll(const std::string &bytes, double deadline);
+    WireResponse receiveResponse(double deadline);
+    double now() const;
+
+    std::string host_;
+    std::uint16_t port_;
+    ClientOptions options_;
+    int fd_ = -1;
+    std::uint64_t jitter_state_;
+    std::uint64_t retries_ = 0;
+};
+
+/**
+ * One-shot plaintext admin query against a strategy server (`STATS`
+ * or `HEALTH`); returns the raw response text.
+ * @throws NetError / DeadlineError on transport failure.
+ */
+std::string adminQuery(const std::string &host, std::uint16_t port,
+                       const std::string &command,
+                       double timeout_seconds = 2.0);
+
+} // namespace opdvfs::net
+
+#endif // OPDVFS_NET_CLIENT_H

@@ -1,0 +1,622 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace opdvfs::net {
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw std::runtime_error("net: fcntl(O_NONBLOCK) failed");
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** Admin connections hold at most one short command line. */
+constexpr std::size_t kAdminLineCap = 4096;
+
+} // namespace
+
+StrategyServer::StrategyServer(serve::StrategyService &service,
+                               ServerOptions options)
+    : service_(service), options_(std::move(options)),
+      chip_block_(encodeChipConfig(service.options().pipeline.chip))
+{}
+
+StrategyServer::~StrategyServer()
+{
+    stop();
+}
+
+void
+StrategyServer::start()
+{
+    if (loop_thread_.joinable())
+        throw std::runtime_error("net: server already started");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        throw std::runtime_error("net: socket() failed");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                    &addr.sin_addr) != 1) {
+        closeFd(listen_fd_);
+        throw std::runtime_error("net: bad bind address "
+                                 + options_.bind_address);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0
+        || ::listen(listen_fd_, options_.backlog) < 0) {
+        closeFd(listen_fd_);
+        throw std::runtime_error("net: cannot bind/listen on "
+                                 + options_.bind_address + ":"
+                                 + std::to_string(options_.port));
+    }
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &addr_len) < 0) {
+        closeFd(listen_fd_);
+        throw std::runtime_error("net: getsockname() failed");
+    }
+    bound_port_ = ntohs(addr.sin_port);
+    setNonBlocking(listen_fd_);
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) < 0) {
+        closeFd(listen_fd_);
+        throw std::runtime_error("net: pipe() failed");
+    }
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    setNonBlocking(wake_read_fd_);
+    setNonBlocking(wake_write_fd_);
+
+    phase_.store(0);
+    loop_thread_ = std::thread([this] { eventLoop(); });
+}
+
+void
+StrategyServer::stop()
+{
+    int expected = 0;
+    if (phase_.compare_exchange_strong(expected, 1)) {
+        wakeLoop();
+        // Every admitted request completes before drain() returns;
+        // the loop keeps running to flush those responses out.
+        service_.drain();
+        wakeLoop();
+    }
+    if (loop_thread_.joinable())
+        loop_thread_.join();
+    closeFd(wake_write_fd_);
+    closeFd(wake_read_fd_);
+    closeFd(listen_fd_);
+}
+
+double
+StrategyServer::loopNow() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+StrategyServer::wakeLoop()
+{
+    if (wake_write_fd_ < 0)
+        return;
+    char byte = 'w';
+    [[maybe_unused]] ssize_t ignored =
+        ::write(wake_write_fd_, &byte, 1); // EAGAIN: loop wakes anyway
+}
+
+void
+StrategyServer::eventLoop()
+{
+    bool listener_open = true;
+    while (true) {
+        bool stopping = phase_.load() != 0;
+        if (stopping && listener_open) {
+            closeFd(listen_fd_);
+            listener_open = false;
+        }
+
+        drainCompletions();
+
+        if (stopping) {
+            bool idle = true;
+            {
+                std::lock_guard<std::mutex> lock(completion_mutex_);
+                idle = completions_.empty();
+            }
+            for (const auto &[id, conn] : connections_)
+                if (conn.in_flight || !conn.write_buffer.empty())
+                    idle = false;
+            if (idle)
+                break;
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> ids;
+        if (listener_open) {
+            fds.push_back({listen_fd_, POLLIN, 0});
+            ids.push_back(0);
+        }
+        fds.push_back({wake_read_fd_, POLLIN, 0});
+        ids.push_back(0);
+        for (auto &[id, conn] : connections_) {
+            short events = 0;
+            // Stop reading once a full max-size frame is buffered:
+            // strict request/response means the buffer only drains as
+            // responses go out, so this bounds memory per connection.
+            if (!conn.close_after_flush
+                && conn.read_buffer.size() < options_.limits.max_frame_bytes)
+                events |= POLLIN;
+            if (!conn.write_buffer.empty())
+                events |= POLLOUT;
+            fds.push_back({conn.fd, events, 0});
+            ids.push_back(id);
+        }
+
+        ::poll(fds.data(), fds.size(), 200);
+
+        double now = loopNow();
+        std::vector<std::uint64_t> to_close;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            if (fds[i].fd == wake_read_fd_) {
+                char scratch[64];
+                while (::read(wake_read_fd_, scratch, sizeof(scratch)) > 0)
+                    ;
+                continue;
+            }
+            if (listener_open && fds[i].fd == listen_fd_) {
+                acceptPending();
+                continue;
+            }
+            auto it = connections_.find(ids[i]);
+            if (it == connections_.end())
+                continue;
+            Connection &conn = it->second;
+            if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+                // Flush what we can (a half-closed peer may still
+                // read), then drop the connection.
+                if (!conn.write_buffer.empty())
+                    flushWritable(ids[i], conn);
+                to_close.push_back(ids[i]);
+                continue;
+            }
+            if (fds[i].revents & POLLIN) {
+                conn.last_activity = now;
+                handleReadable(ids[i], conn);
+            }
+            auto again = connections_.find(ids[i]);
+            if (again == connections_.end())
+                continue;
+            if ((fds[i].revents & POLLOUT)
+                && !again->second.write_buffer.empty()) {
+                again->second.last_activity = now;
+                flushWritable(ids[i], again->second);
+            }
+        }
+        for (std::uint64_t id : to_close)
+            closeConnection(id);
+
+        // Reap idle connections (quiet, nothing owed either way).
+        std::vector<std::uint64_t> idle_ids;
+        for (const auto &[id, conn] : connections_)
+            if (!conn.in_flight && conn.write_buffer.empty()
+                && now - conn.last_activity > options_.idle_timeout_seconds)
+                idle_ids.push_back(id);
+        for (std::uint64_t id : idle_ids) {
+            closeConnection(id);
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.connections_reaped;
+        }
+    }
+
+    for (auto &[id, conn] : connections_)
+        closeFd(conn.fd);
+    connections_.clear();
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.open_connections = 0;
+    }
+    phase_.store(2);
+}
+
+void
+StrategyServer::acceptPending()
+{
+    while (true) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            return; // EAGAIN or a transient error: nothing to accept
+        if (connections_.size() >= options_.max_connections) {
+            ::close(fd);
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.connections_refused;
+            continue;
+        }
+        try {
+            setNonBlocking(fd);
+        } catch (const std::runtime_error &) {
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        Connection conn;
+        conn.fd = fd;
+        conn.last_activity = loopNow();
+        connections_.emplace(next_connection_id_++, std::move(conn));
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_accepted;
+        stats_.open_connections = connections_.size();
+    }
+}
+
+void
+StrategyServer::handleReadable(std::uint64_t id, Connection &conn)
+{
+    char chunk[16384];
+    while (conn.read_buffer.size() < options_.limits.max_frame_bytes) {
+        ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+            if (conn.read_buffer.empty() && !conn.admin
+                && chunk[0] != kWireMagic[0])
+                conn.admin = true;
+            conn.read_buffer.append(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0) { // orderly peer close
+            closeConnection(id);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+            break;
+        closeConnection(id);
+        return;
+    }
+    if (conn.admin)
+        serveAdminLine(conn);
+    else
+        serveFrames(id, conn);
+}
+
+void
+StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
+{
+    // Strict request/response: the next frame is decoded only after
+    // the previous one was answered, so responses always arrive in
+    // request order and per-connection state stays trivial.
+    Connection *current = &conn;
+    while (!current->in_flight && !current->close_after_flush) {
+        std::size_t consumed = 0;
+        std::optional<FrameView> frame;
+        try {
+            frame = peelFrame(current->read_buffer, &consumed,
+                              options_.limits);
+            if (frame && frame->type != MsgType::Request)
+                throw WireError("net: client sent a non-request frame");
+        } catch (const WireError &error) {
+            // Framing is broken: the stream cannot be re-synchronised,
+            // so answer once and hang up after the flush.  The flags
+            // are set *before* queueing: the immediate flush must see
+            // close_after_flush, and queueResponse may even close the
+            // connection, so nothing is touched after it.
+            current->close_after_flush = true;
+            current->read_buffer.clear();
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.responses_malformed;
+            }
+            WireResponse response;
+            response.status = Status::Malformed;
+            response.message = error.what();
+            queueResponse(id, *current, response);
+            return;
+        }
+        if (!frame)
+            return; // incomplete: wait for more bytes
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.frames_in;
+        }
+        serveRequest(id, *current, frame->payload);
+        // serveRequest may have flushed an immediate answer and hit a
+        // dead socket, closing the connection: re-resolve before any
+        // further touch.
+        auto it = connections_.find(id);
+        if (it == connections_.end())
+            return;
+        current = &it->second;
+        current->read_buffer.erase(0, consumed);
+    }
+}
+
+void
+StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
+                             std::string_view payload)
+{
+    WireRequest request;
+    try {
+        request = decodeRequest(payload, options_.limits);
+    } catch (const WireError &error) {
+        // The frame itself was intact (CRC passed), so the stream is
+        // still in sync: report and keep the connection.  Counters
+        // bump before the response flushes so a client that reads the
+        // answer never observes a stale count.
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.responses_malformed;
+        }
+        WireResponse response;
+        response.status = Status::Malformed;
+        response.message = error.what();
+        queueResponse(id, conn, response);
+        return;
+    }
+
+    if (encodeChipConfig(request.chip) != chip_block_) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.responses_chip_mismatch;
+        }
+        WireResponse response;
+        response.status = Status::ChipMismatch;
+        response.message =
+            "net: request chip differs from the serving chip";
+        queueResponse(id, conn, response);
+        return;
+    }
+
+    serve::StrategyRequest service_request;
+    service_request.workload = std::move(request.workload);
+    service_request.perf_loss_target = request.perf_loss_target;
+    service_request.seed = request.seed;
+    service_request.use_cache = request.use_cache;
+    service_request.allow_warm_start = request.allow_warm_start;
+
+    serve::RejectReason reject = service_.trySubmit(
+        std::move(service_request),
+        [this, id](serve::StrategyResponse response,
+                   std::exception_ptr error) {
+            // Worker thread: encode off the loop, enqueue, wake.
+            WireResponse wire;
+            if (error) {
+                wire.status = Status::Internal;
+                try {
+                    std::rethrow_exception(error);
+                } catch (const std::exception &exception) {
+                    wire.message = exception.what();
+                } catch (...) {
+                    wire.message = "net: pipeline failed";
+                }
+            } else {
+                wire.status = Status::Ok;
+                wire.strategy = std::move(response.strategy);
+                wire.best_score = response.ga.best_score;
+                wire.provenance = response.provenance;
+                wire.similarity = response.similarity;
+                wire.generations_run = static_cast<std::uint32_t>(
+                    response.generations_run < 0
+                        ? 0
+                        : response.generations_run);
+                wire.generations_saved = static_cast<std::uint32_t>(
+                    response.generations_saved < 0
+                        ? 0
+                        : response.generations_saved);
+                wire.service_seconds = response.service_seconds;
+                wire.fingerprint_digest = response.fingerprint.digest;
+                wire.model_epoch = service_.modelEpoch();
+            }
+            std::string framed;
+            try {
+                framed = frameResponse(wire, options_.limits);
+            } catch (const WireError &encode_error) {
+                WireResponse fallback;
+                fallback.status = Status::Internal;
+                fallback.message = encode_error.what();
+                framed = frameResponse(fallback, options_.limits);
+                wire.status = Status::Internal;
+            }
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                if (wire.status == Status::Ok)
+                    ++stats_.responses_ok;
+                else
+                    ++stats_.responses_internal;
+            }
+            {
+                std::lock_guard<std::mutex> lock(completion_mutex_);
+                completions_.emplace_back(id, std::move(framed));
+            }
+            wakeLoop();
+        });
+
+    if (reject != serve::RejectReason::None) {
+        // Structured backpressure: the connection stays up and the
+        // client learns whether to back off (queue-full) or fail over
+        // (shutting-down).
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.responses_busy;
+        }
+        WireResponse response;
+        response.status = Status::Busy;
+        response.reject = reject;
+        response.message = std::string("net: admission rejected: ")
+                           + serve::rejectReasonToken(reject);
+        queueResponse(id, conn, response);
+        return;
+    }
+    conn.in_flight = true;
+}
+
+void
+StrategyServer::serveAdminLine(Connection &conn)
+{
+    if (conn.close_after_flush)
+        return;
+    std::size_t newline = conn.read_buffer.find('\n');
+    if (newline == std::string::npos) {
+        if (conn.read_buffer.size() > kAdminLineCap)
+            conn.close_after_flush = true;
+        return;
+    }
+    std::string line = conn.read_buffer.substr(0, newline);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.admin_requests;
+    }
+    if (line == "STATS")
+        conn.write_buffer += statsText();
+    else if (line == "HEALTH")
+        conn.write_buffer += service_.draining() ? "draining\n" : "ok\n";
+    else
+        conn.write_buffer += "error unknown-command\n";
+    conn.read_buffer.clear();
+    conn.close_after_flush = true; // one command per connection
+}
+
+void
+StrategyServer::queueResponse(std::uint64_t id, Connection &conn,
+                              const WireResponse &response)
+{
+    conn.write_buffer += frameResponse(response, options_.limits);
+    flushWritable(id, conn);
+}
+
+void
+StrategyServer::flushWritable(std::uint64_t id, Connection &conn)
+{
+    while (!conn.write_buffer.empty()) {
+        ssize_t sent = ::send(conn.fd, conn.write_buffer.data(),
+                              conn.write_buffer.size(), MSG_NOSIGNAL);
+        if (sent > 0) {
+            conn.write_buffer.erase(0, static_cast<std::size_t>(sent));
+            continue;
+        }
+        if (sent < 0
+            && (errno == EAGAIN || errno == EWOULDBLOCK
+                || errno == EINTR))
+            return; // kernel buffer full; POLLOUT resumes the flush
+        closeConnection(id);
+        return;
+    }
+    if (conn.close_after_flush)
+        closeConnection(id);
+}
+
+void
+StrategyServer::drainCompletions()
+{
+    std::deque<std::pair<std::uint64_t, std::string>> ready;
+    {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        ready.swap(completions_);
+    }
+    for (auto &[id, framed] : ready) {
+        auto it = connections_.find(id);
+        if (it == connections_.end())
+            continue; // the requester hung up; drop the response
+        Connection &conn = it->second;
+        conn.in_flight = false;
+        conn.write_buffer += framed;
+        flushWritable(id, conn);
+        auto again = connections_.find(id);
+        if (again != connections_.end())
+            serveFrames(id, again->second); // next buffered request
+    }
+}
+
+void
+StrategyServer::closeConnection(std::uint64_t id)
+{
+    auto it = connections_.find(id);
+    if (it == connections_.end())
+        return;
+    closeFd(it->second.fd);
+    connections_.erase(it);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.open_connections = connections_.size();
+}
+
+ServerStats
+StrategyServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+std::string
+StrategyServer::statsText() const
+{
+    ServerStats server = stats();
+    serve::ServiceStats service = service_.stats();
+    std::ostringstream os;
+    os << "connections_accepted " << server.connections_accepted << '\n'
+       << "connections_refused " << server.connections_refused << '\n'
+       << "connections_reaped " << server.connections_reaped << '\n'
+       << "open_connections " << server.open_connections << '\n'
+       << "frames_in " << server.frames_in << '\n'
+       << "responses_ok " << server.responses_ok << '\n'
+       << "responses_busy " << server.responses_busy << '\n'
+       << "responses_malformed " << server.responses_malformed << '\n'
+       << "responses_chip_mismatch " << server.responses_chip_mismatch
+       << '\n'
+       << "responses_internal " << server.responses_internal << '\n'
+       << "admin_requests " << server.admin_requests << '\n'
+       << "service_requests " << service.requests << '\n'
+       << "service_exact_hits " << service.exact_hits << '\n'
+       << "service_coalesced " << service.coalesced << '\n'
+       << "service_warm_hits " << service.warm_hits << '\n'
+       << "service_cold_misses " << service.cold_misses << '\n'
+       << "service_rejected " << service.rejected << '\n'
+       << "service_generations_saved " << service.generations_saved
+       << '\n'
+       << "service_model_epoch " << service.model_epoch << '\n'
+       << "service_queue_depth " << service.queue_depth << '\n'
+       << "service_in_flight " << service.in_flight << '\n'
+       << "service_cache_size " << service.cache_size << '\n'
+       << "service_draining " << (service.draining ? 1 : 0) << '\n'
+       << "p50_service_seconds " << service.p50_service_seconds << '\n'
+       << "p95_service_seconds " << service.p95_service_seconds << '\n';
+    return os.str();
+}
+
+} // namespace opdvfs::net

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * TCP front end for the strategy service.
+ *
+ * One poll(2)-based event loop thread owns every socket: it accepts
+ * connections, peels wire frames off per-connection read buffers,
+ * admits decoded requests into the StrategyService through its
+ * non-blocking callback API, and flushes encoded responses.  Service
+ * worker threads never touch a socket: a completion encodes its
+ * response off the loop, pushes the framed bytes onto a queue and
+ * wakes the loop through a self-pipe.
+ *
+ * Backpressure is structured end to end: when the service's admission
+ * queue is full (or the service is draining) the request is answered
+ * with a `Busy` frame carrying the serve::RejectReason — the
+ * connection is never dropped to signal overload.  The server itself
+ * bounds connections and accepts at most one in-flight request per
+ * connection (the protocol is strictly request/response; a frame that
+ * arrives while the previous one is being served simply waits in the
+ * read buffer).
+ *
+ * The same port also answers a plaintext admin protocol: connections
+ * whose first byte is not the frame magic's 'O' are read as one text
+ * line — `STATS` returns service + server counters (including p50/p95
+ * service latency), `HEALTH` returns `ok` or `draining` — then the
+ * connection closes.
+ *
+ * stop() is graceful: the listener closes, buffered-but-unserved
+ * frames are answered `Busy (shutting-down)`, the service drains
+ * (every admitted request completes), every pending response is
+ * flushed, and only then does the loop exit.
+ */
+
+#ifndef OPDVFS_NET_SERVER_H
+#define OPDVFS_NET_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "net/wire.h"
+#include "serve/service.h"
+
+namespace opdvfs::net {
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /** Bind address (tests and the bench stay on loopback). */
+    std::string bind_address = "127.0.0.1";
+    /** Port to bind; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+    /** Accepted connections beyond this are closed immediately. */
+    std::size_t max_connections = 64;
+    /** listen(2) backlog. */
+    int backlog = 16;
+    /** Idle connections (no in-flight work) are reaped after this. */
+    double idle_timeout_seconds = 60.0;
+    /** Decoder caps applied to every inbound frame. */
+    WireLimits limits;
+};
+
+/** Monotonic counters owned by the event loop. */
+struct ServerStats
+{
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_refused = 0;
+    std::uint64_t connections_reaped = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t responses_ok = 0;
+    std::uint64_t responses_busy = 0;
+    std::uint64_t responses_malformed = 0;
+    std::uint64_t responses_chip_mismatch = 0;
+    std::uint64_t responses_internal = 0;
+    std::uint64_t admin_requests = 0;
+    std::size_t open_connections = 0;
+};
+
+/**
+ * Serves one StrategyService over TCP.  The service must outlive the
+ * server; stop() (also run by the destructor) drains it.
+ */
+class StrategyServer
+{
+  public:
+    StrategyServer(serve::StrategyService &service, ServerOptions options);
+    ~StrategyServer();
+
+    StrategyServer(const StrategyServer &) = delete;
+    StrategyServer &operator=(const StrategyServer &) = delete;
+
+    /**
+     * Bind, listen and launch the event loop.
+     * @throws std::runtime_error when the socket cannot be set up.
+     */
+    void start();
+
+    /** Graceful shutdown; idempotent.  See the file comment. */
+    void stop();
+
+    /** The bound port (after start(); resolves port 0 bindings). */
+    std::uint16_t port() const { return bound_port_; }
+
+    /** Snapshot of the loop's counters. */
+    ServerStats stats() const;
+
+    /** The admin STATS text, exactly as served over the socket. */
+    std::string statsText() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::string read_buffer;
+        std::string write_buffer;
+        /** A request frame was admitted and not yet answered. */
+        bool in_flight = false;
+        /** First byte was not the frame magic: plaintext admin mode. */
+        bool admin = false;
+        /** Flush the write buffer, then close (frame desync or admin
+         *  reply: no further frame can be trusted / is expected). */
+        bool close_after_flush = false;
+        /** Loop-clock timestamp of the last read or write. */
+        double last_activity = 0.0;
+    };
+
+    void eventLoop();
+    void acceptPending();
+    void handleReadable(std::uint64_t id, Connection &conn);
+    void serveFrames(std::uint64_t id, Connection &conn);
+    void serveRequest(std::uint64_t id, Connection &conn,
+                      std::string_view payload);
+    void serveAdminLine(Connection &conn);
+    void queueResponse(std::uint64_t id, Connection &conn,
+                       const WireResponse &response);
+    void flushWritable(std::uint64_t id, Connection &conn);
+    void drainCompletions();
+    void closeConnection(std::uint64_t id);
+    void wakeLoop();
+    double loopNow() const;
+
+    serve::StrategyService &service_;
+    ServerOptions options_;
+    /** The serving chip's canonical block; requests must match it. */
+    std::string chip_block_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+
+    std::thread loop_thread_;
+    /** 0 running, 1 stop requested, 2 loop exited. */
+    std::atomic<int> phase_{0};
+
+    /** Loop-thread state (the loop is the only writer). */
+    std::map<std::uint64_t, Connection> connections_;
+    std::uint64_t next_connection_id_ = 1;
+
+    /** Framed response bytes finished by service workers. */
+    std::mutex completion_mutex_;
+    std::deque<std::pair<std::uint64_t, std::string>> completions_;
+
+    mutable std::mutex stats_mutex_;
+    ServerStats stats_;
+};
+
+} // namespace opdvfs::net
+
+#endif // OPDVFS_NET_SERVER_H

@@ -1,0 +1,580 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace opdvfs::net {
+
+namespace {
+
+// --- flat little-endian primitives -------------------------------------
+
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+
+    void u16(std::uint16_t value)
+    {
+        for (int byte = 0; byte < 2; ++byte)
+            u8(static_cast<std::uint8_t>(value >> (8 * byte)));
+    }
+
+    void u32(std::uint32_t value)
+    {
+        for (int byte = 0; byte < 4; ++byte)
+            u8(static_cast<std::uint8_t>(value >> (8 * byte)));
+    }
+
+    void u64(std::uint64_t value)
+    {
+        for (int byte = 0; byte < 8; ++byte)
+            u8(static_cast<std::uint8_t>(value >> (8 * byte)));
+    }
+
+    void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+
+    /** IEEE-754 bit pattern; NaN/-0.0 travel verbatim. */
+    void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+
+    void str16(std::string_view text, std::size_t cap, const char *what)
+    {
+        if (text.size() > cap || text.size() > 0xFFFF)
+            throw WireError(std::string("wire: ") + what
+                            + " exceeds the string cap");
+        u16(static_cast<std::uint16_t>(text.size()));
+        out_.append(text);
+    }
+
+    void str32(std::string_view text, std::size_t cap, const char *what)
+    {
+        if (text.size() > cap)
+            throw WireError(std::string("wire: ") + what
+                            + " exceeds its block cap");
+        u32(static_cast<std::uint32_t>(text.size()));
+        out_.append(text);
+    }
+
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : data_(data) {}
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    std::uint8_t u8()
+    {
+        need(1, "byte");
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint16_t u16()
+    {
+        need(2, "u16");
+        std::uint16_t value = 0;
+        for (int byte = 0; byte < 2; ++byte)
+            value |= static_cast<std::uint16_t>(
+                static_cast<std::uint8_t>(data_[pos_++]))
+                << (8 * byte);
+        return value;
+    }
+
+    std::uint32_t u32()
+    {
+        need(4, "u32");
+        std::uint32_t value = 0;
+        for (int byte = 0; byte < 4; ++byte)
+            value |= static_cast<std::uint32_t>(
+                static_cast<std::uint8_t>(data_[pos_++]))
+                << (8 * byte);
+        return value;
+    }
+
+    std::uint64_t u64()
+    {
+        need(8, "u64");
+        std::uint64_t value = 0;
+        for (int byte = 0; byte < 8; ++byte)
+            value |= static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(data_[pos_++]))
+                << (8 * byte);
+        return value;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    /** A double that must be finite (every numeric protocol field). */
+    double finite(const char *what)
+    {
+        double value = f64();
+        if (!std::isfinite(value))
+            throw WireError(std::string("wire: non-finite ") + what);
+        return value;
+    }
+
+    std::string str16(std::size_t cap, const char *what)
+    {
+        std::size_t length = u16();
+        if (length > cap)
+            throw WireError(std::string("wire: ") + what
+                            + " exceeds the string cap");
+        need(length, what);
+        std::string text(data_.substr(pos_, length));
+        pos_ += length;
+        return text;
+    }
+
+    std::string str32(std::size_t cap, const char *what)
+    {
+        std::size_t length = u32();
+        if (length > cap)
+            throw WireError(std::string("wire: ") + what
+                            + " exceeds its block cap");
+        need(length, what);
+        std::string text(data_.substr(pos_, length));
+        pos_ += length;
+        return text;
+    }
+
+    void expectEnd(const char *what)
+    {
+        if (!atEnd())
+            throw WireError(std::string("wire: trailing bytes after ")
+                            + what);
+    }
+
+  private:
+    void need(std::size_t bytes, const char *what)
+    {
+        if (remaining() < bytes)
+            throw WireError(std::string("wire: truncated ") + what);
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+/** A finite double holding an integral value in [lo, hi]. */
+std::int64_t
+integralInRange(double value, std::int64_t lo, std::int64_t hi,
+                const char *what)
+{
+    if (!std::isfinite(value) || value != std::floor(value)
+        || value < static_cast<double>(lo)
+        || value > static_cast<double>(hi))
+        throw WireError(std::string("wire: ") + what
+                        + " is not an integer in range");
+    return static_cast<std::int64_t>(value);
+}
+
+// --- chip configuration block ------------------------------------------
+
+/**
+ * Only identity-relevant fields travel: exactly the set the service
+ * fingerprint hashes.  FaultPlan (runtime misbehaviour) and
+ * max_energy_segment (integration granularity) are not a different
+ * optimisation problem and stay local.
+ */
+void
+writeChip(ByteWriter &writer, const npu::NpuConfig &chip)
+{
+    const npu::FreqTableConfig &freq = chip.freq;
+    for (double value : {freq.min_mhz, freq.max_mhz, freq.step_mhz,
+                         freq.knee_mhz, freq.base_volts,
+                         freq.volts_per_mhz})
+        writer.f64(value);
+    const npu::MemorySystemConfig &memory = chip.memory;
+    writer.u64(memory.core_num);
+    for (double value : {memory.bytes_per_cycle_per_core,
+                         memory.l2_bandwidth, memory.hbm_bandwidth,
+                         memory.bandwidth_scale})
+        writer.f64(value);
+    for (double value : {chip.aicore_power.beta, chip.aicore_power.theta,
+                         chip.aicore_power.gamma})
+        writer.f64(value);
+    for (double value :
+         {chip.uncore_power.idle_watts, chip.uncore_power.active_watts,
+          chip.uncore_power.gamma, chip.uncore_power.dynamic_fraction})
+        writer.f64(value);
+    for (double value : {chip.thermal.ambient_celsius,
+                         chip.thermal.k_per_watt,
+                         chip.thermal.time_constant_s})
+        writer.f64(value);
+    writer.i64(chip.set_freq_latency);
+    writer.f64(chip.initial_mhz);
+    writer.f64(chip.uncore_scale);
+}
+
+npu::NpuConfig
+readChip(ByteReader &reader)
+{
+    npu::NpuConfig chip;
+    chip.freq.min_mhz = reader.finite("freq.min_mhz");
+    chip.freq.max_mhz = reader.finite("freq.max_mhz");
+    chip.freq.step_mhz = reader.finite("freq.step_mhz");
+    chip.freq.knee_mhz = reader.finite("freq.knee_mhz");
+    chip.freq.base_volts = reader.finite("freq.base_volts");
+    chip.freq.volts_per_mhz = reader.finite("freq.volts_per_mhz");
+    std::uint64_t core_num = reader.u64();
+    if (core_num == 0 || core_num > 1000000)
+        throw WireError("wire: core_num out of range");
+    chip.memory.core_num = static_cast<std::size_t>(core_num);
+    chip.memory.bytes_per_cycle_per_core =
+        reader.finite("memory.bytes_per_cycle_per_core");
+    chip.memory.l2_bandwidth = reader.finite("memory.l2_bandwidth");
+    chip.memory.hbm_bandwidth = reader.finite("memory.hbm_bandwidth");
+    chip.memory.bandwidth_scale = reader.finite("memory.bandwidth_scale");
+    chip.aicore_power.beta = reader.finite("aicore_power.beta");
+    chip.aicore_power.theta = reader.finite("aicore_power.theta");
+    chip.aicore_power.gamma = reader.finite("aicore_power.gamma");
+    chip.uncore_power.idle_watts =
+        reader.finite("uncore_power.idle_watts");
+    chip.uncore_power.active_watts =
+        reader.finite("uncore_power.active_watts");
+    chip.uncore_power.gamma = reader.finite("uncore_power.gamma");
+    chip.uncore_power.dynamic_fraction =
+        reader.finite("uncore_power.dynamic_fraction");
+    chip.thermal.ambient_celsius =
+        reader.finite("thermal.ambient_celsius");
+    chip.thermal.k_per_watt = reader.finite("thermal.k_per_watt");
+    chip.thermal.time_constant_s =
+        reader.finite("thermal.time_constant_s");
+    chip.set_freq_latency = reader.i64();
+    if (chip.set_freq_latency < 0)
+        throw WireError("wire: negative set_freq_latency");
+    chip.initial_mhz = reader.finite("initial_mhz");
+    chip.uncore_scale = reader.finite("uncore_scale");
+    return chip;
+}
+
+constexpr std::uint8_t kFlagUseCache = 0x01;
+constexpr std::uint8_t kFlagAllowWarmStart = 0x02;
+
+} // namespace
+
+const char *
+statusToken(Status status)
+{
+    switch (status) {
+    case Status::Ok: return "ok";
+    case Status::Busy: return "busy";
+    case Status::Malformed: return "malformed";
+    case Status::ChipMismatch: return "chip-mismatch";
+    case Status::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::size_t
+workloadNumbersPerOp()
+{
+    // Probe the canonical visitor itself so the answer tracks its
+    // coverage automatically: one default operator, count the scalar
+    // fields it emits.
+    static const std::size_t count = [] {
+        models::Workload probe;
+        probe.iteration.resize(1);
+        std::size_t strings = 0;
+        std::size_t numbers = 0;
+        models::WorkloadFieldVisitor visitor;
+        visitor.string_field = [&strings](std::string_view) { ++strings; };
+        visitor.number_field = [&numbers](double) { ++numbers; };
+        models::visitWorkloadFields(probe, visitor);
+        if (strings != 1)
+            throw std::logic_error(
+                "wire: visitWorkloadFields no longer emits exactly one "
+                "string per op; the wire layout must be revised");
+        return numbers;
+    }();
+    return count;
+}
+
+std::string
+encodeChipConfig(const npu::NpuConfig &chip)
+{
+    ByteWriter writer;
+    writeChip(writer, chip);
+    return writer.take();
+}
+
+std::string
+encodeRequest(const WireRequest &request, const WireLimits &limits)
+{
+    if (request.workload.opCount() > limits.max_ops)
+        throw WireError("wire: workload exceeds the op cap");
+    if (!std::isfinite(request.perf_loss_target)
+        || request.perf_loss_target <= 0.0
+        || request.perf_loss_target >= 1.0)
+        throw WireError("wire: perf_loss_target outside (0, 1)");
+    ByteWriter writer;
+    std::uint8_t flags = 0;
+    if (request.use_cache)
+        flags |= kFlagUseCache;
+    if (request.allow_warm_start)
+        flags |= kFlagAllowWarmStart;
+    writer.u8(flags);
+    writer.f64(request.perf_loss_target);
+    writer.u64(request.seed);
+    writeChip(writer, request.chip);
+
+    writer.u32(static_cast<std::uint32_t>(request.workload.opCount()));
+    writer.u32(static_cast<std::uint32_t>(workloadNumbersPerOp()));
+    // The op stream is emitted through the canonical field visitor —
+    // the same stream the fingerprint hashes — so wire coverage and
+    // cache-identity coverage are one definition, not two.
+    models::WorkloadFieldVisitor visitor;
+    const WireLimits *caps = &limits;
+    visitor.string_field = [&writer, caps](std::string_view text) {
+        writer.str16(text, caps->max_string_bytes, "op type");
+    };
+    visitor.number_field = [&writer](double value) { writer.f64(value); };
+    models::visitWorkloadFields(request.workload, visitor);
+    return writer.take();
+}
+
+WireRequest
+decodeRequest(std::string_view payload, const WireLimits &limits)
+{
+    ByteReader reader(payload);
+    WireRequest request;
+    std::uint8_t flags = reader.u8();
+    if (flags & ~(kFlagUseCache | kFlagAllowWarmStart))
+        throw WireError("wire: unknown request flags");
+    request.use_cache = (flags & kFlagUseCache) != 0;
+    request.allow_warm_start = (flags & kFlagAllowWarmStart) != 0;
+    request.perf_loss_target = reader.finite("perf_loss_target");
+    if (request.perf_loss_target <= 0.0 || request.perf_loss_target >= 1.0)
+        throw WireError("wire: perf_loss_target outside (0, 1)");
+    request.seed = reader.u64();
+    request.chip = readChip(reader);
+
+    std::size_t op_count = reader.u32();
+    if (op_count > limits.max_ops)
+        throw WireError("wire: op count exceeds the cap");
+    std::size_t numbers_per_op = reader.u32();
+    if (numbers_per_op != workloadNumbersPerOp())
+        throw WireVersionError(
+            "wire: per-op field coverage differs from this build");
+    // Every op needs at least its string length prefix plus the scalar
+    // block; reject counts the remaining bytes cannot possibly satisfy
+    // before reserving anything.
+    if (op_count > 0
+        && reader.remaining() / (2 + 8 * numbers_per_op) < op_count)
+        throw WireError("wire: op count exceeds the remaining payload");
+    request.workload.iteration.reserve(op_count);
+
+    std::vector<double> numbers(numbers_per_op);
+    for (std::size_t index = 0; index < op_count; ++index) {
+        ops::Op op;
+        op.id = index;
+        op.type = reader.str16(limits.max_string_bytes, "op type");
+        for (double &value : numbers)
+            value = reader.finite("op field");
+        // Positional mapping back into HwOpParams, mirroring the
+        // visitor's emission order.  `used` must land exactly on
+        // numbers_per_op: if the visitor grows a field this build did
+        // not learn to map, decoding fails loudly instead of
+        // misaligning the stream.
+        std::size_t used = 0;
+        op.hw.category = static_cast<npu::OpCategory>(
+            integralInRange(numbers[used++], 0, 3, "op category"));
+        op.hw.scenario = static_cast<npu::Scenario>(
+            integralInRange(numbers[used++], 0, 3, "op scenario"));
+        op.hw.core_pipe = static_cast<npu::CorePipe>(
+            integralInRange(numbers[used++], 0, 3, "op core_pipe"));
+        op.hw.n = static_cast<int>(
+            integralInRange(numbers[used++], 1, 0x7FFFFFFF, "op n"));
+        op.hw.core_cycles = numbers[used++];
+        op.hw.ld_volume_bytes = numbers[used++];
+        op.hw.ld_l2_hit = numbers[used++];
+        op.hw.st_volume_bytes = numbers[used++];
+        op.hw.st_l2_hit = numbers[used++];
+        op.hw.t0_seconds = numbers[used++];
+        op.hw.overhead_seconds = numbers[used++];
+        op.hw.fixed_seconds = numbers[used++];
+        op.hw.comm_bytes = numbers[used++];
+        op.hw.alpha_core = numbers[used++];
+        op.hw.uncore_activity = numbers[used++];
+        if (used != numbers_per_op)
+            throw WireVersionError(
+                "wire: per-op field coverage differs from this build");
+        request.workload.iteration.push_back(std::move(op));
+    }
+    reader.expectEnd("request payload");
+    return request;
+}
+
+std::string
+encodeResponse(const WireResponse &response, const WireLimits &limits)
+{
+    if ((response.status == Status::Busy)
+        != (response.reject != serve::RejectReason::None))
+        throw WireError("wire: Busy responses (and only those) carry a "
+                        "reject cause");
+    ByteWriter writer;
+    writer.u8(static_cast<std::uint8_t>(response.status));
+    writer.u8(static_cast<std::uint8_t>(response.reject));
+    writer.str16(response.message, limits.max_message_bytes,
+                 "response message");
+    if (response.status != Status::Ok)
+        return writer.take();
+
+    writer.u64(response.fingerprint_digest);
+    writer.u64(response.model_epoch);
+    writer.u8(static_cast<std::uint8_t>(response.provenance));
+    writer.f64(response.similarity);
+    writer.u32(response.generations_run);
+    writer.u32(response.generations_saved);
+    writer.f64(response.service_seconds);
+    writer.f64(response.best_score);
+    // The strategy travels in the strategy_io text format: one
+    // serialisation shared with on-disk persistence, so wire responses
+    // inherit its validation and byte-stability guarantees.
+    std::ostringstream strategy_text;
+    dvfs::saveStrategy(response.strategy, strategy_text);
+    writer.str32(strategy_text.str(), limits.max_strategy_bytes,
+                 "strategy block");
+    return writer.take();
+}
+
+WireResponse
+decodeResponse(std::string_view payload, const WireLimits &limits)
+{
+    ByteReader reader(payload);
+    WireResponse response;
+    std::uint8_t status = reader.u8();
+    if (status > static_cast<std::uint8_t>(Status::Internal))
+        throw WireError("wire: unknown response status");
+    response.status = static_cast<Status>(status);
+    std::uint8_t reject = reader.u8();
+    if (reject > static_cast<std::uint8_t>(
+            serve::RejectReason::ShuttingDown))
+        throw WireError("wire: unknown reject reason");
+    response.reject = static_cast<serve::RejectReason>(reject);
+    if ((response.status == Status::Busy)
+        != (response.reject != serve::RejectReason::None))
+        throw WireError("wire: Busy responses (and only those) carry a "
+                        "reject cause");
+    response.message =
+        reader.str16(limits.max_message_bytes, "response message");
+    if (response.status != Status::Ok) {
+        reader.expectEnd("response payload");
+        return response;
+    }
+
+    response.fingerprint_digest = reader.u64();
+    response.model_epoch = reader.u64();
+    std::uint8_t provenance = reader.u8();
+    if (provenance > static_cast<std::uint8_t>(
+            serve::Provenance::WarmStart))
+        throw WireError("wire: unknown provenance");
+    response.provenance = static_cast<serve::Provenance>(provenance);
+    response.similarity = reader.finite("similarity");
+    if (response.similarity < 0.0 || response.similarity > 1.0)
+        throw WireError("wire: similarity outside [0, 1]");
+    response.generations_run = reader.u32();
+    response.generations_saved = reader.u32();
+    response.service_seconds = reader.finite("service_seconds");
+    if (response.service_seconds < 0.0)
+        throw WireError("wire: negative service_seconds");
+    response.best_score = reader.finite("best_score");
+    std::string strategy_text =
+        reader.str32(limits.max_strategy_bytes, "strategy block");
+    try {
+        std::istringstream is(strategy_text);
+        response.strategy = dvfs::loadStrategy(is);
+    } catch (const std::invalid_argument &error) {
+        throw WireError(std::string("wire: embedded strategy rejected: ")
+                        + error.what());
+    }
+    reader.expectEnd("response payload");
+    return response;
+}
+
+std::string
+frameMessage(MsgType type, std::string_view payload,
+             const WireLimits &limits)
+{
+    if (limits.max_frame_bytes < kFrameHeaderBytes
+        || payload.size() > limits.max_frame_bytes - kFrameHeaderBytes)
+        throw WireError("wire: payload exceeds the frame cap");
+    ByteWriter writer;
+    for (char byte : kWireMagic)
+        writer.u8(static_cast<std::uint8_t>(byte));
+    writer.u8(kWireVersion);
+    writer.u8(static_cast<std::uint8_t>(type));
+    writer.u16(0); // reserved
+    writer.u32(static_cast<std::uint32_t>(payload.size()));
+    writer.u32(crc32(payload));
+    std::string frame = writer.take();
+    frame.append(payload);
+    return frame;
+}
+
+std::optional<FrameView>
+peelFrame(std::string_view buffer, std::size_t *consumed,
+          const WireLimits &limits)
+{
+    if (consumed)
+        *consumed = 0;
+    if (buffer.size() < kFrameHeaderBytes)
+        return std::nullopt;
+    if (std::memcmp(buffer.data(), kWireMagic, sizeof(kWireMagic)) != 0)
+        throw WireError("wire: bad frame magic");
+    ByteReader reader(buffer.substr(sizeof(kWireMagic),
+                                    kFrameHeaderBytes
+                                        - sizeof(kWireMagic)));
+    std::uint8_t version = reader.u8();
+    if (version != kWireVersion)
+        throw WireVersionError("wire: unsupported protocol version "
+                               + std::to_string(version));
+    std::uint8_t type = reader.u8();
+    if (type != static_cast<std::uint8_t>(MsgType::Request)
+        && type != static_cast<std::uint8_t>(MsgType::Response))
+        throw WireError("wire: unknown message type");
+    if (reader.u16() != 0)
+        throw WireError("wire: reserved header bits set");
+    std::size_t length = reader.u32();
+    std::uint32_t declared_crc = reader.u32();
+    if (limits.max_frame_bytes < kFrameHeaderBytes
+        || length > limits.max_frame_bytes - kFrameHeaderBytes)
+        throw WireError("wire: declared frame length exceeds the cap");
+    if (buffer.size() < kFrameHeaderBytes + length)
+        return std::nullopt; // wait for the rest of the payload
+    std::string_view payload = buffer.substr(kFrameHeaderBytes, length);
+    if (crc32(payload) != declared_crc)
+        throw WireError("wire: frame CRC mismatch");
+    if (consumed)
+        *consumed = kFrameHeaderBytes + length;
+    return FrameView{static_cast<MsgType>(type), payload};
+}
+
+std::string
+frameRequest(const WireRequest &request, const WireLimits &limits)
+{
+    return frameMessage(MsgType::Request, encodeRequest(request, limits),
+                        limits);
+}
+
+std::string
+frameResponse(const WireResponse &response, const WireLimits &limits)
+{
+    return frameMessage(MsgType::Response,
+                        encodeResponse(response, limits), limits);
+}
+
+} // namespace opdvfs::net

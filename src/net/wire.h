@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Versioned, length-prefixed binary wire protocol for the strategy
+ * service.
+ *
+ * A frame is a fixed 16-byte header followed by the payload:
+ *
+ *   offset  size  field
+ *   0       4     magic "ODVF"
+ *   4       1     protocol version (kWireVersion)
+ *   5       1     message type (MsgType)
+ *   6       2     reserved, must be zero
+ *   8       4     payload length, little-endian
+ *   12      4     CRC-32 (IEEE 802.3) of the payload bytes
+ *   16      ...   payload
+ *
+ * Payloads are flat little-endian records (no alignment, no pointers);
+ * doubles travel as their IEEE-754 bit pattern.  Every length and
+ * element count is validated against `WireLimits` *before* any
+ * allocation, so a malicious frame cannot make the decoder allocate
+ * beyond the caps, and the CRC rejects torn or bit-flipped frames
+ * before the payload decoder ever runs.
+ *
+ * The request codec serialises the workload through
+ * `models::visitWorkloadFields` — the exact canonical stream the
+ * service fingerprint hashes — so the codec and the fingerprint can
+ * never disagree on field coverage: for every accepted request payload
+ * `encodeRequest(decodeRequest(p)) == p` byte for byte, and the
+ * server-side fingerprint of the decoded workload equals the
+ * client-side fingerprint of the original.  Strategies in responses
+ * reuse the `dvfs::strategy_io` text format (embedded as one
+ * length-prefixed block), inheriting its validation and stability
+ * guarantees.
+ *
+ * Version policy: the version byte is bumped on any layout change; a
+ * decoder seeing a foreign version throws WireVersionError without
+ * reading further (clients must not retry — the peer build differs).
+ * The per-op field count transmitted in each request guards the
+ * visitor-coverage contract the same way.
+ */
+
+#ifndef OPDVFS_NET_WIRE_H
+#define OPDVFS_NET_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dvfs/strategy_io.h"
+#include "models/workload.h"
+#include "npu/npu_chip.h"
+#include "serve/service.h"
+
+namespace opdvfs::net {
+
+/** Protocol version this build speaks. */
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/** Frame header size in bytes (magic..CRC). */
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/** Frame magic, on the wire as the bytes 'O' 'D' 'V' 'F'. */
+inline constexpr char kWireMagic[4] = {'O', 'D', 'V', 'F'};
+
+/** Frame message types. */
+enum class MsgType : std::uint8_t
+{
+    Request = 1,
+    Response = 2,
+};
+
+/** Response status codes. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    /** Admission rejected; `reject` carries the structured cause.
+     *  Retryable with backoff (requests are idempotent by
+     *  fingerprint). */
+    Busy = 1,
+    /** The request failed to decode.  Never retry. */
+    Malformed = 2,
+    /** The request's chip differs from the one this service
+     *  optimises for.  Never retry against this server. */
+    ChipMismatch = 3,
+    /** The pipeline threw while serving the request. */
+    Internal = 4,
+};
+
+/** Whitespace-free token ("ok", "busy", ...). */
+const char *statusToken(Status status);
+
+/** Hard caps the decoder enforces before allocating. */
+struct WireLimits
+{
+    /** Whole frame including the 16-byte header. */
+    std::size_t max_frame_bytes = 4u << 20;
+    /** Operators per request workload. */
+    std::size_t max_ops = 100000;
+    /** Any single string field (op type names). */
+    std::size_t max_string_bytes = 256;
+    /** Embedded strategy_io text block in a response. */
+    std::size_t max_strategy_bytes = 1u << 20;
+    /** Error-message string in a response. */
+    std::size_t max_message_bytes = 4096;
+};
+
+/** Malformed frame or payload; never retryable. */
+class WireError : public std::invalid_argument
+{
+  public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/** The peer speaks a different protocol version (or field coverage). */
+class WireVersionError : public WireError
+{
+  public:
+    using WireError::WireError;
+};
+
+/** One optimisation request as it travels over the wire. */
+struct WireRequest
+{
+    /**
+     * The workload content.  The *name* is not transmitted (it is
+     * excluded from the request identity, exactly as in the
+     * fingerprint); decoded workloads come back with an empty name
+     * and positional op ids.
+     */
+    models::Workload workload;
+    /** The chip the caller wants the strategy for; the server rejects
+     *  with ChipMismatch when it differs from the serving chip. */
+    npu::NpuConfig chip;
+    double perf_loss_target = 0.02;
+    std::uint64_t seed = 1;
+    bool use_cache = true;
+    bool allow_warm_start = true;
+};
+
+/** One response as it travels over the wire. */
+struct WireResponse
+{
+    Status status = Status::Ok;
+    /** Structured cause for Status::Busy; None otherwise. */
+    serve::RejectReason reject = serve::RejectReason::None;
+    /** Human-readable context for non-Ok statuses. */
+    std::string message;
+
+    // --- Status::Ok payload -------------------------------------------
+    /** The strategy with its meta (score/provenance/fingerprint). */
+    dvfs::Strategy strategy;
+    double best_score = 0.0;
+    serve::Provenance provenance = serve::Provenance::Cold;
+    double similarity = 0.0;
+    std::uint32_t generations_run = 0;
+    std::uint32_t generations_saved = 0;
+    /** Wall time inside the service (server-side clock). */
+    double service_seconds = 0.0;
+    std::uint64_t fingerprint_digest = 0;
+    std::uint64_t model_epoch = 0;
+};
+
+/** One frame peeled off the front of a byte stream. */
+struct FrameView
+{
+    MsgType type = MsgType::Request;
+    std::string_view payload;
+};
+
+// --- payload codecs ----------------------------------------------------
+
+/** Serialise a request payload (not framed). @throws WireError when a
+ *  field exceeds the caps or is non-finite. */
+std::string encodeRequest(const WireRequest &request,
+                          const WireLimits &limits = {});
+
+/** Parse a request payload. @throws WireError / WireVersionError. */
+WireRequest decodeRequest(std::string_view payload,
+                          const WireLimits &limits = {});
+
+/** Serialise a response payload (not framed). */
+std::string encodeResponse(const WireResponse &response,
+                           const WireLimits &limits = {});
+
+/** Parse a response payload. @throws WireError. */
+WireResponse decodeResponse(std::string_view payload,
+                            const WireLimits &limits = {});
+
+// --- framing -----------------------------------------------------------
+
+/** Wrap @p payload in a frame header (version, length, CRC-32). */
+std::string frameMessage(MsgType type, std::string_view payload,
+                         const WireLimits &limits = {});
+
+/**
+ * Try to peel one frame off the front of @p buffer.  Returns nullopt
+ * when more bytes are needed (an incomplete header or payload is never
+ * an error), otherwise the frame view into @p buffer with @p consumed
+ * set to the bytes to drop.  @throws WireError on bad magic, reserved
+ * bits, an oversized declared length or a CRC mismatch, and
+ * WireVersionError on a foreign version byte — all detectable from the
+ * header alone except the CRC, so oversized frames are rejected before
+ * they are ever buffered.
+ */
+std::optional<FrameView> peelFrame(std::string_view buffer,
+                                   std::size_t *consumed,
+                                   const WireLimits &limits = {});
+
+/** Convenience: encode + frame in one call. */
+std::string frameRequest(const WireRequest &request,
+                         const WireLimits &limits = {});
+std::string frameResponse(const WireResponse &response,
+                          const WireLimits &limits = {});
+
+// --- coverage helpers --------------------------------------------------
+
+/**
+ * Number of scalar fields `models::visitWorkloadFields` emits per
+ * operator in this build.  Transmitted in every request and checked by
+ * the decoder: a mismatch means the peer's field coverage differs and
+ * the request must be rejected rather than silently misaligned.
+ */
+std::size_t workloadNumbersPerOp();
+
+/**
+ * The chip-configuration block exactly as the request codec transmits
+ * it.  Two chips are "the same optimisation target" if and only if
+ * their blocks are byte-equal — the server's mismatch check.
+ */
+std::string encodeChipConfig(const npu::NpuConfig &chip);
+
+} // namespace opdvfs::net
+
+#endif // OPDVFS_NET_WIRE_H

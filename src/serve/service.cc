@@ -34,6 +34,17 @@ provenanceToken(Provenance provenance)
     return "unknown";
 }
 
+const char *
+rejectReasonToken(RejectReason reason)
+{
+    switch (reason) {
+    case RejectReason::None: return "none";
+    case RejectReason::QueueFull: return "queue-full";
+    case RejectReason::ShuttingDown: return "shutting-down";
+    }
+    return "unknown";
+}
+
 StrategyService::StrategyService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache),
@@ -57,12 +68,28 @@ StrategyService::StrategyService(ServiceOptions options)
 
 StrategyService::~StrategyService()
 {
-    // The pool destructor (pool_ is the last member) drains pending
-    // request tasks before joining, so every admitted future is
-    // fulfilled; remaining members must outlive it, which member
-    // declaration order guarantees.
+    // drain() waits out every admitted request; the pool destructor
+    // (pool_ is the last member) then joins idle workers while the
+    // remaining members are still alive, which member declaration
+    // order guarantees.
+    drain();
+}
+
+void
+StrategyService::drain()
+{
     std::unique_lock<std::mutex> lock(admission_mutex_);
+    draining_ = true;
+    // Wake submit() blockers so they observe the shutdown and throw.
+    admission_open_.notify_all();
     admission_open_.wait(lock, [this] { return admitted_ == 0; });
+}
+
+bool
+StrategyService::draining() const
+{
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    return draining_;
 }
 
 std::future<StrategyResponse>
@@ -71,25 +98,52 @@ StrategyService::submit(StrategyRequest request)
     {
         std::unique_lock<std::mutex> lock(admission_mutex_);
         admission_open_.wait(lock, [this] {
-            return admitted_ < options_.admission_capacity;
+            return draining_ || admitted_ < options_.admission_capacity;
         });
+        if (draining_) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            throw std::runtime_error("StrategyService: shutting down");
+        }
         ++admitted_;
     }
     return dispatch(std::move(request));
 }
 
-std::optional<std::future<StrategyResponse>>
+Admission
 StrategyService::trySubmit(StrategyRequest request)
 {
     {
         std::lock_guard<std::mutex> lock(admission_mutex_);
+        if (draining_) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return {std::nullopt, RejectReason::ShuttingDown};
+        }
         if (admitted_ >= options_.admission_capacity) {
             rejected_.fetch_add(1, std::memory_order_relaxed);
-            return std::nullopt;
+            return {std::nullopt, RejectReason::QueueFull};
         }
         ++admitted_;
     }
-    return dispatch(std::move(request));
+    return {dispatch(std::move(request)), RejectReason::None};
+}
+
+RejectReason
+StrategyService::trySubmit(StrategyRequest request, CompletionFn done)
+{
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        if (draining_) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return RejectReason::ShuttingDown;
+        }
+        if (admitted_ >= options_.admission_capacity) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return RejectReason::QueueFull;
+        }
+        ++admitted_;
+    }
+    dispatchWith(std::move(request), std::move(done));
+    return RejectReason::None;
 }
 
 std::future<StrategyResponse>
@@ -97,9 +151,24 @@ StrategyService::dispatch(StrategyRequest request)
 {
     auto promise = std::make_shared<std::promise<StrategyResponse>>();
     std::future<StrategyResponse> future = promise->get_future();
+    dispatchWith(std::move(request),
+                 [promise](StrategyResponse response,
+                           std::exception_ptr error) {
+                     if (error)
+                         promise->set_exception(error);
+                     else
+                         promise->set_value(std::move(response));
+                 });
+    return future;
+}
+
+void
+StrategyService::dispatchWith(StrategyRequest request, CompletionFn done)
+{
     auto shared_request =
         std::make_shared<StrategyRequest>(std::move(request));
-    pool_.submit([this, promise, shared_request] {
+    auto shared_done = std::make_shared<CompletionFn>(std::move(done));
+    pool_.submit([this, shared_request, shared_done] {
         StrategyResponse response;
         std::exception_ptr error;
         try {
@@ -107,19 +176,15 @@ StrategyService::dispatch(StrategyRequest request)
         } catch (...) {
             error = std::current_exception();
         }
-        // Release the admission slot before publishing: a ready
-        // future always implies capacity for the next submit.
+        // Release the admission slot before publishing: a delivered
+        // completion always implies capacity for the next submit.
         {
             std::lock_guard<std::mutex> lock(admission_mutex_);
             --admitted_;
         }
         admission_open_.notify_all();
-        if (error)
-            promise->set_exception(error);
-        else
-            promise->set_value(std::move(response));
+        (*shared_done)(std::move(response), error);
     });
-    return future;
 }
 
 StrategyResponse
@@ -357,6 +422,7 @@ StrategyService::stats() const
     {
         std::lock_guard<std::mutex> lock(admission_mutex_);
         out.in_flight = admitted_;
+        out.draining = draining_;
     }
     out.cache_size = cache_.size();
     {

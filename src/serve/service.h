@@ -60,6 +60,25 @@ enum class Provenance
 /** Whitespace-free token for persistence ("cold", "exact-hit", ...). */
 const char *provenanceToken(Provenance provenance);
 
+/**
+ * Why a non-blocking admission attempt was refused.  Shared with the
+ * network wire protocol: an RPC `Busy` response carries this value so
+ * callers can distinguish transient backpressure (retry with backoff)
+ * from a service that is going away (fail over).
+ */
+enum class RejectReason : std::uint8_t
+{
+    /** Admitted; not a rejection. */
+    None = 0,
+    /** The admission queue is at capacity (transient; retryable). */
+    QueueFull = 1,
+    /** drain() ran: the service no longer admits work. */
+    ShuttingDown = 2,
+};
+
+/** Whitespace-free token ("none", "queue-full", "shutting-down"). */
+const char *rejectReasonToken(RejectReason reason);
+
 /** Service configuration. */
 struct ServiceOptions
 {
@@ -116,6 +135,17 @@ struct StrategyResponse
     double service_seconds = 0.0;
 };
 
+/** Outcome of a non-blocking admission attempt. */
+struct Admission
+{
+    /** Engaged exactly when the request was admitted. */
+    std::optional<std::future<StrategyResponse>> future;
+    /** Why admission was refused; None when `future` is engaged. */
+    RejectReason reject = RejectReason::None;
+
+    bool accepted() const { return future.has_value(); }
+};
+
 /** Monotonic counters + latency snapshot. */
 struct ServiceStats
 {
@@ -137,6 +167,8 @@ struct ServiceStats
     std::size_t cache_size = 0;
     double p50_service_seconds = 0.0;
     double p95_service_seconds = 0.0;
+    /** drain() ran: admission is closed for good. */
+    bool draining = false;
 };
 
 /** In-process strategy-generation service. */
@@ -151,15 +183,46 @@ class StrategyService
     StrategyService &operator=(const StrategyService &) = delete;
 
     /**
+     * Exactly-once completion delivery for callback admissions: runs
+     * on the worker thread that finished the request, with either the
+     * response or the pipeline's exception (never both).  The
+     * admission slot is released *before* the callback fires, so a
+     * delivered completion implies capacity for the next attempt.
+     */
+    using CompletionFn =
+        std::function<void(StrategyResponse response,
+                           std::exception_ptr error)>;
+
+    /**
      * Admit a request, blocking while the service is at admission
      * capacity.  The future carries the response or the pipeline's
      * exception.
+     * @throws std::runtime_error once drain() has run.
      */
     std::future<StrategyResponse> submit(StrategyRequest request);
 
-    /** Non-blocking admission; nullopt (and `rejected`++) when full. */
-    std::optional<std::future<StrategyResponse>>
-    trySubmit(StrategyRequest request);
+    /** Non-blocking admission; carries the reject cause when refused
+     *  (`rejected`++ on either cause). */
+    Admission trySubmit(StrategyRequest request);
+
+    /**
+     * Non-blocking admission with callback delivery instead of a
+     * future (the network front end's path: no thread blocks on a
+     * future).  Returns RejectReason::None when admitted, in which
+     * case @p done fires exactly once on a worker thread.
+     */
+    RejectReason trySubmit(StrategyRequest request, CompletionFn done);
+
+    /**
+     * Graceful shutdown: permanently stop admission (submit throws,
+     * trySubmit rejects with ShuttingDown) and block until every
+     * already-admitted request has completed.  Idempotent and safe to
+     * call concurrently; the destructor calls it.
+     */
+    void drain();
+
+    /** True once drain() has started. */
+    bool draining() const;
 
     ServiceStats stats() const;
 
@@ -180,6 +243,8 @@ class StrategyService
 
   private:
     std::future<StrategyResponse> dispatch(StrategyRequest request);
+    /** Enqueue the admitted request; @p done fires exactly once. */
+    void dispatchWith(StrategyRequest request, CompletionFn done);
     StrategyResponse process(const StrategyRequest &request);
     /**
      * Full pipeline run; @p stale_donor, when set, is a demoted
@@ -198,6 +263,8 @@ class StrategyService
     mutable std::mutex admission_mutex_;
     std::condition_variable admission_open_;
     std::size_t admitted_ = 0;
+    /** Set (permanently) by drain(); guarded by admission_mutex_. */
+    bool draining_ = false;
 
     // Identical in-flight requests coalesce onto one computation.
     std::mutex inflight_mutex_;

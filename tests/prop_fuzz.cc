@@ -32,6 +32,22 @@ TEST(PropFuzz, StrategyLoaderSurvivesMutatedAndRandomInput)
     RecordProperty("fuzz_rejected", stats.rejected);
 }
 
+TEST(PropFuzz, WireDecoderSurvivesMutatedAndRandomFrames)
+{
+    PropConfig config = PropConfig::fromEnv();
+    FuzzStats stats;
+    std::optional<std::string> failure = runSeededWireFuzz(
+        config.seed ^ 0x0df5a11ceULL, config.cases, &stats);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+    // The corpus must exercise both sides of the decoder: frames that
+    // decode and frames that are refused.
+    EXPECT_GT(stats.accepted, 0) << "corpus never produced a valid frame";
+    EXPECT_GT(stats.rejected, 0) << "corpus never produced a broken frame";
+    RecordProperty("wire_fuzz_executed", stats.executed);
+    RecordProperty("wire_fuzz_accepted", stats.accepted);
+    RecordProperty("wire_fuzz_rejected", stats.rejected);
+}
+
 TEST(PropFuzz, FingerprintIsDeterministicAndNameBlind)
 {
     PropConfig config = PropConfig::fromEnv();

@@ -1,0 +1,335 @@
+/**
+ * Loopback end-to-end tests for the strategy server and client: a
+ * cold request and its exact hit answered over TCP byte-identical to
+ * the in-process service, structured Busy backpressure under a
+ * one-slot admission queue, client retry-after-Busy, request
+ * deadlines against a stalled server, malformed-frame handling, chip
+ * mismatch, the plaintext admin endpoint, and graceful shutdown
+ * (server stop drains the service).
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "models/transformer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::net {
+namespace {
+
+models::Workload
+testWorkload(int seq)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "net-test";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = seq;
+    return models::buildTransformerTraining(memory, model, 5);
+}
+
+const power::CalibratedConstants &
+constants()
+{
+    static const power::CalibratedConstants value =
+        power::calibrateOffline(npu::NpuConfig{});
+    return value;
+}
+
+serve::ServiceOptions
+fastOptions(std::size_t workers)
+{
+    serve::ServiceOptions options;
+    options.pipeline.warmup_seconds = 2.0;
+    options.pipeline.profile_freqs_mhz = {1000.0, 1800.0};
+    options.pipeline.ga.population = 30;
+    options.pipeline.ga.generations = 24;
+    options.pipeline.ga.refine_sweeps = 2;
+    options.pipeline.constants = constants();
+    options.workers = workers;
+    options.cache.capacity = 32;
+    options.cache.shards = 4;
+    return options;
+}
+
+WireRequest
+testWireRequest(int seq, std::uint64_t seed)
+{
+    WireRequest request;
+    request.workload = testWorkload(seq);
+    request.seed = seed;
+    return request;
+}
+
+/** Strategy text with the provenance token pinned, so cold and
+ *  exact-hit strategies (which differ only in that token) compare. */
+std::string
+normalisedStrategyText(dvfs::Strategy strategy)
+{
+    if (strategy.meta)
+        strategy.meta->provenance = "normalised";
+    std::ostringstream os;
+    dvfs::saveStrategy(strategy, os);
+    return os.str();
+}
+
+TEST(NetServer, ColdAndExactHitMatchTheInProcessService)
+{
+    serve::ServiceOptions options = fastOptions(2);
+    serve::StrategyService in_process(options);
+    serve::StrategyService served(options);
+    StrategyServer server(served, {});
+    server.start();
+
+    StrategyClient client("127.0.0.1", server.port());
+    WireRequest request = testWireRequest(256, 3);
+
+    // Ground truth: the same request answered without any network.
+    serve::StrategyRequest direct;
+    direct.workload = request.workload;
+    direct.perf_loss_target = request.perf_loss_target;
+    direct.seed = request.seed;
+    serve::StrategyResponse local = in_process.submit(direct).get();
+
+    WireResponse cold = client.call(request);
+    EXPECT_EQ(cold.status, Status::Ok);
+    EXPECT_EQ(cold.provenance, serve::Provenance::Cold);
+    EXPECT_EQ(cold.fingerprint_digest, local.fingerprint.digest);
+    EXPECT_EQ(cold.best_score, local.ga.best_score);
+    EXPECT_EQ(normalisedStrategyText(cold.strategy),
+              normalisedStrategyText(local.strategy));
+
+    // The second identical request is an exact hit with the same
+    // strategy, byte for byte.
+    WireResponse hit = client.call(request);
+    EXPECT_EQ(hit.status, Status::Ok);
+    EXPECT_EQ(hit.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(hit.fingerprint_digest, cold.fingerprint_digest);
+    EXPECT_EQ(hit.best_score, cold.best_score);
+    EXPECT_EQ(normalisedStrategyText(hit.strategy),
+              normalisedStrategyText(cold.strategy));
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.frames_in, 2u);
+    EXPECT_EQ(stats.responses_ok, 2u);
+    EXPECT_EQ(stats.responses_malformed, 0u);
+    EXPECT_EQ(client.retries(), 0u);
+    server.stop();
+}
+
+TEST(NetServer, BusyRejectionCarriesTheStructuredCause)
+{
+    serve::ServiceOptions options = fastOptions(1);
+    options.admission_capacity = 1;
+    serve::StrategyService service(options);
+    StrategyServer server(service, {});
+    server.start();
+
+    // Occupy the single admission slot with a cold uncached run (it
+    // holds the slot for the whole pipeline, hundreds of ms).
+    serve::StrategyRequest occupier;
+    occupier.workload = testWorkload(512);
+    occupier.use_cache = false;
+    serve::Admission admitted = service.trySubmit(occupier);
+    ASSERT_TRUE(admitted.accepted());
+
+    ClientOptions no_retry;
+    no_retry.max_attempts = 1;
+    StrategyClient client("127.0.0.1", server.port(), no_retry);
+    try {
+        client.call(testWireRequest(256, 7));
+        FAIL() << "expected BusyError";
+    } catch (const BusyError &busy) {
+        EXPECT_EQ(busy.reason(), serve::RejectReason::QueueFull);
+    }
+    EXPECT_GE(server.stats().responses_busy, 1u);
+
+    // The connection survived the rejection: once the slot frees,
+    // the same client completes on the same connection.
+    admitted.future->get();
+    EXPECT_TRUE(client.connected());
+    WireResponse ok = client.call(testWireRequest(256, 7));
+    EXPECT_EQ(ok.status, Status::Ok);
+    server.stop();
+}
+
+TEST(NetServer, ClientRetriesAfterBusyAndCompletes)
+{
+    serve::ServiceOptions options = fastOptions(1);
+    options.admission_capacity = 1;
+    serve::StrategyService service(options);
+    StrategyServer server(service, {});
+    server.start();
+
+    serve::StrategyRequest occupier;
+    occupier.workload = testWorkload(512);
+    occupier.use_cache = false;
+    serve::Admission admitted = service.trySubmit(occupier);
+    ASSERT_TRUE(admitted.accepted());
+
+    ClientOptions retrying;
+    retrying.max_attempts = 200;
+    retrying.backoff_initial_seconds = 0.02;
+    retrying.backoff_max_seconds = 0.05;
+    StrategyClient client("127.0.0.1", server.port(), retrying);
+
+    // First attempt happens while the slot is held: the client backs
+    // off on the structured Busy and keeps trying until admitted.
+    WireResponse response = client.call(testWireRequest(256, 11));
+    EXPECT_EQ(response.status, Status::Ok);
+    EXPECT_GE(client.retries(), 1u);
+    EXPECT_GE(server.stats().responses_busy, 1u);
+    admitted.future->get();
+    server.stop();
+}
+
+TEST(NetServer, DeadlineFiresAgainstAStalledServer)
+{
+    // A listener that accepts into its backlog and never answers.
+    int stall_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(stall_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(stall_fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(stall_fd, 4), 0);
+    socklen_t addr_len = sizeof(addr);
+    ASSERT_EQ(::getsockname(stall_fd, reinterpret_cast<sockaddr *>(&addr),
+                            &addr_len),
+              0);
+
+    ClientOptions options;
+    options.request_timeout_seconds = 0.3;
+    options.max_attempts = 5; // deadlines must NOT consume retries
+    StrategyClient client("127.0.0.1", ntohs(addr.sin_port), options);
+    EXPECT_THROW(client.call(testWireRequest(64, 1)), DeadlineError);
+    EXPECT_EQ(client.retries(), 0u);
+    EXPECT_FALSE(client.connected());
+    ::close(stall_fd);
+}
+
+TEST(NetServer, MalformedStreamIsAnsweredThenClosed)
+{
+    serve::StrategyService service(fastOptions(1));
+    StrategyServer server(service, {});
+    server.start();
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    // 'O' routes into frame mode; the rest is not a valid header.
+    std::string garbage = "OXXXXXXXXXXXXXXXXXXXXXXX";
+    ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+              static_cast<ssize_t>(garbage.size()));
+
+    std::string bytes;
+    char chunk[4096];
+    ssize_t got;
+    while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        bytes.append(chunk, static_cast<std::size_t>(got));
+    ::close(fd);
+
+    // One well-formed Malformed response, then an orderly close.
+    std::size_t consumed = 0;
+    auto frame = peelFrame(bytes, &consumed);
+    ASSERT_TRUE(frame.has_value());
+    WireResponse response = decodeResponse(frame->payload);
+    EXPECT_EQ(response.status, Status::Malformed);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_GE(server.stats().responses_malformed, 1u);
+    server.stop();
+}
+
+TEST(NetServer, ChipMismatchIsStructuredAndNotRetried)
+{
+    serve::StrategyService service(fastOptions(1));
+    StrategyServer server(service, {});
+    server.start();
+
+    StrategyClient client("127.0.0.1", server.port());
+    WireRequest request = testWireRequest(128, 1);
+    request.chip.uncore_power.idle_watts += 1.0;
+    try {
+        client.call(request);
+        FAIL() << "expected RemoteError";
+    } catch (const RemoteError &remote) {
+        EXPECT_EQ(remote.status(), Status::ChipMismatch);
+    }
+    EXPECT_EQ(client.retries(), 0u);
+    EXPECT_GE(server.stats().responses_chip_mismatch, 1u);
+    server.stop();
+}
+
+TEST(NetServer, AdminEndpointServesHealthAndStats)
+{
+    serve::StrategyService service(fastOptions(2));
+    StrategyServer server(service, {});
+    server.start();
+
+    EXPECT_EQ(adminQuery("127.0.0.1", server.port(), "HEALTH"), "ok\n");
+
+    StrategyClient client("127.0.0.1", server.port());
+    client.call(testWireRequest(128, 2));
+
+    std::string stats = adminQuery("127.0.0.1", server.port(), "STATS");
+    EXPECT_NE(stats.find("responses_ok 1\n"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("service_requests 1\n"), std::string::npos);
+    EXPECT_NE(stats.find("p95_service_seconds "), std::string::npos);
+    EXPECT_NE(stats.find("service_draining 0\n"), std::string::npos);
+
+    EXPECT_EQ(adminQuery("127.0.0.1", server.port(), "NOPE"),
+              "error unknown-command\n");
+    server.stop();
+}
+
+TEST(NetServer, StopDrainsTheServiceAndIsIdempotent)
+{
+    serve::StrategyService service(fastOptions(2));
+    StrategyServer server(service, {});
+    server.start();
+
+    StrategyClient client("127.0.0.1", server.port());
+    EXPECT_EQ(client.call(testWireRequest(128, 4)).status, Status::Ok);
+
+    server.stop();
+    EXPECT_TRUE(service.draining());
+    serve::StrategyRequest late;
+    late.workload = testWorkload(128);
+    EXPECT_EQ(service.trySubmit(late, [](serve::StrategyResponse,
+                                         std::exception_ptr) {}),
+              serve::RejectReason::ShuttingDown);
+    server.stop(); // idempotent
+
+    // The port is gone: a fresh call fails in transport (refused),
+    // which the client classifies as retryable-but-exhausted.
+    ClientOptions one_shot;
+    one_shot.max_attempts = 1;
+    one_shot.connect_timeout_seconds = 0.5;
+    StrategyClient late_client("127.0.0.1", server.port(), one_shot);
+    EXPECT_THROW(late_client.call(testWireRequest(128, 4)), NetError);
+}
+
+} // namespace
+} // namespace opdvfs::net

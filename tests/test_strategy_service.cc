@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <sstream>
 #include <thread>
@@ -224,18 +225,96 @@ TEST(StrategyService, TrySubmitRejectsAtAdmissionCapacity)
     request.workload = testWorkload(256);
     request.use_cache = false;
 
-    auto admitted = service.trySubmit(request);
-    ASSERT_TRUE(admitted.has_value());
+    Admission admitted = service.trySubmit(request);
+    ASSERT_TRUE(admitted.accepted());
+    EXPECT_EQ(admitted.reject, RejectReason::None);
     // The single slot is taken until the pipeline finishes (hundreds
-    // of milliseconds); an immediate second try must bounce.
-    auto bounced = service.trySubmit(request);
-    EXPECT_FALSE(bounced.has_value());
+    // of milliseconds); an immediate second try must bounce with the
+    // structured cause the wire protocol forwards.
+    Admission bounced = service.trySubmit(request);
+    EXPECT_FALSE(bounced.accepted());
+    EXPECT_EQ(bounced.reject, RejectReason::QueueFull);
     EXPECT_EQ(service.stats().rejected, 1u);
-    admitted->get();
+    admitted.future->get();
     // Capacity freed: the next try is admitted again.
-    auto retried = service.trySubmit(request);
-    ASSERT_TRUE(retried.has_value());
-    retried->get();
+    Admission retried = service.trySubmit(request);
+    ASSERT_TRUE(retried.accepted());
+    retried.future->get();
+}
+
+TEST(StrategyService, CallbackSubmitDeliversExactlyOnce)
+{
+    StrategyService service(fastOptions(2));
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.seed = 5;
+
+    std::promise<StrategyResponse> delivered;
+    RejectReason reject = service.trySubmit(
+        request, [&delivered](StrategyResponse response,
+                              std::exception_ptr error) {
+            ASSERT_EQ(error, nullptr);
+            delivered.set_value(std::move(response));
+        });
+    ASSERT_EQ(reject, RejectReason::None);
+    StrategyResponse response = delivered.get_future().get();
+    EXPECT_EQ(response.provenance, Provenance::Cold);
+    EXPECT_FALSE(response.strategy.mhz_per_stage.empty());
+
+    // The callback result must match the future-based path bit for
+    // bit (same request, same seed, cache answers the repeat).
+    StrategyResponse repeat = service.submit(request).get();
+    EXPECT_EQ(repeat.strategy.mhz_per_stage,
+              response.strategy.mhz_per_stage);
+}
+
+TEST(StrategyService, DrainStopsAdmissionAndCompletesInFlight)
+{
+    ServiceOptions options = fastOptions(2);
+    StrategyService service(options);
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.use_cache = false; // keep both requests genuinely in flight
+
+    auto first = service.submit(request);
+    auto second = service.submit(request);
+    EXPECT_FALSE(service.draining());
+
+    // drain() must block until both searches finish.  (Slot release
+    // precedes promise publication — "a ready future implies
+    // capacity" — so allow the publication a moment to land.)
+    service.drain();
+    EXPECT_TRUE(service.draining());
+    EXPECT_EQ(first.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready);
+    EXPECT_EQ(second.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready);
+    EXPECT_FALSE(first.get().strategy.mhz_per_stage.empty());
+    EXPECT_FALSE(second.get().strategy.mhz_per_stage.empty());
+
+    // ...and admission is closed for good, with the structured cause.
+    Admission refused = service.trySubmit(request);
+    EXPECT_FALSE(refused.accepted());
+    EXPECT_EQ(refused.reject, RejectReason::ShuttingDown);
+    EXPECT_EQ(service.trySubmit(request,
+                                [](StrategyResponse, std::exception_ptr) {
+                                    FAIL() << "admitted after drain";
+                                }),
+              RejectReason::ShuttingDown);
+    EXPECT_THROW((void)service.submit(request), std::runtime_error);
+    EXPECT_TRUE(service.stats().draining);
+
+    // Idempotent: a second drain returns immediately.
+    service.drain();
+}
+
+TEST(StrategyService, RejectReasonTokensAreStable)
+{
+    EXPECT_STREQ(rejectReasonToken(RejectReason::None), "none");
+    EXPECT_STREQ(rejectReasonToken(RejectReason::QueueFull),
+                 "queue-full");
+    EXPECT_STREQ(rejectReasonToken(RejectReason::ShuttingDown),
+                 "shutting-down");
 }
 
 TEST(StrategyService, EpochAdvanceDemotesExactHitsToWarmStarts)

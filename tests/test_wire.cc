@@ -1,0 +1,328 @@
+/**
+ * Wire-protocol codec tests: request/response round trips (byte
+ * stability, fingerprint agreement), framing (magic, version policy,
+ * reserved bits, CRC), and decoder hardening against truncated,
+ * oversized and corrupted frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "models/transformer.h"
+#include "net/wire.h"
+#include "serve/fingerprint.h"
+
+namespace opdvfs::net {
+namespace {
+
+models::Workload
+testWorkload(int seq)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "wire-test";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = seq;
+    return models::buildTransformerTraining(memory, model, 5);
+}
+
+WireRequest
+testRequest(int seq = 128)
+{
+    WireRequest request;
+    request.workload = testWorkload(seq);
+    request.perf_loss_target = 0.03;
+    request.seed = 42;
+    request.use_cache = true;
+    request.allow_warm_start = false;
+    return request;
+}
+
+dvfs::Strategy
+testStrategy()
+{
+    dvfs::Strategy strategy;
+    dvfs::Stage stage;
+    stage.start = 0;
+    stage.duration = 1000;
+    stage.high_frequency = true;
+    strategy.stages.push_back(stage);
+    stage.start = 1000;
+    stage.duration = 2500;
+    stage.high_frequency = false;
+    strategy.stages.push_back(stage);
+    strategy.mhz_per_stage = {1800.0, 1200.0};
+    strategy.plan.initial_mhz = 1800.0;
+    strategy.plan.triggers.push_back({3, 1200.0});
+    dvfs::StrategyMeta meta;
+    meta.score = 0.125;
+    meta.pre_refine_score = 0.120;
+    meta.converged_at = 7;
+    meta.generations = 24;
+    meta.provenance = "cold";
+    meta.fingerprint = 0xDEADBEEFCAFEF00Dull;
+    strategy.meta = meta;
+    return strategy;
+}
+
+WireResponse
+testOkResponse()
+{
+    WireResponse response;
+    response.status = Status::Ok;
+    response.strategy = testStrategy();
+    response.best_score = 0.125;
+    response.provenance = serve::Provenance::WarmStart;
+    response.similarity = 0.97;
+    response.generations_run = 8;
+    response.generations_saved = 16;
+    response.service_seconds = 0.0125;
+    response.fingerprint_digest = 0x1234567890ABCDEFull;
+    response.model_epoch = 3;
+    return response;
+}
+
+TEST(Wire, RequestRoundTripIsByteStable)
+{
+    WireRequest request = testRequest();
+    std::string payload = encodeRequest(request);
+    WireRequest decoded = decodeRequest(payload);
+
+    EXPECT_EQ(decoded.perf_loss_target, request.perf_loss_target);
+    EXPECT_EQ(decoded.seed, request.seed);
+    EXPECT_EQ(decoded.use_cache, request.use_cache);
+    EXPECT_EQ(decoded.allow_warm_start, request.allow_warm_start);
+    EXPECT_EQ(decoded.workload.opCount(), request.workload.opCount());
+    // The name is deliberately not transmitted (not part of identity).
+    EXPECT_TRUE(decoded.workload.name.empty());
+
+    // encode(decode(p)) == p: the codec loses nothing it transmits.
+    EXPECT_EQ(encodeRequest(decoded), payload);
+}
+
+TEST(Wire, DecodedWorkloadFingerprintsIdentically)
+{
+    // The codec walks models::visitWorkloadFields — the same stream
+    // the fingerprint hashes — so a decoded request must fingerprint
+    // to the same digest as the original.
+    WireRequest request = testRequest();
+    WireRequest decoded = decodeRequest(encodeRequest(request));
+    serve::Fingerprint original = serve::fingerprintRequest(
+        request.workload, request.chip, request.perf_loss_target,
+        request.seed);
+    serve::Fingerprint round_tripped = serve::fingerprintRequest(
+        decoded.workload, decoded.chip, decoded.perf_loss_target,
+        decoded.seed);
+    EXPECT_EQ(round_tripped.digest, original.digest);
+}
+
+TEST(Wire, ChipConfigBlockDetectsAnyFieldChange)
+{
+    npu::NpuConfig a;
+    npu::NpuConfig b = a;
+    EXPECT_EQ(encodeChipConfig(a), encodeChipConfig(b));
+    b.uncore_power.idle_watts += 0.5;
+    EXPECT_NE(encodeChipConfig(a), encodeChipConfig(b));
+}
+
+TEST(Wire, OkResponseRoundTrips)
+{
+    WireResponse response = testOkResponse();
+    WireResponse decoded = decodeResponse(encodeResponse(response));
+
+    EXPECT_EQ(decoded.status, Status::Ok);
+    EXPECT_EQ(decoded.reject, serve::RejectReason::None);
+    EXPECT_EQ(decoded.best_score, response.best_score);
+    EXPECT_EQ(decoded.provenance, response.provenance);
+    EXPECT_EQ(decoded.similarity, response.similarity);
+    EXPECT_EQ(decoded.generations_run, response.generations_run);
+    EXPECT_EQ(decoded.generations_saved, response.generations_saved);
+    EXPECT_EQ(decoded.service_seconds, response.service_seconds);
+    EXPECT_EQ(decoded.fingerprint_digest, response.fingerprint_digest);
+    EXPECT_EQ(decoded.model_epoch, response.model_epoch);
+
+    // The embedded strategy survives byte-for-byte through the
+    // strategy_io text it travels as.
+    std::ostringstream original_text;
+    dvfs::saveStrategy(response.strategy, original_text);
+    std::ostringstream decoded_text;
+    dvfs::saveStrategy(decoded.strategy, decoded_text);
+    EXPECT_EQ(decoded_text.str(), original_text.str());
+}
+
+TEST(Wire, BusyResponseCarriesStructuredCause)
+{
+    WireResponse busy;
+    busy.status = Status::Busy;
+    busy.reject = serve::RejectReason::QueueFull;
+    busy.message = "net: admission rejected: queue-full";
+    WireResponse decoded = decodeResponse(encodeResponse(busy));
+    EXPECT_EQ(decoded.status, Status::Busy);
+    EXPECT_EQ(decoded.reject, serve::RejectReason::QueueFull);
+    EXPECT_EQ(decoded.message, busy.message);
+
+    // Busy and only Busy carries a cause — both sides enforce it.
+    WireResponse bad = busy;
+    bad.reject = serve::RejectReason::None;
+    EXPECT_THROW(encodeResponse(bad), WireError);
+    WireResponse ok_with_cause;
+    ok_with_cause.status = Status::Ok;
+    ok_with_cause.reject = serve::RejectReason::ShuttingDown;
+    EXPECT_THROW(encodeResponse(ok_with_cause), WireError);
+}
+
+TEST(Wire, FramePeelsExactlyAndLeavesTheRest)
+{
+    std::string first = frameRequest(testRequest(64));
+    std::string second = frameRequest(testRequest(96));
+    std::string stream = first + second;
+
+    std::size_t consumed = 0;
+    auto frame = peelFrame(stream, &consumed);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Request);
+    EXPECT_EQ(consumed, first.size());
+    EXPECT_EQ(decodeRequest(frame->payload).workload.opCount(),
+              testWorkload(64).opCount());
+
+    std::string rest = stream.substr(consumed);
+    auto next = peelFrame(rest, &consumed);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(consumed, second.size());
+}
+
+TEST(Wire, IncompleteFramesAreNotErrors)
+{
+    std::string whole = frameRequest(testRequest(64));
+    std::size_t consumed = 0;
+    // Any strict prefix — header fragments and payload fragments
+    // alike — asks for more bytes instead of failing.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{5},
+                            kFrameHeaderBytes - 1, kFrameHeaderBytes,
+                            whole.size() - 1}) {
+        auto frame = peelFrame(std::string_view(whole).substr(0, cut),
+                               &consumed);
+        EXPECT_FALSE(frame.has_value()) << "cut=" << cut;
+        EXPECT_EQ(consumed, 0u);
+    }
+}
+
+TEST(Wire, ForeignVersionByteIsRejectedAsVersionError)
+{
+    std::string frame = frameRequest(testRequest(64));
+    frame[4] = static_cast<char>(kWireVersion + 1);
+    std::size_t consumed = 0;
+    EXPECT_THROW(peelFrame(frame, &consumed), WireVersionError);
+}
+
+TEST(Wire, BadMagicAndReservedBitsAreRejected)
+{
+    std::string frame = frameRequest(testRequest(64));
+    std::string bad_magic = frame;
+    bad_magic[0] = 'X';
+    std::size_t consumed = 0;
+    EXPECT_THROW(peelFrame(bad_magic, &consumed), WireError);
+
+    std::string bad_reserved = frame;
+    bad_reserved[6] = 1;
+    EXPECT_THROW(peelFrame(bad_reserved, &consumed), WireError);
+}
+
+TEST(Wire, CrcCorruptionIsDetected)
+{
+    std::string frame = frameRequest(testRequest(64));
+    // Flip one payload bit; the header stays valid so only the CRC
+    // can catch it.
+    frame[kFrameHeaderBytes + 7] ^= 0x10;
+    std::size_t consumed = 0;
+    EXPECT_THROW(peelFrame(frame, &consumed), WireError);
+}
+
+TEST(Wire, OversizedDeclaredLengthIsRejectedFromTheHeaderAlone)
+{
+    WireLimits tight;
+    tight.max_frame_bytes = 1024;
+    std::string frame = frameRequest(testRequest(64)); // > 1 KiB
+    std::size_t consumed = 0;
+    // Rejected before the payload would ever be buffered: only the
+    // 16-byte header has arrived.
+    EXPECT_THROW(
+        peelFrame(std::string_view(frame).substr(0, kFrameHeaderBytes),
+                  &consumed, tight),
+        WireError);
+}
+
+TEST(Wire, TruncatedPayloadsFailCleanly)
+{
+    std::string payload = encodeRequest(testRequest(64));
+    for (std::size_t cut : {std::size_t{0}, std::size_t{1},
+                            payload.size() / 2, payload.size() - 1})
+        EXPECT_THROW(
+            decodeRequest(std::string_view(payload).substr(0, cut)),
+            WireError)
+            << "cut=" << cut;
+    // Trailing garbage is as malformed as missing bytes.
+    EXPECT_THROW(decodeRequest(payload + "x"), WireError);
+}
+
+TEST(Wire, FieldCoverageMismatchIsAVersionError)
+{
+    // numbers_per_op sits right after the u32 op count; patch it and
+    // the decoder must refuse rather than misalign the op stream.
+    WireRequest request = testRequest(64);
+    std::string payload = encodeRequest(request);
+    std::size_t offset = 1 + 8 + 8 + encodeChipConfig(request.chip).size()
+                         + 4;
+    ASSERT_LT(offset, payload.size());
+    payload[offset] = static_cast<char>(workloadNumbersPerOp() + 1);
+    EXPECT_THROW(decodeRequest(payload), WireVersionError);
+}
+
+TEST(Wire, NonFiniteAndOutOfRangeFieldsAreRejected)
+{
+    WireRequest bad_target = testRequest(64);
+    bad_target.perf_loss_target = 1.5;
+    EXPECT_THROW(encodeRequest(bad_target), std::exception);
+
+    // Craft an on-wire NaN: encode a valid request, then overwrite
+    // the perf_loss_target double (offset 1) with a NaN bit pattern.
+    std::string payload = encodeRequest(testRequest(64));
+    for (std::size_t byte = 0; byte < 8; ++byte)
+        payload[1 + byte] = static_cast<char>(0xFF);
+    EXPECT_THROW(decodeRequest(payload), WireError);
+}
+
+TEST(Wire, CapsAreEnforcedBeforeAllocation)
+{
+    WireLimits tight;
+    tight.max_ops = 4;
+    std::string payload = encodeRequest(testRequest(64));
+    EXPECT_THROW(decodeRequest(payload, tight), WireError);
+
+    // An op count far beyond the remaining bytes is rejected by
+    // arithmetic, not by attempting the reads.
+    WireRequest request = testRequest(64);
+    std::string honest = encodeRequest(request);
+    std::size_t count_offset =
+        1 + 8 + 8 + encodeChipConfig(request.chip).size();
+    honest[count_offset] = static_cast<char>(0xFF);
+    honest[count_offset + 1] = static_cast<char>(0xFF);
+    EXPECT_THROW(decodeRequest(honest), WireError);
+}
+
+TEST(Wire, StatusTokensAreStable)
+{
+    EXPECT_STREQ(statusToken(Status::Ok), "ok");
+    EXPECT_STREQ(statusToken(Status::Busy), "busy");
+    EXPECT_STREQ(statusToken(Status::Malformed), "malformed");
+    EXPECT_STREQ(statusToken(Status::ChipMismatch), "chip-mismatch");
+    EXPECT_STREQ(statusToken(Status::Internal), "internal");
+}
+
+} // namespace
+} // namespace opdvfs::net
