@@ -113,6 +113,16 @@ StrategyServer::stop()
         // Every admitted request completes before drain() returns;
         // the loop keeps running to flush those responses out.
         service_.drain();
+        // drain() fences the service's work, not our completion
+        // callbacks (the admission slot is released before a callback
+        // runs).  Wait until every callback has returned before any
+        // teardown: a late callback touches options_, the stats and
+        // completion queues, and wakeLoop()'s pipe fd.
+        {
+            std::unique_lock<std::mutex> lock(callback_mutex_);
+            callback_idle_.wait(
+                lock, [this] { return outstanding_callbacks_ == 0; });
+        }
         wakeLoop();
     }
     if (loop_thread_.joinable())
@@ -144,12 +154,15 @@ void
 StrategyServer::eventLoop()
 {
     bool listener_open = true;
+    double flush_deadline = 0.0;
     while (true) {
         bool stopping = phase_.load() != 0;
         if (stopping && listener_open) {
             closeFd(listen_fd_);
             listener_open = false;
         }
+        if (stopping && flush_deadline == 0.0)
+            flush_deadline = loopNow() + options_.shutdown_flush_seconds;
 
         drainCompletions();
 
@@ -233,12 +246,23 @@ StrategyServer::eventLoop()
         for (std::uint64_t id : to_close)
             closeConnection(id);
 
-        // Reap idle connections (quiet, nothing owed either way).
+        // Reap connections past the idle timeout.  Write progress
+        // advances last_activity, so this covers both quiet peers and
+        // write-stalled ones (a peer that stopped reading its socket
+        // must not pin a max_connections slot forever).  During
+        // stop(), additionally force-close any connection whose
+        // response still cannot be flushed once the shutdown flush
+        // deadline passes — otherwise such a peer would hang stop().
         std::vector<std::uint64_t> idle_ids;
-        for (const auto &[id, conn] : connections_)
-            if (!conn.in_flight && conn.write_buffer.empty()
-                && now - conn.last_activity > options_.idle_timeout_seconds)
+        for (const auto &[id, conn] : connections_) {
+            bool timed_out =
+                !conn.in_flight
+                && now - conn.last_activity > options_.idle_timeout_seconds;
+            bool stalled_at_stop = stopping && now >= flush_deadline
+                                   && !conn.write_buffer.empty();
+            if (timed_out || stalled_at_stop)
                 idle_ids.push_back(id);
+        }
         for (std::uint64_t id : idle_ids) {
             closeConnection(id);
             std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -409,6 +433,12 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
     service_request.use_cache = request.use_cache;
     service_request.allow_warm_start = request.allow_warm_start;
 
+    // Counted before the submit attempt so stop() can never observe a
+    // window where an admitted callback is neither counted nor done.
+    {
+        std::lock_guard<std::mutex> lock(callback_mutex_);
+        ++outstanding_callbacks_;
+    }
     serve::RejectReason reject = service_.trySubmit(
         std::move(service_request),
         [this, id](serve::StrategyResponse response,
@@ -464,9 +494,20 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
                 completions_.emplace_back(id, std::move(framed));
             }
             wakeLoop();
+            // Last touch of the server: once this count drops to
+            // zero, stop() may proceed to tear everything down.
+            std::lock_guard<std::mutex> lock(callback_mutex_);
+            --outstanding_callbacks_;
+            callback_idle_.notify_all();
         });
 
     if (reject != serve::RejectReason::None) {
+        {
+            // Not admitted: no callback will ever run.
+            std::lock_guard<std::mutex> lock(callback_mutex_);
+            --outstanding_callbacks_;
+            callback_idle_.notify_all();
+        }
         // Structured backpressure: the connection stays up and the
         // client learns whether to back off (queue-full) or fail over
         // (shutting-down).
@@ -528,6 +569,9 @@ StrategyServer::flushWritable(std::uint64_t id, Connection &conn)
         ssize_t sent = ::send(conn.fd, conn.write_buffer.data(),
                               conn.write_buffer.size(), MSG_NOSIGNAL);
         if (sent > 0) {
+            // Progress counts as activity: only a genuinely stalled
+            // write (peer not reading) lets the idle reaper fire.
+            conn.last_activity = loopNow();
             conn.write_buffer.erase(0, static_cast<std::size_t>(sent));
             continue;
         }

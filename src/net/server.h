@@ -35,6 +35,7 @@
 #define OPDVFS_NET_SERVER_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -59,8 +60,15 @@ struct ServerOptions
     std::size_t max_connections = 64;
     /** listen(2) backlog. */
     int backlog = 16;
-    /** Idle connections (no in-flight work) are reaped after this. */
+    /** Idle connections (no in-flight work) are reaped after this.
+     *  Also bounds write stalls: a peer that stops reading its socket
+     *  makes no write progress, so its connection is reaped too
+     *  instead of pinning a max_connections slot forever. */
     double idle_timeout_seconds = 60.0;
+    /** During stop(), connections whose responses still cannot be
+     *  flushed this long after shutdown began are force-closed, so a
+     *  peer that stopped reading cannot hang graceful shutdown. */
+    double shutdown_flush_seconds = 5.0;
     /** Decoder caps applied to every inbound frame. */
     WireLimits limits;
 };
@@ -165,6 +173,17 @@ class StrategyServer
     /** Framed response bytes finished by service workers. */
     std::mutex completion_mutex_;
     std::deque<std::pair<std::uint64_t, std::string>> completions_;
+
+    /**
+     * Completion callbacks handed to the service and not yet returned.
+     * The service releases its admission slot *before* the callback
+     * runs, so drain() alone does not fence callbacks that capture
+     * `this`; stop() additionally waits for this count to reach zero
+     * before tearing anything down.
+     */
+    std::mutex callback_mutex_;
+    std::condition_variable callback_idle_;
+    std::size_t outstanding_callbacks_ = 0;
 
     mutable std::mutex stats_mutex_;
     ServerStats stats_;

@@ -369,6 +369,17 @@ decodeRequest(std::string_view payload, const WireLimits &limits)
     if (numbers_per_op != workloadNumbersPerOp())
         throw WireVersionError(
             "wire: per-op field coverage differs from this build");
+    // The positional mapping below consumes exactly this many scalars.
+    // workloadNumbersPerOp() is probed from the visitor at runtime, so
+    // a build whose visitor shrank must be rejected *here*: otherwise
+    // numbers[used++] would index out of bounds before the
+    // `used != numbers_per_op` guard after the mapping could fire
+    // (that guard still catches the growth direction).
+    constexpr std::size_t kMappedNumbersPerOp = 15;
+    if (numbers_per_op != kMappedNumbersPerOp)
+        throw WireVersionError(
+            "wire: per-op field count differs from this build's request "
+            "mapping");
     // Every op needs at least its string length prefix plus the scalar
     // block; reject counts the remaining bytes cannot possibly satisfy
     // before reserving anything.

@@ -15,9 +15,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "models/transformer.h"
 #include "net/client.h"
@@ -302,6 +304,89 @@ TEST(NetServer, AdminEndpointServesHealthAndStats)
     EXPECT_EQ(adminQuery("127.0.0.1", server.port(), "NOPE"),
               "error unknown-command\n");
     server.stop();
+}
+
+/** Loopback socket connected to @p port, or -1. */
+int
+connectLoopback(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr))
+        != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+// Regression: the service releases its admission slot before the
+// completion callback runs, so drain() alone does not fence callbacks
+// capturing the server.  With the requester's connection already reset
+// the loop sees nothing in flight and can exit — stop() must still
+// wait for the callback (use-after-free otherwise; caught by the
+// asan/tsan presets).
+TEST(NetServer, StopWaitsForCompletionsAfterPeerReset)
+{
+    serve::ServiceOptions options = fastOptions(1);
+    serve::StrategyService service(options);
+    StrategyServer server(service, {});
+    server.start();
+
+    int fd = connectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    std::string framed = frameRequest(testWireRequest(128, 21));
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), 0),
+              static_cast<ssize_t>(framed.size()));
+
+    // Wait until the request is admitted (the pipeline holds the slot
+    // for the whole search, hundreds of ms).
+    for (int spin = 0; spin < 500 && service.stats().in_flight == 0;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GE(service.stats().in_flight, 1u);
+
+    // Reset the connection mid-request, then stop immediately: the
+    // completion callback races the teardown.
+    linger hard_reset{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+                 sizeof(hard_reset));
+    ::close(fd);
+    server.stop();
+
+    serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_EQ(stats.requests, 1u);
+}
+
+// Regression: stop() must stay bounded when a peer neither finishes
+// its request nor reads anything.
+TEST(NetServer, StopIsBoundedWithAnUnresponsivePeer)
+{
+    serve::StrategyService service(fastOptions(1));
+    ServerOptions server_options;
+    server_options.shutdown_flush_seconds = 0.2;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    int fd = connectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    // Half a frame header: the server waits for more bytes forever.
+    ASSERT_EQ(::send(fd, kWireMagic, sizeof(kWireMagic), 0),
+              static_cast<ssize_t>(sizeof(kWireMagic)));
+
+    auto started = std::chrono::steady_clock::now();
+    server.stop();
+    double stop_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+    EXPECT_LT(stop_seconds, 5.0);
+    ::close(fd);
 }
 
 TEST(NetServer, StopDrainsTheServiceAndIsIdempotent)
