@@ -367,71 +367,13 @@ randomBuffer(Rng &rng)
     return buffer;
 }
 
-/** One valid wire frame: a generated request or response. */
-std::string
-validWireFrame(Rng &rng, const net::WireLimits &limits)
-{
-    if (rng.chance(0.5)) {
-        net::WireRequest request;
-        npu::NpuConfig chip;
-        npu::MemorySystem memory(chip.memory);
-        request.chip = chip;
-        request.workload = genWorkload(rng, memory, 1, 8);
-        request.perf_loss_target = rng.uniform(0.005, 0.5);
-        request.seed = static_cast<std::uint64_t>(
-            rng.uniformInt(0, 1LL << 40));
-        request.use_cache = rng.chance(0.5);
-        request.allow_warm_start = rng.chance(0.5);
-        return net::frameRequest(request, limits);
-    }
-    net::WireResponse response;
-    switch (rng.uniformInt(0, 3)) {
-    case 0: {
-        response.status = net::Status::Ok;
-        npu::FreqTable table(genFreqTableConfig(rng));
-        response.strategy = genStrategy(rng, table);
-        response.best_score = rng.uniform(0.0, 1.0);
-        response.provenance =
-            static_cast<serve::Provenance>(rng.uniformInt(0, 3));
-        response.similarity = rng.uniform(0.0, 1.0);
-        response.generations_run =
-            static_cast<std::uint32_t>(rng.uniformInt(0, 200));
-        response.generations_saved =
-            static_cast<std::uint32_t>(rng.uniformInt(0, 200));
-        response.service_seconds = rng.uniform(0.0, 10.0);
-        response.fingerprint_digest = static_cast<std::uint64_t>(
-            rng.uniformInt(0, 1LL << 50));
-        response.model_epoch =
-            static_cast<std::uint64_t>(rng.uniformInt(0, 40));
-        break;
-    }
-    case 1:
-        response.status = net::Status::Busy;
-        response.reject = rng.chance(0.5)
-                              ? serve::RejectReason::QueueFull
-                              : serve::RejectReason::ShuttingDown;
-        response.message = "net: admission rejected";
-        break;
-    case 2:
-        response.status = net::Status::Malformed;
-        response.message = "wire: truncated u64";
-        break;
-    default:
-        response.status = rng.chance(0.5) ? net::Status::ChipMismatch
-                                          : net::Status::Internal;
-        response.message = "net: request failed";
-        break;
-    }
-    return net::frameResponse(response, limits);
-}
-
 /** Valid frame(s), then byte-level mutations. */
 std::vector<std::uint8_t>
 mutatedWireBuffer(Rng &rng, const net::WireLimits &limits)
 {
-    std::string bytes = validWireFrame(rng, limits);
+    std::string bytes = genWireFrame(rng, limits);
     if (rng.chance(0.2))
-        bytes += validWireFrame(rng, limits);
+        bytes += genWireFrame(rng, limits);
 
     int mutations = static_cast<int>(rng.uniformInt(0, 6));
     for (int m = 0; m < mutations && !bytes.empty(); ++m) {
@@ -459,6 +401,30 @@ mutatedWireBuffer(Rng &rng, const net::WireLimits &limits)
         }
         }
     }
+    return {bytes.begin(), bytes.end()};
+}
+
+/**
+ * Valid frame(s) put through exactly the mutations net::ChaosProxy
+ * injects into a live stream: a single bit flip at one byte offset
+ * (its corruption fault) and/or a cut at an exact offset (its
+ * mid-frame reset).  Deliberately narrower than mutatedWireBuffer so
+ * the decoder states the chaos tests drive are also fuzz-covered.
+ */
+std::vector<std::uint8_t>
+chaosWireBuffer(Rng &rng, const net::WireLimits &limits)
+{
+    std::string bytes = genWireFrame(rng, limits);
+    if (rng.chance(0.25))
+        bytes += genWireFrame(rng, limits);
+    if (!bytes.empty() && rng.chance(0.6)) {
+        std::size_t at = rng.index(bytes.size());
+        bytes[at] = static_cast<char>(
+            static_cast<unsigned char>(bytes[at])
+            ^ (1u << rng.index(8)));
+    }
+    if (!bytes.empty() && rng.chance(0.5))
+        bytes.resize(rng.index(bytes.size() + 1));
     return {bytes.begin(), bytes.end()};
 }
 
@@ -515,11 +481,13 @@ runSeededWireFuzz(std::uint64_t seed, int iterations, FuzzStats *stats)
                 + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
         std::vector<std::uint8_t> buffer;
         double kind = rng.uniform(0.0, 1.0);
-        if (kind < 0.35) { // pristine frames must always be accepted
-            std::string bytes = validWireFrame(rng, limits);
+        if (kind < 0.3) { // pristine frames must always be accepted
+            std::string bytes = genWireFrame(rng, limits);
             buffer.assign(bytes.begin(), bytes.end());
-        } else if (kind < 0.8) {
+        } else if (kind < 0.7) {
             buffer = mutatedWireBuffer(rng, limits);
+        } else if (kind < 0.85) {
+            buffer = chaosWireBuffer(rng, limits);
         } else {
             buffer = randomBuffer(rng);
         }

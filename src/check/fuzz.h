@@ -80,9 +80,11 @@ std::optional<std::string> runSeededFuzz(FuzzTarget target,
 /**
  * Seeded driver for the wire target: valid request/response frames
  * (sometimes several concatenated), mutated frames (bit flips,
- * truncations, header splices) and raw random bytes.  `accepted`
- * counts buffers whose leading frame peeled and decoded; `rejected`
- * counts everything the decoder refused.
+ * truncations, header splices), chaos-mutated frames (the single-bit
+ * corruptions and mid-frame cuts net::ChaosProxy injects into live
+ * streams) and raw random bytes.  `accepted` counts buffers whose
+ * leading frame peeled and decoded; `rejected` counts everything the
+ * decoder refused.
  */
 std::optional<std::string> runSeededWireFuzz(std::uint64_t seed,
                                              int iterations,

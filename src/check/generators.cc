@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "npu/memory_system.h"
 #include "ops/op_factory.h"
 
 namespace opdvfs::check {
@@ -318,6 +319,68 @@ genWorkload(Rng &rng, const npu::MemorySystem &memory, int min_ops,
         }
     }
     return workload;
+}
+
+std::string
+genWireFrame(Rng &rng, const net::WireLimits &limits)
+{
+    if (rng.chance(0.5)) {
+        net::WireRequest request;
+        npu::NpuConfig chip;
+        npu::MemorySystem memory(chip.memory);
+        request.chip = chip;
+        request.workload = genWorkload(rng, memory, 1, 8);
+        request.perf_loss_target = rng.uniform(0.005, 0.5);
+        request.seed = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 1LL << 40));
+        request.use_cache = rng.chance(0.5);
+        request.allow_warm_start = rng.chance(0.5);
+        if (rng.chance(0.4))
+            request.deadline_ms = static_cast<std::uint32_t>(
+                rng.uniformInt(1, 600000));
+        return net::frameRequest(request, limits);
+    }
+    net::WireResponse response;
+    switch (rng.uniformInt(0, 3)) {
+    case 0: {
+        response.status = net::Status::Ok;
+        npu::FreqTable table(genFreqTableConfig(rng));
+        response.strategy = genStrategy(rng, table);
+        response.best_score = rng.uniform(0.0, 1.0);
+        response.provenance =
+            static_cast<serve::Provenance>(rng.uniformInt(0, 3));
+        response.similarity = rng.uniform(0.0, 1.0);
+        response.generations_run =
+            static_cast<std::uint32_t>(rng.uniformInt(0, 200));
+        response.generations_saved =
+            static_cast<std::uint32_t>(rng.uniformInt(0, 200));
+        response.service_seconds = rng.uniform(0.0, 10.0);
+        response.fingerprint_digest = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 1LL << 50));
+        response.model_epoch =
+            static_cast<std::uint64_t>(rng.uniformInt(0, 40));
+        break;
+    }
+    case 1:
+        response.status = net::Status::Busy;
+        response.reject = static_cast<serve::RejectReason>(
+            rng.uniformInt(1, 4)); // every rejecting reason
+        response.message = "net: admission rejected";
+        if (rng.chance(0.7))
+            response.retry_after_ms = static_cast<std::uint32_t>(
+                rng.uniformInt(0, 60000));
+        break;
+    case 2:
+        response.status = net::Status::Malformed;
+        response.message = "wire: truncated u64";
+        break;
+    default:
+        response.status = rng.chance(0.5) ? net::Status::ChipMismatch
+                                          : net::Status::Internal;
+        response.message = "net: request failed";
+        break;
+    }
+    return net::frameResponse(response, limits);
 }
 
 // --- printers ----------------------------------------------------------

@@ -23,6 +23,7 @@
 #include "dvfs/preprocess.h"
 #include "dvfs/strategy_io.h"
 #include "models/workload.h"
+#include "net/wire.h"
 #include "npu/freq_table.h"
 #include "npu/npu_chip.h"
 #include "perf/perf_model.h"
@@ -122,6 +123,15 @@ dvfs::Strategy genStrategy(Rng &rng, const npu::FreqTable &table);
 /** Random real workload via OpFactory (for simulator-backed oracles). */
 models::Workload genWorkload(Rng &rng, const npu::MemorySystem &memory,
                              int min_ops, int max_ops);
+
+/**
+ * One valid wire frame: a framed request (sometimes carrying a
+ * deadline) or a framed response covering every status — including
+ * Busy frames with each RejectReason and a retry_after_ms hint.
+ * Shared by the wire fuzz corpus and prop_net's chaos-split decode
+ * oracle, so both harnesses exercise the same frame population.
+ */
+std::string genWireFrame(Rng &rng, const net::WireLimits &limits);
 
 // --- printers (counterexample literals) --------------------------------
 

@@ -1,0 +1,386 @@
+#include "net/chaos.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <stdexcept>
+
+#include "common/random.h"
+
+namespace opdvfs::net {
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw std::runtime_error("chaos: fcntl(O_NONBLOCK) failed");
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** Close with SO_LINGER {1, 0}: the peer sees an RST, not a FIN. */
+void
+rstClose(int &fd)
+{
+    if (fd < 0)
+        return;
+    linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    closeFd(fd);
+}
+
+/** Sleep @p seconds in short slices, abandoning early on @p stopping
+ *  so a configured stall cannot hold up ChaosProxy::stop(). */
+void
+sleepSlices(double seconds, const std::atomic<bool> &stopping)
+{
+    using clock = std::chrono::steady_clock;
+    auto until = clock::now()
+                 + std::chrono::duration_cast<clock::duration>(
+                     std::chrono::duration<double>(seconds));
+    while (!stopping.load(std::memory_order_relaxed)
+           && clock::now() < until)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+/** Write all of @p data to the non-blocking @p fd, polling for space;
+ *  false = the peer is gone or stop was requested. */
+bool
+sendAll(int fd, const char *data, std::size_t size,
+        const std::atomic<bool> &stopping)
+{
+    while (size > 0) {
+        if (stopping.load(std::memory_order_relaxed))
+            return false;
+        ssize_t wrote = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (wrote > 0) {
+            data += wrote;
+            size -= static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd, POLLOUT, 0};
+            ::poll(&pfd, 1, 50);
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+/** Fault-schedule state for one direction of one connection. */
+struct DirectionState
+{
+    Rng rng;
+    /** Whether the plan's faults apply to this direction at all. */
+    bool enabled;
+    /** Bytes forwarded so far (fault offsets index into this). */
+    std::uint64_t forwarded = 0;
+    /** The one-shot stall has fired. */
+    bool stalled = false;
+};
+
+} // namespace
+
+ChaosProxy::ChaosProxy(std::string upstream_host,
+                       std::uint16_t upstream_port, ChaosPlan plan)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port), plan_(plan)
+{}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void
+ChaosProxy::start()
+{
+    if (started_)
+        throw std::runtime_error("chaos: start() called twice");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        throw std::runtime_error("chaos: socket() failed");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1
+        || ::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+               < 0
+        || ::listen(listen_fd_, 16) < 0) {
+        closeFd(listen_fd_);
+        throw std::runtime_error("chaos: cannot bind/listen on loopback");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len)
+        < 0) {
+        closeFd(listen_fd_);
+        throw std::runtime_error("chaos: getsockname() failed");
+    }
+    bound_port_ = ntohs(addr.sin_port);
+    setNonBlocking(listen_fd_);
+
+    stopping_.store(false);
+    started_ = true;
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+ChaosProxy::stop()
+{
+    if (!started_)
+        return;
+    stopping_.store(true);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    closeFd(listen_fd_);
+    std::vector<std::thread> relays;
+    {
+        std::lock_guard<std::mutex> lock(relay_mutex_);
+        relays.swap(relay_threads_);
+    }
+    for (auto &thread : relays)
+        if (thread.joinable())
+            thread.join();
+    started_ = false;
+}
+
+ChaosCounters
+ChaosProxy::counters() const
+{
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    return counters_;
+}
+
+void
+ChaosProxy::acceptLoop()
+{
+    std::uint64_t next_index = 0;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        ::poll(&pfd, 1, 50);
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::uint64_t index = next_index++;
+        {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.connections;
+        }
+        std::lock_guard<std::mutex> lock(relay_mutex_);
+        relay_threads_.emplace_back(
+            [this, fd, index]() mutable { relay(fd, index); });
+    }
+}
+
+void
+ChaosProxy::relay(int client_fd, std::uint64_t connection_index)
+{
+    int upstream_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(upstream_port_);
+    if (upstream_fd < 0
+        || ::inet_pton(AF_INET, upstream_host_.c_str(), &addr.sin_addr)
+               != 1
+        || ::connect(upstream_fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr))
+               < 0) {
+        closeFd(upstream_fd);
+        closeFd(client_fd);
+        return;
+    }
+    setNonBlocking(client_fd);
+    setNonBlocking(upstream_fd);
+
+    // Per-connection, per-direction streams forked from the plan seed
+    // and the accept order, so concurrent connections cannot perturb
+    // each other's fault schedules (same idiom as npu::FaultInjector).
+    Rng connection_rng(plan_.seed
+                       + 0x9E3779B97F4A7C15ull * (connection_index + 1));
+    DirectionState up{connection_rng.fork(), plan_.apply_upstream};
+    DirectionState down{connection_rng.fork(), plan_.apply_downstream};
+
+    // Forward one freshly-read block through the fault schedule.
+    // Returns false when the connection is finished (reset injected or
+    // the destination is gone).
+    auto forward = [&](const char *data, std::size_t size,
+                       DirectionState &dir, int dest_fd,
+                       bool is_upstream) -> bool {
+        while (size > 0) {
+            if (stopping_.load(std::memory_order_relaxed))
+                return false;
+
+            // A pending one-shot stall fires exactly at its byte
+            // boundary, so a block spanning it is delivered in two
+            // silences-apart pieces.
+            bool stall_armed = dir.enabled && plan_.stall_after_bytes > 0
+                               && plan_.stall_seconds > 0.0
+                               && !dir.stalled;
+            if (stall_armed
+                && dir.forwarded >= plan_.stall_after_bytes) {
+                dir.stalled = true;
+                {
+                    std::lock_guard<std::mutex> lock(counters_mutex_);
+                    ++counters_.stalls;
+                }
+                sleepSlices(plan_.stall_seconds, stopping_);
+                if (stopping_.load(std::memory_order_relaxed))
+                    return false;
+            }
+
+            std::size_t take = size;
+            if (stall_armed && dir.forwarded < plan_.stall_after_bytes)
+                take = std::min<std::size_t>(
+                    take, plan_.stall_after_bytes - dir.forwarded);
+            bool reset_armed =
+                dir.enabled && plan_.reset_after_bytes > 0;
+            if (reset_armed)
+                take = std::min<std::size_t>(
+                    take, plan_.reset_after_bytes - dir.forwarded);
+            if (dir.enabled && plan_.max_chunk_bytes > 0) {
+                std::size_t lo =
+                    std::max<std::size_t>(1, plan_.min_chunk_bytes);
+                std::size_t hi =
+                    std::max<std::size_t>(lo, plan_.max_chunk_bytes);
+                take = std::min<std::size_t>(
+                    take, static_cast<std::size_t>(dir.rng.uniformInt(
+                              static_cast<std::int64_t>(lo),
+                              static_cast<std::int64_t>(hi))));
+            }
+
+            std::string block(data, take);
+            if (dir.enabled) {
+                std::uint64_t corrupted = 0;
+                for (std::size_t i = 0; i < block.size(); ++i) {
+                    std::uint64_t offset = dir.forwarded + i;
+                    bool targeted =
+                        plan_.corrupt_byte_index >= 0
+                        && offset == static_cast<std::uint64_t>(
+                               plan_.corrupt_byte_index);
+                    bool sampled = plan_.corrupt_rate > 0.0
+                                   && dir.rng.chance(plan_.corrupt_rate);
+                    if (targeted || sampled) {
+                        block[i] = static_cast<char>(
+                            static_cast<unsigned char>(block[i])
+                            ^ (1u << dir.rng.index(8)));
+                        ++corrupted;
+                    }
+                }
+                if (corrupted > 0) {
+                    std::lock_guard<std::mutex> lock(counters_mutex_);
+                    counters_.bytes_corrupted += corrupted;
+                }
+            }
+
+            if (!sendAll(dest_fd, block.data(), block.size(), stopping_))
+                return false;
+            dir.forwarded += take;
+            data += take;
+            size -= take;
+            {
+                std::lock_guard<std::mutex> lock(counters_mutex_);
+                ++counters_.chunks;
+                if (is_upstream)
+                    counters_.bytes_up += take;
+                else
+                    counters_.bytes_down += take;
+            }
+
+            if (reset_armed
+                && dir.forwarded >= plan_.reset_after_bytes) {
+                {
+                    std::lock_guard<std::mutex> lock(counters_mutex_);
+                    ++counters_.resets;
+                }
+                rstClose(client_fd);
+                rstClose(upstream_fd);
+                return false;
+            }
+
+            if (size > 0 && dir.enabled
+                && plan_.inter_chunk_delay_us > 0)
+                sleepSlices(plan_.inter_chunk_delay_us * 1e-6,
+                            stopping_);
+        }
+        return true;
+    };
+
+    bool client_eof = false;
+    bool upstream_eof = false;
+    char buffer[4096];
+    while (!stopping_.load(std::memory_order_relaxed)
+           && !(client_eof && upstream_eof)) {
+        pollfd fds[2];
+        nfds_t count = 0;
+        if (!client_eof)
+            fds[count++] = {client_fd, POLLIN, 0};
+        if (!upstream_eof)
+            fds[count++] = {upstream_fd, POLLIN, 0};
+        ::poll(fds, count, 25);
+
+        for (nfds_t i = 0; i < count; ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            bool from_client = fds[i].fd == client_fd;
+            ssize_t got = ::recv(fds[i].fd, buffer, sizeof(buffer), 0);
+            if (got < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK
+                    || errno == EINTR)
+                    continue;
+                got = 0; // treat a hard error as EOF for this side
+            }
+            if (got == 0) {
+                // Half-close: propagate the FIN but keep relaying the
+                // other direction (a response may still be in flight).
+                if (from_client) {
+                    client_eof = true;
+                    if (upstream_fd >= 0)
+                        ::shutdown(upstream_fd, SHUT_WR);
+                } else {
+                    upstream_eof = true;
+                    if (client_fd >= 0)
+                        ::shutdown(client_fd, SHUT_WR);
+                }
+                continue;
+            }
+            DirectionState &dir = from_client ? up : down;
+            int dest = from_client ? upstream_fd : client_fd;
+            if (!forward(buffer, static_cast<std::size_t>(got), dir,
+                         dest, from_client)) {
+                closeFd(client_fd);
+                closeFd(upstream_fd);
+                return;
+            }
+        }
+    }
+    closeFd(client_fd);
+    closeFd(upstream_fd);
+}
+
+} // namespace opdvfs::net

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Seeded socket-fault injection for the serving stack.
+ *
+ * ChaosProxy is an in-process TCP proxy: clients connect to its port
+ * and every byte is relayed to the real server, with faults injected
+ * on the way through according to a ChaosPlan — the network analogue
+ * of npu::FaultInjector.  Like FaultPlan, a ChaosPlan is explicitly
+ * seeded, every fault class is off by default, and identical plans
+ * replay identical fault schedules, so a test that fails under chaos
+ * fails the same way every run.
+ *
+ * Fault classes (per direction, independently toggleable):
+ *
+ *  - chunking: forwarded data is re-split into random chunks of
+ *    [min_chunk_bytes, max_chunk_bytes], exercising every short-read
+ *    path in the peer's framing code (min = max = 1 delivers one byte
+ *    at a time, i.e. a frame split at every boundary);
+ *  - corruption: each forwarded byte is bit-flipped with probability
+ *    corrupt_rate, and corrupt_byte_index targets one exact byte
+ *    offset deterministically (aim it past the 16-byte header and the
+ *    CRC must catch it);
+ *  - stall: after stall_after_bytes have been forwarded the relay
+ *    goes silent for stall_seconds, simulating a hung middlebox (the
+ *    peer's deadline/idle-reaping paths must fire);
+ *  - reset: after exactly reset_after_bytes the connection is torn
+ *    down with an RST (SO_LINGER 0), cutting a frame mid-flight.
+ *
+ * Each proxied connection is driven by one relay thread that owns both
+ * sockets; per-connection, per-direction RNG streams are derived from
+ * (plan.seed, accept order, direction), so concurrent connections do
+ * not perturb each other's fault schedules.  stop() is bounded: relay
+ * threads poll with short timeouts and abandon stalls when asked to
+ * stop.
+ */
+
+#ifndef OPDVFS_NET_CHAOS_H
+#define OPDVFS_NET_CHAOS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace opdvfs::net {
+
+/** Fault schedule for a ChaosProxy.  Defaults inject nothing. */
+struct ChaosPlan
+{
+    /** Seed for every fault decision. */
+    std::uint64_t seed = 1;
+
+    /** Chunk forwarded data into [min, max]-byte writes; max 0 =
+     *  forward whole reads untouched. */
+    std::size_t min_chunk_bytes = 0;
+    std::size_t max_chunk_bytes = 0;
+    /** Pause between chunks (lets the peer's event loop observe each
+     *  fragment separately instead of coalescing them). */
+    std::uint32_t inter_chunk_delay_us = 0;
+
+    /** Per-byte probability of flipping one random bit. */
+    double corrupt_rate = 0.0;
+    /** Flip one bit of the byte at this absolute per-direction
+     *  forwarded offset; negative = disabled. */
+    std::int64_t corrupt_byte_index = -1;
+
+    /** After forwarding this many bytes in a direction, go silent for
+     *  stall_seconds (once per connection per direction); 0 = never. */
+    std::size_t stall_after_bytes = 0;
+    double stall_seconds = 0.0;
+
+    /** Tear the connection down with an RST after exactly this many
+     *  bytes have been forwarded in a direction; 0 = never. */
+    std::size_t reset_after_bytes = 0;
+
+    /** Apply faults client -> server. */
+    bool apply_upstream = true;
+    /** Apply faults server -> client. */
+    bool apply_downstream = true;
+};
+
+/** What the proxy did (monotonic; snapshot via counters()). */
+struct ChaosCounters
+{
+    std::uint64_t connections = 0;
+    /** Bytes forwarded client -> server. */
+    std::uint64_t bytes_up = 0;
+    /** Bytes forwarded server -> client. */
+    std::uint64_t bytes_down = 0;
+    /** Individual writes issued (== fragments the peer could see). */
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes_corrupted = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t resets = 0;
+};
+
+/**
+ * In-process fault-injecting TCP proxy.  start() binds an ephemeral
+ * loopback port (see port()); point a client there instead of at the
+ * server.  Not copyable; stop() (also run by the destructor) joins
+ * every relay thread.
+ */
+class ChaosProxy
+{
+  public:
+    ChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
+               ChaosPlan plan = {});
+    ~ChaosProxy();
+
+    ChaosProxy(const ChaosProxy &) = delete;
+    ChaosProxy &operator=(const ChaosProxy &) = delete;
+
+    /**
+     * Bind, listen and launch the accept thread.
+     * @throws std::runtime_error when the socket cannot be set up.
+     */
+    void start();
+
+    /** Stop accepting, tear down every relay; bounded, idempotent. */
+    void stop();
+
+    /** The proxy's bound port (after start()). */
+    std::uint16_t port() const { return bound_port_; }
+
+    const ChaosPlan &plan() const { return plan_; }
+
+    ChaosCounters counters() const;
+
+  private:
+    void acceptLoop();
+    void relay(int client_fd, std::uint64_t connection_index);
+
+    std::string upstream_host_;
+    std::uint16_t upstream_port_;
+    ChaosPlan plan_;
+
+    int listen_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+
+    std::thread accept_thread_;
+    std::mutex relay_mutex_;
+    std::vector<std::thread> relay_threads_;
+
+    mutable std::mutex counters_mutex_;
+    ChaosCounters counters_;
+};
+
+} // namespace opdvfs::net
+
+#endif // OPDVFS_NET_CHAOS_H

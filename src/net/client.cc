@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -93,7 +94,88 @@ connectSocket(const std::string &host, std::uint16_t port,
     return fd;
 }
 
+/** splitmix64: one well-mixed word from a seed. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 } // namespace
+
+RetryBudget::RetryBudget(double tokens_per_attempt, double max_tokens)
+    : tokens_per_attempt_(tokens_per_attempt < 0.0 ? 0.0
+                                                   : tokens_per_attempt),
+      max_tokens_(max_tokens < 1.0 ? 1.0 : max_tokens),
+      // Starting full lets a short incident retry immediately; only a
+      // sustained failure rate drains the bucket.
+      tokens_(max_tokens_)
+{}
+
+void
+RetryBudget::onAttempt()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tokens_ = std::min(max_tokens_, tokens_ + tokens_per_attempt_);
+}
+
+bool
+RetryBudget::tryWithdrawRetry()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tokens_ < 1.0)
+        return false;
+    tokens_ -= 1.0;
+    return true;
+}
+
+double
+RetryBudget::tokens() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tokens_;
+}
+
+double
+backoffNominalSeconds(const ClientOptions &options, int retry_index)
+{
+    double nominal = options.backoff_initial_seconds;
+    if (!(nominal > 0.0))
+        nominal = 0.0;
+    for (int doubling = 1; doubling < retry_index; ++doubling) {
+        // Stop doubling at the cap: keeps the sequence monotone and
+        // cannot overflow for any retry_index.
+        if (nominal >= options.backoff_max_seconds)
+            break;
+        nominal *= 2.0;
+    }
+    if (nominal > options.backoff_max_seconds)
+        nominal = options.backoff_max_seconds;
+    return nominal;
+}
+
+double
+retryDelaySeconds(const ClientOptions &options, int retry_index,
+                  std::uint32_t retry_after_ms,
+                  std::uint64_t &jitter_state)
+{
+    double nominal = backoffNominalSeconds(options, retry_index);
+    // xorshift64; a zero state would stick, so displace it.
+    if (jitter_state == 0)
+        jitter_state = 0x9E3779B97F4A7C15ull;
+    jitter_state ^= jitter_state << 13;
+    jitter_state ^= jitter_state >> 7;
+    jitter_state ^= jitter_state << 17;
+    double fraction = static_cast<double>(jitter_state >> 11) * 0x1.0p-53;
+    double delay = nominal * (0.5 + 0.5 * fraction);
+    // The server's hint is a contract, not a suggestion: it floors the
+    // sleep even past the local backoff ceiling.
+    double hint = static_cast<double>(retry_after_ms) / 1000.0;
+    return delay < hint ? hint : delay;
+}
 
 StrategyClient::StrategyClient(std::string host, std::uint16_t port,
                                ClientOptions options)
@@ -125,7 +207,59 @@ StrategyClient::now() const
 void
 StrategyClient::connectWithDeadline()
 {
+    // Counted before the attempt: failures count too (the breaker's
+    // job is to bound exactly these).
+    ++connect_attempts_;
     fd_ = connectSocket(host_, port_, options_.connect_timeout_seconds);
+    ++connections_established_;
+    if (options_.seed != 0) {
+        // Per-connection reseed: the whole retry schedule becomes a
+        // pure function of (seed, connection index), so breaker tests
+        // replay bit-identically.
+        jitter_state_ =
+            mix64(options_.seed ^ connections_established_);
+        if (jitter_state_ == 0)
+            jitter_state_ = 0x9E3779B97F4A7C15ull;
+    }
+}
+
+void
+StrategyClient::breakerAdmit()
+{
+    if (options_.breaker_failure_threshold <= 0)
+        return;
+    if (breaker_state_ != BreakerState::Open)
+        return;
+    if (now() < breaker_open_until_)
+        throw CircuitOpenError(
+            "net: circuit breaker open after "
+            + std::to_string(breaker_failures_)
+            + " consecutive failures; probe not yet due");
+    // Cool-down over: let exactly this call through as the probe.
+    breaker_state_ = BreakerState::HalfOpen;
+}
+
+void
+StrategyClient::breakerRecordSuccess()
+{
+    // Any decoded response (even Busy) proves the server reachable.
+    breaker_failures_ = 0;
+    breaker_state_ = BreakerState::Closed;
+}
+
+void
+StrategyClient::breakerRecordFailure()
+{
+    if (options_.breaker_failure_threshold <= 0)
+        return;
+    ++breaker_failures_;
+    if (breaker_state_ == BreakerState::HalfOpen
+        || breaker_failures_ >= options_.breaker_failure_threshold) {
+        if (breaker_state_ != BreakerState::Open)
+            ++breaker_opens_;
+        breaker_state_ = BreakerState::Open;
+        breaker_open_until_ = now() + options_.breaker_open_seconds;
+    }
 }
 
 void
@@ -174,7 +308,8 @@ StrategyClient::receiveResponse(double deadline)
                                     + std::string(serve::rejectReasonToken(
                                         response.reject))
                                     + "): " + response.message,
-                                response.reject);
+                                response.reject,
+                                response.retry_after_ms);
             default:
                 throw RemoteError("net: server answered "
                                       + std::string(statusToken(
@@ -199,12 +334,28 @@ StrategyClient::receiveResponse(double deadline)
 }
 
 WireResponse
-StrategyClient::attemptOnce(const std::string &frame)
+StrategyClient::attemptOnce(const WireRequest &request,
+                            const std::string &frame)
 {
     if (!connected())
         connectWithDeadline();
     double deadline = now() + options_.request_timeout_seconds;
-    sendAll(frame, deadline);
+    if (options_.propagate_deadline && request.deadline_ms == 0) {
+        // Stamp the remaining budget for *this* attempt (connect time
+        // already spent is excluded: the deadline starts post-connect)
+        // so the server never queues work past the point we hang up.
+        WireRequest stamped = request;
+        double remaining_ms =
+            (deadline - now()) * 1000.0;
+        if (remaining_ms < 1.0)
+            remaining_ms = 1.0;
+        if (remaining_ms > 4294967295.0)
+            remaining_ms = 4294967295.0;
+        stamped.deadline_ms = static_cast<std::uint32_t>(remaining_ms);
+        sendAll(frameRequest(stamped, options_.limits), deadline);
+    } else {
+        sendAll(frame, deadline);
+    }
     return receiveResponse(deadline);
 }
 
@@ -212,51 +363,68 @@ WireResponse
 StrategyClient::call(const WireRequest &request)
 {
     // Encoding failures are the caller's bug; no network was involved.
+    // (When deadline propagation re-frames per attempt, this also
+    // validates the request once, up front.)
     std::string frame = frameRequest(request, options_.limits);
 
     int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
     for (int attempt = 1;; ++attempt) {
+        breakerAdmit();
+        if (options_.retry_budget)
+            options_.retry_budget->onAttempt();
         bool drop_connection = false;
+        std::uint32_t retry_after_ms = 0;
+        std::exception_ptr retryable;
         try {
-            return attemptOnce(frame);
+            WireResponse response = attemptOnce(request, frame);
+            breakerRecordSuccess();
+            return response;
         } catch (const DeadlineError &) {
             // The caller's time budget is spent; a retry would spend
             // it again.  Tear down so a later call starts clean.
+            breakerRecordFailure();
             disconnect();
             throw;
-        } catch (const BusyError &) {
-            // Retryable; the connection itself is healthy.
+        } catch (const BusyError &busy) {
+            // Retryable; the connection is healthy and the server
+            // demonstrably alive (it answered).
+            breakerRecordSuccess();
             if (attempt >= attempts)
                 throw;
+            retry_after_ms = busy.retry_after_ms();
+            retryable = std::current_exception();
         } catch (const WireError &) {
             disconnect();
             throw; // malformed bytes: never retry
         } catch (const RemoteError &) {
+            breakerRecordSuccess();
             throw; // structured non-retryable failure
         } catch (const NetError &) {
+            breakerRecordFailure();
             drop_connection = true;
             if (attempt >= attempts) {
                 disconnect();
                 throw;
             }
+            retryable = std::current_exception();
         }
         if (drop_connection)
             disconnect();
 
+        // A retry must be paid for from the shared budget (when one is
+        // configured): under a sustained brown-out the fleet's retry
+        // rate decays to a fraction of its first-attempt rate instead
+        // of multiplying the overload.
+        if (options_.retry_budget
+            && !options_.retry_budget->tryWithdrawRetry())
+            std::rethrow_exception(retryable);
+
         // Bounded exponential backoff with deterministic jitter in
         // [0.5, 1.0] x the nominal delay (decorrelates synchronised
-        // retry storms while staying reproducible under a seed).
-        double nominal = options_.backoff_initial_seconds;
-        for (int doubling = 1; doubling < attempt; ++doubling)
-            nominal *= 2.0;
-        if (nominal > options_.backoff_max_seconds)
-            nominal = options_.backoff_max_seconds;
-        jitter_state_ ^= jitter_state_ << 13;
-        jitter_state_ ^= jitter_state_ >> 7;
-        jitter_state_ ^= jitter_state_ << 17;
-        double fraction =
-            static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;
-        double delay = nominal * (0.5 + 0.5 * fraction);
+        // retry storms while staying reproducible under a seed),
+        // floored at the server's retry-after hint.
+        double delay = retryDelaySeconds(options_, attempt,
+                                         retry_after_ms, jitter_state_);
         ++retries_;
         std::this_thread::sleep_for(
             std::chrono::duration<double>(delay));

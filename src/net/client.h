@@ -13,16 +13,28 @@
  *    cache.  Malformed-frame errors and version mismatches are never
  *    retried (the bytes will not get better), and a deadline expiry
  *    fails the call immediately (retrying would double the wait the
- *    caller already refused to pay).
+ *    caller already refused to pay);
+ *  - collective restraint: the server's `retry_after_ms` hint is a
+ *    floor under every backoff sleep, a consecutive-failure circuit
+ *    breaker (closed -> open -> half-open probe) stops hammering a
+ *    dead server, and an optional fleet-shared RetryBudget caps the
+ *    ratio of retries to first attempts so many clients cannot mount
+ *    a retry storm against a recovering server;
+ *  - deadline propagation: unless disabled, each attempt stamps its
+ *    remaining time budget into the request (`deadline_ms`) so the
+ *    server can refuse work this caller will no longer wait for.
  *
  * One client drives one connection, lazily (re-)established; it is
- * not thread-safe — use one client per thread (the bench does).
+ * not thread-safe — use one client per thread (the bench does).  The
+ * RetryBudget is the one shared, thread-safe piece.
  */
 
 #ifndef OPDVFS_NET_CLIENT_H
 #define OPDVFS_NET_CLIENT_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -41,15 +53,35 @@ class NetError : public std::runtime_error
 class BusyError : public NetError
 {
   public:
-    BusyError(const std::string &what, serve::RejectReason reason)
-        : NetError(what), reason_(reason)
+    BusyError(const std::string &what, serve::RejectReason reason,
+              std::uint32_t retry_after_ms = 0)
+        : NetError(what), reason_(reason), retry_after_ms_(retry_after_ms)
     {}
 
-    /** Structured cause from the wire (queue-full / shutting-down). */
+    /** Structured cause from the wire (queue-full / shutting-down /
+     *  expired / overloaded). */
     serve::RejectReason reason() const { return reason_; }
+
+    /** Server backpressure hint; 0 = none.  The client floors its
+     *  backoff sleep at this value before retrying. */
+    std::uint32_t retry_after_ms() const { return retry_after_ms_; }
 
   private:
     serve::RejectReason reason_;
+    std::uint32_t retry_after_ms_;
+};
+
+/**
+ * The client's circuit breaker is open: recent consecutive failures
+ * prove the server unreachable, and the cool-down has not elapsed, so
+ * the call fails without touching the network.  A NetError subclass:
+ * callers treating transport failures as retryable-later need no new
+ * handling.
+ */
+class CircuitOpenError : public NetError
+{
+  public:
+    using NetError::NetError;
 };
 
 /** The configured deadline expired; never retried internally. */
@@ -73,6 +105,48 @@ class RemoteError : public std::runtime_error
     Status status_;
 };
 
+/**
+ * Fleet-wide retry rationing: a token bucket shared by every client of
+ * one logical server.  First attempts deposit a fraction of a token;
+ * each retry withdraws a whole one.  Sustained, the fleet's retry rate
+ * is therefore at most `tokens_per_attempt` times its first-attempt
+ * rate — retries amplify healthy traffic a little instead of
+ * multiplying a brown-out.  Thread-safe.
+ */
+class RetryBudget
+{
+  public:
+    explicit RetryBudget(double tokens_per_attempt = 0.1,
+                         double max_tokens = 10.0);
+
+    /** A first attempt is being made: deposit the earn fraction. */
+    void onAttempt();
+
+    /** Take one token for a retry; false = budget exhausted. */
+    bool tryWithdrawRetry();
+
+    /** Current balance (observability). */
+    double tokens() const;
+
+  private:
+    mutable std::mutex mutex_;
+    double tokens_per_attempt_;
+    double max_tokens_;
+    double tokens_;
+};
+
+/** Circuit-breaker state (closed = healthy). */
+enum class BreakerState : std::uint8_t
+{
+    /** Requests flow; consecutive failures are being counted. */
+    Closed,
+    /** Threshold reached: calls fail fast until the cool-down ends. */
+    Open,
+    /** Cool-down elapsed: exactly one probe is in flight; its outcome
+     *  closes or re-opens the breaker. */
+    HalfOpen,
+};
+
 /** Client configuration. */
 struct ClientOptions
 {
@@ -88,9 +162,49 @@ struct ClientOptions
     double backoff_max_seconds = 1.0;
     /** Seed for the deterministic backoff jitter. */
     std::uint64_t jitter_seed = 1;
+    /**
+     * When nonzero, the jitter RNG is additionally reseeded from
+     * (seed, connection index) at every successful (re)connect, making
+     * whole retry/breaker schedules a pure function of the options —
+     * deterministic tests need no timing slack.
+     */
+    std::uint64_t seed = 0;
+    /**
+     * Stamp the remaining per-attempt budget into requests that carry
+     * no explicit deadline_ms, so the server can expire work this
+     * caller has stopped waiting for.
+     */
+    bool propagate_deadline = true;
+    /** Consecutive transport/deadline failures that open the circuit
+     *  breaker; 0 disables it. */
+    int breaker_failure_threshold = 5;
+    /** Cool-down before a half-open probe is allowed. */
+    double breaker_open_seconds = 1.0;
+    /** Fleet-shared retry rationing; null = unlimited retries. */
+    std::shared_ptr<RetryBudget> retry_budget;
     /** Decoder caps applied to inbound response frames. */
     WireLimits limits;
 };
+
+// --- pure backoff policy (unit-testable without sockets) ---------------
+
+/**
+ * Nominal (pre-jitter) backoff before the (retry_index + 1)-th
+ * attempt, 1-based: backoff_initial doubled per retry, capped at
+ * backoff_max.  Non-decreasing in retry_index.
+ */
+double backoffNominalSeconds(const ClientOptions &options,
+                             int retry_index);
+
+/**
+ * The actual sleep before a retry: nominal backoff jittered into
+ * [0.5, 1.0] x nominal (advancing @p jitter_state deterministically),
+ * then floored at the server's @p retry_after_ms hint — the hint is
+ * always respected even when it exceeds the backoff ceiling.
+ */
+double retryDelaySeconds(const ClientOptions &options, int retry_index,
+                         std::uint32_t retry_after_ms,
+                         std::uint64_t &jitter_state);
 
 /** Blocking strategy-server client.  Not thread-safe. */
 class StrategyClient
@@ -106,13 +220,16 @@ class StrategyClient
     /**
      * Send @p request and block for the response, retrying per the
      * options.  Returns only Status::Ok responses.
-     * @throws BusyError      every attempt was rejected (last cause)
-     * @throws NetError       every attempt failed in transport
-     * @throws DeadlineError  a deadline expired
-     * @throws RemoteError    the server answered Malformed /
-     *                        ChipMismatch / Internal (no retry)
-     * @throws WireError      the server's bytes failed to decode
-     *                        (no retry)
+     * @throws BusyError         every attempt was rejected (last cause)
+     * @throws NetError          every attempt failed in transport, or
+     *                           the shared retry budget ran dry
+     * @throws CircuitOpenError  the breaker is open and the cool-down
+     *                           has not elapsed (nothing was sent)
+     * @throws DeadlineError     a deadline expired
+     * @throws RemoteError       the server answered Malformed /
+     *                           ChipMismatch / Internal (no retry)
+     * @throws WireError         the server's bytes failed to decode
+     *                           (no retry)
      */
     WireResponse call(const WireRequest &request);
 
@@ -125,11 +242,26 @@ class StrategyClient
     /** Retries performed across all call()s (observability). */
     std::uint64_t retries() const { return retries_; }
 
+    /** connect(2) attempts, including failed ones (the breaker bounds
+     *  this against a dead server). */
+    std::uint64_t connectAttempts() const { return connect_attempts_; }
+
+    /** Times the breaker transitioned to Open. */
+    std::uint64_t breakerOpens() const { return breaker_opens_; }
+
+    BreakerState breakerState() const { return breaker_state_; }
+
   private:
-    WireResponse attemptOnce(const std::string &frame);
+    WireResponse attemptOnce(const WireRequest &request,
+                             const std::string &frame);
     void connectWithDeadline();
     void sendAll(const std::string &bytes, double deadline);
     WireResponse receiveResponse(double deadline);
+    /** @throws CircuitOpenError; transitions Open -> HalfOpen when the
+     *  cool-down has elapsed. */
+    void breakerAdmit();
+    void breakerRecordSuccess();
+    void breakerRecordFailure();
     double now() const;
 
     std::string host_;
@@ -138,6 +270,12 @@ class StrategyClient
     int fd_ = -1;
     std::uint64_t jitter_state_;
     std::uint64_t retries_ = 0;
+    std::uint64_t connect_attempts_ = 0;
+    std::uint64_t connections_established_ = 0;
+    BreakerState breaker_state_ = BreakerState::Closed;
+    int breaker_failures_ = 0;
+    double breaker_open_until_ = 0.0;
+    std::uint64_t breaker_opens_ = 0;
 };
 
 /**

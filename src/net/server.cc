@@ -101,6 +101,7 @@ StrategyServer::start()
     setNonBlocking(wake_write_fd_);
 
     phase_.store(0);
+    started_at_ = loopNow();
     loop_thread_ = std::thread([this] { eventLoop(); });
 }
 
@@ -157,12 +158,17 @@ StrategyServer::eventLoop()
     double flush_deadline = 0.0;
     while (true) {
         bool stopping = phase_.load() != 0;
-        if (stopping && listener_open) {
+        if (stopping && flush_deadline == 0.0)
+            flush_deadline = loopNow() + options_.shutdown_flush_seconds;
+        // The listener stays open through the drain window so load
+        // balancers probing HEALTH observe `draining` and eject the
+        // instance; new request frames are answered Busy
+        // (shutting-down) by the draining service.  It closes at the
+        // flush deadline so a slow peer cannot extend the window.
+        if (stopping && listener_open && loopNow() >= flush_deadline) {
             closeFd(listen_fd_);
             listener_open = false;
         }
-        if (stopping && flush_deadline == 0.0)
-            flush_deadline = loopNow() + options_.shutdown_flush_seconds;
 
         drainCompletions();
 
@@ -399,19 +405,26 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
         request = decodeRequest(payload, options_.limits);
     } catch (const WireError &error) {
         // The frame itself was intact (CRC passed), so the stream is
-        // still in sync: report and keep the connection.  Counters
-        // bump before the response flushes so a client that reads the
-        // answer never observes a stale count.
+        // still in sync: report and keep the connection — but only for
+        // a bounded streak, so a peer spewing valid-CRC garbage cannot
+        // hold a max_connections slot forever.  Counters bump before
+        // the response flushes so a client that reads the answer never
+        // observes a stale count.
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.responses_malformed;
         }
+        ++conn.payload_error_streak;
+        if (options_.max_payload_errors > 0
+            && conn.payload_error_streak >= options_.max_payload_errors)
+            conn.close_after_flush = true;
         WireResponse response;
         response.status = Status::Malformed;
         response.message = error.what();
         queueResponse(id, conn, response);
         return;
     }
+    conn.payload_error_streak = 0;
 
     if (encodeChipConfig(request.chip) != chip_block_) {
         {
@@ -432,6 +445,7 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
     service_request.seed = request.seed;
     service_request.use_cache = request.use_cache;
     service_request.allow_warm_start = request.allow_warm_start;
+    service_request.deadline_seconds = request.deadline_ms / 1000.0;
 
     // Counted before the submit attempt so stop() can never observe a
     // window where an admitted callback is neither counted nor done.
@@ -449,6 +463,12 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
                 wire.status = Status::Internal;
                 try {
                     std::rethrow_exception(error);
+                } catch (const serve::RequestExpired &exception) {
+                    // The caller's own deadline lapsed in our queue:
+                    // that is backpressure, not a server fault.
+                    wire.status = Status::Busy;
+                    wire.reject = serve::RejectReason::Expired;
+                    wire.message = exception.what();
                 } catch (const std::exception &exception) {
                     wire.message = exception.what();
                 } catch (...) {
@@ -484,10 +504,14 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
             }
             {
                 std::lock_guard<std::mutex> lock(stats_mutex_);
-                if (wire.status == Status::Ok)
+                if (wire.status == Status::Ok) {
                     ++stats_.responses_ok;
-                else
+                } else if (wire.status == Status::Busy) {
+                    ++stats_.responses_busy;
+                    ++stats_.responses_expired;
+                } else {
                     ++stats_.responses_internal;
+                }
             }
             {
                 std::lock_guard<std::mutex> lock(completion_mutex_);
@@ -518,6 +542,12 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
         WireResponse response;
         response.status = Status::Busy;
         response.reject = reject;
+        // Transient rejections hint when a retry is worth sending; a
+        // shutting-down server hints nothing (clients should fail
+        // over, not wait).
+        if (reject == serve::RejectReason::QueueFull
+            || reject == serve::RejectReason::Overloaded)
+            response.retry_after_ms = service_.retryAfterMs();
         response.message = std::string("net: admission rejected: ")
                            + serve::rejectReasonToken(reject);
         queueResponse(id, conn, response);
@@ -547,7 +577,11 @@ StrategyServer::serveAdminLine(Connection &conn)
     if (line == "STATS")
         conn.write_buffer += statsText();
     else if (line == "HEALTH")
-        conn.write_buffer += service_.draining() ? "draining\n" : "ok\n";
+        // phase_ covers the instant between stop() being requested and
+        // service_.drain() raising its flag.
+        conn.write_buffer +=
+            (phase_.load() != 0 || service_.draining()) ? "draining\n"
+                                                        : "ok\n";
     else
         conn.write_buffer += "error unknown-command\n";
     conn.read_buffer.clear();
@@ -633,13 +667,15 @@ StrategyServer::statsText() const
     ServerStats server = stats();
     serve::ServiceStats service = service_.stats();
     std::ostringstream os;
-    os << "connections_accepted " << server.connections_accepted << '\n'
+    os << "uptime_seconds " << (loopNow() - started_at_) << '\n'
+       << "connections_accepted " << server.connections_accepted << '\n'
        << "connections_refused " << server.connections_refused << '\n'
        << "connections_reaped " << server.connections_reaped << '\n'
        << "open_connections " << server.open_connections << '\n'
        << "frames_in " << server.frames_in << '\n'
        << "responses_ok " << server.responses_ok << '\n'
        << "responses_busy " << server.responses_busy << '\n'
+       << "responses_expired " << server.responses_expired << '\n'
        << "responses_malformed " << server.responses_malformed << '\n'
        << "responses_chip_mismatch " << server.responses_chip_mismatch
        << '\n'
@@ -651,6 +687,10 @@ StrategyServer::statsText() const
        << "service_warm_hits " << service.warm_hits << '\n'
        << "service_cold_misses " << service.cold_misses << '\n'
        << "service_rejected " << service.rejected << '\n'
+       << "service_expired_in_queue " << service.expired_in_queue << '\n'
+       << "service_shed_early " << service.shed_early << '\n'
+       << "service_ga_runs_past_deadline "
+       << service.ga_runs_past_deadline << '\n'
        << "service_generations_saved " << service.generations_saved
        << '\n'
        << "service_model_epoch " << service.model_epoch << '\n'
@@ -659,7 +699,10 @@ StrategyServer::statsText() const
        << "service_cache_size " << service.cache_size << '\n'
        << "service_draining " << (service.draining ? 1 : 0) << '\n'
        << "p50_service_seconds " << service.p50_service_seconds << '\n'
-       << "p95_service_seconds " << service.p95_service_seconds << '\n';
+       << "p95_service_seconds " << service.p95_service_seconds << '\n'
+       << "sojourn_ewma_seconds " << service.sojourn_ewma_seconds << '\n'
+       << "cold_ewma_seconds " << service.cold_ewma_seconds << '\n'
+       << "retry_after_hint_ms " << service_.retryAfterMs() << '\n';
     return os.str();
 }
 

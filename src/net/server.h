@@ -25,10 +25,12 @@
  * service latency), `HEALTH` returns `ok` or `draining` — then the
  * connection closes.
  *
- * stop() is graceful: the listener closes, buffered-but-unserved
- * frames are answered `Busy (shutting-down)`, the service drains
- * (every admitted request completes), every pending response is
- * flushed, and only then does the loop exit.
+ * stop() is graceful: buffered-but-unserved frames are answered
+ * `Busy (shutting-down)`, the service drains (every admitted request
+ * completes), every pending response is flushed, and only then does
+ * the loop exit.  The listener stays open through the drain window
+ * (bounded by shutdown_flush_seconds) so HEALTH probes can observe
+ * `draining`; it is closed by the time stop() returns.
  */
 
 #ifndef OPDVFS_NET_SERVER_H
@@ -67,8 +69,19 @@ struct ServerOptions
     double idle_timeout_seconds = 60.0;
     /** During stop(), connections whose responses still cannot be
      *  flushed this long after shutdown began are force-closed, so a
-     *  peer that stopped reading cannot hang graceful shutdown. */
+     *  peer that stopped reading cannot hang graceful shutdown.  The
+     *  listener also stays open this long into shutdown so admin
+     *  probes (HEALTH) can observe `draining` while the service
+     *  finishes in-flight work. */
     double shutdown_flush_seconds = 5.0;
+    /**
+     * Close a connection after this many *consecutive* payload errors
+     * (intact frames whose payload fails to decode; the count resets
+     * on a good frame).  Framing errors always close immediately; this
+     * bounds how long a peer spewing valid-CRC garbage can hold a
+     * max_connections slot.  0 = never close on payload errors.
+     */
+    std::size_t max_payload_errors = 3;
     /** Decoder caps applied to every inbound frame. */
     WireLimits limits;
 };
@@ -82,6 +95,9 @@ struct ServerStats
     std::uint64_t frames_in = 0;
     std::uint64_t responses_ok = 0;
     std::uint64_t responses_busy = 0;
+    /** Busy responses whose cause was an expired deadline (subset of
+     *  responses_busy). */
+    std::uint64_t responses_expired = 0;
     std::uint64_t responses_malformed = 0;
     std::uint64_t responses_chip_mismatch = 0;
     std::uint64_t responses_internal = 0;
@@ -135,6 +151,9 @@ class StrategyServer
         bool close_after_flush = false;
         /** Loop-clock timestamp of the last read or write. */
         double last_activity = 0.0;
+        /** Consecutive intact-frame payload decode failures; the
+         *  connection closes at ServerOptions::max_payload_errors. */
+        std::size_t payload_error_streak = 0;
     };
 
     void eventLoop();
@@ -161,6 +180,8 @@ class StrategyServer
     int wake_read_fd_ = -1;
     int wake_write_fd_ = -1;
     std::uint16_t bound_port_ = 0;
+    /** Loop-clock timestamp of start(); statsText reports uptime. */
+    double started_at_ = 0.0;
 
     std::thread loop_thread_;
     /** 0 running, 1 stop requested, 2 loop exited. */

@@ -263,6 +263,8 @@ readChip(ByteReader &reader)
 
 constexpr std::uint8_t kFlagUseCache = 0x01;
 constexpr std::uint8_t kFlagAllowWarmStart = 0x02;
+/** v2: a u32 deadline_ms follows the seed when set. */
+constexpr std::uint8_t kFlagHasDeadline = 0x04;
 
 } // namespace
 
@@ -326,9 +328,13 @@ encodeRequest(const WireRequest &request, const WireLimits &limits)
         flags |= kFlagUseCache;
     if (request.allow_warm_start)
         flags |= kFlagAllowWarmStart;
+    if (request.deadline_ms > 0)
+        flags |= kFlagHasDeadline;
     writer.u8(flags);
     writer.f64(request.perf_loss_target);
     writer.u64(request.seed);
+    if (request.deadline_ms > 0)
+        writer.u32(request.deadline_ms);
     writeChip(writer, request.chip);
 
     writer.u32(static_cast<std::uint32_t>(request.workload.opCount()));
@@ -352,7 +358,8 @@ decodeRequest(std::string_view payload, const WireLimits &limits)
     ByteReader reader(payload);
     WireRequest request;
     std::uint8_t flags = reader.u8();
-    if (flags & ~(kFlagUseCache | kFlagAllowWarmStart))
+    if (flags
+        & ~(kFlagUseCache | kFlagAllowWarmStart | kFlagHasDeadline))
         throw WireError("wire: unknown request flags");
     request.use_cache = (flags & kFlagUseCache) != 0;
     request.allow_warm_start = (flags & kFlagAllowWarmStart) != 0;
@@ -360,6 +367,14 @@ decodeRequest(std::string_view payload, const WireLimits &limits)
     if (request.perf_loss_target <= 0.0 || request.perf_loss_target >= 1.0)
         throw WireError("wire: perf_loss_target outside (0, 1)");
     request.seed = reader.u64();
+    if (flags & kFlagHasDeadline) {
+        request.deadline_ms = reader.u32();
+        // A present-but-zero deadline has no canonical encoding (the
+        // encoder omits the field for 0), so reject it to preserve
+        // encode(decode(p)) == p.
+        if (request.deadline_ms == 0)
+            throw WireError("wire: deadline flag set with zero budget");
+    }
     request.chip = readChip(reader);
 
     std::size_t op_count = reader.u32();
@@ -436,11 +451,16 @@ encodeResponse(const WireResponse &response, const WireLimits &limits)
         != (response.reject != serve::RejectReason::None))
         throw WireError("wire: Busy responses (and only those) carry a "
                         "reject cause");
+    if (response.status != Status::Busy && response.retry_after_ms != 0)
+        throw WireError("wire: retry_after_ms is only carried by Busy "
+                        "responses");
     ByteWriter writer;
     writer.u8(static_cast<std::uint8_t>(response.status));
     writer.u8(static_cast<std::uint8_t>(response.reject));
     writer.str16(response.message, limits.max_message_bytes,
                  "response message");
+    if (response.status == Status::Busy)
+        writer.u32(response.retry_after_ms);
     if (response.status != Status::Ok)
         return writer.take();
 
@@ -473,7 +493,7 @@ decodeResponse(std::string_view payload, const WireLimits &limits)
     response.status = static_cast<Status>(status);
     std::uint8_t reject = reader.u8();
     if (reject > static_cast<std::uint8_t>(
-            serve::RejectReason::ShuttingDown))
+            serve::RejectReason::Overloaded))
         throw WireError("wire: unknown reject reason");
     response.reject = static_cast<serve::RejectReason>(reject);
     if ((response.status == Status::Busy)
@@ -482,6 +502,8 @@ decodeResponse(std::string_view payload, const WireLimits &limits)
                         "reject cause");
     response.message =
         reader.str16(limits.max_message_bytes, "response message");
+    if (response.status == Status::Busy)
+        response.retry_after_ms = reader.u32();
     if (response.status != Status::Ok) {
         reader.expectEnd("response payload");
         return response;

@@ -56,8 +56,14 @@
 
 namespace opdvfs::net {
 
-/** Protocol version this build speaks. */
-inline constexpr std::uint8_t kWireVersion = 1;
+/**
+ * Protocol version this build speaks.
+ *
+ * v2 added the optional request deadline (flag-gated `deadline_ms`
+ * after the seed) and the mandatory `retry_after_ms` hint on Busy
+ * responses.
+ */
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /** Frame header size in bytes (magic..CRC). */
 inline constexpr std::size_t kFrameHeaderBytes = 16;
@@ -138,6 +144,14 @@ struct WireRequest
     std::uint64_t seed = 1;
     bool use_cache = true;
     bool allow_warm_start = true;
+    /**
+     * Remaining caller budget in milliseconds; 0 = no deadline (the
+     * field is then absent from the wire, guarded by a flag bit, so
+     * deadline-less requests keep the v1 payload shape).  The server
+     * refuses to start a search once the budget has elapsed and
+     * answers Busy/Expired instead.
+     */
+    std::uint32_t deadline_ms = 0;
 };
 
 /** One response as it travels over the wire. */
@@ -146,6 +160,14 @@ struct WireResponse
     Status status = Status::Ok;
     /** Structured cause for Status::Busy; None otherwise. */
     serve::RejectReason reject = serve::RejectReason::None;
+    /**
+     * Backpressure hint carried by every Busy response (and only
+     * those): the server's estimate of when a retry is worth sending.
+     * 0 = no estimate.  Clients must wait at least this long before
+     * retrying — the fleet-wide contract that keeps a recovering
+     * server from being re-stormed.
+     */
+    std::uint32_t retry_after_ms = 0;
     /** Human-readable context for non-Ok statuses. */
     std::string message;
 

@@ -41,6 +41,8 @@ rejectReasonToken(RejectReason reason)
     case RejectReason::None: return "none";
     case RejectReason::QueueFull: return "queue-full";
     case RejectReason::ShuttingDown: return "shutting-down";
+    case RejectReason::Expired: return "expired";
+    case RejectReason::Overloaded: return "overloaded";
     }
     return "unknown";
 }
@@ -112,38 +114,78 @@ StrategyService::submit(StrategyRequest request)
 Admission
 StrategyService::trySubmit(StrategyRequest request)
 {
-    {
-        std::lock_guard<std::mutex> lock(admission_mutex_);
-        if (draining_) {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
-            return {std::nullopt, RejectReason::ShuttingDown};
-        }
-        if (admitted_ >= options_.admission_capacity) {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
-            return {std::nullopt, RejectReason::QueueFull};
-        }
-        ++admitted_;
-    }
+    RejectReason reject = admitOne(request);
+    if (reject != RejectReason::None)
+        return {std::nullopt, reject};
     return {dispatch(std::move(request)), RejectReason::None};
 }
 
 RejectReason
 StrategyService::trySubmit(StrategyRequest request, CompletionFn done)
 {
-    {
-        std::lock_guard<std::mutex> lock(admission_mutex_);
-        if (draining_) {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
-            return RejectReason::ShuttingDown;
-        }
-        if (admitted_ >= options_.admission_capacity) {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
-            return RejectReason::QueueFull;
-        }
-        ++admitted_;
-    }
+    RejectReason reject = admitOne(request);
+    if (reject != RejectReason::None)
+        return reject;
     dispatchWith(std::move(request), std::move(done));
     return RejectReason::None;
+}
+
+RejectReason
+StrategyService::admitOne(const StrategyRequest &request)
+{
+    // The shed decision hinges on a fingerprint probe that must not
+    // run under the admission lock (it hashes the whole op stream), so
+    // evaluate it first.  The EWMA signals it reads are monotonic-ish
+    // over the microseconds until the lock is taken; a slightly stale
+    // read sheds one request early or late, never incorrectly forever.
+    bool shed_candidate = shouldShedCold();
+    bool likely_hit = false;
+    if (shed_candidate && request.use_cache) {
+        Fingerprint probe =
+            fingerprintRequest(request.workload, options_.pipeline.chip,
+                               request.perf_loss_target, request.seed);
+        likely_hit = cache_.containsFresh(
+            probe.digest, model_epoch_.load(std::memory_order_acquire));
+    }
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    if (draining_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return RejectReason::ShuttingDown;
+    }
+    if (admitted_ >= options_.admission_capacity) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return RejectReason::QueueFull;
+    }
+    if (shed_candidate && !likely_hit) {
+        shed_early_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return RejectReason::Overloaded;
+    }
+    ++admitted_;
+    return RejectReason::None;
+}
+
+bool
+StrategyService::shouldShedCold() const
+{
+    if (options_.shed_sojourn_factor <= 0.0)
+        return false;
+    // No backlog means new work starts immediately; sojourn history is
+    // then a memory of a burst that already cleared.
+    if (pool_.queueDepth() == 0)
+        return false;
+    double sojourn;
+    double cold;
+    {
+        std::lock_guard<std::mutex> lock(overload_mutex_);
+        sojourn = sojourn_ewma_;
+        cold = cold_ewma_;
+    }
+    if (cold <= 0.0)
+        cold = options_.assumed_cold_seconds;
+    double target = std::max(options_.min_shed_sojourn_seconds,
+                             options_.shed_sojourn_factor * cold);
+    return sojourn > target;
 }
 
 std::future<StrategyResponse>
@@ -165,14 +207,33 @@ StrategyService::dispatch(StrategyRequest request)
 void
 StrategyService::dispatchWith(StrategyRequest request, CompletionFn done)
 {
+    auto admitted_at = std::chrono::steady_clock::now();
+    auto expires_at = std::chrono::steady_clock::time_point::max();
+    if (std::isfinite(request.deadline_seconds)
+        && request.deadline_seconds > 0.0) {
+        expires_at =
+            admitted_at
+            + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(request.deadline_seconds));
+    }
     auto shared_request =
         std::make_shared<StrategyRequest>(std::move(request));
     auto shared_done = std::make_shared<CompletionFn>(std::move(done));
-    pool_.submit([this, shared_request, shared_done] {
+    pool_.submit([this, shared_request, shared_done, admitted_at,
+                  expires_at] {
+        recordSojourn(elapsedSeconds(admitted_at));
         StrategyResponse response;
         std::exception_ptr error;
-        try {
-            response = process(*shared_request);
+        if (options_.enforce_deadlines
+            && std::chrono::steady_clock::now() >= expires_at) {
+            // The caller's budget is gone before any work started:
+            // refuse outright rather than burn a GA run nobody reads.
+            expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+            error = std::make_exception_ptr(
+                RequestExpired("StrategyService: deadline expired while "
+                               "queued"));
+        } else try {
+            response = process(*shared_request, expires_at);
         } catch (...) {
             error = std::current_exception();
         }
@@ -188,7 +249,8 @@ StrategyService::dispatchWith(StrategyRequest request, CompletionFn done)
 }
 
 StrategyResponse
-StrategyService::process(const StrategyRequest &request)
+StrategyService::process(const StrategyRequest &request,
+                         std::chrono::steady_clock::time_point expires_at)
 {
     auto started = std::chrono::steady_clock::now();
     requests_.fetch_add(1, std::memory_order_relaxed);
@@ -231,6 +293,17 @@ StrategyService::process(const StrategyRequest &request)
             stale_donor = std::move(*hit);
         }
 
+        // The free path (exact hit) is behind us: anything further
+        // costs real search time or occupies this worker waiting on a
+        // leader, so an expired request stops here — before it can
+        // register as a coalesce follower or leader.
+        if (options_.enforce_deadlines
+            && std::chrono::steady_clock::now() >= expires_at) {
+            expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+            throw RequestExpired("StrategyService: deadline expired "
+                                 "before the search started");
+        }
+
         // --- coalesce onto an identical in-flight computation --------------
         std::shared_future<StrategyResponse> leader;
         bool is_leader = false;
@@ -270,7 +343,7 @@ StrategyService::process(const StrategyRequest &request)
         // --- leader: compute, publish, then cache --------------------------
         StrategyResponse response;
         try {
-            response = computeFresh(request, fingerprint,
+            response = computeFresh(request, fingerprint, expires_at,
                                     stale_donor ? &*stale_donor : nullptr);
         } catch (...) {
             own_promise.set_exception(std::current_exception());
@@ -294,7 +367,8 @@ StrategyService::process(const StrategyRequest &request)
         return response;
     }
 
-    StrategyResponse response = computeFresh(request, fingerprint);
+    StrategyResponse response = computeFresh(request, fingerprint,
+                                             expires_at);
     response.service_seconds = elapsedSeconds(started);
     recordLatency(response.service_seconds);
     return response;
@@ -303,6 +377,8 @@ StrategyService::process(const StrategyRequest &request)
 StrategyResponse
 StrategyService::computeFresh(const StrategyRequest &request,
                               const Fingerprint &fingerprint,
+                              std::chrono::steady_clock::time_point
+                                  expires_at,
                               const CacheEntry *stale_donor)
 {
     StrategyResponse response;
@@ -348,8 +424,22 @@ StrategyService::computeFresh(const StrategyRequest &request,
         }
     }
 
+    // Last line of defence directly before the GA: with deadlines
+    // enforced no search ever starts for an expired caller; with
+    // enforcement off the tripwire counter records the waste instead.
+    auto search_started = std::chrono::steady_clock::now();
+    if (search_started >= expires_at) {
+        if (options_.enforce_deadlines) {
+            expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+            throw RequestExpired("StrategyService: deadline expired "
+                                 "before the GA started");
+        }
+        ga_runs_past_deadline_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     dvfs::EnergyPipeline pipeline(pipeline_options);
     dvfs::PipelineResult result = pipeline.optimize(request.workload);
+    double search_seconds = elapsedSeconds(search_started);
 
     response.strategy = result.strategy();
     response.ga = std::move(result.ga);
@@ -373,8 +463,51 @@ StrategyService::computeFresh(const StrategyRequest &request,
             std::memory_order_relaxed);
     } else {
         cold_misses_.fetch_add(1, std::memory_order_relaxed);
+        recordColdLatency(search_seconds);
     }
     return response;
+}
+
+void
+StrategyService::recordSojourn(double seconds)
+{
+    std::lock_guard<std::mutex> lock(overload_mutex_);
+    sojourn_ewma_ = 0.8 * sojourn_ewma_ + 0.2 * seconds;
+}
+
+void
+StrategyService::recordColdLatency(double seconds)
+{
+    std::lock_guard<std::mutex> lock(overload_mutex_);
+    cold_ewma_ =
+        cold_ewma_ <= 0.0 ? seconds : 0.8 * cold_ewma_ + 0.2 * seconds;
+}
+
+double
+StrategyService::coldEwmaOrPrior() const
+{
+    std::lock_guard<std::mutex> lock(overload_mutex_);
+    return cold_ewma_ > 0.0 ? cold_ewma_ : options_.assumed_cold_seconds;
+}
+
+std::uint32_t
+StrategyService::retryAfterMs() const
+{
+    double cold = coldEwmaOrPrior();
+    std::size_t admitted;
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        admitted = admitted_;
+    }
+    std::size_t workers = options_.workers == 0 ? 1 : options_.workers;
+    // Occupancy expressed in cold-search times per worker: roughly how
+    // long until the current backlog has drained enough to admit one
+    // more request.
+    double wait = cold
+                  * (static_cast<double>(admitted + 1)
+                     / static_cast<double>(workers));
+    wait = std::min(std::max(wait, 0.001), 30.0);
+    return static_cast<std::uint32_t>(std::lround(wait * 1000.0));
 }
 
 std::uint64_t
@@ -413,6 +546,11 @@ StrategyService::stats() const
     out.warm_hits = warm_hits_.load(std::memory_order_relaxed);
     out.cold_misses = cold_misses_.load(std::memory_order_relaxed);
     out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.expired_in_queue =
+        expired_in_queue_.load(std::memory_order_relaxed);
+    out.shed_early = shed_early_.load(std::memory_order_relaxed);
+    out.ga_runs_past_deadline =
+        ga_runs_past_deadline_.load(std::memory_order_relaxed);
     out.generations_saved =
         generations_saved_.load(std::memory_order_relaxed);
     out.stale_demotions =
@@ -425,6 +563,11 @@ StrategyService::stats() const
         out.draining = draining_;
     }
     out.cache_size = cache_.size();
+    {
+        std::lock_guard<std::mutex> lock(overload_mutex_);
+        out.sojourn_ewma_seconds = sojourn_ewma_;
+        out.cold_ewma_seconds = cold_ewma_;
+    }
     {
         std::lock_guard<std::mutex> lock(latency_mutex_);
         if (!latencies_.empty()) {

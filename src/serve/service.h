@@ -28,8 +28,10 @@
 #define OPDVFS_SERVE_SERVICE_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <stdexcept>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -74,10 +76,31 @@ enum class RejectReason : std::uint8_t
     QueueFull = 1,
     /** drain() ran: the service no longer admits work. */
     ShuttingDown = 2,
+    /** The request's propagated deadline passed before a worker could
+     *  start it; retrying with the same budget is futile. */
+    Expired = 3,
+    /** Shed pre-queue: queue sojourn exceeds the overload target and
+     *  the request would miss the cache (transient; retry after the
+     *  hinted delay). */
+    Overloaded = 4,
 };
 
-/** Whitespace-free token ("none", "queue-full", "shutting-down"). */
+/** Whitespace-free token ("none", "queue-full", "shutting-down",
+ *  "expired", "overloaded"). */
 const char *rejectReasonToken(RejectReason reason);
+
+/**
+ * Thrown through the completion path (future or CompletionFn error
+ * slot) when an admitted request's deadline expired before any search
+ * ran: the caller has already given up, so no GA budget is spent and
+ * no answer exists.  The network front end maps this to a Busy
+ * response with RejectReason::Expired.
+ */
+class RequestExpired : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Service configuration. */
 struct ServiceOptions
@@ -100,6 +123,26 @@ struct ServiceOptions
     double warm_generation_fraction = 1.0 / 3.0;
     /** Score GA populations on the pool (off: serial fitness). */
     bool parallel_fitness = true;
+
+    // --- overload control (CoDel-style sojourn admission) ------------
+    /**
+     * Enforce propagated deadlines: expired requests are refused at
+     * worker pickup and immediately before the GA would start.  Off,
+     * deadlines are still measured (`ga_runs_past_deadline`) but never
+     * enforced — the bench's control arm.
+     */
+    bool enforce_deadlines = true;
+    /**
+     * Shed a new cold request when the queue-sojourn EWMA exceeds
+     * `shed_sojourn_factor` x the cold-latency EWMA (likely cache hits
+     * are always admitted: the fingerprint probe is cheap and runs
+     * pre-queue).  0 disables shedding.
+     */
+    double shed_sojourn_factor = 0.5;
+    /** Sojourn floor below which shedding never triggers. */
+    double min_shed_sojourn_seconds = 0.02;
+    /** Cold-latency prior used until the first cold search completes. */
+    double assumed_cold_seconds = 0.25;
 };
 
 /** One optimisation request. */
@@ -114,6 +157,15 @@ struct StrategyRequest
     bool use_cache = true;
     /** Permit warm-starting from similar cached strategies. */
     bool allow_warm_start = true;
+    /**
+     * Remaining caller budget, measured from admission; 0 = no
+     * deadline.  A request whose budget elapses before any search ran
+     * completes with RequestExpired instead of burning GA time for an
+     * abandoned caller.  Exact cache hits are still served past the
+     * deadline — they are effectively free and the response may yet
+     * arrive in time.
+     */
+    double deadline_seconds = 0.0;
 };
 
 /** One optimisation response. */
@@ -155,6 +207,16 @@ struct ServiceStats
     std::uint64_t warm_hits = 0;
     std::uint64_t cold_misses = 0;
     std::uint64_t rejected = 0;
+    /** Admitted requests refused because their deadline passed before
+     *  any search ran (subset of neither `rejected` nor `requests`). */
+    std::uint64_t expired_in_queue = 0;
+    /** Requests shed pre-queue by sojourn-based admission (subset of
+     *  `rejected`). */
+    std::uint64_t shed_early = 0;
+    /** GA searches that started after their request's deadline had
+     *  already passed.  With `enforce_deadlines` this stays 0 — the
+     *  bench's tripwire for wasted search budget. */
+    std::uint64_t ga_runs_past_deadline = 0;
     std::uint64_t generations_saved = 0;
     /** Exact hits demoted to warm-start donors by an epoch advance. */
     std::uint64_t stale_demotions = 0;
@@ -167,6 +229,10 @@ struct ServiceStats
     std::size_t cache_size = 0;
     double p50_service_seconds = 0.0;
     double p95_service_seconds = 0.0;
+    /** EWMA of admission-to-worker-pickup wait (the CoDel signal). */
+    double sojourn_ewma_seconds = 0.0;
+    /** EWMA of cold-search latency (0 until a cold search completes). */
+    double cold_ewma_seconds = 0.0;
     /** drain() ran: admission is closed for good. */
     bool draining = false;
 };
@@ -227,6 +293,14 @@ class StrategyService
     ServiceStats stats() const;
 
     /**
+     * Backpressure hint for Busy responses: the estimated wait, in
+     * milliseconds, before a retried request is likely to be admitted
+     * and served — current occupancy expressed in units of cold-search
+     * time per worker, clamped to [1 ms, 30 s].
+     */
+    std::uint32_t retryAfterMs() const;
+
+    /**
      * Advance the model epoch (a drift recalibration changed the
      * models every cached strategy was searched on).  Cached entries
      * from earlier epochs stop being served as exact hits: the next
@@ -245,15 +319,33 @@ class StrategyService
     std::future<StrategyResponse> dispatch(StrategyRequest request);
     /** Enqueue the admitted request; @p done fires exactly once. */
     void dispatchWith(StrategyRequest request, CompletionFn done);
-    StrategyResponse process(const StrategyRequest &request);
+    /** Locked admission check shared by every submit path; increments
+     *  `admitted_` on None.  @p request drives the shed probe. */
+    RejectReason admitOne(const StrategyRequest &request);
+    /** True when sojourn-based shedding would refuse a cold request
+     *  right now (queue backlogged and sojourn EWMA above target). */
+    bool shouldShedCold() const;
+    void recordSojourn(double seconds);
+    void recordColdLatency(double seconds);
+    /** Cold EWMA, falling back to the configured prior when unset. */
+    double coldEwmaOrPrior() const;
+    /**
+     * @p expires_at: absolute steady-clock expiry, or
+     * `time_point::max()` for no deadline.
+     */
+    StrategyResponse
+    process(const StrategyRequest &request,
+            std::chrono::steady_clock::time_point expires_at);
     /**
      * Full pipeline run; @p stale_donor, when set, is a demoted
      * same-digest entry from an earlier model epoch used as a forced
      * warm-start donor (similarity 1.0 by construction).
      */
-    StrategyResponse computeFresh(const StrategyRequest &request,
-                                  const Fingerprint &fingerprint,
-                                  const CacheEntry *stale_donor = nullptr);
+    StrategyResponse
+    computeFresh(const StrategyRequest &request,
+                 const Fingerprint &fingerprint,
+                 std::chrono::steady_clock::time_point expires_at,
+                 const CacheEntry *stale_donor = nullptr);
     void recordLatency(double seconds);
 
     ServiceOptions options_;
@@ -278,11 +370,20 @@ class StrategyService
     std::atomic<std::uint64_t> warm_hits_{0};
     std::atomic<std::uint64_t> cold_misses_{0};
     std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> expired_in_queue_{0};
+    std::atomic<std::uint64_t> shed_early_{0};
+    std::atomic<std::uint64_t> ga_runs_past_deadline_{0};
     std::atomic<std::uint64_t> generations_saved_{0};
     std::atomic<std::uint64_t> stale_demotions_{0};
     std::atomic<std::uint64_t> model_epoch_{0};
     mutable std::mutex latency_mutex_;
     std::vector<double> latencies_;
+
+    // Overload signals (EWMAs; one mutex, touched O(1) per request).
+    mutable std::mutex overload_mutex_;
+    double sojourn_ewma_ = 0.0;
+    /** 0 until the first cold search completes (prior applies). */
+    double cold_ewma_ = 0.0;
 
     /** Last member: destroyed (joined) first, while the rest live. */
     ThreadPool pool_;

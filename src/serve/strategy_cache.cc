@@ -39,6 +39,18 @@ StrategyCache::findExact(std::uint64_t digest)
     return *found->second;
 }
 
+bool
+StrategyCache::containsFresh(std::uint64_t digest,
+                             std::uint64_t model_epoch)
+{
+    Shard &shard = shardFor(digest);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto found = shard.by_digest.find(digest);
+    if (found == shard.by_digest.end())
+        return false;
+    return found->second->fingerprint.model_epoch == model_epoch;
+}
+
 std::optional<SimilarHit>
 StrategyCache::findSimilar(const Fingerprint &probe, double min_similarity,
                            std::optional<double> loss_target)

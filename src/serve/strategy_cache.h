@@ -72,6 +72,14 @@ class StrategyCache
     std::optional<CacheEntry> findExact(std::uint64_t digest);
 
     /**
+     * Cheap admission-control probe: is a digest cached at this model
+     * epoch?  Copies nothing and does not refresh recency — a probe
+     * is a prediction, not a use; the hit is only consumed if the
+     * request is admitted and findExact runs on a worker.
+     */
+    bool containsFresh(std::uint64_t digest, std::uint64_t model_epoch);
+
+    /**
      * Best entry by feature similarity to @p probe, if any reaches
      * @p min_similarity.  Does not refresh recency (a donor is not a
      * use of the entry's own workload).  When @p loss_target is set,

@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "models/transformer.h"
 #include "net/client.h"
@@ -156,6 +157,9 @@ TEST(NetServer, BusyRejectionCarriesTheStructuredCause)
         FAIL() << "expected BusyError";
     } catch (const BusyError &busy) {
         EXPECT_EQ(busy.reason(), serve::RejectReason::QueueFull);
+        // Queue-full rejections always carry a backpressure hint (the
+        // service clamps its estimate to at least 1 ms).
+        EXPECT_GE(busy.retry_after_ms(), 1u);
     }
     EXPECT_GE(server.stats().responses_busy, 1u);
 
@@ -300,6 +304,18 @@ TEST(NetServer, AdminEndpointServesHealthAndStats)
     EXPECT_NE(stats.find("service_requests 1\n"), std::string::npos);
     EXPECT_NE(stats.find("p95_service_seconds "), std::string::npos);
     EXPECT_NE(stats.find("service_draining 0\n"), std::string::npos);
+    // Overload-control observability: uptime, the deadline/shedding
+    // counters and the live EWMAs/hint all surface through STATS.
+    EXPECT_NE(stats.find("uptime_seconds "), std::string::npos);
+    EXPECT_NE(stats.find("responses_expired 0\n"), std::string::npos);
+    EXPECT_NE(stats.find("service_expired_in_queue 0\n"),
+              std::string::npos);
+    EXPECT_NE(stats.find("service_shed_early 0\n"), std::string::npos);
+    EXPECT_NE(stats.find("service_ga_runs_past_deadline 0\n"),
+              std::string::npos);
+    EXPECT_NE(stats.find("sojourn_ewma_seconds "), std::string::npos);
+    EXPECT_NE(stats.find("cold_ewma_seconds "), std::string::npos);
+    EXPECT_NE(stats.find("retry_after_hint_ms "), std::string::npos);
 
     EXPECT_EQ(adminQuery("127.0.0.1", server.port(), "NOPE"),
               "error unknown-command\n");
@@ -323,6 +339,187 @@ connectLoopback(std::uint16_t port)
         return -1;
     }
     return fd;
+}
+
+/** Read until @p count responses decoded or EOF; sets @p eof. */
+std::vector<WireResponse>
+readResponses(int fd, std::size_t count, bool *eof)
+{
+    std::vector<WireResponse> responses;
+    std::string buffer;
+    char chunk[4096];
+    *eof = false;
+    while (responses.size() < count) {
+        ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0) {
+            *eof = true;
+            return responses;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        for (;;) {
+            std::size_t consumed = 0;
+            auto frame = peelFrame(buffer, &consumed);
+            if (!frame)
+                break;
+            responses.push_back(decodeResponse(frame->payload));
+            buffer.erase(0, consumed);
+        }
+    }
+    return responses;
+}
+
+// A peer spewing intact frames whose payloads never decode cannot
+// hold a connection slot forever: after max_payload_errors
+// *consecutive* payload errors the connection is answered then
+// closed — but one good frame resets the streak.
+TEST(NetServer, PayloadErrorStreakClosesTheConnection)
+{
+    serve::StrategyService service(fastOptions(1));
+    ServerOptions server_options;
+    server_options.max_payload_errors = 2;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    // Valid framing (magic, version, CRC) around a garbage payload:
+    // a payload error, not a framing error.
+    std::string bad = frameMessage(MsgType::Request, "not-a-request");
+    // Decodes cleanly but for the wrong chip: a "good" frame that
+    // resets the streak without costing a GA run.
+    WireRequest mismatched = testWireRequest(64, 23);
+    mismatched.chip.uncore_power.idle_watts += 1.0;
+    std::string good = frameRequest(mismatched);
+
+    // Two consecutive bad payloads: both answered, then closed.
+    int fd = connectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    std::string burst = bad + bad;
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+    bool eof = false;
+    std::vector<WireResponse> responses = readResponses(fd, 3, &eof);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].status, Status::Malformed);
+    EXPECT_EQ(responses[1].status, Status::Malformed);
+    EXPECT_TRUE(eof);
+    ::close(fd);
+
+    // A good frame between bad ones resets the count: bad, good,
+    // bad, bad is answered in full before the close.
+    fd = connectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    burst = bad + good + bad + bad;
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+    responses = readResponses(fd, 5, &eof);
+    ASSERT_EQ(responses.size(), 4u);
+    EXPECT_EQ(responses[0].status, Status::Malformed);
+    EXPECT_EQ(responses[1].status, Status::ChipMismatch);
+    EXPECT_EQ(responses[2].status, Status::Malformed);
+    EXPECT_EQ(responses[3].status, Status::Malformed);
+    EXPECT_TRUE(eof);
+    ::close(fd);
+    server.stop();
+}
+
+// While stop() drains in-flight work the listener stays open, so a
+// load balancer probing HEALTH sees `draining` instead of a refused
+// connection — and can fail the instance over gracefully.
+TEST(NetServer, HealthReportsDrainingWhileStopDrains)
+{
+    serve::ServiceOptions options = fastOptions(1);
+    serve::StrategyService service(options);
+    StrategyServer server(service, {});
+    server.start();
+
+    // The slow request must be server-admitted (not submitted straight
+    // to the service): stop() only waits out completions the server
+    // itself owes, so a direct submit would drain instantly.
+    WireRequest slow = testWireRequest(512, 47);
+    slow.use_cache = false;
+    std::thread requester([&] {
+        StrategyClient client("127.0.0.1", server.port());
+        try {
+            client.call(slow);
+        } catch (const std::exception &) {
+            // The stop() below may cut the response path; the drain
+            // behaviour is what this test observes.
+        }
+    });
+    for (int spin = 0; spin < 500 && service.stats().in_flight == 0;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GE(service.stats().in_flight, 1u);
+
+    EXPECT_EQ(adminQuery("127.0.0.1", server.port(), "HEALTH"), "ok\n");
+
+    std::thread stopper([&] { server.stop(); });
+    bool saw_draining = false;
+    for (int spin = 0; spin < 200 && !saw_draining; ++spin) {
+        try {
+            saw_draining = adminQuery("127.0.0.1", server.port(),
+                                      "HEALTH", 0.5)
+                           == "draining\n";
+        } catch (const std::exception &) {
+            break; // listener already closed: the drain beat us
+        }
+    }
+    stopper.join();
+    requester.join();
+    EXPECT_TRUE(saw_draining);
+}
+
+// Deadline propagation end to end: the client stamps its remaining
+// budget into the frame, and a request whose budget expires while
+// queued behind a busy worker is answered Busy/Expired without the
+// GA ever running for it.
+TEST(NetServer, QueuedRequestPastItsDeadlineExpiresWithoutAGaRun)
+{
+    serve::ServiceOptions options = fastOptions(1);
+    serve::StrategyService service(options);
+    StrategyServer server(service, {});
+    server.start();
+
+    // Hold the single worker well past the client's budget: one cold
+    // search lasts a couple hundred milliseconds, so a wall of four
+    // keeps the worker busy for ~1 s against a 0.2 s deadline.
+    std::vector<serve::Admission> wall;
+    for (std::uint64_t seed = 41; seed < 45; ++seed) {
+        serve::StrategyRequest occupier;
+        occupier.workload = testWorkload(768);
+        occupier.use_cache = false;
+        occupier.seed = seed;
+        wall.push_back(service.trySubmit(occupier));
+        ASSERT_TRUE(wall.back().accepted());
+    }
+
+    ClientOptions one_shot;
+    one_shot.max_attempts = 1;
+    one_shot.request_timeout_seconds = 0.2;
+    StrategyClient client("127.0.0.1", server.port(), one_shot);
+    try {
+        client.call(testWireRequest(256, 31));
+        FAIL() << "expected the deadline to fire";
+    } catch (const DeadlineError &) {
+        // The usual outcome: the caller gives up first; the server
+        // must still expire the queued work instead of running it.
+    } catch (const BusyError &busy) {
+        // The server's expiry answer can also win the race.
+        EXPECT_EQ(busy.reason(), serve::RejectReason::Expired);
+    }
+    for (serve::Admission &admitted : wall)
+        admitted.future->get();
+
+    for (int spin = 0;
+         spin < 500 && service.stats().expired_in_queue == 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.expired_in_queue, 1u);
+    EXPECT_EQ(stats.ga_runs_past_deadline, 0u);
+    for (int spin = 0;
+         spin < 100 && server.stats().responses_expired == 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(server.stats().responses_expired, 1u);
+    server.stop();
 }
 
 // Regression: the service releases its admission slot before the

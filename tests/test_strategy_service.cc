@@ -427,5 +427,122 @@ TEST(StrategyService, ResponseStrategyRoundTripsWithMeta)
     EXPECT_EQ(loaded.mhz_per_stage, response.strategy.mhz_per_stage);
 }
 
+TEST(StrategyService, QueuedRequestPastItsDeadlineIsRefused)
+{
+    StrategyService service(fastOptions(1));
+
+    // Hold the single worker with a slow cold search.
+    StrategyRequest occupier;
+    occupier.workload = testWorkload(512);
+    occupier.use_cache = false;
+    Admission admitted = service.trySubmit(occupier);
+    ASSERT_TRUE(admitted.accepted());
+
+    // A 50 ms budget expires long before the worker frees: the
+    // service must refuse the search rather than burn a GA run the
+    // caller stopped waiting for.
+    StrategyRequest doomed;
+    doomed.workload = testWorkload(256);
+    doomed.deadline_seconds = 0.05;
+    std::future<StrategyResponse> future = service.submit(doomed);
+    EXPECT_THROW(future.get(), RequestExpired);
+    admitted.future->get();
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.expired_in_queue, 1u);
+    EXPECT_EQ(stats.ga_runs_past_deadline, 0u);
+}
+
+// The bench's control arm: with enforcement off an expired request
+// still runs, and the tripwire counter records the waste instead.
+TEST(StrategyService, EnforcementOffRunsExpiredWorkAndCountsIt)
+{
+    ServiceOptions options = fastOptions(1);
+    options.enforce_deadlines = false;
+    StrategyService service(options);
+
+    StrategyRequest occupier;
+    occupier.workload = testWorkload(512);
+    occupier.use_cache = false;
+    Admission admitted = service.trySubmit(occupier);
+    ASSERT_TRUE(admitted.accepted());
+
+    StrategyRequest doomed;
+    doomed.workload = testWorkload(256);
+    doomed.deadline_seconds = 0.05;
+    doomed.use_cache = false;
+    StrategyResponse served = service.submit(doomed).get();
+    EXPECT_EQ(served.provenance, Provenance::Cold);
+    admitted.future->get();
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.expired_in_queue, 0u);
+    EXPECT_EQ(stats.ga_runs_past_deadline, 1u);
+}
+
+TEST(StrategyService, ShedsLikelyColdWorkUnderSustainedQueueing)
+{
+    ServiceOptions options = fastOptions(1);
+    // Shrink the sojourn target so one real queue wait is enough to
+    // trip the shedder deterministically: a single wait of one cold
+    // duration D raises the EWMA to ~0.2*D, so the target must sit
+    // well below that relative to the cold EWMA (~D).
+    options.min_shed_sojourn_seconds = 0.001;
+    options.assumed_cold_seconds = 0.001;
+    options.shed_sojourn_factor = 0.05;
+    StrategyService service(options);
+
+    // Pre-warm one fingerprint: the likely-hit probe must let this
+    // request through the shedder later.
+    StrategyRequest warm;
+    warm.workload = testWorkload(256);
+    service.submit(warm).get();
+
+    // A runs, B waits A's whole duration: when the worker picks B up
+    // the sojourn EWMA rises far above the 1 ms target.
+    StrategyRequest slow_a;
+    slow_a.workload = testWorkload(512);
+    slow_a.use_cache = false;
+    slow_a.seed = 101;
+    Admission a = service.trySubmit(slow_a);
+    ASSERT_TRUE(a.accepted());
+    StrategyRequest slow_b = slow_a;
+    slow_b.seed = 102;
+    Admission b = service.trySubmit(slow_b);
+    ASSERT_TRUE(b.accepted());
+    for (int spin = 0;
+         spin < 1000 && service.stats().sojourn_ewma_seconds < 0.005;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_GT(service.stats().sojourn_ewma_seconds, 0.005);
+
+    // While slow_b's search occupies the only worker its parallelFor
+    // helpers sit in the shared pool queue, so the shedder sees a
+    // backlog for the whole run.  Wait for it to appear (the first
+    // generation enqueues within the run's opening milliseconds)...
+    for (int spin = 0; spin < 1000 && service.stats().queue_depth == 0;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GT(service.stats().queue_depth, 0u);
+
+    // ...then a cold request is shed early, while the likely cache
+    // hit is still admitted through the same gate.
+    StrategyRequest cold = slow_a;
+    cold.seed = 104;
+    Admission shed = service.trySubmit(cold);
+    EXPECT_FALSE(shed.accepted());
+    EXPECT_EQ(shed.reject, RejectReason::Overloaded);
+    Admission hit = service.trySubmit(warm);
+    ASSERT_TRUE(hit.accepted());
+
+    b.future->get();
+    StrategyResponse warmed = hit.future->get();
+    EXPECT_EQ(warmed.provenance, Provenance::ExactHit);
+
+    ServiceStats stats = service.stats();
+    EXPECT_GE(stats.shed_early, 1u);
+    EXPECT_GT(stats.cold_ewma_seconds, 0.0);
+}
+
 } // namespace
 } // namespace opdvfs::serve

@@ -315,6 +315,75 @@ TEST(Wire, CapsAreEnforcedBeforeAllocation)
     EXPECT_THROW(decodeRequest(honest), WireError);
 }
 
+TEST(Wire, DeadlineRoundTripsAndIsFlagGated)
+{
+    WireRequest with_deadline = testRequest(64);
+    with_deadline.deadline_ms = 1234;
+    std::string payload = encodeRequest(with_deadline);
+    WireRequest decoded = decodeRequest(payload);
+    EXPECT_EQ(decoded.deadline_ms, 1234u);
+    EXPECT_EQ(encodeRequest(decoded), payload);
+
+    // Without a deadline the flag is clear and the payload keeps the
+    // v1 shape: exactly four bytes (the u32) shorter.
+    WireRequest without = with_deadline;
+    without.deadline_ms = 0;
+    std::string bare = encodeRequest(without);
+    EXPECT_EQ(bare.size() + 4, payload.size());
+    EXPECT_EQ(bare[0] & 0x04, 0);
+    EXPECT_EQ(payload[0] & 0x04, 0x04);
+    EXPECT_EQ(decodeRequest(bare).deadline_ms, 0u);
+}
+
+TEST(Wire, DeadlineFlagWithZeroBudgetIsRejected)
+{
+    // A zero budget travels as an absent field; a frame claiming the
+    // flag while carrying zero is internally inconsistent (and would
+    // break encode(decode(p)) == p), so the decoder refuses it.
+    WireRequest request = testRequest(64);
+    request.deadline_ms = 750;
+    std::string payload = encodeRequest(request);
+    std::size_t deadline_offset = 1 + 8 + 8; // flags, target, seed
+    for (std::size_t byte = 0; byte < 4; ++byte)
+        payload[deadline_offset + byte] = 0;
+    EXPECT_THROW(decodeRequest(payload), WireError);
+}
+
+TEST(Wire, BusyRetryAfterHintRoundTrips)
+{
+    WireResponse busy;
+    busy.status = Status::Busy;
+    busy.reject = serve::RejectReason::QueueFull;
+    busy.message = "net: admission rejected: queue-full";
+    busy.retry_after_ms = 1500;
+    WireResponse decoded = decodeResponse(encodeResponse(busy));
+    EXPECT_EQ(decoded.retry_after_ms, 1500u);
+
+    busy.retry_after_ms = 0; // "no estimate" is a valid hint
+    EXPECT_EQ(decodeResponse(encodeResponse(busy)).retry_after_ms, 0u);
+
+    // Busy and only Busy carries the hint — the encoder enforces it.
+    WireResponse ok_with_hint = testOkResponse();
+    ok_with_hint.retry_after_ms = 100;
+    EXPECT_THROW(encodeResponse(ok_with_hint), WireError);
+}
+
+TEST(Wire, ExpiredAndOverloadedRejectReasonsRoundTrip)
+{
+    for (serve::RejectReason reason : {serve::RejectReason::Expired,
+                                       serve::RejectReason::Overloaded}) {
+        WireResponse busy;
+        busy.status = Status::Busy;
+        busy.reject = reason;
+        busy.message = "net: admission rejected";
+        busy.retry_after_ms = 40;
+        WireResponse decoded = decodeResponse(encodeResponse(busy));
+        EXPECT_EQ(decoded.status, Status::Busy);
+        EXPECT_EQ(decoded.reject, reason);
+        EXPECT_EQ(decoded.retry_after_ms, 40u);
+    }
+}
+
 TEST(Wire, StatusTokensAreStable)
 {
     EXPECT_STREQ(statusToken(Status::Ok), "ok");
