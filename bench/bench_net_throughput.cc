@@ -8,13 +8,21 @@
  *      dominate: the service answers from the cache in microseconds)
  *   3. exact-hit RPS with 4 concurrent connections (event-loop
  *      scaling; requests coalesce on the same cache entry)
+ *   4. open-loop storm over 256 connections: every connection sends
+ *      on a fixed arrival schedule (independent of completions, as
+ *      far as one in-flight request per connection allows), offered
+ *      at 2x the closed-loop 4-connection rate — achieved rps close
+ *      to offered means the event loop absorbs a fleet-sized
+ *      connection count; a latency blow-up means it saturated
  *
  * Emits BENCH_net.json with RPS and p50/p95 per scenario.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -62,6 +70,10 @@ struct LatencyStats
     double p50 = 0.0;
     double p95 = 0.0;
     double rps = 0.0;
+    /** Calls that failed (deadline, Busy retries exhausted, breaker);
+     *  only the open-loop storm populates this — at saturation,
+     *  failures are a measurement, not a bug. */
+    std::uint64_t errors = 0;
 };
 
 LatencyStats
@@ -74,6 +86,78 @@ summarise(std::vector<double> latencies, double wall_seconds)
     stats.p50 = latencies[latencies.size() / 2];
     stats.p95 = latencies[latencies.size() * 95 / 100];
     stats.rps = static_cast<double>(latencies.size()) / wall_seconds;
+    return stats;
+}
+
+/**
+ * Open-loop storm: @p connections clients each send on a fixed
+ * arrival schedule — request i goes out at (i * connections /
+ * offered_rps) seconds after the common start, whether or not earlier
+ * requests have completed (late completions simply eat into the wait;
+ * the schedule never shifts).  Returns completion latency percentiles
+ * measured from the *scheduled* send time, so queueing delay shows up
+ * as latency exactly as an outside observer would see it.
+ */
+LatencyStats
+openLoopStorm(std::uint16_t port, const opdvfs::net::WireRequest &request,
+              std::size_t connections, double offered_rps,
+              double duration_seconds)
+{
+    int per_connection = std::max(
+        1, static_cast<int>(offered_rps * duration_seconds
+                            / static_cast<double>(connections)));
+    double interval =
+        static_cast<double>(connections) / offered_rps; // per connection
+    std::vector<std::vector<double>> latencies(connections);
+    std::atomic<std::uint64_t> errors{0};
+    std::vector<std::thread> threads;
+    auto start = Clock::now() + std::chrono::milliseconds(200);
+    for (std::size_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            std::unique_ptr<opdvfs::net::StrategyClient> client;
+            latencies[c].reserve(static_cast<std::size_t>(per_connection));
+            // Stagger connections across one interval so arrivals
+            // spread instead of beating in lockstep.
+            auto offset = std::chrono::duration<double>(
+                interval * static_cast<double>(c)
+                / static_cast<double>(connections));
+            for (int i = 0; i < per_connection; ++i) {
+                auto scheduled =
+                    start
+                    + std::chrono::duration_cast<Clock::duration>(
+                        offset
+                        + std::chrono::duration<double>(interval * i));
+                std::this_thread::sleep_until(scheduled);
+                // A storm offered above capacity legitimately blows
+                // deadlines and exhausts retries; count those instead
+                // of crashing — the error rate IS the saturation
+                // signal.  The client is rebuilt after a failure so a
+                // desynced connection cannot poison later calls.
+                try {
+                    if (!client)
+                        client = std::make_unique<
+                            opdvfs::net::StrategyClient>("127.0.0.1",
+                                                         port);
+                    client->call(request);
+                    latencies[c].push_back(
+                        std::chrono::duration<double>(Clock::now()
+                                                      - scheduled)
+                            .count());
+                } catch (const std::exception &) {
+                    errors.fetch_add(1, std::memory_order_relaxed);
+                    client.reset();
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    double wall = secondsSince(start);
+    std::vector<double> merged;
+    for (const auto &per_conn : latencies)
+        merged.insert(merged.end(), per_conn.begin(), per_conn.end());
+    LatencyStats stats = summarise(std::move(merged), wall);
+    stats.errors = errors.load();
     return stats;
 }
 
@@ -131,7 +215,9 @@ main()
     options.workers = 4;
     serve::StrategyService service(options);
 
-    net::StrategyServer server(service, {});
+    net::ServerOptions server_options;
+    server_options.max_connections = 512; // the open-loop storm needs 256
+    net::StrategyServer server(service, server_options);
     server.start();
     std::cout << "serving on 127.0.0.1:" << server.port() << "\n";
 
@@ -168,6 +254,17 @@ main()
               << " s, p95 " << four.p95 << " s, " << four.rps
               << " rps\n";
 
+    // --- 4: open-loop storm over 256 connections ------------------------
+    constexpr std::size_t kStormConnections = 256;
+    double offered = std::max(2000.0, 2.0 * four.rps);
+    LatencyStats storm = openLoopStorm(server.port(), hot,
+                                       kStormConnections, offered, 3.0);
+    std::cout << "open loop, " << kStormConnections
+              << " connections: offered " << offered << " rps, achieved "
+              << storm.rps << " rps, p50 " << storm.p50 << " s, p95 "
+              << storm.p95 << " s, " << storm.errors
+              << " failed calls\n";
+
     std::cout << "\ncold p50 " << cold.p50 << " s vs exact-hit p50 "
               << one.p50 << " s ("
               << (cold.p50 > 0.0 ? one.p50 / cold.p50 * 100.0 : 0.0)
@@ -186,6 +283,12 @@ main()
     json.add("exact_hit_rps_4conn", four.rps, "rps");
     json.add("conn_scaling_4_over_1",
              one.rps > 0.0 ? four.rps / one.rps : 0.0, "x");
+    json.add("open_loop_offered_256conn", offered, "rps");
+    json.add("open_loop_achieved_256conn", storm.rps, "rps");
+    json.add("open_loop_p50_256conn", storm.p50, "s");
+    json.add("open_loop_p95_256conn", storm.p95, "s");
+    json.add("open_loop_errors_256conn",
+             static_cast<double>(storm.errors), "count");
     json.add("exact_hit_fraction_of_cold",
              cold.p50 > 0.0 ? one.p50 / cold.p50 : 0.0, "ratio");
     json.write();

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Shard-scaling benchmark for the clustered strategy service.
+ *
+ *   1. aggregate exact-hit capacity at 1, 2 and 4 shards.  Each shard
+ *      is measured in isolation (its own storm of routing clients over
+ *      keys the ring assigns to it) and the aggregate is the sum.
+ *      The fleet topology models one machine per shard; storming all
+ *      shards concurrently on one container would measure the
+ *      container's core count, not the architecture (colocated event
+ *      loops just timeshare), so the per-shard capacity is the honest
+ *      unit.  Routing stays real: every request goes through a
+ *      ShardRouter against the live map, and each shard only ever
+ *      serves keys it owns.
+ *   2. cross-shard warm starts: six unrelated workload families, each
+ *      contributing one primed base and one similar follow-up whose
+ *      ring owner differs from the base's owner.  Without the
+ *      peer-donor protocol the follow-up's owner has no similar
+ *      strategy (cross-family similarity is far below the warm-start
+ *      threshold) and must run a cold search; with peers enabled the
+ *      owner imports the base from its peer and warm-starts.  The
+ *      conversion rate and the cold-vs-donor-warmed p50 are reported.
+ *
+ * Emits BENCH_shard.json with the aggregate rps per fleet size, the
+ * 2-shard and 4-shard scaling factors, the donor conversion rate and
+ * the cold-vs-donor-warmed p50.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "models/transformer.h"
+#include "net/peer.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "serve/service.h"
+#include "shard/shard_map.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One model family; seq varies within it, everything else is fixed. */
+struct Family
+{
+    int hidden = 0;
+    int layers = 0;
+    int heads = 0;
+};
+
+/**
+ * The donor-scenario families.  Within a family, seq and seq+8 are
+ * ~0.996 similar; across families the worst pair sits near 0.70 —
+ * comfortably on both sides of the 0.90 warm-start threshold, so a
+ * variant can only ever warm-start from its own family's base.
+ */
+const std::vector<Family> kFamilies = {
+    {256, 2, 4},  {512, 4, 8},   {1024, 2, 8},
+    {2048, 4, 16}, {4096, 2, 16}, {8192, 3, 32},
+};
+
+opdvfs::net::WireRequest
+familyRequest(const opdvfs::npu::NpuConfig &chip,
+              const opdvfs::npu::MemorySystem &memory,
+              const Family &family, int seq)
+{
+    opdvfs::models::TransformerConfig model;
+    model.name = "shard-bench";
+    model.layers = family.layers;
+    model.hidden = family.hidden;
+    model.heads = family.heads;
+    model.seq = seq;
+    opdvfs::net::WireRequest request;
+    request.workload =
+        opdvfs::models::buildTransformerTraining(memory, model, 5);
+    request.chip = chip;
+    request.seed = 11;
+    return request;
+}
+
+/** One in-process shard, wired exactly as strategy_server --shard-id. */
+struct Shard
+{
+    std::shared_ptr<opdvfs::shard::SharedShardMap> map;
+    std::shared_ptr<opdvfs::net::ShardPeers> peers;
+    std::unique_ptr<opdvfs::serve::StrategyService> service;
+    std::unique_ptr<opdvfs::net::StrategyServer> server;
+    std::uint32_t id = 0;
+};
+
+struct Fleet
+{
+    Fleet() = default;
+    Fleet(Fleet &&) = default;
+    Fleet &operator=(Fleet &&) = default;
+
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    opdvfs::shard::ShardMap clientMap() const
+    {
+        return *shards.front()->map->snapshot();
+    }
+
+    void stop()
+    {
+        for (auto &shard : shards)
+            shard->server->stop();
+    }
+};
+
+Fleet
+makeFleet(std::size_t count, bool enable_peer_donors)
+{
+    using namespace opdvfs;
+    Fleet fleet;
+    for (std::size_t at = 0; at < count; ++at) {
+        auto shard = std::make_unique<Shard>();
+        shard->id = static_cast<std::uint32_t>(at + 1);
+        shard->map = std::make_shared<opdvfs::shard::SharedShardMap>();
+        shard->peers =
+            std::make_shared<net::ShardPeers>(shard->id, shard->map);
+
+        serve::ServiceOptions options;
+        options.pipeline = bench::standardPipeline(0.02);
+        options.pipeline.warmup_seconds = 2.0;
+        options.pipeline.profile_freqs_mhz = {1000.0, 1800.0};
+        // A paper-scale GA budget: big enough that the search (not the
+        // per-request profiling) dominates a cold request, so the
+        // donor scenario's warm-vs-cold comparison measures what the
+        // saved generations buy.
+        options.pipeline.ga.population = 40;
+        options.pipeline.ga.generations = 90;
+        options.workers = 2;
+        if (enable_peer_donors)
+            options.peer_donor_lookup =
+                net::makePeerDonorLookup(shard->peers);
+        shard->service =
+            std::make_unique<serve::StrategyService>(options);
+
+        net::ServerOptions server_options;
+        server_options.max_connections = 128;
+        server_options.shard_id = shard->id;
+        server_options.shard_map = shard->map;
+        server_options.peers = shard->peers;
+        shard->server = std::make_unique<net::StrategyServer>(
+            *shard->service, server_options);
+        shard->server->start();
+        fleet.shards.push_back(std::move(shard));
+    }
+    for (auto &owner : fleet.shards)
+        for (auto &member : fleet.shards)
+            owner->map->join(
+                {member->id,
+                 "127.0.0.1:"
+                     + std::to_string(member->server->port())});
+    return fleet;
+}
+
+/**
+ * Pick @p per_shard requests the ring assigns to every shard, scanning
+ * seq variants of one family (single-family: scenario 1 is about exact
+ * hits, so similarity between keys is irrelevant).
+ */
+std::map<std::uint32_t, std::vector<opdvfs::net::WireRequest>>
+keysPerShard(const opdvfs::npu::NpuConfig &chip,
+             const opdvfs::npu::MemorySystem &memory,
+             const opdvfs::shard::ShardMap &map, std::size_t shard_count,
+             std::size_t per_shard)
+{
+    using namespace opdvfs;
+    std::map<std::uint32_t, std::vector<net::WireRequest>> keys;
+    const Family scan_family = {1024, 2, 8};
+    for (int seq = 128; seq < 128 + 8 * 512; seq += 8) {
+        net::WireRequest request =
+            familyRequest(chip, memory, scan_family, seq);
+        std::uint32_t owner =
+            map.ownerOf(net::ShardRouter::requestDigest(request)).id;
+        if (keys[owner].size() < per_shard)
+            keys[owner].push_back(std::move(request));
+        bool done = keys.size() == shard_count;
+        for (const auto &entry : keys)
+            done = done && entry.second.size() == per_shard;
+        if (done)
+            return keys;
+    }
+    std::cerr << "could not cover every shard with owned keys\n";
+    std::exit(1);
+}
+
+/** All clients hammer the primed working set; aggregate rps. */
+double
+exactHitStorm(const Fleet &fleet,
+              const std::vector<opdvfs::net::WireRequest> &working_set,
+              std::size_t clients, int requests_per_client)
+{
+    using namespace opdvfs;
+    std::vector<std::thread> threads;
+    std::atomic<std::uint64_t> completed{0};
+    auto start = Clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            net::ShardRouter router(fleet.clientMap());
+            for (int i = 0; i < requests_per_client; ++i) {
+                router.call(
+                    working_set[(c + static_cast<std::size_t>(i))
+                                % working_set.size()]);
+                completed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    double wall = secondsSince(start);
+    return static_cast<double>(completed.load()) / wall;
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace opdvfs;
+    bench::banner("bench_shard_scaling",
+                  "consistent-hash sharding: aggregate exact-hit "
+                  "capacity and cross-shard warm starts");
+    std::cout << "hardware_concurrency: "
+              << std::thread::hardware_concurrency() << "\n\n";
+
+    npu::NpuConfig chip = bench::standardChip();
+    npu::MemorySystem memory(chip.memory);
+
+    constexpr std::size_t kKeysPerShard = 2;
+    constexpr std::size_t kClients = 4;
+    constexpr int kRequestsPerClient = 300;
+
+    // --- 1: aggregate exact-hit capacity at 1 / 2 / 4 shards ------------
+    // Per-shard capacity measured in isolation (one machine per shard);
+    // the aggregate is the sum.  See the file comment for why a
+    // concurrent colocated storm would measure the container instead.
+    std::vector<std::size_t> fleet_sizes = {1, 2, 4};
+    std::vector<double> rps_by_size;
+    for (std::size_t size : fleet_sizes) {
+        Fleet fleet = makeFleet(size, /*enable_peer_donors=*/false);
+        auto keys = keysPerShard(chip, memory, fleet.clientMap(), size,
+                                 kKeysPerShard);
+        net::ShardRouter primer(fleet.clientMap());
+        for (const auto &entry : keys)
+            for (const auto &request : entry.second)
+                primer.call(request);
+        double aggregate = 0.0;
+        for (const auto &shard : fleet.shards) {
+            double rps = exactHitStorm(fleet, keys[shard->id], kClients,
+                                       kRequestsPerClient);
+            std::cout << "  " << size << "-shard fleet, shard "
+                      << shard->id << ": " << rps
+                      << " exact-hit rps in isolation\n";
+            aggregate += rps;
+        }
+        rps_by_size.push_back(aggregate);
+        std::cout << size << " shard" << (size > 1 ? "s" : " ") << ": "
+                  << aggregate << " exact-hit rps aggregate "
+                  << "(sum of per-shard isolated capacity)\n";
+        fleet.stop();
+    }
+    double scaling_2 =
+        rps_by_size[0] > 0.0 ? rps_by_size[1] / rps_by_size[0] : 0.0;
+    double scaling_4 =
+        rps_by_size[0] > 0.0 ? rps_by_size[2] / rps_by_size[0] : 0.0;
+    std::cout << "scaling: 2 shards " << scaling_2 << "x, 4 shards "
+              << scaling_4 << "x\n\n";
+
+    // --- 2: would-be-cold requests without peers ------------------------
+    // One (base, variant) pair per family, the variant chosen so its
+    // ring owner differs from the base's: the pairs whose donor lives
+    // on another shard are exactly the requests the peer-donor
+    // protocol exists for.  Ownership depends only on shard ids, so
+    // the no-peer fleet sees the identical pair set the peer fleet
+    // does.
+    std::vector<net::WireRequest> bases;
+    std::vector<net::WireRequest> similars;
+    {
+        Fleet probe = makeFleet(2, /*enable_peer_donors=*/false);
+        shard::ShardMap map = probe.clientMap();
+        for (const Family &family : kFamilies) {
+            bool found = false;
+            for (int seq = 256; seq < 256 + 16 * 128; seq += 16) {
+                net::WireRequest base =
+                    familyRequest(chip, memory, family, seq);
+                net::WireRequest variant =
+                    familyRequest(chip, memory, family, seq + 8);
+                std::uint32_t base_owner =
+                    map.ownerOf(net::ShardRouter::requestDigest(base))
+                        .id;
+                std::uint32_t variant_owner =
+                    map.ownerOf(
+                           net::ShardRouter::requestDigest(variant))
+                        .id;
+                if (base_owner != variant_owner) {
+                    bases.push_back(std::move(base));
+                    similars.push_back(std::move(variant));
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::cerr << "no cross-shard pair in family hidden="
+                          << family.hidden << "\n";
+                return 1;
+            }
+        }
+        probe.stop();
+    }
+
+    std::vector<bool> would_be_cold(similars.size(), false);
+    std::vector<double> cold_seconds;
+    {
+        Fleet fleet = makeFleet(2, /*enable_peer_donors=*/false);
+        net::ShardRouter router(fleet.clientMap());
+        for (const auto &request : bases)
+            router.call(request);
+        for (std::size_t at = 0; at < similars.size(); ++at) {
+            net::WireResponse response = router.call(similars[at]);
+            if (response.provenance == serve::Provenance::Cold) {
+                would_be_cold[at] = true;
+                cold_seconds.push_back(response.service_seconds);
+            }
+        }
+        fleet.stop();
+    }
+    std::size_t cold_count = cold_seconds.size();
+    std::cout << "without peers: " << cold_count << " of "
+              << similars.size()
+              << " cross-shard similar requests ran a cold search (p50 "
+              << median(cold_seconds) << " s)\n";
+
+    // --- 3: the same requests with the peer-donor protocol --------------
+    std::size_t converted = 0;
+    std::vector<double> donor_seconds;
+    std::vector<double> donor_generations_saved;
+    std::uint64_t donor_queries = 0;
+    std::uint64_t donor_hits = 0;
+    {
+        Fleet fleet = makeFleet(2, /*enable_peer_donors=*/true);
+        net::ShardRouter router(fleet.clientMap());
+        for (const auto &request : bases)
+            router.call(request);
+        for (std::size_t at = 0; at < similars.size(); ++at) {
+            net::WireResponse response = router.call(similars[at]);
+            if (!would_be_cold[at])
+                continue;
+            if (response.provenance == serve::Provenance::WarmStart) {
+                ++converted;
+                donor_seconds.push_back(response.service_seconds);
+                donor_generations_saved.push_back(
+                    static_cast<double>(response.generations_saved));
+            }
+        }
+        for (auto &shard : fleet.shards) {
+            serve::ServiceStats stats = shard->service->stats();
+            donor_queries += stats.peer_donor_queries;
+            donor_hits += stats.peer_donor_hits;
+        }
+        fleet.stop();
+    }
+    double conversion =
+        cold_count > 0
+            ? static_cast<double>(converted)
+                  / static_cast<double>(cold_count)
+            : 0.0;
+    std::cout << "with peers:    " << converted << " of " << cold_count
+              << " would-be-cold requests warm-started from a peer "
+                 "donor ("
+              << conversion * 100.0 << "%, p50 "
+              << median(donor_seconds) << " s, p50 "
+              << median(donor_generations_saved)
+              << " GA generations saved); " << donor_hits << "/"
+              << donor_queries << " donor queries hit\n";
+
+    bench::BenchJson json("shard");
+    json.add("exact_hit_rps_1shard", rps_by_size[0], "rps");
+    json.add("exact_hit_rps_2shard", rps_by_size[1], "rps");
+    json.add("exact_hit_rps_4shard", rps_by_size[2], "rps");
+    json.add("scaling_2_over_1", scaling_2, "x");
+    json.add("scaling_4_over_1", scaling_4, "x");
+    json.add("would_be_cold", static_cast<double>(cold_count), "count");
+    json.add("peer_donor_converted", static_cast<double>(converted),
+             "count");
+    json.add("donor_conversion_rate", conversion, "ratio");
+    json.add("cold_p50_no_donors", median(cold_seconds), "s");
+    json.add("warm_p50_with_donors", median(donor_seconds), "s");
+    json.add("donor_speedup",
+             median(donor_seconds) > 0.0
+                 ? median(cold_seconds) / median(donor_seconds)
+                 : 0.0,
+             "x");
+    json.add("donor_generations_saved_p50",
+             median(donor_generations_saved), "generations");
+    json.write();
+    return 0;
+}

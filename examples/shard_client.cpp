@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Shard client: exercise a running strategy-server fleet through the
+ * client-side ShardRouter and assert the cluster contract end to end.
+ *
+ *   ./shard_client <id>=<host:port> <id>=<host:port> [...]
+ *
+ * Three phases, exiting non-zero when any assertion fails (the CI
+ * 2-shard smoke job runs this against a loopback fleet):
+ *
+ *  1. Route a request with a correct map: the first answer is computed
+ *     (cold or warm), the second must be an exact hit.
+ *  2. Route the same request with a deliberately *wrong* map (the
+ *     shard addresses swapped, epoch pinned below the fleet's): the
+ *     first hop lands on a non-owner, which answers `NotOwner`; the
+ *     router must adopt the carried (newer) map, follow the redirect,
+ *     and return the byte-identical exact hit.
+ *  3. Query each shard's admin endpoint: SHARDMAP must decode and
+ *     route the request to the same owner everywhere.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/transformer.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "shard/shard_map.h"
+
+namespace {
+
+/** Strategy text with the provenance token pinned: cold and exact-hit
+ *  answers differ only in that token. */
+std::string
+normalisedStrategyText(opdvfs::dvfs::Strategy strategy)
+{
+    if (strategy.meta)
+        strategy.meta->provenance = "normalised";
+    std::ostringstream os;
+    opdvfs::dvfs::saveStrategy(strategy, os);
+    return os.str();
+}
+
+bool
+parseShardArg(const std::string &arg, opdvfs::shard::ShardInfo *out)
+{
+    std::size_t equals = arg.find('=');
+    if (equals == std::string::npos || equals == 0
+        || equals + 1 >= arg.size())
+        return false;
+    char *end = nullptr;
+    unsigned long id = std::strtoul(arg.c_str(), &end, 10);
+    if (end != arg.c_str() + equals || id == 0 || id > 0xFFFFFFFFul)
+        return false;
+    out->id = static_cast<std::uint32_t>(id);
+    out->address = arg.substr(equals + 1);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace opdvfs;
+
+    std::vector<shard::ShardInfo> shards;
+    for (int arg = 1; arg < argc; ++arg) {
+        shard::ShardInfo info;
+        if (!parseShardArg(argv[arg], &info)) {
+            std::cerr << "usage: shard_client <id>=<host:port> "
+                         "<id>=<host:port> [...]\n";
+            return 2;
+        }
+        shards.push_back(info);
+    }
+    if (shards.size() < 2) {
+        std::cerr << "usage: shard_client needs at least two shards\n";
+        return 2;
+    }
+
+    net::WireRequest request;
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "shard-client-transformer";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = 256;
+    request.workload = models::buildTransformerTraining(memory, model, 5);
+    request.chip = chip;
+    request.seed = 7;
+
+    net::RouterOptions options;
+    options.client.request_timeout_seconds = 120.0;
+
+    try {
+        // Phase 1: correct map — cold, then exact hit at the owner.
+        shard::ShardMap map(shards);
+        net::ShardRouter router(map, options);
+        std::cout << "owner for the request: "
+                  << router.ownerAddress(request) << "\n";
+
+        net::WireResponse first = router.call(request);
+        net::WireResponse second = router.call(request);
+        if (second.provenance != serve::Provenance::ExactHit) {
+            std::cerr << "FAIL: second identical request was not an "
+                         "exact cache hit\n";
+            return 1;
+        }
+        if (router.redirectsFollowed() != 0) {
+            std::cerr << "FAIL: a correct map should never be "
+                         "redirected\n";
+            return 1;
+        }
+        std::string expected = normalisedStrategyText(second.strategy);
+        std::cout << "exact hit at the owner, score "
+                  << second.best_score << "\n";
+
+        // Phase 2: wrong map — swap every address one position so the
+        // router dials a non-owner; pin the epoch below the fleet's so
+        // the NotOwner self-heal can adopt the carried map.
+        std::vector<shard::ShardInfo> swapped = shards;
+        for (std::size_t at = 0; at < swapped.size(); ++at)
+            swapped[at].address =
+                shards[(at + 1) % shards.size()].address;
+        shard::ShardMap stale(swapped, shard::ShardMap::kDefaultVnodes,
+                              /*epoch=*/1);
+        net::ShardRouter misrouted(stale, options);
+        net::WireResponse redirected = misrouted.call(request);
+        if (misrouted.redirectsFollowed() == 0) {
+            std::cerr << "FAIL: the swapped map was not redirected\n";
+            return 1;
+        }
+        if (redirected.provenance != serve::Provenance::ExactHit) {
+            std::cerr << "FAIL: redirected request missed the exact "
+                         "hit\n";
+            return 1;
+        }
+        if (normalisedStrategyText(redirected.strategy) != expected
+            || redirected.best_score != second.best_score
+            || redirected.fingerprint_digest
+                   != second.fingerprint_digest) {
+            std::cerr << "FAIL: redirected exact hit differs from the "
+                         "owner's answer\n";
+            return 1;
+        }
+        std::cout << "byte-identical exact hit across "
+                  << misrouted.redirectsFollowed()
+                  << " NotOwner redirect(s), " << misrouted.mapRefreshes()
+                  << " map refresh(es)\n";
+
+        // Phase 3: every shard's served map must route to one owner.
+        const std::string &owner = router.ownerAddress(request);
+        for (const auto &info : shards) {
+            std::string host;
+            std::uint16_t port = 0;
+            shard::parseAddress(info.address, &host, &port);
+            shard::ShardMap served = shard::ShardMap::decode(
+                net::adminQuery(host, port, "SHARDMAP"));
+            const std::string &routed =
+                served.ownerOf(net::ShardRouter::requestDigest(request))
+                    .address;
+            if (routed != owner) {
+                std::cerr << "FAIL: shard " << info.id
+                          << " routes the request to " << routed
+                          << " but the fleet owner is " << owner << "\n";
+                return 1;
+            }
+        }
+        std::cout << "all " << shards.size()
+                  << " shards agree on the owner\n";
+    } catch (const std::exception &error) {
+        std::cerr << "FAIL: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -9,23 +9,39 @@
  *
  * With `--listen <port>` it instead serves the StrategyService over
  * TCP (the src/net wire protocol) until SIGINT/SIGTERM, for
- * examples/strategy_client.cpp and the CI network smoke job:
+ * examples/strategy_client.cpp and the CI network smoke job.  Port 0
+ * binds an ephemeral port; the kernel-chosen port is printed on
+ * stdout either way (`listening on 127.0.0.1:<port>`), so scripts can
+ * scrape it instead of racing for a free one:
  *
  *   ./strategy_server --listen 38471 &
  *   ./strategy_client 127.0.0.1 38471
+ *
+ * Cluster mode adds `--shard-id <id>` (this server's identity on the
+ * consistent-hash ring; the server self-joins after binding, so it
+ * works with port 0) and `--peers <id>=<host:port>[,...]` (the other
+ * fleet members).  A two-shard loopback fleet:
+ *
+ *   ./strategy_server --listen 38471 --shard-id 1 --peers 2=127.0.0.1:38472 &
+ *   ./strategy_server --listen 38472 --shard-id 2 --peers 1=127.0.0.1:38471 &
+ *   ./shard_client 1=127.0.0.1:38471 2=127.0.0.1:38472
  */
 
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "models/model_zoo.h"
 #include "models/transformer.h"
+#include "net/peer.h"
 #include "net/server.h"
 #include "serve/service.h"
+#include "shard/shard_map.h"
 
 namespace {
 
@@ -37,9 +53,40 @@ requestStop(int)
     g_stop_requested = 1;
 }
 
+/** Parsed `--shard-id` / `--peers` flags. */
+struct ClusterFlags
+{
+    bool enabled = false;
+    std::uint32_t shard_id = 0;
+    std::vector<opdvfs::shard::ShardInfo> peers;
+};
+
+/** Parse `<id>=<host:port>[,...]` into ShardInfo entries. */
+bool
+parsePeerList(const std::string &text,
+              std::vector<opdvfs::shard::ShardInfo> *out)
+{
+    std::istringstream entries(text);
+    std::string entry;
+    while (std::getline(entries, entry, ',')) {
+        std::size_t equals = entry.find('=');
+        if (equals == std::string::npos || equals == 0
+            || equals + 1 >= entry.size())
+            return false;
+        char *end = nullptr;
+        unsigned long id = std::strtoul(entry.c_str(), &end, 10);
+        if (end != entry.c_str() + equals || id == 0
+            || id > 0xFFFFFFFFul)
+            return false;
+        out->push_back({static_cast<std::uint32_t>(id),
+                        entry.substr(equals + 1)});
+    }
+    return !out->empty();
+}
+
 /** Serve over TCP until a termination signal arrives. */
 int
-listenMode(std::uint16_t port)
+listenMode(std::uint16_t port, const ClusterFlags &cluster)
 {
     using namespace opdvfs;
 
@@ -52,12 +99,40 @@ listenMode(std::uint16_t port)
     options.pipeline.ga.population = 30;
     options.pipeline.ga.generations = 24;
     options.workers = 2;
-    serve::StrategyService service(options);
 
     net::ServerOptions server_options;
     server_options.port = port;
+
+    std::shared_ptr<shard::SharedShardMap> shard_map;
+    std::shared_ptr<net::ShardPeers> peers;
+    if (cluster.enabled) {
+        // The map starts empty: ownership checks stay off until the
+        // self-join below fills in the bound port.
+        shard_map = std::make_shared<shard::SharedShardMap>();
+        peers = std::make_shared<net::ShardPeers>(cluster.shard_id,
+                                                  shard_map);
+        options.peer_donor_lookup = net::makePeerDonorLookup(peers);
+        server_options.shard_id = cluster.shard_id;
+        server_options.shard_map = shard_map;
+        server_options.peers = peers;
+    }
+
+    serve::StrategyService service(options);
     net::StrategyServer server(service, server_options);
     server.start();
+
+    if (cluster.enabled) {
+        // Self-join with the *bound* port (resolves --listen 0), then
+        // add the configured peers.  Every fleet member builds the
+        // same membership, so they agree on ownership even though
+        // their locally-counted epochs may differ.
+        shard_map->join({cluster.shard_id,
+                         "127.0.0.1:" + std::to_string(server.port())});
+        for (const auto &peer : cluster.peers)
+            shard_map->join(peer);
+        std::cout << "shard " << cluster.shard_id << " of "
+                  << shard_map->snapshot()->size() << std::endl;
+    }
     std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
 
     std::signal(SIGINT, requestStop);
@@ -79,12 +154,40 @@ main(int argc, char **argv)
     using namespace opdvfs;
 
     if (argc >= 2 && std::string(argv[1]) == "--listen") {
+        constexpr const char *kUsage =
+            "usage: strategy_server [--listen <port> "
+            "[--shard-id <id>] [--peers <id>=<host:port>[,...]]]\n";
         int port = argc >= 3 ? std::atoi(argv[2]) : 0;
         if (port < 0 || port > 65535) {
-            std::cerr << "usage: strategy_server [--listen <port>]\n";
+            std::cerr << kUsage;
             return 2;
         }
-        return listenMode(static_cast<std::uint16_t>(port));
+        ClusterFlags cluster;
+        for (int arg = 3; arg < argc; ++arg) {
+            std::string flag = argv[arg];
+            if (flag == "--shard-id" && arg + 1 < argc) {
+                long id = std::atol(argv[++arg]);
+                if (id <= 0) {
+                    std::cerr << kUsage;
+                    return 2;
+                }
+                cluster.enabled = true;
+                cluster.shard_id = static_cast<std::uint32_t>(id);
+            } else if (flag == "--peers" && arg + 1 < argc) {
+                if (!parsePeerList(argv[++arg], &cluster.peers)) {
+                    std::cerr << kUsage;
+                    return 2;
+                }
+            } else {
+                std::cerr << kUsage;
+                return 2;
+            }
+        }
+        if (!cluster.peers.empty() && !cluster.enabled) {
+            std::cerr << "--peers requires --shard-id\n" << kUsage;
+            return 2;
+        }
+        return listenMode(static_cast<std::uint16_t>(port), cluster);
     }
 
     npu::NpuConfig chip;

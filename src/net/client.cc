@@ -310,6 +310,12 @@ StrategyClient::receiveResponse(double deadline)
                                     + "): " + response.message,
                                 response.reject,
                                 response.retry_after_ms);
+            case Status::NotOwner:
+                throw NotOwnerError(
+                    "net: shard does not own this fingerprint; owner is "
+                        + response.owner_address,
+                    response.owner_address, response.map_epoch,
+                    response.shard_map_text);
             default:
                 throw RemoteError("net: server answered "
                                       + std::string(statusToken(
@@ -396,6 +402,13 @@ StrategyClient::call(const WireRequest &request)
         } catch (const WireError &) {
             disconnect();
             throw; // malformed bytes: never retry
+        } catch (const NotOwnerError &) {
+            // The server is demonstrably healthy — it decoded our
+            // request and answered with routing truth.  Retrying here
+            // would just repeat the same redirect; the router layer
+            // owns following it.
+            breakerRecordSuccess();
+            throw;
         } catch (const RemoteError &) {
             breakerRecordSuccess();
             throw; // structured non-retryable failure

@@ -91,6 +91,37 @@ class DeadlineError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * The server answered Status::NotOwner: this shard does not own the
+ * request's fingerprint on the cluster ring.  Not retried by the
+ * client (the same server would answer the same way); the ShardRouter
+ * catches it, refreshes its map from the carried text when the
+ * server's epoch is newer, and re-sends to the named owner.
+ */
+class NotOwnerError : public std::runtime_error
+{
+  public:
+    NotOwnerError(const std::string &what, std::string owner_address,
+                  std::uint64_t map_epoch, std::string shard_map_text)
+        : std::runtime_error(what),
+          owner_address_(std::move(owner_address)),
+          map_epoch_(map_epoch),
+          shard_map_text_(std::move(shard_map_text))
+    {}
+
+    /** "host:port" of the owning shard. */
+    const std::string &ownerAddress() const { return owner_address_; }
+    /** The answering server's shard-map epoch. */
+    std::uint64_t mapEpoch() const { return map_epoch_; }
+    /** The server's full encoded map (shard::ShardMap::encode text). */
+    const std::string &shardMapText() const { return shard_map_text_; }
+
+  private:
+    std::string owner_address_;
+    std::uint64_t map_epoch_;
+    std::string shard_map_text_;
+};
+
 /** The server answered with a non-retryable failure status. */
 class RemoteError : public std::runtime_error
 {
@@ -228,6 +259,9 @@ class StrategyClient
      * @throws DeadlineError     a deadline expired
      * @throws RemoteError       the server answered Malformed /
      *                           ChipMismatch / Internal (no retry)
+     * @throws NotOwnerError     the server does not own the request's
+     *                           fingerprint (no retry here; routers
+     *                           follow the redirect)
      * @throws WireError         the server's bytes failed to decode
      *                           (no retry)
      */

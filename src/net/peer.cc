@@ -1,0 +1,341 @@
+#include "net/peer.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace opdvfs::net {
+
+namespace {
+
+double
+steadyNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+pollUntil(int fd, short events, double deadline, const char *what)
+{
+    while (true) {
+        double remaining = deadline - steadyNow();
+        if (remaining <= 0.0)
+            throw std::runtime_error(std::string("peer: deadline expired ")
+                                     + what);
+        pollfd pfd{fd, events, 0};
+        int timeout_ms = static_cast<int>(remaining * 1000.0) + 1;
+        int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready > 0)
+            return;
+        if (ready < 0 && errno != EINTR)
+            throw std::runtime_error("peer: poll() failed");
+    }
+}
+
+/** RAII non-blocking connected socket with a connect deadline. */
+class PeerSocket
+{
+  public:
+    PeerSocket(const std::string &host, std::uint16_t port,
+               double timeout_seconds)
+    {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+            throw std::runtime_error("peer: bad host address " + host);
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            throw std::runtime_error("peer: socket() failed");
+        try {
+            int flags = ::fcntl(fd_, F_GETFL, 0);
+            if (flags < 0
+                || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0)
+                throw std::runtime_error("peer: fcntl() failed");
+            int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                               sizeof(addr));
+            if (rc < 0 && errno != EINPROGRESS)
+                throw std::runtime_error("peer: connect() to " + host
+                                         + " failed");
+            if (rc < 0) {
+                pollUntil(fd_, POLLOUT, steadyNow() + timeout_seconds,
+                          "connecting");
+                int error = 0;
+                socklen_t length = sizeof(error);
+                if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error,
+                                 &length) < 0
+                    || error != 0)
+                    throw std::runtime_error(
+                        "peer: connect() to " + host + " failed: "
+                        + std::strerror(error ? error : errno));
+            }
+            int one = 1;
+            ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+        } catch (...) {
+            ::close(fd_);
+            throw;
+        }
+    }
+
+    ~PeerSocket()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    PeerSocket(const PeerSocket &) = delete;
+    PeerSocket &operator=(const PeerSocket &) = delete;
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * One-shot exchange: send @p frame, read exactly one frame of type
+ * @p expect back.  Throws on any transport error, deadline expiry or
+ * an unexpected frame type.
+ */
+std::string
+exchangeFrame(const shard::ShardInfo &peer, const std::string &frame,
+              MsgType expect, double connect_timeout,
+              double exchange_timeout, const WireLimits &limits)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    shard::parseAddress(peer.address, &host, &port);
+    PeerSocket socket(host, port, connect_timeout);
+    double deadline = steadyNow() + exchange_timeout;
+
+    std::size_t offset = 0;
+    while (offset < frame.size()) {
+        ssize_t sent = ::send(socket.fd(), frame.data() + offset,
+                              frame.size() - offset, MSG_NOSIGNAL);
+        if (sent > 0) {
+            offset += static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0
+            && (errno == EAGAIN || errno == EWOULDBLOCK
+                || errno == EINTR)) {
+            pollUntil(socket.fd(), POLLOUT, deadline, "sending");
+            continue;
+        }
+        throw std::runtime_error("peer: send() failed");
+    }
+
+    std::string buffer;
+    char chunk[16384];
+    while (true) {
+        std::size_t consumed = 0;
+        std::optional<FrameView> view =
+            peelFrame(buffer, &consumed, limits);
+        if (view) {
+            if (view->type != expect)
+                throw std::runtime_error(
+                    "peer: unexpected reply frame type");
+            return std::string(view->payload);
+        }
+        pollUntil(socket.fd(), POLLIN, deadline, "awaiting the reply");
+        ssize_t got = ::recv(socket.fd(), chunk, sizeof(chunk), 0);
+        if (got > 0) {
+            buffer.append(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            throw std::runtime_error("peer: peer closed the connection");
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+            continue;
+        throw std::runtime_error("peer: recv() failed");
+    }
+}
+
+} // namespace
+
+ShardPeers::ShardPeers(std::uint32_t self_id,
+                       std::shared_ptr<shard::SharedShardMap> map,
+                       PeerOptions options)
+    : self_id_(self_id), map_(std::move(map)), options_(options)
+{
+    if (!map_)
+        throw std::invalid_argument("peer: null shard map");
+}
+
+std::optional<serve::PeerDonor>
+ShardPeers::queryDonors(const serve::Fingerprint &probe,
+                        double perf_loss_target)
+{
+    if (options_.max_fanout == 0)
+        return std::nullopt;
+    auto map = map_->snapshot();
+    std::vector<shard::ShardInfo> peers;
+    for (const shard::ShardInfo &info : map->shards())
+        if (info.id != self_id_ && peers.size() < options_.max_fanout)
+            peers.push_back(info);
+    if (peers.empty())
+        return std::nullopt;
+
+    PeerDonorQuery query;
+    query.digest = probe.digest;
+    query.features = probe.features;
+    query.model_epoch = probe.model_epoch;
+    query.perf_loss_target = perf_loss_target;
+    query.origin_shard = self_id_;
+    std::string frame =
+        frameMessage(MsgType::PeerDonorQuery,
+                     encodePeerDonorQuery(query, options_.limits),
+                     options_.limits);
+
+    // Parallel fan-out: one thread per peer, joined below, so the wall
+    // cost is the slowest peer's deadline, not the sum.
+    std::vector<std::optional<PeerDonorReply>> replies(peers.size());
+    std::vector<std::thread> threads;
+    threads.reserve(peers.size());
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+        threads.emplace_back([this, &peers, &replies, &frame, i] {
+            donor_queries_sent_.fetch_add(1, std::memory_order_relaxed);
+            try {
+                std::string payload = exchangeFrame(
+                    peers[i], frame, MsgType::PeerDonorReply,
+                    options_.connect_timeout_seconds,
+                    options_.query_timeout_seconds, options_.limits);
+                replies[i] =
+                    decodePeerDonorReply(payload, options_.limits);
+            } catch (const std::exception &) {
+                donor_exchange_failures_.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const PeerDonorReply *best = nullptr;
+    for (const auto &reply : replies) {
+        if (!reply || !reply->found)
+            continue;
+        donor_replies_found_.fetch_add(1, std::memory_order_relaxed);
+        if (!best || reply->similarity > best->similarity)
+            best = &*reply;
+    }
+    if (!best)
+        return std::nullopt;
+
+    serve::PeerDonor donor;
+    donor.fingerprint.digest = best->fingerprint_digest;
+    donor.fingerprint.features = best->features;
+    donor.fingerprint.model_epoch = best->model_epoch;
+    donor.best_mhz = best->best_mhz;
+    donor.best_score = best->best_score;
+    donor.similarity = best->similarity;
+    donor.perf_loss_target = best->perf_loss_target;
+    try {
+        std::istringstream is(best->strategy_text);
+        donor.strategy = dvfs::loadStrategy(is);
+    } catch (const std::exception &) {
+        // A peer shipping an unparsable strategy is a peer bug; treat
+        // it as a miss rather than poisoning the local cache.
+        donor_exchange_failures_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    return donor;
+}
+
+std::size_t
+ShardPeers::broadcastEpochInvalidate(std::uint64_t epoch)
+{
+    auto map = map_->snapshot();
+    std::vector<shard::ShardInfo> peers;
+    for (const shard::ShardInfo &info : map->shards())
+        if (info.id != self_id_)
+            peers.push_back(info);
+    if (peers.empty())
+        return 0;
+
+    EpochInvalidate invalidate;
+    invalidate.origin_shard = self_id_;
+    invalidate.model_epoch = epoch;
+    std::string frame = frameMessage(MsgType::EpochInvalidate,
+                                     encodeEpochInvalidate(invalidate),
+                                     options_.limits);
+
+    std::vector<char> acked(peers.size(), 0);
+    std::vector<std::thread> threads;
+    threads.reserve(peers.size());
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+        threads.emplace_back([this, &peers, &acked, &frame, epoch, i] {
+            invalidates_sent_.fetch_add(1, std::memory_order_relaxed);
+            try {
+                std::string payload = exchangeFrame(
+                    peers[i], frame, MsgType::EpochInvalidateAck,
+                    options_.connect_timeout_seconds,
+                    options_.invalidate_timeout_seconds, options_.limits);
+                EpochInvalidateAck ack =
+                    decodeEpochInvalidateAck(payload);
+                // The peer's resulting epoch must cover ours; a lower
+                // ack means the raise did not take (peer bug) and must
+                // not count towards coherence.
+                if (ack.model_epoch >= epoch)
+                    acked[i] = 1;
+            } catch (const std::exception &) {
+                // Unreachable peer: it holds no fresh strategies for
+                // the new epoch anyway, and will resynchronise through
+                // the next invalidate or restart.
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    std::size_t count = 0;
+    for (char ack : acked)
+        if (ack)
+            ++count;
+    invalidates_acked_.fetch_add(count, std::memory_order_relaxed);
+    return count;
+}
+
+PeerStats
+ShardPeers::stats() const
+{
+    PeerStats out;
+    out.donor_queries_sent =
+        donor_queries_sent_.load(std::memory_order_relaxed);
+    out.donor_replies_found =
+        donor_replies_found_.load(std::memory_order_relaxed);
+    out.donor_exchange_failures =
+        donor_exchange_failures_.load(std::memory_order_relaxed);
+    out.invalidates_sent =
+        invalidates_sent_.load(std::memory_order_relaxed);
+    out.invalidates_acked =
+        invalidates_acked_.load(std::memory_order_relaxed);
+    return out;
+}
+
+serve::DonorLookupFn
+makePeerDonorLookup(std::shared_ptr<ShardPeers> peers)
+{
+    if (!peers)
+        return {};
+    return [peers](const serve::Fingerprint &probe,
+                   double perf_loss_target) {
+        return peers->queryDonors(probe, perf_loss_target);
+    };
+}
+
+} // namespace opdvfs::net

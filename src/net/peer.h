@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shard-to-shard peer client for the clustered strategy service.
+ *
+ * Two cluster duties live here, both built on one-shot blocking
+ * exchanges (connect, one frame out, one frame in, close — no
+ * connection pool to corrupt, safe to call from any service worker
+ * concurrently):
+ *
+ *  - `queryDonors`: when a cold request finds no local warm-start
+ *    donor, ask up to `max_fanout` peer shards for their nearest
+ *    donor.  Peers answer straight off their event loop (a cache probe
+ *    plus one serialisation), so the short per-peer deadline is
+ *    dominated by one loopback round trip; the fan-out runs in
+ *    parallel and the best reply above the service's similarity floor
+ *    wins.  A down peer costs its deadline, never a hang.
+ *
+ *  - `broadcastEpochInvalidate`: after a recalibration advanced this
+ *    shard's model epoch, tell every peer to raise theirs.  The call
+ *    blocks until each peer acked or its deadline lapsed, so when it
+ *    returns no reachable shard can still serve a pre-epoch strategy
+ *    as an exact hit.
+ *
+ * `makePeerDonorLookup` adapts a ShardPeers into the
+ * `serve::ServiceOptions::peer_donor_lookup` callback — the serve
+ * layer stays free of sockets.
+ */
+
+#ifndef OPDVFS_NET_PEER_H
+#define OPDVFS_NET_PEER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/wire.h"
+#include "serve/service.h"
+#include "shard/shard_map.h"
+
+namespace opdvfs::net {
+
+/** Peer-client configuration. */
+struct PeerOptions
+{
+    /** Per-peer connect deadline, seconds. */
+    double connect_timeout_seconds = 0.25;
+    /** Per-peer whole-exchange deadline for donor queries. */
+    double query_timeout_seconds = 0.25;
+    /** Per-peer whole-exchange deadline for epoch invalidates (more
+     *  generous: coherence beats latency here). */
+    double invalidate_timeout_seconds = 2.0;
+    /** Max peers asked per donor query (0 disables peer donors). */
+    std::size_t max_fanout = 3;
+    /** Decoder caps applied to peer replies. */
+    WireLimits limits;
+};
+
+/** Monotonic counters (thread-safe reads). */
+struct PeerStats
+{
+    std::uint64_t donor_queries_sent = 0;
+    std::uint64_t donor_replies_found = 0;
+    std::uint64_t donor_exchange_failures = 0;
+    std::uint64_t invalidates_sent = 0;
+    std::uint64_t invalidates_acked = 0;
+};
+
+/** Shard-to-shard client; thread-safe. */
+class ShardPeers
+{
+  public:
+    /**
+     * @p self_id this shard's id: it is never queried.
+     * @p map the live membership; peers are re-read per call, so
+     *        admin JOIN/LEAVE applies to the next exchange.
+     */
+    ShardPeers(std::uint32_t self_id,
+               std::shared_ptr<shard::SharedShardMap> map,
+               PeerOptions options = {});
+
+    /**
+     * Ask up to `max_fanout` peers for a warm-start donor for
+     * @p probe; exchanges run in parallel and the most similar donor
+     * wins.  Returns nullopt when no peer had one (or all failed).
+     */
+    std::optional<serve::PeerDonor>
+    queryDonors(const serve::Fingerprint &probe, double perf_loss_target);
+
+    /**
+     * Tell every peer to raise its model epoch to @p epoch; blocks
+     * until each acked or timed out.  Returns the number of acks.
+     */
+    std::size_t broadcastEpochInvalidate(std::uint64_t epoch);
+
+    PeerStats stats() const;
+
+    std::uint32_t selfId() const { return self_id_; }
+
+  private:
+    std::uint32_t self_id_;
+    std::shared_ptr<shard::SharedShardMap> map_;
+    PeerOptions options_;
+
+    std::atomic<std::uint64_t> donor_queries_sent_{0};
+    std::atomic<std::uint64_t> donor_replies_found_{0};
+    std::atomic<std::uint64_t> donor_exchange_failures_{0};
+    std::atomic<std::uint64_t> invalidates_sent_{0};
+    std::atomic<std::uint64_t> invalidates_acked_{0};
+};
+
+/**
+ * Adapt @p peers into the serve-layer donor-lookup callback.  Null or
+ * zero-fanout peers yield an empty (disabled) function.
+ */
+serve::DonorLookupFn
+makePeerDonorLookup(std::shared_ptr<ShardPeers> peers);
+
+} // namespace opdvfs::net
+
+#endif // OPDVFS_NET_PEER_H

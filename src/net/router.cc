@@ -1,0 +1,87 @@
+#include "net/router.h"
+
+#include <stdexcept>
+
+#include "serve/fingerprint.h"
+
+namespace opdvfs::net {
+
+ShardRouter::ShardRouter(shard::ShardMap map, RouterOptions options)
+    : map_(std::move(map)), options_(std::move(options))
+{
+    if (map_.empty())
+        throw std::invalid_argument("router: empty shard map");
+    if (options_.max_redirects < 0)
+        options_.max_redirects = 0;
+}
+
+std::uint64_t
+ShardRouter::requestDigest(const WireRequest &request)
+{
+    // The identical canonical fingerprint the servers compute from the
+    // decoded request: codec round-trip stability (encode(decode(p)) ==
+    // p) guarantees client and server agree on the digest, hence on
+    // the owner.
+    return serve::fingerprintRequest(request.workload, request.chip,
+                                     request.perf_loss_target,
+                                     request.seed)
+        .digest;
+}
+
+const std::string &
+ShardRouter::ownerAddress(const WireRequest &request) const
+{
+    return map_.ownerOf(requestDigest(request)).address;
+}
+
+StrategyClient &
+ShardRouter::clientFor(const std::string &address)
+{
+    auto found = clients_.find(address);
+    if (found != clients_.end())
+        return *found->second;
+    std::string host;
+    std::uint16_t port = 0;
+    shard::parseAddress(address, &host, &port);
+    auto client = std::make_unique<StrategyClient>(std::move(host), port,
+                                                   options_.client);
+    auto [it, inserted] = clients_.emplace(address, std::move(client));
+    return *it->second;
+}
+
+WireResponse
+ShardRouter::call(const WireRequest &request)
+{
+    std::uint64_t digest = requestDigest(request);
+    std::string target = map_.ownerOf(digest).address;
+    for (int hop = 0;; ++hop) {
+        try {
+            return clientFor(target).call(request);
+        } catch (const NotOwnerError &redirect) {
+            if (hop >= options_.max_redirects)
+                throw RoutingError(
+                    "router: redirect bound exhausted; no server "
+                    "agrees with the shard map (last owner hint: "
+                    + redirect.ownerAddress() + ")");
+            ++redirects_;
+            // Self-heal: adopt the server's map when it is strictly
+            // newer.  A decode failure keeps the old map — the carried
+            // owner address below still makes progress this call.
+            if (redirect.mapEpoch() > map_.epoch()
+                && !redirect.shardMapText().empty()) {
+                try {
+                    shard::ShardMap fresh =
+                        shard::ShardMap::decode(redirect.shardMapText());
+                    if (!fresh.empty()) {
+                        map_ = std::move(fresh);
+                        ++map_refreshes_;
+                    }
+                } catch (const std::invalid_argument &) {
+                }
+            }
+            target = redirect.ownerAddress();
+        }
+    }
+}
+
+} // namespace opdvfs::net

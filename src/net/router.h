@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Client-side shard router for the clustered strategy service.
+ *
+ * The router holds a shard map and one StrategyClient per shard
+ * address: each request's workload is fingerprinted locally (the same
+ * canonical digest the servers compute), the owning shard is looked up
+ * on the consistent-hash ring, and the request goes straight to that
+ * shard.  When a server answers `NotOwner` — the router's map is stale
+ * (a shard joined or left) or the routing disagreed — the router
+ * self-heals: it adopts the carried map when its epoch is newer, then
+ * retries at the named owner, up to `max_redirects` hops.
+ *
+ * Fault isolation comes free from the per-address clients: each one
+ * carries its own circuit breaker, so one dead shard fails fast
+ * without poisoning calls routed to the others.
+ *
+ * Like StrategyClient, a router is not thread-safe — use one per
+ * thread (the bench does).
+ */
+
+#ifndef OPDVFS_NET_ROUTER_H
+#define OPDVFS_NET_ROUTER_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/client.h"
+#include "net/wire.h"
+#include "shard/shard_map.h"
+
+namespace opdvfs::net {
+
+/**
+ * Every redirect hop in one call() landed on NotOwner: the router's
+ * map (even after refreshes) never agreed with any server.
+ */
+class RoutingError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Router configuration. */
+struct RouterOptions
+{
+    /** NotOwner redirects followed per call before giving up. */
+    int max_redirects = 3;
+    /** Options for every per-shard client (breaker, retries, ...). */
+    ClientOptions client;
+};
+
+/** Routing client over a shard map.  Not thread-safe. */
+class ShardRouter
+{
+  public:
+    /** @throws std::invalid_argument when @p map is empty. */
+    ShardRouter(shard::ShardMap map, RouterOptions options = {});
+
+    /**
+     * Route @p request to its owner shard and return the response,
+     * following NotOwner redirects (self-healing the map) up to the
+     * configured bound.  Per-shard failures throw exactly as
+     * StrategyClient::call does.
+     * @throws RoutingError when the redirect bound is exhausted.
+     */
+    WireResponse call(const WireRequest &request);
+
+    /** The canonical digest this router would route @p request by. */
+    static std::uint64_t requestDigest(const WireRequest &request);
+
+    /** The address call() would currently send @p request to. */
+    const std::string &ownerAddress(const WireRequest &request) const;
+
+    /** The current (possibly self-healed) map. */
+    const shard::ShardMap &map() const { return map_; }
+
+    /** NotOwner redirects followed across all calls. */
+    std::uint64_t redirectsFollowed() const { return redirects_; }
+
+    /** Map refreshes adopted from NotOwner responses. */
+    std::uint64_t mapRefreshes() const { return map_refreshes_; }
+
+    /** The per-address client, created on first use (test access to
+     *  breaker state; the address need not be in the map). */
+    StrategyClient &clientFor(const std::string &address);
+
+  private:
+    shard::ShardMap map_;
+    RouterOptions options_;
+    /** One lazily created client (and breaker) per shard address. */
+    std::map<std::string, std::unique_ptr<StrategyClient>> clients_;
+    std::uint64_t redirects_ = 0;
+    std::uint64_t map_refreshes_ = 0;
+};
+
+} // namespace opdvfs::net
+
+#endif // OPDVFS_NET_ROUTER_H

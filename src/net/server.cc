@@ -358,8 +358,11 @@ StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
         try {
             frame = peelFrame(current->read_buffer, &consumed,
                               options_.limits);
-            if (frame && frame->type != MsgType::Request)
-                throw WireError("net: client sent a non-request frame");
+            if (frame && frame->type != MsgType::Request
+                && frame->type != MsgType::PeerDonorQuery
+                && frame->type != MsgType::EpochInvalidate)
+                throw WireError("net: client sent a frame type servers "
+                                "do not accept");
         } catch (const WireError &error) {
             // Framing is broken: the stream cannot be re-synchronised,
             // so answer once and hang up after the flush.  The flags
@@ -384,9 +387,14 @@ StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.frames_in;
         }
-        serveRequest(id, *current, frame->payload);
-        // serveRequest may have flushed an immediate answer and hit a
-        // dead socket, closing the connection: re-resolve before any
+        if (frame->type == MsgType::PeerDonorQuery)
+            servePeerDonorQuery(id, *current, frame->payload);
+        else if (frame->type == MsgType::EpochInvalidate)
+            serveEpochInvalidate(id, *current, frame->payload);
+        else
+            serveRequest(id, *current, frame->payload);
+        // Serving may have flushed an immediate answer and hit a dead
+        // socket, closing the connection: re-resolve before any
         // further touch.
         auto it = connections_.find(id);
         if (it == connections_.end())
@@ -425,6 +433,40 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
         return;
     }
     conn.payload_error_streak = 0;
+
+    // Routing is the outer concern: a mis-routed request is answered
+    // NotOwner before any local check (even chip mismatch) — the
+    // owner, not this shard, is the authority on serving it.  The
+    // digest is the same canonical fingerprint the router computed
+    // client-side, so both sides always name the same owner for the
+    // same map.
+    if (options_.shard_map) {
+        auto map = options_.shard_map->snapshot();
+        if (!map->empty()) {
+            std::uint64_t digest =
+                serve::fingerprintRequest(request.workload, request.chip,
+                                          request.perf_loss_target,
+                                          request.seed)
+                    .digest;
+            const shard::ShardInfo &owner = map->ownerOf(digest);
+            if (owner.id != options_.shard_id) {
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++stats_.responses_not_owner;
+                }
+                WireResponse response;
+                response.status = Status::NotOwner;
+                response.owner_address = owner.address;
+                response.map_epoch = map->epoch();
+                response.shard_map_text = map->encode();
+                response.message =
+                    "net: shard " + std::to_string(options_.shard_id)
+                    + " does not own this fingerprint";
+                queueResponse(id, conn, response);
+                return;
+            }
+        }
+    }
 
     if (encodeChipConfig(request.chip) != chip_block_) {
         {
@@ -557,6 +599,116 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
 }
 
 void
+StrategyServer::servePeerDonorQuery(std::uint64_t id, Connection &conn,
+                                    std::string_view payload)
+{
+    PeerDonorQuery query;
+    try {
+        query = decodePeerDonorQuery(payload, options_.limits);
+    } catch (const WireError &error) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.responses_malformed;
+        }
+        ++conn.payload_error_streak;
+        if (options_.max_payload_errors > 0
+            && conn.payload_error_streak >= options_.max_payload_errors)
+            conn.close_after_flush = true;
+        WireResponse response;
+        response.status = Status::Malformed;
+        response.message = error.what();
+        queueResponse(id, conn, response);
+        return;
+    }
+    conn.payload_error_streak = 0;
+
+    // A cache probe plus one serialisation: cheap enough to answer
+    // directly on the loop, keeping peer latency one round trip.
+    serve::Fingerprint probe;
+    probe.digest = query.digest;
+    probe.features = query.features;
+    probe.model_epoch = query.model_epoch;
+    PeerDonorReply reply;
+    if (auto hit = service_.exportDonor(probe, query.perf_loss_target)) {
+        reply.found = true;
+        reply.similarity = hit->similarity;
+        reply.fingerprint_digest = hit->entry.fingerprint.digest;
+        reply.features = hit->entry.fingerprint.features;
+        reply.model_epoch = hit->entry.fingerprint.model_epoch;
+        reply.perf_loss_target = hit->entry.perf_loss_target;
+        reply.best_score = hit->entry.ga.best_score;
+        reply.best_mhz = hit->entry.ga.best_mhz;
+        std::ostringstream strategy_text;
+        dvfs::saveStrategy(hit->entry.strategy, strategy_text);
+        reply.strategy_text = strategy_text.str();
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.peer_donor_queries_served;
+        if (reply.found)
+            ++stats_.peer_donors_exported;
+    }
+    std::string framed;
+    try {
+        framed =
+            frameMessage(MsgType::PeerDonorReply,
+                         encodePeerDonorReply(reply, options_.limits),
+                         options_.limits);
+    } catch (const WireError &) {
+        // A donor too large for the caps degrades to a miss; the peer
+        // just runs cold, exactly as if we had nothing.
+        framed = frameMessage(
+            MsgType::PeerDonorReply,
+            encodePeerDonorReply(PeerDonorReply{}, options_.limits),
+            options_.limits);
+    }
+    conn.write_buffer += framed;
+    flushWritable(id, conn);
+}
+
+void
+StrategyServer::serveEpochInvalidate(std::uint64_t id, Connection &conn,
+                                     std::string_view payload)
+{
+    EpochInvalidate invalidate;
+    try {
+        invalidate = decodeEpochInvalidate(payload);
+    } catch (const WireError &error) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.responses_malformed;
+        }
+        ++conn.payload_error_streak;
+        if (options_.max_payload_errors > 0
+            && conn.payload_error_streak >= options_.max_payload_errors)
+            conn.close_after_flush = true;
+        WireResponse response;
+        response.status = Status::Malformed;
+        response.message = error.what();
+        queueResponse(id, conn, response);
+        return;
+    }
+    conn.payload_error_streak = 0;
+
+    // Raise *before* the ack goes out: once the origin shard has our
+    // ack, no request on this shard can see a pre-epoch exact hit —
+    // the coherence guarantee the broadcast blocks for.
+    std::uint64_t epoch =
+        service_.raiseModelEpoch(invalidate.model_epoch);
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.epoch_invalidates_received;
+    }
+    EpochInvalidateAck ack;
+    ack.shard_id = options_.shard_id;
+    ack.model_epoch = epoch;
+    conn.write_buffer += frameMessage(MsgType::EpochInvalidateAck,
+                                      encodeEpochInvalidateAck(ack),
+                                      options_.limits);
+    flushWritable(id, conn);
+}
+
+void
 StrategyServer::serveAdminLine(Connection &conn)
 {
     if (conn.close_after_flush)
@@ -574,16 +726,75 @@ StrategyServer::serveAdminLine(Connection &conn)
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.admin_requests;
     }
-    if (line == "STATS")
+    std::istringstream fields(line);
+    std::string command;
+    fields >> command;
+    if (command == "STATS") {
         conn.write_buffer += statsText();
-    else if (line == "HEALTH")
+    } else if (command == "HEALTH") {
         // phase_ covers the instant between stop() being requested and
         // service_.drain() raising its flag.
         conn.write_buffer +=
             (phase_.load() != 0 || service_.draining()) ? "draining\n"
                                                         : "ok\n";
-    else
+    } else if (command == "SHARDMAP") {
+        if (options_.shard_map)
+            conn.write_buffer += options_.shard_map->snapshot()->encode();
+        else
+            conn.write_buffer += "error no-shard-map\n";
+    } else if (command == "JOIN") {
+        std::uint64_t shard_id = 0;
+        std::string address;
+        if (!options_.shard_map) {
+            conn.write_buffer += "error no-shard-map\n";
+        } else if (!(fields >> shard_id >> address)
+                   || shard_id > 0xFFFFFFFFull
+                   || !(fields >> std::ws).eof()) {
+            conn.write_buffer += "error bad-join-arguments\n";
+        } else {
+            try {
+                std::uint64_t epoch = options_.shard_map->join(
+                    {static_cast<std::uint32_t>(shard_id), address});
+                conn.write_buffer +=
+                    "ok epoch " + std::to_string(epoch) + "\n";
+            } catch (const std::invalid_argument &error) {
+                conn.write_buffer +=
+                    std::string("error ") + error.what() + "\n";
+            }
+        }
+    } else if (command == "LEAVE") {
+        std::uint64_t shard_id = 0;
+        if (!options_.shard_map) {
+            conn.write_buffer += "error no-shard-map\n";
+        } else if (!(fields >> shard_id) || shard_id > 0xFFFFFFFFull
+                   || !(fields >> std::ws).eof()) {
+            conn.write_buffer += "error bad-leave-arguments\n";
+        } else {
+            std::uint64_t epoch = options_.shard_map->leave(
+                static_cast<std::uint32_t>(shard_id));
+            conn.write_buffer +=
+                "ok epoch " + std::to_string(epoch) + "\n";
+        }
+    } else if (command == "RECAL") {
+        if (!(fields >> std::ws).eof()) {
+            conn.write_buffer += "error bad-recal-arguments\n";
+        } else {
+            // Advance locally, then broadcast and *block* for the acks
+            // before replying: when the admin reply arrives, no acked
+            // peer can still answer a pre-epoch exact hit.  Blocking
+            // the loop is deliberate — recalibration is rare and the
+            // broadcast deadline bounds the stall.
+            std::uint64_t epoch = service_.advanceModelEpoch();
+            std::size_t acks = 0;
+            if (options_.peers)
+                acks = options_.peers->broadcastEpochInvalidate(epoch);
+            conn.write_buffer += "ok epoch " + std::to_string(epoch)
+                                 + " acks " + std::to_string(acks)
+                                 + "\n";
+        }
+    } else {
         conn.write_buffer += "error unknown-command\n";
+    }
     conn.read_buffer.clear();
     conn.close_after_flush = true; // one command per connection
 }
@@ -680,6 +891,12 @@ StrategyServer::statsText() const
        << "responses_chip_mismatch " << server.responses_chip_mismatch
        << '\n'
        << "responses_internal " << server.responses_internal << '\n'
+       << "responses_not_owner " << server.responses_not_owner << '\n'
+       << "peer_donor_queries_served "
+       << server.peer_donor_queries_served << '\n'
+       << "peer_donors_exported " << server.peer_donors_exported << '\n'
+       << "epoch_invalidates_received "
+       << server.epoch_invalidates_received << '\n'
        << "admin_requests " << server.admin_requests << '\n'
        << "service_requests " << service.requests << '\n'
        << "service_exact_hits " << service.exact_hits << '\n'

@@ -23,7 +23,20 @@
  * whose first byte is not the frame magic's 'O' are read as one text
  * line — `STATS` returns service + server counters (including p50/p95
  * service latency), `HEALTH` returns `ok` or `draining` — then the
- * connection closes.
+ * connection closes.  In cluster mode four more commands manage the
+ * shard: `SHARDMAP` (the encoded map), `JOIN <id> <host:port>` /
+ * `LEAVE <id>` (membership changes, bumping the map epoch), and
+ * `RECAL` (advance the model epoch and broadcast an epoch-invalidate
+ * to every peer; the reply reports the new epoch and the ack count
+ * only after the broadcast completed, so `ok`+reply implies no
+ * reachable shard still serves pre-epoch exact hits).
+ *
+ * In cluster mode (`ServerOptions::shard_map` set) the server also
+ * ownership-checks every request against the consistent-hash ring and
+ * answers `NotOwner` for digests another shard owns, and it serves the
+ * shard-to-shard frames (`PeerDonorQuery`, `EpochInvalidate`) directly
+ * on the event loop — both are sub-millisecond cache/epoch operations,
+ * far cheaper than the GA work that goes through the service pool.
  *
  * stop() is graceful: buffered-but-unserved frames are answered
  * `Busy (shutting-down)`, the service drains (every admitted request
@@ -46,8 +59,10 @@
 #include <string_view>
 #include <thread>
 
+#include "net/peer.h"
 #include "net/wire.h"
 #include "serve/service.h"
+#include "shard/shard_map.h"
 
 namespace opdvfs::net {
 
@@ -84,6 +99,28 @@ struct ServerOptions
     std::size_t max_payload_errors = 3;
     /** Decoder caps applied to every inbound frame. */
     WireLimits limits;
+
+    // --- cluster mode -------------------------------------------------
+    /**
+     * This server's shard identity on the cluster ring.  Meaningful
+     * only when `shard_map` is set.
+     */
+    std::uint32_t shard_id = 0;
+    /**
+     * Live cluster membership shared with the admin JOIN/LEAVE
+     * commands and the peer client.  When set and non-empty, every
+     * request is ownership-checked: a fingerprint owned by another
+     * shard is answered `NotOwner` (owner address + map epoch + full
+     * encoded map) instead of being served.  Null: single-shard mode,
+     * no checks, wire-compatible with a non-clustered client.
+     */
+    std::shared_ptr<shard::SharedShardMap> shard_map;
+    /**
+     * Shard-to-shard client used to broadcast epoch invalidates when
+     * the admin RECAL command advances the model epoch.  Null: RECAL
+     * still recalibrates locally but tells no one.
+     */
+    std::shared_ptr<ShardPeers> peers;
 };
 
 /** Monotonic counters owned by the event loop. */
@@ -101,6 +138,14 @@ struct ServerStats
     std::uint64_t responses_malformed = 0;
     std::uint64_t responses_chip_mismatch = 0;
     std::uint64_t responses_internal = 0;
+    /** Requests answered NotOwner (another shard owns the digest). */
+    std::uint64_t responses_not_owner = 0;
+    /** Peer donor queries answered (hit or miss). */
+    std::uint64_t peer_donor_queries_served = 0;
+    /** Peer donor queries answered with a donor (subset of served). */
+    std::uint64_t peer_donors_exported = 0;
+    /** Epoch invalidates received from recalibrating peers. */
+    std::uint64_t epoch_invalidates_received = 0;
     std::uint64_t admin_requests = 0;
     std::size_t open_connections = 0;
 };
@@ -162,6 +207,12 @@ class StrategyServer
     void serveFrames(std::uint64_t id, Connection &conn);
     void serveRequest(std::uint64_t id, Connection &conn,
                       std::string_view payload);
+    /** Peer frames (donor query / epoch invalidate) are answered
+     *  directly on the loop: both are cheap cache/epoch operations. */
+    void servePeerDonorQuery(std::uint64_t id, Connection &conn,
+                             std::string_view payload);
+    void serveEpochInvalidate(std::uint64_t id, Connection &conn,
+                              std::string_view payload);
     void serveAdminLine(Connection &conn);
     void queueResponse(std::uint64_t id, Connection &conn,
                        const WireResponse &response);

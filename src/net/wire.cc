@@ -277,6 +277,7 @@ statusToken(Status status)
     case Status::Malformed: return "malformed";
     case Status::ChipMismatch: return "chip-mismatch";
     case Status::Internal: return "internal";
+    case Status::NotOwner: return "not-owner";
     }
     return "unknown";
 }
@@ -454,6 +455,10 @@ encodeResponse(const WireResponse &response, const WireLimits &limits)
     if (response.status != Status::Busy && response.retry_after_ms != 0)
         throw WireError("wire: retry_after_ms is only carried by Busy "
                         "responses");
+    if ((response.status == Status::NotOwner)
+        != !response.owner_address.empty())
+        throw WireError("wire: NotOwner responses (and only those) carry "
+                        "an owner address");
     ByteWriter writer;
     writer.u8(static_cast<std::uint8_t>(response.status));
     writer.u8(static_cast<std::uint8_t>(response.reject));
@@ -461,6 +466,14 @@ encodeResponse(const WireResponse &response, const WireLimits &limits)
                  "response message");
     if (response.status == Status::Busy)
         writer.u32(response.retry_after_ms);
+    if (response.status == Status::NotOwner) {
+        writer.str16(response.owner_address, limits.max_string_bytes,
+                     "owner address");
+        writer.u64(response.map_epoch);
+        writer.str32(response.shard_map_text, limits.max_shard_map_bytes,
+                     "shard map block");
+        return writer.take();
+    }
     if (response.status != Status::Ok)
         return writer.take();
 
@@ -488,7 +501,7 @@ decodeResponse(std::string_view payload, const WireLimits &limits)
     ByteReader reader(payload);
     WireResponse response;
     std::uint8_t status = reader.u8();
-    if (status > static_cast<std::uint8_t>(Status::Internal))
+    if (status > static_cast<std::uint8_t>(Status::NotOwner))
         throw WireError("wire: unknown response status");
     response.status = static_cast<Status>(status);
     std::uint8_t reject = reader.u8();
@@ -504,6 +517,17 @@ decodeResponse(std::string_view payload, const WireLimits &limits)
         reader.str16(limits.max_message_bytes, "response message");
     if (response.status == Status::Busy)
         response.retry_after_ms = reader.u32();
+    if (response.status == Status::NotOwner) {
+        response.owner_address =
+            reader.str16(limits.max_string_bytes, "owner address");
+        if (response.owner_address.empty())
+            throw WireError("wire: NotOwner without an owner address");
+        response.map_epoch = reader.u64();
+        response.shard_map_text = reader.str32(limits.max_shard_map_bytes,
+                                               "shard map block");
+        reader.expectEnd("response payload");
+        return response;
+    }
     if (response.status != Status::Ok) {
         reader.expectEnd("response payload");
         return response;
@@ -536,6 +560,168 @@ decodeResponse(std::string_view payload, const WireLimits &limits)
     }
     reader.expectEnd("response payload");
     return response;
+}
+
+namespace {
+
+/** u16 count + IEEE-754 doubles; every element must be finite. */
+void
+writeDoubles(ByteWriter &writer, const std::vector<double> &values,
+             std::size_t cap, const char *what)
+{
+    if (values.size() > cap)
+        throw WireError(std::string("wire: ") + what
+                        + " exceeds its element cap");
+    writer.u16(static_cast<std::uint16_t>(values.size()));
+    for (double value : values) {
+        if (!std::isfinite(value))
+            throw WireError(std::string("wire: non-finite ") + what);
+        writer.f64(value);
+    }
+}
+
+std::vector<double>
+readDoubles(ByteReader &reader, std::size_t cap, const char *what)
+{
+    std::size_t count = reader.u16();
+    if (count > cap)
+        throw WireError(std::string("wire: ") + what
+                        + " exceeds its element cap");
+    std::vector<double> values(count);
+    for (double &value : values)
+        value = reader.finite(what);
+    return values;
+}
+
+} // namespace
+
+std::string
+encodePeerDonorQuery(const PeerDonorQuery &query, const WireLimits &limits)
+{
+    if (!std::isfinite(query.perf_loss_target)
+        || query.perf_loss_target <= 0.0 || query.perf_loss_target >= 1.0)
+        throw WireError("wire: perf_loss_target outside (0, 1)");
+    ByteWriter writer;
+    writer.u64(query.digest);
+    writer.u64(query.model_epoch);
+    writer.f64(query.perf_loss_target);
+    writer.u32(query.origin_shard);
+    writeDoubles(writer, query.features, limits.max_features,
+                 "query features");
+    return writer.take();
+}
+
+PeerDonorQuery
+decodePeerDonorQuery(std::string_view payload, const WireLimits &limits)
+{
+    ByteReader reader(payload);
+    PeerDonorQuery query;
+    query.digest = reader.u64();
+    query.model_epoch = reader.u64();
+    query.perf_loss_target = reader.finite("perf_loss_target");
+    if (query.perf_loss_target <= 0.0 || query.perf_loss_target >= 1.0)
+        throw WireError("wire: perf_loss_target outside (0, 1)");
+    query.origin_shard = reader.u32();
+    query.features =
+        readDoubles(reader, limits.max_features, "query features");
+    reader.expectEnd("peer donor query");
+    return query;
+}
+
+std::string
+encodePeerDonorReply(const PeerDonorReply &reply, const WireLimits &limits)
+{
+    ByteWriter writer;
+    writer.u8(reply.found ? 1 : 0);
+    if (!reply.found) {
+        // A miss carries nothing: the canonical empty reply.
+        return writer.take();
+    }
+    if (!std::isfinite(reply.similarity) || reply.similarity < 0.0
+        || reply.similarity > 1.0)
+        throw WireError("wire: similarity outside [0, 1]");
+    writer.f64(reply.similarity);
+    writer.u64(reply.fingerprint_digest);
+    writer.u64(reply.model_epoch);
+    writer.f64(reply.perf_loss_target);
+    writer.f64(reply.best_score);
+    writeDoubles(writer, reply.features, limits.max_features,
+                 "donor features");
+    writeDoubles(writer, reply.best_mhz, limits.max_stages,
+                 "donor best_mhz");
+    writer.str32(reply.strategy_text, limits.max_strategy_bytes,
+                 "donor strategy block");
+    return writer.take();
+}
+
+PeerDonorReply
+decodePeerDonorReply(std::string_view payload, const WireLimits &limits)
+{
+    ByteReader reader(payload);
+    PeerDonorReply reply;
+    std::uint8_t found = reader.u8();
+    if (found > 1)
+        throw WireError("wire: bad donor-found flag");
+    reply.found = found == 1;
+    if (!reply.found) {
+        reader.expectEnd("peer donor reply");
+        return reply;
+    }
+    reply.similarity = reader.finite("similarity");
+    if (reply.similarity < 0.0 || reply.similarity > 1.0)
+        throw WireError("wire: similarity outside [0, 1]");
+    reply.fingerprint_digest = reader.u64();
+    reply.model_epoch = reader.u64();
+    reply.perf_loss_target = reader.finite("perf_loss_target");
+    reply.best_score = reader.finite("best_score");
+    reply.features =
+        readDoubles(reader, limits.max_features, "donor features");
+    reply.best_mhz =
+        readDoubles(reader, limits.max_stages, "donor best_mhz");
+    reply.strategy_text = reader.str32(limits.max_strategy_bytes,
+                                       "donor strategy block");
+    reader.expectEnd("peer donor reply");
+    return reply;
+}
+
+std::string
+encodeEpochInvalidate(const EpochInvalidate &invalidate)
+{
+    ByteWriter writer;
+    writer.u32(invalidate.origin_shard);
+    writer.u64(invalidate.model_epoch);
+    return writer.take();
+}
+
+EpochInvalidate
+decodeEpochInvalidate(std::string_view payload)
+{
+    ByteReader reader(payload);
+    EpochInvalidate invalidate;
+    invalidate.origin_shard = reader.u32();
+    invalidate.model_epoch = reader.u64();
+    reader.expectEnd("epoch invalidate");
+    return invalidate;
+}
+
+std::string
+encodeEpochInvalidateAck(const EpochInvalidateAck &ack)
+{
+    ByteWriter writer;
+    writer.u32(ack.shard_id);
+    writer.u64(ack.model_epoch);
+    return writer.take();
+}
+
+EpochInvalidateAck
+decodeEpochInvalidateAck(std::string_view payload)
+{
+    ByteReader reader(payload);
+    EpochInvalidateAck ack;
+    ack.shard_id = reader.u32();
+    ack.model_epoch = reader.u64();
+    reader.expectEnd("epoch invalidate ack");
+    return ack;
 }
 
 std::string
@@ -576,8 +762,8 @@ peelFrame(std::string_view buffer, std::size_t *consumed,
         throw WireVersionError("wire: unsupported protocol version "
                                + std::to_string(version));
     std::uint8_t type = reader.u8();
-    if (type != static_cast<std::uint8_t>(MsgType::Request)
-        && type != static_cast<std::uint8_t>(MsgType::Response))
+    if (type < static_cast<std::uint8_t>(MsgType::Request)
+        || type > static_cast<std::uint8_t>(MsgType::EpochInvalidateAck))
         throw WireError("wire: unknown message type");
     if (reader.u16() != 0)
         throw WireError("wire: reserved header bits set");

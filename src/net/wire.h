@@ -48,6 +48,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "dvfs/strategy_io.h"
 #include "models/workload.h"
@@ -62,8 +63,16 @@ namespace opdvfs::net {
  * v2 added the optional request deadline (flag-gated `deadline_ms`
  * after the seed) and the mandatory `retry_after_ms` hint on Busy
  * responses.
+ *
+ * v3 added the cluster messages: the `NotOwner` response status
+ * (carrying the owner address, the current map epoch and the full
+ * encoded shard map so a stale client self-heals in one round trip)
+ * and the shard-to-shard frame types `PeerDonorQuery`/`PeerDonorReply`
+ * (cross-shard warm-start donors) and
+ * `EpochInvalidate`/`EpochInvalidateAck` (cluster-wide model-epoch
+ * coherence after a recalibration).
  */
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /** Frame header size in bytes (magic..CRC). */
 inline constexpr std::size_t kFrameHeaderBytes = 16;
@@ -76,6 +85,16 @@ enum class MsgType : std::uint8_t
 {
     Request = 1,
     Response = 2,
+    /** Shard-to-shard: probe a peer's cache for a warm-start donor. */
+    PeerDonorQuery = 3,
+    /** Shard-to-shard: the (possibly empty) donor answer. */
+    PeerDonorReply = 4,
+    /** Shard-to-shard: a recalibration advanced the model epoch;
+     *  raise yours so stale strategies stop being exact hits. */
+    EpochInvalidate = 5,
+    /** Shard-to-shard: the receiver's epoch after applying the
+     *  invalidate — the broadcast's completion signal. */
+    EpochInvalidateAck = 6,
 };
 
 /** Response status codes. */
@@ -93,6 +112,15 @@ enum class Status : std::uint8_t
     ChipMismatch = 3,
     /** The pipeline threw while serving the request. */
     Internal = 4,
+    /**
+     * This shard does not own the request's fingerprint on the
+     * cluster's consistent-hash ring.  The response carries the owner
+     * address, the server's map epoch and the full encoded map; a
+     * router retries at the owner after refreshing any stale map.
+     * Never served past the redirect bound — a client that keeps
+     * seeing NotOwner holds a map no server agrees with.
+     */
+    NotOwner = 5,
 };
 
 /** Whitespace-free token ("ok", "busy", ...). */
@@ -111,6 +139,12 @@ struct WireLimits
     std::size_t max_strategy_bytes = 1u << 20;
     /** Error-message string in a response. */
     std::size_t max_message_bytes = 4096;
+    /** Encoded shard-map text in a NotOwner response. */
+    std::size_t max_shard_map_bytes = 64u << 10;
+    /** Fingerprint similarity features in a peer donor message. */
+    std::size_t max_features = 64;
+    /** Per-stage frequency entries in a peer donor reply. */
+    std::size_t max_stages = 16384;
 };
 
 /** Malformed frame or payload; never retryable. */
@@ -183,6 +217,62 @@ struct WireResponse
     double service_seconds = 0.0;
     std::uint64_t fingerprint_digest = 0;
     std::uint64_t model_epoch = 0;
+
+    // --- Status::NotOwner payload -------------------------------------
+    /** "host:port" of the shard owning the request's fingerprint. */
+    std::string owner_address;
+    /** The answering server's shard-map epoch. */
+    std::uint64_t map_epoch = 0;
+    /** The full encoded shard map (shard::ShardMap::encode text) so a
+     *  stale router self-heals from one redirect. */
+    std::string shard_map_text;
+};
+
+// --- shard-to-shard messages -------------------------------------------
+
+/** Probe of a peer shard's cache for a warm-start donor. */
+struct PeerDonorQuery
+{
+    /** Fingerprint of the cold request (digest + features + epoch). */
+    std::uint64_t digest = 0;
+    std::vector<double> features;
+    std::uint64_t model_epoch = 0;
+    double perf_loss_target = 0.02;
+    /** The asking shard (telemetry; not used for routing). */
+    std::uint32_t origin_shard = 0;
+};
+
+/** Answer to a PeerDonorQuery; `found == false` carries no donor. */
+struct PeerDonorReply
+{
+    bool found = false;
+    /** Donor similarity to the probe, as the peer computed it. */
+    double similarity = 0.0;
+    /** Donor identity: enough to import it as a donor-only entry. */
+    std::uint64_t fingerprint_digest = 0;
+    std::vector<double> features;
+    std::uint64_t model_epoch = 0;
+    double perf_loss_target = 0.0;
+    double best_score = 0.0;
+    /** Per-stage frequencies seeding the warm start. */
+    std::vector<double> best_mhz;
+    /** The donor strategy in strategy_io text form. */
+    std::string strategy_text;
+};
+
+/** A recalibration advanced the origin shard's model epoch. */
+struct EpochInvalidate
+{
+    std::uint32_t origin_shard = 0;
+    /** Raise your epoch to at least this value. */
+    std::uint64_t model_epoch = 0;
+};
+
+/** The receiver's epoch after applying an EpochInvalidate. */
+struct EpochInvalidateAck
+{
+    std::uint32_t shard_id = 0;
+    std::uint64_t model_epoch = 0;
 };
 
 /** One frame peeled off the front of a byte stream. */
@@ -210,6 +300,26 @@ std::string encodeResponse(const WireResponse &response,
 /** Parse a response payload. @throws WireError. */
 WireResponse decodeResponse(std::string_view payload,
                             const WireLimits &limits = {});
+
+/** Peer-donor query codec. @throws WireError on malformed input. */
+std::string encodePeerDonorQuery(const PeerDonorQuery &query,
+                                 const WireLimits &limits = {});
+PeerDonorQuery decodePeerDonorQuery(std::string_view payload,
+                                    const WireLimits &limits = {});
+
+/** Peer-donor reply codec. @throws WireError on malformed input. */
+std::string encodePeerDonorReply(const PeerDonorReply &reply,
+                                 const WireLimits &limits = {});
+PeerDonorReply decodePeerDonorReply(std::string_view payload,
+                                    const WireLimits &limits = {});
+
+/** Epoch-invalidate codec. @throws WireError on malformed input. */
+std::string encodeEpochInvalidate(const EpochInvalidate &invalidate);
+EpochInvalidate decodeEpochInvalidate(std::string_view payload);
+
+/** Epoch-invalidate-ack codec. @throws WireError on malformed input. */
+std::string encodeEpochInvalidateAck(const EpochInvalidateAck &ack);
+EpochInvalidateAck decodeEpochInvalidateAck(std::string_view payload);
 
 // --- framing -----------------------------------------------------------
 

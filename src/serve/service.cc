@@ -421,6 +421,26 @@ StrategyService::computeFresh(const StrategyRequest &request,
                 1, static_cast<int>(std::lround(
                        full_generations
                        * options_.warm_generation_fraction)));
+        } else if (options_.peer_donor_lookup) {
+            // Local cache has nothing useful: ask the cluster.  The
+            // lookup blocks this worker only as long as the peer
+            // deadlines allow, far below one cold search.
+            peer_donor_queries_.fetch_add(1, std::memory_order_relaxed);
+            if (auto peer = options_.peer_donor_lookup(
+                    fingerprint, request.perf_loss_target)) {
+                peer_donor_hits_.fetch_add(1, std::memory_order_relaxed);
+                response.provenance = Provenance::WarmStart;
+                response.similarity = peer->similarity;
+                pipeline_options.ga.prior_individuals.push_back(
+                    peer->best_mhz);
+                pipeline_options.ga.generations = std::max(
+                    1, static_cast<int>(std::lround(
+                           full_generations
+                           * options_.warm_generation_fraction)));
+                // Keep a donor-only copy so the next similar request
+                // warm-starts without another peer round-trip.
+                importDonor(*peer);
+            }
         }
     }
 
@@ -517,6 +537,42 @@ StrategyService::advanceModelEpoch()
 }
 
 std::uint64_t
+StrategyService::raiseModelEpoch(std::uint64_t epoch)
+{
+    std::uint64_t current = model_epoch_.load(std::memory_order_acquire);
+    while (current < epoch
+           && !model_epoch_.compare_exchange_weak(
+               current, epoch, std::memory_order_acq_rel,
+               std::memory_order_acquire)) {
+        // `current` reloaded by the failed CAS; retry until the stored
+        // epoch is at least the requested one.
+    }
+    return std::max(current, epoch);
+}
+
+std::optional<SimilarHit>
+StrategyService::exportDonor(const Fingerprint &probe,
+                             double perf_loss_target)
+{
+    return cache_.findSimilar(probe, options_.warm_similarity,
+                              perf_loss_target, /*owned_only=*/true);
+}
+
+void
+StrategyService::importDonor(const PeerDonor &donor)
+{
+    CacheEntry entry;
+    entry.fingerprint = donor.fingerprint;
+    entry.strategy = donor.strategy;
+    entry.ga.best_mhz = donor.best_mhz;
+    entry.ga.best_score = donor.best_score;
+    entry.perf_loss_target = donor.perf_loss_target;
+    entry.warm_start_only = true;
+    cache_.insert(std::move(entry));
+    donors_imported_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
 StrategyService::modelEpoch() const
 {
     return model_epoch_.load(std::memory_order_acquire);
@@ -555,6 +611,12 @@ StrategyService::stats() const
         generations_saved_.load(std::memory_order_relaxed);
     out.stale_demotions =
         stale_demotions_.load(std::memory_order_relaxed);
+    out.peer_donor_queries =
+        peer_donor_queries_.load(std::memory_order_relaxed);
+    out.peer_donor_hits =
+        peer_donor_hits_.load(std::memory_order_relaxed);
+    out.donors_imported =
+        donors_imported_.load(std::memory_order_relaxed);
     out.model_epoch = model_epoch_.load(std::memory_order_relaxed);
     out.queue_depth = pool_.queueDepth();
     {

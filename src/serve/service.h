@@ -102,6 +102,34 @@ class RequestExpired : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * A warm-start donor obtained from a peer shard.  Carries everything
+ * needed both to seed the GA (`best_mhz`) and to import the strategy
+ * into the local cache as a `warm_start_only` entry so later similar
+ * requests find it without another peer round-trip.
+ */
+struct PeerDonor
+{
+    Fingerprint fingerprint;
+    dvfs::Strategy strategy;
+    /** The donor's per-stage frequencies; seeds `prior_individuals`. */
+    std::vector<double> best_mhz;
+    double best_score = 0.0;
+    /** Similarity of the donor to the probe, as the peer computed it. */
+    double similarity = 0.0;
+    /** The loss target the donor was generated for. */
+    double perf_loss_target = 0.0;
+};
+
+/**
+ * Cross-shard donor lookup, supplied by the network layer (the serve
+ * layer never opens sockets).  Called on a worker thread when a cold
+ * request found no local donor; may block briefly (bounded peer
+ * deadlines) and returns the best peer donor, if any.
+ */
+using DonorLookupFn = std::function<std::optional<PeerDonor>(
+    const Fingerprint &probe, double perf_loss_target)>;
+
 /** Service configuration. */
 struct ServiceOptions
 {
@@ -123,6 +151,12 @@ struct ServiceOptions
     double warm_generation_fraction = 1.0 / 3.0;
     /** Score GA populations on the pool (off: serial fitness). */
     bool parallel_fitness = true;
+    /**
+     * Optional cross-shard donor lookup, consulted only when a cold
+     * request has no local donor (exact hit, coalesce and local
+     * similarity all missed).  Unset: single-shard behaviour.
+     */
+    DonorLookupFn peer_donor_lookup;
 
     // --- overload control (CoDel-style sojourn admission) ------------
     /**
@@ -220,6 +254,13 @@ struct ServiceStats
     std::uint64_t generations_saved = 0;
     /** Exact hits demoted to warm-start donors by an epoch advance. */
     std::uint64_t stale_demotions = 0;
+    /** Cold requests that consulted the peer-donor lookup. */
+    std::uint64_t peer_donor_queries = 0;
+    /** Peer-donor lookups that returned a usable donor (the request
+     *  became a warm start instead of a cold search). */
+    std::uint64_t peer_donor_hits = 0;
+    /** Peer strategies imported into the cache as donor-only entries. */
+    std::uint64_t donors_imported = 0;
     /** Current model epoch (recalibrations seen by the service). */
     std::uint64_t model_epoch = 0;
     /** Tasks admitted but not yet started. */
@@ -310,8 +351,37 @@ class StrategyService
      */
     std::uint64_t advanceModelEpoch();
 
+    /**
+     * Raise the model epoch to at least @p epoch (monotone: a lower or
+     * equal value is a no-op).  This is the receive side of a
+     * cluster-wide epoch invalidate: when a peer shard recalibrates to
+     * epoch E, every other shard raises to E so none of them can keep
+     * serving pre-E strategies as exact hits — they demote to
+     * warm-start donors exactly as under advanceModelEpoch().  Returns
+     * the resulting epoch.
+     */
+    std::uint64_t raiseModelEpoch(std::uint64_t epoch);
+
     /** Current model epoch (starts at 0). */
     std::uint64_t modelEpoch() const;
+
+    /**
+     * Probe the local cache for a donor on behalf of a peer shard.
+     * Only entries this shard generated itself are exported
+     * (`warm_start_only` imports are skipped: relaying second-hand
+     * copies would let a donor hop shard to shard unboundedly).
+     * Returns the best entry reaching the service's warm similarity
+     * threshold within the loss-target tolerance.
+     */
+    std::optional<SimilarHit> exportDonor(const Fingerprint &probe,
+                                          double perf_loss_target);
+
+    /**
+     * Insert a peer-supplied strategy as a `warm_start_only` cache
+     * entry: visible to similarity lookups, invisible to exact-hit
+     * lookups, and never replacing an owned entry.
+     */
+    void importDonor(const PeerDonor &donor);
 
     const ServiceOptions &options() const { return options_; }
 
@@ -375,6 +445,9 @@ class StrategyService
     std::atomic<std::uint64_t> ga_runs_past_deadline_{0};
     std::atomic<std::uint64_t> generations_saved_{0};
     std::atomic<std::uint64_t> stale_demotions_{0};
+    std::atomic<std::uint64_t> peer_donor_queries_{0};
+    std::atomic<std::uint64_t> peer_donor_hits_{0};
+    std::atomic<std::uint64_t> donors_imported_{0};
     std::atomic<std::uint64_t> model_epoch_{0};
     mutable std::mutex latency_mutex_;
     std::vector<double> latencies_;

@@ -32,7 +32,7 @@ StrategyCache::findExact(std::uint64_t digest)
     Shard &shard = shardFor(digest);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto found = shard.by_digest.find(digest);
-    if (found == shard.by_digest.end())
+    if (found == shard.by_digest.end() || found->second->warm_start_only)
         return std::nullopt;
     shard.entries.splice(shard.entries.begin(), shard.entries,
                          found->second);
@@ -46,19 +46,22 @@ StrategyCache::containsFresh(std::uint64_t digest,
     Shard &shard = shardFor(digest);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto found = shard.by_digest.find(digest);
-    if (found == shard.by_digest.end())
+    if (found == shard.by_digest.end() || found->second->warm_start_only)
         return false;
     return found->second->fingerprint.model_epoch == model_epoch;
 }
 
 std::optional<SimilarHit>
 StrategyCache::findSimilar(const Fingerprint &probe, double min_similarity,
-                           std::optional<double> loss_target)
+                           std::optional<double> loss_target,
+                           bool owned_only)
 {
     std::optional<SimilarHit> best;
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         for (const CacheEntry &entry : shard.entries) {
+            if (owned_only && entry.warm_start_only)
+                continue;
             if (loss_target
                 && std::abs(entry.perf_loss_target - *loss_target)
                     > loss_target_tolerance_)
@@ -81,6 +84,8 @@ StrategyCache::insert(CacheEntry entry)
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto found = shard.by_digest.find(entry.fingerprint.digest);
     if (found != shard.by_digest.end()) {
+        if (entry.warm_start_only && !found->second->warm_start_only)
+            return; // never shadow an owned result with a donor copy
         shard.entries.erase(found->second);
         shard.by_digest.erase(found);
     }

@@ -38,6 +38,13 @@ struct CacheEntry
     dvfs::GaResult ga;
     /** The loss target the strategy was generated for. */
     double perf_loss_target = 0.0;
+    /**
+     * The entry may seed warm starts but must never be served as an
+     * exact hit.  Set on strategies imported from peer shards: the
+     * importer is not the entry's owner, so serving it verbatim would
+     * let a stale copy outlive the owner's invalidation.
+     */
+    bool warm_start_only = false;
 };
 
 /** A similarity lookup hit. */
@@ -68,7 +75,8 @@ class StrategyCache
 
     explicit StrategyCache(const Options &options);
 
-    /** Exact hit by digest; refreshes LRU recency. */
+    /** Exact hit by digest; refreshes LRU recency.  Entries marked
+     *  `warm_start_only` are invisible here (donor-only). */
     std::optional<CacheEntry> findExact(std::uint64_t digest);
 
     /**
@@ -84,13 +92,19 @@ class StrategyCache
      * @p min_similarity.  Does not refresh recency (a donor is not a
      * use of the entry's own workload).  When @p loss_target is set,
      * entries generated for a loss target differing by more than
-     * `Options::loss_target_tolerance` are skipped.
+     * `Options::loss_target_tolerance` are skipped.  With
+     * @p owned_only, `warm_start_only` entries are skipped too — a
+     * shard exporting donors to peers must not relay second-hand
+     * copies it imported itself.
      */
     std::optional<SimilarHit>
     findSimilar(const Fingerprint &probe, double min_similarity,
-                std::optional<double> loss_target = std::nullopt);
+                std::optional<double> loss_target = std::nullopt,
+                bool owned_only = false);
 
-    /** Insert or overwrite; evicts the shard's LRU entry when full. */
+    /** Insert or overwrite; evicts the shard's LRU entry when full.
+     *  A `warm_start_only` entry never replaces a full entry with the
+     *  same digest — a donor copy must not shadow an owned result. */
     void insert(CacheEntry entry);
 
     /** Current entry count across shards. */

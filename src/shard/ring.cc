@@ -1,0 +1,57 @@
+#include "shard/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opdvfs::shard {
+
+std::uint64_t
+mix64(std::uint64_t value)
+{
+    value += 0x9E3779B97F4A7C15ull;
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9ull;
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EBull;
+    return value ^ (value >> 31);
+}
+
+HashRing::HashRing(const std::vector<std::uint32_t> &shard_ids,
+                   std::size_t vnodes_per_shard)
+{
+    std::vector<std::uint32_t> ids = shard_ids;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    points_.reserve(ids.size() * vnodes_per_shard);
+    for (std::uint32_t id : ids) {
+        for (std::size_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+            // Two rounds over a word that packs (id, vnode) without
+            // overlap: pure integer arithmetic, so every process (and
+            // platform) derives the identical ring for a membership.
+            std::uint64_t word = (static_cast<std::uint64_t>(id) << 32)
+                                 | static_cast<std::uint64_t>(vnode);
+            points_.push_back({mix64(mix64(word)), id});
+        }
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const RingPoint &a, const RingPoint &b) {
+                  return a.point != b.point ? a.point < b.point
+                                            : a.shard < b.shard;
+              });
+}
+
+std::uint32_t
+HashRing::ownerOf(std::uint64_t digest) const
+{
+    if (points_.empty())
+        throw std::logic_error("shard: ownership lookup on an empty ring");
+    std::uint64_t position = mix64(digest);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), position,
+        [](const RingPoint &entry, std::uint64_t value) {
+            return entry.point < value;
+        });
+    if (it == points_.end())
+        it = points_.begin(); // wrap past the top of the ring
+    return it->shard;
+}
+
+} // namespace opdvfs::shard

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Consistent-hash ring over workload fingerprint digests.
+ *
+ * Each shard contributes a fixed number of *virtual nodes*: points on
+ * a 64-bit ring derived purely from (shard id, vnode index) by an
+ * integer mixer, so the ring a given membership set produces is
+ * identical in every process, on every platform, regardless of the
+ * order shards were added.  A key (a fingerprint digest) is owned by
+ * the shard whose vnode point is the first at or clockwise-after the
+ * key's own ring position.
+ *
+ * The classic consistent-hashing guarantee follows: when a shard
+ * joins a ring of N shards, only the keys that land between the new
+ * shard's vnodes and their predecessors move — in expectation 1/(N+1)
+ * of the key space — and every moved key moves *to* the new shard.
+ * Symmetrically, a leave moves exactly the departed shard's keys, and
+ * nothing else.  tests/prop_shard.cc holds the implementation to
+ * those bounds.
+ */
+
+#ifndef OPDVFS_SHARD_RING_H
+#define OPDVFS_SHARD_RING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace opdvfs::shard {
+
+/** splitmix64 finaliser: one well-mixed word from any 64-bit input. */
+std::uint64_t mix64(std::uint64_t value);
+
+/** One virtual node: a ring position owned by a shard. */
+struct RingPoint
+{
+    std::uint64_t point = 0;
+    std::uint32_t shard = 0;
+};
+
+/**
+ * The ring itself: sorted vnode points for one membership set.
+ * Immutable after construction; rebuild on membership change (the
+ * ShardMap does).  A ring over zero shards owns nothing — callers
+ * must check empty() before ownerOf().
+ */
+class HashRing
+{
+  public:
+    HashRing() = default;
+
+    /** Build @p vnodes_per_shard points for every id in @p shard_ids.
+     *  Duplicate ids are collapsed. */
+    HashRing(const std::vector<std::uint32_t> &shard_ids,
+             std::size_t vnodes_per_shard);
+
+    bool empty() const { return points_.empty(); }
+
+    /** Total vnode count (shards x vnodes per shard). */
+    std::size_t size() const { return points_.size(); }
+
+    /**
+     * The shard owning @p digest: the digest is re-mixed onto the
+     * ring (digests are already hashes, but re-mixing decouples ring
+     * placement from any structure in the digest function) and the
+     * first vnode point at or after it wins, wrapping at the top.
+     * @throws std::logic_error on an empty ring.
+     */
+    std::uint32_t ownerOf(std::uint64_t digest) const;
+
+    const std::vector<RingPoint> &points() const { return points_; }
+
+  private:
+    /** Sorted by (point, shard); the shard tie-break keeps lookups
+     *  deterministic even in the astronomically unlikely event of a
+     *  vnode point collision between shards. */
+    std::vector<RingPoint> points_;
+};
+
+} // namespace opdvfs::shard
+
+#endif // OPDVFS_SHARD_RING_H

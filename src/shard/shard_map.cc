@@ -1,0 +1,283 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace opdvfs::shard {
+
+namespace {
+
+bool
+addressIsClean(const std::string &address)
+{
+    if (address.empty() || address.size() > 255)
+        return false;
+    for (char byte : address)
+        if (std::isspace(static_cast<unsigned char>(byte))
+            || !std::isprint(static_cast<unsigned char>(byte)))
+            return false;
+    return true;
+}
+
+void
+validateShard(const ShardInfo &info)
+{
+    if (!addressIsClean(info.address))
+        throw std::invalid_argument(
+            "shard: address must be non-empty printable text without "
+            "whitespace");
+    std::string host;
+    std::uint16_t port = 0;
+    parseAddress(info.address, &host, &port);
+}
+
+} // namespace
+
+void
+parseAddress(const std::string &address, std::string *host,
+             std::uint16_t *port)
+{
+    std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0
+        || colon + 1 >= address.size())
+        throw std::invalid_argument("shard: address is not host:port: "
+                                    + address);
+    long value = 0;
+    for (std::size_t i = colon + 1; i < address.size(); ++i) {
+        char byte = address[i];
+        if (byte < '0' || byte > '9')
+            throw std::invalid_argument("shard: non-numeric port in "
+                                        + address);
+        value = value * 10 + (byte - '0');
+        if (value > 65535)
+            throw std::invalid_argument("shard: port out of range in "
+                                        + address);
+    }
+    if (value == 0)
+        throw std::invalid_argument("shard: zero port in " + address);
+    if (host)
+        *host = address.substr(0, colon);
+    if (port)
+        *port = static_cast<std::uint16_t>(value);
+}
+
+ShardMap::ShardMap(std::vector<ShardInfo> shards,
+                   std::size_t vnodes_per_shard, std::uint64_t epoch)
+    : epoch_(epoch), vnodes_per_shard_(vnodes_per_shard),
+      shards_(std::move(shards))
+{
+    if (vnodes_per_shard_ == 0)
+        throw std::invalid_argument("shard: zero vnodes per shard");
+    std::sort(shards_.begin(), shards_.end(),
+              [](const ShardInfo &a, const ShardInfo &b) {
+                  return a.id < b.id;
+              });
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        validateShard(shards_[i]);
+        if (i > 0 && shards_[i].id == shards_[i - 1].id)
+            throw std::invalid_argument(
+                "shard: duplicate shard id "
+                + std::to_string(shards_[i].id));
+    }
+    rebuildRing();
+}
+
+void
+ShardMap::rebuildRing()
+{
+    std::vector<std::uint32_t> ids;
+    ids.reserve(shards_.size());
+    for (const ShardInfo &info : shards_)
+        ids.push_back(info.id);
+    ring_ = HashRing(ids, vnodes_per_shard_);
+}
+
+const ShardInfo *
+ShardMap::find(std::uint32_t id) const
+{
+    auto it = std::lower_bound(shards_.begin(), shards_.end(), id,
+                               [](const ShardInfo &info,
+                                  std::uint32_t value) {
+                                   return info.id < value;
+                               });
+    if (it == shards_.end() || it->id != id)
+        return nullptr;
+    return &*it;
+}
+
+const ShardInfo &
+ShardMap::ownerOf(std::uint64_t digest) const
+{
+    std::uint32_t id = ring_.ownerOf(digest); // throws on empty
+    const ShardInfo *info = find(id);
+    if (!info)
+        throw std::logic_error("shard: ring names a shard the map "
+                               "does not hold");
+    return *info;
+}
+
+void
+ShardMap::join(ShardInfo info)
+{
+    validateShard(info);
+    auto it = std::lower_bound(shards_.begin(), shards_.end(), info.id,
+                               [](const ShardInfo &entry,
+                                  std::uint32_t value) {
+                                   return entry.id < value;
+                               });
+    if (it != shards_.end() && it->id == info.id)
+        *it = std::move(info);
+    else
+        shards_.insert(it, std::move(info));
+    ++epoch_;
+    rebuildRing();
+}
+
+void
+ShardMap::leave(std::uint32_t id)
+{
+    auto it = std::lower_bound(shards_.begin(), shards_.end(), id,
+                               [](const ShardInfo &entry,
+                                  std::uint32_t value) {
+                                   return entry.id < value;
+                               });
+    if (it == shards_.end() || it->id != id)
+        return;
+    shards_.erase(it);
+    ++epoch_;
+    rebuildRing();
+}
+
+std::string
+ShardMap::encode() const
+{
+    std::ostringstream os;
+    os << "shardmap v1\n"
+       << "epoch " << epoch_ << '\n'
+       << "vnodes " << vnodes_per_shard_ << '\n'
+       << "count " << shards_.size() << '\n';
+    for (const ShardInfo &info : shards_)
+        os << "shard " << info.id << ' ' << info.address << '\n';
+    return os.str();
+}
+
+ShardMap
+ShardMap::decode(std::string_view text)
+{
+    std::istringstream is{std::string(text)};
+    std::string line;
+
+    auto nextLine = [&is, &line](const char *what) {
+        while (std::getline(is, line)) {
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty() && line[0] != '#')
+                return;
+        }
+        throw std::invalid_argument(std::string("shard: truncated map: "
+                                                "missing ")
+                                    + what);
+    };
+
+    nextLine("header");
+    if (line != "shardmap v1")
+        throw std::invalid_argument("shard: bad map header: " + line);
+
+    auto parseUint = [](const std::string &record, const char *prefix,
+                        std::uint64_t max) -> std::uint64_t {
+        std::istringstream fields(record);
+        std::string token;
+        std::uint64_t value = 0;
+        if (!(fields >> token >> value) || token != prefix
+            || value > max || !(fields >> std::ws).eof())
+            throw std::invalid_argument("shard: bad map record: "
+                                        + record);
+        return value;
+    };
+
+    nextLine("epoch");
+    std::uint64_t epoch = parseUint(line, "epoch", ~0ull);
+    nextLine("vnodes");
+    std::uint64_t vnodes = parseUint(line, "vnodes", 4096);
+    if (vnodes == 0)
+        throw std::invalid_argument("shard: zero vnodes in map");
+    nextLine("count");
+    std::uint64_t count = parseUint(line, "count", 100000);
+
+    std::vector<ShardInfo> shards;
+    shards.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        nextLine("shard record");
+        std::istringstream fields(line);
+        std::string token;
+        ShardInfo info;
+        std::uint64_t id = 0;
+        if (!(fields >> token >> id >> info.address) || token != "shard"
+            || id > 0xFFFFFFFFull || !(fields >> std::ws).eof())
+            throw std::invalid_argument("shard: bad shard record: "
+                                        + line);
+        info.id = static_cast<std::uint32_t>(id);
+        shards.push_back(std::move(info));
+    }
+    // Anything after the promised records is a framing error: a
+    // concatenated or truncated-then-glued map must not half-parse.
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty() && line[0] != '#')
+            throw std::invalid_argument(
+                "shard: trailing garbage after map records: " + line);
+    }
+    // The constructor validates addresses and duplicate ids; epoch 0
+    // would claim "never changed" for a non-trivial map, so floor it.
+    ShardMap map(std::move(shards), static_cast<std::size_t>(vnodes),
+                 epoch == 0 ? 1 : epoch);
+    if (count == 0)
+        map.setEpoch(epoch);
+    return map;
+}
+
+SharedShardMap::SharedShardMap(ShardMap map)
+    : map_(std::make_shared<const ShardMap>(std::move(map)))
+{}
+
+std::shared_ptr<const ShardMap>
+SharedShardMap::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_;
+}
+
+void
+SharedShardMap::update(ShardMap map)
+{
+    auto fresh = std::make_shared<const ShardMap>(std::move(map));
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_ = std::move(fresh);
+}
+
+std::uint64_t
+SharedShardMap::join(ShardInfo info)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ShardMap next = *map_;
+    next.join(std::move(info));
+    std::uint64_t epoch = next.epoch();
+    map_ = std::make_shared<const ShardMap>(std::move(next));
+    return epoch;
+}
+
+std::uint64_t
+SharedShardMap::leave(std::uint32_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ShardMap next = *map_;
+    next.leave(id);
+    std::uint64_t epoch = next.epoch();
+    map_ = std::make_shared<const ShardMap>(std::move(next));
+    return epoch;
+}
+
+} // namespace opdvfs::shard

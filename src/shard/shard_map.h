@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Versioned shard membership for the strategy-service cluster.
+ *
+ * A ShardMap is the single routing truth shared by clients and
+ * servers: the member shards (id + "host:port" address), the number
+ * of virtual nodes each contributes to the consistent-hash ring, and
+ * a monotonically increasing *map epoch* bumped by every membership
+ * change.  The epoch lets a server answer a mis-routed request with
+ * `NotOwner{owner, map_epoch}`: a client holding an older epoch knows
+ * its map is stale and self-heals from the map text the response
+ * carries.
+ *
+ * The map serialises to a line-oriented text format (stable across
+ * processes, order-independent: decode(encode(m)) routes every key
+ * exactly as m does):
+ *
+ *   shardmap v1
+ *   epoch <E>
+ *   vnodes <V>
+ *   count <N>
+ *   shard <id> <host:port>
+ *
+ * SharedShardMap is the thread-safe holder a live server consults:
+ * snapshots are immutable shared_ptrs, so the event loop reads
+ * without blocking membership updates (admin JOIN/LEAVE).
+ */
+
+#ifndef OPDVFS_SHARD_SHARD_MAP_H
+#define OPDVFS_SHARD_SHARD_MAP_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shard/ring.h"
+
+namespace opdvfs::shard {
+
+/** One member shard. */
+struct ShardInfo
+{
+    std::uint32_t id = 0;
+    /** "host:port"; whitespace-free, validated on construction. */
+    std::string address;
+
+    bool operator==(const ShardInfo &other) const
+    {
+        return id == other.id && address == other.address;
+    }
+};
+
+/** Membership + ring + epoch; value type, cheap to copy. */
+class ShardMap
+{
+  public:
+    /** Virtual nodes per shard when unspecified. */
+    static constexpr std::size_t kDefaultVnodes = 64;
+
+    /** An empty map (epoch 0): routing disabled. */
+    ShardMap() = default;
+
+    /**
+     * Build a map from @p shards (sorted by id internally; insertion
+     * order never matters).
+     * @throws std::invalid_argument on duplicate ids, bad addresses
+     *         or zero vnodes.
+     */
+    explicit ShardMap(std::vector<ShardInfo> shards,
+                      std::size_t vnodes_per_shard = kDefaultVnodes,
+                      std::uint64_t epoch = 1);
+
+    bool empty() const { return shards_.empty(); }
+    std::size_t size() const { return shards_.size(); }
+    std::uint64_t epoch() const { return epoch_; }
+    std::size_t vnodesPerShard() const { return vnodes_per_shard_; }
+
+    /** Members sorted by id. */
+    const std::vector<ShardInfo> &shards() const { return shards_; }
+
+    /** The member with @p id, or nullptr. */
+    const ShardInfo *find(std::uint32_t id) const;
+
+    /**
+     * The shard owning @p digest on the consistent-hash ring.
+     * @throws std::logic_error when the map is empty.
+     */
+    const ShardInfo &ownerOf(std::uint64_t digest) const;
+
+    /** Add or replace a member; bumps the epoch. */
+    void join(ShardInfo info);
+
+    /** Remove a member (no-op for unknown ids never bumps); bumps the
+     *  epoch when something was removed. */
+    void leave(std::uint32_t id);
+
+    /** Force the epoch (decode and tests); never lowers it below the
+     *  membership-change count already applied. */
+    void setEpoch(std::uint64_t epoch) { epoch_ = epoch; }
+
+    /** Stable text serialisation (see the file comment). */
+    std::string encode() const;
+
+    /**
+     * Parse an encoded map.
+     * @throws std::invalid_argument on any malformed record.
+     */
+    static ShardMap decode(std::string_view text);
+
+    bool operator==(const ShardMap &other) const
+    {
+        return epoch_ == other.epoch_
+               && vnodes_per_shard_ == other.vnodes_per_shard_
+               && shards_ == other.shards_;
+    }
+
+  private:
+    void rebuildRing();
+
+    std::uint64_t epoch_ = 0;
+    std::size_t vnodes_per_shard_ = kDefaultVnodes;
+    /** Sorted by id. */
+    std::vector<ShardInfo> shards_;
+    HashRing ring_;
+};
+
+/** Split "host:port" into its parts.
+ *  @throws std::invalid_argument on a malformed address. */
+void parseAddress(const std::string &address, std::string *host,
+                  std::uint16_t *port);
+
+/**
+ * Thread-safe holder of the current map.  Readers take an immutable
+ * snapshot (one mutex acquisition, no copy); writers install a new
+ * map wholesale or apply a membership change.
+ */
+class SharedShardMap
+{
+  public:
+    explicit SharedShardMap(ShardMap map = {});
+
+    /** The current map; never null (possibly empty). */
+    std::shared_ptr<const ShardMap> snapshot() const;
+
+    /** Replace the map wholesale (router self-heal, initial fill). */
+    void update(ShardMap map);
+
+    /** Membership changes; return the resulting epoch. */
+    std::uint64_t join(ShardInfo info);
+    std::uint64_t leave(std::uint32_t id);
+
+  private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<const ShardMap> map_;
+};
+
+} // namespace opdvfs::shard
+
+#endif // OPDVFS_SHARD_SHARD_MAP_H

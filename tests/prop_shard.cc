@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Property suite over the consistent-hash shard ring and the shard
+ * map codec:
+ *
+ *  - joining a shard only moves keys *to* the joiner, and the moved
+ *    fraction is bounded near the ideal 1/(N+1) share;
+ *  - leaving only moves the leaver's keys (every other assignment is
+ *    untouched), so churn is confined to the departing shard's share;
+ *  - ownership is a pure function of membership: insertion order
+ *    never matters, and repeated lookups agree;
+ *  - the text codec round-trips: decode(encode(m)) compares equal and
+ *    routes every sampled digest exactly as m does (this is what
+ *    makes a NotOwner-carried map trustworthy across processes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/generators.h"
+#include "check/prop.h"
+#include "shard/ring.h"
+#include "shard/shard_map.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+/** A membership plus sampled digests to route. */
+struct RingCase
+{
+    std::vector<shard::ShardInfo> shards;
+    std::size_t vnodes = shard::ShardMap::kDefaultVnodes;
+    std::vector<std::uint64_t> digests;
+};
+
+RingCase
+genRingCase(Rng &rng, std::int64_t min_shards)
+{
+    RingCase rc;
+    std::int64_t count = rng.uniformInt(min_shards, 8);
+    for (std::int64_t at = 0; at < count; ++at) {
+        // Sparse, unordered ids: ownership must not depend on them
+        // being dense or sorted.
+        std::uint32_t id =
+            static_cast<std::uint32_t>(1 + at * 7 + rng.uniformInt(0, 5));
+        rc.shards.push_back(
+            {id, "10.0.0." + std::to_string(at + 1) + ":"
+                     + std::to_string(9000 + id)});
+    }
+    rc.vnodes = static_cast<std::size_t>(rng.uniformInt(32, 128));
+    std::size_t samples = static_cast<std::size_t>(rng.uniformInt(256, 1024));
+    for (std::size_t at = 0; at < samples; ++at)
+        rc.digests.push_back(
+            (static_cast<std::uint64_t>(rng.uniformInt(0, 0x7FFFFFFF)) << 32)
+            | static_cast<std::uint64_t>(rng.uniformInt(0, 0xFFFFFFFF)));
+    return rc;
+}
+
+std::string
+printRingCase(const RingCase &rc)
+{
+    std::ostringstream os;
+    os << rc.shards.size() << " shards, vnodes " << rc.vnodes << ", "
+       << rc.digests.size() << " digests; ids:";
+    for (const auto &info : rc.shards)
+        os << ' ' << info.id;
+    return os.str();
+}
+
+TEST(PropShard, JoinMovesKeysOnlyToTheJoinerAndBounded)
+{
+    Property<RingCase> prop(
+        "shard-join-movement",
+        [](Rng &rng) { return genRingCase(rng, 1); },
+        [](const RingCase &rc) -> std::optional<std::string> {
+            shard::ShardMap before(rc.shards, rc.vnodes);
+            shard::ShardMap after = before;
+            // An id guaranteed fresh: genRingCase ids stay under 64.
+            shard::ShardInfo joiner{1000, "10.0.9.9:9999"};
+            after.join(joiner);
+
+            std::size_t moved = 0;
+            for (std::uint64_t digest : rc.digests) {
+                std::uint32_t was = before.ownerOf(digest).id;
+                std::uint32_t now = after.ownerOf(digest).id;
+                if (was == now)
+                    continue;
+                if (now != joiner.id)
+                    return "a key moved between pre-existing shards "
+                           "on join";
+                ++moved;
+            }
+            // Ideal share is 1/(N+1); vnode placement is random-ish,
+            // so allow a generous factor before calling it unbalanced.
+            double share = static_cast<double>(moved)
+                           / static_cast<double>(rc.digests.size());
+            double ideal = 1.0 / static_cast<double>(rc.shards.size() + 1);
+            if (share > std::min(1.0, 3.5 * ideal + 0.05)) {
+                std::ostringstream os;
+                os << "join moved " << share << " of keys; ideal share "
+                   << ideal;
+                return os.str();
+            }
+            return std::nullopt;
+        });
+    prop.withPrinter(printRingCase);
+    PropResult result = prop.check();
+    EXPECT_TRUE(result.passed) << result.report();
+}
+
+TEST(PropShard, LeaveMovesOnlyTheLeaversKeys)
+{
+    Property<RingCase> prop(
+        "shard-leave-movement",
+        [](Rng &rng) { return genRingCase(rng, 2); },
+        [](const RingCase &rc) -> std::optional<std::string> {
+            shard::ShardMap before(rc.shards, rc.vnodes);
+            std::uint32_t leaver = rc.shards.front().id;
+            shard::ShardMap after = before;
+            after.leave(leaver);
+
+            for (std::uint64_t digest : rc.digests) {
+                std::uint32_t was = before.ownerOf(digest).id;
+                std::uint32_t now = after.ownerOf(digest).id;
+                if (was == leaver) {
+                    if (now == leaver)
+                        return "the departed shard still owns a key";
+                } else if (was != now) {
+                    return "a key not owned by the leaver moved on "
+                           "leave";
+                }
+            }
+            return std::nullopt;
+        });
+    prop.withPrinter(printRingCase);
+    PropResult result = prop.check();
+    EXPECT_TRUE(result.passed) << result.report();
+}
+
+TEST(PropShard, OwnershipIsInsertionOrderIndependent)
+{
+    Property<RingCase> prop(
+        "shard-order-independent",
+        [](Rng &rng) { return genRingCase(rng, 2); },
+        [](const RingCase &rc) -> std::optional<std::string> {
+            shard::ShardMap forward(rc.shards, rc.vnodes);
+            std::vector<shard::ShardInfo> reversed(rc.shards.rbegin(),
+                                                   rc.shards.rend());
+            shard::ShardMap backward(reversed, rc.vnodes);
+            for (std::uint64_t digest : rc.digests) {
+                if (forward.ownerOf(digest).id
+                    != backward.ownerOf(digest).id)
+                    return "insertion order changed an owner";
+            }
+            return std::nullopt;
+        });
+    prop.withPrinter(printRingCase);
+    PropResult result = prop.check();
+    EXPECT_TRUE(result.passed) << result.report();
+}
+
+TEST(PropShard, CodecRoundTripPreservesRoutingAndEquality)
+{
+    Property<RingCase> prop(
+        "shard-codec-round-trip",
+        [](Rng &rng) { return genRingCase(rng, 1); },
+        [](const RingCase &rc) -> std::optional<std::string> {
+            shard::ShardMap original(rc.shards, rc.vnodes);
+            shard::ShardMap decoded =
+                shard::ShardMap::decode(original.encode());
+            if (!(decoded == original))
+                return "decode(encode(m)) != m";
+            if (decoded.encode() != original.encode())
+                return "re-encoding is not byte-stable";
+            for (std::uint64_t digest : rc.digests)
+                if (original.ownerOf(digest).id
+                    != decoded.ownerOf(digest).id)
+                    return "decoded map routes a digest differently";
+            return std::nullopt;
+        });
+    prop.withPrinter(printRingCase);
+    PropResult result = prop.check();
+    EXPECT_TRUE(result.passed) << result.report();
+}
+
+} // namespace

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * In-process multi-shard fleet tests: every shard is a real
+ * StrategyService + StrategyServer on loopback with its own shard map
+ * and peer client, exactly as `strategy_server --shard-id` wires them.
+ *
+ * Covered contracts:
+ *
+ *  - a router holding a wrong map is answered NotOwner, self-heals
+ *    from the carried map, and the redirected exact hit is
+ *    byte-identical to the owner's answer;
+ *  - a cold request whose owner has no local donor converts to a
+ *    warm start through the peer-donor protocol (and the import is
+ *    never served as an exact hit);
+ *  - after one shard recalibrates (admin RECAL), no shard in the
+ *    fleet answers an exact hit with a stale-epoch strategy — the
+ *    epoch-invalidate broadcast blocks until every peer acked,
+ *    including when the invalidate frame crawls through a stalling
+ *    chaos proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/transformer.h"
+#include "net/chaos.h"
+#include "net/client.h"
+#include "net/peer.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "power/offline_calibration.h"
+#include "shard/shard_map.h"
+
+namespace opdvfs::net {
+namespace {
+
+models::Workload
+testWorkload(int seq)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "fleet-test";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = seq;
+    return models::buildTransformerTraining(memory, model, 5);
+}
+
+const power::CalibratedConstants &
+constants()
+{
+    static const power::CalibratedConstants value =
+        power::calibrateOffline(npu::NpuConfig{});
+    return value;
+}
+
+WireRequest
+testWireRequest(int seq, std::uint64_t seed)
+{
+    WireRequest request;
+    request.workload = testWorkload(seq);
+    request.seed = seed;
+    return request;
+}
+
+/** Strategy text with the provenance token pinned, so cold and
+ *  exact-hit strategies (which differ only in that token) compare. */
+std::string
+normalisedStrategyText(dvfs::Strategy strategy)
+{
+    if (strategy.meta)
+        strategy.meta->provenance = "normalised";
+    std::ostringstream os;
+    dvfs::saveStrategy(strategy, os);
+    return os.str();
+}
+
+/** One in-process shard: service + server + its own map and peers. */
+struct TestShard
+{
+    std::shared_ptr<shard::SharedShardMap> map;
+    std::shared_ptr<ShardPeers> peers;
+    std::unique_ptr<serve::StrategyService> service;
+    std::unique_ptr<StrategyServer> server;
+    std::uint32_t id = 0;
+};
+
+/** A loopback fleet whose shards all know each other. */
+struct TestFleet
+{
+    TestFleet() = default;
+    TestFleet(TestFleet &&) = default;
+    TestFleet &operator=(TestFleet &&) = default;
+
+    std::vector<std::unique_ptr<TestShard>> shards;
+
+    /** The full membership, as a client would hold it. */
+    shard::ShardMap clientMap() const
+    {
+        return *shards.front()->map->snapshot();
+    }
+
+    TestShard &shardOwning(const WireRequest &request)
+    {
+        std::uint32_t id =
+            clientMap()
+                .ownerOf(ShardRouter::requestDigest(request))
+                .id;
+        for (auto &entry : shards)
+            if (entry->id == id)
+                return *entry;
+        throw std::logic_error("fleet: owner not in fleet");
+    }
+
+    std::uint16_t portOf(std::uint32_t id) const
+    {
+        for (const auto &entry : shards)
+            if (entry->id == id)
+                return entry->server->port();
+        throw std::logic_error("fleet: unknown shard id");
+    }
+
+    ~TestFleet()
+    {
+        // Servers first (they reference services and maps).
+        for (auto &entry : shards)
+            entry->server->stop();
+    }
+};
+
+TestFleet
+makeFleet(std::size_t count)
+{
+    TestFleet fleet;
+    for (std::size_t at = 0; at < count; ++at) {
+        auto shard = std::make_unique<TestShard>();
+        shard->id = static_cast<std::uint32_t>(at + 1);
+        shard->map = std::make_shared<shard::SharedShardMap>();
+        shard->peers =
+            std::make_shared<ShardPeers>(shard->id, shard->map);
+
+        serve::ServiceOptions options;
+        options.pipeline.warmup_seconds = 2.0;
+        options.pipeline.profile_freqs_mhz = {1000.0, 1800.0};
+        options.pipeline.ga.population = 30;
+        options.pipeline.ga.generations = 24;
+        options.pipeline.ga.refine_sweeps = 2;
+        options.pipeline.constants = constants();
+        options.workers = 2;
+        options.peer_donor_lookup = makePeerDonorLookup(shard->peers);
+        shard->service =
+            std::make_unique<serve::StrategyService>(options);
+
+        ServerOptions server_options;
+        server_options.shard_id = shard->id;
+        server_options.shard_map = shard->map;
+        server_options.peers = shard->peers;
+        shard->server = std::make_unique<StrategyServer>(
+            *shard->service, server_options);
+        shard->server->start();
+        fleet.shards.push_back(std::move(shard));
+    }
+    // Every shard learns the whole membership (the bound ports exist
+    // only now, hence the second pass).
+    for (auto &owner : fleet.shards)
+        for (auto &member : fleet.shards)
+            owner->map->join(
+                {member->id, "127.0.0.1:"
+                                 + std::to_string(member->server->port())});
+    return fleet;
+}
+
+/** A request pair (similar workloads) owned by two different shards,
+ *  found by scanning seq variants; the fleet routing is deterministic
+ *  so the scan always converges quickly for a 2-shard fleet. */
+std::pair<WireRequest, WireRequest>
+crossShardSimilarPair(TestFleet &fleet)
+{
+    WireRequest base = testWireRequest(256, 3);
+    std::uint32_t base_owner = fleet.shardOwning(base).id;
+    for (int seq = 264; seq <= 512; seq += 8) {
+        WireRequest variant = testWireRequest(seq, 3);
+        if (fleet.shardOwning(variant).id != base_owner)
+            return {base, variant};
+    }
+    throw std::logic_error("fleet: no cross-shard similar pair found");
+}
+
+TEST(ShardFleet, RedirectedExactHitIsByteIdentical)
+{
+    TestFleet fleet = makeFleet(2);
+    WireRequest request = testWireRequest(256, 3);
+
+    RouterOptions options;
+    options.client.request_timeout_seconds = 120.0;
+    ShardRouter router(fleet.clientMap(), options);
+
+    WireResponse cold = router.call(request);
+    EXPECT_EQ(cold.provenance, serve::Provenance::Cold);
+    WireResponse hit = router.call(request);
+    ASSERT_EQ(hit.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(router.redirectsFollowed(), 0u);
+
+    // A router whose map swaps the two addresses dials the non-owner
+    // first; the NotOwner answer must carry enough to self-heal and
+    // land the byte-identical exact hit on the second hop.
+    shard::ShardMap fleet_map = fleet.clientMap();
+    std::vector<shard::ShardInfo> swapped = fleet_map.shards();
+    std::swap(swapped[0].address, swapped[1].address);
+    shard::ShardMap stale(swapped, fleet_map.vnodesPerShard(),
+                          /*epoch=*/1);
+    ShardRouter misrouted(stale, options);
+
+    WireResponse redirected = misrouted.call(request);
+    EXPECT_GE(misrouted.redirectsFollowed(), 1u);
+    EXPECT_GE(misrouted.mapRefreshes(), 1u);
+    EXPECT_EQ(misrouted.map().epoch(), fleet_map.epoch());
+    ASSERT_EQ(redirected.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(redirected.fingerprint_digest, hit.fingerprint_digest);
+    EXPECT_EQ(redirected.best_score, hit.best_score);
+    EXPECT_EQ(normalisedStrategyText(redirected.strategy),
+              normalisedStrategyText(hit.strategy));
+
+    // The wrong first hop was counted by the non-owner.
+    std::uint64_t not_owner = 0;
+    for (auto &entry : fleet.shards)
+        not_owner += entry->server->stats().responses_not_owner;
+    EXPECT_GE(not_owner, 1u);
+}
+
+TEST(ShardFleet, PeerDonorConvertsColdToWarmStart)
+{
+    TestFleet fleet = makeFleet(2);
+    auto [base, variant] = crossShardSimilarPair(fleet);
+
+    RouterOptions options;
+    options.client.request_timeout_seconds = 120.0;
+    ShardRouter router(fleet.clientMap(), options);
+
+    // Prime the base on its owner.
+    WireResponse primed = router.call(base);
+    EXPECT_EQ(primed.provenance, serve::Provenance::Cold);
+
+    // The variant's owner has an empty cache: without peers this
+    // would be a cold search; the donor from the other shard makes it
+    // a warm start.
+    TestShard &owner = fleet.shardOwning(variant);
+    WireResponse warmed = router.call(variant);
+    EXPECT_EQ(warmed.provenance, serve::Provenance::WarmStart);
+
+    serve::ServiceStats service_stats = owner.service->stats();
+    EXPECT_GE(service_stats.peer_donor_queries, 1u);
+    EXPECT_GE(service_stats.peer_donor_hits, 1u);
+    EXPECT_GE(service_stats.donors_imported, 1u);
+
+    TestShard &donor_shard = fleet.shardOwning(base);
+    ServerStats donor_stats = donor_shard.server->stats();
+    EXPECT_GE(donor_stats.peer_donor_queries_served, 1u);
+    EXPECT_GE(donor_stats.peer_donors_exported, 1u);
+
+    // The import is a warm-start donor, never an exact hit: asking
+    // the owner for the *base* fingerprint directly (bypassing the
+    // router's ownership routing) must not be answered from the
+    // imported copy.
+    StrategyClient direct("127.0.0.1", owner.server->port(),
+                          options.client);
+    try {
+        WireResponse shadow = direct.call(base);
+        FAIL() << "non-owner served an owned digest: "
+               << serve::provenanceToken(shadow.provenance);
+    } catch (const NotOwnerError &) {
+        // Ownership checking already prevents the shadow read — the
+        // cache-level warm_start_only guarantee is covered by the
+        // service tests.
+    }
+
+    // The variant's own answer is now cached at its owner.
+    WireResponse again = router.call(variant);
+    EXPECT_EQ(again.provenance, serve::Provenance::ExactHit);
+}
+
+TEST(ShardFleet, RecalInvalidatesExactHitsFleetWide)
+{
+    TestFleet fleet = makeFleet(2);
+    auto [base, variant] = crossShardSimilarPair(fleet);
+
+    RouterOptions options;
+    options.client.request_timeout_seconds = 120.0;
+    ShardRouter router(fleet.clientMap(), options);
+
+    // Prime an exact hit on both shards.
+    router.call(base);
+    router.call(variant);
+    ASSERT_EQ(router.call(base).provenance, serve::Provenance::ExactHit);
+    ASSERT_EQ(router.call(variant).provenance,
+              serve::Provenance::ExactHit);
+
+    // One shard recalibrates; the admin reply arrives only after the
+    // peer acked the epoch invalidate.
+    std::uint32_t recal_id = fleet.shardOwning(base).id;
+    std::string reply = adminQuery(
+        "127.0.0.1", fleet.portOf(recal_id), "RECAL");
+    std::istringstream fields(reply);
+    std::string ok;
+    std::string epoch_word;
+    std::uint64_t epoch = 0;
+    std::string acks_word;
+    std::size_t acks = 0;
+    ASSERT_TRUE(fields >> ok >> epoch_word >> epoch >> acks_word >> acks)
+        << "unparseable RECAL reply: " << reply;
+    EXPECT_EQ(ok, "ok");
+    EXPECT_EQ(acks, 1u);
+
+    // No shard may answer an exact hit with a stale-epoch strategy —
+    // the primed entries demote to warm-start donors everywhere.
+    WireResponse base_after = router.call(base);
+    EXPECT_NE(base_after.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(base_after.model_epoch, epoch);
+    WireResponse variant_after = router.call(variant);
+    EXPECT_NE(variant_after.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(variant_after.model_epoch, epoch);
+
+    for (auto &entry : fleet.shards)
+        EXPECT_EQ(entry->service->modelEpoch(), epoch);
+
+    // Recomputed entries are exact-hittable again at the new epoch.
+    EXPECT_EQ(router.call(base).provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(router.call(variant).provenance,
+              serve::Provenance::ExactHit);
+}
+
+TEST(ShardFleet, DelayedInvalidateFrameStillBlocksUntilCoherent)
+{
+    TestFleet fleet = makeFleet(2);
+    auto [base, variant] = crossShardSimilarPair(fleet);
+
+    RouterOptions options;
+    options.client.request_timeout_seconds = 120.0;
+    ShardRouter router(fleet.clientMap(), options);
+    router.call(base);
+    router.call(variant);
+
+    TestShard &recal = fleet.shardOwning(base);
+    TestShard &peer = fleet.shardOwning(variant);
+
+    // Route the recalibrating shard's view of its peer through a
+    // chaos proxy that stalls mid-frame: the invalidate crawls, but
+    // the broadcast must keep blocking until the ack.
+    ChaosPlan plan;
+    plan.stall_after_bytes = 8; // mid-header, upstream
+    plan.stall_seconds = 0.5;
+    plan.apply_downstream = false;
+    ChaosProxy proxy("127.0.0.1", peer.server->port(), plan);
+    proxy.start();
+    recal.map->join(
+        {peer.id, "127.0.0.1:" + std::to_string(proxy.port())});
+
+    std::string reply = adminQuery(
+        "127.0.0.1", recal.server->port(), "RECAL");
+    std::istringstream fields(reply);
+    std::string ok;
+    std::string epoch_word;
+    std::uint64_t epoch = 0;
+    std::string acks_word;
+    std::size_t acks = 0;
+    ASSERT_TRUE(fields >> ok >> epoch_word >> epoch >> acks_word >> acks)
+        << "unparseable RECAL reply: " << reply;
+    EXPECT_EQ(ok, "ok");
+    EXPECT_EQ(acks, 1u) << "the stalled invalidate was not acked";
+    EXPECT_GE(proxy.counters().stalls, 1u);
+
+    // The delayed frame arrived before the admin reply: the peer is
+    // already coherent.
+    EXPECT_EQ(peer.service->modelEpoch(), epoch);
+    EXPECT_NE(router.call(variant).provenance,
+              serve::Provenance::ExactHit);
+
+    proxy.stop();
+}
+
+} // namespace
+} // namespace opdvfs::net

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the shard membership map: construction validation,
+ * epoch discipline under join/leave, the text codec's error handling,
+ * address parsing, the thread-safe SharedShardMap holder, and a set
+ * of golden ring lookups pinning ownership across processes and
+ * builds (the consistent-hash function is part of the wire contract —
+ * clients and servers route independently and must agree).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "shard/ring.h"
+#include "shard/shard_map.h"
+
+namespace opdvfs::shard {
+namespace {
+
+std::vector<ShardInfo>
+fourShards()
+{
+    return {{1, "h1:1001"}, {2, "h2:1002"}, {3, "h3:1003"}, {4, "h4:1004"}};
+}
+
+TEST(ShardMap, GoldenOwnershipIsStableAcrossProcesses)
+{
+    // Computed once from this exact membership; any change here means
+    // the hash function changed and every deployed map is invalid.
+    ShardMap map(fourShards(), 64);
+    EXPECT_EQ(map.ownerOf(0x0000000000000000ull).id, 4u);
+    EXPECT_EQ(map.ownerOf(0x0000000000000001ull).id, 3u);
+    EXPECT_EQ(map.ownerOf(0x00000000DEADBEEFull).id, 1u);
+    EXPECT_EQ(map.ownerOf(0x123456789ABCDEF0ull).id, 1u);
+    EXPECT_EQ(map.ownerOf(0x8000000000000000ull).id, 4u);
+    EXPECT_EQ(map.ownerOf(0xFFFFFFFFFFFFFFFFull).id, 3u);
+}
+
+TEST(ShardMap, ConstructionValidates)
+{
+    EXPECT_THROW(ShardMap({{1, "h:1"}, {1, "h:2"}}), std::invalid_argument);
+    EXPECT_THROW(ShardMap({{1, "no-port"}}), std::invalid_argument);
+    EXPECT_THROW(ShardMap({{1, "h:0"}}), std::invalid_argument);
+    EXPECT_THROW(ShardMap({{1, "h:99999"}}), std::invalid_argument);
+    EXPECT_THROW(ShardMap({{1, "h:1"}}, /*vnodes=*/0),
+                 std::invalid_argument);
+}
+
+TEST(ShardMap, EmptyMapRefusesLookups)
+{
+    ShardMap empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.epoch(), 0u);
+    EXPECT_THROW(empty.ownerOf(42), std::logic_error);
+}
+
+TEST(ShardMap, JoinAndLeaveBumpTheEpoch)
+{
+    ShardMap map(fourShards(), 64, /*epoch=*/1);
+    EXPECT_EQ(map.epoch(), 1u);
+    map.join({9, "h9:1009"});
+    EXPECT_EQ(map.epoch(), 2u);
+    EXPECT_EQ(map.size(), 5u);
+    ASSERT_NE(map.find(9), nullptr);
+    EXPECT_EQ(map.find(9)->address, "h9:1009");
+
+    // Re-joining an existing id replaces the address (a shard moved
+    // hosts) and still bumps: routing truth changed.
+    map.join({9, "h10:1010"});
+    EXPECT_EQ(map.epoch(), 3u);
+    EXPECT_EQ(map.size(), 5u);
+    EXPECT_EQ(map.find(9)->address, "h10:1010");
+
+    map.leave(9);
+    EXPECT_EQ(map.epoch(), 4u);
+    EXPECT_EQ(map.size(), 4u);
+    EXPECT_EQ(map.find(9), nullptr);
+
+    // Leaving an unknown id is a no-op and must not bump (a retried
+    // LEAVE stays idempotent).
+    map.leave(9);
+    EXPECT_EQ(map.epoch(), 4u);
+}
+
+TEST(ShardMap, CodecRejectsMalformedText)
+{
+    ShardMap map(fourShards());
+    std::string good = map.encode();
+    EXPECT_EQ(ShardMap::decode(good), map);
+
+    EXPECT_THROW(ShardMap::decode(""), std::invalid_argument);
+    EXPECT_THROW(ShardMap::decode("shardmap v2\n"), std::invalid_argument);
+    EXPECT_THROW(ShardMap::decode("shardmap v1\nepoch x\n"),
+                 std::invalid_argument);
+    // A count that promises more shards than the text carries.
+    EXPECT_THROW(
+        ShardMap::decode(
+            "shardmap v1\nepoch 1\nvnodes 64\ncount 2\nshard 1 h:1\n"),
+        std::invalid_argument);
+    // Trailing garbage after the promised records.
+    EXPECT_THROW(ShardMap::decode(good + "shard 9 h:9\n"),
+                 std::invalid_argument);
+}
+
+TEST(ShardMap, ParseAddressValidates)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    parseAddress("127.0.0.1:8080", &host, &port);
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 8080);
+
+    EXPECT_THROW(parseAddress("no-colon", &host, &port),
+                 std::invalid_argument);
+    EXPECT_THROW(parseAddress(":8080", &host, &port),
+                 std::invalid_argument);
+    EXPECT_THROW(parseAddress("h:", &host, &port), std::invalid_argument);
+    EXPECT_THROW(parseAddress("h:0", &host, &port), std::invalid_argument);
+    EXPECT_THROW(parseAddress("h:65536", &host, &port),
+                 std::invalid_argument);
+    EXPECT_THROW(parseAddress("h:12x4", &host, &port),
+                 std::invalid_argument);
+}
+
+TEST(SharedShardMap, SnapshotsAreImmutableAndLive)
+{
+    auto shared = std::make_shared<SharedShardMap>();
+    auto before = shared->snapshot();
+    ASSERT_NE(before, nullptr);
+    EXPECT_TRUE(before->empty());
+
+    EXPECT_EQ(shared->join({1, "h1:1001"}), 1u);
+    EXPECT_EQ(shared->join({2, "h2:1002"}), 2u);
+
+    // The old snapshot is untouched; a fresh one sees both joins.
+    EXPECT_TRUE(before->empty());
+    auto after = shared->snapshot();
+    EXPECT_EQ(after->size(), 2u);
+    EXPECT_EQ(after->epoch(), 2u);
+
+    EXPECT_EQ(shared->leave(1), 3u);
+    EXPECT_EQ(shared->snapshot()->size(), 1u);
+
+    ShardMap replacement(fourShards(), 64, /*epoch=*/10);
+    shared->update(replacement);
+    EXPECT_EQ(shared->snapshot()->epoch(), 10u);
+    EXPECT_EQ(shared->snapshot()->size(), 4u);
+}
+
+TEST(HashRing, DegenerateInputYieldsAnEmptyRing)
+{
+    HashRing empty;
+    EXPECT_THROW(empty.ownerOf(1), std::logic_error);
+    // No ids or no vnodes: an empty ring that refuses lookups (the
+    // ShardMap constructor rejects zero vnodes before getting here).
+    EXPECT_THROW(HashRing({}, 64).ownerOf(1), std::logic_error);
+    EXPECT_THROW(HashRing({1, 2}, 0).ownerOf(1), std::logic_error);
+}
+
+TEST(HashRing, SingleShardOwnsEverything)
+{
+    HashRing ring({7}, 8);
+    for (std::uint64_t digest : {0ull, 1ull, ~0ull, 0xABCDEFull})
+        EXPECT_EQ(ring.ownerOf(digest), 7u);
+}
+
+} // namespace
+} // namespace opdvfs::shard

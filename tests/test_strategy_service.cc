@@ -544,5 +544,139 @@ TEST(StrategyService, ShedsLikelyColdWorkUnderSustainedQueueing)
     EXPECT_GT(stats.cold_ewma_seconds, 0.0);
 }
 
+TEST(StrategyService, RaiseModelEpochIsMonotone)
+{
+    StrategyService service(fastOptions(1));
+    EXPECT_EQ(service.modelEpoch(), 0u);
+    EXPECT_EQ(service.raiseModelEpoch(5), 5u);
+    // Raising to a lower or equal epoch is a no-op (a late-arriving
+    // invalidate from an older recalibration must not regress).
+    EXPECT_EQ(service.raiseModelEpoch(3), 5u);
+    EXPECT_EQ(service.raiseModelEpoch(5), 5u);
+    EXPECT_EQ(service.modelEpoch(), 5u);
+    EXPECT_EQ(service.advanceModelEpoch(), 6u);
+    EXPECT_EQ(service.raiseModelEpoch(100), 100u);
+    EXPECT_EQ(service.modelEpoch(), 100u);
+}
+
+TEST(StrategyService, RaisedEpochDemotesExactHitsLikeAdvance)
+{
+    StrategyService service(fastOptions(2));
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.seed = 3;
+    service.submit(request).get();
+    ASSERT_EQ(service.submit(request).get().provenance,
+              Provenance::ExactHit);
+
+    // The receive side of a cluster invalidate: identical demotion
+    // semantics to a local advanceModelEpoch.
+    service.raiseModelEpoch(7);
+    StrategyResponse demoted = service.submit(request).get();
+    EXPECT_NE(demoted.provenance, Provenance::ExactHit);
+    EXPECT_GT(demoted.generations_saved, 0);
+
+    // The recomputed entry serves exact hits at the new epoch.
+    EXPECT_EQ(service.submit(request).get().provenance,
+              Provenance::ExactHit);
+}
+
+/** Build a PeerDonor the way net::ShardPeers does from a reply. */
+PeerDonor
+donorFromHit(const SimilarHit &hit, double similarity)
+{
+    PeerDonor donor;
+    donor.fingerprint = hit.entry.fingerprint;
+    donor.strategy = hit.entry.strategy;
+    donor.best_mhz = hit.entry.ga.best_mhz;
+    donor.best_score = hit.entry.ga.best_score;
+    donor.similarity = similarity;
+    donor.perf_loss_target = hit.entry.perf_loss_target;
+    return donor;
+}
+
+TEST(StrategyService, ImportedDonorIsNeverAnExactHit)
+{
+    StrategyService origin(fastOptions(2));
+    StrategyRequest request;
+    request.workload = testWorkload(256);
+    request.seed = 3;
+    StrategyResponse owned = origin.submit(request).get();
+
+    // The owner exports its own entry...
+    std::optional<SimilarHit> exported = origin.exportDonor(
+        owned.fingerprint, request.perf_loss_target);
+    ASSERT_TRUE(exported.has_value());
+    EXPECT_EQ(exported->similarity, 1.0);
+
+    // ...a second shard imports it; the identical request there must
+    // not be served verbatim from the import (warm start only).
+    StrategyService importer(fastOptions(2));
+    importer.importDonor(donorFromHit(*exported, exported->similarity));
+    EXPECT_EQ(importer.stats().donors_imported, 1u);
+
+    StrategyResponse warmed = importer.submit(request).get();
+    EXPECT_EQ(warmed.provenance, Provenance::WarmStart);
+    EXPECT_EQ(warmed.similarity, 1.0);
+    EXPECT_GT(warmed.generations_saved, 0);
+
+    // And the importer never re-exports the second-hand copy: only
+    // its own recomputed entry (inserted by the warm start above) may
+    // donate onward.
+    std::optional<SimilarHit> re_exported = importer.exportDonor(
+        owned.fingerprint, request.perf_loss_target);
+    ASSERT_TRUE(re_exported.has_value());
+    EXPECT_FALSE(re_exported->entry.warm_start_only);
+}
+
+TEST(StrategyService, PeerDonorLookupConvertsColdToWarmStart)
+{
+    StrategyService donor_shard(fastOptions(2));
+    StrategyRequest base;
+    base.workload = testWorkload(256);
+    base.seed = 3;
+    donor_shard.submit(base).get();
+
+    // A shard whose donor lookup consults the first (the serve-layer
+    // analogue of the cross-shard peer protocol, no sockets).
+    ServiceOptions options = fastOptions(2);
+    std::atomic<int> lookups{0};
+    options.peer_donor_lookup =
+        [&donor_shard, &lookups](const Fingerprint &probe,
+                                 double loss_target)
+        -> std::optional<PeerDonor> {
+        ++lookups;
+        std::optional<SimilarHit> hit =
+            donor_shard.exportDonor(probe, loss_target);
+        if (!hit)
+            return std::nullopt;
+        return donorFromHit(*hit, hit->similarity);
+    };
+    StrategyService service(options);
+
+    StrategyRequest similar;
+    similar.workload = testWorkload(288);
+    similar.seed = 3;
+    StrategyResponse warmed = service.submit(similar).get();
+    EXPECT_EQ(warmed.provenance, Provenance::WarmStart);
+    EXPECT_GE(lookups.load(), 1);
+    EXPECT_GT(warmed.generations_saved, 0);
+
+    ServiceStats stats = service.stats();
+    EXPECT_GE(stats.peer_donor_queries, 1u);
+    EXPECT_GE(stats.peer_donor_hits, 1u);
+    EXPECT_GE(stats.donors_imported, 1u);
+
+    // A local donor now exists (the import): the next similar request
+    // warm-starts without consulting the peer again.
+    int before = lookups.load();
+    StrategyRequest another;
+    another.workload = testWorkload(320);
+    another.seed = 3;
+    StrategyResponse local = service.submit(another).get();
+    EXPECT_EQ(local.provenance, Provenance::WarmStart);
+    EXPECT_EQ(lookups.load(), before);
+}
+
 } // namespace
 } // namespace opdvfs::serve

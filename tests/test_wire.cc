@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "dvfs/strategy_io.h"
 #include "models/transformer.h"
 #include "net/wire.h"
 #include "serve/fingerprint.h"
@@ -391,6 +392,149 @@ TEST(Wire, StatusTokensAreStable)
     EXPECT_STREQ(statusToken(Status::Malformed), "malformed");
     EXPECT_STREQ(statusToken(Status::ChipMismatch), "chip-mismatch");
     EXPECT_STREQ(statusToken(Status::Internal), "internal");
+    EXPECT_STREQ(statusToken(Status::NotOwner), "not-owner");
+}
+
+// --- wire v3: cluster messages -----------------------------------------
+
+TEST(Wire, NotOwnerResponseRoundTrips)
+{
+    WireResponse redirect;
+    redirect.status = Status::NotOwner;
+    redirect.owner_address = "10.1.2.3:9401";
+    redirect.map_epoch = 17;
+    redirect.shard_map_text = "shardmap v1\nepoch 17\nvnodes 64\n"
+                              "count 1\nshard 3 10.1.2.3:9401\n";
+
+    std::string payload = encodeResponse(redirect);
+    WireResponse decoded = decodeResponse(payload);
+    EXPECT_EQ(decoded.status, Status::NotOwner);
+    EXPECT_EQ(decoded.owner_address, redirect.owner_address);
+    EXPECT_EQ(decoded.map_epoch, redirect.map_epoch);
+    EXPECT_EQ(decoded.shard_map_text, redirect.shard_map_text);
+    EXPECT_EQ(encodeResponse(decoded), payload);
+
+    // A NotOwner without an owner address is self-contradictory: the
+    // encoder refuses to produce it and the decoder refuses to accept
+    // a hand-rolled one.
+    redirect.owner_address.clear();
+    EXPECT_THROW(encodeResponse(redirect), WireError);
+}
+
+TEST(Wire, PeerDonorQueryRoundTrips)
+{
+    PeerDonorQuery query;
+    query.digest = 0xFEEDFACE12345678ull;
+    query.features = {0.25, 0.5, 1.0, 0.125};
+    query.model_epoch = 9;
+    query.perf_loss_target = 0.03;
+    query.origin_shard = 4;
+
+    std::string payload = encodePeerDonorQuery(query);
+    PeerDonorQuery decoded = decodePeerDonorQuery(payload);
+    EXPECT_EQ(decoded.digest, query.digest);
+    EXPECT_EQ(decoded.features, query.features);
+    EXPECT_EQ(decoded.model_epoch, query.model_epoch);
+    EXPECT_EQ(decoded.perf_loss_target, query.perf_loss_target);
+    EXPECT_EQ(decoded.origin_shard, query.origin_shard);
+    EXPECT_EQ(encodePeerDonorQuery(decoded), payload);
+
+    // The feature-count cap is enforced before allocation.
+    PeerDonorQuery oversized = query;
+    oversized.features.assign(WireLimits{}.max_features + 1, 0.5);
+    EXPECT_THROW(encodePeerDonorQuery(oversized), WireError);
+}
+
+TEST(Wire, PeerDonorReplyRoundTripsHitAndMiss)
+{
+    PeerDonorReply miss;
+    std::string miss_payload = encodePeerDonorReply(miss);
+    PeerDonorReply miss_decoded = decodePeerDonorReply(miss_payload);
+    EXPECT_FALSE(miss_decoded.found);
+    EXPECT_EQ(encodePeerDonorReply(miss_decoded), miss_payload);
+
+    PeerDonorReply hit;
+    hit.found = true;
+    hit.similarity = 0.94;
+    hit.fingerprint_digest = 0xABCDEF0123456789ull;
+    hit.features = {0.1, 0.9, 0.5};
+    hit.model_epoch = 12;
+    hit.perf_loss_target = 0.02;
+    hit.best_score = 0.0625;
+    hit.best_mhz = {1800.0, 1200.0, 1500.0};
+    std::ostringstream os;
+    dvfs::saveStrategy(testStrategy(), os);
+    hit.strategy_text = os.str();
+
+    std::string payload = encodePeerDonorReply(hit);
+    PeerDonorReply decoded = decodePeerDonorReply(payload);
+    EXPECT_TRUE(decoded.found);
+    EXPECT_EQ(decoded.similarity, hit.similarity);
+    EXPECT_EQ(decoded.fingerprint_digest, hit.fingerprint_digest);
+    EXPECT_EQ(decoded.features, hit.features);
+    EXPECT_EQ(decoded.model_epoch, hit.model_epoch);
+    EXPECT_EQ(decoded.perf_loss_target, hit.perf_loss_target);
+    EXPECT_EQ(decoded.best_score, hit.best_score);
+    EXPECT_EQ(decoded.best_mhz, hit.best_mhz);
+    EXPECT_EQ(decoded.strategy_text, hit.strategy_text);
+    EXPECT_EQ(encodePeerDonorReply(decoded), payload);
+
+    // Similarity outside [0, 1] is rejected on decode.
+    PeerDonorReply bogus = hit;
+    bogus.similarity = 1.5;
+    EXPECT_THROW(decodePeerDonorReply(encodePeerDonorReply(bogus)),
+                 WireError);
+}
+
+TEST(Wire, EpochInvalidateAndAckRoundTrip)
+{
+    EpochInvalidate invalidate;
+    invalidate.origin_shard = 2;
+    invalidate.model_epoch = 41;
+    std::string payload = encodeEpochInvalidate(invalidate);
+    EpochInvalidate decoded = decodeEpochInvalidate(payload);
+    EXPECT_EQ(decoded.origin_shard, invalidate.origin_shard);
+    EXPECT_EQ(decoded.model_epoch, invalidate.model_epoch);
+    EXPECT_EQ(encodeEpochInvalidate(decoded), payload);
+    EXPECT_THROW(decodeEpochInvalidate(payload.substr(0, 4)), WireError);
+
+    EpochInvalidateAck ack;
+    ack.shard_id = 5;
+    ack.model_epoch = 41;
+    std::string ack_payload = encodeEpochInvalidateAck(ack);
+    EpochInvalidateAck ack_decoded =
+        decodeEpochInvalidateAck(ack_payload);
+    EXPECT_EQ(ack_decoded.shard_id, ack.shard_id);
+    EXPECT_EQ(ack_decoded.model_epoch, ack.model_epoch);
+    EXPECT_EQ(encodeEpochInvalidateAck(ack_decoded), ack_payload);
+}
+
+TEST(Wire, PeerFrameTypesFrameAndPeel)
+{
+    EpochInvalidate invalidate;
+    invalidate.origin_shard = 1;
+    invalidate.model_epoch = 3;
+    std::string stream =
+        frameMessage(MsgType::PeerDonorQuery,
+                     encodePeerDonorQuery(PeerDonorQuery{}))
+        + frameMessage(MsgType::PeerDonorReply,
+                       encodePeerDonorReply(PeerDonorReply{}))
+        + frameMessage(MsgType::EpochInvalidate,
+                       encodeEpochInvalidate(invalidate))
+        + frameMessage(MsgType::EpochInvalidateAck,
+                       encodeEpochInvalidateAck(EpochInvalidateAck{}));
+
+    std::string_view rest = stream;
+    for (MsgType expected :
+         {MsgType::PeerDonorQuery, MsgType::PeerDonorReply,
+          MsgType::EpochInvalidate, MsgType::EpochInvalidateAck}) {
+        std::size_t consumed = 0;
+        std::optional<FrameView> view = peelFrame(rest, &consumed);
+        ASSERT_TRUE(view.has_value());
+        EXPECT_EQ(view->type, expected);
+        rest.remove_prefix(consumed);
+    }
+    EXPECT_TRUE(rest.empty());
 }
 
 } // namespace
