@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Fleet drill: drive a running shard fleet through a kill-and-restart
+ * exercise, one phase per invocation (the CI chaos smoke job runs the
+ * three phases around a `kill -9`):
+ *
+ *   ./fleet_drill prime    <id>=<host:port> [...]
+ *   ./fleet_drill failover <id>=<host:port> [...] --dead <id>
+ *   ./fleet_drill verify   <id>=<host:port> [...]
+ *
+ * Every phase routes the same fixed workload set (deterministic
+ * transformer configs, fixed seed) through a failover-enabled
+ * ShardRouter and exits non-zero when its phase contract is broken:
+ *
+ *  - `prime`: every request must answer; this seeds each owner's
+ *    cache (and, server-side, its WAL and successor replicas).
+ *  - `failover`: one shard is dead (`--dead` names it).  Every
+ *    request must still answer — zero client-visible errors — and
+ *    when the dead shard owned any of the keys, at least one answer
+ *    must have come from a ring successor.
+ *  - `verify`: the dead shard is back (rehydrated from snapshot +
+ *    WAL).  Every request must answer as an exact cache hit: the
+ *    restart lost nothing.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "models/transformer.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "shard/shard_map.h"
+
+namespace {
+
+bool
+parseShardArg(const std::string &arg, opdvfs::shard::ShardInfo *out)
+{
+    std::size_t equals = arg.find('=');
+    if (equals == std::string::npos || equals == 0
+        || equals + 1 >= arg.size())
+        return false;
+    char *end = nullptr;
+    unsigned long id = std::strtoul(arg.c_str(), &end, 10);
+    if (end != arg.c_str() + equals || id == 0 || id > 0xFFFFFFFFul)
+        return false;
+    out->id = static_cast<std::uint32_t>(id);
+    out->address = arg.substr(equals + 1);
+    return true;
+}
+
+/** The drill's fixed workload set: enough keys that every shard of a
+ *  small fleet owns at least one. */
+std::vector<opdvfs::net::WireRequest>
+drillRequests()
+{
+    using namespace opdvfs;
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    std::vector<net::WireRequest> requests;
+    for (int seq = 256; seq <= 480; seq += 32) {
+        models::TransformerConfig model;
+        model.name = "fleet-drill-transformer-" + std::to_string(seq);
+        model.layers = 2;
+        model.hidden = 1024;
+        model.heads = 8;
+        model.seq = seq;
+        net::WireRequest request;
+        request.workload =
+            models::buildTransformerTraining(memory, model, 5);
+        request.chip = chip;
+        request.seed = 7;
+        requests.push_back(std::move(request));
+    }
+    return requests;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace opdvfs;
+
+    constexpr const char *kUsage =
+        "usage: fleet_drill <prime|failover|verify> <id>=<host:port> "
+        "[...] [--dead <id>]\n";
+    if (argc < 3) {
+        std::cerr << kUsage;
+        return 2;
+    }
+    std::string phase = argv[1];
+    if (phase != "prime" && phase != "failover" && phase != "verify") {
+        std::cerr << kUsage;
+        return 2;
+    }
+    std::vector<shard::ShardInfo> shards;
+    std::uint32_t dead_id = 0;
+    for (int arg = 2; arg < argc; ++arg) {
+        std::string text = argv[arg];
+        if (text == "--dead" && arg + 1 < argc) {
+            long id = std::atol(argv[++arg]);
+            if (id <= 0) {
+                std::cerr << kUsage;
+                return 2;
+            }
+            dead_id = static_cast<std::uint32_t>(id);
+            continue;
+        }
+        shard::ShardInfo info;
+        if (!parseShardArg(text, &info)) {
+            std::cerr << kUsage;
+            return 2;
+        }
+        shards.push_back(info);
+    }
+    if (shards.size() < 2) {
+        std::cerr << "fleet_drill needs at least two shards\n";
+        return 2;
+    }
+
+    // Short connect timeout and no transport retries: a dead shard
+    // must cost milliseconds before failover kicks in, not the default
+    // multi-second retry ladder.
+    net::RouterOptions options;
+    options.client.request_timeout_seconds = 120.0;
+    options.client.connect_timeout_seconds = 0.3;
+    options.client.max_attempts = 2;
+    options.failover = true;
+    options.max_failover_successors = 2;
+
+    try {
+        shard::ShardMap map(shards);
+        net::ShardRouter router(map, options);
+        std::vector<net::WireRequest> requests = drillRequests();
+
+        std::size_t dead_owned = 0;
+        for (const net::WireRequest &request : requests) {
+            std::uint64_t digest =
+                net::ShardRouter::requestDigest(request);
+            if (dead_id != 0 && map.ownerOf(digest).id == dead_id)
+                ++dead_owned;
+        }
+
+        std::size_t exact_hits = 0;
+        for (std::size_t at = 0; at < requests.size(); ++at) {
+            net::WireResponse response = router.call(requests[at]);
+            if (response.provenance == serve::Provenance::ExactHit)
+                ++exact_hits;
+            std::cout << "request " << at << " provenance "
+                      << provenanceToken(response.provenance) << "\n";
+        }
+        std::cout << phase << ": " << requests.size() << " answered, "
+                  << exact_hits << " exact hits, "
+                  << router.failoversServed() << " failovers";
+        if (dead_id != 0)
+            std::cout << " (dead shard owned " << dead_owned << " keys)";
+        std::cout << std::endl;
+
+        if (phase == "failover" && dead_owned > 0
+            && router.failoversServed() == 0) {
+            std::cerr << "FAIL: the dead shard owned keys but no "
+                         "request was served by a successor\n";
+            return 1;
+        }
+        if (phase == "verify" && exact_hits != requests.size()) {
+            std::cerr << "FAIL: " << (requests.size() - exact_hits)
+                      << " requests were recomputed after the restart "
+                         "(cache recovery lost entries)\n";
+            return 1;
+        }
+    } catch (const std::exception &error) {
+        std::cerr << "FAIL (" << phase << "): " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -25,6 +25,21 @@
  *   ./strategy_server --listen 38471 --shard-id 1 --peers 2=127.0.0.1:38472 &
  *   ./strategy_server --listen 38472 --shard-id 2 --peers 1=127.0.0.1:38471 &
  *   ./shard_client 1=127.0.0.1:38471 2=127.0.0.1:38472
+ *
+ * Fault-tolerance flags:
+ *
+ *   --snapshot <path> --wal <path>   crash-safe cache persistence:
+ *       the cache is rehydrated from snapshot + WAL replay at startup
+ *       (`restored <n> entries` is printed for scripts to scrape),
+ *       owned inserts are WAL-logged as they happen, snapshots are
+ *       written periodically and once more on graceful shutdown.
+ *   --snapshot-interval <seconds>    period between snapshots (5).
+ *   --replication <R>                cluster mode only: replicate each
+ *       owned insert to its R-1 ring successors so router failover
+ *       finds warm replicas when this shard dies (default 1: off).
+ *
+ * SIGTERM/SIGINT drain the server and, when persistence is on, write
+ * a final snapshot before exit.
  */
 
 #include <csignal>
@@ -38,8 +53,10 @@
 
 #include "models/model_zoo.h"
 #include "models/transformer.h"
+#include "net/health.h"
 #include "net/peer.h"
 #include "net/server.h"
+#include "serve/cache_store.h"
 #include "serve/service.h"
 #include "shard/shard_map.h"
 
@@ -59,6 +76,17 @@ struct ClusterFlags
     bool enabled = false;
     std::uint32_t shard_id = 0;
     std::vector<opdvfs::shard::ShardInfo> peers;
+};
+
+/** Parsed fault-tolerance flags. */
+struct RobustnessFlags
+{
+    std::string snapshot_path;
+    std::string wal_path;
+    double snapshot_interval_seconds = 5.0;
+    std::size_t replication_factor = 1;
+
+    bool persistence() const { return !snapshot_path.empty(); }
 };
 
 /** Parse `<id>=<host:port>[,...]` into ShardInfo entries. */
@@ -86,7 +114,8 @@ parsePeerList(const std::string &text,
 
 /** Serve over TCP until a termination signal arrives. */
 int
-listenMode(std::uint16_t port, const ClusterFlags &cluster)
+listenMode(std::uint16_t port, const ClusterFlags &cluster,
+           const RobustnessFlags &robustness)
 {
     using namespace opdvfs;
 
@@ -105,6 +134,8 @@ listenMode(std::uint16_t port, const ClusterFlags &cluster)
 
     std::shared_ptr<shard::SharedShardMap> shard_map;
     std::shared_ptr<net::ShardPeers> peers;
+    std::shared_ptr<net::ShardReplicator> replicator;
+    std::shared_ptr<net::HealthMonitor> health;
     if (cluster.enabled) {
         // The map starts empty: ownership checks stay off until the
         // self-join below fills in the bound port.
@@ -115,9 +146,60 @@ listenMode(std::uint16_t port, const ClusterFlags &cluster)
         server_options.shard_id = cluster.shard_id;
         server_options.shard_map = shard_map;
         server_options.peers = peers;
+        if (robustness.replication_factor > 1) {
+            net::ReplicatorOptions replication;
+            replication.replication_factor =
+                robustness.replication_factor;
+            replicator = std::make_shared<net::ShardReplicator>(
+                cluster.shard_id, shard_map, replication);
+            server_options.replicator = replicator;
+        }
+        health = std::make_shared<net::HealthMonitor>(cluster.shard_id,
+                                                      shard_map);
+        server_options.health = health;
     }
 
     serve::StrategyService service(options);
+
+    std::unique_ptr<serve::CachePersister> persister;
+    if (robustness.persistence()) {
+        // Rehydrate before serving: every entry the previous
+        // incarnation persisted answers as a local hit from request
+        // one.  The printed line is scraped by the CI restart drill.
+        serve::RestoreReport restored = serve::restoreServiceCache(
+            service, robustness.snapshot_path, robustness.wal_path);
+        std::cout << "restored " << restored.restored << " entries"
+                  << " (snapshot " << restored.snapshot_entries
+                  << ", wal " << restored.wal_entries
+                  << (restored.wal_truncated ? ", wal tail truncated"
+                                             : "")
+                  << ")" << std::endl;
+        serve::CachePersister::Options persist;
+        persist.snapshot_path = robustness.snapshot_path;
+        persist.wal_path = robustness.wal_path;
+        persist.snapshot_interval_seconds =
+            robustness.snapshot_interval_seconds;
+        persister = std::make_unique<serve::CachePersister>(
+            persist, [&service] {
+                serve::CacheSnapshot snapshot;
+                snapshot.model_epoch = service.modelEpoch();
+                snapshot.entries = service.snapshotCache();
+                return snapshot;
+            });
+    }
+    if (persister || replicator) {
+        // One listener fans the owned insert out to both sinks; the
+        // service fires it off its worker threads, and both hooks are
+        // bounded and non-blocking.
+        service.setInsertListener(
+            [&persister, &replicator](const serve::CacheEntry &entry) {
+                if (persister)
+                    persister->onInsert(entry);
+                if (replicator)
+                    replicator->onInsert(entry);
+            });
+    }
+
     net::StrategyServer server(service, server_options);
     server.start();
 
@@ -142,6 +224,16 @@ listenMode(std::uint16_t port, const ClusterFlags &cluster)
 
     std::cout << "draining..." << std::endl;
     server.stop();
+    if (replicator)
+        replicator->stop();
+    if (health)
+        health->stop();
+    if (persister) {
+        // Graceful exit: drain the WAL queue and write a final
+        // snapshot, so a clean restart restores the complete cache.
+        persister->stop(true);
+        std::cout << "final snapshot written" << std::endl;
+    }
     std::cout << server.statsText();
     return 0;
 }
@@ -156,13 +248,16 @@ main(int argc, char **argv)
     if (argc >= 2 && std::string(argv[1]) == "--listen") {
         constexpr const char *kUsage =
             "usage: strategy_server [--listen <port> "
-            "[--shard-id <id>] [--peers <id>=<host:port>[,...]]]\n";
+            "[--shard-id <id>] [--peers <id>=<host:port>[,...]] "
+            "[--snapshot <path> --wal <path>] "
+            "[--snapshot-interval <seconds>] [--replication <R>]]\n";
         int port = argc >= 3 ? std::atoi(argv[2]) : 0;
         if (port < 0 || port > 65535) {
             std::cerr << kUsage;
             return 2;
         }
         ClusterFlags cluster;
+        RobustnessFlags robustness;
         for (int arg = 3; arg < argc; ++arg) {
             std::string flag = argv[arg];
             if (flag == "--shard-id" && arg + 1 < argc) {
@@ -178,6 +273,25 @@ main(int argc, char **argv)
                     std::cerr << kUsage;
                     return 2;
                 }
+            } else if (flag == "--snapshot" && arg + 1 < argc) {
+                robustness.snapshot_path = argv[++arg];
+            } else if (flag == "--wal" && arg + 1 < argc) {
+                robustness.wal_path = argv[++arg];
+            } else if (flag == "--snapshot-interval" && arg + 1 < argc) {
+                robustness.snapshot_interval_seconds =
+                    std::atof(argv[++arg]);
+                if (robustness.snapshot_interval_seconds <= 0.0) {
+                    std::cerr << kUsage;
+                    return 2;
+                }
+            } else if (flag == "--replication" && arg + 1 < argc) {
+                long factor = std::atol(argv[++arg]);
+                if (factor <= 0) {
+                    std::cerr << kUsage;
+                    return 2;
+                }
+                robustness.replication_factor =
+                    static_cast<std::size_t>(factor);
             } else {
                 std::cerr << kUsage;
                 return 2;
@@ -187,7 +301,17 @@ main(int argc, char **argv)
             std::cerr << "--peers requires --shard-id\n" << kUsage;
             return 2;
         }
-        return listenMode(static_cast<std::uint16_t>(port), cluster);
+        if (robustness.snapshot_path.empty()
+            != robustness.wal_path.empty()) {
+            std::cerr << "--snapshot and --wal go together\n" << kUsage;
+            return 2;
+        }
+        if (robustness.replication_factor > 1 && !cluster.enabled) {
+            std::cerr << "--replication requires --shard-id\n" << kUsage;
+            return 2;
+        }
+        return listenMode(static_cast<std::uint16_t>(port), cluster,
+                          robustness);
     }
 
     npu::NpuConfig chip;

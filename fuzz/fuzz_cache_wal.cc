@@ -1,0 +1,29 @@
+/**
+ * @file
+ * libFuzzer entry point over the cache write-ahead-log replay: the
+ * bytes are a WAL image and replay must recover the valid prefix or
+ * truncate — never crash, never load a corrupt entry.  The oracle
+ * lives in src/check/fuzz.cc and is shared with the seeded ctest
+ * driver (tests/prop_fuzz.cc), so a crash found here replays there
+ * from the same bytes and vice versa.
+ *
+ * Build: cmake -B build-fuzz -DOPDVFS_BUILD_FUZZERS=ON \
+ *              -DCMAKE_CXX_COMPILER=clang++
+ * Run:   build-fuzz/fuzz/fuzz_cache_wal -max_total_time=60
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/fuzz.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (auto failure = opdvfs::check::fuzzCacheWalOne(data, size)) {
+        std::fprintf(stderr, "fuzz_cache_wal: %s\n", failure->c_str());
+        std::abort();
+    }
+    return 0;
+}

@@ -10,6 +10,7 @@
 #include "net/wire.h"
 #include "npu/memory_system.h"
 #include "npu/npu_chip.h"
+#include "serve/cache_store.h"
 #include "serve/fingerprint.h"
 
 namespace opdvfs::check {
@@ -277,6 +278,56 @@ fuzzWireOne(const std::uint8_t *data, std::size_t size)
     return std::nullopt;
 }
 
+std::optional<std::string>
+fuzzCacheWalOne(const std::uint8_t *data, std::size_t size)
+{
+    std::string_view buffer(reinterpret_cast<const char *>(data), size);
+    serve::WalReplay replay;
+    try {
+        replay = serve::replayWalBuffer(buffer);
+    } catch (const std::exception &error) {
+        return "replayWalBuffer threw (recover-or-truncate violated): "
+            + std::string(error.what());
+    } catch (...) {
+        return std::string("replayWalBuffer threw a non-standard "
+                           "exception");
+    }
+    if (replay.valid_bytes > size)
+        return std::string("valid prefix longer than the buffer");
+    if (replay.truncated_tail != (replay.valid_bytes != size))
+        return std::string(
+            "truncated_tail inconsistent with the valid prefix");
+
+    // Determinism: replaying the same bytes finds the same prefix.
+    serve::WalReplay again = serve::replayWalBuffer(buffer);
+    if (again.valid_bytes != replay.valid_bytes
+        || again.entries.size() != replay.entries.size())
+        return std::string("replay is not deterministic");
+
+    // Every recovered entry must be re-loggable, and its record must
+    // replay back byte-stably — nothing semi-corrupt may be recovered.
+    for (const serve::CacheEntry &entry : replay.entries) {
+        std::string record;
+        try {
+            record = serve::encodeWalRecord(entry);
+        } catch (const std::exception &error) {
+            return "recovered entry fails to re-encode: "
+                + std::string(error.what());
+        }
+        serve::WalReplay one = serve::replayWalBuffer(record);
+        if (one.entries.size() != 1 || one.truncated_tail)
+            return std::string(
+                "re-encoded record does not replay cleanly");
+        if (one.entries[0].fingerprint.digest != entry.fingerprint.digest)
+            return std::string(
+                "re-encoded record replays a different digest");
+        if (serve::encodeWalRecord(one.entries[0]) != record)
+            return std::string(
+                "encode -> replay -> encode is not byte-stable");
+    }
+    return std::nullopt;
+}
+
 namespace {
 
 /** Mutate a valid strategy file into a near-valid buffer. */
@@ -524,6 +575,150 @@ runSeededWireFuzz(std::uint64_t seed, int iterations, FuzzStats *stats)
             } catch (...) {
                 ++stats->rejected;
             }
+        }
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/** Random but encodable cache entry (the WAL corpus element). */
+serve::CacheEntry
+genCacheEntry(Rng &rng)
+{
+    serve::CacheEntry entry;
+    entry.fingerprint.digest =
+        (static_cast<std::uint64_t>(rng.uniformInt(0, 0x7FFFFFFF)) << 32)
+        | static_cast<std::uint64_t>(rng.uniformInt(0, 0x7FFFFFFF));
+    int features = static_cast<int>(rng.uniformInt(1, 8));
+    for (int f = 0; f < features; ++f)
+        entry.fingerprint.features.push_back(rng.uniform(0.0, 1.0));
+    entry.fingerprint.model_epoch =
+        static_cast<std::uint64_t>(rng.uniformInt(0, 12));
+    npu::FreqTable table(genFreqTableConfig(rng));
+    entry.strategy = genStrategy(rng, table);
+    for (double mhz : entry.strategy.mhz_per_stage)
+        entry.ga.best_mhz.push_back(mhz);
+    entry.ga.best_score = rng.uniform(0.0, 2.0);
+    entry.perf_loss_target = rng.uniform(0.005, 0.2);
+    entry.warm_start_only = rng.chance(0.3);
+    return entry;
+}
+
+/** A pristine WAL image of 1..3 valid records. */
+std::string
+genWalImage(Rng &rng, std::vector<std::uint64_t> *digests)
+{
+    std::string image;
+    int records = static_cast<int>(rng.uniformInt(1, 3));
+    for (int r = 0; r < records; ++r) {
+        serve::CacheEntry entry = genCacheEntry(rng);
+        if (digests)
+            digests->push_back(entry.fingerprint.digest);
+        image += serve::encodeWalRecord(entry);
+    }
+    return image;
+}
+
+/** The crash-shaped mutations a WAL actually suffers: torn tails
+ *  (truncation), bit flips (bad sectors) and dropped spans. */
+std::string
+mutatedWalImage(Rng &rng, std::vector<std::uint64_t> *digests)
+{
+    std::string image = genWalImage(rng, digests);
+    int mutations = static_cast<int>(rng.uniformInt(1, 4));
+    for (int m = 0; m < mutations && !image.empty(); ++m) {
+        switch (rng.uniformInt(0, 2)) {
+        case 0: { // flip one bit
+            std::size_t at = rng.index(image.size());
+            image[at] = static_cast<char>(
+                static_cast<unsigned char>(image[at])
+                ^ (1u << rng.index(8)));
+            break;
+        }
+        case 1: // torn tail
+            image.resize(rng.index(image.size() + 1));
+            break;
+        default: { // delete a span
+            std::size_t at = rng.index(image.size());
+            std::size_t len = std::min<std::size_t>(
+                static_cast<std::size_t>(rng.uniformInt(1, 24)),
+                image.size() - at);
+            image.erase(at, len);
+            break;
+        }
+        }
+    }
+    return image;
+}
+
+} // namespace
+
+std::optional<std::string>
+runSeededWalFuzz(std::uint64_t seed, int iterations, FuzzStats *stats)
+{
+    for (int i = 0; i < iterations; ++i) {
+        Rng rng(seed
+                + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+        std::vector<std::uint8_t> buffer;
+        std::vector<std::uint64_t> digests;
+        bool pristine = false;
+        bool mutated = false;
+        double kind = rng.uniform(0.0, 1.0);
+        if (kind < 0.3) {
+            pristine = true;
+            std::string image = genWalImage(rng, &digests);
+            buffer.assign(image.begin(), image.end());
+        } else if (kind < 0.8) {
+            mutated = true;
+            std::string image = mutatedWalImage(rng, &digests);
+            buffer.assign(image.begin(), image.end());
+        } else {
+            buffer = randomBuffer(rng);
+        }
+
+        if (stats)
+            ++stats->executed;
+        std::optional<std::string> failure =
+            fuzzCacheWalOne(buffer.data(), buffer.size());
+        std::string_view view(reinterpret_cast<const char *>(buffer.data()),
+                              buffer.size());
+        serve::WalReplay replay;
+        if (!failure)
+            replay = serve::replayWalBuffer(view);
+        if (!failure && pristine
+            && (replay.truncated_tail
+                || replay.entries.size() != digests.size()))
+            failure = "a pristine WAL image did not replay in full";
+        if (!failure && mutated) {
+            // Replay never resynchronises past damage, so whatever it
+            // recovers must be a prefix of the original record set.
+            if (replay.entries.size() > digests.size()) {
+                failure = "replay recovered more entries than were "
+                          "logged";
+            } else {
+                for (std::size_t at = 0; at < replay.entries.size(); ++at)
+                    if (replay.entries[at].fingerprint.digest
+                        != digests[at]) {
+                        failure = "recovered entries are not a prefix "
+                                  "of the logged sequence";
+                        break;
+                    }
+            }
+        }
+        if (failure) {
+            std::ostringstream os;
+            os << "wal fuzz iteration " << i << " (seed " << seed
+               << ") failed: " << *failure << "\nbuffer ("
+               << buffer.size() << " bytes):\n"
+               << escapeBuffer(buffer.data(), buffer.size());
+            return os.str();
+        }
+        if (stats) {
+            if (replay.truncated_tail)
+                ++stats->rejected;
+            else
+                ++stats->accepted;
         }
     }
     return std::nullopt;

@@ -52,6 +52,17 @@ std::optional<std::string> fuzzFingerprintOne(const std::uint8_t *data,
 std::optional<std::string> fuzzWireOne(const std::uint8_t *data,
                                        std::size_t size);
 
+/**
+ * Feed @p data to serve::replayWalBuffer as a cache write-ahead-log
+ * image.  Replay must never throw — a torn or corrupt tail ends it
+ * with `truncated_tail` set and `valid_bytes` at the last good record
+ * boundary (never past the buffer) — must be deterministic, and every
+ * recovered entry must re-encode into a record that replays
+ * byte-stably.
+ */
+std::optional<std::string> fuzzCacheWalOne(const std::uint8_t *data,
+                                           std::size_t size);
+
 /** Tallies from one seeded fuzz run. */
 struct FuzzStats
 {
@@ -89,6 +100,17 @@ std::optional<std::string> runSeededFuzz(FuzzTarget target,
 std::optional<std::string> runSeededWireFuzz(std::uint64_t seed,
                                              int iterations,
                                              FuzzStats *stats = nullptr);
+
+/**
+ * Seeded driver for the WAL target: pristine logs of valid records
+ * (which must replay in full), crash-mutated logs (bit flips,
+ * truncations, deletions — recovered entries must be a digest-prefix
+ * of the original log) and raw random bytes.  `accepted` counts
+ * buffers that replayed without truncation.
+ */
+std::optional<std::string> runSeededWalFuzz(std::uint64_t seed,
+                                            int iterations,
+                                            FuzzStats *stats = nullptr);
 
 } // namespace opdvfs::check
 

@@ -1,0 +1,145 @@
+#include "net/health.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "net/client.h"
+
+namespace opdvfs::net {
+
+const char *
+peerHealthToken(PeerHealth health)
+{
+    switch (health) {
+    case PeerHealth::Alive:
+        return "alive";
+    case PeerHealth::Suspect:
+        return "suspect";
+    case PeerHealth::Down:
+        return "down";
+    }
+    return "alive";
+}
+
+HealthMonitor::HealthMonitor(std::uint32_t self_id,
+                             std::shared_ptr<shard::SharedShardMap> map,
+                             HealthOptions options)
+    : self_id_(self_id), map_(std::move(map)), options_(options)
+{
+    if (!map_)
+        throw std::invalid_argument("health: null shard map");
+    if (options_.down_after_failures < options_.suspect_after_failures)
+        throw std::invalid_argument(
+            "health: down threshold below suspect threshold");
+    if (options_.probe_interval_seconds > 0.0)
+        prober_ = std::thread([this] { probeLoop(); });
+}
+
+HealthMonitor::~HealthMonitor()
+{
+    stop();
+}
+
+void
+HealthMonitor::probeOnce()
+{
+    // Probe outside the lock: a slow peer must not block healthOf()
+    // readers on the serving path.
+    auto map = map_->snapshot();
+    std::vector<shard::ShardInfo> peers;
+    for (const shard::ShardInfo &info : map->shards())
+        if (info.id != self_id_)
+            peers.push_back(info);
+
+    std::vector<bool> alive(peers.size(), false);
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+        std::string host;
+        std::uint16_t port = 0;
+        try {
+            shard::parseAddress(peers[i].address, &host, &port);
+            // Any reply at all — `ok` or `draining` — proves the event
+            // loop is answering; that is the liveness that matters.
+            (void)adminQuery(host, port, "HEALTH",
+                             options_.probe_timeout_seconds);
+            alive[i] = true;
+        } catch (const std::exception &) {
+            alive[i] = false;
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::uint32_t, PeerState> next;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+        PeerState state;
+        auto known = states_.find(peers[i].id);
+        if (known != states_.end())
+            state = known->second;
+        state.id = peers[i].id;
+        state.address = peers[i].address;
+        if (alive[i]) {
+            state.consecutive_failures = 0;
+            state.health = PeerHealth::Alive;
+        } else {
+            ++state.consecutive_failures;
+            if (state.consecutive_failures
+                >= options_.down_after_failures)
+                state.health = PeerHealth::Down;
+            else if (state.consecutive_failures
+                     >= options_.suspect_after_failures)
+                state.health = PeerHealth::Suspect;
+        }
+        next.emplace(state.id, std::move(state));
+    }
+    states_ = std::move(next); // shards that LEAVEd drop out
+}
+
+PeerHealth
+HealthMonitor::healthOf(std::uint32_t shard_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = states_.find(shard_id);
+    if (found == states_.end())
+        return PeerHealth::Alive;
+    return found->second.health;
+}
+
+std::vector<HealthMonitor::PeerState>
+HealthMonitor::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PeerState> out;
+    out.reserve(states_.size());
+    for (const auto &[id, state] : states_)
+        out.push_back(state);
+    return out;
+}
+
+void
+HealthMonitor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (prober_.joinable())
+        prober_.join();
+}
+
+void
+HealthMonitor::probeLoop()
+{
+    auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+        options_.probe_interval_seconds));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        lock.unlock();
+        probeOnce();
+        lock.lock();
+        wake_.wait_for(lock, interval, [this] { return stopping_; });
+    }
+}
+
+} // namespace opdvfs::net

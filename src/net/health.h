@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Peer liveness monitor for the shard fleet.
+ *
+ * One background thread probes every peer in the shared shard map on a
+ * fixed interval with the plaintext `HEALTH` admin command.  Any reply
+ * — `ok` or `draining` — counts as alive; what matters is that the
+ * event loop answered.  Consecutive probe failures walk a shard
+ * through the classic three-state ladder:
+ *
+ *   Alive ──failure──▶ Suspect ──more failures──▶ Down
+ *     ▲                                             │
+ *     └────────────── any successful probe ─────────┘
+ *
+ * Consumers:
+ *  - `ShardRouter` failover skips successors the monitor marks Down
+ *    (no point burning a connect timeout on a corpse).
+ *  - The admin `STATS`/`HEALTH` replies surface per-peer states so an
+ *    operator sees fleet liveness from any single shard.
+ *
+ * Unknown shards (not yet probed, or not in the map) report Alive:
+ * the monitor is an *optimisation* for skipping known-dead peers, and
+ * optimistically trying a fresh shard is always safe — the connect
+ * timeout is the backstop.
+ */
+
+#ifndef OPDVFS_NET_HEALTH_H
+#define OPDVFS_NET_HEALTH_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/shard_map.h"
+
+namespace opdvfs::net {
+
+/** Liveness ladder for one peer shard. */
+enum class PeerHealth
+{
+    Alive,
+    Suspect,
+    Down,
+};
+
+/** Stable lowercase token for STATS/HEALTH lines. */
+const char *peerHealthToken(PeerHealth health);
+
+/** Health-monitor configuration. */
+struct HealthOptions
+{
+    /** Seconds between probe rounds; 0 disables the background
+     *  thread (probes then happen only via probeOnce()). */
+    double probe_interval_seconds = 0.5;
+    /** Per-probe deadline, seconds. */
+    double probe_timeout_seconds = 0.25;
+    /** Consecutive failures before Alive degrades to Suspect. */
+    std::size_t suspect_after_failures = 1;
+    /** Consecutive failures before the shard is marked Down. */
+    std::size_t down_after_failures = 3;
+};
+
+/** Peer health monitor; thread-safe. */
+class HealthMonitor
+{
+  public:
+    /** One row of the health table. */
+    struct PeerState
+    {
+        std::uint32_t id = 0;
+        std::string address;
+        PeerHealth health = PeerHealth::Alive;
+        std::size_t consecutive_failures = 0;
+    };
+
+    /** @p self_id this shard — never probed. */
+    HealthMonitor(std::uint32_t self_id,
+                  std::shared_ptr<shard::SharedShardMap> map,
+                  HealthOptions options = {});
+    ~HealthMonitor();
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    /** Probe every peer once, synchronously (deterministic tests and
+     *  callers that cannot wait for the interval). */
+    void probeOnce();
+
+    /** Current state of @p shard_id; unknown shards are Alive. */
+    PeerHealth healthOf(std::uint32_t shard_id) const;
+
+    /** The full table, sorted by shard id. */
+    std::vector<PeerState> snapshot() const;
+
+    /** Stop the probe thread (idempotent; destructor calls it). */
+    void stop();
+
+  private:
+    void probeLoop();
+
+    std::uint32_t self_id_;
+    std::shared_ptr<shard::SharedShardMap> map_;
+    HealthOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    /** shard id → state; rows vanish when a shard LEAVEs the map. */
+    std::map<std::uint32_t, PeerState> states_;
+
+    std::mutex join_mutex_;
+    std::thread prober_;
+};
+
+} // namespace opdvfs::net
+
+#endif // OPDVFS_NET_HEALTH_H

@@ -256,7 +256,7 @@ ShardPeers::queryDonors(const serve::Fingerprint &probe,
     return donor;
 }
 
-std::size_t
+ShardPeers::InvalidateResult
 ShardPeers::broadcastEpochInvalidate(std::uint64_t epoch)
 {
     auto map = map_->snapshot();
@@ -265,7 +265,7 @@ ShardPeers::broadcastEpochInvalidate(std::uint64_t epoch)
         if (info.id != self_id_)
             peers.push_back(info);
     if (peers.empty())
-        return 0;
+        return {};
 
     EpochInvalidate invalidate;
     invalidate.origin_shard = self_id_;
@@ -302,12 +302,15 @@ ShardPeers::broadcastEpochInvalidate(std::uint64_t epoch)
     for (std::thread &thread : threads)
         thread.join();
 
-    std::size_t count = 0;
-    for (char ack : acked)
-        if (ack)
-            ++count;
-    invalidates_acked_.fetch_add(count, std::memory_order_relaxed);
-    return count;
+    InvalidateResult result;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+        if (acked[i])
+            ++result.acks;
+        else
+            result.failed_addresses.push_back(peers[i].address);
+    }
+    invalidates_acked_.fetch_add(result.acks, std::memory_order_relaxed);
+    return result;
 }
 
 PeerStats
@@ -325,6 +328,163 @@ ShardPeers::stats() const
     out.invalidates_acked =
         invalidates_acked_.load(std::memory_order_relaxed);
     return out;
+}
+
+ShardReplicator::ShardReplicator(std::uint32_t self_id,
+                                 std::shared_ptr<shard::SharedShardMap> map,
+                                 ReplicatorOptions options)
+    : self_id_(self_id), map_(std::move(map)), options_(options)
+{
+    if (!map_)
+        throw std::invalid_argument("replicator: null shard map");
+    if (options_.replication_factor == 0)
+        throw std::invalid_argument(
+            "replicator: zero replication factor");
+    if (options_.queue_capacity == 0)
+        throw std::invalid_argument("replicator: zero queue capacity");
+    sender_ = std::thread([this] { senderLoop(); });
+}
+
+ShardReplicator::~ShardReplicator()
+{
+    stop();
+}
+
+void
+ShardReplicator::onInsert(const serve::CacheEntry &entry)
+{
+    if (options_.replication_factor < 2)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        if (queue_.size() >= options_.queue_capacity) {
+            // Bounded by design: a dead successor costs replicas (one
+            // recompute after a failover), never serving-path memory.
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        queue_.push_back(entry);
+    }
+    wake_.notify_all();
+}
+
+void
+ShardReplicator::flush()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] {
+        return stopping_ || (queue_.empty() && !sending_);
+    });
+}
+
+void
+ShardReplicator::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    drained_.notify_all();
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (sender_.joinable())
+        sender_.join();
+}
+
+ReplicatorStats
+ShardReplicator::stats() const
+{
+    ReplicatorStats out;
+    out.sent = sent_.load(std::memory_order_relaxed);
+    out.acked = acked_.load(std::memory_order_relaxed);
+    out.failed = failed_.load(std::memory_order_relaxed);
+    out.dropped = dropped_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.queue_depth = queue_.size();
+    }
+    return out;
+}
+
+void
+ShardReplicator::senderLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        wake_.wait(lock,
+                   [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_)
+            break;
+        serve::CacheEntry entry = std::move(queue_.front());
+        queue_.pop_front();
+        sending_ = true;
+        lock.unlock();
+        replicateOne(entry);
+        lock.lock();
+        sending_ = false;
+        drained_.notify_all();
+    }
+    drained_.notify_all();
+}
+
+void
+ShardReplicator::replicateOne(const serve::CacheEntry &entry)
+{
+    // Per-entry map snapshot: a JOIN/LEAVE between inserts re-routes
+    // the next replica to the new successors.
+    auto map = map_->snapshot();
+    std::vector<shard::ShardInfo> successors;
+    try {
+        successors = map->successorsOf(entry.fingerprint.digest,
+                                       options_.replication_factor - 1);
+    } catch (const std::exception &) {
+        return; // empty ring: nobody to replicate to
+    }
+
+    PeerReplicate message;
+    message.origin_shard = self_id_;
+    message.fingerprint_digest = entry.fingerprint.digest;
+    message.features = entry.fingerprint.features;
+    message.model_epoch = entry.fingerprint.model_epoch;
+    message.perf_loss_target = entry.perf_loss_target;
+    message.best_score = entry.ga.best_score;
+    message.best_mhz = entry.ga.best_mhz;
+    std::string frame;
+    try {
+        std::ostringstream strategy_text;
+        dvfs::saveStrategy(entry.strategy, strategy_text);
+        message.strategy_text = std::move(strategy_text).str();
+        frame = frameMessage(
+            MsgType::PeerReplicate,
+            encodePeerReplicate(message, options_.limits),
+            options_.limits);
+    } catch (const std::exception &) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    for (const shard::ShardInfo &successor : successors) {
+        if (successor.id == self_id_)
+            continue; // a 2-shard ring can name us as our own successor
+        sent_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            std::string payload = exchangeFrame(
+                successor, frame, MsgType::PeerReplicateAck,
+                options_.connect_timeout_seconds,
+                options_.exchange_timeout_seconds, options_.limits);
+            PeerReplicateAck ack = decodePeerReplicateAck(payload);
+            if (ack.accepted)
+                acked_.fetch_add(1, std::memory_order_relaxed);
+            else
+                failed_.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception &) {
+            // A dead successor lags replication; the counter is the
+            // operator's signal, the queue bound is the safety net.
+            failed_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
 }
 
 serve::DonorLookupFn

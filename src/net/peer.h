@@ -30,9 +30,15 @@
 #define OPDVFS_NET_PEER_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "net/wire.h"
 #include "serve/service.h"
@@ -87,11 +93,22 @@ class ShardPeers
     std::optional<serve::PeerDonor>
     queryDonors(const serve::Fingerprint &probe, double perf_loss_target);
 
+    /** Outcome of one epoch-invalidate broadcast. */
+    struct InvalidateResult
+    {
+        /** Peers whose ack covered the new epoch. */
+        std::size_t acks = 0;
+        /** Addresses of peers that failed or timed out — surfaced in
+         *  the RECAL admin reply so an operator sees *which* shard is
+         *  incoherent, not just a count. */
+        std::vector<std::string> failed_addresses;
+    };
+
     /**
      * Tell every peer to raise its model epoch to @p epoch; blocks
-     * until each acked or timed out.  Returns the number of acks.
+     * until each acked or timed out.
      */
-    std::size_t broadcastEpochInvalidate(std::uint64_t epoch);
+    InvalidateResult broadcastEpochInvalidate(std::uint64_t epoch);
 
     PeerStats stats() const;
 
@@ -115,6 +132,98 @@ class ShardPeers
  */
 serve::DonorLookupFn
 makePeerDonorLookup(std::shared_ptr<ShardPeers> peers);
+
+/** Replicator configuration. */
+struct ReplicatorOptions
+{
+    /** Total copies per entry (owner included); 2 means one ring
+     *  successor holds a replica.  1 disables replication. */
+    std::size_t replication_factor = 2;
+    /** Max entries queued for the sender thread; beyond it the oldest
+     *  durability guarantee wins and the new entry is dropped. */
+    std::size_t queue_capacity = 128;
+    /** Per-peer connect deadline, seconds. */
+    double connect_timeout_seconds = 0.25;
+    /** Per-peer whole-exchange deadline, seconds. */
+    double exchange_timeout_seconds = 0.5;
+    /** Encoder/decoder caps. */
+    WireLimits limits;
+};
+
+/** Monotonic replication counters (thread-safe reads). */
+struct ReplicatorStats
+{
+    /** PeerReplicate frames sent (one per successor per entry). */
+    std::uint64_t sent = 0;
+    /** Frames the successor accepted. */
+    std::uint64_t acked = 0;
+    /** Exchanges that failed, timed out, or were refused. */
+    std::uint64_t failed = 0;
+    /** Entries dropped because the queue was full. */
+    std::uint64_t dropped = 0;
+    /** Entries awaiting the sender thread — the replication lag. */
+    std::size_t queue_depth = 0;
+};
+
+/**
+ * Asynchronous successor replication: every owned cache insert is
+ * pushed (as a warm-start-only donor, reusing the peer-donor import
+ * path) to the entry's `replication_factor - 1` ring successors, so a
+ * dead owner's keys are answered warm by the shards the router fails
+ * over to.
+ *
+ * The insert hook is bounded and non-blocking: a slow or dead
+ * successor can lag replication (visible as `queue_depth`), never
+ * stall the serving path.  One background sender thread drains the
+ * queue; `flush()` blocks until it is idle (deterministic tests).
+ */
+class ShardReplicator
+{
+  public:
+    /** @p self_id this shard — skipped when it appears as successor. */
+    ShardReplicator(std::uint32_t self_id,
+                    std::shared_ptr<shard::SharedShardMap> map,
+                    ReplicatorOptions options = {});
+    ~ShardReplicator();
+
+    ShardReplicator(const ShardReplicator &) = delete;
+    ShardReplicator &operator=(const ShardReplicator &) = delete;
+
+    /** Insert hook (bind as the service's insert listener).  Bounded,
+     *  non-blocking; a full queue drops the entry and counts it. */
+    void onInsert(const serve::CacheEntry &entry);
+
+    /** Block until the queue is empty and the sender is idle. */
+    void flush();
+
+    /** Stop the sender thread (idempotent; destructor calls it). */
+    void stop();
+
+    ReplicatorStats stats() const;
+
+  private:
+    void senderLoop();
+    void replicateOne(const serve::CacheEntry &entry);
+
+    std::uint32_t self_id_;
+    std::shared_ptr<shard::SharedShardMap> map_;
+    ReplicatorOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable drained_;
+    std::deque<serve::CacheEntry> queue_;
+    bool stopping_ = false;
+    bool sending_ = false;
+
+    std::atomic<std::uint64_t> sent_{0};
+    std::atomic<std::uint64_t> acked_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+
+    std::mutex join_mutex_;
+    std::thread sender_;
+};
 
 } // namespace opdvfs::net
 

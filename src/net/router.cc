@@ -49,14 +49,68 @@ ShardRouter::clientFor(const std::string &address)
     return *it->second;
 }
 
+std::optional<WireResponse>
+ShardRouter::tryFailover(const WireRequest &request, std::uint64_t digest)
+{
+    std::vector<shard::ShardInfo> successors;
+    try {
+        successors =
+            map_.successorsOf(digest, options_.max_failover_successors);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+    // The flag tells the successor this is a declared failover read:
+    // it waives its ownership check and serves the key from its
+    // replica set (or computes a donor-only answer) instead of
+    // bouncing NotOwner back at a dead owner.
+    WireRequest replica_request = request;
+    replica_request.serve_replica = true;
+    for (const shard::ShardInfo &successor : successors) {
+        if (options_.peer_health
+            && options_.peer_health(successor.id) == PeerHealth::Down)
+            continue; // no point burning a connect timeout on a corpse
+        try {
+            WireResponse response =
+                clientFor(successor.address).call(replica_request);
+            ++failovers_;
+            return response;
+        } catch (const NetError &) {
+            // This successor is down too; the next may hold a replica.
+        } catch (const NotOwnerError &) {
+            // A pre-v4 successor that ignored the flag; try the next.
+        }
+    }
+    return std::nullopt;
+}
+
 WireResponse
 ShardRouter::call(const WireRequest &request)
 {
     std::uint64_t digest = requestDigest(request);
-    std::string target = map_.ownerOf(digest).address;
+    const shard::ShardInfo &owner = map_.ownerOf(digest);
+    std::string target = owner.address;
+    // A health-monitored Down owner is failed over without paying its
+    // connect timeout; stale health falls through to trying it anyway.
+    if (options_.failover && options_.peer_health
+        && options_.peer_health(owner.id) == PeerHealth::Down)
+        if (std::optional<WireResponse> response =
+                tryFailover(request, digest))
+            return *response;
     for (int hop = 0;; ++hop) {
         try {
             return clientFor(target).call(request);
+        } catch (const NetError &) {
+            // The owner is unreachable (connect failure, retries
+            // exhausted, or its breaker open).  Fail-fast when
+            // failover is off; otherwise let a successor answer from
+            // its replica set.  The original error propagates when
+            // every successor also failed.
+            if (!options_.failover)
+                throw;
+            if (std::optional<WireResponse> response =
+                    tryFailover(request, digest))
+                return *response;
+            throw;
         } catch (const NotOwnerError &redirect) {
             if (hop >= options_.max_redirects)
                 throw RoutingError(

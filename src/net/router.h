@@ -23,11 +23,14 @@
 #define OPDVFS_NET_ROUTER_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "net/client.h"
+#include "net/health.h"
 #include "net/wire.h"
 #include "shard/shard_map.h"
 
@@ -48,6 +51,25 @@ struct RouterOptions
 {
     /** NotOwner redirects followed per call before giving up. */
     int max_redirects = 3;
+    /**
+     * When the owner is unreachable (connect failure, retries
+     * exhausted, or its circuit breaker open), retry against the
+     * key's ring successors with the `serve_replica` flag set — they
+     * answer from their replica set as warm starts instead of
+     * `NotOwner`.  Off: the owner's failure propagates unchanged
+     * (fail-fast, the pre-failover behaviour).
+     */
+    bool failover = true;
+    /** Ring successors tried per failover (the sensible value is
+     *  `replication_factor - 1`: shards that actually hold replicas). */
+    std::size_t max_failover_successors = 2;
+    /**
+     * Optional liveness oracle (bind HealthMonitor::healthOf).  A
+     * `Down` owner is failed over immediately without burning its
+     * connect timeout, and `Down` successors are skipped.  Unset:
+     * every address is tried and timeouts are the only signal.
+     */
+    std::function<PeerHealth(std::uint32_t)> peer_health;
     /** Options for every per-shard client (breaker, retries, ...). */
     ClientOptions client;
 };
@@ -83,17 +105,27 @@ class ShardRouter
     /** Map refreshes adopted from NotOwner responses. */
     std::uint64_t mapRefreshes() const { return map_refreshes_; }
 
+    /** Calls answered by a ring successor after the owner failed. */
+    std::uint64_t failoversServed() const { return failovers_; }
+
     /** The per-address client, created on first use (test access to
      *  breaker state; the address need not be in the map). */
     StrategyClient &clientFor(const std::string &address);
 
   private:
+    /** Try the key's ring successors with serve_replica set; nullopt
+     *  when every successor also failed (the owner's error then
+     *  propagates). */
+    std::optional<WireResponse> tryFailover(const WireRequest &request,
+                                            std::uint64_t digest);
+
     shard::ShardMap map_;
     RouterOptions options_;
     /** One lazily created client (and breaker) per shard address. */
     std::map<std::string, std::unique_ptr<StrategyClient>> clients_;
     std::uint64_t redirects_ = 0;
     std::uint64_t map_refreshes_ = 0;
+    std::uint64_t failovers_ = 0;
 };
 
 } // namespace opdvfs::net

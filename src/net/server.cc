@@ -360,7 +360,8 @@ StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
                               options_.limits);
             if (frame && frame->type != MsgType::Request
                 && frame->type != MsgType::PeerDonorQuery
-                && frame->type != MsgType::EpochInvalidate)
+                && frame->type != MsgType::EpochInvalidate
+                && frame->type != MsgType::PeerReplicate)
                 throw WireError("net: client sent a frame type servers "
                                 "do not accept");
         } catch (const WireError &error) {
@@ -391,6 +392,8 @@ StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
             servePeerDonorQuery(id, *current, frame->payload);
         else if (frame->type == MsgType::EpochInvalidate)
             serveEpochInvalidate(id, *current, frame->payload);
+        else if (frame->type == MsgType::PeerReplicate)
+            servePeerReplicate(id, *current, frame->payload);
         else
             serveRequest(id, *current, frame->payload);
         // Serving may have flushed an immediate answer and hit a dead
@@ -439,8 +442,11 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
     // owner, not this shard, is the authority on serving it.  The
     // digest is the same canonical fingerprint the router computed
     // client-side, so both sides always name the same owner for the
-    // same map.
-    if (options_.shard_map) {
+    // same map.  The serve_replica flag is the router's declaration
+    // that the owner is unreachable and it *knows* this shard is a
+    // ring successor: the ownership check is waived so the replica
+    // set (or a locally computed donor-only answer) can serve the key.
+    if (options_.shard_map && !request.serve_replica) {
         auto map = options_.shard_map->snapshot();
         if (!map->empty()) {
             std::uint64_t digest =
@@ -487,6 +493,7 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
     service_request.seed = request.seed;
     service_request.use_cache = request.use_cache;
     service_request.allow_warm_start = request.allow_warm_start;
+    service_request.serve_replica = request.serve_replica;
     service_request.deadline_seconds = request.deadline_ms / 1000.0;
 
     // Counted before the submit attempt so stop() can never observe a
@@ -709,6 +716,68 @@ StrategyServer::serveEpochInvalidate(std::uint64_t id, Connection &conn,
 }
 
 void
+StrategyServer::servePeerReplicate(std::uint64_t id, Connection &conn,
+                                   std::string_view payload)
+{
+    PeerReplicate replicate;
+    try {
+        replicate = decodePeerReplicate(payload, options_.limits);
+    } catch (const WireError &error) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.responses_malformed;
+            ++stats_.peer_replicas_refused;
+        }
+        ++conn.payload_error_streak;
+        if (options_.max_payload_errors > 0
+            && conn.payload_error_streak >= options_.max_payload_errors)
+            conn.close_after_flush = true;
+        WireResponse response;
+        response.status = Status::Malformed;
+        response.message = error.what();
+        queueResponse(id, conn, response);
+        return;
+    }
+    conn.payload_error_streak = 0;
+
+    // Import through the peer-donor path: the copy lands
+    // warm_start_only, so it can serve failover reads and similarity
+    // lookups but never shadows an entry this shard owns.  A cache
+    // insert is cheap enough for the event loop.
+    PeerReplicateAck ack;
+    ack.shard_id = options_.shard_id;
+    try {
+        serve::PeerDonor donor;
+        donor.fingerprint.digest = replicate.fingerprint_digest;
+        donor.fingerprint.features = replicate.features;
+        donor.fingerprint.model_epoch = replicate.model_epoch;
+        donor.best_mhz = replicate.best_mhz;
+        donor.best_score = replicate.best_score;
+        donor.similarity = 1.0;
+        donor.perf_loss_target = replicate.perf_loss_target;
+        std::istringstream strategy_is(replicate.strategy_text);
+        donor.strategy = dvfs::loadStrategy(strategy_is);
+        service_.importDonor(donor);
+        ack.accepted = true;
+    } catch (const std::exception &) {
+        // An unparsable strategy is an owner bug; refuse the replica
+        // rather than poisoning the local cache.
+        ack.accepted = false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        if (ack.accepted)
+            ++stats_.peer_replicas_received;
+        else
+            ++stats_.peer_replicas_refused;
+    }
+    conn.write_buffer += frameMessage(MsgType::PeerReplicateAck,
+                                      encodePeerReplicateAck(ack),
+                                      options_.limits);
+    flushWritable(id, conn);
+}
+
+void
 StrategyServer::serveAdminLine(Connection &conn)
 {
     if (conn.close_after_flush)
@@ -737,6 +806,15 @@ StrategyServer::serveAdminLine(Connection &conn)
         conn.write_buffer +=
             (phase_.load() != 0 || service_.draining()) ? "draining\n"
                                                         : "ok\n";
+        // Probes and old tooling read only the first line; the peer
+        // table rides along for operators when a monitor is wired.
+        if (options_.health)
+            for (const auto &peer : options_.health->snapshot())
+                conn.write_buffer += "peer_health "
+                                     + std::to_string(peer.id) + " "
+                                     + peer.address + " "
+                                     + peerHealthToken(peer.health)
+                                     + "\n";
     } else if (command == "SHARDMAP") {
         if (options_.shard_map)
             conn.write_buffer += options_.shard_map->snapshot()->encode();
@@ -785,12 +863,27 @@ StrategyServer::serveAdminLine(Connection &conn)
             // the loop is deliberate — recalibration is rare and the
             // broadcast deadline bounds the stall.
             std::uint64_t epoch = service_.advanceModelEpoch();
-            std::size_t acks = 0;
+            ShardPeers::InvalidateResult broadcast;
             if (options_.peers)
-                acks = options_.peers->broadcastEpochInvalidate(epoch);
-            conn.write_buffer += "ok epoch " + std::to_string(epoch)
-                                 + " acks " + std::to_string(acks)
-                                 + "\n";
+                broadcast =
+                    options_.peers->broadcastEpochInvalidate(epoch);
+            std::string reply = "ok epoch " + std::to_string(epoch)
+                                + " acks "
+                                + std::to_string(broadcast.acks);
+            // Name the peers that never acked: an operator chasing a
+            // partial recalibration needs the address, not a count.
+            // The suffix is additive — old parsers that stop at the
+            // ack count still read the same prefix.
+            if (!broadcast.failed_addresses.empty()) {
+                reply += " timeouts ";
+                for (std::size_t i = 0;
+                     i < broadcast.failed_addresses.size(); ++i) {
+                    if (i > 0)
+                        reply += ",";
+                    reply += broadcast.failed_addresses[i];
+                }
+            }
+            conn.write_buffer += reply + "\n";
         }
     } else {
         conn.write_buffer += "error unknown-command\n";
@@ -897,6 +990,10 @@ StrategyServer::statsText() const
        << "peer_donors_exported " << server.peer_donors_exported << '\n'
        << "epoch_invalidates_received "
        << server.epoch_invalidates_received << '\n'
+       << "peer_replicas_received " << server.peer_replicas_received
+       << '\n'
+       << "peer_replicas_refused " << server.peer_replicas_refused
+       << '\n'
        << "admin_requests " << server.admin_requests << '\n'
        << "service_requests " << service.requests << '\n'
        << "service_exact_hits " << service.exact_hits << '\n'
@@ -919,7 +1016,22 @@ StrategyServer::statsText() const
        << "p95_service_seconds " << service.p95_service_seconds << '\n'
        << "sojourn_ewma_seconds " << service.sojourn_ewma_seconds << '\n'
        << "cold_ewma_seconds " << service.cold_ewma_seconds << '\n'
+       << "service_replica_hits " << service.replica_hits << '\n'
+       << "service_restored_entries " << service.restored_entries << '\n'
        << "retry_after_hint_ms " << service_.retryAfterMs() << '\n';
+    if (options_.replicator) {
+        ReplicatorStats replication = options_.replicator->stats();
+        os << "replication_sent " << replication.sent << '\n'
+           << "replication_acked " << replication.acked << '\n'
+           << "replication_failed " << replication.failed << '\n'
+           << "replication_dropped " << replication.dropped << '\n'
+           << "replication_queue_depth " << replication.queue_depth
+           << '\n';
+    }
+    if (options_.health)
+        for (const auto &peer : options_.health->snapshot())
+            os << "peer_health " << peer.id << ' ' << peer.address << ' '
+               << peerHealthToken(peer.health) << '\n';
     return os.str();
 }
 

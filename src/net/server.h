@@ -59,6 +59,7 @@
 #include <string_view>
 #include <thread>
 
+#include "net/health.h"
 #include "net/peer.h"
 #include "net/wire.h"
 #include "serve/service.h"
@@ -121,6 +122,20 @@ struct ServerOptions
      * still recalibrates locally but tells no one.
      */
     std::shared_ptr<ShardPeers> peers;
+    /**
+     * Successor replicator whose counters STATS surfaces (the
+     * replicator itself hangs off the service's insert listener, not
+     * the server).  Null: no replication lines.
+     */
+    std::shared_ptr<ShardReplicator> replicator;
+    /**
+     * Peer health monitor; when set, STATS and HEALTH append per-peer
+     * `peer_health <id> <address> <state>` lines.  Null: liveness is
+     * not tracked and the extra lines are absent (the bare `ok` /
+     * `draining` HEALTH reply is unchanged either way — probes and
+     * old tooling parse only the first line).
+     */
+    std::shared_ptr<HealthMonitor> health;
 };
 
 /** Monotonic counters owned by the event loop. */
@@ -146,6 +161,10 @@ struct ServerStats
     std::uint64_t peer_donors_exported = 0;
     /** Epoch invalidates received from recalibrating peers. */
     std::uint64_t epoch_invalidates_received = 0;
+    /** Replica entries received from owners and imported. */
+    std::uint64_t peer_replicas_received = 0;
+    /** Replica frames refused (decode/import failure). */
+    std::uint64_t peer_replicas_refused = 0;
     std::uint64_t admin_requests = 0;
     std::size_t open_connections = 0;
 };
@@ -213,6 +232,8 @@ class StrategyServer
                              std::string_view payload);
     void serveEpochInvalidate(std::uint64_t id, Connection &conn,
                               std::string_view payload);
+    void servePeerReplicate(std::uint64_t id, Connection &conn,
+                            std::string_view payload);
     void serveAdminLine(Connection &conn);
     void queueResponse(std::uint64_t id, Connection &conn,
                        const WireResponse &response);

@@ -265,6 +265,8 @@ constexpr std::uint8_t kFlagUseCache = 0x01;
 constexpr std::uint8_t kFlagAllowWarmStart = 0x02;
 /** v2: a u32 deadline_ms follows the seed when set. */
 constexpr std::uint8_t kFlagHasDeadline = 0x04;
+/** v4: answer a non-owned key from the replica set (failover). */
+constexpr std::uint8_t kFlagServeReplica = 0x08;
 
 } // namespace
 
@@ -331,6 +333,8 @@ encodeRequest(const WireRequest &request, const WireLimits &limits)
         flags |= kFlagAllowWarmStart;
     if (request.deadline_ms > 0)
         flags |= kFlagHasDeadline;
+    if (request.serve_replica)
+        flags |= kFlagServeReplica;
     writer.u8(flags);
     writer.f64(request.perf_loss_target);
     writer.u64(request.seed);
@@ -360,10 +364,12 @@ decodeRequest(std::string_view payload, const WireLimits &limits)
     WireRequest request;
     std::uint8_t flags = reader.u8();
     if (flags
-        & ~(kFlagUseCache | kFlagAllowWarmStart | kFlagHasDeadline))
+        & ~(kFlagUseCache | kFlagAllowWarmStart | kFlagHasDeadline
+            | kFlagServeReplica))
         throw WireError("wire: unknown request flags");
     request.use_cache = (flags & kFlagUseCache) != 0;
     request.allow_warm_start = (flags & kFlagAllowWarmStart) != 0;
+    request.serve_replica = (flags & kFlagServeReplica) != 0;
     request.perf_loss_target = reader.finite("perf_loss_target");
     if (request.perf_loss_target <= 0.0 || request.perf_loss_target >= 1.0)
         throw WireError("wire: perf_loss_target outside (0, 1)");
@@ -725,6 +731,75 @@ decodeEpochInvalidateAck(std::string_view payload)
 }
 
 std::string
+encodePeerReplicate(const PeerReplicate &replicate,
+                    const WireLimits &limits)
+{
+    if (!std::isfinite(replicate.perf_loss_target)
+        || replicate.perf_loss_target <= 0.0
+        || replicate.perf_loss_target >= 1.0)
+        throw WireError("wire: perf_loss_target outside (0, 1)");
+    ByteWriter writer;
+    writer.u32(replicate.origin_shard);
+    writer.u64(replicate.fingerprint_digest);
+    writer.u64(replicate.model_epoch);
+    writer.f64(replicate.perf_loss_target);
+    writer.f64(replicate.best_score);
+    writeDoubles(writer, replicate.features, limits.max_features,
+                 "replica features");
+    writeDoubles(writer, replicate.best_mhz, limits.max_stages,
+                 "replica best_mhz");
+    writer.str32(replicate.strategy_text, limits.max_strategy_bytes,
+                 "replica strategy block");
+    return writer.take();
+}
+
+PeerReplicate
+decodePeerReplicate(std::string_view payload, const WireLimits &limits)
+{
+    ByteReader reader(payload);
+    PeerReplicate replicate;
+    replicate.origin_shard = reader.u32();
+    replicate.fingerprint_digest = reader.u64();
+    replicate.model_epoch = reader.u64();
+    replicate.perf_loss_target = reader.finite("perf_loss_target");
+    if (replicate.perf_loss_target <= 0.0
+        || replicate.perf_loss_target >= 1.0)
+        throw WireError("wire: perf_loss_target outside (0, 1)");
+    replicate.best_score = reader.finite("best_score");
+    replicate.features =
+        readDoubles(reader, limits.max_features, "replica features");
+    replicate.best_mhz =
+        readDoubles(reader, limits.max_stages, "replica best_mhz");
+    replicate.strategy_text = reader.str32(limits.max_strategy_bytes,
+                                           "replica strategy block");
+    reader.expectEnd("peer replicate");
+    return replicate;
+}
+
+std::string
+encodePeerReplicateAck(const PeerReplicateAck &ack)
+{
+    ByteWriter writer;
+    writer.u32(ack.shard_id);
+    writer.u8(ack.accepted ? 1 : 0);
+    return writer.take();
+}
+
+PeerReplicateAck
+decodePeerReplicateAck(std::string_view payload)
+{
+    ByteReader reader(payload);
+    PeerReplicateAck ack;
+    ack.shard_id = reader.u32();
+    std::uint8_t accepted = reader.u8();
+    if (accepted > 1)
+        throw WireError("wire: bad replica-accepted flag");
+    ack.accepted = accepted == 1;
+    reader.expectEnd("peer replicate ack");
+    return ack;
+}
+
+std::string
 frameMessage(MsgType type, std::string_view payload,
              const WireLimits &limits)
 {
@@ -763,7 +838,7 @@ peelFrame(std::string_view buffer, std::size_t *consumed,
                                + std::to_string(version));
     std::uint8_t type = reader.u8();
     if (type < static_cast<std::uint8_t>(MsgType::Request)
-        || type > static_cast<std::uint8_t>(MsgType::EpochInvalidateAck))
+        || type > static_cast<std::uint8_t>(MsgType::PeerReplicateAck))
         throw WireError("wire: unknown message type");
     if (reader.u16() != 0)
         throw WireError("wire: reserved header bits set");

@@ -71,8 +71,15 @@ namespace opdvfs::net {
  * (cross-shard warm-start donors) and
  * `EpochInvalidate`/`EpochInvalidateAck` (cluster-wide model-epoch
  * coherence after a recalibration).
+ *
+ * v4 added the fault-tolerance messages: the shard-to-shard frame
+ * types `PeerReplicate`/`PeerReplicateAck` (an owner pushing a cache
+ * entry to its ring successors as a warm-start-only replica) and the
+ * flag-gated `serve_replica` request bit (a failover router asking a
+ * successor to answer a non-owned key from its replica set instead of
+ * redirecting with NotOwner).
  */
-inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersion = 4;
 
 /** Frame header size in bytes (magic..CRC). */
 inline constexpr std::size_t kFrameHeaderBytes = 16;
@@ -95,6 +102,11 @@ enum class MsgType : std::uint8_t
     /** Shard-to-shard: the receiver's epoch after applying the
      *  invalidate — the broadcast's completion signal. */
     EpochInvalidateAck = 6,
+    /** Shard-to-shard: an owner pushing a cache entry to a ring
+     *  successor as a warm-start-only replica. */
+    PeerReplicate = 7,
+    /** Shard-to-shard: the successor's accept/reject of a replica. */
+    PeerReplicateAck = 8,
 };
 
 /** Response status codes. */
@@ -186,6 +198,14 @@ struct WireRequest
      * answers Busy/Expired instead.
      */
     std::uint32_t deadline_ms = 0;
+    /**
+     * Failover bit: the caller knows this server is not the owner and
+     * asks it to answer from its replica set (or compute locally)
+     * instead of redirecting with NotOwner.  Set only by a router
+     * whose owner dial failed; replica answers degrade exact hits to
+     * warm starts, never to errors.
+     */
+    bool serve_replica = false;
 };
 
 /** One response as it travels over the wire. */
@@ -275,6 +295,37 @@ struct EpochInvalidateAck
     std::uint64_t model_epoch = 0;
 };
 
+/**
+ * An owner pushing one cache entry to a ring successor.  The
+ * successor imports it exactly as a peer donor (warm_start_only), so
+ * a replica can never shadow an owned exact hit; it additionally
+ * becomes servable as a degraded answer when a failover request
+ * carries the serve_replica flag.
+ */
+struct PeerReplicate
+{
+    /** The replicating owner (telemetry; not used for routing). */
+    std::uint32_t origin_shard = 0;
+    /** Donor identity, mirroring PeerDonorReply. */
+    std::uint64_t fingerprint_digest = 0;
+    std::vector<double> features;
+    std::uint64_t model_epoch = 0;
+    double perf_loss_target = 0.0;
+    double best_score = 0.0;
+    /** Per-stage frequencies seeding a warm start. */
+    std::vector<double> best_mhz;
+    /** The replicated strategy in strategy_io text form. */
+    std::string strategy_text;
+};
+
+/** The successor's answer to a PeerReplicate. */
+struct PeerReplicateAck
+{
+    std::uint32_t shard_id = 0;
+    /** False when the successor refused the entry (e.g. stale epoch). */
+    bool accepted = false;
+};
+
 /** One frame peeled off the front of a byte stream. */
 struct FrameView
 {
@@ -320,6 +371,16 @@ EpochInvalidate decodeEpochInvalidate(std::string_view payload);
 /** Epoch-invalidate-ack codec. @throws WireError on malformed input. */
 std::string encodeEpochInvalidateAck(const EpochInvalidateAck &ack);
 EpochInvalidateAck decodeEpochInvalidateAck(std::string_view payload);
+
+/** Peer-replicate codec. @throws WireError on malformed input. */
+std::string encodePeerReplicate(const PeerReplicate &replicate,
+                                const WireLimits &limits = {});
+PeerReplicate decodePeerReplicate(std::string_view payload,
+                                  const WireLimits &limits = {});
+
+/** Peer-replicate-ack codec. @throws WireError on malformed input. */
+std::string encodePeerReplicateAck(const PeerReplicateAck &ack);
+PeerReplicateAck decodePeerReplicateAck(std::string_view payload);
 
 // --- framing -----------------------------------------------------------
 

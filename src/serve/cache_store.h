@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Crash-safe persistence for the strategy cache: periodic CRC'd
+ * snapshots plus an append-only write-ahead log of inserts.
+ *
+ * The cache of tuned strategies is the expensive asset the service
+ * exists to amortise (~130 ms of GA per entry); before this module a
+ * shard restart lost all of it.  The recovery contract:
+ *
+ *   state after restart = last durable snapshot + WAL replay
+ *
+ * Snapshot format (text, extending the strategy_io atomic-rename +
+ * CRC-32 idiom):
+ *
+ *   cachesnap v1
+ *   epoch <model_epoch>
+ *   count <entries>
+ *   <count entry blocks>
+ *   crc32 <hex>
+ *
+ * where each entry block is
+ *
+ *   entry v1
+ *   digest <hex16>
+ *   epoch <model_epoch>
+ *   loss <perf_loss_target>
+ *   score <best_score>
+ *   donor <0|1>
+ *   features <n> <v>...
+ *   mhz <n> <v>...
+ *   strategy <bytes>
+ *   <bytes of strategy_io text>
+ *   endentry
+ *
+ * The CRC-32 footer covers every byte before it; snapshots are
+ * written to `<path>.tmp` and renamed into place, so a crash mid-write
+ * leaves the previous snapshot intact.
+ *
+ * WAL format (binary, append-only): one record per owned insert,
+ *
+ *   "OWL1" | u32 payload length (LE) | u32 CRC-32 (LE) | payload
+ *
+ * where the payload is one entry block.  Replay stops at the first
+ * torn or corrupt record and reports the valid prefix length —
+ * *recover or truncate, never crash, never load a corrupt entry* —
+ * the property the fuzz/property harness drives with bit flips and
+ * truncations.  The WAL is truncated after every durable snapshot
+ * (the single writer thread orders capture before truncation, so no
+ * insert can fall between them).
+ */
+
+#ifndef OPDVFS_SERVE_CACHE_STORE_H
+#define OPDVFS_SERVE_CACHE_STORE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/strategy_cache.h"
+
+namespace opdvfs::serve {
+
+class StrategyService;
+
+/** One durable cache image. */
+struct CacheSnapshot
+{
+    /** The service's model epoch when the snapshot was captured. */
+    std::uint64_t model_epoch = 0;
+    std::vector<CacheEntry> entries;
+};
+
+// --- entry codec (exposed for the fuzz/property harness) ---------------
+
+/** Serialise one cache entry block. @throws std::invalid_argument on
+ *  non-finite fields or an out-of-range loss target. */
+void encodeCacheEntry(const CacheEntry &entry, std::ostream &os);
+
+/** Parse one entry block. @throws std::invalid_argument on malformed
+ *  input, including a strategy text dvfs::loadStrategy rejects. */
+CacheEntry decodeCacheEntry(std::istream &is);
+
+// --- snapshot -----------------------------------------------------------
+
+/** Serialise a snapshot, CRC footer included. */
+std::string encodeCacheSnapshot(const CacheSnapshot &snapshot);
+
+/** Parse a snapshot. @throws std::invalid_argument on any malformed
+ *  record or a CRC mismatch. */
+CacheSnapshot decodeCacheSnapshot(std::string_view text);
+
+/** Write atomically: `<path>.tmp` + flush + rename. @throws
+ *  std::runtime_error on I/O failure. */
+void saveCacheSnapshotFile(const CacheSnapshot &snapshot,
+                           const std::string &path);
+
+/** Load a snapshot file; nullopt when the file is missing *or* fails
+ *  validation (a corrupt snapshot is treated as absent — recovery
+ *  proceeds from the WAL alone rather than crashing). */
+std::optional<CacheSnapshot>
+loadCacheSnapshotFile(const std::string &path);
+
+// --- write-ahead log ----------------------------------------------------
+
+/** Frame one entry as a WAL record (magic + length + CRC + payload). */
+std::string encodeWalRecord(const CacheEntry &entry);
+
+/** Outcome of a WAL replay. */
+struct WalReplay
+{
+    /** Entries recovered from the valid prefix, in append order. */
+    std::vector<CacheEntry> entries;
+    /** Bytes of the valid prefix (the safe truncation point). */
+    std::size_t valid_bytes = 0;
+    /** True when bytes past the prefix were torn or corrupt. */
+    bool truncated_tail = false;
+};
+
+/** Replay an in-memory WAL image.  Never throws: a torn or corrupt
+ *  tail ends the replay with `truncated_tail` set. */
+WalReplay replayWalBuffer(std::string_view buffer);
+
+/** Replay a WAL file; with @p truncate_torn_tail the file is cut back
+ *  to the valid prefix so the next append extends good bytes.  A
+ *  missing file replays empty. */
+WalReplay replayWalFile(const std::string &path,
+                        bool truncate_torn_tail = true);
+
+// --- startup restore ----------------------------------------------------
+
+/** What a startup restore found and applied. */
+struct RestoreReport
+{
+    bool snapshot_loaded = false;
+    std::size_t snapshot_entries = 0;
+    std::size_t wal_entries = 0;
+    /** Entries actually inserted into the service cache. */
+    std::size_t restored = 0;
+    bool wal_truncated = false;
+};
+
+/** Rehydrate @p service from snapshot + WAL replay (either may be
+ *  missing).  WAL entries are applied after the snapshot, so a
+ *  re-inserted digest takes the logged (newer) value. */
+RestoreReport restoreServiceCache(StrategyService &service,
+                                  const std::string &snapshot_path,
+                                  const std::string &wal_path);
+
+// --- background persister -----------------------------------------------
+
+/**
+ * Single-writer persistence daemon: a bounded queue of inserted
+ * entries drained by one thread that appends them to the WAL and
+ * periodically captures a snapshot (then truncates the WAL).  The
+ * insert hook is non-blocking — when the queue is full the entry is
+ * *dropped from the log* (counted in `wal_dropped`), bounding the
+ * memory a slow disk can claim; a dropped entry costs one recompute
+ * after a crash, never correctness.
+ */
+class CachePersister
+{
+  public:
+    struct Options
+    {
+        std::string snapshot_path;
+        std::string wal_path;
+        /** Seconds between periodic snapshots; 0 disables the timer
+         *  (snapshots then happen only via writeSnapshotNow/stop). */
+        double snapshot_interval_seconds = 5.0;
+        /** Max inserts queued for the writer thread. */
+        std::size_t queue_capacity = 256;
+    };
+
+    struct Stats
+    {
+        std::uint64_t wal_appends = 0;
+        std::uint64_t wal_dropped = 0;
+        std::uint64_t snapshots_written = 0;
+        /** Entries waiting for the writer thread (the durability lag). */
+        std::size_t queue_depth = 0;
+    };
+
+    /** @p snapshot_fn captures the current cache image (typically
+     *  binds StrategyService::snapshotCache + modelEpoch).  Taking a
+     *  function instead of a service reference breaks the
+     *  construction cycle: the service exists first, the persister
+     *  second, and the insert listener is bound last. */
+    CachePersister(Options options,
+                   std::function<CacheSnapshot()> snapshot_fn);
+    ~CachePersister();
+
+    CachePersister(const CachePersister &) = delete;
+    CachePersister &operator=(const CachePersister &) = delete;
+
+    /** Insert hook (bind as the service's insert listener).  Bounded,
+     *  non-blocking; full queue drops the entry and counts it. */
+    void onInsert(const CacheEntry &entry);
+
+    /** Block until every queued entry reached the WAL. */
+    void flush();
+
+    /** Capture + write a snapshot now (and truncate the WAL). */
+    void writeSnapshotNow();
+
+    /**
+     * Stop the writer thread.  With @p write_final_snapshot the queue
+     * is drained and a final snapshot written first (the graceful
+     * SIGTERM path); without, the thread stops where it is — the
+     * test hook simulating a crash, leaving only snapshot + WAL.
+     * Idempotent; the destructor calls stop(false).
+     */
+    void stop(bool write_final_snapshot);
+
+    Stats stats() const;
+
+  private:
+    void writerLoop();
+    /** Drain and append queued entries; returns entries written. */
+    std::size_t drainQueueLocked(std::unique_lock<std::mutex> &lock);
+    void writeSnapshotLocked(std::unique_lock<std::mutex> &lock);
+
+    Options options_;
+    std::function<CacheSnapshot()> snapshot_fn_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable drained_;
+    std::deque<CacheEntry> queue_;
+    bool stopping_ = false;
+    bool snapshot_requested_ = false;
+    /** Drain the queue and write one last snapshot before exiting. */
+    bool final_snapshot_ = false;
+    /** True while the writer is appending a batch (flush waits it out). */
+    bool writing_ = false;
+
+    std::uint64_t wal_appends_ = 0;
+    std::uint64_t wal_dropped_ = 0;
+    std::uint64_t snapshots_written_ = 0;
+    /** Attempts (success or not) — writeSnapshotNow waits on this. */
+    std::uint64_t snapshot_attempts_ = 0;
+
+    /** Serialises concurrent stop() callers around the join. */
+    std::mutex join_mutex_;
+    std::thread writer_;
+};
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_CACHE_STORE_H

@@ -66,6 +66,11 @@ StrategyService::StrategyService(ServiceOptions options)
         options_.pipeline.constants =
             power::calibrateOffline(options_.pipeline.chip);
     }
+    if (options_.insert_listener) {
+        insert_listener_ = std::make_shared<
+            const std::function<void(const CacheEntry &)>>(
+            options_.insert_listener);
+    }
 }
 
 StrategyService::~StrategyService()
@@ -293,6 +298,40 @@ StrategyService::process(const StrategyRequest &request,
             stale_donor = std::move(*hit);
         }
 
+        // --- failover replica read -----------------------------------------
+        // A successor answering for a dead owner: serve the replica
+        // copy (including warm_start_only imports) as a degraded
+        // WarmStart — identical problem, similarity 1.0 — instead of
+        // recomputing.  Stale-epoch replicas are not served; the
+        // request falls through and computes locally, so failover
+        // never degrades to an error either way.
+        if (request.serve_replica && !stale_donor) {
+            if (auto replica = cache_.findReplica(fingerprint.digest);
+                replica
+                && replica->fingerprint.model_epoch
+                       == fingerprint.model_epoch) {
+                StrategyResponse response;
+                response.strategy = replica->strategy;
+                response.ga = replica->ga;
+                response.fingerprint = replica->fingerprint;
+                response.provenance = Provenance::WarmStart;
+                response.similarity = 1.0;
+                response.generations_saved = full_generations;
+                if (response.strategy.meta) {
+                    response.strategy.meta->provenance =
+                        provenanceToken(response.provenance);
+                }
+                replica_hits_.fetch_add(1, std::memory_order_relaxed);
+                warm_hits_.fetch_add(1, std::memory_order_relaxed);
+                generations_saved_.fetch_add(
+                    static_cast<std::uint64_t>(full_generations),
+                    std::memory_order_relaxed);
+                response.service_seconds = elapsedSeconds(started);
+                recordLatency(response.service_seconds);
+                return response;
+            }
+        }
+
         // The free path (exact hit) is behind us: anything further
         // costs real search time or occupies this worker waiting on a
         // leader, so an expired request stops here — before it can
@@ -361,6 +400,22 @@ StrategyService::process(const StrategyRequest &request,
         entry.strategy = response.strategy;
         entry.ga = response.ga;
         entry.perf_loss_target = request.perf_loss_target;
+        // A failover-computed answer is for a key this shard does not
+        // own: cache it donor-only so it can never shadow the owner's
+        // result as an exact hit once the owner returns.
+        entry.warm_start_only = request.serve_replica;
+        if (!request.serve_replica) {
+            // Owned leader insert: the replication/WAL hook point.
+            std::shared_ptr<
+                const std::function<void(const CacheEntry &)>>
+                listener;
+            {
+                std::lock_guard<std::mutex> lock(listener_mutex_);
+                listener = insert_listener_;
+            }
+            if (listener && *listener)
+                (*listener)(entry);
+        }
         cache_.insert(std::move(entry));
         response.service_seconds = elapsedSeconds(started);
         recordLatency(response.service_seconds);
@@ -579,6 +634,43 @@ StrategyService::modelEpoch() const
 }
 
 void
+StrategyService::setInsertListener(
+    std::function<void(const CacheEntry &)> listener)
+{
+    auto fresh = listener
+                     ? std::make_shared<
+                           const std::function<void(const CacheEntry &)>>(
+                           std::move(listener))
+                     : nullptr;
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    insert_listener_ = std::move(fresh);
+}
+
+std::vector<CacheEntry>
+StrategyService::snapshotCache() const
+{
+    return cache_.snapshotEntries();
+}
+
+std::size_t
+StrategyService::restoreEntries(std::vector<CacheEntry> entries)
+{
+    std::uint64_t max_epoch = 0;
+    std::size_t restored = 0;
+    for (CacheEntry &entry : entries) {
+        max_epoch = std::max(max_epoch, entry.fingerprint.model_epoch);
+        cache_.insert(std::move(entry));
+        ++restored;
+    }
+    // Never resurrect below the fleet's epoch: entries persisted at
+    // epoch E imply the shard had seen E, so the restarted service
+    // must not serve pre-E strategies as fresh.
+    raiseModelEpoch(max_epoch);
+    restored_entries_.fetch_add(restored, std::memory_order_relaxed);
+    return restored;
+}
+
+void
 StrategyService::recordLatency(double seconds)
 {
     std::lock_guard<std::mutex> lock(latency_mutex_);
@@ -617,6 +709,9 @@ StrategyService::stats() const
         peer_donor_hits_.load(std::memory_order_relaxed);
     out.donors_imported =
         donors_imported_.load(std::memory_order_relaxed);
+    out.replica_hits = replica_hits_.load(std::memory_order_relaxed);
+    out.restored_entries =
+        restored_entries_.load(std::memory_order_relaxed);
     out.model_epoch = model_epoch_.load(std::memory_order_relaxed);
     out.queue_depth = pool_.queueDepth();
     {

@@ -177,6 +177,17 @@ struct ServiceOptions
     double min_shed_sojourn_seconds = 0.02;
     /** Cold-latency prior used until the first cold search completes. */
     double assumed_cold_seconds = 0.25;
+
+    /**
+     * Fires on every owned leader insert into the cache (never for
+     * imported donors or restored entries) with a copy of the entry —
+     * the hook the replication queue and the WAL writer hang off.
+     * Runs on the worker thread that produced the entry; must be
+     * cheap and must not call back into the service.  Also settable
+     * after construction via setInsertListener (the embedder builds
+     * the persister/replicator after the service).
+     */
+    std::function<void(const CacheEntry &)> insert_listener;
 };
 
 /** One optimisation request. */
@@ -200,6 +211,14 @@ struct StrategyRequest
      * arrive in time.
      */
     double deadline_seconds = 0.0;
+    /**
+     * Failover read: the caller knows this shard is not the owner and
+     * accepts a degraded answer from the replica set.  An exact-digest
+     * replica (including `warm_start_only` entries) at the current
+     * model epoch is served as a WarmStart; otherwise the request
+     * computes locally.  Never set on the normal owner path.
+     */
+    bool serve_replica = false;
 };
 
 /** One optimisation response. */
@@ -261,6 +280,10 @@ struct ServiceStats
     std::uint64_t peer_donor_hits = 0;
     /** Peer strategies imported into the cache as donor-only entries. */
     std::uint64_t donors_imported = 0;
+    /** Failover requests answered from the replica set. */
+    std::uint64_t replica_hits = 0;
+    /** Entries rehydrated from a snapshot/WAL at startup. */
+    std::uint64_t restored_entries = 0;
     /** Current model epoch (recalibrations seen by the service). */
     std::uint64_t model_epoch = 0;
     /** Tasks admitted but not yet started. */
@@ -383,6 +406,29 @@ class StrategyService
      */
     void importDonor(const PeerDonor &donor);
 
+    /**
+     * Install (or replace) the insert listener after construction.
+     * The persister and replicator are built around a live service,
+     * so the wiring is circular if the listener must exist at
+     * construction; late binding breaks the cycle.  Thread-safe.
+     */
+    void setInsertListener(std::function<void(const CacheEntry &)> listener);
+
+    /** A copy of every cache entry — the persistence snapshot. */
+    std::vector<CacheEntry> snapshotCache() const;
+
+    /**
+     * Rehydrate the cache from persisted entries (snapshot + WAL
+     * replay at startup).  Entries keep their persisted
+     * `warm_start_only` flags — owned entries stay exact-hittable
+     * after a restart — and the model epoch is raised to the highest
+     * epoch seen, so a restored shard never serves pre-crash entries
+     * the fleet has since invalidated as exact hits.  Does not fire
+     * the insert listener (restored entries are already persisted).
+     * Returns the number of entries inserted.
+     */
+    std::size_t restoreEntries(std::vector<CacheEntry> entries);
+
     const ServiceOptions &options() const { return options_; }
 
   private:
@@ -448,7 +494,15 @@ class StrategyService
     std::atomic<std::uint64_t> peer_donor_queries_{0};
     std::atomic<std::uint64_t> peer_donor_hits_{0};
     std::atomic<std::uint64_t> donors_imported_{0};
+    std::atomic<std::uint64_t> replica_hits_{0};
+    std::atomic<std::uint64_t> restored_entries_{0};
     std::atomic<std::uint64_t> model_epoch_{0};
+
+    /** Insert listener, swappable at runtime: readers copy the
+     *  shared_ptr under the mutex, then invoke outside it. */
+    mutable std::mutex listener_mutex_;
+    std::shared_ptr<const std::function<void(const CacheEntry &)>>
+        insert_listener_;
     mutable std::mutex latency_mutex_;
     std::vector<double> latencies_;
 

@@ -39,6 +39,19 @@ StrategyCache::findExact(std::uint64_t digest)
     return *found->second;
 }
 
+std::optional<CacheEntry>
+StrategyCache::findReplica(std::uint64_t digest)
+{
+    Shard &shard = shardFor(digest);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto found = shard.by_digest.find(digest);
+    if (found == shard.by_digest.end())
+        return std::nullopt;
+    shard.entries.splice(shard.entries.begin(), shard.entries,
+                         found->second);
+    return *found->second;
+}
+
 bool
 StrategyCache::containsFresh(std::uint64_t digest,
                              std::uint64_t model_epoch)
@@ -107,6 +120,18 @@ StrategyCache::size() const
         total += shard.entries.size();
     }
     return total;
+}
+
+std::vector<CacheEntry>
+StrategyCache::snapshotEntries() const
+{
+    std::vector<CacheEntry> entries;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const CacheEntry &entry : shard.entries)
+            entries.push_back(entry);
+    }
+    return entries;
 }
 
 } // namespace opdvfs::serve

@@ -80,6 +80,15 @@ class StrategyCache
     std::optional<CacheEntry> findExact(std::uint64_t digest);
 
     /**
+     * Exact lookup by digest *including* `warm_start_only` entries —
+     * the failover read: a successor answering for a dead owner may
+     * serve its replica copy (degraded to warm-start provenance by
+     * the service).  Refreshes LRU recency.  Never used on the
+     * normal serving path, where warm_start_only stays invisible.
+     */
+    std::optional<CacheEntry> findReplica(std::uint64_t digest);
+
+    /**
      * Cheap admission-control probe: is a digest cached at this model
      * epoch?  Copies nothing and does not refresh recency — a probe
      * is a prediction, not a use; the hit is only consumed if the
@@ -109,6 +118,14 @@ class StrategyCache
 
     /** Current entry count across shards. */
     std::size_t size() const;
+
+    /**
+     * A copy of every entry, most-recently-used first within each
+     * shard — the persistence snapshot.  Shards are locked one at a
+     * time, so the copy is per-shard consistent, not a global point
+     * in time; the WAL covers inserts racing the snapshot.
+     */
+    std::vector<CacheEntry> snapshotEntries() const;
 
   private:
     struct Shard

@@ -54,4 +54,34 @@ HashRing::ownerOf(std::uint64_t digest) const
     return it->shard;
 }
 
+std::vector<std::uint32_t>
+HashRing::ownersOf(std::uint64_t digest, std::size_t count) const
+{
+    if (points_.empty())
+        throw std::logic_error("shard: ownership lookup on an empty ring");
+    std::uint64_t position = mix64(digest);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), position,
+        [](const RingPoint &entry, std::uint64_t value) {
+            return entry.point < value;
+        });
+    if (it == points_.end())
+        it = points_.begin();
+    std::vector<std::uint32_t> owners;
+    // Walk clockwise collecting distinct shards; one full lap visits
+    // every shard, so the loop is bounded even when count exceeds the
+    // membership.
+    for (std::size_t step = 0;
+         step < points_.size() && owners.size() < count; ++step) {
+        std::uint32_t shard = it->shard;
+        if (std::find(owners.begin(), owners.end(), shard)
+            == owners.end())
+            owners.push_back(shard);
+        ++it;
+        if (it == points_.end())
+            it = points_.begin();
+    }
+    return owners;
+}
+
 } // namespace opdvfs::shard

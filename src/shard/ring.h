@@ -68,6 +68,17 @@ class HashRing
      */
     std::uint32_t ownerOf(std::uint64_t digest) const;
 
+    /**
+     * The first @p count distinct shards clockwise from @p digest:
+     * the owner first, then its ring successors in replica-placement
+     * order.  Fewer than @p count shards on the ring returns them
+     * all.  The walk order is a pure function of (membership, digest),
+     * so every process derives the same replica set.
+     * @throws std::logic_error on an empty ring.
+     */
+    std::vector<std::uint32_t> ownersOf(std::uint64_t digest,
+                                        std::size_t count) const;
+
     const std::vector<RingPoint> &points() const { return points_; }
 
   private:

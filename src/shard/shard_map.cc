@@ -118,6 +118,22 @@ ShardMap::ownerOf(std::uint64_t digest) const
     return *info;
 }
 
+std::vector<ShardInfo>
+ShardMap::successorsOf(std::uint64_t digest, std::size_t count) const
+{
+    std::vector<std::uint32_t> ids =
+        ring_.ownersOf(digest, count + 1); // throws on empty
+    std::vector<ShardInfo> successors;
+    for (std::size_t at = 1; at < ids.size(); ++at) {
+        const ShardInfo *info = find(ids[at]);
+        if (!info)
+            throw std::logic_error("shard: ring names a shard the map "
+                                   "does not hold");
+        successors.push_back(*info);
+    }
+    return successors;
+}
+
 void
 ShardMap::join(ShardInfo info)
 {

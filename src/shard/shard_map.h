@@ -90,6 +90,17 @@ class ShardMap
      */
     const ShardInfo &ownerOf(std::uint64_t digest) const;
 
+    /**
+     * The @p count distinct ring successors of @p digest's owner, in
+     * replica-placement order (the owner itself is excluded).  This is
+     * both where the owner replicates the key and where a router
+     * fails over when the owner is down.  A map smaller than
+     * count + 1 returns every non-owner member.
+     * @throws std::logic_error when the map is empty.
+     */
+    std::vector<ShardInfo> successorsOf(std::uint64_t digest,
+                                        std::size_t count) const;
+
     /** Add or replace a member; bumps the epoch. */
     void join(ShardInfo info);
 

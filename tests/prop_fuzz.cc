@@ -48,6 +48,21 @@ TEST(PropFuzz, WireDecoderSurvivesMutatedAndRandomFrames)
     RecordProperty("wire_fuzz_rejected", stats.rejected);
 }
 
+TEST(PropFuzz, CacheWalReplayRecoversOrTruncatesNeverCrashes)
+{
+    PropConfig config = PropConfig::fromEnv();
+    FuzzStats stats;
+    std::optional<std::string> failure = runSeededWalFuzz(
+        config.seed ^ 0x0ca11ab1eULL, config.cases, &stats);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+    // The corpus must exercise both clean replays and damaged logs.
+    EXPECT_GT(stats.accepted, 0) << "corpus never produced a clean WAL";
+    EXPECT_GT(stats.rejected, 0) << "corpus never produced a damaged WAL";
+    RecordProperty("wal_fuzz_executed", stats.executed);
+    RecordProperty("wal_fuzz_accepted", stats.accepted);
+    RecordProperty("wal_fuzz_rejected", stats.rejected);
+}
+
 TEST(PropFuzz, FingerprintIsDeterministicAndNameBlind)
 {
     PropConfig config = PropConfig::fromEnv();
