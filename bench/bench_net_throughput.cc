@@ -14,8 +14,16 @@
  *      at 2x the closed-loop 4-connection rate — achieved rps close
  *      to offered means the event loop absorbs a fleet-sized
  *      connection count; a latency blow-up means it saturated
+ *   5. worker-path baseline: the same exact-hit traffic with the
+ *      reactor fast path disabled (decode -> worker -> re-encode),
+ *      the denominator for the fast-path speedup
+ *   6. exact-hit open-loop storm over 256 connections across reactor
+ *      counts {1, 2, 4}, offered past saturation (2x a closed-loop
+ *      probe), measuring fast-path capacity and reactor scaling
  *
- * Emits BENCH_net.json with RPS and p50/p95 per scenario.
+ * Emits BENCH_net.json with RPS and p50/p95 per scenario.  On a
+ * single-core host the reactor-scaling numbers measure overhead, not
+ * parallelism — clients, reactors and workers share one CPU.
  */
 
 #include <algorithm>
@@ -270,7 +278,93 @@ main()
               << (cold.p50 > 0.0 ? one.p50 / cold.p50 * 100.0 : 0.0)
               << "% of cold)\n";
 
-    server.stop();
+    // Server::stop() permanently drains the shared service, so every
+    // extra server below stays alive (idle reactors cost a poll wait)
+    // until all measurement is done; they all stop at the end.
+    std::vector<std::unique_ptr<net::StrategyServer>> extra_servers;
+
+    // --- 5: worker-path baseline (fast path disabled) -------------------
+    // The machine-relative denominator for the fast-path speedup: the
+    // same exact-hit traffic forced through the worker hop (decode ->
+    // submit -> future -> re-encode), as every request travelled
+    // before the reactor fast path existed.
+    net::ServerOptions worker_options;
+    worker_options.max_connections = 512;
+    worker_options.fast_exact_hits = false;
+    LatencyStats worker_path;
+    {
+        extra_servers.push_back(std::make_unique<net::StrategyServer>(
+            service, worker_options));
+        net::StrategyServer &baseline = *extra_servers.back();
+        baseline.start();
+        net::StrategyClient warm("127.0.0.1", baseline.port());
+        warm.call(hot);
+        worker_path = exactHitStorm(baseline.port(), hot, 4,
+                                    kHitsPerConnection);
+    }
+    std::cout << "\nworker path (fast path off), 4 connections: "
+              << worker_path.rps << " rps, p50 " << worker_path.p50
+              << " s\n";
+
+    // --- 6: exact-hit open-loop storm across reactor counts -------------
+    // 256 connections per run; offered rate adapts to the machine (2x
+    // a closed-loop probe) so the storm is always past saturation and
+    // achieved rps measures capacity, not the schedule.
+    constexpr int kReactorCounts[] = {1, 2, 4};
+    LatencyStats reactor_storm[3];
+    LatencyStats reactor_closed[3];
+    double reactor_offered[3] = {0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < 3; ++i) {
+        net::ServerOptions storm_options;
+        storm_options.max_connections = 512;
+        storm_options.reactor_threads =
+            static_cast<std::size_t>(kReactorCounts[i]);
+        extra_servers.push_back(std::make_unique<net::StrategyServer>(
+            service, storm_options));
+        net::StrategyServer &storm_server = *extra_servers.back();
+        storm_server.start();
+        // First call rides the worker path and publishes the
+        // pre-encoded frame; everything after is on the reactors.
+        net::StrategyClient warm("127.0.0.1", storm_server.port());
+        warm.call(hot);
+        reactor_closed[i] =
+            exactHitStorm(storm_server.port(), hot, 8, 100);
+        reactor_offered[i] =
+            2.0 * std::max(1000.0, reactor_closed[i].rps);
+        reactor_storm[i] =
+            openLoopStorm(storm_server.port(), hot, kStormConnections,
+                          reactor_offered[i], 3.0);
+        net::ServerStats stats = storm_server.stats();
+        std::cout << "exact-hit closed loop, " << kReactorCounts[i]
+                  << " reactor(s), 8 connections: "
+                  << reactor_closed[i].rps << " rps\n";
+        std::cout << "exact-hit storm, " << kReactorCounts[i]
+                  << " reactor(s), " << kStormConnections
+                  << " connections: offered " << reactor_offered[i]
+                  << " rps, achieved " << reactor_storm[i].rps
+                  << " rps, p50 " << reactor_storm[i].p50 << " s, p95 "
+                  << reactor_storm[i].p95 << " s, "
+                  << reactor_storm[i].errors << " failed calls, "
+                  << stats.fast_path_hits << " fast-path hits\n";
+    }
+    // Closed-loop over closed-loop: both sides measured the same way,
+    // so the ratio isolates the fast path (the open-loop storm is
+    // client-bound on small hosts and measures saturation behaviour,
+    // not capacity).
+    double fast_path_speedup =
+        worker_path.rps > 0.0 ? four.rps / worker_path.rps : 0.0;
+    double reactor_scaling = reactor_closed[0].rps > 0.0
+                                 ? reactor_closed[2].rps
+                                       / reactor_closed[0].rps
+                                 : 0.0;
+    std::cout << "fast-path speedup over worker path: "
+              << fast_path_speedup << "x; reactor scaling 4/1: "
+              << reactor_scaling << "x\n";
+
+    server.stop(); // drains the shared service
+    for (auto &extra : extra_servers)
+        extra->stop();
+    extra_servers.clear();
 
     bench::BenchJson json("net");
     json.add("cold_p50", cold.p50, "s");
@@ -291,6 +385,26 @@ main()
              static_cast<double>(storm.errors), "count");
     json.add("exact_hit_fraction_of_cold",
              cold.p50 > 0.0 ? one.p50 / cold.p50 : 0.0, "ratio");
+    json.add("worker_path_rps_4conn", worker_path.rps, "rps");
+    json.add("worker_path_p50_4conn", worker_path.p50, "s");
+    for (std::size_t i = 0; i < 3; ++i) {
+        std::string suffix =
+            "_r" + std::to_string(kReactorCounts[i]);
+        json.add("exact_hit_closed_rps" + suffix,
+                 reactor_closed[i].rps, "rps");
+        json.add("exact_hit_storm_offered" + suffix,
+                 reactor_offered[i], "rps");
+        json.add("exact_hit_storm_rps" + suffix, reactor_storm[i].rps,
+                 "rps");
+        json.add("exact_hit_storm_p50" + suffix, reactor_storm[i].p50,
+                 "s");
+        json.add("exact_hit_storm_p95" + suffix, reactor_storm[i].p95,
+                 "s");
+        json.add("exact_hit_storm_errors" + suffix,
+                 static_cast<double>(reactor_storm[i].errors), "count");
+    }
+    json.add("fast_path_speedup", fast_path_speedup, "x");
+    json.add("reactor_scaling_4_over_1", reactor_scaling, "x");
     json.write();
     return 0;
 }

@@ -34,6 +34,9 @@
  *       owned inserts are WAL-logged as they happen, snapshots are
  *       written periodically and once more on graceful shutdown.
  *   --snapshot-interval <seconds>    period between snapshots (5).
+ *   --reactors <N>                   event-loop threads; connections
+ *       are dealt round-robin across them and exact cache hits are
+ *       answered on the owning loop without a worker hop (default 1).
  *   --replication <R>                cluster mode only: replicate each
  *       owned insert to its R-1 ring successors so router failover
  *       finds warm replicas when this shard dies (default 1: off).
@@ -85,6 +88,7 @@ struct RobustnessFlags
     std::string wal_path;
     double snapshot_interval_seconds = 5.0;
     std::size_t replication_factor = 1;
+    std::size_t reactor_threads = 1;
 
     bool persistence() const { return !snapshot_path.empty(); }
 };
@@ -131,6 +135,7 @@ listenMode(std::uint16_t port, const ClusterFlags &cluster,
 
     net::ServerOptions server_options;
     server_options.port = port;
+    server_options.reactor_threads = robustness.reactor_threads;
 
     std::shared_ptr<shard::SharedShardMap> shard_map;
     std::shared_ptr<net::ShardPeers> peers;
@@ -215,6 +220,7 @@ listenMode(std::uint16_t port, const ClusterFlags &cluster,
         std::cout << "shard " << cluster.shard_id << " of "
                   << shard_map->snapshot()->size() << std::endl;
     }
+    std::cout << "reactors " << robustness.reactor_threads << std::endl;
     std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
 
     std::signal(SIGINT, requestStop);
@@ -250,7 +256,8 @@ main(int argc, char **argv)
             "usage: strategy_server [--listen <port> "
             "[--shard-id <id>] [--peers <id>=<host:port>[,...]] "
             "[--snapshot <path> --wal <path>] "
-            "[--snapshot-interval <seconds>] [--replication <R>]]\n";
+            "[--snapshot-interval <seconds>] [--replication <R>] "
+            "[--reactors <N>]]\n";
         int port = argc >= 3 ? std::atoi(argv[2]) : 0;
         if (port < 0 || port > 65535) {
             std::cerr << kUsage;
@@ -292,6 +299,14 @@ main(int argc, char **argv)
                 }
                 robustness.replication_factor =
                     static_cast<std::size_t>(factor);
+            } else if (flag == "--reactors" && arg + 1 < argc) {
+                long reactors = std::atol(argv[++arg]);
+                if (reactors <= 0) {
+                    std::cerr << kUsage;
+                    return 2;
+                }
+                robustness.reactor_threads =
+                    static_cast<std::size_t>(reactors);
             } else {
                 std::cerr << kUsage;
                 return 2;

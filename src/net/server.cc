@@ -13,7 +13,6 @@
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
-#include <vector>
 
 namespace opdvfs::net {
 
@@ -36,73 +35,186 @@ closeFd(int &fd)
     }
 }
 
+void
+bump(std::atomic<std::uint64_t> &counter)
+{
+    counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 /** Admin connections hold at most one short command line. */
 constexpr std::size_t kAdminLineCap = 4096;
 
 } // namespace
 
+std::string
+encodeExactHitFrame(const WireResponse &ok,
+                    std::uint32_t full_generations,
+                    std::uint64_t entry_model_epoch,
+                    const WireLimits &limits)
+{
+    WireResponse hit = ok;
+    hit.status = Status::Ok;
+    hit.reject = serve::RejectReason::None;
+    hit.retry_after_ms = 0;
+    hit.message.clear();
+    hit.provenance = serve::Provenance::ExactHit;
+    hit.similarity = 0.0;
+    hit.generations_run = 0;
+    hit.generations_saved = full_generations;
+    hit.service_seconds = 0.0;
+    hit.model_epoch = entry_model_epoch;
+    // The cached strategy's meta still names the provenance that
+    // *computed* it (cold / warm-start); the worker exact-hit path
+    // restamps the copy it serves, so the frame must match.
+    if (hit.strategy.meta)
+        hit.strategy.meta->provenance =
+            serve::provenanceToken(serve::Provenance::ExactHit);
+    return frameResponse(hit, limits);
+}
+
 StrategyServer::StrategyServer(serve::StrategyService &service,
                                ServerOptions options)
     : service_(service), options_(std::move(options)),
-      chip_block_(encodeChipConfig(service.options().pipeline.chip))
-{}
+      chip_block_(encodeChipConfig(service.options().pipeline.chip)),
+      full_generations_(static_cast<std::uint32_t>(
+          service.options().pipeline.ga.generations < 0
+              ? 0
+              : service.options().pipeline.ga.generations)),
+      encoded_(serve::EncodedCacheOptions{
+          options_.encoded_cache_capacity})
+{
+    if (options_.reactor_threads == 0)
+        options_.reactor_threads = 1;
+}
 
 StrategyServer::~StrategyServer()
 {
     stop();
 }
 
-void
-StrategyServer::start()
+int
+StrategyServer::openListener(bool reuse_port)
 {
-    if (loop_thread_.joinable())
-        throw std::runtime_error("net: server already started");
-
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0)
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
         throw std::runtime_error("net: socket() failed");
     int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuse_port) {
+#ifdef SO_REUSEPORT
+        if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one))
+            < 0) {
+            ::close(fd);
+            throw std::runtime_error("net: SO_REUSEPORT unavailable");
+        }
+#else
+        ::close(fd);
+        throw std::runtime_error("net: SO_REUSEPORT unavailable");
+#endif
+    }
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_port = htons(options_.port);
+    // Later listeners re-bind the port the first one resolved.
+    addr.sin_port = htons(bound_port_ != 0 ? bound_port_ : options_.port);
     if (::inet_pton(AF_INET, options_.bind_address.c_str(),
                     &addr.sin_addr) != 1) {
-        closeFd(listen_fd_);
+        ::close(fd);
         throw std::runtime_error("net: bad bind address "
                                  + options_.bind_address);
     }
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) < 0
-        || ::listen(listen_fd_, options_.backlog) < 0) {
-        closeFd(listen_fd_);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0
+        || ::listen(fd, options_.backlog) < 0) {
+        ::close(fd);
         throw std::runtime_error("net: cannot bind/listen on "
                                  + options_.bind_address + ":"
                                  + std::to_string(options_.port));
     }
-    socklen_t addr_len = sizeof(addr);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
-                      &addr_len) < 0) {
-        closeFd(listen_fd_);
-        throw std::runtime_error("net: getsockname() failed");
+    if (bound_port_ == 0) {
+        socklen_t addr_len = sizeof(addr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                          &addr_len) < 0) {
+            ::close(fd);
+            throw std::runtime_error("net: getsockname() failed");
+        }
+        bound_port_ = ntohs(addr.sin_port);
     }
-    bound_port_ = ntohs(addr.sin_port);
-    setNonBlocking(listen_fd_);
+    try {
+        setNonBlocking(fd);
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    return fd;
+}
 
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) < 0) {
-        closeFd(listen_fd_);
-        throw std::runtime_error("net: pipe() failed");
+void
+StrategyServer::teardownPartialStart()
+{
+    for (auto &reactor : reactors_) {
+        closeFd(reactor->listen_fd);
+        closeFd(reactor->wake_read_fd);
+        closeFd(reactor->wake_write_fd);
     }
-    wake_read_fd_ = pipe_fds[0];
-    wake_write_fd_ = pipe_fds[1];
-    setNonBlocking(wake_read_fd_);
-    setNonBlocking(wake_write_fd_);
+    reactors_.clear();
+    bound_port_ = 0;
+}
+
+void
+StrategyServer::start()
+{
+    if (!reactors_.empty())
+        throw std::runtime_error("net: server already started");
+
+    std::size_t count = options_.reactor_threads;
+    reactors_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto reactor = std::make_unique<Reactor>();
+        reactor->index = i;
+        reactor->cache_reader = encoded_.registerReader();
+        reactors_.push_back(std::move(reactor));
+    }
+
+    try {
+        // Listener layout: one SO_REUSEPORT listener per reactor when
+        // asked for (and available), otherwise a single listener on
+        // reactor 0, which deals connections round-robin.
+        reuse_port_active_ = false;
+        if (options_.reuse_port && count > 1) {
+            try {
+                for (auto &reactor : reactors_)
+                    reactor->listen_fd = openListener(true);
+                reuse_port_active_ = true;
+            } catch (const std::runtime_error &) {
+                for (auto &reactor : reactors_)
+                    closeFd(reactor->listen_fd);
+                bound_port_ = 0;
+            }
+        }
+        if (!reuse_port_active_)
+            reactors_[0]->listen_fd = openListener(false);
+
+        for (auto &reactor : reactors_) {
+            int pipe_fds[2];
+            if (::pipe(pipe_fds) < 0)
+                throw std::runtime_error("net: pipe() failed");
+            reactor->wake_read_fd = pipe_fds[0];
+            reactor->wake_write_fd = pipe_fds[1];
+            setNonBlocking(reactor->wake_read_fd);
+            setNonBlocking(reactor->wake_write_fd);
+        }
+    } catch (...) {
+        teardownPartialStart();
+        throw;
+    }
 
     phase_.store(0);
+    total_open_.store(0);
     started_at_ = loopNow();
-    loop_thread_ = std::thread([this] { eventLoop(); });
+    for (auto &reactor : reactors_) {
+        Reactor *raw = reactor.get();
+        reactor->thread = std::thread([this, raw] { eventLoop(*raw); });
+    }
 }
 
 void
@@ -110,27 +222,43 @@ StrategyServer::stop()
 {
     int expected = 0;
     if (phase_.compare_exchange_strong(expected, 1)) {
-        wakeLoop();
+        for (auto &reactor : reactors_)
+            wakeReactor(*reactor);
         // Every admitted request completes before drain() returns;
-        // the loop keeps running to flush those responses out.
+        // the reactors keep running to flush those responses out.
         service_.drain();
         // drain() fences the service's work, not our completion
         // callbacks (the admission slot is released before a callback
         // runs).  Wait until every callback has returned before any
-        // teardown: a late callback touches options_, the stats and
-        // completion queues, and wakeLoop()'s pipe fd.
+        // teardown: a late callback touches options_, the encoded
+        // cache, per-reactor counters and queues, and a wake pipe fd.
         {
             std::unique_lock<std::mutex> lock(callback_mutex_);
             callback_idle_.wait(
                 lock, [this] { return outstanding_callbacks_ == 0; });
         }
-        wakeLoop();
+        for (auto &reactor : reactors_)
+            wakeReactor(*reactor);
     }
-    if (loop_thread_.joinable())
-        loop_thread_.join();
-    closeFd(wake_write_fd_);
-    closeFd(wake_read_fd_);
-    closeFd(listen_fd_);
+    for (auto &reactor : reactors_) {
+        if (reactor->thread.joinable())
+            reactor->thread.join();
+        // Sockets dealt to this reactor but never adopted.
+        std::lock_guard<std::mutex> lock(reactor->handoff_mutex);
+        while (!reactor->handoff.empty()) {
+            int fd = reactor->handoff.front();
+            reactor->handoff.pop_front();
+            ::close(fd);
+            total_open_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+    for (auto &reactor : reactors_) {
+        closeFd(reactor->wake_write_fd);
+        closeFd(reactor->wake_read_fd);
+        closeFd(reactor->listen_fd);
+    }
+    if (!reactors_.empty())
+        phase_.store(2);
 }
 
 double
@@ -142,43 +270,45 @@ StrategyServer::loopNow() const
 }
 
 void
-StrategyServer::wakeLoop()
+StrategyServer::wakeReactor(Reactor &reactor)
 {
-    if (wake_write_fd_ < 0)
+    if (reactor.wake_write_fd < 0)
         return;
     char byte = 'w';
     [[maybe_unused]] ssize_t ignored =
-        ::write(wake_write_fd_, &byte, 1); // EAGAIN: loop wakes anyway
+        ::write(reactor.wake_write_fd, &byte, 1); // EAGAIN: wakes anyway
 }
 
 void
-StrategyServer::eventLoop()
+StrategyServer::eventLoop(Reactor &reactor)
 {
-    bool listener_open = true;
+    bool listener_open = reactor.listen_fd >= 0;
     double flush_deadline = 0.0;
     while (true) {
         bool stopping = phase_.load() != 0;
         if (stopping && flush_deadline == 0.0)
             flush_deadline = loopNow() + options_.shutdown_flush_seconds;
-        // The listener stays open through the drain window so load
+        // Listeners stay open through the drain window so load
         // balancers probing HEALTH observe `draining` and eject the
         // instance; new request frames are answered Busy
-        // (shutting-down) by the draining service.  It closes at the
+        // (shutting-down) by the draining service.  They close at the
         // flush deadline so a slow peer cannot extend the window.
         if (stopping && listener_open && loopNow() >= flush_deadline) {
-            closeFd(listen_fd_);
+            closeFd(reactor.listen_fd);
             listener_open = false;
         }
 
-        drainCompletions();
+        drainHandoff(reactor);
+        drainCompletions(reactor);
 
         if (stopping) {
             bool idle = true;
             {
-                std::lock_guard<std::mutex> lock(completion_mutex_);
-                idle = completions_.empty();
+                std::lock_guard<std::mutex> lock(
+                    reactor.completion_mutex);
+                idle = reactor.completions.empty();
             }
-            for (const auto &[id, conn] : connections_)
+            for (const auto &[id, conn] : reactor.connections)
                 if (conn.in_flight || !conn.write_buffer.empty())
                     idle = false;
             if (idle)
@@ -188,12 +318,12 @@ StrategyServer::eventLoop()
         std::vector<pollfd> fds;
         std::vector<std::uint64_t> ids;
         if (listener_open) {
-            fds.push_back({listen_fd_, POLLIN, 0});
+            fds.push_back({reactor.listen_fd, POLLIN, 0});
             ids.push_back(0);
         }
-        fds.push_back({wake_read_fd_, POLLIN, 0});
+        fds.push_back({reactor.wake_read_fd, POLLIN, 0});
         ids.push_back(0);
-        for (auto &[id, conn] : connections_) {
+        for (auto &[id, conn] : reactor.connections) {
             short events = 0;
             // Stop reading once a full max-size frame is buffered:
             // strict request/response means the buffer only drains as
@@ -214,43 +344,45 @@ StrategyServer::eventLoop()
         for (std::size_t i = 0; i < fds.size(); ++i) {
             if (fds[i].revents == 0)
                 continue;
-            if (fds[i].fd == wake_read_fd_) {
+            if (fds[i].fd == reactor.wake_read_fd) {
                 char scratch[64];
-                while (::read(wake_read_fd_, scratch, sizeof(scratch)) > 0)
+                while (::read(reactor.wake_read_fd, scratch,
+                              sizeof(scratch))
+                       > 0)
                     ;
                 continue;
             }
-            if (listener_open && fds[i].fd == listen_fd_) {
-                acceptPending();
+            if (listener_open && fds[i].fd == reactor.listen_fd) {
+                acceptPending(reactor);
                 continue;
             }
-            auto it = connections_.find(ids[i]);
-            if (it == connections_.end())
+            auto it = reactor.connections.find(ids[i]);
+            if (it == reactor.connections.end())
                 continue;
             Connection &conn = it->second;
             if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
                 // Flush what we can (a half-closed peer may still
                 // read), then drop the connection.
                 if (!conn.write_buffer.empty())
-                    flushWritable(ids[i], conn);
+                    flushWritable(reactor, ids[i], conn);
                 to_close.push_back(ids[i]);
                 continue;
             }
             if (fds[i].revents & POLLIN) {
                 conn.last_activity = now;
-                handleReadable(ids[i], conn);
+                handleReadable(reactor, ids[i], conn);
             }
-            auto again = connections_.find(ids[i]);
-            if (again == connections_.end())
+            auto again = reactor.connections.find(ids[i]);
+            if (again == reactor.connections.end())
                 continue;
             if ((fds[i].revents & POLLOUT)
                 && !again->second.write_buffer.empty()) {
                 again->second.last_activity = now;
-                flushWritable(ids[i], again->second);
+                flushWritable(reactor, ids[i], again->second);
             }
         }
         for (std::uint64_t id : to_close)
-            closeConnection(id);
+            closeConnection(reactor, id);
 
         // Reap connections past the idle timeout.  Write progress
         // advances last_activity, so this covers both quiet peers and
@@ -260,7 +392,7 @@ StrategyServer::eventLoop()
         // response still cannot be flushed once the shutdown flush
         // deadline passes — otherwise such a peer would hang stop().
         std::vector<std::uint64_t> idle_ids;
-        for (const auto &[id, conn] : connections_) {
+        for (const auto &[id, conn] : reactor.connections) {
             bool timed_out =
                 !conn.in_flight
                 && now - conn.last_activity > options_.idle_timeout_seconds;
@@ -270,33 +402,31 @@ StrategyServer::eventLoop()
                 idle_ids.push_back(id);
         }
         for (std::uint64_t id : idle_ids) {
-            closeConnection(id);
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.connections_reaped;
+            closeConnection(reactor, id);
+            bump(reactor.counters.connections_reaped);
         }
     }
 
-    for (auto &[id, conn] : connections_)
+    for (auto &[id, conn] : reactor.connections) {
         closeFd(conn.fd);
-    connections_.clear();
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.open_connections = 0;
+        total_open_.fetch_sub(1, std::memory_order_relaxed);
     }
-    phase_.store(2);
+    reactor.connections.clear();
+    reactor.counters.open_connections.store(0,
+                                            std::memory_order_relaxed);
 }
 
 void
-StrategyServer::acceptPending()
+StrategyServer::acceptPending(Reactor &reactor)
 {
     while (true) {
-        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        int fd = ::accept(reactor.listen_fd, nullptr, nullptr);
         if (fd < 0)
             return; // EAGAIN or a transient error: nothing to accept
-        if (connections_.size() >= options_.max_connections) {
+        if (total_open_.load(std::memory_order_relaxed)
+            >= options_.max_connections) {
             ::close(fd);
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.connections_refused;
+            bump(reactor.counters.connections_refused);
             continue;
         }
         try {
@@ -307,18 +437,63 @@ StrategyServer::acceptPending()
         }
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        Connection conn;
-        conn.fd = fd;
-        conn.last_activity = loopNow();
-        connections_.emplace(next_connection_id_++, std::move(conn));
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.connections_accepted;
-        stats_.open_connections = connections_.size();
+        total_open_.fetch_add(1, std::memory_order_relaxed);
+        // In reuse-port mode the kernel already picked this reactor;
+        // otherwise reactor 0 deals sockets round-robin (deterministic:
+        // connection k lands on reactor k mod N).
+        Reactor *target = &reactor;
+        if (!reuse_port_active_ && reactors_.size() > 1) {
+            target = reactors_[accept_robin_ % reactors_.size()].get();
+            accept_robin_++;
+        }
+        if (target == &reactor) {
+            adoptConnection(reactor, fd);
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(target->handoff_mutex);
+                target->handoff.push_back(fd);
+            }
+            wakeReactor(*target);
+        }
     }
 }
 
 void
-StrategyServer::handleReadable(std::uint64_t id, Connection &conn)
+StrategyServer::adoptConnection(Reactor &reactor, int fd)
+{
+    Connection conn;
+    conn.fd = fd;
+    conn.last_activity = loopNow();
+    reactor.connections.emplace(reactor.next_connection_id++,
+                                std::move(conn));
+    bump(reactor.counters.connections_accepted);
+    reactor.counters.open_connections.store(
+        reactor.connections.size(), std::memory_order_relaxed);
+}
+
+void
+StrategyServer::drainHandoff(Reactor &reactor)
+{
+    std::deque<int> pending;
+    {
+        std::lock_guard<std::mutex> lock(reactor.handoff_mutex);
+        pending.swap(reactor.handoff);
+    }
+    bool stopping = phase_.load() != 0;
+    for (int fd : pending) {
+        if (stopping) {
+            // Too late to serve: the deal happened, the adoption won't.
+            ::close(fd);
+            total_open_.fetch_sub(1, std::memory_order_relaxed);
+            continue;
+        }
+        adoptConnection(reactor, fd);
+    }
+}
+
+void
+StrategyServer::handleReadable(Reactor &reactor, std::uint64_t id,
+                               Connection &conn)
 {
     char chunk[16384];
     while (conn.read_buffer.size() < options_.limits.max_frame_bytes) {
@@ -331,26 +506,29 @@ StrategyServer::handleReadable(std::uint64_t id, Connection &conn)
             continue;
         }
         if (got == 0) { // orderly peer close
-            closeConnection(id);
+            closeConnection(reactor, id);
             return;
         }
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
             break;
-        closeConnection(id);
+        closeConnection(reactor, id);
         return;
     }
     if (conn.admin)
-        serveAdminLine(conn);
+        serveAdminLine(reactor, conn);
     else
-        serveFrames(id, conn);
+        serveFrames(reactor, id, conn);
 }
 
 void
-StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
+StrategyServer::serveFrames(Reactor &reactor, std::uint64_t id,
+                            Connection &conn)
 {
     // Strict request/response: the next frame is decoded only after
     // the previous one was answered, so responses always arrive in
-    // request order and per-connection state stays trivial.
+    // request order and per-connection state stays trivial.  An
+    // on-loop fast-path answer leaves in_flight false, so a buffer of
+    // pipelined exact hits drains in this one pass.
     Connection *current = &conn;
     while (!current->in_flight && !current->close_after_flush) {
         std::size_t consumed = 0;
@@ -372,35 +550,29 @@ StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
             // connection, so nothing is touched after it.
             current->close_after_flush = true;
             current->read_buffer.clear();
-            {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                ++stats_.responses_malformed;
-            }
+            bump(reactor.counters.responses_malformed);
             WireResponse response;
             response.status = Status::Malformed;
             response.message = error.what();
-            queueResponse(id, *current, response);
+            queueResponse(reactor, id, *current, response);
             return;
         }
         if (!frame)
             return; // incomplete: wait for more bytes
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.frames_in;
-        }
+        bump(reactor.counters.frames_in);
         if (frame->type == MsgType::PeerDonorQuery)
-            servePeerDonorQuery(id, *current, frame->payload);
+            servePeerDonorQuery(reactor, id, *current, frame->payload);
         else if (frame->type == MsgType::EpochInvalidate)
-            serveEpochInvalidate(id, *current, frame->payload);
+            serveEpochInvalidate(reactor, id, *current, frame->payload);
         else if (frame->type == MsgType::PeerReplicate)
-            servePeerReplicate(id, *current, frame->payload);
+            servePeerReplicate(reactor, id, *current, frame->payload);
         else
-            serveRequest(id, *current, frame->payload);
+            serveRequest(reactor, id, *current, frame->payload);
         // Serving may have flushed an immediate answer and hit a dead
         // socket, closing the connection: re-resolve before any
         // further touch.
-        auto it = connections_.find(id);
-        if (it == connections_.end())
+        auto it = reactor.connections.find(id);
+        if (it == reactor.connections.end())
             return;
         current = &it->second;
         current->read_buffer.erase(0, consumed);
@@ -408,8 +580,8 @@ StrategyServer::serveFrames(std::uint64_t id, Connection &conn)
 }
 
 void
-StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
-                             std::string_view payload)
+StrategyServer::serveRequest(Reactor &reactor, std::uint64_t id,
+                             Connection &conn, std::string_view payload)
 {
     WireRequest request;
     try {
@@ -421,10 +593,7 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
         // hold a max_connections slot forever.  Counters bump before
         // the response flushes so a client that reads the answer never
         // observes a stale count.
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.responses_malformed;
-        }
+        bump(reactor.counters.responses_malformed);
         ++conn.payload_error_streak;
         if (options_.max_payload_errors > 0
             && conn.payload_error_streak >= options_.max_payload_errors)
@@ -432,34 +601,32 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
         WireResponse response;
         response.status = Status::Malformed;
         response.message = error.what();
-        queueResponse(id, conn, response);
+        queueResponse(reactor, id, conn, response);
         return;
     }
     conn.payload_error_streak = 0;
 
+    // One canonical digest per request, shared by the ownership check
+    // and the fast path — the same fingerprint the router computed
+    // client-side, so all sides always name the same owner/entry.
+    std::uint64_t digest =
+        serve::fingerprintRequest(request.workload, request.chip,
+                                  request.perf_loss_target, request.seed)
+            .digest;
+
     // Routing is the outer concern: a mis-routed request is answered
     // NotOwner before any local check (even chip mismatch) — the
     // owner, not this shard, is the authority on serving it.  The
-    // digest is the same canonical fingerprint the router computed
-    // client-side, so both sides always name the same owner for the
-    // same map.  The serve_replica flag is the router's declaration
-    // that the owner is unreachable and it *knows* this shard is a
-    // ring successor: the ownership check is waived so the replica
-    // set (or a locally computed donor-only answer) can serve the key.
+    // serve_replica flag is the router's declaration that the owner is
+    // unreachable and it *knows* this shard is a ring successor: the
+    // ownership check is waived so the replica set (or a locally
+    // computed donor-only answer) can serve the key.
     if (options_.shard_map && !request.serve_replica) {
         auto map = options_.shard_map->snapshot();
         if (!map->empty()) {
-            std::uint64_t digest =
-                serve::fingerprintRequest(request.workload, request.chip,
-                                          request.perf_loss_target,
-                                          request.seed)
-                    .digest;
             const shard::ShardInfo &owner = map->ownerOf(digest);
             if (owner.id != options_.shard_id) {
-                {
-                    std::lock_guard<std::mutex> lock(stats_mutex_);
-                    ++stats_.responses_not_owner;
-                }
+                bump(reactor.counters.responses_not_owner);
                 WireResponse response;
                 response.status = Status::NotOwner;
                 response.owner_address = owner.address;
@@ -468,23 +635,42 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
                 response.message =
                     "net: shard " + std::to_string(options_.shard_id)
                     + " does not own this fingerprint";
-                queueResponse(id, conn, response);
+                queueResponse(reactor, id, conn, response);
                 return;
             }
         }
     }
 
     if (encodeChipConfig(request.chip) != chip_block_) {
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.responses_chip_mismatch;
-        }
+        bump(reactor.counters.responses_chip_mismatch);
         WireResponse response;
         response.status = Status::ChipMismatch;
         response.message =
             "net: request chip differs from the serving chip";
-        queueResponse(id, conn, response);
+        queueResponse(reactor, id, conn, response);
         return;
+    }
+
+    // --- reactor fast path -------------------------------------------
+    // A pre-encoded frame for this digest at the *current* model epoch
+    // is served straight off the loop: wait-free lookup, one buffer
+    // append, no worker hop.  Deliberately after the ownership and
+    // chip checks (identical refusal semantics either path) and gated
+    // on the same conditions under which the worker path may answer
+    // ExactHit — replica reads and cache-bypass requests always take
+    // the worker path.  Exact hits are served even past the client's
+    // deadline, exactly like the worker path.
+    if (options_.fast_exact_hits && request.use_cache
+        && !request.serve_replica) {
+        if (auto frame = encoded_.find(reactor.cache_reader, digest,
+                                       service_.modelEpoch())) {
+            bump(reactor.counters.fast_path_hits);
+            bump(reactor.counters.responses_ok);
+            conn.write_buffer += *frame;
+            flushWritable(reactor, id, conn);
+            return;
+        }
+        bump(reactor.counters.fast_path_misses);
     }
 
     serve::StrategyRequest service_request;
@@ -496,16 +682,24 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
     service_request.serve_replica = request.serve_replica;
     service_request.deadline_seconds = request.deadline_ms / 1000.0;
 
+    // Whether this completion may publish a fast-path frame: only
+    // answers the worker path could itself later serve as exact hits.
+    bool populate_fast_path = options_.fast_exact_hits
+                              && request.use_cache
+                              && !request.serve_replica;
+
     // Counted before the submit attempt so stop() can never observe a
     // window where an admitted callback is neither counted nor done.
     {
         std::lock_guard<std::mutex> lock(callback_mutex_);
         ++outstanding_callbacks_;
     }
+    Reactor *home = &reactor;
     serve::RejectReason reject = service_.trySubmit(
         std::move(service_request),
-        [this, id](serve::StrategyResponse response,
-                   std::exception_ptr error) {
+        [this, home, id, populate_fast_path](
+            serve::StrategyResponse response,
+            std::exception_ptr error) {
             // Worker thread: encode off the loop, enqueue, wake.
             WireResponse wire;
             if (error) {
@@ -551,22 +745,36 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
                 framed = frameResponse(fallback, options_.limits);
                 wire.status = Status::Internal;
             }
-            {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                if (wire.status == Status::Ok) {
-                    ++stats_.responses_ok;
-                } else if (wire.status == Status::Busy) {
-                    ++stats_.responses_busy;
-                    ++stats_.responses_expired;
-                } else {
-                    ++stats_.responses_internal;
+            if (wire.status == Status::Ok) {
+                bump(home->counters.responses_ok);
+                // Publish the exact-hit frame this answer's cache
+                // entry would produce, keyed by the epoch the entry
+                // was computed under: the next identical request is
+                // served on the loop.  A frame over the encoder caps
+                // just never joins the fast path.
+                if (populate_fast_path) {
+                    try {
+                        encoded_.insert(
+                            wire.fingerprint_digest,
+                            response.fingerprint.model_epoch,
+                            encodeExactHitFrame(
+                                wire, full_generations_,
+                                response.fingerprint.model_epoch,
+                                options_.limits));
+                    } catch (const WireError &) {
+                    }
                 }
+            } else if (wire.status == Status::Busy) {
+                bump(home->counters.responses_busy);
+                bump(home->counters.responses_expired);
+            } else {
+                bump(home->counters.responses_internal);
             }
             {
-                std::lock_guard<std::mutex> lock(completion_mutex_);
-                completions_.emplace_back(id, std::move(framed));
+                std::lock_guard<std::mutex> lock(home->completion_mutex);
+                home->completions.emplace_back(id, std::move(framed));
             }
-            wakeLoop();
+            wakeReactor(*home);
             // Last touch of the server: once this count drops to
             // zero, stop() may proceed to tear everything down.
             std::lock_guard<std::mutex> lock(callback_mutex_);
@@ -584,10 +792,7 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
         // Structured backpressure: the connection stays up and the
         // client learns whether to back off (queue-full) or fail over
         // (shutting-down).
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.responses_busy;
-        }
+        bump(reactor.counters.responses_busy);
         WireResponse response;
         response.status = Status::Busy;
         response.reject = reject;
@@ -599,24 +804,22 @@ StrategyServer::serveRequest(std::uint64_t id, Connection &conn,
             response.retry_after_ms = service_.retryAfterMs();
         response.message = std::string("net: admission rejected: ")
                            + serve::rejectReasonToken(reject);
-        queueResponse(id, conn, response);
+        queueResponse(reactor, id, conn, response);
         return;
     }
     conn.in_flight = true;
 }
 
 void
-StrategyServer::servePeerDonorQuery(std::uint64_t id, Connection &conn,
+StrategyServer::servePeerDonorQuery(Reactor &reactor, std::uint64_t id,
+                                    Connection &conn,
                                     std::string_view payload)
 {
     PeerDonorQuery query;
     try {
         query = decodePeerDonorQuery(payload, options_.limits);
     } catch (const WireError &error) {
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.responses_malformed;
-        }
+        bump(reactor.counters.responses_malformed);
         ++conn.payload_error_streak;
         if (options_.max_payload_errors > 0
             && conn.payload_error_streak >= options_.max_payload_errors)
@@ -624,7 +827,7 @@ StrategyServer::servePeerDonorQuery(std::uint64_t id, Connection &conn,
         WireResponse response;
         response.status = Status::Malformed;
         response.message = error.what();
-        queueResponse(id, conn, response);
+        queueResponse(reactor, id, conn, response);
         return;
     }
     conn.payload_error_streak = 0;
@@ -649,12 +852,9 @@ StrategyServer::servePeerDonorQuery(std::uint64_t id, Connection &conn,
         dvfs::saveStrategy(hit->entry.strategy, strategy_text);
         reply.strategy_text = strategy_text.str();
     }
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.peer_donor_queries_served;
-        if (reply.found)
-            ++stats_.peer_donors_exported;
-    }
+    bump(reactor.counters.peer_donor_queries_served);
+    if (reply.found)
+        bump(reactor.counters.peer_donors_exported);
     std::string framed;
     try {
         framed =
@@ -670,21 +870,19 @@ StrategyServer::servePeerDonorQuery(std::uint64_t id, Connection &conn,
             options_.limits);
     }
     conn.write_buffer += framed;
-    flushWritable(id, conn);
+    flushWritable(reactor, id, conn);
 }
 
 void
-StrategyServer::serveEpochInvalidate(std::uint64_t id, Connection &conn,
+StrategyServer::serveEpochInvalidate(Reactor &reactor, std::uint64_t id,
+                                     Connection &conn,
                                      std::string_view payload)
 {
     EpochInvalidate invalidate;
     try {
         invalidate = decodeEpochInvalidate(payload);
     } catch (const WireError &error) {
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.responses_malformed;
-        }
+        bump(reactor.counters.responses_malformed);
         ++conn.payload_error_streak;
         if (options_.max_payload_errors > 0
             && conn.payload_error_streak >= options_.max_payload_errors)
@@ -692,42 +890,40 @@ StrategyServer::serveEpochInvalidate(std::uint64_t id, Connection &conn,
         WireResponse response;
         response.status = Status::Malformed;
         response.message = error.what();
-        queueResponse(id, conn, response);
+        queueResponse(reactor, id, conn, response);
         return;
     }
     conn.payload_error_streak = 0;
 
     // Raise *before* the ack goes out: once the origin shard has our
     // ack, no request on this shard can see a pre-epoch exact hit —
-    // the coherence guarantee the broadcast blocks for.
+    // the coherence guarantee the broadcast blocks for.  The raised
+    // epoch gates the fast path too (find() checks epoch equality);
+    // dropping the stale frames afterwards is purely memory hygiene.
     std::uint64_t epoch =
         service_.raiseModelEpoch(invalidate.model_epoch);
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.epoch_invalidates_received;
-    }
+    encoded_.invalidateBelow(epoch);
+    bump(reactor.counters.epoch_invalidates_received);
     EpochInvalidateAck ack;
     ack.shard_id = options_.shard_id;
     ack.model_epoch = epoch;
     conn.write_buffer += frameMessage(MsgType::EpochInvalidateAck,
                                       encodeEpochInvalidateAck(ack),
                                       options_.limits);
-    flushWritable(id, conn);
+    flushWritable(reactor, id, conn);
 }
 
 void
-StrategyServer::servePeerReplicate(std::uint64_t id, Connection &conn,
+StrategyServer::servePeerReplicate(Reactor &reactor, std::uint64_t id,
+                                   Connection &conn,
                                    std::string_view payload)
 {
     PeerReplicate replicate;
     try {
         replicate = decodePeerReplicate(payload, options_.limits);
     } catch (const WireError &error) {
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.responses_malformed;
-            ++stats_.peer_replicas_refused;
-        }
+        bump(reactor.counters.responses_malformed);
+        bump(reactor.counters.peer_replicas_refused);
         ++conn.payload_error_streak;
         if (options_.max_payload_errors > 0
             && conn.payload_error_streak >= options_.max_payload_errors)
@@ -735,7 +931,7 @@ StrategyServer::servePeerReplicate(std::uint64_t id, Connection &conn,
         WireResponse response;
         response.status = Status::Malformed;
         response.message = error.what();
-        queueResponse(id, conn, response);
+        queueResponse(reactor, id, conn, response);
         return;
     }
     conn.payload_error_streak = 0;
@@ -764,21 +960,18 @@ StrategyServer::servePeerReplicate(std::uint64_t id, Connection &conn,
         // rather than poisoning the local cache.
         ack.accepted = false;
     }
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        if (ack.accepted)
-            ++stats_.peer_replicas_received;
-        else
-            ++stats_.peer_replicas_refused;
-    }
+    if (ack.accepted)
+        bump(reactor.counters.peer_replicas_received);
+    else
+        bump(reactor.counters.peer_replicas_refused);
     conn.write_buffer += frameMessage(MsgType::PeerReplicateAck,
                                       encodePeerReplicateAck(ack),
                                       options_.limits);
-    flushWritable(id, conn);
+    flushWritable(reactor, id, conn);
 }
 
 void
-StrategyServer::serveAdminLine(Connection &conn)
+StrategyServer::serveAdminLine(Reactor &reactor, Connection &conn)
 {
     if (conn.close_after_flush)
         return;
@@ -791,10 +984,7 @@ StrategyServer::serveAdminLine(Connection &conn)
     std::string line = conn.read_buffer.substr(0, newline);
     if (!line.empty() && line.back() == '\r')
         line.pop_back();
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.admin_requests;
-    }
+    bump(reactor.counters.admin_requests);
     std::istringstream fields(line);
     std::string command;
     fields >> command;
@@ -860,9 +1050,13 @@ StrategyServer::serveAdminLine(Connection &conn)
             // Advance locally, then broadcast and *block* for the acks
             // before replying: when the admin reply arrives, no acked
             // peer can still answer a pre-epoch exact hit.  Blocking
-            // the loop is deliberate — recalibration is rare and the
-            // broadcast deadline bounds the stall.
+            // this reactor is deliberate — recalibration is rare and
+            // the broadcast deadline bounds the stall.  The epoch
+            // advance gates the fast path on every reactor at once
+            // (each hit re-checks the epoch); the invalidateBelow only
+            // reclaims the stale frames' memory.
             std::uint64_t epoch = service_.advanceModelEpoch();
+            encoded_.invalidateBelow(epoch);
             ShardPeers::InvalidateResult broadcast;
             if (options_.peers)
                 broadcast =
@@ -893,15 +1087,17 @@ StrategyServer::serveAdminLine(Connection &conn)
 }
 
 void
-StrategyServer::queueResponse(std::uint64_t id, Connection &conn,
+StrategyServer::queueResponse(Reactor &reactor, std::uint64_t id,
+                              Connection &conn,
                               const WireResponse &response)
 {
     conn.write_buffer += frameResponse(response, options_.limits);
-    flushWritable(id, conn);
+    flushWritable(reactor, id, conn);
 }
 
 void
-StrategyServer::flushWritable(std::uint64_t id, Connection &conn)
+StrategyServer::flushWritable(Reactor &reactor, std::uint64_t id,
+                              Connection &conn)
 {
     while (!conn.write_buffer.empty()) {
         ssize_t sent = ::send(conn.fd, conn.write_buffer.data(),
@@ -917,52 +1113,91 @@ StrategyServer::flushWritable(std::uint64_t id, Connection &conn)
             && (errno == EAGAIN || errno == EWOULDBLOCK
                 || errno == EINTR))
             return; // kernel buffer full; POLLOUT resumes the flush
-        closeConnection(id);
+        closeConnection(reactor, id);
         return;
     }
     if (conn.close_after_flush)
-        closeConnection(id);
+        closeConnection(reactor, id);
 }
 
 void
-StrategyServer::drainCompletions()
+StrategyServer::drainCompletions(Reactor &reactor)
 {
     std::deque<std::pair<std::uint64_t, std::string>> ready;
     {
-        std::lock_guard<std::mutex> lock(completion_mutex_);
-        ready.swap(completions_);
+        std::lock_guard<std::mutex> lock(reactor.completion_mutex);
+        ready.swap(reactor.completions);
     }
     for (auto &[id, framed] : ready) {
-        auto it = connections_.find(id);
-        if (it == connections_.end())
+        auto it = reactor.connections.find(id);
+        if (it == reactor.connections.end())
             continue; // the requester hung up; drop the response
         Connection &conn = it->second;
         conn.in_flight = false;
         conn.write_buffer += framed;
-        flushWritable(id, conn);
-        auto again = connections_.find(id);
-        if (again != connections_.end())
-            serveFrames(id, again->second); // next buffered request
+        flushWritable(reactor, id, conn);
+        auto again = reactor.connections.find(id);
+        if (again != reactor.connections.end())
+            serveFrames(reactor, id, again->second); // next buffered request
     }
 }
 
 void
-StrategyServer::closeConnection(std::uint64_t id)
+StrategyServer::closeConnection(Reactor &reactor, std::uint64_t id)
 {
-    auto it = connections_.find(id);
-    if (it == connections_.end())
+    auto it = reactor.connections.find(id);
+    if (it == reactor.connections.end())
         return;
     closeFd(it->second.fd);
-    connections_.erase(it);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.open_connections = connections_.size();
+    reactor.connections.erase(it);
+    reactor.counters.open_connections.store(
+        reactor.connections.size(), std::memory_order_relaxed);
+    total_open_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 ServerStats
 StrategyServer::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    return stats_;
+    auto load64 = [](const std::atomic<std::uint64_t> &v) {
+        return v.load(std::memory_order_relaxed);
+    };
+    ServerStats out;
+    out.reactors.reserve(reactors_.size());
+    for (const auto &reactor : reactors_) {
+        const ReactorCounters &c = reactor->counters;
+        ReactorStats slice;
+        slice.connections_accepted = load64(c.connections_accepted);
+        slice.connections_reaped = load64(c.connections_reaped);
+        slice.frames_in = load64(c.frames_in);
+        slice.fast_path_hits = load64(c.fast_path_hits);
+        slice.open_connections =
+            c.open_connections.load(std::memory_order_relaxed);
+        out.reactors.push_back(slice);
+
+        out.connections_accepted += slice.connections_accepted;
+        out.connections_refused += load64(c.connections_refused);
+        out.connections_reaped += slice.connections_reaped;
+        out.frames_in += slice.frames_in;
+        out.fast_path_hits += slice.fast_path_hits;
+        out.fast_path_misses += load64(c.fast_path_misses);
+        out.responses_ok += load64(c.responses_ok);
+        out.responses_busy += load64(c.responses_busy);
+        out.responses_expired += load64(c.responses_expired);
+        out.responses_malformed += load64(c.responses_malformed);
+        out.responses_chip_mismatch += load64(c.responses_chip_mismatch);
+        out.responses_internal += load64(c.responses_internal);
+        out.responses_not_owner += load64(c.responses_not_owner);
+        out.peer_donor_queries_served +=
+            load64(c.peer_donor_queries_served);
+        out.peer_donors_exported += load64(c.peer_donors_exported);
+        out.epoch_invalidates_received +=
+            load64(c.epoch_invalidates_received);
+        out.peer_replicas_received += load64(c.peer_replicas_received);
+        out.peer_replicas_refused += load64(c.peer_replicas_refused);
+        out.admin_requests += load64(c.admin_requests);
+        out.open_connections += slice.open_connections;
+    }
+    return out;
 }
 
 std::string
@@ -972,11 +1207,15 @@ StrategyServer::statsText() const
     serve::ServiceStats service = service_.stats();
     std::ostringstream os;
     os << "uptime_seconds " << (loopNow() - started_at_) << '\n'
+       << "reactor_threads " << reactors_.size() << '\n'
        << "connections_accepted " << server.connections_accepted << '\n'
        << "connections_refused " << server.connections_refused << '\n'
        << "connections_reaped " << server.connections_reaped << '\n'
        << "open_connections " << server.open_connections << '\n'
        << "frames_in " << server.frames_in << '\n'
+       << "fast_path_hits " << server.fast_path_hits << '\n'
+       << "fast_path_misses " << server.fast_path_misses << '\n'
+       << "encoded_cache_size " << encoded_.size() << '\n'
        << "responses_ok " << server.responses_ok << '\n'
        << "responses_busy " << server.responses_busy << '\n'
        << "responses_expired " << server.responses_expired << '\n'
@@ -1032,6 +1271,14 @@ StrategyServer::statsText() const
         for (const auto &peer : options_.health->snapshot())
             os << "peer_health " << peer.id << ' ' << peer.address << ' '
                << peerHealthToken(peer.health) << '\n';
+    // Per-reactor slices last: additive lines old parsers skip.
+    for (std::size_t i = 0; i < server.reactors.size(); ++i) {
+        const ReactorStats &r = server.reactors[i];
+        os << "reactor " << i << " accepted " << r.connections_accepted
+           << " open " << r.open_connections << " frames_in "
+           << r.frames_in << " fast_path_hits " << r.fast_path_hits
+           << " reaped " << r.connections_reaped << '\n';
+    }
     return os.str();
 }
 

@@ -2,48 +2,70 @@
  * @file
  * TCP front end for the strategy service.
  *
- * One poll(2)-based event loop thread owns every socket: it accepts
- * connections, peels wire frames off per-connection read buffers,
+ * The server runs `ServerOptions::reactor_threads` poll(2)-based
+ * reactor threads.  Each reactor exclusively owns its connections'
+ * sockets: it peels wire frames off per-connection read buffers,
  * admits decoded requests into the StrategyService through its
- * non-blocking callback API, and flushes encoded responses.  Service
- * worker threads never touch a socket: a completion encodes its
- * response off the loop, pushes the framed bytes onto a queue and
- * wakes the loop through a self-pipe.
+ * non-blocking callback API, and flushes encoded responses.  No
+ * socket is ever touched by two threads; service worker completions
+ * encode off the loop, push framed bytes onto the owning reactor's
+ * queue and wake it through that reactor's self-pipe.
+ *
+ * Connections are distributed at accept time.  By default reactor 0
+ * owns the listener and hands accepted sockets round-robin to its
+ * peers (deterministic — tests assert the distribution); with
+ * `ServerOptions::reuse_port` each reactor binds its own
+ * SO_REUSEPORT listener and the kernel spreads connections by flow
+ * hash (no handoff hop, preferred for benchmarks).
+ *
+ * Exact cache hits are served directly on the reactor: every Ok
+ * worker-path completion publishes a pre-encoded exact-hit frame into
+ * an RCU-read EncodedResponseCache (serve/encoded_cache.h), so a
+ * repeat request is fingerprint -> wait-free lookup -> send, with no
+ * worker hop, no completion-queue round trip, no lock and no
+ * re-encode (the frame's CRC is computed once and reused verbatim).
+ * A fast-path hit is byte-identical to the worker path's exact-hit
+ * response except `service_seconds`, which it pins to 0.0 (no
+ * service time is spent).  The frame is served only when its model
+ * epoch equals the service's current epoch, so a recalibration
+ * instantly gates every pre-epoch frame; misses fall through to the
+ * StrategyService admission path unchanged.
  *
  * Backpressure is structured end to end: when the service's admission
  * queue is full (or the service is draining) the request is answered
  * with a `Busy` frame carrying the serve::RejectReason — the
  * connection is never dropped to signal overload.  The server itself
- * bounds connections and accepts at most one in-flight request per
- * connection (the protocol is strictly request/response; a frame that
- * arrives while the previous one is being served simply waits in the
- * read buffer).
+ * bounds connections (globally, across reactors) and accepts at most
+ * one in-flight request per connection (the protocol is strictly
+ * request/response; a frame that arrives while the previous one is
+ * being served simply waits in the read buffer).
  *
  * The same port also answers a plaintext admin protocol: connections
  * whose first byte is not the frame magic's 'O' are read as one text
  * line — `STATS` returns service + server counters (including p50/p95
- * service latency), `HEALTH` returns `ok` or `draining` — then the
- * connection closes.  In cluster mode four more commands manage the
- * shard: `SHARDMAP` (the encoded map), `JOIN <id> <host:port>` /
- * `LEAVE <id>` (membership changes, bumping the map epoch), and
- * `RECAL` (advance the model epoch and broadcast an epoch-invalidate
- * to every peer; the reply reports the new epoch and the ack count
- * only after the broadcast completed, so `ok`+reply implies no
- * reachable shard still serves pre-epoch exact hits).
+ * service latency and per-reactor lines), `HEALTH` returns `ok` or
+ * `draining` — then the connection closes.  In cluster mode four more
+ * commands manage the shard: `SHARDMAP` (the encoded map), `JOIN <id>
+ * <host:port>` / `LEAVE <id>` (membership changes, bumping the map
+ * epoch), and `RECAL` (advance the model epoch and broadcast an
+ * epoch-invalidate to every peer; the reply reports the new epoch and
+ * the ack count only after the broadcast completed, so `ok`+reply
+ * implies no reachable shard still serves pre-epoch exact hits).
  *
  * In cluster mode (`ServerOptions::shard_map` set) the server also
  * ownership-checks every request against the consistent-hash ring and
  * answers `NotOwner` for digests another shard owns, and it serves the
  * shard-to-shard frames (`PeerDonorQuery`, `EpochInvalidate`) directly
- * on the event loop — both are sub-millisecond cache/epoch operations,
- * far cheaper than the GA work that goes through the service pool.
+ * on the owning reactor — both are sub-millisecond cache/epoch
+ * operations, far cheaper than the GA work that goes through the
+ * service pool.
  *
  * stop() is graceful: buffered-but-unserved frames are answered
  * `Busy (shutting-down)`, the service drains (every admitted request
- * completes), every pending response is flushed, and only then does
- * the loop exit.  The listener stays open through the drain window
+ * completes), every pending response is flushed, and only then do the
+ * reactors exit.  Listeners stay open through the drain window
  * (bounded by shutdown_flush_seconds) so HEALTH probes can observe
- * `draining`; it is closed by the time stop() returns.
+ * `draining`; they are closed by the time stop() returns.
  */
 
 #ifndef OPDVFS_NET_SERVER_H
@@ -54,14 +76,17 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "net/health.h"
 #include "net/peer.h"
 #include "net/wire.h"
+#include "serve/encoded_cache.h"
 #include "serve/service.h"
 #include "shard/shard_map.h"
 
@@ -74,7 +99,28 @@ struct ServerOptions
     std::string bind_address = "127.0.0.1";
     /** Port to bind; 0 picks an ephemeral port (see port()). */
     std::uint16_t port = 0;
-    /** Accepted connections beyond this are closed immediately. */
+    /** Event-loop threads, each owning its connections' sockets. */
+    std::size_t reactor_threads = 1;
+    /**
+     * With more than one reactor, bind one SO_REUSEPORT listener per
+     * reactor and let the kernel distribute connections by flow hash
+     * (no cross-thread handoff).  Off: reactor 0 owns the single
+     * listener and deals accepted sockets round-robin — deterministic,
+     * which the reactor tests rely on.  Falls back to round-robin
+     * where SO_REUSEPORT is unavailable.
+     */
+    bool reuse_port = false;
+    /**
+     * Serve exact cache hits directly on the reactor from pre-encoded
+     * frames (see the file comment).  Off: every request takes the
+     * worker path (the pre-fast-path behaviour, kept as a bench
+     * baseline and an escape hatch).
+     */
+    bool fast_exact_hits = true;
+    /** Pre-encoded frames kept for the fast path (FIFO eviction). */
+    std::size_t encoded_cache_capacity = 1024;
+    /** Accepted connections beyond this (across all reactors) are
+     *  closed immediately. */
     std::size_t max_connections = 64;
     /** listen(2) backlog. */
     int backlog = 16;
@@ -86,7 +132,7 @@ struct ServerOptions
     /** During stop(), connections whose responses still cannot be
      *  flushed this long after shutdown began are force-closed, so a
      *  peer that stopped reading cannot hang graceful shutdown.  The
-     *  listener also stays open this long into shutdown so admin
+     *  listeners also stay open this long into shutdown so admin
      *  probes (HEALTH) can observe `draining` while the service
      *  finishes in-flight work. */
     double shutdown_flush_seconds = 5.0;
@@ -138,13 +184,33 @@ struct ServerOptions
     std::shared_ptr<HealthMonitor> health;
 };
 
-/** Monotonic counters owned by the event loop. */
+/** Per-reactor slice of the counters (see ServerStats::reactors). */
+struct ReactorStats
+{
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_reaped = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t fast_path_hits = 0;
+    std::size_t open_connections = 0;
+};
+
+/**
+ * Monotonic counters, aggregated across reactors on read.  Each
+ * reactor bumps its own cache-line-padded relaxed atomics; nothing on
+ * the hot path shares a line between reactors.
+ */
 struct ServerStats
 {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_refused = 0;
     std::uint64_t connections_reaped = 0;
     std::uint64_t frames_in = 0;
+    /** Exact hits served on a reactor from a pre-encoded frame
+     *  (subset of responses_ok; these never reach the service, so
+     *  they appear in no service_* counter). */
+    std::uint64_t fast_path_hits = 0;
+    /** Fast-path probes that missed and took the worker path. */
+    std::uint64_t fast_path_misses = 0;
     std::uint64_t responses_ok = 0;
     std::uint64_t responses_busy = 0;
     /** Busy responses whose cause was an expired deadline (subset of
@@ -167,7 +233,26 @@ struct ServerStats
     std::uint64_t peer_replicas_refused = 0;
     std::uint64_t admin_requests = 0;
     std::size_t open_connections = 0;
+    /** One slice per reactor, index-aligned. */
+    std::vector<ReactorStats> reactors;
 };
+
+/**
+ * The pre-encoded frame the reactor fast path serves for a cached
+ * entry: byte-for-byte what the worker path encodes for an exact hit
+ * on that entry, with `service_seconds` pinned to 0.0.  Built from
+ * any Ok worker-path response (@p ok) for a cache-eligible request:
+ * provenance becomes ExactHit, generations_run 0, generations_saved
+ * the full GA budget, similarity 0, and the model epoch is stamped
+ * from the cache entry so an epoch-equality check gates staleness.
+ * Exposed so tests and the RCU property suite can rebuild the frame
+ * independently (the re-encode identity oracle).
+ * @throws WireError when the response exceeds the encoder caps.
+ */
+std::string encodeExactHitFrame(const WireResponse &ok,
+                                std::uint32_t full_generations,
+                                std::uint64_t entry_model_epoch,
+                                const WireLimits &limits);
 
 /**
  * Serves one StrategyService over TCP.  The service must outlive the
@@ -183,8 +268,8 @@ class StrategyServer
     StrategyServer &operator=(const StrategyServer &) = delete;
 
     /**
-     * Bind, listen and launch the event loop.
-     * @throws std::runtime_error when the socket cannot be set up.
+     * Bind, listen and launch the reactors.
+     * @throws std::runtime_error when the sockets cannot be set up.
      */
     void start();
 
@@ -194,7 +279,7 @@ class StrategyServer
     /** The bound port (after start(); resolves port 0 bindings). */
     std::uint16_t port() const { return bound_port_; }
 
-    /** Snapshot of the loop's counters. */
+    /** Snapshot of the aggregated counters. */
     ServerStats stats() const;
 
     /** The admin STATS text, exactly as served over the socket. */
@@ -220,52 +305,123 @@ class StrategyServer
         std::size_t payload_error_streak = 0;
     };
 
-    void eventLoop();
-    void acceptPending();
-    void handleReadable(std::uint64_t id, Connection &conn);
-    void serveFrames(std::uint64_t id, Connection &conn);
-    void serveRequest(std::uint64_t id, Connection &conn,
-                      std::string_view payload);
+    /** Hot counters, one padded block per reactor.  The owning
+     *  reactor (or a completion it spawned) writes with relaxed
+     *  atomics; stats() sums across blocks. */
+    struct alignas(64) ReactorCounters
+    {
+        std::atomic<std::uint64_t> connections_accepted{0};
+        std::atomic<std::uint64_t> connections_refused{0};
+        std::atomic<std::uint64_t> connections_reaped{0};
+        std::atomic<std::uint64_t> frames_in{0};
+        std::atomic<std::uint64_t> fast_path_hits{0};
+        std::atomic<std::uint64_t> fast_path_misses{0};
+        std::atomic<std::uint64_t> responses_ok{0};
+        std::atomic<std::uint64_t> responses_busy{0};
+        std::atomic<std::uint64_t> responses_expired{0};
+        std::atomic<std::uint64_t> responses_malformed{0};
+        std::atomic<std::uint64_t> responses_chip_mismatch{0};
+        std::atomic<std::uint64_t> responses_internal{0};
+        std::atomic<std::uint64_t> responses_not_owner{0};
+        std::atomic<std::uint64_t> peer_donor_queries_served{0};
+        std::atomic<std::uint64_t> peer_donors_exported{0};
+        std::atomic<std::uint64_t> epoch_invalidates_received{0};
+        std::atomic<std::uint64_t> peer_replicas_received{0};
+        std::atomic<std::uint64_t> peer_replicas_refused{0};
+        std::atomic<std::uint64_t> admin_requests{0};
+        std::atomic<std::size_t> open_connections{0};
+    };
+
+    /**
+     * One event loop and everything it exclusively owns.  Only the
+     * reactor's thread touches `connections`, the fds and the id
+     * counter; the queues are the cross-thread seams (mutex-guarded,
+     * drained by the loop after a self-pipe wake).
+     */
+    struct Reactor
+    {
+        std::size_t index = 0;
+        /** Listener owned by this reactor: every reactor in
+         *  reuse-port mode, reactor 0 otherwise, else -1. */
+        int listen_fd = -1;
+        int wake_read_fd = -1;
+        int wake_write_fd = -1;
+        std::thread thread;
+        std::map<std::uint64_t, Connection> connections;
+        std::uint64_t next_connection_id = 1;
+        /** Framed response bytes finished by service workers. */
+        std::mutex completion_mutex;
+        std::deque<std::pair<std::uint64_t, std::string>> completions;
+        /** Sockets accepted by reactor 0 awaiting adoption here. */
+        std::mutex handoff_mutex;
+        std::deque<int> handoff;
+        /** This reactor's slot in the RCU encoded cache. */
+        std::size_t cache_reader = 0;
+        ReactorCounters counters;
+    };
+
+    void eventLoop(Reactor &reactor);
+    void acceptPending(Reactor &reactor);
+    /** Take ownership of an accepted socket on this reactor. */
+    void adoptConnection(Reactor &reactor, int fd);
+    void drainHandoff(Reactor &reactor);
+    void handleReadable(Reactor &reactor, std::uint64_t id,
+                        Connection &conn);
+    void serveFrames(Reactor &reactor, std::uint64_t id,
+                     Connection &conn);
+    void serveRequest(Reactor &reactor, std::uint64_t id,
+                      Connection &conn, std::string_view payload);
     /** Peer frames (donor query / epoch invalidate) are answered
-     *  directly on the loop: both are cheap cache/epoch operations. */
-    void servePeerDonorQuery(std::uint64_t id, Connection &conn,
-                             std::string_view payload);
-    void serveEpochInvalidate(std::uint64_t id, Connection &conn,
-                              std::string_view payload);
-    void servePeerReplicate(std::uint64_t id, Connection &conn,
-                            std::string_view payload);
-    void serveAdminLine(Connection &conn);
-    void queueResponse(std::uint64_t id, Connection &conn,
-                       const WireResponse &response);
-    void flushWritable(std::uint64_t id, Connection &conn);
-    void drainCompletions();
-    void closeConnection(std::uint64_t id);
-    void wakeLoop();
+     *  directly on the owning reactor: both are cheap cache/epoch
+     *  operations. */
+    void servePeerDonorQuery(Reactor &reactor, std::uint64_t id,
+                             Connection &conn, std::string_view payload);
+    void serveEpochInvalidate(Reactor &reactor, std::uint64_t id,
+                              Connection &conn, std::string_view payload);
+    void servePeerReplicate(Reactor &reactor, std::uint64_t id,
+                            Connection &conn, std::string_view payload);
+    void serveAdminLine(Reactor &reactor, Connection &conn);
+    void queueResponse(Reactor &reactor, std::uint64_t id,
+                       Connection &conn, const WireResponse &response);
+    void flushWritable(Reactor &reactor, std::uint64_t id,
+                       Connection &conn);
+    void drainCompletions(Reactor &reactor);
+    void closeConnection(Reactor &reactor, std::uint64_t id);
+    void wakeReactor(Reactor &reactor);
+    /** Open, bind and listen one socket; fills bound_port_ on the
+     *  first bind when options_.port is 0. */
+    int openListener(bool reuse_port);
+    void teardownPartialStart();
     double loopNow() const;
 
     serve::StrategyService &service_;
     ServerOptions options_;
     /** The serving chip's canonical block; requests must match it. */
     std::string chip_block_;
+    /** The full GA budget an exact hit saves (pre-encoded frames
+     *  report it as generations_saved, like the worker path). */
+    std::uint32_t full_generations_ = 0;
 
-    int listen_fd_ = -1;
-    int wake_read_fd_ = -1;
-    int wake_write_fd_ = -1;
     std::uint16_t bound_port_ = 0;
     /** Loop-clock timestamp of start(); statsText reports uptime. */
     double started_at_ = 0.0;
+    /** True when every reactor owns a SO_REUSEPORT listener. */
+    bool reuse_port_active_ = false;
 
-    std::thread loop_thread_;
-    /** 0 running, 1 stop requested, 2 loop exited. */
+    /** 0 running, 1 stop requested, 2 stopped. */
     std::atomic<int> phase_{0};
 
-    /** Loop-thread state (the loop is the only writer). */
-    std::map<std::uint64_t, Connection> connections_;
-    std::uint64_t next_connection_id_ = 1;
+    std::vector<std::unique_ptr<Reactor>> reactors_;
+    /** Round-robin cursor for accept-and-distribute (reactor 0's
+     *  thread only). */
+    std::size_t accept_robin_ = 0;
+    /** Open connections across all reactors (max_connections is a
+     *  global bound). */
+    std::atomic<std::size_t> total_open_{0};
 
-    /** Framed response bytes finished by service workers. */
-    std::mutex completion_mutex_;
-    std::deque<std::pair<std::uint64_t, std::string>> completions_;
+    /** Pre-encoded exact-hit frames, RCU-read by every reactor,
+     *  populated by worker completions. */
+    serve::EncodedResponseCache encoded_;
 
     /**
      * Completion callbacks handed to the service and not yet returned.
@@ -277,9 +433,6 @@ class StrategyServer
     std::mutex callback_mutex_;
     std::condition_variable callback_idle_;
     std::size_t outstanding_callbacks_ = 0;
-
-    mutable std::mutex stats_mutex_;
-    ServerStats stats_;
 };
 
 } // namespace opdvfs::net

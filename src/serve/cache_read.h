@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Epoch-based RCU read path for the serving cache.
+ *
+ * The strategy cache proper (strategy_cache.h) is sharded behind
+ * mutexes — fine for GA workers that hold a result for milliseconds,
+ * fatal for a reactor thread that wants to answer an exact hit in a
+ * few microseconds without ever blocking.  ReadIndex gives reactors a
+ * wait-free read path: the writer builds a fully immutable snapshot
+ * (digest -> pre-encoded entry), publishes it with one atomic pointer
+ * store, and readers dereference the current snapshot without taking
+ * any lock.
+ *
+ * Reclamation is epoch-based.  Each registered reader owns a
+ * cache-line-padded pin slot; a lookup stores the current global
+ * epoch into its slot, loads the snapshot pointer, finishes, and
+ * stores 0.  A publish retires the previous snapshot stamped with the
+ * post-bump epoch R; a retired snapshot is freed only once every
+ * *active* reader's pin is >= R — a reader pinned at >= R provably
+ * loaded the pointer after the swap (all pin/epoch/pointer accesses
+ * are seq_cst, so the reader's later pointer load is ordered after
+ * the writer's store in the single total order), so it cannot hold
+ * the retired snapshot.  Quiescent readers (pin 0) never block
+ * reclamation.
+ *
+ * Writers (publish) serialize on an internal mutex; readers never
+ * touch it.  Readers must each call registerReader() once and pass
+ * their slot to every lookup — slots are owned, not shared.
+ */
+
+#ifndef OPDVFS_SERVE_CACHE_READ_H
+#define OPDVFS_SERVE_CACHE_READ_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace opdvfs::serve {
+
+/** One pre-encoded exact-hit entry visible to reactor readers. */
+struct ReadEntry
+{
+    /** Model epoch the entry was computed under; an entry is served
+     *  only when this equals the service's current epoch, so a
+     *  recalibration instantly gates every stale entry without a
+     *  republish. */
+    std::uint64_t model_epoch = 0;
+    /** Immutable pre-encoded response frame (opaque to this layer).
+     *  Shared so a returned frame outlives the snapshot it came
+     *  from. */
+    std::shared_ptr<const std::string> frame;
+};
+
+/** An immutable published generation of the index. */
+struct ReadSnapshot
+{
+    std::unordered_map<std::uint64_t, ReadEntry> by_digest;
+    /** Monotonic publish generation (introspection/tests). */
+    std::uint64_t version = 0;
+};
+
+/**
+ * Atomically-published immutable digest index with epoch-based
+ * reclamation.  One writer side (internally serialized), up to
+ * kMaxReaders registered lock-free readers.
+ */
+class ReadIndex
+{
+  public:
+    /** Reader slots are statically sized: reactors register at server
+     *  start, tests register a handful of threads. */
+    static constexpr std::size_t kMaxReaders = 64;
+
+    ReadIndex();
+    ~ReadIndex() = default;
+
+    ReadIndex(const ReadIndex &) = delete;
+    ReadIndex &operator=(const ReadIndex &) = delete;
+
+    /**
+     * Claim a reader slot for the calling thread's exclusive use.
+     * @throws std::runtime_error when kMaxReaders slots are taken.
+     */
+    std::size_t registerReader();
+
+    /**
+     * Wait-free exact lookup: returns the entry's frame when @p digest
+     * is present at exactly @p model_epoch, null otherwise.  Never
+     * takes a lock; never returns an entry from a different epoch.
+     * @p reader must be a slot returned by registerReader() and used
+     * by one thread at a time.
+     */
+    std::shared_ptr<const std::string> lookup(std::size_t reader,
+                                              std::uint64_t digest,
+                                              std::uint64_t model_epoch);
+
+    /**
+     * Publish @p next as the current snapshot and retire the previous
+     * one.  Serialized internally; safe against concurrent lookups.
+     * @p next must not be mutated after the call.
+     */
+    void publish(std::shared_ptr<const ReadSnapshot> next);
+
+    /**
+     * The current snapshot for copy-on-write mutation by the writer.
+     * Callers building the successor snapshot must serialize among
+     * themselves (EncodedResponseCache holds its own writer mutex).
+     */
+    std::shared_ptr<const ReadSnapshot> writerSnapshot() const;
+
+    /** Entries in the current snapshot (unpinned size probe). */
+    std::size_t size() const;
+
+    /** Opportunistically free retired snapshots no reader can still
+     *  hold.  publish() does this automatically; call between
+     *  publishes to release memory once readers quiesce. */
+    void reclaim();
+
+    /** Total publish() calls. */
+    std::uint64_t publishes() const;
+    /** Retired snapshots not yet reclaimed (bounded by slow readers;
+     *  0 when all readers are quiescent after a publish). */
+    std::size_t retiredSnapshots() const;
+    /** Retired snapshots freed so far. */
+    std::uint64_t reclaimedSnapshots() const;
+
+  private:
+    struct alignas(64) ReaderSlot
+    {
+        /** 0 = quiescent; otherwise the global epoch pinned by an
+         *  in-progress lookup. */
+        std::atomic<std::uint64_t> pin{0};
+    };
+
+    struct Retired
+    {
+        std::shared_ptr<const ReadSnapshot> snapshot;
+        /** Global epoch value *after* the swap that retired it: safe
+         *  to free once every active pin is >= this. */
+        std::uint64_t epoch = 0;
+    };
+
+    /** Free every retired snapshot no active reader can still hold.
+     *  Caller holds writer_mutex_. */
+    void reclaimLocked();
+
+    std::array<ReaderSlot, kMaxReaders> slots_;
+    std::atomic<std::size_t> reader_count_{0};
+
+    /** Raw pointer readers dereference; owned by current_owner_. */
+    std::atomic<const ReadSnapshot *> current_;
+    std::atomic<std::uint64_t> global_epoch_{1};
+
+    mutable std::mutex writer_mutex_;
+    std::shared_ptr<const ReadSnapshot> current_owner_;
+    std::vector<Retired> retired_;
+    std::uint64_t publishes_ = 0;
+    std::uint64_t reclaimed_ = 0;
+};
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_CACHE_READ_H

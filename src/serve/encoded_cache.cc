@@ -1,0 +1,71 @@
+#include "serve/encoded_cache.h"
+
+#include <utility>
+
+namespace opdvfs::serve {
+
+EncodedResponseCache::EncodedResponseCache(EncodedCacheOptions options)
+    : options_(options)
+{
+    if (options_.capacity == 0)
+        options_.capacity = 1;
+}
+
+void
+EncodedResponseCache::insert(std::uint64_t digest,
+                             std::uint64_t model_epoch,
+                             std::string frame)
+{
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::shared_ptr<const ReadSnapshot> current = index_.writerSnapshot();
+
+    auto existing = current->by_digest.find(digest);
+    if (existing != current->by_digest.end()
+        && existing->second.model_epoch == model_epoch
+        && *existing->second.frame == frame)
+        return; // identical duplicate: no churn
+
+    auto next = std::make_shared<ReadSnapshot>();
+    next->by_digest = current->by_digest;
+    next->version = current->version + 1;
+    if (existing == current->by_digest.end())
+        insert_order_.push_back(digest);
+    next->by_digest[digest] =
+        ReadEntry{model_epoch,
+                  std::make_shared<const std::string>(std::move(frame))};
+
+    while (next->by_digest.size() > options_.capacity
+           && !insert_order_.empty()) {
+        std::uint64_t victim = insert_order_.front();
+        insert_order_.pop_front();
+        if (victim != digest) // never evict the entry being inserted
+            next->by_digest.erase(victim);
+        else
+            insert_order_.push_back(victim);
+    }
+    index_.publish(std::move(next));
+}
+
+void
+EncodedResponseCache::invalidateBelow(std::uint64_t model_epoch)
+{
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::shared_ptr<const ReadSnapshot> current = index_.writerSnapshot();
+
+    auto next = std::make_shared<ReadSnapshot>();
+    next->version = current->version + 1;
+    for (const auto &[digest, entry] : current->by_digest)
+        if (entry.model_epoch >= model_epoch)
+            next->by_digest.emplace(digest, entry);
+    if (next->by_digest.size() == current->by_digest.size())
+        return; // nothing stale: keep the current snapshot
+
+    std::deque<std::uint64_t> kept;
+    for (std::uint64_t digest : insert_order_)
+        if (next->by_digest.count(digest) != 0)
+            kept.push_back(digest);
+    insert_order_ = std::move(kept);
+    index_.publish(std::move(next));
+}
+
+} // namespace opdvfs::serve

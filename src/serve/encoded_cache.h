@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pre-encoded response cache for the reactor exact-hit fast path.
+ *
+ * A cache over the cache: the strategy cache stores decoded entries
+ * (strategy + GA result); this one stores the *wire frame* a server
+ * would send for an exact hit on that entry, so a reactor can answer
+ * fingerprint -> memcpy -> send without decoding, re-encoding, or a
+ * worker hop.  The serve layer treats the frame as opaque bytes — the
+ * net layer (which owns the wire format) encodes them on insert, and
+ * reuses them verbatim, so the CRC is computed once and every served
+ * copy is CRC-exact.
+ *
+ * Reads go through the RCU ReadIndex (cache_read.h): wait-free, no
+ * shard mutexes, epoch-equality checked per lookup so a stale entry
+ * is never served as exact.  Writes (worker-path completions, a few
+ * per second at most — each corresponds to a real GA search or a
+ * cache population event) copy the current snapshot, mutate, and
+ * publish; their cost is bounded by `capacity`.
+ *
+ * Misses are always safe: the caller falls through to the worker
+ * path, which serves from the strategy cache and repopulates this
+ * one.  Eviction is FIFO by first insert — exact-hit traffic is
+ * fingerprint-uniform enough that recency tracking is not worth
+ * per-read writes (which the read path must not do).
+ */
+
+#ifndef OPDVFS_SERVE_ENCODED_CACHE_H
+#define OPDVFS_SERVE_ENCODED_CACHE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/cache_read.h"
+
+namespace opdvfs::serve {
+
+struct EncodedCacheOptions
+{
+    /** Entries kept; oldest-inserted evicted beyond this. */
+    std::size_t capacity = 1024;
+};
+
+/**
+ * Digest -> pre-encoded response frame, RCU-read, copy-on-write
+ * published.  Thread-safe: any thread may insert/invalidate; each
+ * registered reader slot may be used by one thread at a time.
+ */
+class EncodedResponseCache
+{
+  public:
+    explicit EncodedResponseCache(EncodedCacheOptions options = {});
+
+    EncodedResponseCache(const EncodedResponseCache &) = delete;
+    EncodedResponseCache &operator=(const EncodedResponseCache &) = delete;
+
+    /** Claim a wait-free reader slot (one per reactor thread). */
+    std::size_t registerReader() { return index_.registerReader(); }
+
+    /**
+     * Wait-free probe: the pre-encoded frame for @p digest, but only
+     * when the entry was encoded under exactly @p model_epoch — a
+     * recalibration gates every older entry without a republish.
+     */
+    std::shared_ptr<const std::string> find(std::size_t reader,
+                                            std::uint64_t digest,
+                                            std::uint64_t model_epoch)
+    {
+        return index_.lookup(reader, digest, model_epoch);
+    }
+
+    /**
+     * Insert (or replace) the frame for @p digest.  A same-epoch
+     * duplicate with identical bytes is skipped without a publish.
+     */
+    void insert(std::uint64_t digest, std::uint64_t model_epoch,
+                std::string frame);
+
+    /** Drop every entry whose epoch is below @p model_epoch.  Purely
+     *  a memory release: find()'s epoch-equality check already stops
+     *  stale entries from being served. */
+    void invalidateBelow(std::uint64_t model_epoch);
+
+    /** Entries in the current snapshot. */
+    std::size_t size() const { return index_.size(); }
+
+    /** Snapshots published (insert/invalidate churn, for tests). */
+    std::uint64_t publishes() const { return index_.publishes(); }
+    /** Retired-but-unreclaimed snapshot count (tests/diagnostics). */
+    std::size_t retiredSnapshots() const
+    {
+        return index_.retiredSnapshots();
+    }
+    /** Free retired snapshots whose readers have quiesced. */
+    void reclaim() { index_.reclaim(); }
+
+  private:
+    EncodedCacheOptions options_;
+    ReadIndex index_;
+    /** Serializes copy-on-write writers (insert/invalidate). */
+    std::mutex writer_mutex_;
+    /** First-insert order for FIFO eviction (writer-owned). */
+    std::deque<std::uint64_t> insert_order_;
+};
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_ENCODED_CACHE_H

@@ -258,7 +258,7 @@ StrategyService::process(const StrategyRequest &request,
                          std::chrono::steady_clock::time_point expires_at)
 {
     auto started = std::chrono::steady_clock::now();
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_.add();
 
     Fingerprint fingerprint =
         fingerprintRequest(request.workload, options_.pipeline.chip,
@@ -286,10 +286,9 @@ StrategyService::process(const StrategyRequest &request,
                     response.strategy.meta->provenance =
                         provenanceToken(response.provenance);
                 }
-                exact_hits_.fetch_add(1, std::memory_order_relaxed);
-                generations_saved_.fetch_add(
-                    static_cast<std::uint64_t>(full_generations),
-                    std::memory_order_relaxed);
+                exact_hits_.add();
+                generations_saved_.add(
+                    static_cast<std::uint64_t>(full_generations));
                 response.service_seconds = elapsedSeconds(started);
                 recordLatency(response.service_seconds);
                 return response;
@@ -322,10 +321,9 @@ StrategyService::process(const StrategyRequest &request,
                         provenanceToken(response.provenance);
                 }
                 replica_hits_.fetch_add(1, std::memory_order_relaxed);
-                warm_hits_.fetch_add(1, std::memory_order_relaxed);
-                generations_saved_.fetch_add(
-                    static_cast<std::uint64_t>(full_generations),
-                    std::memory_order_relaxed);
+                warm_hits_.add();
+                generations_saved_.add(
+                    static_cast<std::uint64_t>(full_generations));
                 response.service_seconds = elapsedSeconds(started);
                 recordLatency(response.service_seconds);
                 return response;
@@ -370,10 +368,9 @@ StrategyService::process(const StrategyRequest &request,
             }
             response.generations_saved = response.generations_run;
             response.generations_run = 0;
-            coalesced_.fetch_add(1, std::memory_order_relaxed);
-            generations_saved_.fetch_add(
-                static_cast<std::uint64_t>(response.generations_saved),
-                std::memory_order_relaxed);
+            coalesced_.add();
+            generations_saved_.add(
+                static_cast<std::uint64_t>(response.generations_saved));
             response.service_seconds = elapsedSeconds(started);
             recordLatency(response.service_seconds);
             return response;
@@ -532,12 +529,11 @@ StrategyService::computeFresh(const StrategyRequest &request,
     response.strategy.meta = meta;
 
     if (response.provenance == Provenance::WarmStart) {
-        warm_hits_.fetch_add(1, std::memory_order_relaxed);
-        generations_saved_.fetch_add(
-            static_cast<std::uint64_t>(response.generations_saved),
-            std::memory_order_relaxed);
+        warm_hits_.add();
+        generations_saved_.add(
+            static_cast<std::uint64_t>(response.generations_saved));
     } else {
-        cold_misses_.fetch_add(1, std::memory_order_relaxed);
+        cold_misses_.add();
         recordColdLatency(search_seconds);
     }
     return response;
@@ -688,11 +684,11 @@ ServiceStats
 StrategyService::stats() const
 {
     ServiceStats out;
-    out.requests = requests_.load(std::memory_order_relaxed);
-    out.exact_hits = exact_hits_.load(std::memory_order_relaxed);
-    out.coalesced = coalesced_.load(std::memory_order_relaxed);
-    out.warm_hits = warm_hits_.load(std::memory_order_relaxed);
-    out.cold_misses = cold_misses_.load(std::memory_order_relaxed);
+    out.requests = requests_.total();
+    out.exact_hits = exact_hits_.total();
+    out.coalesced = coalesced_.total();
+    out.warm_hits = warm_hits_.total();
+    out.cold_misses = cold_misses_.total();
     out.rejected = rejected_.load(std::memory_order_relaxed);
     out.expired_in_queue =
         expired_in_queue_.load(std::memory_order_relaxed);
@@ -700,7 +696,7 @@ StrategyService::stats() const
     out.ga_runs_past_deadline =
         ga_runs_past_deadline_.load(std::memory_order_relaxed);
     out.generations_saved =
-        generations_saved_.load(std::memory_order_relaxed);
+        generations_saved_.total();
     out.stale_demotions =
         stale_demotions_.load(std::memory_order_relaxed);
     out.peer_donor_queries =

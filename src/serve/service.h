@@ -41,6 +41,7 @@
 
 #include "dvfs/pipeline.h"
 #include "serve/fingerprint.h"
+#include "serve/sharded_counter.h"
 #include "serve/strategy_cache.h"
 #include "serve/thread_pool.h"
 
@@ -479,17 +480,19 @@ class StrategyService
     std::unordered_map<std::uint64_t, std::shared_future<StrategyResponse>>
         inflight_;
 
-    // Metrics.
-    std::atomic<std::uint64_t> requests_{0};
-    std::atomic<std::uint64_t> exact_hits_{0};
-    std::atomic<std::uint64_t> coalesced_{0};
-    std::atomic<std::uint64_t> warm_hits_{0};
-    std::atomic<std::uint64_t> cold_misses_{0};
+    // Metrics.  The per-request hot counters are sharded across cache
+    // lines (ShardedCounter) so concurrent workers never contend on a
+    // shared line; the cold/rare ones stay plain atomics.
+    ShardedCounter requests_;
+    ShardedCounter exact_hits_;
+    ShardedCounter coalesced_;
+    ShardedCounter warm_hits_;
+    ShardedCounter cold_misses_;
+    ShardedCounter generations_saved_;
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> expired_in_queue_{0};
     std::atomic<std::uint64_t> shed_early_{0};
     std::atomic<std::uint64_t> ga_runs_past_deadline_{0};
-    std::atomic<std::uint64_t> generations_saved_{0};
     std::atomic<std::uint64_t> stale_demotions_{0};
     std::atomic<std::uint64_t> peer_donor_queries_{0};
     std::atomic<std::uint64_t> peer_donor_hits_{0};

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cache-line-sharded monotonic counter.
+ *
+ * A single std::atomic counter bumped from every worker and reactor
+ * thread turns into one contended cache line ping-ponging between
+ * cores.  ShardedCounter spreads the writes across per-thread slots
+ * (each on its own cache line) and only pays the gather cost on
+ * total(), which stats paths call rarely.  Writes are relaxed — the
+ * counters are monotonic observability totals, not synchronization.
+ *
+ * Slots are assigned round-robin at first use per thread (thread_local),
+ * so a thread always hits the same line; unrelated threads can share a
+ * slot once more than kShards threads exist, which only costs some
+ * contention, never correctness.
+ */
+
+#ifndef OPDVFS_SERVE_SHARDED_COUNTER_H
+#define OPDVFS_SERVE_SHARDED_COUNTER_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace opdvfs::serve {
+
+class ShardedCounter
+{
+  public:
+    static constexpr std::size_t kShards = 16;
+
+    void add(std::uint64_t n = 1)
+    {
+        slots_[threadSlot()].value.fetch_add(n,
+                                             std::memory_order_relaxed);
+    }
+
+    std::uint64_t total() const
+    {
+        std::uint64_t sum = 0;
+        for (const Slot &slot : slots_)
+            sum += slot.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> value{0};
+    };
+
+    static std::size_t threadSlot()
+    {
+        static std::atomic<std::size_t> next{0};
+        thread_local std::size_t slot =
+            next.fetch_add(1, std::memory_order_relaxed) % kShards;
+        return slot;
+    }
+
+    std::array<Slot, kShards> slots_;
+};
+
+} // namespace opdvfs::serve
+
+#endif // OPDVFS_SERVE_SHARDED_COUNTER_H

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Property suite over the RCU exact-hit read path (cache_read.h /
+ * encoded_cache.h).
+ *
+ * Three layers of evidence:
+ *
+ *  1. A sequential model check: random insert / invalidateBelow /
+ *     lookup sequences against a plain map-plus-FIFO reference — the
+ *     cache's observable behaviour (hit/miss, returned bytes, size,
+ *     capacity bound) must agree op for op, and a lookup at the
+ *     post-invalidate epoch must never return a demoted entry.
+ *
+ *  2. A re-encode identity oracle: a stored frame for a random
+ *     exact-hit response, peeled and decoded, re-encodes to the very
+ *     bytes the cache returned — the frame-reuse path is CRC-exact
+ *     and cannot drift from a fresh encodeResponse.
+ *
+ *  3. A seeded reader-vs-writer-vs-invalidate thread stress (scaled
+ *     by OPDVFS_PROP_CASES): every frame's contents restate its own
+ *     digest and epoch, so a torn read, a wrong-key hit, or a
+ *     stale-epoch entry served as exact is detected by the reader
+ *     that received it; afterwards, retired snapshots reclaim to
+ *     zero once readers quiesce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/generators.h"
+#include "check/prop.h"
+#include "net/wire.h"
+#include "serve/encoded_cache.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+// --- 1. sequential model check ----------------------------------------
+
+enum class OpKind
+{
+    Insert,
+    InvalidateBelow,
+    Lookup,
+};
+
+struct Op
+{
+    OpKind kind = OpKind::Lookup;
+    std::uint64_t digest = 0;
+    std::uint64_t epoch = 0;
+    std::string frame;
+};
+
+struct ModelCase
+{
+    std::size_t capacity = 4;
+    std::vector<Op> ops;
+};
+
+std::string
+frameFor(std::uint64_t digest, std::uint64_t epoch)
+{
+    std::ostringstream out;
+    out << "frame digest=" << digest << " epoch=" << epoch;
+    return out.str();
+}
+
+ModelCase
+genModelCase(Rng &rng)
+{
+    ModelCase model_case;
+    model_case.capacity = static_cast<std::size_t>(rng.uniformInt(1, 8));
+    // A small digest universe so inserts collide, evict, and get
+    // looked up again; epochs advance slowly so exact-epoch hits and
+    // stale-epoch misses both occur.
+    int steps = static_cast<int>(rng.uniformInt(10, 60));
+    std::uint64_t epoch = 0;
+    for (int i = 0; i < steps; ++i) {
+        Op op;
+        op.digest = static_cast<std::uint64_t>(rng.uniformInt(1, 12));
+        double roll = rng.uniform(0.0, 1.0);
+        if (roll < 0.45) {
+            op.kind = OpKind::Insert;
+            op.epoch = epoch;
+            op.frame = frameFor(op.digest, op.epoch);
+        } else if (roll < 0.55) {
+            op.kind = OpKind::InvalidateBelow;
+            if (rng.chance(0.6))
+                ++epoch;
+            op.epoch = epoch;
+        } else {
+            op.kind = OpKind::Lookup;
+            // Mostly the live epoch, sometimes a demoted one.
+            op.epoch = rng.chance(0.8) || epoch == 0
+                           ? epoch
+                           : epoch
+                                 - static_cast<std::uint64_t>(
+                                     rng.uniformInt(1, 2) > 1 ? 2 : 1)
+                                       % (epoch + 1);
+            if (op.epoch > epoch)
+                op.epoch = epoch;
+        }
+        model_case.ops.push_back(std::move(op));
+    }
+    return model_case;
+}
+
+/** Plain single-threaded reference with the same FIFO semantics. */
+struct Reference
+{
+    std::size_t capacity;
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::string>>
+        entries;
+    std::deque<std::uint64_t> order;
+
+    void
+    insert(std::uint64_t digest, std::uint64_t epoch, std::string frame)
+    {
+        auto it = entries.find(digest);
+        if (it != entries.end()) {
+            it->second = {epoch, std::move(frame)};
+            return;
+        }
+        entries[digest] = {epoch, std::move(frame)};
+        order.push_back(digest);
+        while (entries.size() > capacity) {
+            std::uint64_t victim = order.front();
+            order.pop_front();
+            if (victim == digest) {
+                order.push_back(victim);
+                continue;
+            }
+            entries.erase(victim);
+        }
+    }
+
+    void
+    invalidateBelow(std::uint64_t floor)
+    {
+        for (auto it = entries.begin(); it != entries.end();)
+            it = it->second.first < floor ? entries.erase(it) : ++it;
+        std::deque<std::uint64_t> kept;
+        for (std::uint64_t digest : order)
+            if (entries.count(digest))
+                kept.push_back(digest);
+        order = std::move(kept);
+    }
+
+    const std::string *
+    lookup(std::uint64_t digest, std::uint64_t epoch) const
+    {
+        auto it = entries.find(digest);
+        if (it == entries.end() || it->second.first != epoch)
+            return nullptr;
+        return &it->second.second;
+    }
+};
+
+std::optional<std::string>
+checkModelAgreement(const ModelCase &model_case)
+{
+    serve::EncodedResponseCache cache(
+        serve::EncodedCacheOptions{model_case.capacity});
+    std::size_t reader = cache.registerReader();
+    Reference reference{model_case.capacity, {}, {}};
+    std::uint64_t floor_epoch = 0;
+    for (std::size_t i = 0; i < model_case.ops.size(); ++i) {
+        const Op &op = model_case.ops[i];
+        switch (op.kind) {
+        case OpKind::Insert:
+            cache.insert(op.digest, op.epoch, op.frame);
+            reference.insert(op.digest, op.epoch, op.frame);
+            break;
+        case OpKind::InvalidateBelow:
+            cache.invalidateBelow(op.epoch);
+            reference.invalidateBelow(op.epoch);
+            floor_epoch = op.epoch;
+            break;
+        case OpKind::Lookup: {
+            auto got = cache.find(reader, op.digest, op.epoch);
+            const std::string *want =
+                reference.lookup(op.digest, op.epoch);
+            if ((got != nullptr) != (want != nullptr)) {
+                std::ostringstream out;
+                out << "op " << i << ": lookup(digest=" << op.digest
+                    << ", epoch=" << op.epoch << ") "
+                    << (got ? "hit" : "miss") << " but reference "
+                    << (want ? "hit" : "miss");
+                return out.str();
+            }
+            if (got && *got != *want)
+                return "op " + std::to_string(i)
+                       + ": returned bytes differ from reference";
+            // A demoted entry must never surface as exact at an
+            // epoch below the last invalidation floor.
+            if (got && op.epoch < floor_epoch)
+                return "op " + std::to_string(i)
+                       + ": served an entry demoted by "
+                         "invalidateBelow("
+                       + std::to_string(floor_epoch) + ")";
+            break;
+        }
+        }
+        if (cache.size() != reference.entries.size())
+            return "op " + std::to_string(i) + ": size "
+                   + std::to_string(cache.size()) + " != reference "
+                   + std::to_string(reference.entries.size());
+        if (cache.size() > model_case.capacity)
+            return "op " + std::to_string(i) + ": capacity exceeded";
+    }
+    return std::nullopt;
+}
+
+std::string
+showModelCase(const ModelCase &model_case)
+{
+    std::ostringstream out;
+    out << "capacity=" << model_case.capacity << "\n";
+    for (const Op &op : model_case.ops) {
+        switch (op.kind) {
+        case OpKind::Insert:
+            out << "insert digest=" << op.digest
+                << " epoch=" << op.epoch << "\n";
+            break;
+        case OpKind::InvalidateBelow:
+            out << "invalidate_below " << op.epoch << "\n";
+            break;
+        case OpKind::Lookup:
+            out << "lookup digest=" << op.digest
+                << " epoch=" << op.epoch << "\n";
+            break;
+        }
+    }
+    return out.str();
+}
+
+std::vector<ModelCase>
+shrinkModelCase(const ModelCase &model_case)
+{
+    std::vector<ModelCase> out;
+    // Drop each op; a failure that survives op removal is smaller.
+    for (std::size_t i = 0; i < model_case.ops.size(); ++i) {
+        ModelCase smaller = model_case;
+        smaller.ops.erase(smaller.ops.begin()
+                          + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(smaller));
+    }
+    return out;
+}
+
+TEST(PropRcuCache, CacheAgreesWithSequentialReference)
+{
+    Property<ModelCase> prop("rcu-cache-model-agreement", genModelCase,
+                             checkModelAgreement);
+    prop.withShrinker(shrinkModelCase).withPrinter(showModelCase);
+    OPDVFS_CHECK_PROP(prop);
+}
+
+// --- 2. re-encode identity oracle --------------------------------------
+
+struct FrameCase
+{
+    npu::FreqTableConfig freq;
+    net::WireResponse response;
+};
+
+FrameCase
+genFrameCase(Rng &rng)
+{
+    FrameCase frame_case;
+    frame_case.freq = genFreqTableConfig(rng);
+    net::WireResponse &wire = frame_case.response;
+    wire.status = net::Status::Ok;
+    wire.strategy = genStrategy(rng, npu::FreqTable(frame_case.freq));
+    wire.best_score = rng.uniform(0.1, 50.0);
+    wire.provenance = serve::Provenance::ExactHit;
+    wire.similarity = 0.0;
+    wire.generations_run = 0;
+    wire.generations_saved =
+        static_cast<std::uint32_t>(rng.uniformInt(0, 64));
+    wire.service_seconds = 0.0;
+    wire.fingerprint_digest =
+        static_cast<std::uint64_t>(rng.uniformInt(1, 1 << 30));
+    wire.model_epoch = static_cast<std::uint64_t>(rng.uniformInt(0, 5));
+    return frame_case;
+}
+
+std::optional<std::string>
+checkFrameReuseIdentity(const FrameCase &frame_case)
+{
+    const net::WireResponse &wire = frame_case.response;
+    std::string fresh = net::frameResponse(wire);
+
+    serve::EncodedResponseCache cache;
+    std::size_t reader = cache.registerReader();
+    cache.insert(wire.fingerprint_digest, wire.model_epoch, fresh);
+    auto stored =
+        cache.find(reader, wire.fingerprint_digest, wire.model_epoch);
+    if (!stored)
+        return "inserted frame not found at its own epoch";
+    if (*stored != fresh)
+        return "cache returned different bytes than were inserted";
+
+    // Peel + decode the stored frame and re-encode: byte-identical,
+    // so reusing the cached bytes can never drift from a fresh
+    // encodeResponse of the same response (CRC included).
+    std::size_t consumed = 0;
+    auto view = net::peelFrame(*stored, &consumed);
+    if (!view || consumed != stored->size())
+        return "stored frame does not peel as exactly one frame";
+    net::WireResponse decoded = net::decodeResponse(view->payload);
+    if (net::frameResponse(decoded) != *stored)
+        return "decode -> re-encode of the stored frame is not "
+               "byte-identical";
+    return std::nullopt;
+}
+
+TEST(PropRcuCache, StoredFrameEqualsFreshEncode)
+{
+    Property<FrameCase> prop("rcu-cache-frame-identity", genFrameCase,
+                             checkFrameReuseIdentity);
+    prop.withPrinter([](const FrameCase &frame_case) {
+        return show(frame_case.freq) + "\n"
+               + show(frame_case.response.strategy);
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+// --- 3. concurrent reader / writer / invalidate stress ------------------
+
+TEST(PropRcuCache, ConcurrentReadersNeverSeeTornOrDemotedEntries)
+{
+    PropConfig config = PropConfig::fromEnv();
+    // Scale thread-loop iterations with the case budget so the tsan
+    // job (which raises OPDVFS_PROP_CASES) stresses harder.
+    const int writer_ops = std::max(200, config.cases / 2);
+    const std::uint64_t digests = 32;
+
+    serve::EncodedResponseCache cache(serve::EncodedCacheOptions{16});
+    std::atomic<std::uint64_t> floor_epoch{0};
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> hits{0};
+    std::vector<std::string> failures(4);
+
+    // Readers pick a digest, read the current floor, and demand that
+    // any hit restates exactly that digest and epoch — a torn map, a
+    // wrong-key entry, or a demoted-epoch entry all fail the check.
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t)
+        readers.emplace_back([&, t] {
+            Rng rng(caseSeed(config.seed, 1000 + t));
+            std::size_t slot = cache.registerReader();
+            while (!done.load(std::memory_order_acquire)) {
+                std::uint64_t digest = static_cast<std::uint64_t>(
+                    rng.uniformInt(1,
+                                   static_cast<std::int64_t>(digests)));
+                std::uint64_t epoch =
+                    floor_epoch.load(std::memory_order_acquire);
+                auto frame = cache.find(slot, digest, epoch);
+                if (!frame)
+                    continue;
+                hits.fetch_add(1, std::memory_order_relaxed);
+                if (*frame != frameFor(digest, epoch)) {
+                    failures[static_cast<std::size_t>(t)] =
+                        "reader saw '" + *frame + "' for digest "
+                        + std::to_string(digest) + " epoch "
+                        + std::to_string(epoch);
+                    return;
+                }
+            }
+        });
+
+    // One writer inserting at the current floor, one invalidator
+    // advancing the floor and dropping demoted entries.
+    std::thread writer([&] {
+        Rng rng(caseSeed(config.seed, 2000));
+        for (int i = 0; i < writer_ops; ++i) {
+            std::uint64_t digest = static_cast<std::uint64_t>(
+                rng.uniformInt(1, static_cast<std::int64_t>(digests)));
+            std::uint64_t epoch =
+                floor_epoch.load(std::memory_order_acquire);
+            cache.insert(digest, epoch, frameFor(digest, epoch));
+        }
+    });
+    std::thread invalidator([&] {
+        Rng rng(caseSeed(config.seed, 3000));
+        for (int i = 0; i < writer_ops / 20; ++i) {
+            std::uint64_t next =
+                floor_epoch.fetch_add(1, std::memory_order_acq_rel)
+                + 1;
+            cache.invalidateBelow(next);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(rng.uniformInt(50, 500)));
+        }
+    });
+
+    writer.join();
+    invalidator.join();
+
+    // Tail phase with a stable floor: on a loaded (or single-core)
+    // box the racing phase can be all misses, so guarantee the hit
+    // path is exercised before stopping the readers.
+    std::uint64_t final_epoch =
+        floor_epoch.load(std::memory_order_acquire);
+    for (std::uint64_t digest = 1; digest <= digests; ++digest)
+        cache.insert(digest, final_epoch, frameFor(digest, final_epoch));
+    for (int spin = 0; spin < 1000 && hits.load() == 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    done.store(true, std::memory_order_release);
+    for (std::thread &reader : readers)
+        reader.join();
+    for (const std::string &failure : failures)
+        EXPECT_TRUE(failure.empty()) << failure;
+    // The stress must actually exercise the hit path.
+    EXPECT_GT(hits.load(), 0u);
+
+    // With every reader quiescent, reclamation drains: no retired
+    // snapshot is pinned forever.
+    cache.reclaim();
+    EXPECT_EQ(cache.retiredSnapshots(), 0u);
+    EXPECT_GT(cache.publishes(), 0u);
+}
+
+} // namespace

@@ -286,6 +286,87 @@ TEST(NetChaos, MidFrameResetSurfacesAsTransportError)
     server.stop();
 }
 
+// A four-reactor server behind the proxy upholds exactly the
+// single-loop contracts: byte-at-a-time splits still serve (the hit
+// now coming off a reactor's fast path), a flipped payload bit is
+// caught by the CRC and answered `Malformed` by whichever reactor owns
+// the connection, and a mid-response stall surfaces as the client's
+// deadline.  Multi-reactor ownership must be invisible on the wire.
+TEST(NetChaos, FourReactorServerMatchesSingleLoopContracts)
+{
+    serve::StrategyService service(fastOptions(2));
+    ServerOptions server_options;
+    server_options.reactor_threads = 4;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    // Split: one-byte chunks both ways; cold computes, the replay is
+    // an exact hit with the same score — served on the event loop.
+    {
+        ChaosPlan plan;
+        plan.seed = 29;
+        plan.min_chunk_bytes = 1;
+        plan.max_chunk_bytes = 1;
+        ChaosProxy proxy("127.0.0.1", server.port(), plan);
+        proxy.start();
+        StrategyClient client("127.0.0.1", proxy.port());
+        WireRequest request = testWireRequest(128, 21);
+        WireResponse cold = client.call(request);
+        EXPECT_EQ(cold.status, Status::Ok);
+        EXPECT_EQ(cold.provenance, serve::Provenance::Cold);
+        WireResponse hit = client.call(request);
+        EXPECT_EQ(hit.provenance, serve::Provenance::ExactHit);
+        EXPECT_EQ(hit.best_score, cold.best_score);
+        proxy.stop();
+        EXPECT_EQ(server.stats().fast_path_hits, 1u);
+    }
+
+    // Bit-flip: the CRC catches it on whichever reactor owns the
+    // connection; the GA is never reached by the corrupted frame.
+    {
+        std::uint64_t requests_before = service.stats().requests;
+        ChaosPlan plan;
+        plan.seed = 31;
+        plan.corrupt_byte_index = 24;
+        plan.apply_downstream = false;
+        ChaosProxy proxy("127.0.0.1", server.port(), plan);
+        proxy.start();
+        ClientOptions one_shot;
+        one_shot.max_attempts = 1;
+        StrategyClient client("127.0.0.1", proxy.port(), one_shot);
+        try {
+            client.call(testWireRequest(128, 23));
+            FAIL() << "expected RemoteError(Malformed)";
+        } catch (const RemoteError &remote) {
+            EXPECT_EQ(remote.status(), Status::Malformed);
+        }
+        EXPECT_EQ(service.stats().requests, requests_before);
+        EXPECT_GE(server.stats().responses_malformed, 1u);
+        proxy.stop();
+    }
+
+    // Stall: an exact hit frozen mid-header downstream surfaces as
+    // the client's own deadline, exactly as with one loop.
+    {
+        ChaosPlan plan;
+        plan.seed = 37;
+        plan.apply_upstream = false;
+        plan.stall_after_bytes = 8;
+        plan.stall_seconds = 5.0;
+        ChaosProxy proxy("127.0.0.1", server.port(), plan);
+        proxy.start();
+        ClientOptions options;
+        options.max_attempts = 1;
+        options.request_timeout_seconds = 0.5;
+        StrategyClient client("127.0.0.1", proxy.port(), options);
+        EXPECT_THROW(client.call(testWireRequest(128, 21)),
+                     DeadlineError);
+        EXPECT_EQ(proxy.counters().stalls, 1u);
+        proxy.stop();
+    }
+    server.stop();
+}
+
 // With the server dead, a fleet of breaker-equipped clients stops
 // hammering the port: total connect attempts are a function of the
 // breaker threshold, not of how many calls the fleet makes, and once

@@ -1,0 +1,392 @@
+/**
+ * Deterministic multi-reactor server suite: exact hits served by every
+ * reactor byte-identical to the in-process worker-path ground truth,
+ * round-robin connection distribution asserted through STATS and the
+ * per-reactor counter slices, epoch invalidation gating the fast path
+ * (a demoted epoch is never served as exact, and the fast path
+ * repopulates at the new epoch), graceful stop() draining all
+ * reactors, and the idle-reaping / payload-error-streak contracts
+ * holding per reactor.  Everything runs in accept-and-distribute mode
+ * (connection k lands on reactor k mod N) so distribution assertions
+ * are exact, plus one SO_REUSEPORT smoke case where the kernel picks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/transformer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "power/offline_calibration.h"
+
+namespace opdvfs::net {
+namespace {
+
+models::Workload
+testWorkload(int seq)
+{
+    npu::NpuConfig chip;
+    npu::MemorySystem memory(chip.memory);
+    models::TransformerConfig model;
+    model.name = "reactor-test";
+    model.layers = 2;
+    model.hidden = 1024;
+    model.heads = 8;
+    model.seq = seq;
+    return models::buildTransformerTraining(memory, model, 5);
+}
+
+const power::CalibratedConstants &
+constants()
+{
+    static const power::CalibratedConstants value =
+        power::calibrateOffline(npu::NpuConfig{});
+    return value;
+}
+
+serve::ServiceOptions
+fastOptions(std::size_t workers)
+{
+    serve::ServiceOptions options;
+    options.pipeline.warmup_seconds = 2.0;
+    options.pipeline.profile_freqs_mhz = {1000.0, 1800.0};
+    options.pipeline.ga.population = 30;
+    options.pipeline.ga.generations = 24;
+    options.pipeline.ga.refine_sweeps = 2;
+    options.pipeline.constants = constants();
+    options.workers = workers;
+    options.cache.capacity = 32;
+    options.cache.shards = 4;
+    return options;
+}
+
+WireRequest
+testWireRequest(int seq, std::uint64_t seed)
+{
+    WireRequest request;
+    request.workload = testWorkload(seq);
+    request.seed = seed;
+    return request;
+}
+
+int
+connectLoopback(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr))
+        != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Send @p frame and read exactly one response frame's raw bytes. */
+std::string
+roundTripRaw(int fd, const std::string &frame)
+{
+    if (::send(fd, frame.data(), frame.size(), 0)
+        != static_cast<ssize_t>(frame.size()))
+        return {};
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        std::size_t consumed = 0;
+        if (auto peeled = peelFrame(buffer, &consumed)) {
+            (void)peeled;
+            return buffer.substr(0, consumed);
+        }
+        ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0)
+            return {};
+        buffer.append(chunk, static_cast<std::size_t>(got));
+    }
+}
+
+/**
+ * The frame the worker path would encode for an in-process exact hit
+ * on @p service, with service_seconds pinned to 0.0 — the fast path's
+ * documented contract.  Built from the service response directly
+ * (not via encodeExactHitFrame) so the comparison is an independent
+ * oracle, not the implementation checked against itself.
+ */
+std::string
+groundTruthHitFrame(serve::StrategyService &service,
+                    const WireRequest &request)
+{
+    serve::StrategyRequest direct;
+    direct.workload = request.workload;
+    direct.perf_loss_target = request.perf_loss_target;
+    direct.seed = request.seed;
+    serve::StrategyResponse local = service.submit(direct).get();
+    EXPECT_EQ(local.provenance, serve::Provenance::ExactHit);
+    WireResponse wire;
+    wire.status = Status::Ok;
+    wire.strategy = local.strategy;
+    wire.best_score = local.ga.best_score;
+    wire.provenance = local.provenance;
+    wire.similarity = local.similarity;
+    wire.generations_run = static_cast<std::uint32_t>(
+        local.generations_run < 0 ? 0 : local.generations_run);
+    wire.generations_saved = static_cast<std::uint32_t>(
+        local.generations_saved < 0 ? 0 : local.generations_saved);
+    wire.service_seconds = 0.0;
+    wire.fingerprint_digest = local.fingerprint.digest;
+    wire.model_epoch = service.modelEpoch();
+    return frameResponse(wire);
+}
+
+TEST(NetReactor, ExactHitsFromEveryReactorAreByteIdentical)
+{
+    serve::StrategyService service(fastOptions(2));
+    ServerOptions server_options;
+    server_options.reactor_threads = 4;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    // Prime two workloads through the worker path; the completions
+    // publish the pre-encoded frames.
+    std::vector<WireRequest> requests = {testWireRequest(256, 3),
+                                         testWireRequest(384, 3)};
+    {
+        StrategyClient primer("127.0.0.1", server.port());
+        for (const WireRequest &request : requests)
+            ASSERT_EQ(primer.call(request).status, Status::Ok);
+    }
+
+    // Ground truth: the same requests answered in-process by the same
+    // service (exact hits off the strategy cache), re-encoded the way
+    // the worker path serves them.
+    std::vector<std::string> expected;
+    for (const WireRequest &request : requests)
+        expected.push_back(groundTruthHitFrame(service, request));
+
+    // Eight connections deal round-robin onto the four reactors (the
+    // primer was connection 1), so every reactor owns exactly two;
+    // each connection replays both workloads.
+    std::vector<int> fds;
+    for (int i = 0; i < 8; ++i) {
+        int fd = connectLoopback(server.port());
+        ASSERT_GE(fd, 0);
+        fds.push_back(fd);
+    }
+    for (int fd : fds)
+        for (std::size_t w = 0; w < requests.size(); ++w) {
+            std::string raw = roundTripRaw(fd, frameRequest(requests[w]));
+            EXPECT_EQ(raw, expected[w])
+                << "fast-path frame differs from the worker-path "
+                   "ground truth";
+        }
+    for (int fd : fds)
+        ::close(fd);
+
+    // All 16 storm responses came off the fast path, spread exactly
+    // two connections / four hits per reactor.
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.fast_path_hits, 16u);
+    ASSERT_EQ(stats.reactors.size(), 4u);
+    for (const ReactorStats &reactor : stats.reactors) {
+        EXPECT_GE(reactor.connections_accepted, 2u);
+        EXPECT_EQ(reactor.fast_path_hits, 4u);
+    }
+
+    // The same distribution surfaces through the admin STATS text.
+    std::string text = adminQuery("127.0.0.1", server.port(), "STATS");
+    EXPECT_NE(text.find("reactor_threads 4\n"), std::string::npos);
+    EXPECT_NE(text.find("fast_path_hits 16\n"), std::string::npos);
+    for (int i = 0; i < 4; ++i) {
+        std::string line = "reactor " + std::to_string(i) + " accepted ";
+        EXPECT_NE(text.find(line), std::string::npos) << text;
+    }
+    server.stop();
+}
+
+TEST(NetReactor, EpochInvalidateGatesAndRepopulatesTheFastPath)
+{
+    serve::StrategyService service(fastOptions(2));
+    ServerOptions server_options;
+    server_options.reactor_threads = 2;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    StrategyClient client("127.0.0.1", server.port());
+    WireRequest request = testWireRequest(256, 5);
+
+    WireResponse cold = client.call(request);
+    ASSERT_EQ(cold.status, Status::Ok);
+    EXPECT_EQ(cold.provenance, serve::Provenance::Cold);
+    EXPECT_EQ(cold.model_epoch, 0u);
+
+    WireResponse hit = client.call(request);
+    EXPECT_EQ(hit.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(hit.service_seconds, 0.0);
+    EXPECT_EQ(server.stats().fast_path_hits, 1u);
+
+    // RECAL advances the model epoch: the very next identical request
+    // must not be served as an exact hit at the demoted epoch — it
+    // recomputes (warm-started by the demoted entry) under epoch 1.
+    std::string recal = adminQuery("127.0.0.1", server.port(), "RECAL");
+    EXPECT_EQ(recal.rfind("ok epoch 1", 0), 0u) << recal;
+
+    WireResponse recomputed = client.call(request);
+    ASSERT_EQ(recomputed.status, Status::Ok);
+    EXPECT_NE(recomputed.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(recomputed.model_epoch, 1u);
+    EXPECT_EQ(server.stats().fast_path_hits, 1u); // no new fast hit
+
+    // The recomputation's completion republished at epoch 1: the next
+    // identical request is on the loop again.
+    WireResponse rehit = client.call(request);
+    EXPECT_EQ(rehit.provenance, serve::Provenance::ExactHit);
+    EXPECT_EQ(rehit.model_epoch, 1u);
+    EXPECT_EQ(server.stats().fast_path_hits, 2u);
+    server.stop();
+}
+
+TEST(NetReactor, GracefulStopDrainsEveryReactor)
+{
+    serve::StrategyService service(fastOptions(1));
+    ServerOptions server_options;
+    server_options.reactor_threads = 4;
+    server_options.shutdown_flush_seconds = 10.0;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    // Idle connections parked on three reactors while a slow cold
+    // request is in flight on the fourth: stop() must drain the
+    // in-flight work, flush its response, and close every reactor's
+    // connections.
+    std::vector<int> idlers;
+    for (int i = 0; i < 3; ++i) {
+        int fd = connectLoopback(server.port());
+        ASSERT_GE(fd, 0);
+        idlers.push_back(fd);
+    }
+    WireRequest slow = testWireRequest(512, 47);
+    slow.use_cache = false;
+    WireResponse answered;
+    std::thread requester([&] {
+        StrategyClient client("127.0.0.1", server.port());
+        answered = client.call(slow);
+    });
+    for (int spin = 0; spin < 500 && service.stats().in_flight == 0;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GE(service.stats().in_flight, 1u);
+
+    auto begun = std::chrono::steady_clock::now();
+    server.stop();
+    double stop_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - begun)
+                              .count();
+    requester.join();
+
+    // The admitted request completed and its response was flushed
+    // before the reactors exited.
+    EXPECT_EQ(answered.status, Status::Ok);
+    EXPECT_LT(stop_seconds, server_options.shutdown_flush_seconds);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.open_connections, 0u);
+    for (const ReactorStats &reactor : stats.reactors)
+        EXPECT_EQ(reactor.open_connections, 0u);
+    for (int fd : idlers)
+        ::close(fd);
+    server.stop(); // idempotent
+}
+
+TEST(NetReactor, IdleReapingAndPayloadStreakHoldPerReactor)
+{
+    serve::StrategyService service(fastOptions(1));
+    ServerOptions server_options;
+    server_options.reactor_threads = 2;
+    server_options.idle_timeout_seconds = 0.3;
+    server_options.max_payload_errors = 2;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    // Four idle connections, two per reactor, all reaped.
+    std::vector<int> idlers;
+    for (int i = 0; i < 4; ++i) {
+        int fd = connectLoopback(server.port());
+        ASSERT_GE(fd, 0);
+        idlers.push_back(fd);
+    }
+    for (int spin = 0;
+         spin < 500 && server.stats().connections_reaped < 4; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.connections_reaped, 4u);
+    ASSERT_EQ(stats.reactors.size(), 2u);
+    EXPECT_EQ(stats.reactors[0].connections_reaped, 2u);
+    EXPECT_EQ(stats.reactors[1].connections_reaped, 2u);
+    for (int fd : idlers)
+        ::close(fd);
+
+    // The payload-error streak closes connections on both reactors:
+    // two intact-but-undecodable frames each, answered then closed.
+    std::string bad = frameMessage(MsgType::Request, "not-a-request");
+    for (int i = 0; i < 2; ++i) {
+        int fd = connectLoopback(server.port());
+        ASSERT_GE(fd, 0);
+        std::string burst = bad + bad;
+        ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+                  static_cast<ssize_t>(burst.size()));
+        std::string bytes;
+        char chunk[4096];
+        ssize_t got;
+        while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+            bytes.append(chunk, static_cast<std::size_t>(got));
+        ::close(fd);
+        std::size_t consumed = 0;
+        std::size_t responses = 0;
+        while (auto frame = peelFrame(bytes, &consumed)) {
+            EXPECT_EQ(decodeResponse(frame->payload).status,
+                      Status::Malformed);
+            bytes.erase(0, consumed);
+            ++responses;
+        }
+        EXPECT_EQ(responses, 2u);
+    }
+    EXPECT_GE(server.stats().responses_malformed, 4u);
+    server.stop();
+}
+
+TEST(NetReactor, ReusePortModeServesColdAndHit)
+{
+    serve::StrategyService service(fastOptions(2));
+    ServerOptions server_options;
+    server_options.reactor_threads = 2;
+    server_options.reuse_port = true;
+    StrategyServer server(service, server_options);
+    server.start();
+
+    // The kernel picks the reactor per connection (not asserted);
+    // both paths must serve regardless of which loop owns the socket.
+    StrategyClient client("127.0.0.1", server.port());
+    WireRequest request = testWireRequest(256, 9);
+    EXPECT_EQ(client.call(request).provenance, serve::Provenance::Cold);
+    client.disconnect();
+    EXPECT_EQ(client.call(request).provenance,
+              serve::Provenance::ExactHit);
+    EXPECT_EQ(server.stats().responses_ok, 2u);
+    server.stop();
+}
+
+} // namespace
+} // namespace opdvfs::net
