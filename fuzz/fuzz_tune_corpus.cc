@@ -1,0 +1,27 @@
+/**
+ * @file
+ * libFuzzer entry point over the surrogate-corpus loader.  The oracle
+ * lives in src/check/fuzz.cc and is shared with the seeded ctest
+ * driver (tests/prop_fuzz.cc), so a crash found here replays there
+ * from the same bytes and vice versa.
+ *
+ * Build: cmake -B build-fuzz -DOPDVFS_BUILD_FUZZERS=ON \
+ *              -DCMAKE_CXX_COMPILER=clang++
+ * Run:   build-fuzz/fuzz/fuzz_tune_corpus -max_total_time=60
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/fuzz.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (auto failure = opdvfs::check::fuzzTuneCorpusOne(data, size)) {
+        std::fprintf(stderr, "fuzz_tune_corpus: %s\n", failure->c_str());
+        std::abort();
+    }
+    return 0;
+}

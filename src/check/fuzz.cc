@@ -12,6 +12,7 @@
 #include "npu/npu_chip.h"
 #include "serve/cache_store.h"
 #include "serve/fingerprint.h"
+#include "tune/corpus.h"
 
 namespace opdvfs::check {
 
@@ -719,6 +720,188 @@ runSeededWalFuzz(std::uint64_t seed, int iterations, FuzzStats *stats)
                 ++stats->rejected;
             else
                 ++stats->accepted;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+fuzzTuneCorpusOne(const std::uint8_t *data, std::size_t size)
+{
+    std::string bytes(reinterpret_cast<const char *>(data), size);
+
+    std::vector<tune::Observation> corpus;
+    try {
+        corpus = tune::decodeCorpus(bytes);
+    } catch (const std::invalid_argument &) {
+        return std::nullopt; // strict rejection is the expected path
+    } catch (const std::exception &error) {
+        return "decodeCorpus threw a non-invalid_argument exception: "
+            + std::string(error.what());
+    } catch (...) {
+        return std::string("decodeCorpus threw a non-standard exception");
+    }
+
+    // Accepted: every observation must re-encode, and the rebuilt
+    // image must decode back to the same observations, byte-stably.
+    std::string rebuilt = tune::corpusHeader();
+    try {
+        for (const tune::Observation &observation : corpus)
+            rebuilt += tune::encodeObservation(observation);
+    } catch (const std::exception &error) {
+        return "accepted observation fails to re-encode: "
+            + std::string(error.what());
+    }
+    std::vector<tune::Observation> again;
+    try {
+        again = tune::decodeCorpus(rebuilt);
+    } catch (const std::exception &error) {
+        return "re-encoded corpus fails to decode: "
+            + std::string(error.what());
+    }
+    if (again.size() != corpus.size())
+        return std::string("re-encoded corpus changes the record count");
+    for (std::size_t at = 0; at < corpus.size(); ++at) {
+        if (again[at].size() != corpus[at].size())
+            return std::string("re-encoded corpus changes a row count");
+        for (std::size_t row = 0; row < corpus[at].size(); ++row) {
+            // The loader rejects non-finite values, so == is exact.
+            if (again[at][row].features != corpus[at][row].features
+                || again[at][row].target_mhz
+                       != corpus[at][row].target_mhz)
+                return std::string(
+                    "re-encoded corpus changes a sample");
+        }
+    }
+    std::string stable = tune::corpusHeader();
+    for (const tune::Observation &observation : again)
+        stable += tune::encodeObservation(observation);
+    if (stable != rebuilt)
+        return std::string(
+            "encode -> decode -> encode is not byte-stable");
+
+    // Determinism: decoding the same bytes twice gives the same image.
+    std::vector<tune::Observation> third = tune::decodeCorpus(bytes);
+    if (third.size() != corpus.size())
+        return std::string("decodeCorpus is not deterministic");
+    return std::nullopt;
+}
+
+namespace {
+
+/** A pristine corpus image of 1..4 valid observations. */
+std::string
+genCorpusImage(Rng &rng, std::size_t *records)
+{
+    std::string image = tune::corpusHeader();
+    int count = static_cast<int>(rng.uniformInt(1, 4));
+    if (records)
+        *records = static_cast<std::size_t>(count);
+    for (int r = 0; r < count; ++r) {
+        tune::Observation observation;
+        int rows = static_cast<int>(rng.uniformInt(1, 6));
+        int features = static_cast<int>(rng.uniformInt(1, 40));
+        for (int row = 0; row < rows; ++row) {
+            tune::StageSample sample;
+            for (int f = 0; f < features; ++f)
+                sample.features.push_back(rng.uniform(-4.0, 4.0));
+            sample.target_mhz = rng.uniform(200.0, 2000.0);
+            observation.push_back(std::move(sample));
+        }
+        image += tune::encodeObservation(observation);
+    }
+    return image;
+}
+
+/** Bit flips, torn tails, dropped spans and spliced records. */
+std::string
+mutatedCorpusImage(Rng &rng)
+{
+    std::string image = genCorpusImage(rng, nullptr);
+    int mutations = static_cast<int>(rng.uniformInt(1, 4));
+    for (int m = 0; m < mutations && !image.empty(); ++m) {
+        switch (rng.uniformInt(0, 3)) {
+        case 0: { // flip one bit
+            std::size_t at = rng.index(image.size());
+            image[at] = static_cast<char>(
+                static_cast<unsigned char>(image[at])
+                ^ (1u << rng.index(8)));
+            break;
+        }
+        case 1: // torn tail
+            image.resize(rng.index(image.size() + 1));
+            break;
+        case 2: { // splice a random length/CRC header mid-stream
+            std::size_t at = rng.index(image.size() + 1);
+            for (int b = 0; b < 8; ++b)
+                image.insert(image.begin()
+                                 + static_cast<std::ptrdiff_t>(at),
+                             static_cast<char>(rng.uniformInt(0, 255)));
+            break;
+        }
+        default: { // delete a span
+            std::size_t at = rng.index(image.size());
+            std::size_t len = std::min<std::size_t>(
+                static_cast<std::size_t>(rng.uniformInt(1, 24)),
+                image.size() - at);
+            image.erase(at, len);
+            break;
+        }
+        }
+    }
+    return image;
+}
+
+} // namespace
+
+std::optional<std::string>
+runSeededCorpusFuzz(std::uint64_t seed, int iterations, FuzzStats *stats)
+{
+    for (int i = 0; i < iterations; ++i) {
+        Rng rng(seed
+                + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+        std::vector<std::uint8_t> buffer;
+        bool pristine = false;
+        std::size_t records = 0;
+        double kind = rng.uniform(0.0, 1.0);
+        if (kind < 0.3) {
+            pristine = true;
+            std::string image = genCorpusImage(rng, &records);
+            buffer.assign(image.begin(), image.end());
+        } else if (kind < 0.8) {
+            std::string image = mutatedCorpusImage(rng);
+            buffer.assign(image.begin(), image.end());
+        } else {
+            buffer = randomBuffer(rng);
+        }
+
+        if (stats)
+            ++stats->executed;
+        std::optional<std::string> failure =
+            fuzzTuneCorpusOne(buffer.data(), buffer.size());
+        if (!failure && pristine) {
+            // Strictness cuts both ways: a clean image must load.
+            std::string image(buffer.begin(), buffer.end());
+            if (tune::decodeCorpus(image).size() != records)
+                failure = "a pristine corpus image did not load in "
+                          "full";
+        }
+        if (failure) {
+            std::ostringstream os;
+            os << "corpus fuzz iteration " << i << " (seed " << seed
+               << ") failed: " << *failure << "\nbuffer ("
+               << buffer.size() << " bytes):\n"
+               << escapeBuffer(buffer.data(), buffer.size());
+            return os.str();
+        }
+        if (stats) {
+            std::string image(buffer.begin(), buffer.end());
+            try {
+                tune::decodeCorpus(image);
+                ++stats->accepted;
+            } catch (...) {
+                ++stats->rejected;
+            }
         }
     }
     return std::nullopt;

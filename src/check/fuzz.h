@@ -63,6 +63,16 @@ std::optional<std::string> fuzzWireOne(const std::uint8_t *data,
 std::optional<std::string> fuzzCacheWalOne(const std::uint8_t *data,
                                            std::size_t size);
 
+/**
+ * Feed @p data to tune::decodeCorpus as a surrogate-training-corpus
+ * image.  The loader is strict (a corrupt corpus poisons every later
+ * prediction): corruption must be rejected with std::invalid_argument
+ * and nothing else, and an accepted corpus must re-encode into bytes
+ * that decode to the same observations, stably and deterministically.
+ */
+std::optional<std::string> fuzzTuneCorpusOne(const std::uint8_t *data,
+                                             std::size_t size);
+
 /** Tallies from one seeded fuzz run. */
 struct FuzzStats
 {
@@ -111,6 +121,17 @@ std::optional<std::string> runSeededWireFuzz(std::uint64_t seed,
 std::optional<std::string> runSeededWalFuzz(std::uint64_t seed,
                                             int iterations,
                                             FuzzStats *stats = nullptr);
+
+/**
+ * Seeded driver for the tune-corpus target: pristine corpora of valid
+ * observations (which must be accepted in full), mutated corpora (bit
+ * flips, truncations, record splices) and raw random bytes.
+ * `accepted` counts buffers the loader parsed; `rejected` counts the
+ * rest.
+ */
+std::optional<std::string> runSeededCorpusFuzz(std::uint64_t seed,
+                                               int iterations,
+                                               FuzzStats *stats = nullptr);
 
 } // namespace opdvfs::check
 

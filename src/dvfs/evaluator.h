@@ -73,7 +73,10 @@ class StageEvaluator
     /** Evaluate the all-max-frequency baseline. */
     StrategyEvaluation evaluateBaseline() const;
 
-  private:
+    /** Precomputed per-(stage, frequency) contributions.  Public so
+     *  external fitness backends (tune::IncrementalFitness) and the
+     *  surrogate's feasibility repair can reuse the tables instead of
+     *  rebuilding the models. */
     struct Cell
     {
         double seconds = 0.0;
@@ -84,6 +87,19 @@ class StageEvaluator
         double volt_seconds = 0.0;
     };
 
+    /** The (stage, frequency) table cell. */
+    const Cell &
+    cellAt(std::size_t stage, std::size_t freq) const
+    {
+        return cells_[stage * freqs_mhz_.size() + freq];
+    }
+
+    /** Thermal/power constants of the temperature fix point. */
+    double gammaAicore() const { return gamma_aicore_; }
+    double gammaSoc() const { return gamma_soc_; }
+    double kPerWatt() const { return k_per_watt_; }
+
+  private:
     const Cell &
     cell(std::size_t stage, std::size_t freq) const
     {

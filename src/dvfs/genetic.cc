@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace opdvfs::dvfs {
 
@@ -126,7 +127,14 @@ searchStrategy(const StageEvaluator &evaluator,
     // Each index writes only its own slot; the best-individual
     // reduction below runs serially in ascending index order, so
     // selection is independent of evaluation order and thread count.
-    auto scoreAll = [&](const std::vector<Genome> &individuals) {
+    auto scoreAll = [&](const std::vector<Genome> &individuals,
+                        const std::vector<GenomeLineage> &lineage) {
+        if (options.fitness_backend) {
+            options.fitness_backend->scoreGeneration(
+                individuals, lineage, per_lb, options.parallel_for,
+                scores, evals);
+            return;
+        }
         auto scoreOne = [&](std::size_t i) {
             evals[i] = evaluator.evaluate(individuals[i]);
             scores[i] = strategyScore(evals[i], per_lb);
@@ -139,8 +147,11 @@ searchStrategy(const StageEvaluator &evaluator,
         }
     };
 
+    // Generation 0 has no parents: every individual is a full build.
+    std::vector<GenomeLineage> lineage(population.size());
+
     for (int gen = 0; gen < options.generations; ++gen) {
-        scoreAll(population);
+        scoreAll(population, lineage);
         for (std::size_t i = 0; i < population.size(); ++i) {
             if (scores[i] > result.best_score) {
                 result.best_score = scores[i];
@@ -161,15 +172,24 @@ searchStrategy(const StageEvaluator &evaluator,
                   });
 
         std::vector<Genome> next;
+        std::vector<GenomeLineage> next_lineage;
         next.reserve(population.size());
+        next_lineage.reserve(population.size());
         for (int e = 0; e < options.elite
              && e < static_cast<int>(order.size()); ++e) {
-            next.push_back(population[order[static_cast<std::size_t>(e)]]);
+            std::size_t slot = order[static_cast<std::size_t>(e)];
+            next.push_back(population[slot]);
+            // An elite is its parent verbatim: no dirty spans.
+            next_lineage.push_back(GenomeLineage{slot, {}});
         }
 
         while (next.size() < population.size()) {
-            Genome a = population[rng.weightedIndex(scores)];
-            Genome b = population[rng.weightedIndex(scores)];
+            std::size_t ia = rng.weightedIndex(scores);
+            std::size_t ib = rng.weightedIndex(scores);
+            Genome a = population[ia];
+            Genome b = population[ib];
+            GenomeLineage la{ia, {}};
+            GenomeLineage lb{ib, {}};
 
             // Tail-swap crossover (Sect. 6.3.3): exchange the last k
             // frequency settings.
@@ -177,12 +197,17 @@ searchStrategy(const StageEvaluator &evaluator,
                 std::size_t k = rng.index(n - 1) + 1;
                 for (std::size_t s = n - k; s < n; ++s)
                     std::swap(a[s], b[s]);
+                la.dirty.push_back(GeneSpan{n - k, n});
+                lb.dirty.push_back(GeneSpan{n - k, n});
             }
 
-            for (Genome *child : {&a, &b}) {
+            for (auto [child, lin] : {std::pair{&a, &la},
+                                      std::pair{&b, &lb}}) {
                 if (rng.chance(options.mutation_rate)) {
-                    (*child)[rng.index(n)] =
+                    std::size_t at = rng.index(n);
+                    (*child)[at] =
                         static_cast<std::uint8_t>(rng.index(freqs.size()));
+                    lin->dirty.push_back(GeneSpan{at, at + 1});
                 }
                 // Block mutation: neighbouring stages carry similar
                 // bottlenecks, so moving a contiguous run together
@@ -195,12 +220,16 @@ searchStrategy(const StageEvaluator &evaluator,
                         rng.index(freqs.size()));
                     for (std::size_t s = start; s < start + len; ++s)
                         (*child)[s] = value;
+                    lin->dirty.push_back(GeneSpan{start, start + len});
                 }
-                if (next.size() < population.size())
+                if (next.size() < population.size()) {
                     next.push_back(std::move(*child));
+                    next_lineage.push_back(std::move(*lin));
+                }
             }
         }
         population = std::move(next);
+        lineage = std::move(next_lineage);
     }
 
     // Memetic refinement: single-gene hill climbing from the GA's best
@@ -215,8 +244,18 @@ searchStrategy(const StageEvaluator &evaluator,
                     continue;
                 Genome candidate = result.best_genome;
                 candidate[s] = static_cast<std::uint8_t>(gene);
-                StrategyEvaluation eval = evaluator.evaluate(candidate);
-                double score = strategyScore(eval, per_lb);
+                StrategyEvaluation eval;
+                double score;
+                if (options.fitness_backend) {
+                    // Probe through the backend so refinement scores
+                    // are bit-consistent with the generation scores
+                    // they compete against.
+                    options.fitness_backend->scoreOne(candidate, per_lb,
+                                                      score, eval);
+                } else {
+                    eval = evaluator.evaluate(candidate);
+                    score = strategyScore(eval, per_lb);
+                }
                 if (score > result.best_score) {
                     result.best_score = score;
                     result.best_genome = std::move(candidate);

@@ -37,18 +37,18 @@ PipelineResult::strategy() const
     return out;
 }
 
-PipelineResult
-EnergyPipeline::optimize(const models::Workload &workload) const
+PreparedWorkload
+EnergyPipeline::prepare(const models::Workload &workload) const
 {
-    PipelineResult result;
+    PreparedWorkload prepared;
     npu::FreqTable table(options_.chip.freq);
     trace::WorkloadRunner runner(options_.chip);
 
     // --- power-model construction: offline half (Fig. 11) ----------------
-    result.constants = options_.constants
+    prepared.constants = options_.constants
         ? *options_.constants
         : power::calibrateOffline(options_.chip);
-    power::PowerModel power_model(result.constants, table);
+    power::PowerModel power_model(prepared.constants, table);
 
     // --- profiling runs at the model-building frequencies ----------------
     if (options_.profile_freqs_mhz.size() < 2)
@@ -61,7 +61,6 @@ EnergyPipeline::optimize(const models::Workload &workload) const
     double max_profile_freq = *std::max_element(
         options_.profile_freqs_mhz.begin(), options_.profile_freqs_mhz.end());
 
-    std::vector<trace::RunResult> profile_runs;
     for (double f : options_.profile_freqs_mhz) {
         trace::RunOptions run_options;
         run_options.initial_mhz = f;
@@ -69,28 +68,46 @@ EnergyPipeline::optimize(const models::Workload &workload) const
         run_options.sample_period = options_.profile_sample_period;
         run_options.seed =
             options_.seed * 31 + static_cast<std::uint64_t>(f);
-        profile_runs.push_back(runner.run(workload, run_options));
+        trace::RunResult run = runner.run(workload, run_options);
 
-        perf_repo.addProfile(f, profile_runs.back().records);
-        online.addRun(profile_runs.back());
+        perf_repo.addProfile(f, run.records);
+        online.addRun(run);
         if (f == max_profile_freq)
-            result.baseline = profile_runs.back();
+            prepared.baseline = run;
     }
 
     perf::PerfBuildOptions perf_options;
     perf_options.kind = options_.fit_kind;
     perf_repo.fitAll(perf_options);
-    result.perf_models = perf_repo;
+    prepared.perf_models = std::move(perf_repo);
 
-    auto op_power = online.perOpModels();
-    result.op_power = op_power;
+    prepared.op_power = online.perOpModels();
 
     // --- classification + preprocessing (Sect. 6.1/6.2) -------------------
-    result.prep = preprocess(result.baseline.records, options_.preprocess);
+    prepared.prep = preprocess(prepared.baseline.records,
+                               options_.preprocess);
+    return prepared;
+}
+
+PipelineResult
+EnergyPipeline::optimize(const models::Workload &workload) const
+{
+    PipelineResult result;
+    npu::FreqTable table(options_.chip.freq);
+    trace::WorkloadRunner runner(options_.chip);
+
+    PreparedWorkload prepared = prepare(workload);
+    result.constants = prepared.constants;
+    result.baseline = std::move(prepared.baseline);
+    result.perf_models = std::move(prepared.perf_models);
+    result.op_power = std::move(prepared.op_power);
+    result.prep = std::move(prepared.prep);
+
+    power::PowerModel power_model(result.constants, table);
 
     // --- genetic strategy search (Sect. 6.3) ------------------------------
-    StageEvaluator evaluator(result.prep.stages, perf_repo, power_model,
-                             op_power, table);
+    StageEvaluator evaluator(result.prep.stages, result.perf_models,
+                             power_model, result.op_power, table);
     GaOptions ga_options = options_.ga;
     ga_options.perf_loss_target = options_.perf_loss_target;
     ga_options.seed =

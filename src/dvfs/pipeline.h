@@ -72,6 +72,23 @@ struct PipelineOptions
     std::uint64_t seed = 1;
 };
 
+/**
+ * The profile-and-model half of the pipeline: everything a strategy
+ * search — or a surrogate prediction — needs, with no search run yet.
+ * Produced by EnergyPipeline::prepare(); reused by the serving layer
+ * so a predicted first answer and its asynchronous GA refinement
+ * share one profiling pass instead of re-profiling the workload.
+ */
+struct PreparedWorkload
+{
+    power::CalibratedConstants constants;
+    /** Baseline measurement at the maximum profile frequency. */
+    trace::RunResult baseline;
+    perf::PerfModelRepository perf_models;
+    std::unordered_map<std::uint64_t, power::OpPowerModel> op_power;
+    PreprocessResult prep;
+};
+
 /** Everything the pipeline produced. */
 struct PipelineResult
 {
@@ -116,6 +133,16 @@ class EnergyPipeline
 
     /** Optimise one workload end to end. */
     PipelineResult optimize(const models::Workload &workload) const;
+
+    /**
+     * Run only the profile-and-model half: calibrate, profile at the
+     * configured frequencies, fit performance/power models and
+     * preprocess into candidate stages.  optimize() is exactly
+     * prepare() followed by the search and execution half, so results
+     * derived from a PreparedWorkload are bit-consistent with the
+     * full pipeline under the same options and seed.
+     */
+    PreparedWorkload prepare(const models::Workload &workload) const;
 
     const PipelineOptions &options() const { return options_; }
 

@@ -85,6 +85,13 @@ StrategyServer::StrategyServer(serve::StrategyService &service,
 {
     if (options_.reactor_threads == 0)
         options_.reactor_threads = 1;
+    // When an async refinement upgrades a predicted cache entry, the
+    // pre-encoded frame of the prediction must stop being served; the
+    // next exact hit then re-populates from the refined strategy.
+    if (options_.fast_exact_hits) {
+        service_.setUpgradeListener(
+            [this](std::uint64_t digest) { encoded_.erase(digest); });
+    }
 }
 
 StrategyServer::~StrategyServer()
@@ -224,6 +231,11 @@ StrategyServer::stop()
     if (phase_.compare_exchange_strong(expected, 1)) {
         for (auto &reactor : reactors_)
             wakeReactor(*reactor);
+        // Unhook the upgrade listener before draining: drain() waits
+        // out in-flight refinements (which may still fire the copy
+        // they already hold — encoded_ outlives stop()), and nothing
+        // scheduled afterwards may reach into this server again.
+        service_.setUpgradeListener(nullptr);
         // Every admitted request completes before drain() returns;
         // the reactors keep running to flush those responses out.
         service_.drain();
@@ -1257,6 +1269,13 @@ StrategyServer::statsText() const
        << "cold_ewma_seconds " << service.cold_ewma_seconds << '\n'
        << "service_replica_hits " << service.replica_hits << '\n'
        << "service_restored_entries " << service.restored_entries << '\n'
+       << "service_predicted_served " << service.predicted_served << '\n'
+       << "service_refine_upgrades " << service.refine_upgrades << '\n'
+       << "service_refine_discards " << service.refine_discards << '\n'
+       << "service_refines_in_flight " << service.refines_in_flight
+       << '\n'
+       << "cache_similar_scanned " << service.similar_scanned << '\n'
+       << "cache_similar_pruned " << service.similar_pruned << '\n'
        << "retry_after_hint_ms " << service_.retryAfterMs() << '\n';
     if (options_.replicator) {
         ReplicatorStats replication = options_.replicator->stats();

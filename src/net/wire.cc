@@ -543,7 +543,7 @@ decodeResponse(std::string_view payload, const WireLimits &limits)
     response.model_epoch = reader.u64();
     std::uint8_t provenance = reader.u8();
     if (provenance > static_cast<std::uint8_t>(
-            serve::Provenance::WarmStart))
+            serve::Provenance::Predicted))
         throw WireError("wire: unknown provenance");
     response.provenance = static_cast<serve::Provenance>(provenance);
     response.similarity = reader.finite("similarity");

@@ -78,8 +78,14 @@ namespace opdvfs::net {
  * flag-gated `serve_replica` request bit (a failover router asking a
  * successor to answer a non-owned key from its replica set instead of
  * redirecting with NotOwner).
+ *
+ * v5 added the `Predicted` provenance value: a response served
+ * straight from the surrogate pre-ranker on a first-contact miss,
+ * while the full search refines it asynchronously (predict-first
+ * serving mode).  The payload layout is unchanged — v4 decoders would
+ * reject the new provenance byte, so the version gates it.
  */
-inline constexpr std::uint8_t kWireVersion = 4;
+inline constexpr std::uint8_t kWireVersion = 5;
 
 /** Frame header size in bytes (magic..CRC). */
 inline constexpr std::size_t kFrameHeaderBytes = 16;

@@ -47,6 +47,27 @@ EncodedResponseCache::insert(std::uint64_t digest,
 }
 
 void
+EncodedResponseCache::erase(std::uint64_t digest)
+{
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::shared_ptr<const ReadSnapshot> current = index_.writerSnapshot();
+    if (current->by_digest.find(digest) == current->by_digest.end())
+        return; // absent: keep the current snapshot
+
+    auto next = std::make_shared<ReadSnapshot>();
+    next->by_digest = current->by_digest;
+    next->version = current->version + 1;
+    next->by_digest.erase(digest);
+    for (auto it = insert_order_.begin(); it != insert_order_.end(); ++it) {
+        if (*it == digest) {
+            insert_order_.erase(it);
+            break;
+        }
+    }
+    index_.publish(std::move(next));
+}
+
+void
 EncodedResponseCache::invalidateBelow(std::uint64_t model_epoch)
 {
     std::lock_guard<std::mutex> lock(writer_mutex_);

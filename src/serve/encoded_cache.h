@@ -84,6 +84,14 @@ class EncodedResponseCache
      *  stale entries from being served. */
     void invalidateBelow(std::uint64_t model_epoch);
 
+    /**
+     * Drop the frame for one digest (no-op when absent).  The async
+     * refine path calls this when a full search upgrades a predicted
+     * entry: the pre-encoded prediction must stop being served so the
+     * next exact hit re-populates from the refined strategy.
+     */
+    void erase(std::uint64_t digest);
+
     /** Entries in the current snapshot. */
     std::size_t size() const { return index_.size(); }
 

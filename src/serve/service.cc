@@ -6,7 +6,12 @@
 #include <stdexcept>
 
 #include "common/statistics.h"
+#include "dvfs/evaluator.h"
+#include "npu/freq_table.h"
 #include "power/offline_calibration.h"
+#include "power/power_model.h"
+#include "tune/features.h"
+#include "tune/incremental.h"
 
 namespace opdvfs::serve {
 
@@ -30,6 +35,7 @@ provenanceToken(Provenance provenance)
     case Provenance::ExactHit: return "exact-hit";
     case Provenance::Coalesced: return "coalesced";
     case Provenance::WarmStart: return "warm-start";
+    case Provenance::Predicted: return "predicted";
     }
     return "unknown";
 }
@@ -60,6 +66,14 @@ StrategyService::StrategyService(ServiceOptions options)
         throw std::invalid_argument("StrategyService: warm generation "
                                     "fraction must be in (0, 1]");
     }
+    if (options_.refine_generation_fraction <= 0.0
+        || options_.refine_generation_fraction > 1.0) {
+        throw std::invalid_argument("StrategyService: refine generation "
+                                    "fraction must be in (0, 1]");
+    }
+    if (options_.predict_first && !options_.surrogate)
+        throw std::invalid_argument("StrategyService: predict_first "
+                                    "needs a surrogate");
     // One offline calibration for every request (the paper's offline
     // half of Fig. 11 depends only on the chip).
     if (!options_.pipeline.constants) {
@@ -85,11 +99,23 @@ StrategyService::~StrategyService()
 void
 StrategyService::drain()
 {
-    std::unique_lock<std::mutex> lock(admission_mutex_);
-    draining_ = true;
-    // Wake submit() blockers so they observe the shutdown and throw.
-    admission_open_.notify_all();
-    admission_open_.wait(lock, [this] { return admitted_ == 0; });
+    {
+        std::unique_lock<std::mutex> lock(admission_mutex_);
+        draining_ = true;
+        // Wake submit() blockers so they observe the shutdown and throw.
+        admission_open_.notify_all();
+        admission_open_.wait(lock, [this] { return admitted_ == 0; });
+    }
+    // Every admitted request has completed, so every refinement it
+    // scheduled is registered; queued ones observe draining_ and bail.
+    waitForRefines();
+}
+
+void
+StrategyService::waitForRefines()
+{
+    std::unique_lock<std::mutex> lock(refine_mutex_);
+    refines_done_.wait(lock, [this] { return refines_in_flight_ == 0; });
 }
 
 bool
@@ -378,9 +404,27 @@ StrategyService::process(const StrategyRequest &request,
 
         // --- leader: compute, publish, then cache --------------------------
         StrategyResponse response;
+        std::shared_ptr<const dvfs::PreparedWorkload> prepared;
+        tune::PredictedStrategy predicted;
+        bool served_prediction = false;
         try {
-            response = computeFresh(request, fingerprint, expires_at,
-                                    stale_donor ? &*stale_donor : nullptr);
+            if (predictEligible(request,
+                                stale_donor ? &*stale_donor : nullptr)) {
+                try {
+                    response = computePredicted(request, fingerprint,
+                                                prepared, predicted);
+                    served_prediction = true;
+                } catch (const std::exception &) {
+                    // Surrogate could not produce a usable strategy
+                    // (not ready, stage mismatch, ...): the full
+                    // search below is always available.
+                }
+            }
+            if (!served_prediction) {
+                response =
+                    computeFresh(request, fingerprint, expires_at,
+                                 stale_donor ? &*stale_donor : nullptr);
+            }
         } catch (...) {
             own_promise.set_exception(std::current_exception());
             std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -401,8 +445,12 @@ StrategyService::process(const StrategyRequest &request,
         // own: cache it donor-only so it can never shadow the owner's
         // result as an exact hit once the owner returns.
         entry.warm_start_only = request.serve_replica;
-        if (!request.serve_replica) {
+        entry.predicted = served_prediction;
+        if (!request.serve_replica && !served_prediction) {
             // Owned leader insert: the replication/WAL hook point.
+            // Predicted entries are deliberately excluded — they are
+            // provisional and must not be persisted or replicated;
+            // the listener fires once the refinement upgrades them.
             std::shared_ptr<
                 const std::function<void(const CacheEntry &)>>
                 listener;
@@ -414,6 +462,9 @@ StrategyService::process(const StrategyRequest &request,
                 (*listener)(entry);
         }
         cache_.insert(std::move(entry));
+        if (served_prediction)
+            scheduleRefine(request, fingerprint, std::move(prepared),
+                           std::move(predicted));
         response.service_seconds = elapsedSeconds(started);
         recordLatency(response.service_seconds);
         return response;
@@ -536,7 +587,231 @@ StrategyService::computeFresh(const StrategyRequest &request,
         cold_misses_.add();
         recordColdLatency(search_seconds);
     }
+    // Every finished full search is a free training example.
+    observeSearch(request, result.prep, response.ga.best_mhz);
     return response;
+}
+
+bool
+StrategyService::predictEligible(const StrategyRequest &request,
+                                 const CacheEntry *stale_donor) const
+{
+    if (!options_.predict_first || !options_.surrogate)
+        return false;
+    // The prediction is served as a cache entry and refined through
+    // the warm-start machinery, so both must be permitted; replica
+    // fills answer for keys this shard does not own and must stay a
+    // real (if degraded) search.
+    if (!request.use_cache || !request.allow_warm_start
+        || request.serve_replica)
+        return false;
+    // A stale same-digest donor warm-starts the exact genome that won
+    // last epoch — strictly better seeded than any prediction.
+    if (stale_donor)
+        return false;
+    return options_.surrogate->ready();
+}
+
+StrategyResponse
+StrategyService::computePredicted(
+    const StrategyRequest &request, const Fingerprint &fingerprint,
+    std::shared_ptr<const dvfs::PreparedWorkload> &prepared,
+    tune::PredictedStrategy &predicted)
+{
+    dvfs::PipelineOptions pipeline_options = options_.pipeline;
+    pipeline_options.seed = request.seed;
+    pipeline_options.perf_loss_target = request.perf_loss_target;
+
+    dvfs::EnergyPipeline pipeline(pipeline_options);
+    auto owned = std::make_shared<dvfs::PreparedWorkload>(
+        pipeline.prepare(request.workload));
+
+    npu::FreqTable table(options_.pipeline.chip.freq);
+    power::PowerModel power_model(owned->constants, table);
+    dvfs::StageEvaluator evaluator(owned->prep.stages,
+                                   owned->perf_models, power_model,
+                                   owned->op_power, table);
+
+    std::vector<tune::StageSample> rows = tune::extractStageRows(
+        request.workload, options_.pipeline.chip,
+        request.perf_loss_target, owned->prep);
+    predicted = tune::predictStrategy(*options_.surrogate, rows,
+                                      evaluator,
+                                      request.perf_loss_target);
+
+    StrategyResponse response;
+    response.fingerprint = fingerprint;
+    response.provenance = Provenance::Predicted;
+    response.strategy.stages = owned->prep.stages;
+    response.strategy.mhz_per_stage = predicted.mhz;
+    response.strategy.plan = dvfs::planExecution(
+        owned->prep.stages, predicted.mhz, owned->baseline.records,
+        options_.pipeline.executor);
+    response.ga.best_genome = predicted.genome;
+    response.ga.best_mhz = predicted.mhz;
+    response.ga.best_score = predicted.score;
+    response.ga.best_eval = predicted.eval;
+    response.ga.baseline_eval = predicted.baseline_eval;
+    response.ga.pre_refine_score = predicted.score;
+    response.generations_run = 0;
+    response.generations_saved = options_.pipeline.ga.generations;
+
+    dvfs::StrategyMeta meta;
+    meta.score = predicted.score;
+    meta.pre_refine_score = predicted.score;
+    meta.converged_at = 0;
+    meta.generations = 0;
+    meta.provenance = provenanceToken(response.provenance);
+    meta.fingerprint = fingerprint.digest;
+    response.strategy.meta = meta;
+
+    predicted_served_.fetch_add(1, std::memory_order_relaxed);
+    generations_saved_.add(
+        static_cast<std::uint64_t>(response.generations_saved));
+    prepared = std::move(owned);
+    return response;
+}
+
+void
+StrategyService::scheduleRefine(
+    StrategyRequest request, Fingerprint fingerprint,
+    std::shared_ptr<const dvfs::PreparedWorkload> prepared,
+    tune::PredictedStrategy predicted)
+{
+    {
+        std::lock_guard<std::mutex> lock(refine_mutex_);
+        ++refines_in_flight_;
+    }
+    auto shared_request =
+        std::make_shared<StrategyRequest>(std::move(request));
+    auto shared_predicted =
+        std::make_shared<tune::PredictedStrategy>(std::move(predicted));
+    pool_.submit([this, shared_request, fingerprint, prepared,
+                  shared_predicted] {
+        if (!draining()) {
+            try {
+                runRefine(*shared_request, fingerprint, *prepared,
+                          *shared_predicted);
+            } catch (const std::exception &) {
+                // A failed refinement leaves the (validated) predicted
+                // entry in place; count it as discarded.
+                refine_discards_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(refine_mutex_);
+            --refines_in_flight_;
+        }
+        refines_done_.notify_all();
+    });
+}
+
+void
+StrategyService::runRefine(const StrategyRequest &request,
+                           const Fingerprint &fingerprint,
+                           const dvfs::PreparedWorkload &prepared,
+                           const tune::PredictedStrategy &predicted)
+{
+    npu::FreqTable table(options_.pipeline.chip.freq);
+    power::PowerModel power_model(prepared.constants, table);
+    dvfs::StageEvaluator evaluator(prepared.prep.stages,
+                                   prepared.perf_models, power_model,
+                                   prepared.op_power, table);
+    tune::IncrementalFitness fitness(evaluator);
+
+    dvfs::GaOptions ga_options = options_.pipeline.ga;
+    ga_options.perf_loss_target = request.perf_loss_target;
+    // Same seed derivation as the pipeline, so a refined result is
+    // comparable to what a cold search would have produced.
+    ga_options.seed = options_.pipeline.ga_seed
+                          ? *options_.pipeline.ga_seed
+                          : request.seed * 7 + 13;
+    ga_options.prior_individuals.push_back(predicted.mhz);
+    ga_options.generations = std::max(
+        1, static_cast<int>(
+               std::lround(options_.pipeline.ga.generations
+                           * options_.refine_generation_fraction)));
+    ga_options.fitness_backend = &fitness;
+    if (options_.parallel_fitness) {
+        ga_options.parallel_for =
+            [this](std::size_t count,
+                   const std::function<void(std::size_t)> &fn) {
+                pool_.parallelFor(count, fn);
+            };
+    }
+    dvfs::GaResult ga =
+        dvfs::searchStrategy(evaluator, prepared.prep.stages, ga_options);
+
+    observeSearch(request, prepared.prep, ga.best_mhz);
+
+    if (!(ga.best_score > predicted.score)) {
+        // The prediction already matches (or beats) the search: keep
+        // serving it.  Its score was validated by a real evaluation,
+        // so this is a genuine tie, not an unverified claim.
+        refine_discards_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    CacheEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.strategy.stages = prepared.prep.stages;
+    entry.strategy.mhz_per_stage = ga.best_mhz;
+    entry.strategy.plan = dvfs::planExecution(
+        prepared.prep.stages, ga.best_mhz, prepared.baseline.records,
+        options_.pipeline.executor);
+    dvfs::StrategyMeta meta;
+    meta.score = ga.best_score;
+    meta.pre_refine_score = ga.pre_refine_score;
+    meta.converged_at = ga.converged_at;
+    meta.generations = ga_options.generations;
+    meta.provenance = "refined";
+    meta.fingerprint = fingerprint.digest;
+    entry.strategy.meta = meta;
+    entry.ga = std::move(ga);
+    entry.perf_loss_target = request.perf_loss_target;
+    entry.predicted = false;
+
+    // The upgrade is a real owned search result: replicate/persist it
+    // like any leader insert, then replace the provisional entry.
+    std::shared_ptr<const std::function<void(const CacheEntry &)>>
+        listener;
+    std::shared_ptr<const std::function<void(std::uint64_t)>> upgraded;
+    {
+        std::lock_guard<std::mutex> lock(listener_mutex_);
+        listener = insert_listener_;
+        upgraded = upgrade_listener_;
+    }
+    if (listener && *listener)
+        (*listener)(entry);
+    cache_.insert(std::move(entry));
+    refine_upgrades_.fetch_add(1, std::memory_order_relaxed);
+    // Fires after the cache swap: a fast-path frame dropped now can
+    // only be repopulated from the refined entry.
+    if (upgraded && *upgraded)
+        (*upgraded)(fingerprint.digest);
+}
+
+void
+StrategyService::observeSearch(const StrategyRequest &request,
+                               const dvfs::PreprocessResult &prep,
+                               const std::vector<double> &best_mhz)
+{
+    if (!options_.surrogate || !options_.learn_from_searches)
+        return;
+    if (best_mhz.size() != prep.stages.size())
+        return;
+    try {
+        std::vector<tune::StageSample> rows = tune::extractStageRows(
+            request.workload, options_.pipeline.chip,
+            request.perf_loss_target, prep);
+        if (rows.size() != best_mhz.size())
+            return;
+        for (std::size_t s = 0; s < rows.size(); ++s)
+            rows[s].target_mhz = best_mhz[s];
+        options_.surrogate->observe(rows);
+    } catch (const std::exception &) {
+        // Training must never fail serving.
+    }
 }
 
 void
@@ -642,10 +917,31 @@ StrategyService::setInsertListener(
     insert_listener_ = std::move(fresh);
 }
 
+void
+StrategyService::setUpgradeListener(
+    std::function<void(std::uint64_t)> listener)
+{
+    auto fresh =
+        listener ? std::make_shared<
+                       const std::function<void(std::uint64_t)>>(
+                       std::move(listener))
+                 : nullptr;
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    upgrade_listener_ = std::move(fresh);
+}
+
 std::vector<CacheEntry>
 StrategyService::snapshotCache() const
 {
-    return cache_.snapshotEntries();
+    std::vector<CacheEntry> entries = cache_.snapshotEntries();
+    // Predicted entries are provisional: a restart must re-predict (or
+    // re-search) rather than resurrect an unrefined guess as truth.
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [](const CacheEntry &entry) {
+                                     return entry.predicted;
+                                 }),
+                  entries.end());
+    return entries;
 }
 
 std::size_t
@@ -708,6 +1004,19 @@ StrategyService::stats() const
     out.replica_hits = replica_hits_.load(std::memory_order_relaxed);
     out.restored_entries =
         restored_entries_.load(std::memory_order_relaxed);
+    out.predicted_served =
+        predicted_served_.load(std::memory_order_relaxed);
+    out.refine_upgrades =
+        refine_upgrades_.load(std::memory_order_relaxed);
+    out.refine_discards =
+        refine_discards_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(refine_mutex_);
+        out.refines_in_flight = refines_in_flight_;
+    }
+    ScanCounters scans = cache_.scanCounters();
+    out.similar_scanned = scans.similar_scanned;
+    out.similar_pruned = scans.similar_pruned;
     out.model_epoch = model_epoch_.load(std::memory_order_relaxed);
     out.queue_depth = pool_.queueDepth();
     {

@@ -44,6 +44,7 @@
 #include "serve/sharded_counter.h"
 #include "serve/strategy_cache.h"
 #include "serve/thread_pool.h"
+#include "tune/surrogate.h"
 
 namespace opdvfs::serve {
 
@@ -58,6 +59,13 @@ enum class Provenance
     Coalesced,
     /** GA warm-started from a similar cached strategy. */
     WarmStart,
+    /**
+     * Served straight from the surrogate pre-ranker on first contact:
+     * a table-snapped, loss-target-feasible prediction validated by
+     * one model evaluation, while the full search refines it
+     * asynchronously (ServiceOptions::predict_first).
+     */
+    Predicted,
 };
 
 /** Whitespace-free token for persistence ("cold", "exact-hit", ...). */
@@ -189,6 +197,33 @@ struct ServiceOptions
      * the persister/replicator after the service).
      */
     std::function<void(const CacheEntry &)> insert_listener;
+
+    // --- predict-then-refine (surrogate cold-path attack) ------------
+    /**
+     * First-contact misses return the surrogate's table-snapped
+     * prediction immediately (provenance "predicted") while the full
+     * GA refines asynchronously on the same pool, upgrading the cache
+     * entry when it beats the prediction.  Requires `surrogate`; a
+     * not-yet-ready surrogate (or one whose prediction fails) falls
+     * back to the normal cold/warm path.  Predictions are only served
+     * for cacheable requests that allow warm starts — a caller
+     * demanding full cold quality gets it.
+     */
+    bool predict_first = false;
+    /**
+     * The shared surrogate model.  Finished full searches train it
+     * (see `learn_from_searches`); the predict path reads it.  Shared
+     * so an embedder can persist/inspect it or share one model across
+     * services.
+     */
+    std::shared_ptr<tune::Surrogate> surrogate;
+    /** Fraction of the full generation budget the async refinement
+     *  search runs (it is seeded with the prediction, so a reduced
+     *  budget usually suffices).  1.0 = full budget. */
+    double refine_generation_fraction = 1.0;
+    /** Append every finished cold/warm search to the surrogate corpus
+     *  (features + winning per-stage frequencies). */
+    bool learn_from_searches = true;
 };
 
 /** One optimisation request. */
@@ -285,6 +320,20 @@ struct ServiceStats
     std::uint64_t replica_hits = 0;
     /** Entries rehydrated from a snapshot/WAL at startup. */
     std::uint64_t restored_entries = 0;
+    /** Responses served straight from the surrogate (predict-first). */
+    std::uint64_t predicted_served = 0;
+    /** Async refinements whose search beat the prediction and
+     *  upgraded the cache entry. */
+    std::uint64_t refine_upgrades = 0;
+    /** Async refinements that could not beat the prediction (the
+     *  predicted entry stays). */
+    std::uint64_t refine_discards = 0;
+    /** Async refinement searches currently queued or running. */
+    std::size_t refines_in_flight = 0;
+    /** Entries visited by similarity scans (donor searches). */
+    std::uint64_t similar_scanned = 0;
+    /** Similarity-scan rows abandoned by the best-so-far bound. */
+    std::uint64_t similar_pruned = 0;
     /** Current model epoch (recalibrations seen by the service). */
     std::uint64_t model_epoch = 0;
     /** Tasks admitted but not yet started. */
@@ -415,6 +464,23 @@ class StrategyService
      */
     void setInsertListener(std::function<void(const CacheEntry &)> listener);
 
+    /**
+     * Install (or clear) the refine-upgrade listener: fires with the
+     * entry's digest after an async refinement replaced a predicted
+     * cache entry with a better searched one.  The network front end
+     * uses it to drop the pre-encoded predicted frame so the next
+     * exact hit serves the refined strategy.  Runs on the worker
+     * thread that finished the refinement; must be cheap.
+     */
+    void setUpgradeListener(std::function<void(std::uint64_t)> listener);
+
+    /**
+     * Block until no async refinement is queued or running.  Benches
+     * and tests use it to observe the final (refined) cache state;
+     * drain() implies it.
+     */
+    void waitForRefines();
+
     /** A copy of every cache entry — the persistence snapshot. */
     std::vector<CacheEntry> snapshotCache() const;
 
@@ -463,6 +529,36 @@ class StrategyService
                  const Fingerprint &fingerprint,
                  std::chrono::steady_clock::time_point expires_at,
                  const CacheEntry *stale_donor = nullptr);
+    /** True when this request should try the surrogate first. */
+    bool predictEligible(const StrategyRequest &request,
+                         const CacheEntry *stale_donor) const;
+    /**
+     * Surrogate fast path: prepare (profile + models, no search),
+     * predict, snap, repair, validate with one evaluation.  On
+     * success @p prepared carries the profiling half for the async
+     * refinement to reuse.  Throws when the surrogate cannot predict
+     * (caller falls back to computeFresh).
+     */
+    StrategyResponse
+    computePredicted(const StrategyRequest &request,
+                     const Fingerprint &fingerprint,
+                     std::shared_ptr<const dvfs::PreparedWorkload>
+                         &prepared,
+                     tune::PredictedStrategy &predicted);
+    /** Enqueue the async refinement for a served prediction. */
+    void scheduleRefine(StrategyRequest request, Fingerprint fingerprint,
+                        std::shared_ptr<const dvfs::PreparedWorkload>
+                            prepared,
+                        tune::PredictedStrategy predicted);
+    /** The refinement body (runs on the pool). */
+    void runRefine(const StrategyRequest &request,
+                   const Fingerprint &fingerprint,
+                   const dvfs::PreparedWorkload &prepared,
+                   const tune::PredictedStrategy &predicted);
+    /** Feed a finished search into the surrogate corpus. */
+    void observeSearch(const StrategyRequest &request,
+                       const dvfs::PreprocessResult &prep,
+                       const std::vector<double> &best_mhz);
     void recordLatency(double seconds);
 
     ServiceOptions options_;
@@ -501,11 +597,24 @@ class StrategyService
     std::atomic<std::uint64_t> restored_entries_{0};
     std::atomic<std::uint64_t> model_epoch_{0};
 
+    std::atomic<std::uint64_t> predicted_served_{0};
+    std::atomic<std::uint64_t> refine_upgrades_{0};
+    std::atomic<std::uint64_t> refine_discards_{0};
+
+    /** Async refinements queued or running; waitForRefines() blocks
+     *  on this reaching zero. */
+    mutable std::mutex refine_mutex_;
+    std::condition_variable refines_done_;
+    std::size_t refines_in_flight_ = 0;
+
     /** Insert listener, swappable at runtime: readers copy the
      *  shared_ptr under the mutex, then invoke outside it. */
     mutable std::mutex listener_mutex_;
     std::shared_ptr<const std::function<void(const CacheEntry &)>>
         insert_listener_;
+    /** Refine-upgrade listener (same swap discipline). */
+    std::shared_ptr<const std::function<void(std::uint64_t)>>
+        upgrade_listener_;
     mutable std::mutex latency_mutex_;
     std::vector<double> latencies_;
 

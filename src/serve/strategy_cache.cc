@@ -1,6 +1,7 @@
 #include "serve/strategy_cache.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace opdvfs::serve {
@@ -69,25 +70,73 @@ StrategyCache::findSimilar(const Fingerprint &probe, double min_similarity,
                            std::optional<double> loss_target,
                            bool owned_only)
 {
+    similar_lookups_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t scanned = 0;
+    std::uint64_t pruned = 0;
+
+    // Branch and bound over the full scan: similarity is a monotone
+    // decreasing function of the squared feature distance, so once the
+    // running partial distance of an entry exceeds the incumbent
+    // best's full distance the entry cannot *strictly* beat the best
+    // and the row is abandoned.  Iteration order and the
+    // strictly-greater replacement rule match the exhaustive scan
+    // exactly, so the returned hit is identical — only wasted feature
+    // arithmetic is skipped.
     std::optional<SimilarHit> best;
+    double best_squared = std::numeric_limits<double>::infinity();
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         for (const CacheEntry &entry : shard.entries) {
+            ++scanned;
             if (owned_only && entry.warm_start_only)
                 continue;
             if (loss_target
                 && std::abs(entry.perf_loss_target - *loss_target)
                     > loss_target_tolerance_)
                 continue;
-            double similarity =
-                fingerprintSimilarity(probe, entry.fingerprint);
+            const std::vector<double> &a = probe.features;
+            const std::vector<double> &b = entry.fingerprint.features;
+            if (a.size() != b.size() || a.empty()) {
+                // fingerprintSimilarity defines this as 0.
+                if (0.0 >= min_similarity && !best)
+                    best = SimilarHit{entry, 0.0};
+                continue;
+            }
+            double squared = 0.0;
+            bool abandoned = false;
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                double d = a[i] - b[i];
+                squared += d * d;
+                if (squared > best_squared) {
+                    abandoned = true;
+                    ++pruned;
+                    break;
+                }
+            }
+            if (abandoned)
+                continue;
+            double similarity = std::exp(-5.0 * std::sqrt(squared));
             if (similarity < min_similarity)
                 continue;
-            if (!best || similarity > best->similarity)
+            if (!best || similarity > best->similarity) {
                 best = SimilarHit{entry, similarity};
+                best_squared = squared;
+            }
         }
     }
+    similar_scanned_.fetch_add(scanned, std::memory_order_relaxed);
+    similar_pruned_.fetch_add(pruned, std::memory_order_relaxed);
     return best;
+}
+
+ScanCounters
+StrategyCache::scanCounters() const
+{
+    ScanCounters out;
+    out.similar_lookups = similar_lookups_.load(std::memory_order_relaxed);
+    out.similar_scanned = similar_scanned_.load(std::memory_order_relaxed);
+    out.similar_pruned = similar_pruned_.load(std::memory_order_relaxed);
+    return out;
 }
 
 void

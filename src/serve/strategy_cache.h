@@ -14,6 +14,7 @@
 #ifndef OPDVFS_SERVE_STRATEGY_CACHE_H
 #define OPDVFS_SERVE_STRATEGY_CACHE_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -45,6 +46,15 @@ struct CacheEntry
      * let a stale copy outlive the owner's invalidation.
      */
     bool warm_start_only = false;
+    /**
+     * Provisional entry from the surrogate's predict-first path: a
+     * full asynchronous search is (or was) still refining it.  Served
+     * as an exact hit like any owned entry, but never replicated,
+     * WAL-logged or snapshotted — on upgrade or restart the full
+     * search result replaces it, so persisting the prediction would
+     * only resurrect the lower-quality answer.
+     */
+    bool predicted = false;
 };
 
 /** A similarity lookup hit. */
@@ -52,6 +62,18 @@ struct SimilarHit
 {
     CacheEntry entry;
     double similarity = 0.0;
+};
+
+/** Similarity-scan effort counters (monotonic). */
+struct ScanCounters
+{
+    /** findSimilar() calls. */
+    std::uint64_t similar_lookups = 0;
+    /** Entries visited across all lookups. */
+    std::uint64_t similar_scanned = 0;
+    /** Entries whose partial distance exceeded the incumbent best and
+     *  were abandoned mid-row (the branch-and-bound win). */
+    std::uint64_t similar_pruned = 0;
 };
 
 /** Thread-safe sharded LRU over fingerprint digests. */
@@ -111,6 +133,9 @@ class StrategyCache
                 std::optional<double> loss_target = std::nullopt,
                 bool owned_only = false);
 
+    /** Similarity-scan effort so far (served into ServiceStats). */
+    ScanCounters scanCounters() const;
+
     /** Insert or overwrite; evicts the shard's LRU entry when full.
      *  A `warm_start_only` entry never replaces a full entry with the
      *  same digest — a donor copy must not shadow an owned result. */
@@ -142,6 +167,10 @@ class StrategyCache
     double loss_target_tolerance_;
     std::size_t per_shard_capacity_;
     std::vector<Shard> shards_;
+
+    std::atomic<std::uint64_t> similar_lookups_{0};
+    std::atomic<std::uint64_t> similar_scanned_{0};
+    std::atomic<std::uint64_t> similar_pruned_{0};
 };
 
 } // namespace opdvfs::serve

@@ -1,0 +1,216 @@
+#include "tune/corpus.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/crc32.h"
+
+namespace opdvfs::tune {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'T', 'C', '1'};
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int byte = 0; byte < 4; ++byte)
+        out.push_back(static_cast<char>((value >> (8 * byte)) & 0xffu));
+}
+
+void
+putDouble(std::string &out, double value)
+{
+    auto bits = std::bit_cast<std::uint64_t>(value);
+    for (int byte = 0; byte < 8; ++byte)
+        out.push_back(static_cast<char>((bits >> (8 * byte)) & 0xffu));
+}
+
+class Reader
+{
+  public:
+    Reader(const std::string &bytes, std::size_t offset)
+        : bytes_(bytes), offset_(offset)
+    {}
+
+    std::size_t offset() const { return offset_; }
+    std::size_t remaining() const { return bytes_.size() - offset_; }
+
+    std::uint32_t
+    u32()
+    {
+        if (remaining() < 4)
+            throw std::invalid_argument("corpus: truncated record");
+        std::uint32_t value = 0;
+        for (int byte = 0; byte < 4; ++byte)
+            value |= static_cast<std::uint32_t>(
+                         static_cast<unsigned char>(bytes_[offset_ + byte]))
+                     << (8 * byte);
+        offset_ += 4;
+        return value;
+    }
+
+    double
+    number()
+    {
+        if (remaining() < 8)
+            throw std::invalid_argument("corpus: truncated record");
+        std::uint64_t bits = 0;
+        for (int byte = 0; byte < 8; ++byte)
+            bits |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(bytes_[offset_ + byte]))
+                    << (8 * byte);
+        offset_ += 8;
+        return std::bit_cast<double>(bits);
+    }
+
+  private:
+    const std::string &bytes_;
+    std::size_t offset_;
+};
+
+Observation
+decodePayload(const std::string &payload)
+{
+    Reader reader(payload, 0);
+    std::uint32_t rows = reader.u32();
+    std::uint32_t features = reader.u32();
+    if (rows == 0 || rows > kMaxCorpusRowsPerRecord)
+        throw std::invalid_argument("corpus: row count outside caps");
+    if (features == 0 || features > kMaxCorpusFeatures)
+        throw std::invalid_argument("corpus: feature count outside caps");
+    // Exact-size check up front so a forged header cannot drive a
+    // large allocation before the shortfall is noticed.
+    std::size_t need = static_cast<std::size_t>(rows)
+                       * (static_cast<std::size_t>(features) + 1) * 8;
+    if (reader.remaining() != need)
+        throw std::invalid_argument("corpus: payload size mismatch");
+
+    Observation observation;
+    observation.reserve(rows);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        StageSample sample;
+        sample.features.reserve(features);
+        for (std::uint32_t f = 0; f < features; ++f) {
+            double value = reader.number();
+            if (!std::isfinite(value))
+                throw std::invalid_argument("corpus: non-finite feature");
+            sample.features.push_back(value);
+        }
+        sample.target_mhz = reader.number();
+        if (!std::isfinite(sample.target_mhz) || sample.target_mhz <= 0.0)
+            throw std::invalid_argument("corpus: bad target frequency");
+        observation.push_back(std::move(sample));
+    }
+    return observation;
+}
+
+} // namespace
+
+std::string
+corpusHeader()
+{
+    return std::string(kMagic, sizeof(kMagic));
+}
+
+std::string
+encodeObservation(const Observation &observation)
+{
+    if (observation.empty())
+        throw std::invalid_argument("corpus: empty observation");
+    std::size_t features = observation.front().features.size();
+    if (features == 0 || features > kMaxCorpusFeatures)
+        throw std::invalid_argument("corpus: feature count outside caps");
+    if (observation.size() > kMaxCorpusRowsPerRecord)
+        throw std::invalid_argument("corpus: row count outside caps");
+
+    std::string payload;
+    putU32(payload, static_cast<std::uint32_t>(observation.size()));
+    putU32(payload, static_cast<std::uint32_t>(features));
+    for (const StageSample &sample : observation) {
+        if (sample.features.size() != features)
+            throw std::invalid_argument("corpus: ragged feature rows");
+        for (double value : sample.features) {
+            if (!std::isfinite(value))
+                throw std::invalid_argument("corpus: non-finite feature");
+            putDouble(payload, value);
+        }
+        if (!std::isfinite(sample.target_mhz) || sample.target_mhz <= 0.0)
+            throw std::invalid_argument("corpus: bad target frequency");
+        putDouble(payload, sample.target_mhz);
+    }
+
+    std::string record;
+    putU32(record, static_cast<std::uint32_t>(payload.size()));
+    putU32(record, crc32(payload));
+    record += payload;
+    return record;
+}
+
+std::vector<Observation>
+decodeCorpus(const std::string &bytes)
+{
+    if (bytes.size() < sizeof(kMagic)
+        || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        throw std::invalid_argument("corpus: bad magic");
+
+    std::vector<Observation> corpus;
+    std::size_t offset = sizeof(kMagic);
+    while (offset < bytes.size()) {
+        Reader reader(bytes, offset);
+        std::uint32_t length = reader.u32();
+        std::uint32_t declared_crc = reader.u32();
+        constexpr std::size_t kMaxPayload =
+            8 + static_cast<std::size_t>(kMaxCorpusRowsPerRecord)
+                    * (static_cast<std::size_t>(kMaxCorpusFeatures) + 1) * 8;
+        if (length > kMaxPayload)
+            throw std::invalid_argument("corpus: record over caps");
+        if (reader.remaining() < length)
+            throw std::invalid_argument("corpus: truncated record");
+        std::string payload = bytes.substr(reader.offset(), length);
+        if (crc32(payload) != declared_crc)
+            throw std::invalid_argument("corpus: CRC mismatch");
+        corpus.push_back(decodePayload(payload));
+        offset = reader.offset() + length;
+    }
+    return corpus;
+}
+
+void
+appendObservationFile(const std::string &path,
+                      const Observation &observation)
+{
+    std::string record = encodeObservation(observation);
+    bool fresh = false;
+    {
+        std::ifstream probe(path, std::ios::binary);
+        fresh = !probe.good();
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    if (!os)
+        throw std::runtime_error("corpus: cannot open " + path);
+    if (fresh)
+        os << corpusHeader();
+    os.write(record.data(),
+             static_cast<std::streamsize>(record.size()));
+    os.flush();
+    if (!os)
+        throw std::runtime_error("corpus: write failed on " + path);
+}
+
+std::vector<Observation>
+loadCorpusFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return {};
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return decodeCorpus(buffer.str());
+}
+
+} // namespace opdvfs::tune

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The surrogate training corpus: per-stage feature rows paired with
+ * the frequency the genetic search settled on, appended by the
+ * strategy service every time a full search finishes.
+ *
+ * On disk the corpus is a binary append-only record stream:
+ *
+ *   bytes 0..3   magic "OTC1"
+ *   then, per observation (one finished GA run):
+ *     u32  payload length
+ *     u32  CRC-32 of the payload
+ *     payload:
+ *       u32  row count
+ *       u32  features per row
+ *       per row: features-per-row doubles, then the target MHz double
+ *
+ * All integers are little-endian; doubles are IEEE bit patterns.
+ * Appending a record is a single O_APPEND-style write, so a crash
+ * tears at most the final record.  Loading is strict: a bad magic,
+ * a truncated record, a CRC mismatch, an oversized declaration or a
+ * non-finite value all throw std::invalid_argument — the surrogate
+ * must never train on corrupted history (unlike the cache WAL, which
+ * tolerates a torn tail, a corpus poisons every later prediction, so
+ * the whole file is rejected and the caller starts fresh).
+ */
+
+#ifndef OPDVFS_TUNE_CORPUS_H
+#define OPDVFS_TUNE_CORPUS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opdvfs::tune {
+
+/** One stage of one solved workload: features and the GA's answer. */
+struct StageSample
+{
+    /** Normalised stage + workload-context features (fixed length). */
+    std::vector<double> features;
+    /** The per-stage frequency the finished search chose, MHz. */
+    double target_mhz = 0.0;
+};
+
+/** One corpus record: every stage row of one finished search. */
+using Observation = std::vector<StageSample>;
+
+/** Hard caps the loader enforces before allocating. */
+inline constexpr std::uint32_t kMaxCorpusRowsPerRecord = 1u << 16;
+inline constexpr std::uint32_t kMaxCorpusFeatures = 256;
+
+/** Serialise one observation as a corpus record (length + CRC). */
+std::string encodeObservation(const Observation &observation);
+
+/**
+ * Parse a whole corpus image (magic + records).
+ * @throws std::invalid_argument on any corruption: bad magic,
+ *         truncated record, CRC mismatch, cap violation, row shape
+ *         mismatch or non-finite value.
+ */
+std::vector<Observation> decodeCorpus(const std::string &bytes);
+
+/** The 4-byte corpus magic. */
+std::string corpusHeader();
+
+/**
+ * Append @p observation to the corpus file at @p path, writing the
+ * magic first when the file does not yet exist.
+ * @throws std::runtime_error on I/O failure.
+ */
+void appendObservationFile(const std::string &path,
+                           const Observation &observation);
+
+/**
+ * Load a corpus file.  A missing file returns an empty corpus (a
+ * fresh service has no history); a corrupt one throws.
+ */
+std::vector<Observation> loadCorpusFile(const std::string &path);
+
+} // namespace opdvfs::tune
+
+#endif // OPDVFS_TUNE_CORPUS_H

@@ -1,0 +1,151 @@
+#include "tune/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace opdvfs::tune {
+
+namespace {
+
+/** log10 scale squashed into [0, ~1] (same idiom as the fingerprint). */
+double
+logScale(double value, double decades)
+{
+    return std::log10(std::max(value, 0.0) + 1.0) / decades;
+}
+
+} // namespace
+
+std::vector<StageSample>
+extractStageRows(const models::Workload &workload,
+                 const npu::NpuConfig &chip, double perf_loss_target,
+                 const dvfs::PreprocessResult &prep)
+{
+    std::unordered_map<std::uint64_t, const ops::Op *> by_id;
+    by_id.reserve(workload.iteration.size());
+    for (const ops::Op &op : workload.iteration)
+        by_id.emplace(op.id, &op);
+
+    // --- workload-context features (shared by every stage row) ----------
+    double ops = static_cast<double>(workload.opCount());
+    double per_category[4] = {0.0, 0.0, 0.0, 0.0};
+    double total_cycles = 0.0;
+    double total_bytes = 0.0;
+    for (const ops::Op &op : workload.iteration) {
+        auto cat = static_cast<std::size_t>(op.hw.category);
+        if (cat < 4)
+            per_category[cat] += 1.0;
+        if (op.hw.category == npu::OpCategory::Compute) {
+            double reps = static_cast<double>(op.hw.n);
+            total_cycles += op.hw.core_cycles * reps;
+            total_bytes +=
+                (op.hw.ld_volume_bytes + op.hw.st_volume_bytes) * reps;
+        }
+    }
+
+    double global_bottleneck[kBottleneckClasses] = {};
+    for (dvfs::Bottleneck b : prep.bottlenecks) {
+        auto cls = static_cast<std::size_t>(b);
+        if (cls < kBottleneckClasses)
+            global_bottleneck[cls] += 1.0;
+    }
+    double records = static_cast<double>(prep.bottlenecks.size());
+
+    double total_ticks = 0.0;
+    for (const dvfs::Stage &stage : prep.stages)
+        total_ticks += static_cast<double>(stage.duration);
+
+    std::vector<double> context;
+    context.reserve(17);
+    context.push_back(logScale(ops, 5.0));
+    for (double count : per_category)
+        context.push_back(ops > 0.0 ? count / ops : 0.0);
+    context.push_back(perf_loss_target * 10.0);
+    context.push_back(chip.freq.max_mhz > 0.0
+                          ? chip.freq.min_mhz / chip.freq.max_mhz
+                          : 0.0);
+    context.push_back(chip.freq.max_mhz > 0.0
+                          ? chip.freq.step_mhz / chip.freq.max_mhz
+                          : 0.0);
+    for (double count : global_bottleneck)
+        context.push_back(records > 0.0 ? count / records : 0.0);
+    context.push_back(logScale(total_bytes / (total_cycles + 1.0), 3.0));
+    context.push_back(
+        logScale(static_cast<double>(prep.stages.size()), 3.0));
+
+    // --- stage-local features --------------------------------------------
+    std::vector<StageSample> rows;
+    rows.reserve(prep.stages.size());
+    std::size_t stage_count = prep.stages.size();
+    for (std::size_t s = 0; s < stage_count; ++s) {
+        const dvfs::Stage &stage = prep.stages[s];
+
+        double stage_bottleneck[kBottleneckClasses] = {};
+        for (std::size_t j = 0; j < stage.op_ids.size(); ++j) {
+            std::size_t record = stage.first_op + j;
+            if (record >= prep.bottlenecks.size())
+                break;
+            auto cls = static_cast<std::size_t>(prep.bottlenecks[record]);
+            if (cls < kBottleneckClasses)
+                stage_bottleneck[cls] += 1.0;
+        }
+        double stage_records =
+            static_cast<double>(std::min(stage.op_ids.size(),
+                                         prep.bottlenecks.size()));
+
+        double stage_cycles = 0.0;
+        double stage_bytes = 0.0;
+        double cube_ops = 0.0;
+        double hit_sum = 0.0;
+        double compute_ops = 0.0;
+        for (std::uint64_t op_id : stage.op_ids) {
+            auto found = by_id.find(op_id);
+            if (found == by_id.end())
+                continue; // idle gap record: no hardware parameters
+            const npu::HwOpParams &hw = found->second->hw;
+            if (hw.category != npu::OpCategory::Compute)
+                continue;
+            compute_ops += 1.0;
+            double reps = static_cast<double>(hw.n);
+            stage_cycles += hw.core_cycles * reps;
+            stage_bytes +=
+                (hw.ld_volume_bytes + hw.st_volume_bytes) * reps;
+            hit_sum += hw.ld_l2_hit;
+            if (hw.core_pipe == npu::CorePipe::Cube)
+                cube_ops += 1.0;
+        }
+
+        double busy = stage.sensitive_seconds + stage.insensitive_seconds;
+
+        StageSample sample;
+        sample.features = context;
+        sample.features.push_back(stage.high_frequency ? 1.0 : 0.0);
+        sample.features.push_back(
+            total_ticks > 0.0
+                ? static_cast<double>(stage.duration) / total_ticks
+                : 0.0);
+        sample.features.push_back(
+            busy > 0.0 ? stage.sensitive_seconds / busy : 0.0);
+        for (double count : stage_bottleneck)
+            sample.features.push_back(
+                stage_records > 0.0 ? count / stage_records : 0.0);
+        sample.features.push_back(
+            stage_count > 1
+                ? static_cast<double>(s)
+                      / static_cast<double>(stage_count - 1)
+                : 0.0);
+        sample.features.push_back(
+            logScale(static_cast<double>(stage.op_ids.size()), 4.0));
+        sample.features.push_back(
+            logScale(stage_bytes / (stage_cycles + 1.0), 3.0));
+        sample.features.push_back(
+            compute_ops > 0.0 ? cube_ops / compute_ops : 0.0);
+        sample.features.push_back(
+            compute_ops > 0.0 ? hit_sum / compute_ops : 0.0);
+        rows.push_back(std::move(sample));
+    }
+    return rows;
+}
+
+} // namespace opdvfs::tune

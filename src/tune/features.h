@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Static feature extraction for the surrogate pre-ranker.
+ *
+ * Each candidate stage of a preprocessed workload becomes one feature
+ * row: workload-context features (op-type mix, bottleneck-class
+ * histogram, chip frequency envelope, loss target) shared by every
+ * stage of the observation, plus stage-local features (frequency
+ * sensitivity, duration share, per-stage bottleneck mix, bytes/cycle
+ * ratio).  Everything is derived from data the service already has
+ * before any search runs — profiled records and the workload spec —
+ * so a prediction needs no extra profiling (the DSO-style
+ * predict-without-profiling path).
+ *
+ * The row layout is versioned by kStageFeatureCount: a corpus written
+ * with a different layout has a different feature count and is
+ * rejected at load time rather than silently mis-trained on.
+ */
+
+#ifndef OPDVFS_TUNE_FEATURES_H
+#define OPDVFS_TUNE_FEATURES_H
+
+#include <cstddef>
+
+#include "dvfs/preprocess.h"
+#include "models/workload.h"
+#include "npu/npu_chip.h"
+#include "tune/corpus.h"
+
+namespace opdvfs::tune {
+
+/** Number of bottleneck classes (dvfs::Bottleneck enumerators). */
+inline constexpr std::size_t kBottleneckClasses = 7;
+
+/** Fixed length of one stage feature row. */
+inline constexpr std::size_t kStageFeatureCount = 32;
+
+/**
+ * One feature row per candidate stage of @p prep, in stage order.
+ * `target_mhz` is left 0: the caller fills it from a finished search
+ * (training) or ignores it (prediction).  Stage op ids resolve
+ * against @p workload by operator id; records with no matching
+ * operator (idle gaps) contribute timing but no hardware parameters.
+ */
+std::vector<StageSample>
+extractStageRows(const models::Workload &workload,
+                 const npu::NpuConfig &chip, double perf_loss_target,
+                 const dvfs::PreprocessResult &prep);
+
+} // namespace opdvfs::tune
+
+#endif // OPDVFS_TUNE_FEATURES_H

@@ -1,0 +1,196 @@
+#include "tune/incremental.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace opdvfs::tune {
+
+namespace {
+
+StageSums
+combine(const StageSums &left, const StageSums &right)
+{
+    return StageSums{left.seconds + right.seconds,
+                     left.aicore_joules_no_t + right.aicore_joules_no_t,
+                     left.soc_joules_no_t + right.soc_joules_no_t,
+                     left.volt_seconds + right.volt_seconds};
+}
+
+} // namespace
+
+IncrementalFitness::IncrementalFitness(
+    const dvfs::StageEvaluator &evaluator)
+    : n_(evaluator.stageCount()),
+      m_(std::bit_ceil(std::max<std::size_t>(evaluator.stageCount(), 1))),
+      freqs_(evaluator.frequenciesMhz()),
+      gamma_aicore_(evaluator.gammaAicore()),
+      gamma_soc_(evaluator.gammaSoc()),
+      k_per_watt_(evaluator.kPerWatt())
+{
+    cells_.resize(n_ * freqs_.size());
+    for (std::size_t s = 0; s < n_; ++s) {
+        for (std::size_t f = 0; f < freqs_.size(); ++f) {
+            const auto &cell = evaluator.cellAt(s, f);
+            cells_[s * freqs_.size() + f] =
+                StageSums{cell.seconds, cell.aicore_joules_no_t,
+                          cell.soc_joules_no_t, cell.volt_seconds};
+        }
+    }
+}
+
+void
+IncrementalFitness::buildFull(State &state,
+                              const std::vector<std::uint8_t> &genome) const
+{
+    if (genome.size() != n_)
+        throw std::invalid_argument(
+            "IncrementalFitness: genome length mismatch");
+    state.assign(2 * m_, StageSums{});
+    for (std::size_t s = 0; s < n_; ++s)
+        state[m_ + s] = cells_[s * freqs_.size() + genome[s]];
+    for (std::size_t i = m_ - 1; i >= 1; --i)
+        state[i] = combine(state[2 * i], state[2 * i + 1]);
+}
+
+std::size_t
+IncrementalFitness::patch(State &state,
+                          const std::vector<std::uint8_t> &genome,
+                          const std::vector<dvfs::GeneSpan> &dirty) const
+{
+    if (genome.size() != n_)
+        throw std::invalid_argument(
+            "IncrementalFitness: genome length mismatch");
+    // Rewrite the dirty leaves, then recompute exactly their ancestor
+    // chain level by level.  Every recomputed node is left + right —
+    // the same expression a full build evaluates — over children that
+    // are already bitwise full-build values, so the patched tree is
+    // bitwise the full-build tree of the child genome.
+    std::vector<std::size_t> level;
+    for (const dvfs::GeneSpan &span : dirty) {
+        std::size_t end = std::min(span.end, n_);
+        for (std::size_t s = span.begin; s < end; ++s) {
+            state[m_ + s] = cells_[s * freqs_.size() + genome[s]];
+            level.push_back(m_ + s);
+        }
+    }
+    std::sort(level.begin(), level.end());
+    level.erase(std::unique(level.begin(), level.end()), level.end());
+    std::size_t patched = level.size(); // unique leaves rewritten
+    while (!level.empty() && level.front() > 1) {
+        std::vector<std::size_t> parents;
+        parents.reserve(level.size());
+        for (std::size_t index : level) {
+            std::size_t parent = index / 2;
+            if (parents.empty() || parents.back() != parent)
+                parents.push_back(parent);
+        }
+        for (std::size_t parent : parents)
+            state[parent] = combine(state[2 * parent],
+                                    state[2 * parent + 1]);
+        level = std::move(parents);
+    }
+    return patched;
+}
+
+dvfs::StrategyEvaluation
+IncrementalFitness::evaluateRoot(const State &state) const
+{
+    const StageSums &root = state[1];
+    dvfs::StrategyEvaluation eval;
+    eval.seconds = root.seconds;
+    if (root.seconds <= 0.0)
+        return eval;
+
+    double mean_volts = root.volt_seconds / root.seconds;
+    double p_soc_no_t = root.soc_joules_no_t / root.seconds;
+
+    // Same fix point as StageEvaluator::evaluate (Sect. 5.4.2); only
+    // the reduction producing the sums differs (pairwise vs serial).
+    double delta_t = 0.0;
+    for (int iter = 0; iter < 16; ++iter) {
+        double p_soc = p_soc_no_t + gamma_soc_ * delta_t * mean_volts;
+        double next = k_per_watt_ * p_soc;
+        if (std::abs(next - delta_t) < 0.01) {
+            delta_t = next;
+            break;
+        }
+        delta_t = next;
+    }
+
+    eval.delta_t = delta_t;
+    eval.soc_watts = p_soc_no_t + gamma_soc_ * delta_t * mean_volts;
+    eval.aicore_watts = root.aicore_joules_no_t / root.seconds
+                        + gamma_aicore_ * delta_t * mean_volts;
+    eval.soc_joules = eval.soc_watts * root.seconds;
+    eval.aicore_joules = eval.aicore_watts * root.seconds;
+    return eval;
+}
+
+void
+IncrementalFitness::scoreGeneration(
+    const std::vector<std::vector<std::uint8_t>> &genomes,
+    const std::vector<dvfs::GenomeLineage> &lineage,
+    double perf_lower_bound, const dvfs::ParallelFor &parallel_for,
+    std::vector<double> &scores,
+    std::vector<dvfs::StrategyEvaluation> &evals)
+{
+    next_.resize(genomes.size());
+    scores.resize(genomes.size());
+    evals.resize(genomes.size());
+    auto worker = [&](std::size_t i) {
+        State &state = next_[i];
+        std::size_t parent = i < lineage.size()
+                                 ? lineage[i].parent
+                                 : dvfs::GenomeLineage::kNoParent;
+        if (parent != dvfs::GenomeLineage::kNoParent
+            && parent < prev_.size() && !prev_[parent].empty()) {
+            state = prev_[parent];
+            std::size_t patched =
+                patch(state, genomes[i], lineage[i].dirty);
+            incremental_builds_.fetch_add(1, std::memory_order_relaxed);
+            genes_patched_.fetch_add(patched, std::memory_order_relaxed);
+        } else {
+            buildFull(state, genomes[i]);
+            full_builds_.fetch_add(1, std::memory_order_relaxed);
+            genes_patched_.fetch_add(n_, std::memory_order_relaxed);
+        }
+        genes_total_.fetch_add(n_, std::memory_order_relaxed);
+        evals[i] = evaluateRoot(state);
+        scores[i] = dvfs::strategyScore(evals[i], perf_lower_bound);
+    };
+    if (parallel_for) {
+        parallel_for(genomes.size(), worker);
+    } else {
+        for (std::size_t i = 0; i < genomes.size(); ++i)
+            worker(i);
+    }
+    std::swap(prev_, next_);
+}
+
+void
+IncrementalFitness::scoreOne(const std::vector<std::uint8_t> &genome,
+                             double perf_lower_bound, double &score,
+                             dvfs::StrategyEvaluation &eval)
+{
+    State state;
+    buildFull(state, genome);
+    full_builds_.fetch_add(1, std::memory_order_relaxed);
+    eval = evaluateRoot(state);
+    score = dvfs::strategyScore(eval, perf_lower_bound);
+}
+
+IncrementalStats
+IncrementalFitness::stats() const
+{
+    IncrementalStats out;
+    out.full_builds = full_builds_.load(std::memory_order_relaxed);
+    out.incremental_builds =
+        incremental_builds_.load(std::memory_order_relaxed);
+    out.genes_patched = genes_patched_.load(std::memory_order_relaxed);
+    out.genes_total = genes_total_.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace opdvfs::tune

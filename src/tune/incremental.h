@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Incremental GA fitness: structure-of-arrays per-stage contribution
+ * tables plus per-individual cached reduction trees, so a mutated
+ * child re-scores only its changed stages against the parent's cache.
+ *
+ * Bit-exactness under floating-point non-associativity is the crux:
+ * naively subtracting a stage's old contribution and adding the new
+ * one changes the summation order and so the last ulps.  Instead,
+ * every individual's four timeline/power sums (seconds, AICore and
+ * SoC energy, voltage-seconds) live in a fixed-shape pairwise
+ * reduction tree over stages.  A full build computes every node as
+ * left + right; an incremental build copies the parent's tree, writes
+ * the dirty leaves, and recomputes exactly the ancestor nodes — each
+ * as the same left + right expression over children that are bitwise
+ * what a full build would produce.  By induction over tree levels the
+ * two paths yield bitwise-identical roots, scores and evaluations
+ * (prop_tune.cc pins this under seeded mutation streams).
+ *
+ * The win: with n stages and d dirty genes, a child costs
+ * O(d log n) adds instead of O(n) — and the constant is small because
+ * the per-(stage, frequency) cells are a contiguous SoA copied out of
+ * the StageEvaluator once at construction.
+ */
+
+#ifndef OPDVFS_TUNE_INCREMENTAL_H
+#define OPDVFS_TUNE_INCREMENTAL_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "dvfs/evaluator.h"
+#include "dvfs/genetic.h"
+
+namespace opdvfs::tune {
+
+/** The four running sums of one reduction-tree node. */
+struct StageSums
+{
+    double seconds = 0.0;
+    double aicore_joules_no_t = 0.0;
+    double soc_joules_no_t = 0.0;
+    double volt_seconds = 0.0;
+};
+
+/** Incremental-evaluation counters (monotonic per search). */
+struct IncrementalStats
+{
+    std::uint64_t full_builds = 0;
+    std::uint64_t incremental_builds = 0;
+    /** Leaves rewritten by incremental builds. */
+    std::uint64_t genes_patched = 0;
+    /** Leaves an equal number of full builds would have rewritten. */
+    std::uint64_t genes_total = 0;
+};
+
+/** Cached-prefix fitness backend for dvfs::searchStrategy. */
+class IncrementalFitness : public dvfs::FitnessBackend
+{
+  public:
+    /** Copies the evaluator's cell tables; the evaluator may be
+     *  discarded afterwards. */
+    explicit IncrementalFitness(const dvfs::StageEvaluator &evaluator);
+
+    void
+    scoreGeneration(const std::vector<std::vector<std::uint8_t>> &genomes,
+                    const std::vector<dvfs::GenomeLineage> &lineage,
+                    double perf_lower_bound,
+                    const dvfs::ParallelFor &parallel_for,
+                    std::vector<double> &scores,
+                    std::vector<dvfs::StrategyEvaluation> &evals) override;
+
+    void scoreOne(const std::vector<std::uint8_t> &genome,
+                  double perf_lower_bound, double &score,
+                  dvfs::StrategyEvaluation &eval) override;
+
+    IncrementalStats stats() const;
+
+    std::size_t stageCount() const { return n_; }
+    const std::vector<double> &frequenciesMhz() const { return freqs_; }
+
+  private:
+    /** One individual's reduction tree (2m nodes, root at 1). */
+    using State = std::vector<StageSums>;
+
+    void buildFull(State &state,
+                   const std::vector<std::uint8_t> &genome) const;
+    /** Returns the number of unique leaves rewritten. */
+    std::size_t patch(State &state,
+                      const std::vector<std::uint8_t> &genome,
+                      const std::vector<dvfs::GeneSpan> &dirty) const;
+    dvfs::StrategyEvaluation evaluateRoot(const State &state) const;
+
+    std::size_t n_ = 0;
+    /** Leaf offset: smallest power of two >= n_. */
+    std::size_t m_ = 1;
+    std::vector<double> freqs_;
+    /** SoA cell table, stage-major: cells_[s * freqs + f]. */
+    std::vector<StageSums> cells_;
+    double gamma_aicore_ = 0.0;
+    double gamma_soc_ = 0.0;
+    double k_per_watt_ = 0.0;
+
+    /** Trees of the previously scored generation / the one being
+     *  scored; swapped after every scoreGeneration. */
+    std::vector<State> prev_;
+    std::vector<State> next_;
+
+    std::atomic<std::uint64_t> full_builds_{0};
+    std::atomic<std::uint64_t> incremental_builds_{0};
+    std::atomic<std::uint64_t> genes_patched_{0};
+    std::atomic<std::uint64_t> genes_total_{0};
+};
+
+} // namespace opdvfs::tune
+
+#endif // OPDVFS_TUNE_INCREMENTAL_H

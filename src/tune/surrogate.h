@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The surrogate pre-ranker: a deterministic linear + gradient-boosted
+ * ensemble mapping static stage features to a near-optimal per-stage
+ * frequency, trained online from finished GA runs.
+ *
+ * Model = ridge regression over the feature row (the global trend:
+ * loss target, sensitivity, bottleneck mix push frequency up or down)
+ * plus boosted regression stumps on the residuals (the non-linear
+ * corrections: e.g. "memory-bound stages of byte-heavy workloads drop
+ * two bins").  Both halves are exactly reproducible: the ridge solve
+ * is a fixed-pivot Gaussian elimination and every stump is chosen by
+ * a full deterministic scan with index-ordered tie-breaking, so the
+ * same corpus always yields the same model and the same predictions —
+ * a property test pins this.
+ *
+ * Training rows are per *stage*, not per workload, which makes the
+ * model independent of stage count: a 9-stage workload contributes 9
+ * rows and predicting a 40-stage workload just evaluates 40 rows.
+ *
+ * Thread-safety: observe()/refit() serialise on a mutex; predictions
+ * read an immutable snapshot through a shared_ptr, so serving threads
+ * never block on training.
+ */
+
+#ifndef OPDVFS_TUNE_SURROGATE_H
+#define OPDVFS_TUNE_SURROGATE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dvfs/evaluator.h"
+#include "tune/corpus.h"
+
+namespace opdvfs::tune {
+
+/** Training/serving knobs. */
+struct SurrogateOptions
+{
+    /** Stage rows required before the first model is fitted. */
+    std::size_t min_rows = 64;
+    /** Refit after this many new rows since the last fit. */
+    std::size_t refit_interval_rows = 64;
+    /** Training window: oldest rows beyond this are dropped, which
+     *  bounds every refit to O(max_rows) regardless of uptime. */
+    std::size_t max_rows = 4096;
+    /** Boosted regression stumps fitted on the ridge residuals. */
+    int boost_rounds = 24;
+    /** Shrinkage applied to each stump's leaf values. */
+    double learning_rate = 0.25;
+    /** Tikhonov damping of the ridge normal equations. */
+    double ridge_lambda = 1e-3;
+    /** Candidate split thresholds per feature (quantile grid). */
+    int quantile_cuts = 8;
+    /**
+     * When set, every observation is appended to this corpus file
+     * (magic + CRC'd records) and loadCorpus() rehydrates from it.
+     * Append failures never fail the serving path; they are counted.
+     */
+    std::string corpus_path;
+};
+
+/** Monotonic surrogate counters. */
+struct SurrogateCounters
+{
+    std::uint64_t observations = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t refits = 0;
+    std::uint64_t corpus_write_failures = 0;
+};
+
+/** Online-trained per-stage frequency predictor. */
+class Surrogate
+{
+  public:
+    explicit Surrogate(SurrogateOptions options = {});
+
+    /**
+     * Rehydrate from `corpus_path` (no-op when unset or missing) and
+     * fit once if enough rows arrived.  Returns observations loaded.
+     * @throws std::invalid_argument when the corpus file is corrupt —
+     *         the caller decides whether to start fresh.
+     */
+    std::size_t loadCorpus();
+
+    /** Ingest observations without touching the corpus file (tests,
+     *  peer-to-peer corpus transfer).  Refits per the usual policy. */
+    void seedCorpus(const std::vector<Observation> &corpus);
+
+    /**
+     * Record one finished search: stage rows with `target_mhz` set to
+     * the winning strategy's per-stage frequencies.  Appends to the
+     * corpus file when configured and refits per the policy.  Never
+     * throws on corpus I/O failure (counted instead).
+     */
+    void observe(const Observation &observation);
+
+    /** True once a model has been fitted (predictions available). */
+    bool ready() const;
+
+    /**
+     * Predicted frequency (MHz, un-snapped) per row.  Rows must have
+     * kStageFeatureCount features.
+     * @throws std::logic_error when no model is ready.
+     */
+    std::vector<double>
+    predictMhz(const std::vector<StageSample> &rows) const;
+
+    SurrogateCounters counters() const;
+
+    const SurrogateOptions &options() const { return options_; }
+
+  private:
+    struct Stump
+    {
+        std::size_t feature = 0;
+        double threshold = 0.0;
+        /** Leaf values (already shrunk): x[feature] <= threshold. */
+        double left = 0.0;
+        double right = 0.0;
+    };
+
+    struct Model
+    {
+        /** Ridge weights, one per feature plus trailing bias. */
+        std::vector<double> weights;
+        std::vector<Stump> stumps;
+        std::size_t features = 0;
+    };
+
+    void ingestLocked(const Observation &observation);
+    void maybeRefitLocked();
+    void refitLocked();
+    static double predictRow(const Model &model,
+                             const std::vector<double> &features);
+
+    SurrogateOptions options_;
+    mutable std::mutex mutex_;
+    std::deque<StageSample> rows_;
+    std::size_t rows_since_fit_ = 0;
+    SurrogateCounters counters_;
+    std::shared_ptr<const Model> model_;
+};
+
+/** A surrogate prediction turned into a servable strategy. */
+struct PredictedStrategy
+{
+    /** Frequency index per stage (table-snapped by construction). */
+    std::vector<std::uint8_t> genome;
+    /** The same strategy as MHz per stage. */
+    std::vector<double> mhz;
+    /** Eq. 17 score of the prediction (one model evaluation). */
+    double score = 0.0;
+    dvfs::StrategyEvaluation eval;
+    dvfs::StrategyEvaluation baseline_eval;
+    /** Single-gene raises the feasibility repair applied. */
+    int repair_steps = 0;
+};
+
+/**
+ * Predict a full strategy: per-stage model predictions snapped to the
+ * frequency table, then deterministically repaired until the Eq. 17
+ * performance lower bound `per_baseline * (1 - perf_loss_target)` is
+ * met — each repair step raises the gene with the largest predicted
+ * time saving (ties: lowest stage index), terminating at the all-max
+ * baseline, which always meets the bound.  The returned score is
+ * validated by one StageEvaluator evaluation, so a served prediction
+ * is always freq-table-snapped and loss-target-feasible.
+ *
+ * @p rows must be extractStageRows() output for the same preprocess
+ * result the evaluator was built from (one row per stage).
+ */
+PredictedStrategy
+predictStrategy(const Surrogate &surrogate,
+                const std::vector<StageSample> &rows,
+                const dvfs::StageEvaluator &evaluator,
+                double perf_loss_target);
+
+} // namespace opdvfs::tune
+
+#endif // OPDVFS_TUNE_SURROGATE_H

@@ -63,6 +63,21 @@ TEST(PropFuzz, CacheWalReplayRecoversOrTruncatesNeverCrashes)
     RecordProperty("wal_fuzz_rejected", stats.rejected);
 }
 
+TEST(PropFuzz, TuneCorpusLoaderRejectsCorruptionRoundTripsRest)
+{
+    PropConfig config = PropConfig::fromEnv();
+    FuzzStats stats;
+    std::optional<std::string> failure = runSeededCorpusFuzz(
+        config.seed ^ 0x07c07c0deULL, config.cases, &stats);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+    // The corpus must exercise both sides of the strict loader.
+    EXPECT_GT(stats.accepted, 0) << "never produced a valid corpus";
+    EXPECT_GT(stats.rejected, 0) << "never produced a broken corpus";
+    RecordProperty("corpus_fuzz_executed", stats.executed);
+    RecordProperty("corpus_fuzz_accepted", stats.accepted);
+    RecordProperty("corpus_fuzz_rejected", stats.rejected);
+}
+
 TEST(PropFuzz, FingerprintIsDeterministicAndNameBlind)
 {
     PropConfig config = PropConfig::fromEnv();

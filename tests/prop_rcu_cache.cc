@@ -6,7 +6,8 @@
  * Three layers of evidence:
  *
  *  1. A sequential model check: random insert / invalidateBelow /
- *     lookup sequences against a plain map-plus-FIFO reference — the
+ *     erase / lookup sequences against a plain map-plus-FIFO
+ *     reference — the
  *     cache's observable behaviour (hit/miss, returned bytes, size,
  *     capacity bound) must agree op for op, and a lookup at the
  *     post-invalidate epoch must never return a demoted entry.
@@ -52,6 +53,7 @@ enum class OpKind
 {
     Insert,
     InvalidateBelow,
+    Erase,
     Lookup,
 };
 
@@ -100,6 +102,9 @@ genModelCase(Rng &rng)
             if (rng.chance(0.6))
                 ++epoch;
             op.epoch = epoch;
+        } else if (roll < 0.65) {
+            // The refine-upgrade path: drop one digest, present or not.
+            op.kind = OpKind::Erase;
         } else {
             op.kind = OpKind::Lookup;
             // Mostly the live epoch, sometimes a demoted one.
@@ -158,6 +163,18 @@ struct Reference
         order = std::move(kept);
     }
 
+    void
+    erase(std::uint64_t digest)
+    {
+        if (entries.erase(digest) == 0)
+            return;
+        std::deque<std::uint64_t> kept;
+        for (std::uint64_t other : order)
+            if (other != digest)
+                kept.push_back(other);
+        order = std::move(kept);
+    }
+
     const std::string *
     lookup(std::uint64_t digest, std::uint64_t epoch) const
     {
@@ -187,6 +204,10 @@ checkModelAgreement(const ModelCase &model_case)
             cache.invalidateBelow(op.epoch);
             reference.invalidateBelow(op.epoch);
             floor_epoch = op.epoch;
+            break;
+        case OpKind::Erase:
+            cache.erase(op.digest);
+            reference.erase(op.digest);
             break;
         case OpKind::Lookup: {
             auto got = cache.find(reader, op.digest, op.epoch);
@@ -236,6 +257,9 @@ showModelCase(const ModelCase &model_case)
             break;
         case OpKind::InvalidateBelow:
             out << "invalidate_below " << op.epoch << "\n";
+            break;
+        case OpKind::Erase:
+            out << "erase digest=" << op.digest << "\n";
             break;
         case OpKind::Lookup:
             out << "lookup digest=" << op.digest

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Property suite over the tune subsystem.
+ *
+ * The load-bearing invariant is the incremental-fitness contract: for
+ * any problem and any seeded stream of elites, mutated children and
+ * foreign genomes, IncrementalFitness::scoreGeneration (copy the
+ * parent's reduction tree, patch dirty leaves, recompute ancestors)
+ * is BITWISE identical to scoring every genome from scratch — same
+ * score bits, same evaluation bits.  The surrogate must be exactly
+ * reproducible (same corpus, same predictions), and every predicted
+ * strategy must be frequency-table-snapped and meet the Eq. 17
+ * performance lower bound after repair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "check/generators.h"
+#include "check/prop.h"
+#include "dvfs/genetic.h"
+#include "npu/freq_table.h"
+#include "power/power_model.h"
+#include "tune/features.h"
+#include "tune/incremental.h"
+#include "tune/surrogate.h"
+
+namespace {
+
+using namespace opdvfs;
+using namespace opdvfs::check;
+
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a)
+           == std::bit_cast<std::uint64_t>(b);
+}
+
+bool
+sameBits(const dvfs::StrategyEvaluation &a,
+         const dvfs::StrategyEvaluation &b)
+{
+    return sameBits(a.seconds, b.seconds)
+           && sameBits(a.aicore_joules, b.aicore_joules)
+           && sameBits(a.soc_joules, b.soc_joules)
+           && sameBits(a.aicore_watts, b.aicore_watts)
+           && sameBits(a.soc_watts, b.soc_watts)
+           && sameBits(a.delta_t, b.delta_t);
+}
+
+// --- incremental fitness is bit-exact ----------------------------------
+
+struct MutationCase
+{
+    TinyProblem problem;
+    std::uint64_t stream_seed = 0;
+    int population = 6;
+    int generations = 4;
+};
+
+std::string
+show(const MutationCase &c)
+{
+    std::ostringstream os;
+    os << "stream_seed=" << c.stream_seed << " population="
+       << c.population << " generations=" << c.generations << "\n"
+       << check::show(c.problem);
+    return os.str();
+}
+
+/**
+ * Replays a GA-shaped breeding stream against the backend: elites
+ * (parent copy, no dirty spans), children (point/block/tail
+ * mutations with their spans recorded, sometimes over-approximated)
+ * and foreign genomes (no parent, full build).  Every generation is
+ * cross-checked slot by slot against scoreOne full builds.
+ */
+std::optional<std::string>
+checkIncrementalBitExact(const MutationCase &c)
+{
+    npu::FreqTable table(c.problem.freq);
+    power::PowerModel power_model(c.problem.constants, table);
+    dvfs::StageEvaluator evaluator(c.problem.stages, c.problem.perf,
+                                   power_model, c.problem.op_power,
+                                   table);
+    const std::size_t n = evaluator.stageCount();
+    const std::size_t freqs = evaluator.freqCount();
+    if (n == 0)
+        return std::string("tiny problem produced no stages");
+
+    dvfs::StrategyEvaluation baseline = evaluator.evaluateBaseline();
+    double per_lb = 1e-6 / baseline.seconds
+                    * (1.0 - c.problem.perf_loss_target);
+
+    tune::IncrementalFitness backend(evaluator);
+    tune::IncrementalFitness reference(evaluator);
+
+    Rng rng(c.stream_seed);
+    auto random_genome = [&] {
+        std::vector<std::uint8_t> genome(n);
+        for (std::uint8_t &gene : genome)
+            gene = static_cast<std::uint8_t>(rng.index(freqs));
+        return genome;
+    };
+
+    std::size_t population = static_cast<std::size_t>(c.population);
+    std::vector<std::vector<std::uint8_t>> current;
+    for (std::size_t i = 0; i < population; ++i)
+        current.push_back(random_genome());
+    std::vector<dvfs::GenomeLineage> lineage(population); // all kNoParent
+
+    // Exercise both the serial path and a caller-supplied loop that
+    // visits indices in reverse: scoring must not depend on order.
+    dvfs::ParallelFor reversed =
+        [](std::size_t count, const std::function<void(std::size_t)> &fn) {
+            for (std::size_t i = count; i-- > 0;)
+                fn(i);
+        };
+
+    bool scored_with_parent = false;
+    for (int gen = 0; gen < c.generations; ++gen) {
+        for (const dvfs::GenomeLineage &lin : lineage)
+            if (lin.parent != dvfs::GenomeLineage::kNoParent)
+                scored_with_parent = true;
+        std::vector<double> scores;
+        std::vector<dvfs::StrategyEvaluation> evals;
+        backend.scoreGeneration(current, lineage, per_lb,
+                                gen % 2 == 0 ? dvfs::ParallelFor{}
+                                             : reversed,
+                                scores, evals);
+        if (scores.size() != current.size()
+            || evals.size() != current.size())
+            return std::string("scoreGeneration wrote wrong sizes");
+
+        for (std::size_t i = 0; i < current.size(); ++i) {
+            double full_score = 0.0;
+            dvfs::StrategyEvaluation full_eval;
+            reference.scoreOne(current[i], per_lb, full_score,
+                               full_eval);
+            if (!sameBits(scores[i], full_score)
+                || !sameBits(evals[i], full_eval)) {
+                std::ostringstream os;
+                os << "generation " << gen << " slot " << i
+                   << ": incremental score "
+                   << std::hexfloat << scores[i]
+                   << " != full score " << full_score
+                   << " (parent "
+                   << (lineage[i].parent
+                               == dvfs::GenomeLineage::kNoParent
+                           ? std::string("none")
+                           : std::to_string(lineage[i].parent))
+                   << ", " << lineage[i].dirty.size()
+                   << " dirty spans)";
+                return os.str();
+            }
+        }
+
+        // Breed the next generation with recorded lineage.
+        std::vector<std::vector<std::uint8_t>> next;
+        std::vector<dvfs::GenomeLineage> next_lineage;
+        for (std::size_t i = 0; i < population; ++i) {
+            double kind = rng.uniform(0.0, 1.0);
+            if (kind < 0.2) { // elite: bitwise copy, no dirty spans
+                std::size_t parent = rng.index(current.size());
+                next.push_back(current[parent]);
+                next_lineage.push_back({parent, {}});
+                continue;
+            }
+            if (kind < 0.35) { // foreign genome: full build
+                next.push_back(random_genome());
+                next_lineage.push_back(
+                    {dvfs::GenomeLineage::kNoParent, {}});
+                continue;
+            }
+            std::size_t parent = rng.index(current.size());
+            std::vector<std::uint8_t> child = current[parent];
+            std::vector<dvfs::GeneSpan> dirty;
+            int edits = static_cast<int>(rng.uniformInt(1, 3));
+            for (int e = 0; e < edits; ++e) {
+                switch (rng.uniformInt(0, 2)) {
+                case 0: { // point mutation
+                    std::size_t at = rng.index(n);
+                    child[at] =
+                        static_cast<std::uint8_t>(rng.index(freqs));
+                    dirty.push_back({at, at + 1});
+                    break;
+                }
+                case 1: { // block mutation
+                    std::size_t start = rng.index(n);
+                    std::size_t len = 1 + rng.index(
+                        std::min<std::size_t>(4, n - start));
+                    for (std::size_t at = start; at < start + len; ++at)
+                        child[at] = static_cast<std::uint8_t>(
+                            rng.index(freqs));
+                    dirty.push_back({start, start + len});
+                    break;
+                }
+                default: { // tail swap from another parent
+                    std::size_t other = rng.index(current.size());
+                    std::size_t k = rng.index(n + 1);
+                    for (std::size_t at = n - k; at < n; ++at)
+                        child[at] = current[other][at];
+                    if (k > 0)
+                        dirty.push_back({n - k, n});
+                    break;
+                }
+                }
+            }
+            // A span may legally over-approximate (cover genes the
+            // edit left equal); the patch must still be exact.
+            if (!dirty.empty() && rng.chance(0.3))
+                dirty.back().end = std::min(dirty.back().end + 1, n);
+            next.push_back(std::move(child));
+            next_lineage.push_back({parent, std::move(dirty)});
+        }
+        current = std::move(next);
+        lineage = std::move(next_lineage);
+    }
+
+    tune::IncrementalStats stats = backend.stats();
+    if (stats.full_builds == 0)
+        return std::string("backend never did a full build");
+    if (scored_with_parent && stats.incremental_builds == 0)
+        return std::string("backend never took the incremental path");
+    if (stats.genes_patched > stats.genes_total)
+        return std::string("patched more genes than a full rebuild");
+    return std::nullopt;
+}
+
+TEST(PropTune, IncrementalFitnessBitExactUnderMutationStreams)
+{
+    Property<MutationCase> prop(
+        "incremental-fitness-bit-exact",
+        [](Rng &rng) {
+            MutationCase c;
+            c.problem = genTinyProblem(rng, 6, 4);
+            c.stream_seed = static_cast<std::uint64_t>(
+                rng.uniformInt(0, 1'000'000'000));
+            c.population = static_cast<int>(rng.uniformInt(2, 8));
+            c.generations = static_cast<int>(rng.uniformInt(1, 5));
+            return c;
+        },
+        checkIncrementalBitExact);
+    prop.withShrinker([](const MutationCase &c) {
+        std::vector<MutationCase> smaller;
+        if (c.generations > 1) {
+            MutationCase s = c;
+            s.generations = c.generations / 2;
+            smaller.push_back(s);
+        }
+        if (c.population > 2) {
+            MutationCase s = c;
+            s.population = c.population / 2 < 2 ? 2 : c.population / 2;
+            smaller.push_back(s);
+        }
+        return smaller;
+    });
+    prop.withPrinter([](const MutationCase &c) { return show(c); });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+// --- surrogate determinism ---------------------------------------------
+
+struct SurrogateCase
+{
+    std::uint64_t seed = 0;
+    int observations = 4;
+    int rows_per_observation = 3;
+};
+
+tune::Observation
+genObservation(Rng &rng, int rows)
+{
+    tune::Observation observation;
+    for (int r = 0; r < rows; ++r) {
+        tune::StageSample sample;
+        for (std::size_t f = 0; f < tune::kStageFeatureCount; ++f)
+            sample.features.push_back(rng.uniform(-2.0, 2.0));
+        sample.target_mhz = rng.uniform(200.0, 2200.0);
+        observation.push_back(std::move(sample));
+    }
+    return observation;
+}
+
+std::optional<std::string>
+checkSurrogateDeterminism(const SurrogateCase &c)
+{
+    Rng rng(c.seed);
+    std::vector<tune::Observation> corpus;
+    for (int o = 0; o < c.observations; ++o)
+        corpus.push_back(genObservation(rng, c.rows_per_observation));
+    tune::Observation probe = genObservation(rng, 5);
+    tune::Observation extra = genObservation(rng, c.rows_per_observation);
+
+    tune::SurrogateOptions options;
+    options.min_rows = 1;
+    options.refit_interval_rows = 1;
+    options.boost_rounds = 6;
+    options.quantile_cuts = 4;
+
+    tune::Surrogate first(options);
+    tune::Surrogate second(options);
+    first.seedCorpus(corpus);
+    second.seedCorpus(corpus);
+    if (!first.ready() || !second.ready())
+        return std::string("surrogate not ready after seeding");
+
+    std::vector<double> a = first.predictMhz(probe);
+    std::vector<double> b = second.predictMhz(probe);
+    if (a.size() != b.size() || a.size() != probe.size())
+        return std::string("prediction size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (!sameBits(a[i], b[i]))
+            return std::string("same corpus, different predictions");
+
+    // Same prediction twice from one instance (snapshot stability).
+    std::vector<double> again = first.predictMhz(probe);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (!sameBits(a[i], again[i]))
+            return std::string("prediction is not stable");
+
+    // One more identical observation each: still in lockstep.
+    first.observe(extra);
+    second.observe(extra);
+    std::vector<double> c1 = first.predictMhz(probe);
+    std::vector<double> c2 = second.predictMhz(probe);
+    for (std::size_t i = 0; i < c1.size(); ++i)
+        if (!sameBits(c1[i], c2[i]))
+            return std::string(
+                "same observation stream, different models");
+    return std::nullopt;
+}
+
+TEST(PropTune, SurrogateIsDeterministicOverTheCorpus)
+{
+    Property<SurrogateCase> prop(
+        "surrogate-determinism",
+        [](Rng &rng) {
+            SurrogateCase c;
+            c.seed = static_cast<std::uint64_t>(
+                rng.uniformInt(0, 1'000'000'000));
+            c.observations = static_cast<int>(rng.uniformInt(1, 8));
+            c.rows_per_observation =
+                static_cast<int>(rng.uniformInt(1, 6));
+            return c;
+        },
+        checkSurrogateDeterminism);
+    prop.withPrinter([](const SurrogateCase &c) {
+        std::ostringstream os;
+        os << "seed=" << c.seed << " observations=" << c.observations
+           << " rows=" << c.rows_per_observation;
+        return os.str();
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+// --- predicted strategies are snapped and feasible ---------------------
+
+struct PredictCase
+{
+    TinyProblem problem;
+    std::uint64_t seed = 0;
+};
+
+std::optional<std::string>
+checkPredictedStrategy(const PredictCase &c)
+{
+    npu::FreqTable table(c.problem.freq);
+    power::PowerModel power_model(c.problem.constants, table);
+    dvfs::StageEvaluator evaluator(c.problem.stages, c.problem.perf,
+                                   power_model, c.problem.op_power,
+                                   table);
+    const std::size_t n = evaluator.stageCount();
+    if (n == 0)
+        return std::string("tiny problem produced no stages");
+
+    Rng rng(c.seed);
+    tune::SurrogateOptions options;
+    options.min_rows = 1;
+    options.refit_interval_rows = 1;
+    options.boost_rounds = 4;
+    options.quantile_cuts = 4;
+    tune::Surrogate surrogate(options);
+    int trainings = static_cast<int>(rng.uniformInt(1, 4));
+    for (int t = 0; t < trainings; ++t)
+        surrogate.observe(
+            genObservation(rng, static_cast<int>(rng.uniformInt(1, 6))));
+    if (!surrogate.ready())
+        return std::string("surrogate not ready after observe()");
+
+    tune::Observation rows =
+        genObservation(rng, static_cast<int>(n));
+    tune::PredictedStrategy predicted = tune::predictStrategy(
+        surrogate, rows, evaluator, c.problem.perf_loss_target);
+
+    if (predicted.genome.size() != n || predicted.mhz.size() != n)
+        return std::string("prediction has wrong stage count");
+    const std::vector<double> &freqs = evaluator.frequenciesMhz();
+    for (std::size_t s = 0; s < n; ++s) {
+        if (predicted.genome[s] >= freqs.size())
+            return std::string("gene outside the frequency table");
+        if (!sameBits(predicted.mhz[s], freqs[predicted.genome[s]]))
+            return std::string(
+                "predicted MHz is not a table frequency");
+    }
+
+    double per_lb = 1e-6 / predicted.baseline_eval.seconds
+                    * (1.0 - c.problem.perf_loss_target);
+    double per = 1e-6 / predicted.eval.seconds;
+    if (per < per_lb) {
+        std::ostringstream os;
+        os << "infeasible prediction: per " << per << " < bound "
+           << per_lb << " after " << predicted.repair_steps
+           << " repair steps";
+        return os.str();
+    }
+
+    // The reported score/eval must be a real evaluator evaluation of
+    // the returned genome, not an estimate.
+    dvfs::StrategyEvaluation check_eval =
+        evaluator.evaluate(predicted.genome);
+    if (!sameBits(check_eval, predicted.eval))
+        return std::string("reported eval is not evaluate(genome)");
+    if (!sameBits(predicted.score,
+                  dvfs::strategyScore(check_eval, per_lb)))
+        return std::string("reported score is not Eq. 17 of the eval");
+
+    // Determinism end to end: the same prediction twice.
+    tune::PredictedStrategy second = tune::predictStrategy(
+        surrogate, rows, evaluator, c.problem.perf_loss_target);
+    if (second.genome != predicted.genome
+        || !sameBits(second.score, predicted.score))
+        return std::string("predictStrategy is not deterministic");
+    return std::nullopt;
+}
+
+TEST(PropTune, PredictedStrategiesAreSnappedAndFeasible)
+{
+    Property<PredictCase> prop(
+        "predicted-strategy-snapped-feasible",
+        [](Rng &rng) {
+            PredictCase c;
+            c.problem = genTinyProblem(rng, 6, 4);
+            c.seed = static_cast<std::uint64_t>(
+                rng.uniformInt(0, 1'000'000'000));
+            return c;
+        },
+        checkPredictedStrategy);
+    prop.withPrinter([](const PredictCase &c) {
+        std::ostringstream os;
+        os << "seed=" << c.seed << "\n" << check::show(c.problem);
+        return os.str();
+    });
+    OPDVFS_CHECK_PROP(prop);
+}
+
+} // namespace

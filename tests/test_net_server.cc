@@ -316,6 +316,17 @@ TEST(NetServer, AdminEndpointServesHealthAndStats)
     EXPECT_NE(stats.find("sojourn_ewma_seconds "), std::string::npos);
     EXPECT_NE(stats.find("cold_ewma_seconds "), std::string::npos);
     EXPECT_NE(stats.find("retry_after_hint_ms "), std::string::npos);
+    // Predict-then-refine and similarity-scan observability.
+    EXPECT_NE(stats.find("service_predicted_served 0\n"),
+              std::string::npos);
+    EXPECT_NE(stats.find("service_refine_upgrades 0\n"),
+              std::string::npos);
+    EXPECT_NE(stats.find("service_refine_discards 0\n"),
+              std::string::npos);
+    EXPECT_NE(stats.find("service_refines_in_flight 0\n"),
+              std::string::npos);
+    EXPECT_NE(stats.find("cache_similar_scanned "), std::string::npos);
+    EXPECT_NE(stats.find("cache_similar_pruned "), std::string::npos);
 
     EXPECT_EQ(adminQuery("127.0.0.1", server.port(), "NOPE"),
               "error unknown-command\n");

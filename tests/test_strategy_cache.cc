@@ -124,6 +124,53 @@ TEST(StrategyCache, FindSimilarGatesOnTheLossTarget)
     EXPECT_TRUE(cache.findSimilar(probe, 0.5).has_value());
 }
 
+TEST(StrategyCache, ScanCountersTrackSimilarityEffort)
+{
+    StrategyCache cache({.capacity = 16, .shards = 1});
+    ScanCounters before = cache.scanCounters();
+    EXPECT_EQ(before.similar_lookups, 0u);
+    EXPECT_EQ(before.similar_scanned, 0u);
+    EXPECT_EQ(before.similar_pruned, 0u);
+
+    // Three far donors inserted first, one near-perfect donor last:
+    // the MRU-first scan visits the near donor first, so every far
+    // row is abandoned on its first feature by the incumbent bound.
+    auto wide = [](std::uint64_t digest, double value) {
+        CacheEntry entry;
+        entry.fingerprint.digest = digest;
+        entry.fingerprint.features.assign(8, value);
+        entry.ga.best_mhz = {1500.0, 1500.0};
+        entry.perf_loss_target = 0.02;
+        return entry;
+    };
+    cache.insert(wide(1, 0.90));
+    cache.insert(wide(2, 0.95));
+    cache.insert(wide(3, 0.85));
+    cache.insert(wide(4, 0.1001));
+
+    Fingerprint probe;
+    probe.digest = 999;
+    probe.features.assign(8, 0.1);
+    auto hit = cache.findSimilar(probe, 0.5);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->entry.fingerprint.digest, 4u);
+
+    ScanCounters after = cache.scanCounters();
+    EXPECT_EQ(after.similar_lookups, 1u);
+    EXPECT_EQ(after.similar_scanned, 4u);
+    EXPECT_EQ(after.similar_pruned, 3u);
+
+    // A miss never primes the bound, so nothing is pruned — but every
+    // visited entry is still counted.
+    Fingerprint far;
+    far.features.assign(8, -5.0);
+    EXPECT_FALSE(cache.findSimilar(far, 0.9999).has_value());
+    ScanCounters missed = cache.scanCounters();
+    EXPECT_EQ(missed.similar_lookups, 2u);
+    EXPECT_EQ(missed.similar_scanned, 8u);
+    EXPECT_EQ(missed.similar_pruned, 3u);
+}
+
 TEST(StrategyCache, ZeroCapacityRejected)
 {
     EXPECT_THROW(StrategyCache({.capacity = 0, .shards = 2}),

@@ -87,6 +87,31 @@ TEST(StrategyIo, MetaRoundTripPreservesScoreAndProvenance)
     EXPECT_EQ(loaded.meta->fingerprint, meta.fingerprint);
 }
 
+TEST(StrategyIo, PredictFirstProvenanceTokensRoundTrip)
+{
+    // The two tokens the predict-then-refine path mints: the strategy
+    // file format carries them verbatim, like any other provenance.
+    for (const char *token : {"predicted", "refined"}) {
+        Strategy original = sampleStrategy();
+        StrategyMeta meta;
+        meta.score = 2.5e-16;
+        meta.pre_refine_score = 2.5e-16;
+        meta.converged_at = 0;
+        meta.generations = 0;
+        meta.provenance = token;
+        meta.fingerprint = 0x0123456789abcdefULL;
+        original.meta = meta;
+
+        std::stringstream buffer;
+        saveStrategy(original, buffer);
+        Strategy loaded = loadStrategy(buffer);
+        ASSERT_TRUE(loaded.meta.has_value()) << token;
+        EXPECT_EQ(loaded.meta->provenance, token);
+        EXPECT_EQ(loaded.meta->generations, 0);
+        EXPECT_EQ(loaded.meta->fingerprint, meta.fingerprint);
+    }
+}
+
 TEST(StrategyIo, MetaIsOptionalAndAbsentStaysAbsent)
 {
     Strategy original = sampleStrategy();

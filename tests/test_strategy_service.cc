@@ -16,6 +16,7 @@
 
 #include "dvfs/strategy_io.h"
 #include "models/transformer.h"
+#include "npu/freq_table.h"
 #include "power/offline_calibration.h"
 #include "serve/service.h"
 
@@ -676,6 +677,157 @@ TEST(StrategyService, PeerDonorLookupConvertsColdToWarmStart)
     StrategyResponse local = service.submit(another).get();
     EXPECT_EQ(local.provenance, Provenance::WarmStart);
     EXPECT_EQ(lookups.load(), before);
+}
+
+ServiceOptions
+predictOptions(std::size_t workers)
+{
+    // A surrogate that fits from the very first observation, so one
+    // cold search is enough training for the predict path.
+    tune::SurrogateOptions surrogate;
+    surrogate.min_rows = 1;
+    surrogate.refit_interval_rows = 1;
+    surrogate.boost_rounds = 6;
+    surrogate.quantile_cuts = 4;
+
+    ServiceOptions options = fastOptions(workers);
+    options.surrogate = std::make_shared<tune::Surrogate>(surrogate);
+    options.predict_first = true;
+    options.refine_generation_fraction = 0.5;
+    return options;
+}
+
+TEST(StrategyService, PredictFirstConfigurationIsValidated)
+{
+    // predict_first without a surrogate is a wiring bug, not a
+    // runtime condition: fail at construction.
+    ServiceOptions no_model = fastOptions(1);
+    no_model.predict_first = true;
+    EXPECT_THROW(StrategyService{no_model}, std::invalid_argument);
+
+    ServiceOptions zero = predictOptions(1);
+    zero.refine_generation_fraction = 0.0;
+    EXPECT_THROW(StrategyService{zero}, std::invalid_argument);
+
+    ServiceOptions over = predictOptions(1);
+    over.refine_generation_fraction = 1.5;
+    EXPECT_THROW(StrategyService{over}, std::invalid_argument);
+}
+
+TEST(StrategyService, PredictFirstServesSurrogateThenRefinesAsync)
+{
+    ServiceOptions options = predictOptions(2);
+    std::atomic<int> inserts{0};
+    options.insert_listener = [&inserts](const CacheEntry &) {
+        ++inserts;
+    };
+    StrategyService service(options);
+
+    // First contact ever: the surrogate is not ready, so the request
+    // takes the normal cold path — and its finished search trains the
+    // model (learn_from_searches).
+    StrategyRequest trainer;
+    trainer.workload = testWorkload(256);
+    trainer.seed = 3;
+    StrategyResponse cold = service.submit(trainer).get();
+    ASSERT_EQ(cold.provenance, Provenance::Cold);
+    ASSERT_TRUE(options.surrogate->ready());
+    EXPECT_EQ(inserts.load(), 1);
+
+    // A workload the service has never solved: served straight from
+    // the surrogate, no GA generations on the caller's clock.
+    StrategyRequest fresh;
+    fresh.workload = testWorkload(320);
+    fresh.seed = 5;
+    StrategyResponse predicted = service.submit(fresh).get();
+    EXPECT_EQ(predicted.provenance, Provenance::Predicted);
+    EXPECT_EQ(predicted.generations_run, 0);
+    EXPECT_EQ(predicted.generations_saved, 24);
+    ASSERT_TRUE(predicted.strategy.meta.has_value());
+    EXPECT_EQ(predicted.strategy.meta->provenance, "predicted");
+    EXPECT_GT(predicted.strategy.meta->score, 0.0);
+    EXPECT_DOUBLE_EQ(predicted.strategy.meta->pre_refine_score,
+                     predicted.strategy.meta->score);
+    ASSERT_EQ(predicted.strategy.mhz_per_stage.size(),
+              predicted.strategy.stages.size());
+    // Every predicted frequency is snapped to the chip's table.
+    npu::FreqTable table(options.pipeline.chip.freq);
+    for (double mhz : predicted.strategy.mhz_per_stage)
+        EXPECT_TRUE(table.supports(mhz))
+            << mhz << " MHz is not a table frequency";
+    // The async refinement either upgraded the entry or proved the
+    // prediction was already as good; both resolve, exactly once.
+    service.waitForRefines();
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.predicted_served, 1u);
+    EXPECT_EQ(stats.refine_upgrades + stats.refine_discards, 1u);
+    EXPECT_EQ(stats.refines_in_flight, 0u);
+    EXPECT_EQ(stats.cold_misses, 1u);
+
+    // Provisional entries never fire the replication/WAL listener;
+    // only the refined upgrade does.
+    EXPECT_EQ(inserts.load(),
+              1 + static_cast<int>(stats.refine_upgrades));
+
+    // The identical request now exact-hits whatever the refinement
+    // left in the cache — never worse than the served prediction.
+    StrategyResponse hit = service.submit(fresh).get();
+    EXPECT_EQ(hit.provenance, Provenance::ExactHit);
+    EXPECT_GE(hit.ga.best_score, predicted.ga.best_score);
+    if (stats.refine_upgrades == 1) {
+        EXPECT_GT(hit.ga.best_score, predicted.ga.best_score);
+        ASSERT_TRUE(hit.strategy.meta.has_value());
+        EXPECT_DOUBLE_EQ(hit.strategy.meta->score, hit.ga.best_score);
+    }
+
+    // Predicted entries are provisional: the persistence snapshot
+    // must never contain one.
+    for (const CacheEntry &entry : service.snapshotCache())
+        EXPECT_FALSE(entry.predicted);
+}
+
+TEST(StrategyService, PredictFirstRespectsColdQualityRequests)
+{
+    StrategyService service(predictOptions(2));
+
+    StrategyRequest trainer;
+    trainer.workload = testWorkload(256);
+    service.submit(trainer).get();
+    ASSERT_TRUE(service.options().surrogate->ready());
+
+    // A caller that forbids warm starts demands full search quality;
+    // the surrogate must not answer for it.
+    StrategyRequest strict;
+    strict.workload = testWorkload(320);
+    strict.allow_warm_start = false;
+    StrategyResponse response = service.submit(strict).get();
+    EXPECT_EQ(response.provenance, Provenance::Cold);
+    EXPECT_EQ(response.generations_run, 24);
+    EXPECT_EQ(service.stats().predicted_served, 0u);
+}
+
+TEST(StrategyService, DrainWaitsOutScheduledRefinements)
+{
+    ServiceOptions options = predictOptions(2);
+    StrategyService service(options);
+
+    StrategyRequest trainer;
+    trainer.workload = testWorkload(256);
+    service.submit(trainer).get();
+    ASSERT_TRUE(options.surrogate->ready());
+
+    StrategyRequest fresh;
+    fresh.workload = testWorkload(288);
+    StrategyResponse predicted = service.submit(fresh).get();
+    ASSERT_EQ(predicted.provenance, Provenance::Predicted);
+
+    // drain() implies waitForRefines(): afterwards the refinement has
+    // fully resolved (ran, or observed draining and bailed — either
+    // way nothing is queued or running).
+    service.drain();
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.refines_in_flight, 0u);
+    EXPECT_LE(stats.refine_upgrades + stats.refine_discards, 1u);
 }
 
 } // namespace
